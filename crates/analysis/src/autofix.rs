@@ -1,0 +1,673 @@
+//! Rule-based automatic remediation (the "Auto-Fix" box of Figure 1).
+//!
+//! The paper observes that "mainstream auto-fix solutions are still developed
+//! based on different security rules, particularly for common vulnerabilities
+//! that can benefit from a unified approach". This module implements those
+//! unified mechanical fixes; classes without a universal fix (use-after-free
+//! reordering, TOCTOU restructuring) are deliberately *unsupported* and route
+//! to expert recommendation in the workflow engine.
+
+use vulnman_lang::ast::{BinOp, Expr, ExprKind, Function, Program, Stmt, StmtKind, Type};
+use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+use vulnman_lang::{parse, print_program, Span};
+use vulnman_synth::cwe::Cwe;
+
+/// Rule-based patcher for mechanically fixable CWE classes.
+#[derive(Debug, Default)]
+pub struct AutoFixer {
+    _private: (),
+}
+
+impl AutoFixer {
+    /// Creates a fixer with the standard rules.
+    pub fn new() -> Self {
+        AutoFixer::default()
+    }
+
+    /// CWE classes this fixer can remediate mechanically.
+    pub fn supported_cwes() -> Vec<Cwe> {
+        vec![
+            Cwe::SqlInjection,
+            Cwe::CommandInjection,
+            Cwe::CrossSiteScripting,
+            Cwe::PathTraversal,
+            Cwe::FormatString,
+            Cwe::HardcodedCredentials,
+            Cwe::NullDereference,
+            Cwe::OutOfBoundsWrite,
+            Cwe::OutOfBoundsRead,
+        ]
+    }
+
+    /// Returns `true` if `cwe` has a unified mechanical fix.
+    pub fn supports(cwe: Cwe) -> bool {
+        Self::supported_cwes().contains(&cwe)
+    }
+
+    /// Attempts to fix all instances of `cwe` in `source`.
+    ///
+    /// Returns the patched source if the class is supported *and* at least
+    /// one rewrite was applied; `None` otherwise (unsupported class, parse
+    /// failure, or nothing to fix).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vulnman_analysis::autofix::AutoFixer;
+    /// use vulnman_synth::cwe::Cwe;
+    /// let src = r#"void f() { char* q = http_param("id"); exec_query(q); }"#;
+    /// let fixed = AutoFixer::new().fix_source(src, Cwe::SqlInjection).unwrap();
+    /// assert!(fixed.contains("escape_sql"));
+    /// ```
+    pub fn fix_source(&self, source: &str, cwe: Cwe) -> Option<String> {
+        let mut program = parse(source).ok()?;
+        let changed = match cwe {
+            Cwe::SqlInjection => fix_injection(&mut program, "sql", "escape_sql"),
+            Cwe::CommandInjection => fix_injection(&mut program, "command", "escape_shell"),
+            Cwe::CrossSiteScripting => fix_injection(&mut program, "xss", "escape_html"),
+            Cwe::PathTraversal => fix_injection(&mut program, "path", "sanitize_path"),
+            Cwe::FormatString => fix_format_string(&mut program),
+            Cwe::HardcodedCredentials => fix_credentials(&mut program),
+            Cwe::NullDereference => fix_null_deref(&mut program),
+            Cwe::OutOfBoundsWrite => fix_oob_write(&mut program),
+            Cwe::OutOfBoundsRead => fix_oob_read(&mut program),
+            Cwe::UseAfterFree | Cwe::IntegerOverflow | Cwe::RaceCondition => false,
+        };
+        changed.then(|| print_program(&program))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Injection fixes: wrap tainted sink arguments in the canonical sanitizer.
+// ---------------------------------------------------------------------------
+
+fn fix_injection(program: &mut Program, kind: &str, sanitizer: &str) -> bool {
+    let config = TaintConfig::default_config();
+    let analysis = TaintAnalysis::run(program, &config);
+    let spans: Vec<Span> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.sink_kind == kind)
+        .map(|f| f.span)
+        .collect();
+    if spans.is_empty() {
+        return false;
+    }
+    let mut changed = false;
+    for func in &mut program.functions {
+        for s in &mut func.body {
+            rewrite_stmt_exprs(s, &mut |e| {
+                if let ExprKind::Call(_, args) = &mut e.kind {
+                    if spans.contains(&e.span) {
+                        for a in args.iter_mut() {
+                            if !matches!(a.kind, ExprKind::Str(_) | ExprKind::Int(_)) {
+                                let inner = a.clone();
+                                *a = Expr::new(
+                                    ExprKind::Call(sanitizer.to_string(), vec![inner]),
+                                    a.span,
+                                );
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Format string: printf_fmt(x) -> printf_fmt("%s", x).
+// ---------------------------------------------------------------------------
+
+fn fix_format_string(program: &mut Program) -> bool {
+    let mut changed = false;
+    for func in &mut program.functions {
+        for s in &mut func.body {
+            rewrite_stmt_exprs(s, &mut |e| {
+                if let ExprKind::Call(name, args) = &mut e.kind {
+                    if name == "printf_fmt"
+                        && args.len() == 1
+                        && !matches!(args[0].kind, ExprKind::Str(_))
+                    {
+                        let data = args.remove(0);
+                        args.push(Expr::new(ExprKind::Str("%s".to_string()), data.span));
+                        args.push(data);
+                        changed = true;
+                    }
+                }
+            });
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Credentials: secret-shaped literals -> load_secret("…").
+// ---------------------------------------------------------------------------
+
+fn secret_like(s: &str) -> bool {
+    s.len() >= 10
+        && !s.contains(' ')
+        && !s.contains('/')
+        && !s.contains('%')
+        && s.chars().any(|c| c.is_ascii_digit())
+        && s.chars().any(|c| c.is_ascii_alphabetic())
+}
+
+fn fix_credentials(program: &mut Program) -> bool {
+    let mut changed = false;
+    for func in &mut program.functions {
+        for s in &mut func.body {
+            rewrite_stmt_exprs(s, &mut |e| {
+                // Do not rewrite the key-name argument of load_secret itself.
+                if let ExprKind::Call(name, _) = &e.kind {
+                    if name == "load_secret" {
+                        return;
+                    }
+                }
+                if let ExprKind::Str(lit) = &e.kind {
+                    if secret_like(lit) {
+                        e.kind = ExprKind::Call(
+                            "load_secret".to_string(),
+                            vec![Expr::new(ExprKind::Str("managed_api_key".to_string()), e.span)],
+                        );
+                        changed = true;
+                    }
+                }
+            });
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------------
+// Null dereference: insert `if (v == 0) { return; }` after risky lookups.
+// ---------------------------------------------------------------------------
+
+const MAYBE_NULL_FNS: [&str; 4] = ["find_entry", "lookup_user", "get_config", "find_session"];
+
+fn fix_null_deref(program: &mut Program) -> bool {
+    let mut changed = false;
+    for func in &mut program.functions {
+        changed |= insert_null_guards(&mut func.body);
+    }
+    changed
+}
+
+fn insert_null_guards(stmts: &mut Vec<Stmt>) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < stmts.len() {
+        // Recurse into nested blocks first.
+        match &mut stmts[i].kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                changed |= insert_null_guards(then_branch);
+                if let Some(e) = else_branch {
+                    changed |= insert_null_guards(e);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                changed |= insert_null_guards(body);
+            }
+            _ => {}
+        }
+        let needs_guard = match &stmts[i].kind {
+            StmtKind::Decl { name, init: Some(init), .. } => {
+                let risky = MAYBE_NULL_FNS
+                    .iter()
+                    .any(|f| init.called_fns().contains(f));
+                let already_guarded = stmts.get(i + 1).is_some_and(|next|
+
+                    matches!(&next.kind, StmtKind::If { cond, .. } if is_null_cmp(cond, name)));
+                (risky && !already_guarded).then(|| name.clone())
+            }
+            _ => None,
+        };
+        if let Some(var) = needs_guard {
+            let span = stmts[i].span;
+            let cond = Expr::new(
+                ExprKind::Binary(
+                    BinOp::Eq,
+                    Box::new(Expr::new(ExprKind::Var(var), span)),
+                    Box::new(Expr::new(ExprKind::Int(0), span)),
+                ),
+                span,
+            );
+            let guard = Stmt::new(
+                StmtKind::If {
+                    cond,
+                    then_branch: vec![Stmt::new(StmtKind::Return(None), span)],
+                    else_branch: None,
+                },
+                span,
+            );
+            stmts.insert(i + 1, guard);
+            changed = true;
+            i += 1;
+        }
+        i += 1;
+    }
+    changed
+}
+
+fn is_null_cmp(cond: &Expr, var: &str) -> bool {
+    let mut found = false;
+    cond.walk(&mut |e| {
+        if let ExprKind::Binary(BinOp::Eq | BinOp::Ne, l, r) = &e.kind {
+            let hit = (matches!(&l.kind, ExprKind::Var(v) if v == var)
+                && matches!(r.kind, ExprKind::Int(0)))
+                || (matches!(&r.kind, ExprKind::Var(v) if v == var)
+                    && matches!(l.kind, ExprKind::Int(0)));
+            if hit {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-bounds write: bound unbounded copy loops; replace strcpy.
+// ---------------------------------------------------------------------------
+
+fn fix_oob_write(program: &mut Program) -> bool {
+    let mut changed = false;
+    for func in &mut program.functions {
+        let arrays = local_arrays(func);
+        changed |= fix_oob_write_stmts(&mut func.body, &arrays);
+    }
+    changed
+}
+
+fn local_arrays(func: &Function) -> Vec<(String, usize)> {
+    let mut v = Vec::new();
+    func.walk_stmts(&mut |s| {
+        if let StmtKind::Decl { name, ty: Type::Array(_, n), .. } = &s.kind {
+            v.push((name.clone(), *n));
+        }
+    });
+    for p in &func.params {
+        if let Type::Array(_, n) = &p.ty {
+            v.push((p.name.clone(), *n));
+        }
+    }
+    v
+}
+
+fn fix_oob_write_stmts(stmts: &mut [Stmt], arrays: &[(String, usize)]) -> bool {
+    let mut changed = false;
+    for s in stmts.iter_mut() {
+        match &mut s.kind {
+            StmtKind::While { cond, body } => {
+                changed |= fix_oob_write_stmts(body, arrays);
+                // Find an index write into a known array.
+                let mut target: Option<(String, usize)> = None;
+                for inner in body.iter() {
+                    if let StmtKind::Assign {
+                        target: vulnman_lang::ast::LValue::Index(base, idx),
+                        ..
+                    } = &inner.kind
+                    {
+                        if let (ExprKind::Var(b), ExprKind::Var(i)) = (&base.kind, &idx.kind) {
+                            if let Some((_, n)) = arrays.iter().find(|(a, _)| a == b) {
+                                target = Some((i.clone(), *n));
+                            }
+                        }
+                    }
+                }
+                if let Some((idx_var, n)) = target {
+                    if !cond_bounds(cond, &idx_var) {
+                        let span = cond.span;
+                        let bound = Expr::new(
+                            ExprKind::Binary(
+                                BinOp::Lt,
+                                Box::new(Expr::new(ExprKind::Var(idx_var), span)),
+                                Box::new(Expr::new(ExprKind::Int(n as i64 - 1), span)),
+                            ),
+                            span,
+                        );
+                        let old = cond.clone();
+                        *cond = Expr::new(
+                            ExprKind::Binary(BinOp::And, Box::new(old), Box::new(bound)),
+                            span,
+                        );
+                        changed = true;
+                    }
+                }
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                changed |= fix_oob_write_stmts(then_branch, arrays);
+                if let Some(e) = else_branch {
+                    changed |= fix_oob_write_stmts(e, arrays);
+                }
+            }
+            StmtKind::For { body, .. } => {
+                changed |= fix_oob_write_stmts(body, arrays);
+            }
+            StmtKind::Expr(e) => {
+                // strcpy(buf, src) -> copy_bounded(buf, src, N-1)
+                if let ExprKind::Call(name, args) = &mut e.kind {
+                    if name == "strcpy" && args.len() == 2 {
+                        if let ExprKind::Var(b) = &args[0].kind {
+                            if let Some((_, n)) = arrays.iter().find(|(a, _)| a == b) {
+                                *name = "copy_bounded".to_string();
+                                args.push(Expr::new(ExprKind::Int(*n as i64 - 1), e.span));
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+fn cond_bounds(cond: &Expr, var: &str) -> bool {
+    let mut bounded = false;
+    cond.walk(&mut |e| {
+        if let ExprKind::Binary(op, l, r) = &e.kind {
+            let l_is = matches!(&l.kind, ExprKind::Var(v) if v == var);
+            let r_is = matches!(&r.kind, ExprKind::Var(v) if v == var);
+            match op {
+                BinOp::Lt | BinOp::Le if l_is => bounded = true,
+                BinOp::Gt | BinOp::Ge if r_is => bounded = true,
+                _ => {}
+            }
+        }
+    });
+    bounded
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-bounds read: insert a range guard before the first risky read.
+// ---------------------------------------------------------------------------
+
+fn fix_oob_read(program: &mut Program) -> bool {
+    let mut changed = false;
+    for func in &mut program.functions {
+        let arrays = local_arrays(func);
+        // Identify external indices (declared from to_int(…)).
+        let mut ext: Vec<String> = Vec::new();
+        func.walk_stmts(&mut |s| {
+            if let StmtKind::Decl { name, init: Some(init), .. } = &s.kind {
+                if init.called_fns().contains(&"to_int") {
+                    ext.push(name.clone());
+                }
+            }
+        });
+        for idx_var in ext {
+            changed |= guard_read(&mut func.body, &idx_var, &arrays);
+        }
+    }
+    changed
+}
+
+fn guard_read(stmts: &mut Vec<Stmt>, idx_var: &str, arrays: &[(String, usize)]) -> bool {
+    for i in 0..stmts.len() {
+        // Existing validation: done.
+        if let StmtKind::If { cond, .. } = &stmts[i].kind {
+            if cond.read_vars().contains(&idx_var) {
+                return false;
+            }
+        }
+        let mut risky_size: Option<usize> = None;
+        for e in stmts[i].exprs() {
+            e.walk(&mut |sub| {
+                if let ExprKind::Index(base, idx) = &sub.kind {
+                    if let (ExprKind::Var(b), ExprKind::Var(iv)) = (&base.kind, &idx.kind) {
+                        if iv == idx_var {
+                            if let Some((_, n)) = arrays.iter().find(|(a, _)| a == b) {
+                                risky_size = Some(*n);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        if let Some(n) = risky_size {
+            let span = stmts[i].span;
+            let var = |name: &str| Expr::new(ExprKind::Var(name.to_string()), span);
+            let cond = Expr::new(
+                ExprKind::Binary(
+                    BinOp::Or,
+                    Box::new(Expr::new(
+                        ExprKind::Binary(
+                            BinOp::Lt,
+                            Box::new(var(idx_var)),
+                            Box::new(Expr::new(ExprKind::Int(0), span)),
+                        ),
+                        span,
+                    )),
+                    Box::new(Expr::new(
+                        ExprKind::Binary(
+                            BinOp::Ge,
+                            Box::new(var(idx_var)),
+                            Box::new(Expr::new(ExprKind::Int(n as i64), span)),
+                        ),
+                        span,
+                    )),
+                ),
+                span,
+            );
+            let guard = Stmt::new(
+                StmtKind::If {
+                    cond,
+                    then_branch: vec![Stmt::new(StmtKind::Return(None), span)],
+                    else_branch: None,
+                },
+                span,
+            );
+            stmts.insert(i, guard);
+            return true;
+        }
+        // Recurse into nested statements.
+        let nested_changed = match &mut stmts[i].kind {
+            StmtKind::If { then_branch, else_branch, .. } => {
+                let mut c = guard_read(then_branch, idx_var, arrays);
+                if let Some(e) = else_branch {
+                    c |= guard_read(e, idx_var, arrays);
+                }
+                c
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                guard_read(body, idx_var, arrays)
+            }
+            _ => false,
+        };
+        if nested_changed {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Expression rewriting plumbing
+// ---------------------------------------------------------------------------
+
+/// Applies `f` to every expression in the statement tree, bottom-up, so a
+/// rewrite sees already-rewritten children.
+fn rewrite_stmt_exprs(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match &mut s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                rewrite_expr(e, f);
+            }
+        }
+        StmtKind::Assign { target, value, .. } => {
+            match target {
+                vulnman_lang::ast::LValue::Var(_) => {}
+                vulnman_lang::ast::LValue::Deref(e) => rewrite_expr(e, f),
+                vulnman_lang::ast::LValue::Index(b, i) => {
+                    rewrite_expr(b, f);
+                    rewrite_expr(i, f);
+                }
+            }
+            rewrite_expr(value, f);
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            rewrite_expr(cond, f);
+            for t in then_branch {
+                rewrite_stmt_exprs(t, f);
+            }
+            if let Some(e) = else_branch {
+                for t in e {
+                    rewrite_stmt_exprs(t, f);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            rewrite_expr(cond, f);
+            for t in body {
+                rewrite_stmt_exprs(t, f);
+            }
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                rewrite_stmt_exprs(i, f);
+            }
+            if let Some(c) = cond {
+                rewrite_expr(c, f);
+            }
+            if let Some(st) = step {
+                rewrite_stmt_exprs(st, f);
+            }
+            for t in body {
+                rewrite_stmt_exprs(t, f);
+            }
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                rewrite_expr(e, f);
+            }
+        }
+        StmtKind::Expr(e) => rewrite_expr(e, f),
+        StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match &mut e.kind {
+        ExprKind::Unary(_, inner) => rewrite_expr(inner, f),
+        ExprKind::Binary(_, l, r) => {
+            rewrite_expr(l, f);
+            rewrite_expr(r, f);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                rewrite_expr(a, f);
+            }
+        }
+        ExprKind::Index(b, i) => {
+            rewrite_expr(b, f);
+            rewrite_expr(i, f);
+        }
+        _ => {}
+    }
+    f(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::RuleEngine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_synth::emit::EmitCtx;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::templates;
+    use vulnman_synth::tier::Tier;
+
+    fn fixer() -> AutoFixer {
+        AutoFixer::new()
+    }
+
+    #[test]
+    fn fixes_remove_findings_for_supported_classes() {
+        let engine = RuleEngine::default_suite();
+        let style = StyleProfile::mainstream();
+        for cwe in AutoFixer::supported_cwes() {
+            for seed in 0..5u64 {
+                let mut rng = StdRng::seed_from_u64(seed + cwe.id() as u64);
+                let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+                let pair = templates::generate(cwe, &mut ctx);
+                let fixed = fixer()
+                    .fix_source(&pair.vulnerable, cwe)
+                    .unwrap_or_else(|| panic!("{cwe}: fix must apply\n{}", pair.vulnerable));
+                vulnman_lang::parse(&fixed)
+                    .unwrap_or_else(|e| panic!("{cwe}: fixed source must parse: {e}\n{fixed}"));
+                let remaining = engine.scan_source(&fixed).unwrap();
+                assert!(
+                    remaining.iter().all(|f| f.cwe != cwe),
+                    "{cwe}: finding should be remediated\n{fixed}\n{remaining:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_classes_return_none() {
+        let src = r#"void f() { char* p = alloc_buffer(8); free_mem(p); p[0] = 'x'; }"#;
+        assert!(fixer().fix_source(src, Cwe::UseAfterFree).is_none());
+        assert!(!AutoFixer::supports(Cwe::UseAfterFree));
+        assert!(!AutoFixer::supports(Cwe::RaceCondition));
+        assert!(!AutoFixer::supports(Cwe::IntegerOverflow));
+    }
+
+    #[test]
+    fn clean_code_returns_none() {
+        let src = r#"void f() { char* q = escape_sql(http_param("id")); exec_query(q); }"#;
+        assert!(fixer().fix_source(src, Cwe::SqlInjection).is_none());
+    }
+
+    #[test]
+    fn format_fix_shape() {
+        let src = r#"void f() { char* m = read_input(); printf_fmt(m); }"#;
+        let fixed = fixer().fix_source(src, Cwe::FormatString).unwrap();
+        assert!(fixed.contains("printf_fmt(\"%s\", m)"), "{fixed}");
+    }
+
+    #[test]
+    fn credential_fix_uses_secret_store() {
+        let src = r#"void f() { char* k = "sk_live_9aF3xQ81LmZz"; int c = authenticate("svc", k); use(c); }"#;
+        let fixed = fixer().fix_source(src, Cwe::HardcodedCredentials).unwrap();
+        assert!(fixed.contains("load_secret"));
+        assert!(!fixed.contains("sk_live"));
+    }
+
+    #[test]
+    fn null_guard_inserted_once() {
+        let src = r#"void f() { char* e = find_entry(1); e[0] = 'x'; }"#;
+        let fixed = fixer().fix_source(src, Cwe::NullDereference).unwrap();
+        assert_eq!(fixed.matches("== 0").count(), 1, "{fixed}");
+        // Idempotent: re-fixing finds nothing to do.
+        assert!(fixer().fix_source(&fixed, Cwe::NullDereference).is_none(), "{fixed}");
+    }
+
+    #[test]
+    fn oob_write_loop_gets_bound() {
+        let src = r#"void f() { char buf[8]; char* s = read_input(); int i = 0; while (s[i] != '\0') { buf[i] = s[i]; i++; } }"#;
+        let fixed = fixer().fix_source(src, Cwe::OutOfBoundsWrite).unwrap();
+        assert!(fixed.contains("i < 7"), "{fixed}");
+    }
+
+    #[test]
+    fn strcpy_replaced_with_bounded_copy() {
+        let src = r#"void f() { char buf[16]; char* s = read_input(); strcpy(buf, s); }"#;
+        let fixed = fixer().fix_source(src, Cwe::OutOfBoundsWrite).unwrap();
+        assert!(fixed.contains("copy_bounded(buf, s, 15)"), "{fixed}");
+    }
+
+    #[test]
+    fn oob_read_guard_inserted_before_access() {
+        let src = r#"void f() { int t[8]; init_table(t, 8); int i = to_int(http_param("x")); int v = t[i]; use(v); }"#;
+        let fixed = fixer().fix_source(src, Cwe::OutOfBoundsRead).unwrap();
+        let guard_pos = fixed.find(">= 8").unwrap();
+        let read_pos = fixed.find("t[i]").unwrap();
+        assert!(guard_pos < read_pos, "{fixed}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Dynamic analysis: a sanitizer-instrumented test execution.
+//!
+//! Figure 1: "automated assessments mainly leverage rule-based analysis
+//! tools, including **dynamic and static analysis**". This detector runs the
+//! unit under the adversarial input model of
+//! [`vulnman_lang::interp`] and converts observed runtime faults into
+//! findings. It has the classic dynamic-analysis profile: near-zero false
+//! positives (it *watched* the fault happen) but blind spots — logic
+//! classes that do not fault under single-threaded execution (hard-coded
+//! credentials, TOCTOU races) and any path the driver does not reach.
+
+use crate::detectors::StaticDetector;
+use crate::finding::{Confidence, Finding};
+use vulnman_lang::ast::Program;
+use vulnman_lang::interp::{run_program, DynamicEventKind, InterpConfig};
+use vulnman_synth::cwe::Cwe;
+
+/// Sanitizer-style dynamic detector.
+///
+/// Implements [`StaticDetector`] (the workflow's uniform *program scanner*
+/// interface — the trait abstracts scanners, not analysis technique).
+#[derive(Debug)]
+pub struct DynamicSanitizer {
+    config: InterpConfig,
+}
+
+impl DynamicSanitizer {
+    /// Uses the default adversarial input model.
+    pub fn new() -> Self {
+        DynamicSanitizer { config: InterpConfig::default() }
+    }
+
+    /// Uses a custom interpreter configuration (e.g. a team taint
+    /// vocabulary, or a friendlier input model).
+    pub fn with_config(config: InterpConfig) -> Self {
+        DynamicSanitizer { config }
+    }
+
+    fn event_to_cwe(kind: &DynamicEventKind) -> Option<Cwe> {
+        Some(match kind {
+            DynamicEventKind::OutOfBoundsWrite => Cwe::OutOfBoundsWrite,
+            DynamicEventKind::OutOfBoundsRead => Cwe::OutOfBoundsRead,
+            DynamicEventKind::UseAfterFree => Cwe::UseAfterFree,
+            DynamicEventKind::NullDereference => Cwe::NullDereference,
+            DynamicEventKind::IntegerOverflow => Cwe::IntegerOverflow,
+            DynamicEventKind::TaintedSink(kind) => match kind.as_str() {
+                "sql" => Cwe::SqlInjection,
+                "command" | "injection" => Cwe::CommandInjection,
+                "xss" => Cwe::CrossSiteScripting,
+                "path" => Cwe::PathTraversal,
+                "format" => Cwe::FormatString,
+                "memory" => Cwe::OutOfBoundsWrite,
+                _ => return None,
+            },
+        })
+    }
+
+    fn describe(kind: &DynamicEventKind) -> String {
+        match kind {
+            DynamicEventKind::OutOfBoundsWrite => "out-of-bounds write observed at runtime".into(),
+            DynamicEventKind::OutOfBoundsRead => "out-of-bounds read observed at runtime".into(),
+            DynamicEventKind::UseAfterFree => "freed object used at runtime".into(),
+            DynamicEventKind::NullDereference => "null pointer dereferenced at runtime".into(),
+            DynamicEventKind::IntegerOverflow => "32-bit arithmetic wrapped at runtime".into(),
+            DynamicEventKind::TaintedSink(k) => {
+                format!("attacker data observed reaching a {k} sink at runtime")
+            }
+        }
+    }
+}
+
+impl Default for DynamicSanitizer {
+    fn default() -> Self {
+        DynamicSanitizer::new()
+    }
+}
+
+impl StaticDetector for DynamicSanitizer {
+    fn name(&self) -> &'static str {
+        "dynamic-sanitizer"
+    }
+
+    fn cwes(&self) -> Vec<Cwe> {
+        vec![
+            Cwe::OutOfBoundsWrite,
+            Cwe::OutOfBoundsRead,
+            Cwe::UseAfterFree,
+            Cwe::NullDereference,
+            Cwe::IntegerOverflow,
+            Cwe::SqlInjection,
+            Cwe::CommandInjection,
+            Cwe::CrossSiteScripting,
+            Cwe::PathTraversal,
+            Cwe::FormatString,
+        ]
+    }
+
+    fn scan(&self, program: &Program) -> Vec<Finding> {
+        let report = run_program(program, &self.config);
+        report
+            .events
+            .iter()
+            .filter_map(|e| {
+                let cwe = Self::event_to_cwe(&e.kind)?;
+                Some(Finding {
+                    cwe,
+                    function: e.function.clone(),
+                    span: e.span,
+                    detector: "dynamic-sanitizer".into(),
+                    message: Self::describe(&e.kind),
+                    confidence: Confidence::High,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Classes the dynamic sanitizer can observe under its input model.
+pub fn dynamically_detectable(cwe: Cwe) -> bool {
+    !matches!(cwe, Cwe::HardcodedCredentials | Cwe::RaceCondition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parse;
+    use vulnman_synth::emit::EmitCtx;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::templates;
+    use vulnman_synth::tier::Tier;
+
+    #[test]
+    fn dynamic_detector_covers_every_detectable_template_class() {
+        let detector = DynamicSanitizer::new();
+        let style = StyleProfile::mainstream();
+        for cwe in Cwe::ALL.into_iter().filter(|c| dynamically_detectable(*c)) {
+            let mut caught = 0;
+            let mut clean = 0;
+            let n = 6;
+            for seed in 0..n {
+                let mut rng = StdRng::seed_from_u64(seed * 17 + cwe.id() as u64);
+                let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+                let pair = templates::generate(cwe, &mut ctx);
+                let fv = detector.scan(&parse(&pair.vulnerable).unwrap());
+                let ff = detector.scan(&parse(&pair.fixed).unwrap());
+                if fv.iter().any(|f| f.cwe == cwe) {
+                    caught += 1;
+                }
+                if ff.iter().all(|f| f.cwe != cwe) {
+                    clean += 1;
+                }
+            }
+            assert_eq!(caught, n, "{cwe}: every vulnerable variant must fault at runtime");
+            assert_eq!(clean, n, "{cwe}: no fixed variant may fault");
+        }
+    }
+
+    #[test]
+    fn blind_spots_are_the_logic_classes() {
+        let detector = DynamicSanitizer::new();
+        let style = StyleProfile::mainstream();
+        for cwe in [Cwe::HardcodedCredentials, Cwe::RaceCondition] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+            let pair = templates::generate(cwe, &mut ctx);
+            let findings = detector.scan(&parse(&pair.vulnerable).unwrap());
+            assert!(
+                findings.iter().all(|f| f.cwe != cwe),
+                "{cwe} cannot manifest in single-threaded execution: {findings:?}"
+            );
+            assert!(!dynamically_detectable(cwe));
+        }
+    }
+
+    #[test]
+    fn no_false_positives_on_risky_benign_code() {
+        use vulnman_synth::generator::SampleGenerator;
+        let detector = DynamicSanitizer::new();
+        let mut g = SampleGenerator::new(77, StyleProfile::mainstream());
+        for _ in 0..30 {
+            let b = g.benign_risky(Tier::Curated, "p");
+            let findings = detector.scan(&parse(&b.source).unwrap());
+            assert!(findings.is_empty(), "dynamic analysis observed a fault in safe code:\n{}\n{findings:?}", b.source);
+        }
+    }
+
+    #[test]
+    fn team_config_respected() {
+        // A team-customized interpreter trusts the team's sanitizer wrapper.
+        let style = StyleProfile::internal_teams()[1].clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        let pair = templates::generate(Cwe::SqlInjection, &mut ctx);
+        let mut config = InterpConfig::default();
+        config.taint.add_sanitizer("mi_clean_sql");
+        let custom = DynamicSanitizer::with_config(config);
+        let ff = custom.scan(&parse(&pair.fixed).unwrap());
+        assert!(ff.iter().all(|f| f.cwe != Cwe::SqlInjection), "{ff:?}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Findings reported by static detectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vulnman_lang::Span;
+use vulnman_synth::cwe::Cwe;
+
+/// Confidence a detector attaches to a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Confidence {
+    /// Heuristic match; expect false positives.
+    Low,
+    /// Pattern match with supporting context.
+    Medium,
+    /// Data-flow-confirmed or structurally certain.
+    High,
+}
+
+/// A single static-analysis finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Vulnerability class.
+    pub cwe: Cwe,
+    /// Function the finding is located in.
+    pub function: String,
+    /// Source location of the flagged construct.
+    pub span: Span,
+    /// Name of the detector that produced this finding.
+    pub detector: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Detector confidence.
+    pub confidence: Confidence,
+}
+
+impl Finding {
+    /// 1-based source line of the finding (0 when synthesized).
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}] {} in `{}` at {}: {} ({})",
+            self.confidence, self.cwe, self.function, self.span, self.message, self.detector
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_orders() {
+        assert!(Confidence::Low < Confidence::Medium);
+        assert!(Confidence::Medium < Confidence::High);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = Finding {
+            cwe: Cwe::SqlInjection,
+            function: "handle".into(),
+            span: Span::new(0, 4, 3, 5),
+            detector: "taint".into(),
+            message: "tainted query".into(),
+            confidence: Confidence::High,
+        };
+        let s = f.to_string();
+        assert!(s.contains("CWE-89"));
+        assert!(s.contains("handle"));
+        assert!(s.contains("3:5"));
+        assert_eq!(f.line(), 3);
+    }
+}

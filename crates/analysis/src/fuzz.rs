@@ -1,0 +1,140 @@
+//! Fuzzing campaigns over the sanitizer interpreter (the paper's third
+//! deferred component: "feedback loop, vulnerability prioritization,
+//! **fuzzing techniques** … as our future work").
+//!
+//! A single dynamic execution explores one input model; a campaign sweeps
+//! the model — attacker string lengths, magnitudes, environment behaviours
+//! (do lookups fail?) — and unions the observed faults. Different faults
+//! manifest under different inputs: a short payload never overflows a large
+//! buffer, and a use of a lookup result only faults as a *null deref* when
+//! the lookup fails but as an *out-of-bounds write* when it succeeds.
+
+use vulnman_lang::ast::Program;
+use vulnman_lang::interp::{run_program, DynamicReport, InterpConfig};
+
+/// A sweep of adversarial input models.
+#[derive(Debug, Clone)]
+pub struct FuzzCampaign {
+    configs: Vec<InterpConfig>,
+}
+
+impl FuzzCampaign {
+    /// Builds a campaign from explicit configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<InterpConfig>) -> Self {
+        assert!(!configs.is_empty(), "a campaign needs at least one configuration");
+        FuzzCampaign { configs }
+    }
+
+    /// The standard sweep: short/typical/long payloads × small/huge integers
+    /// × failing/succeeding lookups.
+    pub fn standard() -> Self {
+        let mut configs = Vec::new();
+        for &len in &[8usize, 64, 300] {
+            for &big in &[16i64, 600_000_000] {
+                for &fail in &[true, false] {
+                    configs.push(InterpConfig {
+                        attacker_string_len: len,
+                        attacker_int: big,
+                        lookups_fail: fail,
+                        ..InterpConfig::default()
+                    });
+                }
+            }
+        }
+        FuzzCampaign { configs }
+    }
+
+    /// Number of configurations in the sweep.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Returns `true` if the campaign has no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Runs every configuration and unions the reports (events deduplicated
+    /// by kind and function, entry lists merged).
+    pub fn run(&self, program: &Program) -> DynamicReport {
+        let mut union = DynamicReport::default();
+        let mut seen_events = std::collections::HashSet::new();
+        let mut seen_crashes = std::collections::HashSet::new();
+        for config in &self.configs {
+            let report = run_program(program, config);
+            if union.entries_run.is_empty() {
+                union.entries_run = report.entries_run.clone();
+            }
+            for e in report.events {
+                if seen_events.insert((e.kind.clone(), e.function.clone())) {
+                    union.events.push(e);
+                }
+            }
+            for c in report.crashed {
+                if seen_crashes.insert(c.clone()) {
+                    union.crashed.push(c);
+                }
+            }
+        }
+        union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_lang::interp::DynamicEventKind;
+    use vulnman_lang::parse;
+
+    #[test]
+    fn campaign_finds_faults_a_single_config_misses() {
+        // Overflows only for payloads longer than 100 bytes.
+        let p = parse(
+            r#"void f() { char buf[100]; char* s = read_input(); strcpy(buf, s); }"#,
+        )
+        .unwrap();
+        let short = InterpConfig { attacker_string_len: 8, ..InterpConfig::default() };
+        let single = run_program(&p, &short);
+        assert!(!single.has(&DynamicEventKind::OutOfBoundsWrite), "short payload fits");
+        let campaign = FuzzCampaign::standard().run(&p);
+        assert!(campaign.has(&DynamicEventKind::OutOfBoundsWrite), "long payload overflows");
+    }
+
+    #[test]
+    fn environment_sweep_reveals_both_failure_modes() {
+        // Lookup result written past its real size: null-deref when the
+        // lookup fails, out-of-bounds write when it succeeds (16-byte entry).
+        let p = parse(r#"void f() { char* e = find_entry(1); e[32] = 'x'; }"#).unwrap();
+        let failing = run_program(
+            &p,
+            &InterpConfig { lookups_fail: true, ..InterpConfig::default() },
+        );
+        assert!(failing.has(&DynamicEventKind::NullDereference));
+        assert!(!failing.has(&DynamicEventKind::OutOfBoundsWrite));
+        let campaign = FuzzCampaign::standard().run(&p);
+        assert!(campaign.has(&DynamicEventKind::NullDereference));
+        assert!(campaign.has(&DynamicEventKind::OutOfBoundsWrite));
+    }
+
+    #[test]
+    fn clean_code_survives_the_whole_sweep() {
+        let p = parse(
+            r#"void f() { char buf[32]; char* s = read_input(); int i = 0; while (s[i] != '\0' && i < 31) { buf[i] = s[i]; i++; } buf[i] = '\0'; consume(buf); }"#,
+        )
+        .unwrap();
+        let campaign = FuzzCampaign::standard();
+        assert_eq!(campaign.len(), 12);
+        let report = campaign.run(&p);
+        assert!(report.events.is_empty(), "{:?}", report.events);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_campaign_rejected() {
+        let _ = FuzzCampaign::new(vec![]);
+    }
+}

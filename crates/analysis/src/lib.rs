@@ -1,0 +1,42 @@
+//! # vulnman-analysis
+//!
+//! The traditional, rule-based side of industry vulnerability management
+//! (Figure 1 of the paper): specialized static detectors per CWE family,
+//! CVSS-like severity scoring, call-graph reachability / attack-surface
+//! classification, and rule-based auto-fix.
+//!
+//! These tools are the *baseline* the paper's AI models are compared
+//! against, and also the ecosystem any adopted academic model must
+//! integrate with (Gap Observation 2).
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), vulnman_lang::ParseError> {
+//! use vulnman_analysis::detectors::RuleEngine;
+//!
+//! let engine = RuleEngine::default_suite();
+//! let findings = engine.scan_source(
+//!     r#"void f() { char* id = http_param("id"); exec_query(id); }"#,
+//! )?;
+//! assert_eq!(findings.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autofix;
+pub mod detectors;
+pub mod dynamic;
+pub mod finding;
+pub mod fuzz;
+pub mod reachability;
+pub mod severity;
+
+pub use autofix::AutoFixer;
+pub use detectors::{RuleEngine, StaticDetector};
+pub use dynamic::DynamicSanitizer;
+pub use finding::{Confidence, Finding};
+pub use reachability::{CallGraph, Surface};
+pub use severity::{score, ScoredFinding};

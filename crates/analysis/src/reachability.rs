@@ -1,0 +1,213 @@
+//! Call-graph reachability and attack-surface classification.
+//!
+//! Figure 1 of the paper gates *manual security review* on threat modeling:
+//! "surfaces with zero-click or one-click surfaces trigger an additional
+//! phase of manual security review". This module derives that classification
+//! from which input sources a function's call subtree touches.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use vulnman_lang::Program;
+
+/// How much attacker interaction is needed to reach a code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Surface {
+    /// Reached by remote data with no user interaction (network/request
+    /// sources such as `http_param`, `recv`).
+    ZeroClick,
+    /// Requires a local user action (`read_input`, `getenv`).
+    OneClick,
+    /// No external input reaches it.
+    Local,
+}
+
+/// Sources classified as zero-click (remote, unauthenticated-style).
+const ZERO_CLICK_SOURCES: [&str; 4] = ["http_param", "recv", "get_request_field", "deserialize"];
+/// Sources classified as one-click (local interaction).
+const ONE_CLICK_SOURCES: [&str; 3] = ["read_input", "getenv", "read_file"];
+
+/// Static call graph over a program's functions.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Adjacency: caller -> set of callees (only in-program functions).
+    edges: HashMap<String, HashSet<String>>,
+    /// All external (library) callees per function.
+    externals: HashMap<String, HashSet<String>>,
+    functions: Vec<String>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), vulnman_lang::ParseError> {
+    /// use vulnman_analysis::reachability::CallGraph;
+    /// let p = vulnman_lang::parse("void a() { b(); }\nvoid b() { lib(); }")?;
+    /// let g = CallGraph::build(&p);
+    /// assert!(g.calls("a", "b"));
+    /// assert!(!g.calls("b", "a"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(program: &Program) -> CallGraph {
+        let defined: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
+        let mut g = CallGraph::default();
+        for f in &program.functions {
+            g.functions.push(f.name.clone());
+            let entry = g.edges.entry(f.name.clone()).or_default();
+            let ext = g.externals.entry(f.name.clone()).or_default();
+            for callee in f.callees() {
+                if defined.contains(callee.as_str()) {
+                    entry.insert(callee);
+                } else {
+                    ext.insert(callee);
+                }
+            }
+        }
+        g
+    }
+
+    /// Returns `true` if `caller` directly calls `callee`.
+    pub fn calls(&self, caller: &str, callee: &str) -> bool {
+        self.edges.get(caller).is_some_and(|s| s.contains(callee))
+    }
+
+    /// Functions never called by another in-program function (entry points).
+    pub fn roots(&self) -> Vec<String> {
+        let called: HashSet<&String> = self.edges.values().flatten().collect();
+        self.functions.iter().filter(|f| !called.contains(f)).cloned().collect()
+    }
+
+    /// All in-program functions transitively reachable from `start`
+    /// (including `start`).
+    pub fn reachable_from(&self, start: &str) -> HashSet<String> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        if self.edges.contains_key(start) {
+            seen.insert(start.to_string());
+            queue.push_back(start.to_string());
+        }
+        while let Some(f) = queue.pop_front() {
+            if let Some(next) = self.edges.get(&f) {
+                for n in next {
+                    if seen.insert(n.clone()) {
+                        queue.push_back(n.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// External (library) functions called anywhere in `start`'s call
+    /// subtree.
+    pub fn external_calls_in_subtree(&self, start: &str) -> HashSet<String> {
+        let mut out = HashSet::new();
+        for f in self.reachable_from(start) {
+            if let Some(ext) = self.externals.get(&f) {
+                out.extend(ext.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Classifies the attack surface of `function` by the most exposed input
+    /// source its call subtree touches.
+    pub fn surface(&self, function: &str) -> Surface {
+        let ext = self.external_calls_in_subtree(function);
+        if ZERO_CLICK_SOURCES.iter().any(|s| ext.contains(*s)) {
+            Surface::ZeroClick
+        } else if ONE_CLICK_SOURCES.iter().any(|s| ext.contains(*s)) {
+            Surface::OneClick
+        } else {
+            Surface::Local
+        }
+    }
+
+    /// Surface classification for every function.
+    pub fn surfaces(&self) -> HashMap<String, Surface> {
+        self.functions.iter().map(|f| (f.clone(), self.surface(f))).collect()
+    }
+}
+
+impl Surface {
+    /// Severity multiplier applied during prioritization.
+    pub fn severity_multiplier(&self) -> f64 {
+        match self {
+            Surface::ZeroClick => 1.0,
+            Surface::OneClick => 0.85,
+            Surface::Local => 0.6,
+        }
+    }
+
+    /// Whether Figure 1's workflow routes this surface to manual review.
+    pub fn requires_manual_review(&self) -> bool {
+        matches!(self, Surface::ZeroClick | Surface::OneClick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_lang::parse;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn roots_are_uncalled_functions() {
+        let g = graph("void a() { b(); }\nvoid b() { }\nvoid main_loop() { a(); }");
+        let mut roots = g.roots();
+        roots.sort();
+        assert_eq!(roots, vec!["main_loop"]);
+    }
+
+    #[test]
+    fn transitive_reachability() {
+        let g = graph("void a() { b(); }\nvoid b() { c(); }\nvoid c() { }\nvoid d() { }");
+        let r = g.reachable_from("a");
+        assert!(r.contains("c"));
+        assert!(!r.contains("d"));
+    }
+
+    #[test]
+    fn zero_click_via_transitive_source() {
+        let g = graph(
+            "void api() { helper(); }\nvoid helper() { char* x = http_param(\"q\"); use(x); }\nvoid tool() { char* x = getenv(\"HOME\"); use(x); }\nvoid pure() { compute(); }",
+        );
+        assert_eq!(g.surface("api"), Surface::ZeroClick);
+        assert_eq!(g.surface("helper"), Surface::ZeroClick);
+        assert_eq!(g.surface("tool"), Surface::OneClick);
+        assert_eq!(g.surface("pure"), Surface::Local);
+    }
+
+    #[test]
+    fn zero_click_dominates_one_click() {
+        let g = graph("void f() { char* a = getenv(\"X\"); char* b = recv(); use(a, b); }");
+        assert_eq!(g.surface("f"), Surface::ZeroClick);
+    }
+
+    #[test]
+    fn review_gate_matches_figure1() {
+        assert!(Surface::ZeroClick.requires_manual_review());
+        assert!(Surface::OneClick.requires_manual_review());
+        assert!(!Surface::Local.requires_manual_review());
+    }
+
+    #[test]
+    fn multipliers_order() {
+        assert!(Surface::ZeroClick.severity_multiplier() > Surface::OneClick.severity_multiplier());
+        assert!(Surface::OneClick.severity_multiplier() > Surface::Local.severity_multiplier());
+    }
+
+    #[test]
+    fn recursive_graph_terminates() {
+        let g = graph("void a() { b(); }\nvoid b() { a(); lib(); }");
+        let r = g.reachable_from("a");
+        assert_eq!(r.len(), 2);
+        assert!(g.external_calls_in_subtree("a").contains("lib"));
+    }
+}

@@ -1,0 +1,130 @@
+//! CVSS-like severity scoring and prioritization.
+//!
+//! Industry triage (Figure 1's threat-modeling step) orders findings by a
+//! combination of class severity, exploitability, and attack surface — not
+//! by raw detector output. This scoring also drives the cost model's
+//! breach-risk term.
+
+use crate::finding::{Confidence, Finding};
+use crate::reachability::Surface;
+use serde::{Deserialize, Serialize};
+
+/// A scored finding, ready for triage ordering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredFinding {
+    /// The underlying finding.
+    pub finding: Finding,
+    /// Surface classification of the containing function.
+    pub surface: Surface,
+    /// Final severity in `[0, 10]`.
+    pub severity: f64,
+    /// Priority used for queue ordering (severity × exploitability).
+    pub priority: f64,
+}
+
+/// Scores `finding` given the surface of its function.
+///
+/// Severity = class base severity × surface multiplier × confidence factor.
+/// Priority additionally weighs the class's exploitability prior.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_analysis::{finding::{Confidence, Finding}, reachability::Surface, severity::score};
+/// use vulnman_synth::cwe::Cwe;
+/// use vulnman_lang::Span;
+/// let f = Finding {
+///     cwe: Cwe::SqlInjection,
+///     function: "handler".into(),
+///     span: Span::dummy(),
+///     detector: "taint-flow".into(),
+///     message: "…".into(),
+///     confidence: Confidence::High,
+/// };
+/// let s = score(f, Surface::ZeroClick);
+/// assert!(s.severity > 8.0);
+/// ```
+pub fn score(finding: Finding, surface: Surface) -> ScoredFinding {
+    let confidence_factor = match finding.confidence {
+        Confidence::High => 1.0,
+        Confidence::Medium => 0.9,
+        Confidence::Low => 0.75,
+    };
+    let severity =
+        (finding.cwe.base_severity() * surface.severity_multiplier() * confidence_factor).min(10.0);
+    let priority = severity * finding.cwe.exploitability();
+    ScoredFinding { finding, surface, severity, priority }
+}
+
+/// Sorts scored findings by descending priority (ties broken by severity,
+/// then source position for determinism).
+pub fn triage_order(findings: &mut [ScoredFinding]) {
+    findings.sort_by(|a, b| {
+        b.priority
+            .partial_cmp(&a.priority)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.severity.partial_cmp(&a.severity).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.finding.span.start.cmp(&b.finding.span.start))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_lang::Span;
+    use vulnman_synth::cwe::Cwe;
+
+    fn finding(cwe: Cwe, confidence: Confidence) -> Finding {
+        Finding {
+            cwe,
+            function: "f".into(),
+            span: Span::dummy(),
+            detector: "t".into(),
+            message: String::new(),
+            confidence,
+        }
+    }
+
+    #[test]
+    fn surface_discounts_severity() {
+        let zero = score(finding(Cwe::SqlInjection, Confidence::High), Surface::ZeroClick);
+        let local = score(finding(Cwe::SqlInjection, Confidence::High), Surface::Local);
+        assert!(zero.severity > local.severity);
+    }
+
+    #[test]
+    fn confidence_discounts_severity() {
+        let hi = score(finding(Cwe::PathTraversal, Confidence::High), Surface::ZeroClick);
+        let lo = score(finding(Cwe::PathTraversal, Confidence::Low), Surface::ZeroClick);
+        assert!(hi.severity > lo.severity);
+    }
+
+    #[test]
+    fn severity_capped_at_ten() {
+        let s = score(finding(Cwe::CommandInjection, Confidence::High), Surface::ZeroClick);
+        assert!(s.severity <= 10.0);
+    }
+
+    #[test]
+    fn exploitable_classes_triage_first() {
+        // Command injection (highly exploitable) should outrank a race
+        // condition of similar severity.
+        let mut v = vec![
+            score(finding(Cwe::RaceCondition, Confidence::High), Surface::ZeroClick),
+            score(finding(Cwe::CommandInjection, Confidence::High), Surface::ZeroClick),
+        ];
+        triage_order(&mut v);
+        assert_eq!(v[0].finding.cwe, Cwe::CommandInjection);
+    }
+
+    #[test]
+    fn triage_is_deterministic_on_ties() {
+        let mut a = finding(Cwe::SqlInjection, Confidence::High);
+        a.span = Span::new(10, 12, 2, 1);
+        let mut b = finding(Cwe::SqlInjection, Confidence::High);
+        b.span = Span::new(5, 7, 1, 5);
+        let mut v = vec![score(a, Surface::ZeroClick), score(b, Surface::ZeroClick)];
+        triage_order(&mut v);
+        assert_eq!(v[0].finding.span.start, 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion benches: scan throughput of the detection stack.
+//!
+//! Backs the scalability dimension of Gap Observation 3: industry needs to
+//! know what a detector costs per thousand samples (the `compute_usd`
+//! term of the cost model) for rule-based tools vs each ML family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vulnman_analysis::detectors::RuleEngine;
+use vulnman_ml::pipeline::model_zoo;
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::dataset::{Dataset, DatasetBuilder};
+use vulnman_synth::tier::Tier;
+
+fn corpus(tier: Tier, n: usize, seed: u64) -> Dataset {
+    DatasetBuilder::new(seed)
+        .vulnerable_count(n)
+        .vulnerable_fraction(0.5)
+        .tier_mix(vec![(tier, 1.0)])
+        .build()
+}
+
+fn bench_rule_engine(c: &mut Criterion) {
+    let engine = RuleEngine::default_suite();
+    let mut group = c.benchmark_group("rule_engine_scan");
+    for tier in Tier::ALL {
+        let ds = corpus(tier, 20, 42);
+        group.throughput(Throughput::Elements(ds.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &ds, |b, ds| {
+            b.iter(|| {
+                let mut findings = 0usize;
+                for s in ds {
+                    findings += engine.scan_source(&s.source).map(|f| f.len()).unwrap_or(0);
+                }
+                findings
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ml_inference(c: &mut Criterion) {
+    let train = DatasetBuilder::new(7).vulnerable_count(100).build();
+    let split = stratified_split(&train, 0.2, 1);
+    let eval = corpus(Tier::Curated, 20, 43);
+    let mut group = c.benchmark_group("ml_inference");
+    group.throughput(Throughput::Elements(eval.len() as u64));
+    for mut model in model_zoo(3) {
+        model.train(&split.train);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name().to_string()),
+            &eval,
+            |b, eval| b.iter(|| model.predict_all(eval)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ml_training(c: &mut Criterion) {
+    let ds = DatasetBuilder::new(9).vulnerable_count(60).build();
+    let mut group = c.benchmark_group("ml_training");
+    group.sample_size(10);
+    for template in ["token-lr", "graph-rf", "stat-nb"] {
+        group.bench_function(template, |b| {
+            b.iter(|| {
+                let mut model = model_zoo(5)
+                    .into_iter()
+                    .find(|m| m.name() == template)
+                    .expect("model present");
+                model.train(&ds);
+                model
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_engine, bench_ml_inference, bench_ml_training);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches: workflow-engine, generator, taint, and anonymizer
+//! throughput — the compute-cost side of the paper's financial argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vulnman_core::anonymize::{Anonymizer, Strength};
+use vulnman_core::detector::{DetectorRegistry, RuleBasedDetector};
+use vulnman_core::workflow::{WorkflowConfig, WorkflowEngine};
+use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+use vulnman_synth::dataset::{Dataset, DatasetBuilder};
+use vulnman_synth::emit::EmitCtx;
+use vulnman_synth::style::StyleProfile;
+use vulnman_synth::templates;
+use vulnman_synth::tier::Tier;
+
+fn corpus(n: usize) -> Dataset {
+    DatasetBuilder::new(11).vulnerable_count(n).vulnerable_fraction(0.3).build()
+}
+
+fn bench_workflow(c: &mut Criterion) {
+    let ds = corpus(12);
+    let mk_engine = || {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        WorkflowEngine::new(registry, WorkflowConfig::default())
+    };
+    let engine = mk_engine();
+    let mut group = c.benchmark_group("workflow");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("sequential", |b| b.iter(|| engine.process(ds.samples())));
+    group.bench_function("pipelined_crossbeam", |b| {
+        b.iter(|| engine.process_pipelined(ds.samples()))
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let style = StyleProfile::mainstream();
+    let mut group = c.benchmark_group("corpus_generation");
+    for tier in Tier::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |b, &tier| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let mut ctx = EmitCtx::new(&style, tier, &mut rng);
+                templates::generate(vulnman_synth::cwe::Cwe::SqlInjection, &mut ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let ds = corpus(20);
+    let programs: Vec<_> =
+        ds.iter().filter_map(|s| vulnman_lang::parse(&s.source).ok()).collect();
+    let config = TaintConfig::default_config();
+    let mut group = c.benchmark_group("taint_analysis");
+    group.throughput(Throughput::Elements(programs.len() as u64));
+    group.bench_function("interprocedural", |b| {
+        b.iter(|| {
+            programs
+                .iter()
+                .map(|p| TaintAnalysis::run(p, &config).findings.len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_anonymizer(c: &mut Criterion) {
+    let ds = corpus(20);
+    let mut group = c.benchmark_group("anonymizer");
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
+        let anonymizer = Anonymizer::new(strength);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strength:?}")),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    ds.iter().filter_map(|s| anonymizer.anonymize(s)).count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow, bench_generation, bench_taint, bench_anonymizer);
+criterion_main!(benches);

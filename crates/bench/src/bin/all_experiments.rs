@@ -1,0 +1,6 @@
+//! Runs the full experiment index E01–E16 in order (pass `--quick` for a
+//! CI-sized run). This regenerates every table recorded in `EXPERIMENTS.md`.
+
+fn main() {
+    vulnman_bench::experiments::run_all(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e01_workflow` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e01_workflow::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e02_agreement` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e02_agreement::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e03_specialization` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e03_specialization::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e04_customization` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e04_customization::run(vulnman_bench::quick_from_args());
+}

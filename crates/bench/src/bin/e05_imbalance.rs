@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e05_imbalance` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e05_imbalance::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e08_duplication` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e08_duplication::run(vulnman_bench::quick_from_args());
+}

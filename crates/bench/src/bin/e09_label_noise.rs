@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e09_label_noise` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e09_label_noise::run(vulnman_bench::quick_from_args());
+}

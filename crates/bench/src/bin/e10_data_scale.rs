@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e10_data_scale` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e10_data_scale::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e11_multimodal` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e11_multimodal::run(vulnman_bench::quick_from_args());
+}

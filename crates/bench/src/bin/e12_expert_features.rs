@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e12_expert_features` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e12_expert_features::run(vulnman_bench::quick_from_args());
+}

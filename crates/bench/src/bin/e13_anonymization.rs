@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e13_anonymization` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e13_anonymization::run(vulnman_bench::quick_from_args());
+}

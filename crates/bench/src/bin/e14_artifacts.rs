@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e14_artifacts` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e14_artifacts::run(vulnman_bench::quick_from_args());
+}

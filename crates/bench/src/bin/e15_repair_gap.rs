@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e15_repair_gap` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e15_repair_gap::run(vulnman_bench::quick_from_args());
+}

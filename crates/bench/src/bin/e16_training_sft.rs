@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e16_training_sft` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e16_training_sft::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for experiment `e17_static_vs_dynamic` (pass `--quick`
+//! for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e17_static_vs_dynamic::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e18_feedback_loop` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e18_feedback_loop::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e19_ablations` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e19_ablations::run(vulnman_bench::quick_from_args());
+}

@@ -1,0 +1,6 @@
+//! Binary wrapper for experiment `e20_project_scale` (pass `--quick` for a
+//! CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e20_project_scale::run(vulnman_bench::quick_from_args());
+}

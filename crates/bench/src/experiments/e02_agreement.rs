@@ -1,0 +1,99 @@
+//! E02 — Gap Observation 1: model disagreement.
+//!
+//! Paper anchor (citing Steenhoek et al.): "leading AI models only agree 7%
+//! of the time across various test data. Even among the top three models,
+//! the agreement is less than 50%."
+
+use vulnman_core::agreement::{run_agreement_study, AgreementStudy, TrainingRegime};
+use vulnman_core::report::{fmt3, pct, Table};
+use vulnman_ml::pipeline::model_zoo;
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::dataset::DatasetBuilder;
+use vulnman_synth::style::StyleProfile;
+use vulnman_synth::tier::Tier;
+
+/// Runs the experiment and returns the study.
+pub fn run(quick: bool) -> AgreementStudy {
+    crate::banner(
+        "E02",
+        "model agreement across the five-family zoo",
+        "\"leading AI models only agree 7% of the time … even among the top three \
+         models, the agreement is less than 50%\" (Steenhoek et al., cited in Gap 1)",
+    );
+    let n = if quick { 80 } else { 500 };
+    // Hard, realistic evaluation data: all teams, real-world-heavy tiers —
+    // the setting in which published models were observed to disagree.
+    let ds = DatasetBuilder::new(201)
+        .teams({
+            let mut t = vec![StyleProfile::mainstream()];
+            t.extend(StyleProfile::internal_teams());
+            t
+        })
+        .vulnerable_count(n)
+        .vulnerable_fraction(0.35)
+        .tier_mix(vec![(Tier::Curated, 1.0), (Tier::RealWorld, 3.0)])
+        .build();
+    let split = stratified_split(&ds, 0.4, 7);
+    // Published models were trained by different groups on different
+    // corpora: each family gets its own disjoint slice of the pool.
+    let mut models = model_zoo(11);
+    let study =
+        run_agreement_study(&mut models, &split.train, &split.test, TrainingRegime::Disjoint);
+
+    let mut t = Table::new(vec!["model", "test F1"]);
+    for (name, f1) in study.models.iter().zip(&study.f1) {
+        t.row(vec![name.clone(), fmt3(*f1)]);
+    }
+    t.print("E02.a  per-model quality");
+
+    let mut t2 = Table::new(vec!["agreement statistic", "measured", "paper value"]);
+    t2.row(vec![
+        "all-5 unanimous detection of vulnerable samples".into(),
+        pct(study.unanimous_detection_rate),
+        "≈7%".into(),
+    ]);
+    t2.row(vec![
+        "top-3 unanimous detection of vulnerable samples".into(),
+        pct(study.top3_detection_rate.unwrap_or(0.0)),
+        "<50%".into(),
+    ]);
+    t2.row(vec![
+        "all-5 unanimous (vulnerable samples, any verdict)".into(),
+        pct(study.on_vulnerable.unanimous_rate),
+        "—".into(),
+    ]);
+    t2.row(vec![
+        "mean pairwise agreement (all samples)".into(),
+        pct(study.overall.mean_pairwise),
+        "—".into(),
+    ]);
+    t2.row(vec![
+        "Fleiss' kappa (all samples)".into(),
+        fmt3(study.overall.fleiss_kappa),
+        "—".into(),
+    ]);
+    t2.print("E02.b  agreement statistics");
+    println!(
+        "shape check: unanimity collapses as models are added \
+         (all-5 {} ≤ top-3 {} ≤ best pairwise)",
+        pct(study.unanimous_detection_rate),
+        pct(study.top3_detection_rate.unwrap_or(0.0)),
+    );
+    study
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e02_shape() {
+        let study = super::run(true);
+        let all5 = study.unanimous_detection_rate;
+        let top3 = study.top3_detection_rate.unwrap();
+        // The paper's ordering: all-model agreement is far rarer than
+        // top-3 agreement; both are well below per-model recall.
+        assert!(all5 <= top3 + 1e-9);
+        assert!(all5 < 0.6, "all-5 unanimity should be scarce: {all5}");
+        let best_f1 = study.f1.iter().cloned().fold(0.0, f64::max);
+        assert!(all5 < best_f1, "unanimity below individual quality");
+    }
+}

@@ -1,0 +1,147 @@
+//! E03 — Gap Observation 1 / Future Direction Proposal 1: specialization.
+//!
+//! Paper anchors: "five different types of vulnerabilities achieved the
+//! best F1 score across five different models" and the proposal to build
+//! models "that specialize in certain types of vulnerabilities".
+
+use std::collections::HashMap;
+use vulnman_core::report::{fmt3, Table};
+use vulnman_ml::eval::Metrics;
+use vulnman_ml::pipeline::{model_zoo, DetectionModel};
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::cwe::{Cwe, CweDistribution};
+use vulnman_synth::dataset::{Dataset, DatasetBuilder};
+use vulnman_synth::tier::Tier;
+
+/// Result bundle for assertions.
+#[derive(Debug)]
+pub struct SpecializationResult {
+    /// `(cwe, best generalist model name, generalist F1)` per class.
+    pub winners: Vec<(Cwe, String, f64)>,
+    /// `(cwe, specialist F1, generalist-best F1)` for the focus classes.
+    pub specialist_vs_generalist: Vec<(Cwe, f64, f64)>,
+}
+
+fn per_cwe_metrics(model: &DetectionModel, test: &Dataset, cwe: Cwe) -> Metrics {
+    // Evaluate on this class's vulnerable samples plus all negatives —
+    // "mitigate a specific type of vulnerability as thoroughly as possible".
+    let subset = test.filter(|s| !s.label || s.cwe == Some(cwe));
+    model.evaluate(&subset)
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> SpecializationResult {
+    crate::banner(
+        "E03",
+        "per-CWE winners and specialized vs one-for-all models",
+        "\"five different types of vulnerabilities achieved the best F1 score across \
+         five different models\" (Gap 1); Proposal 1: specialized model research",
+    );
+    let n = if quick { 150 } else { 1500 };
+    let ds = DatasetBuilder::new(301)
+        .vulnerable_count(n)
+        .vulnerable_fraction(0.4)
+        .cwe_distribution(CweDistribution::uniform())
+        .tier_mix(vec![(Tier::Curated, 2.0), (Tier::RealWorld, 1.0)])
+        .build();
+    let split = stratified_split(&ds, 0.35, 9);
+
+    // Generalists: the whole zoo, trained one-for-all — each on its own
+    // disjoint slice of the pool, as published models from different groups
+    // are (same regime as E02).
+    let mut generalists = model_zoo(13);
+    let shuffled = split.train.shuffled(0xe03);
+    let k = generalists.len();
+    let slices: Vec<Dataset> = (0..k)
+        .map(|i| shuffled.iter().skip(i).step_by(k).cloned().collect())
+        .collect();
+    for (m, slice) in generalists.iter_mut().zip(&slices) {
+        m.train(slice);
+    }
+
+    let mut table = Table::new({
+        let mut h = vec!["CWE"];
+        h.extend(generalists.iter().map(|m| m.name()));
+        h.push("winner");
+        h
+    });
+    let mut winners = Vec::new();
+    let mut winner_count: HashMap<String, usize> = HashMap::new();
+    for cwe in Cwe::ALL {
+        let scores: Vec<f64> =
+            generalists.iter().map(|m| per_cwe_metrics(m, &split.test, cwe).f1()).collect();
+        let (best_idx, best) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        let winner = generalists[best_idx].name().to_string();
+        *winner_count.entry(winner.clone()).or_insert(0) += 1;
+        let mut row = vec![format!("CWE-{}", cwe.id())];
+        row.extend(scores.iter().map(|s| fmt3(*s)));
+        row.push(winner.clone());
+        table.row(row);
+        winners.push((cwe, winner, *best));
+    }
+    table.print("E03.a  per-CWE F1 across the generalist zoo");
+    let distinct = winner_count.len();
+    println!(
+        "distinct winning model families across 12 classes: {distinct} \
+         (paper: five classes were best-served by five different models)"
+    );
+
+    // Specialists: one model per focus class, trained only on that class's
+    // vulnerable samples + negatives.
+    let focus: Vec<Cwe> = vec![
+        Cwe::SqlInjection,
+        Cwe::OutOfBoundsWrite,
+        Cwe::UseAfterFree,
+        Cwe::HardcodedCredentials,
+        Cwe::RaceCondition,
+    ];
+    let mut t2 = Table::new(vec!["CWE", "specialist F1", "best generalist F1", "delta"]);
+    let mut specialist_vs_generalist = Vec::new();
+    for (i, &cwe) in focus.iter().enumerate() {
+        let train_subset = split.train.filter(|s| !s.label || s.cwe == Some(cwe));
+        let mut specialist = model_zoo(900 + i as u64).remove(2); // graph-rf base
+        specialist.train(&train_subset);
+        let spec_f1 = per_cwe_metrics(&specialist, &split.test, cwe).f1();
+        let gen_best = winners
+            .iter()
+            .find(|(c, _, _)| *c == cwe)
+            .map(|(_, _, f)| *f)
+            .unwrap_or(0.0);
+        t2.row(vec![
+            format!("CWE-{}", cwe.id()),
+            fmt3(spec_f1),
+            fmt3(gen_best),
+            fmt3(spec_f1 - gen_best),
+        ]);
+        specialist_vs_generalist.push((cwe, spec_f1, gen_best));
+    }
+    t2.print("E03.b  specialized (per-class) vs one-for-all models");
+    SpecializationResult { winners, specialist_vs_generalist }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e03_shape() {
+        let r = super::run(true);
+        assert_eq!(r.winners.len(), 12);
+        // No single family should dominate every class.
+        let first = &r.winners[0].1;
+        assert!(
+            r.winners.iter().any(|(_, w, _)| w != first),
+            "multiple families should win somewhere"
+        );
+        // Specialists at least match generalists on average over focus classes.
+        let mean_delta: f64 = r
+            .specialist_vs_generalist
+            .iter()
+            .map(|(_, s, g)| s - g)
+            .sum::<f64>()
+            / r.specialist_vs_generalist.len() as f64;
+        assert!(mean_delta > -0.08, "specialists should be competitive: {mean_delta}");
+    }
+}

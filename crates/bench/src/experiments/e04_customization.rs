@@ -1,0 +1,101 @@
+//! E04 — Gap Observation 2: customization via fine-tuning.
+//!
+//! Paper anchor: "models that are fine-tuned for specific scenarios
+//! significantly outperform their generic, pre-trained counterparts"
+//! (citing Steenhoek et al.), and the need to adapt tools to per-team
+//! sanitizer vocabularies and coding styles.
+
+use vulnman_core::customize::{customize_to_team, CustomizationOutcome, SecurityStandard};
+use vulnman_core::report::{fmt3, Table};
+use vulnman_ml::pipeline::model_zoo;
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::cwe::{Cwe, CweDistribution};
+use vulnman_synth::dataset::DatasetBuilder;
+use vulnman_synth::style::StyleProfile;
+use vulnman_synth::tier::Tier;
+
+fn injection_heavy() -> CweDistribution {
+    CweDistribution::new(vec![
+        (Cwe::SqlInjection, 3.0),
+        (Cwe::CommandInjection, 2.0),
+        (Cwe::CrossSiteScripting, 2.0),
+        (Cwe::PathTraversal, 2.0),
+        (Cwe::FormatString, 1.0),
+    ])
+}
+
+/// Runs the experiment; returns one outcome per team, ordered by style
+/// distance.
+pub fn run(quick: bool) -> Vec<CustomizationOutcome> {
+    crate::banner(
+        "E04",
+        "generic vs team-fine-tuned models across style-divergent teams",
+        "\"models that are fine-tuned for specific scenarios significantly outperform \
+         their generic, pre-trained counterparts\" (Gap 2)",
+    );
+    let n_generic = if quick { 150 } else { 400 };
+    let n_team = if quick { 250 } else { 400 };
+
+    let generic_corpus = DatasetBuilder::new(401).vulnerable_count(n_generic).build();
+    let mainstream = StyleProfile::mainstream();
+
+    let mut outcomes = Vec::new();
+    let mut t = Table::new(vec![
+        "team",
+        "style distance",
+        "generic F1",
+        "fine-tuned F1",
+        "lift",
+        "custom sanitizers",
+    ]);
+    for (i, team) in StyleProfile::internal_teams().into_iter().enumerate() {
+        let team_ds = DatasetBuilder::new(402 + i as u64 * 97)
+            .teams(vec![team.clone()])
+            .vulnerable_count(n_team)
+            .cwe_distribution(injection_heavy())
+            .hard_negative_fraction(0.7)
+            .tier_mix(vec![(Tier::Curated, 1.0)])
+            .build();
+        let split = stratified_split(&team_ds, 0.4, 5);
+
+        let mut model = model_zoo(17).remove(0); // token-lr: style-sensitive family
+        model.train(&generic_corpus);
+        let distance = mainstream.distance(&team);
+        let outcome = customize_to_team(&mut model, &team, distance, &split.train, &split.test);
+        let standard = SecurityStandard::for_team(&team);
+        t.row(vec![
+            outcome.team.clone(),
+            fmt3(outcome.style_distance),
+            fmt3(outcome.generic.f1()),
+            fmt3(outcome.fine_tuned.f1()),
+            fmt3(outcome.f1_lift()),
+            standard.custom_sanitizers.len().to_string(),
+        ]);
+        outcomes.push(outcome);
+    }
+    t.print("E04  token-lr: generic vs fine-tuned per team (injection-heavy backlog)");
+    println!(
+        "shape check: every team gains from fine-tuning; lift grows with style distance \
+         (alias-prefix teams hide sanitizer vocabulary from generic models)."
+    );
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e04_shape() {
+        let outcomes = super::run(true);
+        assert_eq!(outcomes.len(), 3);
+        // Fine-tuning helps on average, decisively on the most divergent team.
+        let mean_lift: f64 =
+            outcomes.iter().map(|o| o.f1_lift()).sum::<f64>() / outcomes.len() as f64;
+        assert!(mean_lift > 0.0, "mean lift {mean_lift}");
+        let most_divergent = outcomes.last().unwrap();
+        assert!(
+            most_divergent.f1_lift() > 0.03,
+            "kernel team lift {}",
+            most_divergent.f1_lift()
+        );
+    }
+}

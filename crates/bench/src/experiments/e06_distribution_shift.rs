@@ -1,0 +1,85 @@
+//! E06 — Gap Observation 3: performance collapse on complex real-world code.
+//!
+//! Paper anchor: "an existing study has observed more than 50% performance
+//! drop when applying academic models to more complex open-source software
+//! datasets" (citing Steenhoek et al.).
+
+use vulnman_core::report::{fmt3, pct, Table};
+use vulnman_ml::pipeline::model_zoo;
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::dataset::DatasetBuilder;
+use vulnman_synth::style::StyleProfile;
+use vulnman_synth::tier::Tier;
+
+/// `(model, benchmark F1, real-world F1, relative drop)` rows.
+pub type ShiftRow = (String, f64, f64, f64);
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<ShiftRow> {
+    crate::banner(
+        "E06",
+        "benchmark-tier training vs real-world-tier evaluation",
+        "\">50% performance drop when applying academic models to more complex \
+         datasets\" (Gap 3)",
+    );
+    let n = if quick { 120 } else { 500 };
+
+    // The academic benchmark: simple/curated tiers, mainstream style.
+    let benchmark = DatasetBuilder::new(601)
+        .vulnerable_count(n)
+        .vulnerable_fraction(0.5)
+        .tier_mix(vec![(Tier::Simple, 2.0), (Tier::Curated, 1.0)])
+        .build();
+    let bench_split = stratified_split(&benchmark, 0.3, 11);
+
+    // The complex industrial reality: real-world tier, divergent teams,
+    // imbalanced.
+    let industrial = DatasetBuilder::new(602)
+        .teams(StyleProfile::internal_teams())
+        .vulnerable_count(n / 2)
+        .vulnerable_fraction(0.25)
+        .tier_mix(vec![(Tier::RealWorld, 1.0)])
+        .build();
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "model",
+        "benchmark F1 (in-distribution)",
+        "real-world F1",
+        "relative drop",
+    ]);
+    for mut model in model_zoo(23) {
+        model.train(&bench_split.train);
+        let bench_f1 = model.evaluate(&bench_split.test).f1();
+        let real_f1 = model.evaluate(&industrial).f1();
+        let drop = if bench_f1 > 0.0 { 1.0 - real_f1 / bench_f1 } else { 0.0 };
+        t.row(vec![
+            model.name().to_string(),
+            fmt3(bench_f1),
+            fmt3(real_f1),
+            pct(drop),
+        ]);
+        rows.push((model.name().to_string(), bench_f1, real_f1, drop));
+    }
+    t.print("E06  benchmark-trained models on real-world-tier industrial code");
+    let mean_drop: f64 = rows.iter().map(|r| r.3).sum::<f64>() / rows.len() as f64;
+    println!(
+        "mean relative F1 drop: {} (paper: >50% drop reported on complex datasets)",
+        pct(mean_drop)
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e06_shape() {
+        let rows = super::run(true);
+        // Every family degrades under shift; the mean drop is severe.
+        assert!(rows.iter().all(|r| r.2 <= r.1 + 0.05), "{rows:?}");
+        let mean_drop: f64 = rows.iter().map(|r| r.3).sum::<f64>() / rows.len() as f64;
+        assert!(mean_drop > 0.25, "mean drop should be severe: {mean_drop}");
+        // At least one surface-token family takes a catastrophic (>50%) hit.
+        assert!(rows.iter().any(|r| r.3 > 0.4), "{rows:?}");
+    }
+}

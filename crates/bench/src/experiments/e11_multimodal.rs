@@ -1,0 +1,71 @@
+//! E11 — Gap Observation 4: multimodal industry signals.
+//!
+//! Paper anchor: "industry datasets often include … diverse types of
+//! documentation (e.g., code comments, reviews, discussions). These
+//! multimodal information enables DL-based systems to better understand the
+//! semantics of potentially vulnerable code."
+
+use vulnman_core::report::{fmt3, Table};
+use vulnman_ml::pipeline::{model_zoo, multimodal_model};
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::dataset::DatasetBuilder;
+use vulnman_synth::tier::Tier;
+
+/// `(setting, code-only F1, multimodal F1)` rows.
+pub type MultimodalRow = (String, f64, f64);
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<MultimodalRow> {
+    crate::banner(
+        "E11",
+        "code-only vs code+artifact (commit/review/analyst) features",
+        "\"multimodal information enables DL-based systems to better understand the \
+         semantics of potentially vulnerable code\" (Gap 4)",
+    );
+    let n = if quick { 120 } else { 400 };
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec!["setting", "code-only F1", "code+artifacts F1", "lift"]);
+    // Two settings: an easy curated corpus and a hard real-world one where
+    // the code signal alone is weaker and side channels matter more.
+    let settings: Vec<(&str, Vec<(Tier, f64)>)> = vec![
+        ("curated tier", vec![(Tier::Curated, 1.0)]),
+        ("real-world tier", vec![(Tier::RealWorld, 1.0)]),
+    ];
+    for (i, (name, mix)) in settings.into_iter().enumerate() {
+        let ds = DatasetBuilder::new(1101 + i as u64)
+            .vulnerable_count(n)
+            .vulnerable_fraction(0.4)
+            .tier_mix(mix)
+            .build();
+        let split = stratified_split(&ds, 0.3, 19);
+        let mut code_only = model_zoo(43).remove(0);
+        let mut multi = multimodal_model(43);
+        code_only.train(&split.train);
+        multi.train(&split.train);
+        let f_code = code_only.evaluate(&split.test).f1();
+        let f_multi = multi.evaluate(&split.test).f1();
+        t.row(vec![name.to_string(), fmt3(f_code), fmt3(f_multi), fmt3(f_multi - f_code)]);
+        rows.push((name.to_string(), f_code, f_multi));
+    }
+    t.print("E11  multimodal lift (same classifier, artifact features added)");
+    println!(
+        "shape check: commit/review/analyst artifacts — signals only industry has — \
+         lift detection quality, most on hard real-world code."
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e11_shape() {
+        let rows = super::run(true);
+        // Multimodal features help (or at worst tie) in both settings.
+        for (name, code, multi) in &rows {
+            assert!(multi >= &(code - 0.03), "{name}: {code} vs {multi}");
+        }
+        // And help strictly somewhere.
+        assert!(rows.iter().any(|(_, c, m)| m > &(c + 0.01)), "{rows:?}");
+    }
+}

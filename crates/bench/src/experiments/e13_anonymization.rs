@@ -1,0 +1,111 @@
+//! E13 — Future Direction Proposal 4: anonymization privacy/utility
+//! trade-off.
+//!
+//! Paper anchor: industry "seeks assurance that sharing codebases will not
+//! expose sensitive and identifying information"; academia "requires data
+//! that retains as much of the original patterns and contexts of
+//! vulnerabilities after anonymization".
+
+use vulnman_core::anonymize::{identifier_leakage, Anonymizer, Strength};
+use vulnman_core::report::{fmt3, pct, Table};
+use vulnman_ml::pipeline::model_zoo;
+use vulnman_ml::split::stratified_split;
+use vulnman_synth::dataset::{Dataset, DatasetBuilder};
+
+/// `(strength, leakage, model F1 on shared data, rule-suite F1 retention)`.
+pub type AnonRow = (String, f64, f64, f64);
+
+fn anonymize_dataset(ds: &Dataset, strength: Strength) -> Dataset {
+    let anonymizer = Anonymizer::new(strength);
+    ds.iter()
+        .filter_map(|s| anonymizer.anonymize(s).map(|a| a.sample))
+        .collect()
+}
+
+fn rule_f1(ds: &Dataset) -> f64 {
+    use vulnman_analysis::detectors::RuleEngine;
+    let engine = RuleEngine::default_suite();
+    let pred: Vec<bool> = ds
+        .iter()
+        .map(|s| !engine.scan_source(&s.source).unwrap_or_default().is_empty())
+        .collect();
+    let truth: Vec<bool> = ds.iter().map(|s| s.label).collect();
+    vulnman_ml::eval::Metrics::from_predictions(&pred, &truth).f1()
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Vec<AnonRow> {
+    crate::banner(
+        "E13",
+        "anonymization strength: privacy leakage vs research utility",
+        "\"thorough anonymization of shared data … retaining as much of the original \
+         patterns and contexts of vulnerabilities\" (Proposal 4)",
+    );
+    let n = if quick { 80 } else { 300 };
+    let ds = DatasetBuilder::new(1301).vulnerable_count(n).vulnerable_fraction(0.5).build();
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "sharing mode",
+        "identifier leakage",
+        "trainability F1 (shared data)",
+        "rule-suite F1",
+    ]);
+
+    // Baseline: raw sharing (full utility, full leakage).
+    {
+        let split = stratified_split(&ds, 0.3, 29);
+        let mut model = model_zoo(53).remove(0);
+        model.train(&split.train);
+        let f1 = model.evaluate(&split.test).f1();
+        t.row(vec!["raw (no anonymization)".into(), pct(1.0), fmt3(f1), fmt3(rule_f1(&ds))]);
+        rows.push(("raw".to_string(), 1.0, f1, rule_f1(&ds)));
+    }
+
+    for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
+        let shared = anonymize_dataset(&ds, strength);
+        // Privacy: mean identifying-token recall against the originals.
+        let leakage: f64 = ds
+            .iter()
+            .zip(shared.iter())
+            .map(|(orig, anon)| identifier_leakage(orig, anon))
+            .sum::<f64>()
+            / ds.len() as f64;
+        // Utility: a researcher trains and evaluates entirely on shared data.
+        let split = stratified_split(&shared, 0.3, 29);
+        let mut model = model_zoo(53).remove(0);
+        model.train(&split.train);
+        let f1 = model.evaluate(&split.test).f1();
+        let rf1 = rule_f1(&shared);
+        t.row(vec![format!("{strength:?}"), pct(leakage), fmt3(f1), fmt3(rf1)]);
+        rows.push((format!("{strength:?}"), leakage, f1, rf1));
+    }
+    t.print("E13  privacy/utility frontier of code anonymization");
+    println!(
+        "shape check: leakage falls towards zero with strength while both ML \
+         trainability and rule-detector quality remain near the raw baseline — \
+         the vulnerability *patterns* survive even aggressive anonymization."
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e13_shape() {
+        let rows = super::run(true);
+        // Leakage strictly decreases along the strength ladder.
+        let leaks: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        assert!(leaks.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{leaks:?}");
+        assert!(*leaks.last().unwrap() < 0.1, "aggressive leakage {leaks:?}");
+        // Utility retention: aggressive sharing retains most trainability.
+        let raw_f1 = rows[0].2;
+        let aggressive_f1 = rows.last().unwrap().2;
+        assert!(
+            aggressive_f1 > raw_f1 * 0.75,
+            "utility should survive: {aggressive_f1} vs raw {raw_f1}"
+        );
+        // Rule detectors keep working on anonymized corpora.
+        assert!(rows.last().unwrap().3 > 0.7, "{rows:?}");
+    }
+}

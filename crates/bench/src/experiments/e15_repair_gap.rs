@@ -1,0 +1,101 @@
+//! E15 — Gap Observation 3: the toy-benchmark vs real-world repair gap.
+//!
+//! Paper anchor: "Language models like Claude-2 and GPT-4 can only solve
+//! 4.8% and 1.7% real-world GitHub issues, respectively" — against the high
+//! scores the same models post on curated benchmarks.
+
+use vulnman_core::repair::{
+    evaluate_engine, LlmSimRepairEngine, RepairEngine, RepairOutcome, RetrievalRepairEngine,
+    RuleRepairEngine,
+};
+use vulnman_core::report::{pct, Table};
+use vulnman_synth::repair_tasks::generate_tasks;
+use vulnman_synth::tier::Tier;
+
+/// Outcome matrix: `outcomes[engine][tier]`.
+pub type RepairMatrix = Vec<Vec<RepairOutcome>>;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> RepairMatrix {
+    crate::banner(
+        "E15",
+        "verified repair solve rates across task complexity tiers",
+        "\"Claude-2 and GPT-4 can only solve 4.8% and 1.7% of real-world GitHub \
+         issues\" vs high toy-benchmark scores (Gap 3)",
+    );
+    let n = if quick { 40 } else { 200 };
+
+    let engines: Vec<Box<dyn RepairEngine>> = vec![
+        Box::new(RuleRepairEngine::new()),
+        Box::new(RetrievalRepairEngine::new()),
+        Box::new(LlmSimRepairEngine::new(99)),
+    ];
+
+    let mut matrix: RepairMatrix = Vec::new();
+    let mut t = Table::new(vec![
+        "engine",
+        "toy tier solve",
+        "curated tier solve",
+        "real-world tier solve",
+        "abstain (real-world)",
+    ]);
+    for engine in &engines {
+        let mut row_outcomes = Vec::new();
+        let mut cells = vec![engine.name().to_string()];
+        let mut real_abstain = 0usize;
+        let mut real_total = 1usize;
+        for tier in Tier::ALL {
+            let tasks = generate_tasks(1500 + tier as u64, tier, n);
+            let outcome = evaluate_engine(engine.as_ref(), &tasks);
+            cells.push(pct(outcome.solve_rate()));
+            if tier == Tier::RealWorld {
+                real_abstain = outcome.abstained;
+                real_total = outcome.total;
+            }
+            row_outcomes.push(outcome);
+        }
+        cells.push(pct(real_abstain as f64 / real_total as f64));
+        t.row(cells);
+        matrix.push(row_outcomes);
+    }
+    t.print("E15  verified solve rates (patch parses + finding removed + program intact)");
+    println!(
+        "shape check: every engine collapses from the toy tier to the real-world \
+         tier; the general llm-sim lands in the single digits there (paper: 4.8% / \
+         1.7%). The rule engine never hallucinates — it abstains instead — which is \
+         why industry still ships rule-based auto-fix."
+    );
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use vulnman_synth::tier::Tier;
+
+    #[test]
+    fn e15_shape() {
+        let matrix = super::run(true);
+        for outcomes in &matrix {
+            let simple = outcomes
+                .iter()
+                .find(|o| o.tier == Tier::Simple)
+                .expect("simple tier")
+                .solve_rate();
+            let real = outcomes
+                .iter()
+                .find(|o| o.tier == Tier::RealWorld)
+                .expect("real tier")
+                .solve_rate();
+            assert!(real <= simple + 1e-9, "{}: {simple} -> {real}", outcomes[0].engine);
+        }
+        // The llm-sim's real-world rate is single-digit.
+        let llm = &matrix[2];
+        let real = llm.iter().find(|o| o.tier == Tier::RealWorld).unwrap();
+        assert!(real.solve_rate() < 0.12, "{}", real.solve_rate());
+        // Rule auto-fix abstains rather than hallucinating.
+        let rule = &matrix[0];
+        for o in rule {
+            assert!(o.abstained > 0, "rules abstain on non-mechanical classes");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The experiment index (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+
+pub mod e01_workflow;
+pub mod e02_agreement;
+pub mod e03_specialization;
+pub mod e04_customization;
+pub mod e05_imbalance;
+pub mod e06_distribution_shift;
+pub mod e07_financial;
+pub mod e08_duplication;
+pub mod e09_label_noise;
+pub mod e10_data_scale;
+pub mod e11_multimodal;
+pub mod e12_expert_features;
+pub mod e13_anonymization;
+pub mod e14_artifacts;
+pub mod e15_repair_gap;
+pub mod e16_training_sft;
+pub mod e17_static_vs_dynamic;
+pub mod e18_feedback_loop;
+pub mod e19_ablations;
+pub mod e20_project_scale;
+
+/// Runs every experiment in index order.
+pub fn run_all(quick: bool) {
+    e01_workflow::run(quick);
+    e02_agreement::run(quick);
+    e03_specialization::run(quick);
+    e04_customization::run(quick);
+    e05_imbalance::run(quick);
+    e06_distribution_shift::run(quick);
+    e07_financial::run(quick);
+    e08_duplication::run(quick);
+    e09_label_noise::run(quick);
+    e10_data_scale::run(quick);
+    e11_multimodal::run(quick);
+    e12_expert_features::run(quick);
+    e13_anonymization::run(quick);
+    e14_artifacts::run(quick);
+    e15_repair_gap::run(quick);
+    e16_training_sft::run(quick);
+    e17_static_vs_dynamic::run(quick);
+    e18_feedback_loop::run(quick);
+    e19_ablations::run(quick);
+    e20_project_scale::run(quick);
+}

@@ -1,0 +1,27 @@
+//! # vulnman-bench
+//!
+//! Experiment harness reproducing every figure and quantitative claim of
+//! the paper, plus criterion benches for the performance dimensions.
+//!
+//! Each experiment `eNN` in [`experiments`] has a `run(quick)` entry point:
+//! `quick = true` shrinks corpora for CI; `quick = false` is the
+//! paper-scale configuration the committed `EXPERIMENTS.md` numbers come
+//! from. One binary per experiment wraps the library entry point; the
+//! `all_experiments` binary runs the full index in order.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{id}: {title}");
+    println!("paper anchor: {claim}");
+    println!("{}", "=".repeat(74));
+}
+
+/// Reads `--quick` from the process arguments (used by every binary).
+pub fn quick_from_args() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

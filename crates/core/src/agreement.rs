@@ -1,0 +1,170 @@
+//! Multi-model agreement studies (Gap Observation 1).
+//!
+//! Reproduces the Steenhoek et al. measurement the paper leans on: "leading
+//! AI models only agree 7% of the time across various test data. Even among
+//! the top three models, the agreement is less than 50%."
+
+use serde::{Deserialize, Serialize};
+use vulnman_ml::eval::{agreement, AgreementReport, Metrics};
+use vulnman_ml::pipeline::DetectionModel;
+use vulnman_synth::dataset::Dataset;
+
+
+/// Result of an agreement study over a trained model pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgreementStudy {
+    /// Model names in pool order.
+    pub models: Vec<String>,
+    /// Per-model test F1 (for ranking "top-k" subsets).
+    pub f1: Vec<f64>,
+    /// Agreement over **all** test samples, all models.
+    pub overall: AgreementReport,
+    /// Agreement restricted to *vulnerable* samples — the paper's framing:
+    /// do the models flag the same vulnerabilities?
+    pub on_vulnerable: AgreementReport,
+    /// Fraction of vulnerable samples that every model detects (unanimous
+    /// true positives).
+    pub unanimous_detection_rate: f64,
+    /// Agreement of the top-3 models (by F1) on vulnerable samples.
+    pub top3_on_vulnerable: Option<AgreementReport>,
+    /// Unanimous-detection rate of the top-3 models.
+    pub top3_detection_rate: Option<f64>,
+}
+
+/// How the training pool is distributed across the compared models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingRegime {
+    /// All models see the same training set (in-house comparison).
+    Shared,
+    /// Each model trains on its own disjoint slice of the pool — the
+    /// published-literature setting the paper's citation measures, where
+    /// every research group curated its own corpus.
+    Disjoint,
+}
+
+/// Trains each model on `train` (per `regime`), predicts on `test`, and
+/// computes agreement statistics.
+///
+/// # Panics
+///
+/// Panics if fewer than two models are given or `test` is empty.
+pub fn run_agreement_study(
+    models: &mut [DetectionModel],
+    train: &Dataset,
+    test: &Dataset,
+    regime: TrainingRegime,
+) -> AgreementStudy {
+    assert!(models.len() >= 2, "need at least two models");
+    assert!(!test.is_empty(), "need test samples");
+    let truth: Vec<bool> = test.iter().map(|s| s.label).collect();
+    let n_models = models.len();
+    let slices: Vec<Dataset> = match regime {
+        TrainingRegime::Shared => (0..n_models).map(|_| train.clone()).collect(),
+        TrainingRegime::Disjoint => {
+            let shuffled = train.shuffled(0x5eed);
+            let mut parts: Vec<Dataset> = (0..n_models).map(|_| Dataset::new()).collect();
+            for (i, s) in shuffled.iter().enumerate() {
+                parts[i % n_models].push(s.clone());
+            }
+            parts
+        }
+    };
+    let mut names = Vec::new();
+    let mut f1 = Vec::new();
+    let mut preds: Vec<Vec<bool>> = Vec::new();
+    for (m, slice) in models.iter_mut().zip(&slices) {
+        m.train(slice);
+        let p = m.predict_all(test);
+        f1.push(Metrics::from_predictions(&p, &truth).f1());
+        names.push(m.name().to_string());
+        preds.push(p);
+    }
+
+    let overall = agreement(&preds);
+
+    // Restrict to vulnerable samples.
+    let vuln_idx: Vec<usize> =
+        truth.iter().enumerate().filter(|(_, &t)| t).map(|(i, _)| i).collect();
+    let vuln_preds: Vec<Vec<bool>> =
+        preds.iter().map(|p| vuln_idx.iter().map(|&i| p[i]).collect()).collect();
+    let on_vulnerable = agreement(&vuln_preds);
+    let unanimous_detection_rate = if vuln_idx.is_empty() {
+        0.0
+    } else {
+        vuln_idx
+            .iter()
+            .enumerate()
+            .filter(|(row, _)| vuln_preds.iter().all(|p| p[*row]))
+            .count() as f64
+            / vuln_idx.len() as f64
+    };
+
+    // Top-3 by F1.
+    let (top3_on_vulnerable, top3_detection_rate) = if models.len() >= 3 {
+        let mut order: Vec<usize> = (0..models.len()).collect();
+        order.sort_by(|&a, &b| f1[b].partial_cmp(&f1[a]).unwrap_or(std::cmp::Ordering::Equal));
+        let top: Vec<usize> = order.into_iter().take(3).collect();
+        let top_preds: Vec<Vec<bool>> = top.iter().map(|&i| vuln_preds[i].clone()).collect();
+        let rate = if vuln_idx.is_empty() {
+            0.0
+        } else {
+            (0..vuln_idx.len())
+                .filter(|&row| top_preds.iter().all(|p| p[row]))
+                .count() as f64
+                / vuln_idx.len() as f64
+        };
+        (Some(agreement(&top_preds)), Some(rate))
+    } else {
+        (None, None)
+    };
+
+    AgreementStudy {
+        models: names,
+        f1,
+        overall,
+        on_vulnerable,
+        unanimous_detection_rate,
+        top3_on_vulnerable,
+        top3_detection_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_ml::pipeline::model_zoo;
+    use vulnman_ml::split::stratified_split;
+    use vulnman_synth::dataset::DatasetBuilder;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::tier::Tier;
+
+    #[test]
+    fn study_shape_holds_at_small_scale() {
+        // Heterogeneous models on a hard (real-world tier, multi-team)
+        // corpus: unanimity across all five should be much rarer than
+        // pairwise agreement, and top-3 should agree more than all-5.
+        let ds = DatasetBuilder::new(21)
+            .teams(StyleProfile::internal_teams())
+            .vulnerable_count(60)
+            .vulnerable_fraction(0.4)
+            .tier_mix(vec![(Tier::Curated, 1.0), (Tier::RealWorld, 2.0)])
+            .build();
+        let split = stratified_split(&ds, 0.4, 3);
+        let mut models = model_zoo(5);
+        let study =
+            run_agreement_study(&mut models, &split.train, &split.test, TrainingRegime::Disjoint);
+
+        assert_eq!(study.models.len(), 5);
+        assert!(study.unanimous_detection_rate <= study.top3_detection_rate.unwrap() + 1e-9);
+        assert!(study.on_vulnerable.unanimous_rate <= study.on_vulnerable.mean_pairwise + 1e-9);
+        assert!(study.overall.n_samples >= study.on_vulnerable.n_samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_model_rejected() {
+        let ds = DatasetBuilder::new(1).vulnerable_count(4).build();
+        let mut models = vec![model_zoo(1).remove(0)];
+        let _ = run_agreement_study(&mut models, &ds, &ds, TrainingRegime::Shared);
+    }
+}

@@ -1,0 +1,507 @@
+//! Data anonymization for industry→academia sharing (Future Direction
+//! Proposal 4).
+//!
+//! Industry will only share vulnerability corpora if "sharing codebases will
+//! not expose sensitive and identifying information"; academia needs the
+//! shared data to retain "as much of the original patterns and contexts of
+//! vulnerabilities". The [`Anonymizer`] implements three strength levels
+//! and the module provides a *privacy leakage* metric (identifying-token
+//! recall) so the utility/privacy trade-off can be measured (experiment
+//! E13).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use vulnman_lang::ast::{Expr, ExprKind, Function, LValue, Stmt, StmtKind};
+use vulnman_lang::{parse, print_program};
+use vulnman_synth::sample::{Artifacts, Sample};
+
+/// How aggressively to anonymize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Strength {
+    /// Rename local identifiers only; strings, comments, and artifacts kept.
+    Light,
+    /// Also redact string literals and drop comments/artifacts.
+    Standard,
+    /// Also rename unit-defined functions and bucket integer literals.
+    Aggressive,
+}
+
+/// Result of anonymizing one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anonymized {
+    /// The anonymized sample (source, target function, artifacts rewritten).
+    pub sample: Sample,
+    /// Mapping from original identifiers to their replacements.
+    pub name_map: HashMap<String, String>,
+}
+
+/// Identifier/tooling anonymizer.
+///
+/// Library functions (sources, sinks, sanitizers, runtime helpers) are
+/// *never* renamed — they are the shared vocabulary detectors and models
+/// need; renaming them would destroy exactly the "patterns and contexts"
+/// academia requires.
+#[derive(Debug, Clone, Copy)]
+pub struct Anonymizer {
+    strength: Strength,
+}
+
+impl Anonymizer {
+    /// Creates an anonymizer at the given strength.
+    pub fn new(strength: Strength) -> Self {
+        Anonymizer { strength }
+    }
+
+    /// The configured strength.
+    pub fn strength(&self) -> Strength {
+        self.strength
+    }
+
+    /// Anonymizes a sample. Returns `None` if the source does not parse.
+    pub fn anonymize(&self, sample: &Sample) -> Option<Anonymized> {
+        let mut program = parse(&sample.source).ok()?;
+        let mut name_map = HashMap::new();
+
+        // 1. Rename locals and parameters in every function.
+        for (fi, func) in program.functions.iter_mut().enumerate() {
+            rename_locals(func, fi, &mut name_map);
+            if self.strength >= Strength::Standard {
+                func.doc.clear();
+            }
+        }
+
+        // 2. Standard: redact string literals (shape-preserving).
+        if self.strength >= Strength::Standard {
+            for func in &mut program.functions {
+                for s in &mut func.body {
+                    rewrite_exprs(s, &mut |e| {
+                        if let ExprKind::Str(lit) = &mut e.kind {
+                            *lit = redact_string(lit);
+                        }
+                    });
+                }
+            }
+        }
+
+        // 3. Aggressive: rename unit-defined functions, bucket int literals.
+        // (Definition order, not set order, so renaming is deterministic.)
+        if self.strength >= Strength::Aggressive {
+            for (i, func) in program.functions.iter().enumerate() {
+                name_map.insert(func.name.clone(), format!("fn_{i}"));
+            }
+            for func in &mut program.functions {
+                if let Some(fresh) = name_map.get(&func.name) {
+                    func.name = fresh.clone();
+                }
+                for s in &mut func.body {
+                    rewrite_exprs(s, &mut |e| match &mut e.kind {
+                        ExprKind::Call(name, _) => {
+                            if let Some(fresh) = name_map.get(name.as_str()) {
+                                *name = fresh.clone();
+                            }
+                        }
+                        ExprKind::Int(v)
+                            // Bucket to the next power of two to hide exact
+                            // internal constants while keeping magnitude.
+                            if *v > 2 => {
+                                *v = (*v as u64).next_power_of_two() as i64;
+                            }
+                        _ => {}
+                    });
+                }
+            }
+        }
+
+        let mut out = sample.clone();
+        out.source = print_program(&program);
+        if let Some(fresh) = name_map.get(&sample.target_fn) {
+            out.target_fn = fresh.clone();
+        }
+        if self.strength >= Strength::Standard {
+            out.artifacts = Artifacts::default();
+            out.project = "redacted".to_string();
+            out.team = "redacted".to_string();
+        }
+        Some(Anonymized { sample: out, name_map })
+    }
+}
+
+fn rename_locals(func: &mut Function, salt: usize, name_map: &mut HashMap<String, String>) {
+    let mut local: HashMap<String, String> = HashMap::new();
+    for (i, p) in func.params.iter_mut().enumerate() {
+        let fresh = format!("arg{salt}_{i}");
+        local.insert(p.name.clone(), fresh.clone());
+        name_map.insert(p.name.clone(), fresh.clone());
+        p.name = fresh;
+    }
+    let mut counter = 0usize;
+    collect_decl_renames(&mut func.body, salt, &mut counter, &mut local, name_map);
+    for s in &mut func.body {
+        apply_renames(s, &local);
+    }
+}
+
+fn collect_decl_renames(
+    stmts: &mut [Stmt],
+    salt: usize,
+    counter: &mut usize,
+    local: &mut HashMap<String, String>,
+    global: &mut HashMap<String, String>,
+) {
+    for s in stmts {
+        match &mut s.kind {
+            StmtKind::Decl { name, .. } => {
+                *counter += 1;
+                let fresh = format!("var{salt}_{counter}");
+                local.insert(name.clone(), fresh.clone());
+                global.insert(name.clone(), fresh.clone());
+                *name = fresh;
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                collect_decl_renames(then_branch, salt, counter, local, global);
+                if let Some(e) = else_branch {
+                    collect_decl_renames(e, salt, counter, local, global);
+                }
+            }
+            StmtKind::While { body, .. } => {
+                collect_decl_renames(body, salt, counter, local, global)
+            }
+            StmtKind::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    collect_decl_renames(std::slice::from_mut(i.as_mut()), salt, counter, local, global);
+                }
+                if let Some(st) = step {
+                    collect_decl_renames(std::slice::from_mut(st.as_mut()), salt, counter, local, global);
+                }
+                collect_decl_renames(body, salt, counter, local, global);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn apply_renames(s: &mut Stmt, map: &HashMap<String, String>) {
+    let rename_var = |name: &mut String| {
+        if let Some(fresh) = map.get(name.as_str()) {
+            *name = fresh.clone();
+        }
+    };
+    match &mut s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                rename_in_expr(e, map);
+            }
+        }
+        StmtKind::Assign { target, value, .. } => {
+            match target {
+                LValue::Var(name) => rename_var(name),
+                LValue::Deref(e) => rename_in_expr(e, map),
+                LValue::Index(b, i) => {
+                    rename_in_expr(b, map);
+                    rename_in_expr(i, map);
+                }
+            }
+            rename_in_expr(value, map);
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            rename_in_expr(cond, map);
+            for t in then_branch {
+                apply_renames(t, map);
+            }
+            if let Some(e) = else_branch {
+                for t in e {
+                    apply_renames(t, map);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            rename_in_expr(cond, map);
+            for t in body {
+                apply_renames(t, map);
+            }
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                apply_renames(i, map);
+            }
+            if let Some(c) = cond {
+                rename_in_expr(c, map);
+            }
+            if let Some(st) = step {
+                apply_renames(st, map);
+            }
+            for t in body {
+                apply_renames(t, map);
+            }
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                rename_in_expr(e, map);
+            }
+        }
+        StmtKind::Expr(e) => rename_in_expr(e, map),
+        StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn rename_in_expr(e: &mut Expr, map: &HashMap<String, String>) {
+    match &mut e.kind {
+        ExprKind::Var(name) => {
+            if let Some(fresh) = map.get(name.as_str()) {
+                *name = fresh.clone();
+            }
+        }
+        ExprKind::Unary(_, inner) => rename_in_expr(inner, map),
+        ExprKind::Binary(_, l, r) => {
+            rename_in_expr(l, map);
+            rename_in_expr(r, map);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                rename_in_expr(a, map);
+            }
+        }
+        ExprKind::Index(b, i) => {
+            rename_in_expr(b, map);
+            rename_in_expr(i, map);
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_exprs(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    fn walk(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        match &mut e.kind {
+            ExprKind::Unary(_, inner) => walk(inner, f),
+            ExprKind::Binary(_, l, r) => {
+                walk(l, f);
+                walk(r, f);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::Index(b, i) => {
+                walk(b, f);
+                walk(i, f);
+            }
+            _ => {}
+        }
+        f(e);
+    }
+    match &mut s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                walk(e, f);
+            }
+        }
+        StmtKind::Assign { target, value, .. } => {
+            match target {
+                LValue::Var(_) => {}
+                LValue::Deref(e) => walk(e, f),
+                LValue::Index(b, i) => {
+                    walk(b, f);
+                    walk(i, f);
+                }
+            }
+            walk(value, f);
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            walk(cond, f);
+            for t in then_branch {
+                rewrite_exprs(t, f);
+            }
+            if let Some(e) = else_branch {
+                for t in e {
+                    rewrite_exprs(t, f);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            walk(cond, f);
+            for t in body {
+                rewrite_exprs(t, f);
+            }
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                rewrite_exprs(i, f);
+            }
+            if let Some(c) = cond {
+                walk(c, f);
+            }
+            if let Some(st) = step {
+                rewrite_exprs(st, f);
+            }
+            for t in body {
+                rewrite_exprs(t, f);
+            }
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                walk(e, f);
+            }
+        }
+        StmtKind::Expr(e) => walk(e, f),
+        StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+/// Shape-preserving string redaction: length class and character classes
+/// are kept, content is not.
+fn redact_string(s: &str) -> String {
+    if s.is_empty() {
+        return String::new();
+    }
+    if s.starts_with('/') {
+        return "/redacted/path/".to_string();
+    }
+    if s.contains(' ') {
+        return "redacted text".to_string();
+    }
+    let has_digit = s.chars().any(|c| c.is_ascii_digit());
+    if has_digit && s.len() >= 10 {
+        return "X0x0x0x0x0x0".to_string(); // keeps "secret-shaped" class
+    }
+    "redacted".to_string()
+}
+
+/// Privacy leakage: the fraction of a sample's *identifying tokens*
+/// (identifiers it declared plus its string literals) that survive verbatim
+/// in the anonymized output. 0.0 = fully private, 1.0 = fully identifying.
+pub fn identifier_leakage(original: &Sample, anonymized: &Sample) -> f64 {
+    let idents = identifying_tokens(&original.source);
+    if idents.is_empty() {
+        return 0.0;
+    }
+    let leaked = idents.iter().filter(|t| anonymized.source.contains(t.as_str())).count();
+    leaked as f64 / idents.len() as f64
+}
+
+/// The identifying tokens of a unit: declared variable/parameter/function
+/// names plus string-literal contents (library vocabulary excluded).
+fn identifying_tokens(source: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let Ok(program) = parse(source) else { return out };
+    for f in &program.functions {
+        out.insert(f.name.clone());
+        for p in &f.params {
+            out.insert(p.name.clone());
+        }
+        f.walk_stmts(&mut |s| {
+            if let StmtKind::Decl { name, .. } = &s.kind {
+                out.insert(name.clone());
+            }
+        });
+        f.walk_exprs(&mut |e| {
+            if let ExprKind::Str(lit) = &e.kind {
+                if lit.len() > 2 {
+                    out.insert(lit.clone());
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_analysis::detectors::RuleEngine;
+    use vulnman_synth::cwe::Cwe;
+    use vulnman_synth::generator::SampleGenerator;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::tier::Tier;
+
+    fn sample_pair() -> (Sample, Sample) {
+        let mut g = SampleGenerator::new(7, StyleProfile::mainstream());
+        g.vulnerable_pair(Cwe::SqlInjection, Tier::Curated, "payments/core")
+    }
+
+    #[test]
+    fn light_renames_locals_keeps_strings() {
+        let mut v = sample_pair().0;
+        v.source = r#"void handle_request() {
+    char* raw_user_id = http_param("user_id");
+    char* account_query = concat("SELECT plan FROM accounts WHERE id = ", raw_user_id);
+    exec_query(account_query);
+}
+"#
+        .to_string();
+        v.target_fn = "handle_request".into();
+        let a = Anonymizer::new(Strength::Light).anonymize(&v).unwrap();
+        vulnman_lang::parse(&a.sample.source).unwrap();
+        assert!(!a.name_map.is_empty());
+        // Strings survive at Light strength; local names do not.
+        assert!(a.sample.source.contains("SELECT plan"));
+        assert!(!a.sample.source.contains("raw_user_id"));
+        assert!(!a.sample.source.contains("account_query"));
+    }
+
+    #[test]
+    fn leakage_decreases_with_strength() {
+        let (v, _) = sample_pair();
+        let mut last = 1.0;
+        for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
+            let a = Anonymizer::new(strength).anonymize(&v).unwrap();
+            let leak = identifier_leakage(&v, &a.sample);
+            assert!(
+                leak <= last + 1e-9,
+                "{strength:?} leaked {leak} > previous {last}"
+            );
+            last = leak;
+        }
+        assert!(last < 0.1, "aggressive should leak almost nothing: {last}");
+    }
+
+    #[test]
+    fn vulnerability_pattern_survives_all_strengths() {
+        let engine = RuleEngine::default_suite();
+        for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
+            let (v, f) = sample_pair();
+            let av = Anonymizer::new(strength).anonymize(&v).unwrap();
+            let af = Anonymizer::new(strength).anonymize(&f).unwrap();
+            let fv = engine.scan_source(&av.sample.source).unwrap();
+            let ff = engine.scan_source(&af.sample.source).unwrap();
+            assert!(
+                fv.iter().any(|x| x.cwe == Cwe::SqlInjection),
+                "{strength:?}: flaw must survive\n{}",
+                av.sample.source
+            );
+            assert!(
+                ff.iter().all(|x| x.cwe != Cwe::SqlInjection),
+                "{strength:?}: fix must survive"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_strips_artifacts_and_org_info() {
+        let (v, _) = sample_pair();
+        let a = Anonymizer::new(Strength::Standard).anonymize(&v).unwrap();
+        assert!(a.sample.artifacts.commit_message.is_empty());
+        assert_eq!(a.sample.team, "redacted");
+        assert_eq!(a.sample.project, "redacted");
+    }
+
+    #[test]
+    fn aggressive_renames_functions_and_tracks_target() {
+        let (v, _) = sample_pair();
+        let a = Anonymizer::new(Strength::Aggressive).anonymize(&v).unwrap();
+        assert_ne!(a.sample.target_fn, v.target_fn);
+        assert!(a.sample.source.contains(&a.sample.target_fn));
+        vulnman_lang::parse(&a.sample.source).unwrap();
+    }
+
+    #[test]
+    fn secret_shape_class_preserved_under_redaction() {
+        let mut g = SampleGenerator::new(8, StyleProfile::mainstream());
+        let (v, _) = g.vulnerable_pair(Cwe::HardcodedCredentials, Tier::Simple, "p");
+        let a = Anonymizer::new(Strength::Standard).anonymize(&v).unwrap();
+        // The credential detector should still fire on the redacted secret.
+        let engine = RuleEngine::default_suite();
+        let fs = engine.scan_source(&a.sample.source).unwrap();
+        assert!(fs.iter().any(|x| x.cwe == Cwe::HardcodedCredentials), "{}", a.sample.source);
+    }
+}

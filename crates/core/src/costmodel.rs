@@ -1,0 +1,211 @@
+//! Financial model for vulnerability-management deployments.
+//!
+//! Gap Observation 3: "previous research works inadequately discuss
+//! [financial benefits] … such as computation power versus human resources."
+//! This module prices a detector deployment end to end: compute to scan,
+//! analyst time to triage findings (true *and* false), expert time to fix,
+//! and expected breach losses from misses — and derives the adoption
+//! break-even points Future Direction Proposal 3 calls for.
+
+use serde::{Deserialize, Serialize};
+use vulnman_ml::eval::Metrics;
+
+/// Unit costs for a deployment, in dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Fully loaded security-analyst cost per hour.
+    pub analyst_hourly_usd: f64,
+    /// Minutes an analyst spends triaging one flagged finding.
+    pub triage_minutes_per_finding: f64,
+    /// Expert hours to remediate one confirmed vulnerability.
+    pub fix_hours_per_vuln: f64,
+    /// Compute cost to scan one thousand samples.
+    pub compute_usd_per_1k_samples: f64,
+    /// Expected loss if one exploitable vulnerability ships (probability of
+    /// exploitation is folded in by the caller via exploitability priors).
+    pub breach_cost_usd: f64,
+    /// Mean exploitability of a shipped vulnerability in `[0, 1]`.
+    pub mean_exploitability: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            analyst_hourly_usd: 120.0,
+            triage_minutes_per_finding: 15.0,
+            fix_hours_per_vuln: 4.0,
+            compute_usd_per_1k_samples: 2.0,
+            breach_cost_usd: 250_000.0,
+            mean_exploitability: 0.25,
+        }
+    }
+}
+
+/// Priced outcome of a deployment over an evaluation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Analyst dollars spent triaging all flagged samples (TP + FP).
+    pub triage_cost: f64,
+    /// Expert dollars spent fixing confirmed vulnerabilities (TP).
+    pub fix_cost: f64,
+    /// Compute dollars for scanning.
+    pub compute_cost: f64,
+    /// Expected breach losses from missed vulnerabilities (FN).
+    pub missed_loss: f64,
+    /// Expected breach losses *prevented* by caught vulnerabilities (TP).
+    pub prevented_loss: f64,
+    /// Net value = prevented − (triage + fix + compute + missed).
+    pub net_value: f64,
+    /// False positives triaged per true positive.
+    pub fp_per_tp: f64,
+}
+
+/// Prices a deployment from its confusion-matrix outcome.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_core::costmodel::{price_deployment, CostParams};
+/// use vulnman_ml::eval::Metrics;
+/// let good = Metrics { tp: 50, fp: 10, tn: 900, fn_: 5 };
+/// let report = price_deployment(&good, &CostParams::default());
+/// assert!(report.net_value > 0.0);
+/// ```
+pub fn price_deployment(metrics: &Metrics, params: &CostParams) -> CostReport {
+    let flagged = (metrics.tp + metrics.fp) as f64;
+    let triage_cost =
+        flagged * params.triage_minutes_per_finding / 60.0 * params.analyst_hourly_usd;
+    let fix_cost = metrics.tp as f64 * params.fix_hours_per_vuln * params.analyst_hourly_usd;
+    let compute_cost = metrics.total() as f64 / 1000.0 * params.compute_usd_per_1k_samples;
+    let expected_breach = params.breach_cost_usd * params.mean_exploitability;
+    let missed_loss = metrics.fn_ as f64 * expected_breach;
+    let prevented_loss = metrics.tp as f64 * expected_breach;
+    let net_value = prevented_loss - triage_cost - fix_cost - compute_cost - missed_loss;
+    CostReport {
+        triage_cost,
+        fix_cost,
+        compute_cost,
+        missed_loss,
+        prevented_loss,
+        net_value,
+        fp_per_tp: metrics.fp_per_tp(),
+    }
+}
+
+/// The precision below which a deployment destroys value, holding recall
+/// fixed: solves `net_value = 0` over precision for a window with
+/// `n_vulnerable` true positives available.
+///
+/// Returns a value in `(0, 1]`; lower is more forgiving. Deployments whose
+/// precision falls below this threshold cost more in triage than the
+/// breaches they prevent are worth.
+pub fn break_even_precision(params: &CostParams, recall: f64) -> f64 {
+    // Per caught vuln: value = E[breach]; costs = fix + triage(TP) and
+    // triage of FP = triage_cost_per_finding * (1/p - 1) per TP.
+    let triage_per_finding =
+        params.triage_minutes_per_finding / 60.0 * params.analyst_hourly_usd;
+    let value_per_tp = params.breach_cost_usd * params.mean_exploitability
+        - params.fix_hours_per_vuln * params.analyst_hourly_usd
+        - triage_per_finding;
+    if value_per_tp <= 0.0 {
+        return 1.0; // never profitable
+    }
+    let _ = recall; // recall scales both sides; precision threshold is invariant
+    // value_per_tp = triage_per_finding * (1 - p) / p  =>  p = t / (v + t)
+    (triage_per_finding / (value_per_tp + triage_per_finding)).clamp(f64::MIN_POSITIVE, 1.0)
+}
+
+/// Sweeps class imbalance for a fixed per-class detector quality and prices
+/// each point — the paper's core financial argument that 50-50 benchmark
+/// results do not survive contact with realistic base rates.
+///
+/// `tpr`/`fpr` are the detector's per-sample true/false positive rates;
+/// `vulnerable_fraction` points are priced over a window of `n` samples.
+pub fn imbalance_sweep(
+    tpr: f64,
+    fpr: f64,
+    n: usize,
+    fractions: &[f64],
+    params: &CostParams,
+) -> Vec<(f64, Metrics, CostReport)> {
+    fractions
+        .iter()
+        .map(|&frac| {
+            let pos = (n as f64 * frac).round() as usize;
+            let neg = n - pos;
+            let tp = (pos as f64 * tpr).round() as usize;
+            let fp = (neg as f64 * fpr).round() as usize;
+            let m = Metrics { tp, fp, tn: neg - fp, fn_: pos - tp };
+            let r = price_deployment(&m, params);
+            (frac, m, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_precision_deployment_is_profitable() {
+        let m = Metrics { tp: 40, fp: 8, tn: 940, fn_: 12 };
+        let r = price_deployment(&m, &CostParams::default());
+        assert!(r.net_value > 0.0, "{r:?}");
+        assert!(r.prevented_loss > r.triage_cost);
+    }
+
+    #[test]
+    fn fp_flood_destroys_value() {
+        // Same recall, but 50 false positives per true positive at scale:
+        // triage burden should overwhelm prevented-breach value only when
+        // breach costs are modest.
+        let params = CostParams { breach_cost_usd: 10_000.0, ..CostParams::default() };
+        let m = Metrics { tp: 10, fp: 2000, tn: 90_000, fn_: 10 };
+        let r = price_deployment(&m, &params);
+        assert!(r.net_value < 0.0, "{r:?}");
+        assert!((r.fp_per_tp - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn net_value_identity() {
+        let m = Metrics { tp: 5, fp: 5, tn: 85, fn_: 5 };
+        let p = CostParams::default();
+        let r = price_deployment(&m, &p);
+        let recomputed =
+            r.prevented_loss - r.triage_cost - r.fix_cost - r.compute_cost - r.missed_loss;
+        assert!((r.net_value - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn break_even_precision_sane() {
+        let p = CostParams::default();
+        let be = break_even_precision(&p, 0.8);
+        assert!(be > 0.0 && be < 0.05, "rich breach costs tolerate many FPs: {be}");
+        // Cheap breaches demand much higher precision.
+        let stingy = CostParams {
+            breach_cost_usd: 2_000.0,
+            mean_exploitability: 0.1,
+            ..CostParams::default()
+        };
+        assert_eq!(break_even_precision(&stingy, 0.8), 1.0, "never profitable");
+    }
+
+    #[test]
+    fn imbalance_sweep_precision_collapses() {
+        let p = CostParams::default();
+        let pts = imbalance_sweep(0.9, 0.05, 100_000, &[0.5, 0.1, 0.01], &p);
+        let precisions: Vec<f64> = pts.iter().map(|(_, m, _)| m.precision()).collect();
+        assert!(precisions[0] > 0.9);
+        assert!(precisions[2] < 0.2, "precision at 1% base rate: {}", precisions[2]);
+        let fp_ratios: Vec<f64> = pts.iter().map(|(_, _, r)| r.fp_per_tp).collect();
+        assert!(fp_ratios[2] > 5.0, "≈10× FP per TP at realistic rates: {}", fp_ratios[2]);
+    }
+
+    #[test]
+    fn sweep_counts_consistent() {
+        let pts = imbalance_sweep(0.8, 0.02, 10_000, &[0.2], &CostParams::default());
+        let (_, m, _) = pts[0];
+        assert_eq!(m.total(), 10_000);
+        assert_eq!(m.tp + m.fn_, 2_000);
+    }
+}

@@ -1,0 +1,213 @@
+//! Team customization: security standards and fine-tuning orchestration
+//! (Gap Observation 2 / Future Direction Proposal 2).
+//!
+//! Industry needs models that "can be tailored to various products and
+//! scalable to adapt to different security standards across teams". This
+//! module models a team's `SecurityStandard` (which classes it treats as
+//! blocking, its custom sanitizer vocabulary) and orchestrates fine-tuning
+//! a generic model onto a team's codebase.
+
+use serde::{Deserialize, Serialize};
+use vulnman_lang::taint::TaintConfig;
+use vulnman_ml::eval::Metrics;
+use vulnman_ml::pipeline::DetectionModel;
+use vulnman_synth::cwe::Cwe;
+use vulnman_synth::dataset::Dataset;
+use vulnman_synth::style::StyleProfile;
+
+/// Severity a team assigns to a CWE class in its own standard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicySeverity {
+    /// Must be fixed before shipping.
+    Blocking,
+    /// Tracked with an SLA.
+    Tracked,
+    /// Accepted risk for this product.
+    Accepted,
+}
+
+/// A team's security standard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SecurityStandard {
+    /// Owning team.
+    pub team: String,
+    /// Per-class policy (unlisted classes default to `Tracked`).
+    pub policies: Vec<(Cwe, PolicySeverity)>,
+    /// Team-specific sanitizer function names (wrappers the taint engine
+    /// should trust).
+    pub custom_sanitizers: Vec<String>,
+}
+
+impl SecurityStandard {
+    /// A standard derived from a style profile: alias-prefix teams register
+    /// their wrapper sanitizers; vocabulary-appropriate classes block.
+    pub fn for_team(style: &StyleProfile) -> Self {
+        let custom_sanitizers = match &style.sanitizer_alias_prefix {
+            Some(prefix) => ["sql", "html", "path", "shell", "input"]
+                .iter()
+                .map(|tail| format!("{prefix}_clean_{tail}"))
+                .collect(),
+            None => Vec::new(),
+        };
+        // Backend-ish teams block injection; systems teams block memory.
+        let policies = match style.team.as_str() {
+            "kernel" => vec![
+                (Cwe::OutOfBoundsWrite, PolicySeverity::Blocking),
+                (Cwe::UseAfterFree, PolicySeverity::Blocking),
+                (Cwe::IntegerOverflow, PolicySeverity::Blocking),
+                (Cwe::SqlInjection, PolicySeverity::Accepted),
+                (Cwe::CrossSiteScripting, PolicySeverity::Accepted),
+            ],
+            _ => vec![
+                (Cwe::SqlInjection, PolicySeverity::Blocking),
+                (Cwe::CommandInjection, PolicySeverity::Blocking),
+                (Cwe::HardcodedCredentials, PolicySeverity::Blocking),
+                (Cwe::OutOfBoundsWrite, PolicySeverity::Tracked),
+            ],
+        };
+        SecurityStandard { team: style.team.clone(), policies, custom_sanitizers }
+    }
+
+    /// Policy for a class (`Tracked` when unlisted).
+    pub fn policy(&self, cwe: Cwe) -> PolicySeverity {
+        self.policies
+            .iter()
+            .find(|(c, _)| *c == cwe)
+            .map(|(_, p)| *p)
+            .unwrap_or(PolicySeverity::Tracked)
+    }
+
+    /// A taint configuration extended with the team's custom sanitizers —
+    /// how a rule-based tool is customized to a team in one line.
+    pub fn taint_config(&self) -> TaintConfig {
+        let mut cfg = TaintConfig::default_config();
+        for s in &self.custom_sanitizers {
+            cfg.add_sanitizer(s.clone());
+        }
+        cfg
+    }
+}
+
+/// Outcome of customizing a generic model to one team.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomizationOutcome {
+    /// Team the model was adapted to.
+    pub team: String,
+    /// Style distance from the generic training distribution.
+    pub style_distance: f64,
+    /// Generic model's metrics on the team's held-out code.
+    pub generic: Metrics,
+    /// Fine-tuned model's metrics on the same held-out code.
+    pub fine_tuned: Metrics,
+}
+
+impl CustomizationOutcome {
+    /// Absolute F1 lift from fine-tuning.
+    pub fn f1_lift(&self) -> f64 {
+        self.fine_tuned.f1() - self.generic.f1()
+    }
+}
+
+/// Fine-tunes `model` (already trained on a generic corpus) on
+/// `team_train`, evaluating on `team_test` before and after.
+///
+/// # Panics
+///
+/// Panics if the model is untrained or either dataset is empty.
+pub fn customize_to_team(
+    model: &mut DetectionModel,
+    team: &StyleProfile,
+    generic_distance: f64,
+    team_train: &Dataset,
+    team_test: &Dataset,
+) -> CustomizationOutcome {
+    assert!(model.is_trained(), "fine-tuning starts from a trained model");
+    assert!(!team_train.is_empty() && !team_test.is_empty(), "team data required");
+    let generic = model.evaluate(team_test);
+    model.fine_tune(team_train);
+    let fine_tuned = model.evaluate(team_test);
+    CustomizationOutcome {
+        team: team.team.clone(),
+        style_distance: generic_distance,
+        generic,
+        fine_tuned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_ml::pipeline::model_zoo;
+    use vulnman_ml::split::stratified_split;
+    use vulnman_synth::dataset::DatasetBuilder;
+    use vulnman_synth::tier::Tier;
+
+    #[test]
+    fn standards_differ_by_team() {
+        let teams = StyleProfile::internal_teams();
+        let kernel = SecurityStandard::for_team(&teams[2]);
+        let payments = SecurityStandard::for_team(&teams[0]);
+        assert_eq!(kernel.policy(Cwe::UseAfterFree), PolicySeverity::Blocking);
+        assert_eq!(kernel.policy(Cwe::SqlInjection), PolicySeverity::Accepted);
+        assert_eq!(payments.policy(Cwe::SqlInjection), PolicySeverity::Blocking);
+        assert_eq!(payments.policy(Cwe::RaceCondition), PolicySeverity::Tracked);
+    }
+
+    #[test]
+    fn alias_team_standard_registers_wrappers() {
+        let media = &StyleProfile::internal_teams()[1];
+        let std_ = SecurityStandard::for_team(media);
+        assert!(std_.custom_sanitizers.contains(&"mi_clean_sql".to_string()));
+        let cfg = std_.taint_config();
+        assert!(cfg.is_sanitizer("mi_clean_sql"));
+        assert!(cfg.is_sanitizer("escape_sql"), "defaults retained");
+    }
+
+    #[test]
+    fn fine_tuning_improves_on_divergent_team() {
+        // Generic corpus: mainstream style. Target team: kernel (max
+        // divergence: short names, aliased sanitizers, heavy wrapping).
+        // The team backlog is injection-heavy with hard negatives, the
+        // regime where sanitizer-vocabulary adaptation matters most.
+        use vulnman_synth::cwe::CweDistribution;
+        let generic = DatasetBuilder::new(31).vulnerable_count(150).build();
+        let team_style = StyleProfile::internal_teams()[2].clone();
+        let injection_heavy = CweDistribution::new(vec![
+            (Cwe::SqlInjection, 3.0),
+            (Cwe::CommandInjection, 2.0),
+            (Cwe::CrossSiteScripting, 2.0),
+            (Cwe::PathTraversal, 2.0),
+            (Cwe::FormatString, 1.0),
+        ]);
+        let team_ds = DatasetBuilder::new(32)
+            .teams(vec![team_style.clone()])
+            .vulnerable_count(250)
+            .cwe_distribution(injection_heavy)
+            .hard_negative_fraction(0.7)
+            .tier_mix(vec![(Tier::Curated, 1.0)])
+            .build();
+        let team_split = stratified_split(&team_ds, 0.4, 5);
+
+        let mut model = model_zoo(3).remove(0); // token-lr: style-sensitive
+        model.train(&generic);
+        let distance = StyleProfile::mainstream().distance(&team_style);
+        let outcome =
+            customize_to_team(&mut model, &team_style, distance, &team_split.train, &team_split.test);
+        assert!(
+            outcome.f1_lift() > 0.05,
+            "fine-tuning should lift F1 substantially: generic={:.2} tuned={:.2}",
+            outcome.generic.f1(),
+            outcome.fine_tuned.f1()
+        );
+        assert!(outcome.style_distance > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "trained model")]
+    fn untrained_model_rejected() {
+        let ds = DatasetBuilder::new(1).vulnerable_count(4).build();
+        let mut model = model_zoo(1).remove(0);
+        let style = StyleProfile::mainstream();
+        let _ = customize_to_team(&mut model, &style, 0.0, &ds, &ds);
+    }
+}

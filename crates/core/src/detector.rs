@@ -1,0 +1,413 @@
+//! Unified detector abstraction over rule-based tools and ML models.
+//!
+//! Gap Observation 2 stresses that adopted models must "integrate seamlessly
+//! with existing tools": this module gives the workflow engine one interface
+//! over both worlds, with per-CWE scoping so specialized tools can be
+//! composed the way industry actually deploys them ("each tool selected is
+//! often specialized to address certain vulnerabilities").
+
+use serde::{Deserialize, Serialize};
+use vulnman_analysis::detectors::RuleEngine;
+use vulnman_analysis::finding::Finding;
+use vulnman_ml::pipeline::DetectionModel;
+use vulnman_synth::cwe::Cwe;
+use vulnman_synth::sample::Sample;
+
+/// Verdict of one detector on one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Whether the detector believes the sample is vulnerable.
+    pub vulnerable: bool,
+    /// Confidence score in `[0, 1]` when available.
+    pub score: f64,
+    /// Structured findings (rule-based detectors only).
+    pub findings: Vec<Finding>,
+    /// Name of the detector that produced this assessment.
+    pub detector: String,
+}
+
+/// A vulnerability detector usable by the workflow engine.
+pub trait Detector: Send + Sync {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// CWE classes this detector is scoped to (`None` = general-purpose).
+    fn scope(&self) -> Option<Vec<Cwe>> {
+        None
+    }
+
+    /// Assesses one sample.
+    fn assess(&self, sample: &Sample) -> Assessment;
+}
+
+/// Adapter: the rule-based suite as a [`Detector`].
+#[derive(Debug)]
+pub struct RuleBasedDetector {
+    engine: RuleEngine,
+    name: String,
+}
+
+impl RuleBasedDetector {
+    /// Wraps the default industry rule suite.
+    pub fn standard() -> Self {
+        RuleBasedDetector { engine: RuleEngine::default_suite(), name: "rule-suite".into() }
+    }
+
+    /// Wraps a custom engine under a display name.
+    pub fn new(name: impl Into<String>, engine: RuleEngine) -> Self {
+        RuleBasedDetector { engine, name: name.into() }
+    }
+}
+
+impl Detector for RuleBasedDetector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn assess(&self, sample: &Sample) -> Assessment {
+        let findings = self.engine.scan_source(&sample.source).unwrap_or_default();
+        // The unit is flagged when its function of interest is implicated;
+        // findings in shared helpers count too if nothing is in the target.
+        let vulnerable = !findings.is_empty();
+        Assessment {
+            vulnerable,
+            score: if vulnerable { 1.0 } else { 0.0 },
+            findings,
+            detector: self.name.clone(),
+        }
+    }
+}
+
+/// Adapter making a [`RuleEngine`] usable as feature input for ML models
+/// (see [`vulnman_ml::features::ToolAugmentedFeatures`]): the "learning from
+/// existing tool ecosystems" integration of Future Direction Proposal 2.
+#[derive(Debug)]
+pub struct RuleEngineToolSuite {
+    engine: RuleEngine,
+}
+
+impl RuleEngineToolSuite {
+    /// Wraps the default industry suite.
+    pub fn standard() -> Self {
+        RuleEngineToolSuite { engine: RuleEngine::default_suite() }
+    }
+
+    /// Wraps a custom engine.
+    pub fn new(engine: RuleEngine) -> Self {
+        RuleEngineToolSuite { engine }
+    }
+}
+
+impl vulnman_ml::features::ToolSuite for RuleEngineToolSuite {
+    fn scan_counts(&self, source: &str) -> Vec<(u32, f64)> {
+        self.engine
+            .scan_source(source)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|f| {
+                let confidence = match f.confidence {
+                    vulnman_analysis::Confidence::High => 1.0,
+                    vulnman_analysis::Confidence::Medium => 0.7,
+                    vulnman_analysis::Confidence::Low => 0.4,
+                };
+                (f.cwe.id(), confidence)
+            })
+            .collect()
+    }
+}
+
+/// A ready-made tool-augmented detection model: code tokens + the rule
+/// suite's verdicts feeding one classifier.
+pub fn tool_augmented_model(seed: u64) -> vulnman_ml::pipeline::DetectionModel {
+    use vulnman_ml::features::{ComposedFeatures, TokenNgramFeatures, ToolAugmentedFeatures};
+    let features = ComposedFeatures::new(vec![
+        Box::new(TokenNgramFeatures::new(256)),
+        Box::new(ToolAugmentedFeatures::new(Box::new(RuleEngineToolSuite::standard()))),
+    ]);
+    let dim = vulnman_ml::features::FeatureExtractor::dim(&features);
+    vulnman_ml::pipeline::DetectionModel::new(
+        "token+tools-lr",
+        Box::new(features),
+        Box::new(vulnman_ml::linear::LogisticRegression::new(dim, seed ^ 0x55)),
+    )
+}
+
+/// Adapter: a trained ML model as a [`Detector`].
+pub struct MlDetector {
+    model: DetectionModel,
+    scope: Option<Vec<Cwe>>,
+}
+
+impl std::fmt::Debug for MlDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlDetector")
+            .field("model", &self.model.name())
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+impl MlDetector {
+    /// Wraps a trained model as a general-purpose detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has not been trained.
+    pub fn new(model: DetectionModel) -> Self {
+        assert!(model.is_trained(), "MlDetector requires a trained model");
+        MlDetector { model, scope: None }
+    }
+
+    /// Wraps a trained model scoped to specific CWE classes (a *specialized*
+    /// model in the sense of Future Direction Proposal 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has not been trained.
+    pub fn specialized(model: DetectionModel, scope: Vec<Cwe>) -> Self {
+        assert!(model.is_trained(), "MlDetector requires a trained model");
+        MlDetector { model, scope: Some(scope) }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DetectionModel {
+        &self.model
+    }
+}
+
+impl Detector for MlDetector {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn scope(&self) -> Option<Vec<Cwe>> {
+        self.scope.clone()
+    }
+
+    fn assess(&self, sample: &Sample) -> Assessment {
+        let score = self.model.predict_proba(sample);
+        Assessment {
+            vulnerable: score >= 0.5,
+            score,
+            findings: Vec::new(),
+            detector: self.model.name().to_string(),
+        }
+    }
+}
+
+/// How a registry combines multiple detector verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum CombinePolicy {
+    /// Flag when any detector flags (maximum recall, industry default for
+    /// high-severity classes).
+    #[default]
+    Any,
+    /// Flag when a strict majority flags (suppresses disagreement noise).
+    Majority,
+}
+
+/// A registry of detectors the assessment stage runs.
+#[derive(Default)]
+pub struct DetectorRegistry {
+    detectors: Vec<Box<dyn Detector>>,
+    policy: CombinePolicy,
+}
+
+
+impl std::fmt::Debug for DetectorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorRegistry")
+            .field("detectors", &self.detectors.iter().map(|d| d.name().to_string()).collect::<Vec<_>>())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl DetectorRegistry {
+    /// Creates an empty registry with the [`CombinePolicy::Any`] policy.
+    pub fn new() -> Self {
+        DetectorRegistry::default()
+    }
+
+    /// Sets the combination policy.
+    pub fn with_policy(mut self, policy: CombinePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Registers a detector.
+    pub fn register(&mut self, d: Box<dyn Detector>) -> &mut Self {
+        self.detectors.push(d);
+        self
+    }
+
+    /// Number of registered detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Returns `true` if no detectors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Names of registered detectors.
+    pub fn names(&self) -> Vec<String> {
+        self.detectors.iter().map(|d| d.name().to_string()).collect()
+    }
+
+    /// Runs every *applicable* detector (scope matching the sample's CWE
+    /// when the sample declares one; unscoped detectors always run).
+    pub fn assess_all(&self, sample: &Sample) -> Vec<Assessment> {
+        self.detectors
+            .iter()
+            .filter(|d| match (d.scope(), sample.cwe) {
+                (Some(scope), Some(cwe)) => scope.contains(&cwe),
+                (Some(_), None) => true, // scoped tools still scan unknown code
+                (None, _) => true,
+            })
+            .map(|d| d.assess(sample))
+            .collect()
+    }
+
+    /// Combined verdict under the registry policy, along with the individual
+    /// assessments.
+    pub fn verdict(&self, sample: &Sample) -> (bool, Vec<Assessment>) {
+        let assessments = self.assess_all(sample);
+        let positive = assessments.iter().filter(|a| a.vulnerable).count();
+        let flagged = match self.policy {
+            CombinePolicy::Any => positive > 0,
+            CombinePolicy::Majority => positive * 2 > assessments.len(),
+        };
+        (flagged, assessments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_ml::pipeline::model_zoo;
+    use vulnman_ml::split::stratified_split;
+    use vulnman_synth::dataset::DatasetBuilder;
+    use vulnman_synth::generator::SampleGenerator;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::tier::Tier;
+
+    #[test]
+    fn rule_detector_flags_vulnerable_sample() {
+        let mut g = SampleGenerator::new(1, StyleProfile::mainstream());
+        let (v, f) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Simple, "p");
+        let d = RuleBasedDetector::standard();
+        assert!(d.assess(&v).vulnerable);
+        assert!(!d.assess(&f).vulnerable);
+        assert!(!d.assess(&v).findings.is_empty());
+    }
+
+    #[test]
+    fn ml_detector_requires_training() {
+        let result = std::panic::catch_unwind(|| {
+            let model = model_zoo(1).remove(0);
+            MlDetector::new(model)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn registry_policies_differ() {
+        struct Fixed(bool, &'static str);
+        impl Detector for Fixed {
+            fn name(&self) -> &str {
+                self.1
+            }
+            fn assess(&self, _: &Sample) -> Assessment {
+                Assessment {
+                    vulnerable: self.0,
+                    score: if self.0 { 1.0 } else { 0.0 },
+                    findings: vec![],
+                    detector: self.1.into(),
+                }
+            }
+        }
+        let mut g = SampleGenerator::new(2, StyleProfile::mainstream());
+        let sample = g.benign(Tier::Simple, "p");
+
+        let mut any = DetectorRegistry::new();
+        any.register(Box::new(Fixed(true, "a")));
+        any.register(Box::new(Fixed(false, "b")));
+        any.register(Box::new(Fixed(false, "c")));
+        assert!(any.verdict(&sample).0);
+
+        let mut majority = DetectorRegistry::new().with_policy(CombinePolicy::Majority);
+        majority.register(Box::new(Fixed(true, "a")));
+        majority.register(Box::new(Fixed(false, "b")));
+        majority.register(Box::new(Fixed(false, "c")));
+        assert!(!majority.verdict(&sample).0);
+    }
+
+    #[test]
+    fn scoped_detector_skipped_for_other_classes() {
+        struct AlwaysYes;
+        impl Detector for AlwaysYes {
+            fn name(&self) -> &str {
+                "yes"
+            }
+            fn scope(&self) -> Option<Vec<Cwe>> {
+                Some(vec![Cwe::SqlInjection])
+            }
+            fn assess(&self, _: &Sample) -> Assessment {
+                Assessment { vulnerable: true, score: 1.0, findings: vec![], detector: "yes".into() }
+            }
+        }
+        let mut g = SampleGenerator::new(3, StyleProfile::mainstream());
+        let (uaf, _) = g.vulnerable_pair(Cwe::UseAfterFree, Tier::Simple, "p");
+        let (sql, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Simple, "p");
+        let mut r = DetectorRegistry::new();
+        r.register(Box::new(AlwaysYes));
+        assert!(r.assess_all(&uaf).is_empty(), "UAF sample is out of scope");
+        assert_eq!(r.assess_all(&sql).len(), 1);
+    }
+
+    #[test]
+    fn tool_augmented_model_beats_code_only_on_hard_data() {
+        use vulnman_synth::tier::Tier;
+        let ds = DatasetBuilder::new(41)
+            .teams(vec![StyleProfile::mainstream()])
+            .vulnerable_count(120)
+            .vulnerable_fraction(0.4)
+            .tier_mix(vec![(Tier::RealWorld, 1.0)])
+            .build();
+        let split = stratified_split(&ds, 0.35, 3);
+        let mut code_only = model_zoo(21).remove(0);
+        let mut augmented = tool_augmented_model(21);
+        code_only.train(&split.train);
+        augmented.train(&split.train);
+        let f_code = code_only.evaluate(&split.test).f1();
+        let f_aug = augmented.evaluate(&split.test).f1();
+        assert!(
+            f_aug > f_code,
+            "tool ecosystem knowledge should lift the model: {f_aug} vs {f_code}"
+        );
+    }
+
+    #[test]
+    fn trained_ml_detector_integrates() {
+        let ds = DatasetBuilder::new(4).vulnerable_count(40).build();
+        let split = stratified_split(&ds, 0.3, 1);
+        let mut model = model_zoo(2).remove(2); // graph-rf
+        model.train(&split.train);
+        let d = MlDetector::new(model);
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(d));
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        assert_eq!(registry.len(), 2);
+        let hits = split
+            .test
+            .iter()
+            .filter(|s| s.label)
+            .filter(|s| registry.verdict(s).0)
+            .count();
+        let total = split.test.iter().filter(|s| s.label).count();
+        assert!(hits * 10 >= total * 8, "combined registry should catch most: {hits}/{total}");
+    }
+}

@@ -1,0 +1,217 @@
+//! The workflow feedback loop (the paper's declared future work).
+//!
+//! §V: "We leave the discussion on additional components and tools of
+//! security vulnerability management (e.g., **feedback loop**, vulnerability
+//! prioritization, fuzzing techniques, etc.) as our future work." This
+//! module implements that loop: every triaged case the workflow produces —
+//! confirmed vulnerabilities, dismissed false alarms, reviewed-clean changes
+//! — becomes labeled training data, and the deployed model is periodically
+//! fine-tuned on it.
+//!
+//! The harvested labels are *workflow outcomes, not ground truth*: a
+//! vulnerability the analyst misses is recorded as benign, so the loop
+//! carries realistic label noise proportional to `1 − analyst_skill`.
+
+use crate::workflow::{WorkflowEngine, WorkflowReport};
+use serde::{Deserialize, Serialize};
+use vulnman_ml::pipeline::DetectionModel;
+use vulnman_synth::dataset::Dataset;
+use vulnman_synth::sample::Sample;
+
+/// Labels harvested from one workflow run: every case an analyst or tool
+/// actually adjudicated, labeled by the *adjudication*, not the oracle.
+pub fn harvest_labels(samples: &[Sample], report: &WorkflowReport) -> Dataset {
+    let mut out = Dataset::new();
+    for case in &report.cases {
+        // Unadjudicated changes yield no supervision.
+        if !case.manually_reviewed && !case.auto_flagged {
+            continue;
+        }
+        let Some(sample) = samples.iter().find(|s| s.id == case.sample_id) else { continue };
+        let mut labeled = sample.clone();
+        // The workflow's belief: confirmed (repaired) → vulnerable;
+        // triaged without confirmation → benign. Analyst misses therefore
+        // become false "benign" labels — the loop's inherent noise.
+        labeled.observed_label = case.repaired_via.is_some();
+        out.push(labeled);
+    }
+    out
+}
+
+/// Trace of a feedback-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackTrace {
+    /// Standalone model F1 on the held-out evaluation set, measured before
+    /// any feedback and after each batch.
+    pub model_f1: Vec<f64>,
+    /// Labels harvested per batch.
+    pub harvested_per_batch: Vec<usize>,
+    /// Fraction of harvested labels that disagree with ground truth,
+    /// per batch (the loop's label noise).
+    pub harvest_noise: Vec<f64>,
+}
+
+impl FeedbackTrace {
+    /// F1 before any feedback.
+    pub fn initial_f1(&self) -> f64 {
+        *self.model_f1.first().expect("measured before batches")
+    }
+
+    /// F1 after the final batch.
+    pub fn final_f1(&self) -> f64 {
+        *self.model_f1.last().expect("measured after batches")
+    }
+}
+
+/// Runs the feedback loop: streams `batches` through the workflow, harvests
+/// adjudicated labels after each, fine-tunes `model` on them, and tracks the
+/// model's standalone quality on `eval`.
+///
+/// The engine should include the model being tuned (via
+/// `MlDetector`) *and* the incumbent tools — the loop then distils the whole
+/// ecosystem's adjudications into the model. For simplicity the engine is
+/// reconstructed by the caller each round via the `make_engine` closure
+/// (registries own their detectors).
+///
+/// # Panics
+///
+/// Panics if `batches` or `eval` is empty, or the model is untrained.
+pub fn run_feedback_loop(
+    model: &mut DetectionModel,
+    make_engine: impl Fn(&DetectionModel) -> WorkflowEngine,
+    batches: &[Dataset],
+    eval: &Dataset,
+) -> FeedbackTrace {
+    assert!(!batches.is_empty(), "need at least one batch");
+    assert!(!eval.is_empty(), "need an evaluation set");
+    assert!(model.is_trained(), "loop starts from a deployed model");
+    let mut trace = FeedbackTrace {
+        model_f1: vec![model.evaluate(eval).f1()],
+        harvested_per_batch: Vec::new(),
+        harvest_noise: Vec::new(),
+    };
+    for batch in batches {
+        let engine = make_engine(model);
+        let report = engine.process(batch.samples());
+        let harvested = harvest_labels(batch.samples(), &report);
+        trace.harvested_per_batch.push(harvested.len());
+        trace.harvest_noise.push(harvested.mislabel_rate());
+        if !harvested.is_empty() {
+            model.fine_tune(&harvested);
+        }
+        trace.model_f1.push(model.evaluate(eval).f1());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorRegistry, MlDetector, RuleBasedDetector};
+    use crate::workflow::WorkflowConfig;
+    use vulnman_ml::pipeline::model_zoo;
+    use vulnman_ml::split::stratified_split;
+    use vulnman_synth::cwe::{Cwe, CweDistribution};
+    use vulnman_synth::dataset::DatasetBuilder;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::tier::Tier;
+
+    fn team_batches(n_batches: usize, per_batch: usize) -> (Vec<Dataset>, Dataset) {
+        let team = StyleProfile::internal_teams()[2].clone();
+        let injection = CweDistribution::new(vec![
+            (Cwe::SqlInjection, 2.0),
+            (Cwe::CommandInjection, 1.0),
+            (Cwe::PathTraversal, 1.0),
+            (Cwe::OutOfBoundsWrite, 1.0),
+        ]);
+        let full = DatasetBuilder::new(88)
+            .teams(vec![team])
+            .vulnerable_count(per_batch * n_batches + 60)
+            .vulnerable_fraction(0.35)
+            .cwe_distribution(injection)
+            .hard_negative_fraction(0.7)
+            .tier_mix(vec![(Tier::Curated, 1.0)])
+            .build();
+        let split = stratified_split(&full, 0.25, 9);
+        let shuffled = split.train.shuffled(4);
+        let mut batches = vec![Dataset::new(); n_batches];
+        for (i, s) in shuffled.iter().enumerate() {
+            batches[i % n_batches].push(s.clone());
+        }
+        (batches, split.test)
+    }
+
+    fn make_engine(model: &DetectionModel) -> WorkflowEngine {
+        // Registries own detectors: clone-by-retrain is not possible for
+        // arbitrary classifiers, so register the rules plus a *snapshot*
+        // model trained on the same seen-data via the public API.
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        let mut snapshot = model_zoo(71).remove(0);
+        // Cheap snapshot: train on the model's own predictions is not
+        // available; the rules carry adjudication, the tuned model is
+        // evaluated standalone. (The ML detector in the loop engine would
+        // only add recall; rules alone keep the test deterministic.)
+        let tiny = DatasetBuilder::new(5).vulnerable_count(8).build();
+        snapshot.train(&tiny);
+        registry.register(Box::new(MlDetector::new(snapshot)));
+        let _ = model;
+        WorkflowEngine::new(registry, WorkflowConfig::default())
+    }
+
+    #[test]
+    fn feedback_loop_improves_the_deployed_model() {
+        let (batches, eval) = team_batches(4, 60);
+        // Deployed model: trained on a generic mainstream corpus only.
+        let generic = DatasetBuilder::new(6).vulnerable_count(120).build();
+        let mut model = model_zoo(51).remove(0);
+        model.train(&generic);
+        let trace = run_feedback_loop(&mut model, make_engine, &batches, &eval);
+        assert_eq!(trace.model_f1.len(), 5);
+        assert!(
+            trace.final_f1() > trace.initial_f1() + 0.03,
+            "feedback should adapt the model: {:?}",
+            trace.model_f1
+        );
+        assert!(trace.harvested_per_batch.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn harvested_labels_come_from_adjudication_not_oracle() {
+        let (batches, _) = team_batches(1, 40);
+        let engine = make_engine(&{
+            let mut m = model_zoo(1).remove(0);
+            m.train(&DatasetBuilder::new(7).vulnerable_count(10).build());
+            m
+        });
+        let report = engine.process(batches[0].samples());
+        let harvested = harvest_labels(batches[0].samples(), &report);
+        // Only adjudicated cases are harvested.
+        assert!(harvested.len() <= batches[0].len());
+        // Labels equal the workflow's repair decisions.
+        for s in harvested.iter() {
+            let case = report.cases.iter().find(|c| c.sample_id == s.id).expect("case");
+            assert_eq!(s.observed_label, case.repaired_via.is_some());
+        }
+    }
+
+    #[test]
+    fn harvest_noise_tracks_analyst_misses() {
+        let (batches, _) = team_batches(1, 60);
+        let mk = |skill: f64| {
+            let mut registry = DetectorRegistry::new();
+            registry.register(Box::new(RuleBasedDetector::standard()));
+            WorkflowEngine::new(
+                registry,
+                WorkflowConfig { analyst_skill: skill, ..WorkflowConfig::default() },
+            )
+        };
+        // The rule suite catches nearly everything on this corpus, so force
+        // the question onto review by comparing analyst skill extremes on
+        // the *reviewed-unflagged* population: lower skill cannot produce
+        // *less* noise.
+        let perfect = harvest_labels(batches[0].samples(), &mk(1.0).process(batches[0].samples()));
+        let sloppy = harvest_labels(batches[0].samples(), &mk(0.1).process(batches[0].samples()));
+        assert!(sloppy.mislabel_rate() >= perfect.mislabel_rate());
+    }
+}

@@ -1,0 +1,255 @@
+//! Security SFT (supervised fine-tuning) dataset construction.
+//!
+//! Section II-B of the paper: "constructing security SFT datasets also
+//! presents an appealing opportunity … SFT datasets can be utilized in
+//! various scenarios, such as significantly enhancing the prediction quality
+//! of LLM models." This module harvests instruction/response pairs from the
+//! workflow's own artifacts — detection findings, verified auto-fixes, and
+//! analyst review traces — with full provenance, mirroring the paper's
+//! "wider view of vulnerabilities" point (industry traces carry analyst
+//! strategy, not just code pairs).
+
+use crate::workflow::WorkflowReport;
+use serde::{Deserialize, Serialize};
+use vulnman_analysis::detectors::RuleEngine;
+use vulnman_synth::sample::Sample;
+
+/// Task family of an SFT pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SftTask {
+    /// "Is this code vulnerable? Explain."
+    Detect,
+    /// "Fix this vulnerability."
+    Repair,
+    /// "Review this change as a security analyst."
+    Review,
+}
+
+/// Where a pair's supervision came from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Detector finding (tool name recorded).
+    DetectorFinding(String),
+    /// Verified auto-fix patch from the workflow.
+    VerifiedAutoFix,
+    /// Matched vulnerable/fixed pair from version history.
+    FixCommitPair,
+    /// Analyst review note.
+    AnalystNote,
+}
+
+/// One instruction/response pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SftPair {
+    /// Task family.
+    pub task: SftTask,
+    /// Instruction shown to the model.
+    pub instruction: String,
+    /// Target response.
+    pub response: String,
+    /// Supervision source.
+    pub provenance: Provenance,
+    /// Originating sample id.
+    pub sample_id: u64,
+}
+
+/// A collected SFT dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SftDataset {
+    pairs: Vec<SftPair>,
+}
+
+impl SftDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        SftDataset::default()
+    }
+
+    /// The pairs in harvest order.
+    pub fn pairs(&self) -> &[SftPair] {
+        &self.pairs
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` when no pairs were harvested.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Count per task family.
+    pub fn task_counts(&self) -> std::collections::HashMap<SftTask, usize> {
+        let mut h = std::collections::HashMap::new();
+        for p in &self.pairs {
+            *h.entry(p.task).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Serializes to JSON-lines (one pair per line).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error if a pair cannot be encoded (should not
+    /// happen for well-formed pairs).
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = String::new();
+        for p in &self.pairs {
+            out.push_str(&serde_json::to_string(p)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+/// Harvests SFT pairs from samples and a finished workflow run.
+///
+/// * Every ground-truth labeled sample yields a **Detect** pair whose
+///   response cites the concrete detector findings when available.
+/// * Every verified auto-fix patch yields a **Repair** pair (broken →
+///   patched).
+/// * Samples with analyst notes or review comments yield **Review** pairs.
+pub fn harvest(samples: &[Sample], report: &WorkflowReport) -> SftDataset {
+    let engine = RuleEngine::default_suite();
+    let mut ds = SftDataset::new();
+    for sample in samples {
+        // Detect pairs.
+        let findings = engine.scan_source(&sample.source).unwrap_or_default();
+        let response = if sample.label {
+            let detail = findings
+                .iter()
+                .map(|f| format!("- {} at line {}: {}", f.cwe, f.line(), f.message))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let cwe = sample
+                .cwe
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "an unclassified flaw".to_string());
+            if detail.is_empty() {
+                format!("Vulnerable: the function `{}` contains {cwe}.", sample.target_fn)
+            } else {
+                format!(
+                    "Vulnerable: the function `{}` contains {cwe}.\nEvidence:\n{detail}",
+                    sample.target_fn
+                )
+            }
+        } else {
+            "Not vulnerable: no exploitable flaw in this unit.".to_string()
+        };
+        let provenance = findings
+            .first()
+            .map(|f| Provenance::DetectorFinding(f.detector.clone()))
+            .unwrap_or(Provenance::FixCommitPair);
+        ds.pairs.push(SftPair {
+            task: SftTask::Detect,
+            instruction: format!(
+                "Audit the following code for security vulnerabilities:\n\n{}",
+                sample.source
+            ),
+            response,
+            provenance,
+            sample_id: sample.id,
+        });
+
+        // Review pairs from analyst traces.
+        if let Some(note) = &sample.artifacts.analyst_note {
+            ds.pairs.push(SftPair {
+                task: SftTask::Review,
+                instruction: format!(
+                    "As a security analyst, review this change:\n\n{}",
+                    sample.source
+                ),
+                response: note.clone(),
+                provenance: Provenance::AnalystNote,
+                sample_id: sample.id,
+            });
+        }
+    }
+
+    // Repair pairs from verified workflow patches.
+    for case in &report.cases {
+        if let Some(patched) = &case.patched_source {
+            if let Some(sample) = samples.iter().find(|s| s.id == case.sample_id) {
+                ds.pairs.push(SftPair {
+                    task: SftTask::Repair,
+                    instruction: format!(
+                        "Fix the security vulnerability in this code:\n\n{}",
+                        sample.source
+                    ),
+                    response: patched.clone(),
+                    provenance: Provenance::VerifiedAutoFix,
+                    sample_id: sample.id,
+                });
+            }
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorRegistry, RuleBasedDetector};
+    use crate::workflow::{WorkflowConfig, WorkflowEngine};
+    use vulnman_synth::dataset::DatasetBuilder;
+
+    fn run() -> (Vec<Sample>, WorkflowReport) {
+        let samples = DatasetBuilder::new(17)
+            .vulnerable_count(12)
+            .vulnerable_fraction(0.5)
+            .build()
+            .samples()
+            .to_vec();
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        let engine = WorkflowEngine::new(registry, WorkflowConfig::default());
+        let report = engine.process(&samples);
+        (samples, report)
+    }
+
+    #[test]
+    fn harvest_produces_all_task_families() {
+        let (samples, report) = run();
+        let ds = harvest(&samples, &report);
+        let counts = ds.task_counts();
+        assert_eq!(counts[&SftTask::Detect], samples.len());
+        assert!(counts.get(&SftTask::Repair).copied().unwrap_or(0) > 0, "{counts:?}");
+        assert!(counts.get(&SftTask::Review).copied().unwrap_or(0) > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn detect_pairs_cite_evidence() {
+        let (samples, report) = run();
+        let ds = harvest(&samples, &report);
+        let vuln_detect = ds
+            .pairs()
+            .iter()
+            .find(|p| p.task == SftTask::Detect && p.response.starts_with("Vulnerable"))
+            .expect("vulnerable detect pair");
+        assert!(vuln_detect.response.contains("CWE-"), "{}", vuln_detect.response);
+    }
+
+    #[test]
+    fn repair_pairs_come_from_verified_patches() {
+        let (samples, report) = run();
+        let ds = harvest(&samples, &report);
+        for p in ds.pairs().iter().filter(|p| p.task == SftTask::Repair) {
+            assert_eq!(p.provenance, Provenance::VerifiedAutoFix);
+            vulnman_lang::parse(&p.response).expect("patched response parses");
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let (samples, report) = run();
+        let ds = harvest(&samples, &report);
+        let jsonl = ds.to_jsonl().unwrap();
+        let n = jsonl.lines().count();
+        assert_eq!(n, ds.len());
+        let first: SftPair = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(&first, &ds.pairs()[0]);
+    }
+}

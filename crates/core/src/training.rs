@@ -1,0 +1,190 @@
+//! Security-training program simulation (Figure 1's "Security Training"
+//! box and experiment E16).
+//!
+//! The paper: "the key reason of introducing security flaws during software
+//! development is a lack of awareness … [AI-based training] has demonstrated
+//! effectiveness to prevent security problems (e.g., phishing attacks)".
+//! Developers carry an awareness level; periodic training raises it with
+//! diminishing returns while it decays between sessions; the vulnerability
+//! *introduction* rate falls accordingly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A simulated developer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Developer {
+    /// Developer id.
+    pub id: u32,
+    /// Security awareness in `[0, 1]`.
+    pub awareness: f64,
+}
+
+/// Training-program parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Base probability an untrained developer introduces a flaw per change.
+    pub base_introduction_rate: f64,
+    /// Maximum reduction factor full awareness achieves (e.g. 0.7 → a fully
+    /// aware developer introduces 70% fewer flaws).
+    pub max_reduction: f64,
+    /// Awareness gained per session, scaled by remaining headroom
+    /// (diminishing returns).
+    pub session_gain: f64,
+    /// Weekly awareness decay factor.
+    pub weekly_decay: f64,
+    /// Weeks between training sessions (`0` disables training).
+    pub cadence_weeks: usize,
+    /// Whether the training is AI-personalized (targets each developer's
+    /// weakest areas: larger effective gain at low awareness).
+    pub personalized: bool,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            base_introduction_rate: 0.12,
+            max_reduction: 0.7,
+            session_gain: 0.35,
+            weekly_decay: 0.985,
+            cadence_weeks: 4,
+            personalized: false,
+        }
+    }
+}
+
+/// Weekly trace of a program run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingTrace {
+    /// Mean awareness per week.
+    pub mean_awareness: Vec<f64>,
+    /// Observed flaw-introduction rate per week.
+    pub introduction_rate: Vec<f64>,
+    /// Weeks in which a session ran.
+    pub session_weeks: Vec<usize>,
+}
+
+impl TrainingTrace {
+    /// Introduction rate averaged over the final quarter of the run
+    /// (steady-state estimate).
+    pub fn steady_state_rate(&self) -> f64 {
+        let n = self.introduction_rate.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.introduction_rate[n - (n / 4).max(1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Simulates `weeks` of development with `n_devs` developers making
+/// `changes_per_week` changes each.
+pub fn simulate(
+    config: &TrainingConfig,
+    n_devs: usize,
+    weeks: usize,
+    changes_per_week: usize,
+    seed: u64,
+) -> TrainingTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut devs: Vec<Developer> = (0..n_devs)
+        .map(|id| Developer { id: id as u32, awareness: rng.gen_range(0.0..0.3) })
+        .collect();
+    let mut trace = TrainingTrace {
+        mean_awareness: Vec::with_capacity(weeks),
+        introduction_rate: Vec::with_capacity(weeks),
+        session_weeks: Vec::new(),
+    };
+    for week in 0..weeks {
+        // Training session?
+        if config.cadence_weeks > 0 && week % config.cadence_weeks == 0 {
+            trace.session_weeks.push(week);
+            for d in &mut devs {
+                let headroom = 1.0 - d.awareness;
+                let gain = if config.personalized {
+                    // Personalized curricula target each developer's weakest
+                    // areas, so the per-session gain strictly dominates the
+                    // generic curriculum at every awareness level.
+                    config.session_gain * headroom * (1.5 - 0.5 * headroom) + 0.05 * headroom
+                } else {
+                    config.session_gain * headroom
+                };
+                d.awareness = (d.awareness + gain).min(1.0);
+            }
+        }
+        // Development activity.
+        let mut flaws = 0usize;
+        let mut changes = 0usize;
+        for d in &mut devs {
+            let rate =
+                config.base_introduction_rate * (1.0 - config.max_reduction * d.awareness);
+            for _ in 0..changes_per_week {
+                changes += 1;
+                if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                    flaws += 1;
+                }
+            }
+            d.awareness *= config.weekly_decay;
+        }
+        trace.mean_awareness.push(devs.iter().map(|d| d.awareness).sum::<f64>() / n_devs as f64);
+        trace.introduction_rate.push(flaws as f64 / changes.max(1) as f64);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_reduces_introduction_rate() {
+        let trained = simulate(&TrainingConfig::default(), 40, 52, 25, 3);
+        let untrained = simulate(
+            &TrainingConfig { cadence_weeks: 0, ..TrainingConfig::default() },
+            40,
+            52,
+            25,
+            3,
+        );
+        assert!(
+            trained.steady_state_rate() < untrained.steady_state_rate() * 0.7,
+            "trained {} vs untrained {}",
+            trained.steady_state_rate(),
+            untrained.steady_state_rate()
+        );
+    }
+
+    #[test]
+    fn personalized_training_beats_generic() {
+        let base = TrainingConfig::default();
+        let generic = simulate(&base, 40, 52, 25, 5);
+        let personal = simulate(&TrainingConfig { personalized: true, ..base }, 40, 52, 25, 5);
+        assert!(personal.steady_state_rate() <= generic.steady_state_rate());
+        let ga = generic.mean_awareness.last().unwrap();
+        let pa = personal.mean_awareness.last().unwrap();
+        assert!(pa > ga, "personalized awareness {pa} should exceed generic {ga}");
+    }
+
+    #[test]
+    fn awareness_decays_without_sessions() {
+        let cfg = TrainingConfig { cadence_weeks: 0, ..TrainingConfig::default() };
+        let t = simulate(&cfg, 20, 30, 10, 1);
+        assert!(t.session_weeks.is_empty());
+        assert!(t.mean_awareness.first().unwrap() > t.mean_awareness.last().unwrap());
+    }
+
+    #[test]
+    fn cadence_recorded() {
+        let t = simulate(&TrainingConfig::default(), 10, 12, 5, 2);
+        assert_eq!(t.session_weeks, vec![0, 4, 8]);
+        assert_eq!(t.mean_awareness.len(), 12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate(&TrainingConfig::default(), 10, 10, 5, 9);
+        let b = simulate(&TrainingConfig::default(), 10, 10, 5, 9);
+        assert_eq!(a, b);
+    }
+}

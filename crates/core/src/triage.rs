@@ -1,0 +1,266 @@
+//! Vulnerability prioritization: the triage queue (the paper's second
+//! deferred component, §V: "feedback loop, **vulnerability prioritization**,
+//! fuzzing techniques … as our future work").
+//!
+//! Findings enter the queue scored by the threat model
+//! ([`vulnman_analysis::severity`]) and classified by the owning team's
+//! [`PolicySeverity`](crate::customize::PolicySeverity); the queue serves
+//! them in `(policy, priority)` order and tracks SLA compliance in simulated
+//! days.
+
+use crate::customize::PolicySeverity;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use vulnman_analysis::severity::ScoredFinding;
+
+/// SLA deadlines in days per policy class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaPolicy {
+    /// Days allowed for `Blocking` findings.
+    pub blocking_days: f64,
+    /// Days allowed for `Tracked` findings.
+    pub tracked_days: f64,
+}
+
+impl Default for SlaPolicy {
+    fn default() -> Self {
+        SlaPolicy { blocking_days: 7.0, tracked_days: 90.0 }
+    }
+}
+
+impl SlaPolicy {
+    /// Deadline for a policy class; `None` for accepted risk.
+    pub fn deadline(&self, policy: PolicySeverity) -> Option<f64> {
+        match policy {
+            PolicySeverity::Blocking => Some(self.blocking_days),
+            PolicySeverity::Tracked => Some(self.tracked_days),
+            PolicySeverity::Accepted => None,
+        }
+    }
+}
+
+/// A queued triage item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriageItem {
+    /// The scored finding.
+    pub finding: ScoredFinding,
+    /// The owning team's policy for this class.
+    pub policy: PolicySeverity,
+    /// Arrival time in days since epoch.
+    pub arrived_day: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Ranked(TriageItem);
+
+impl Eq for Ranked {}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Blocking before Tracked before Accepted; then priority desc;
+        // then earliest arrival (FIFO among equals).
+        let class = |p: PolicySeverity| match p {
+            PolicySeverity::Blocking => 0u8,
+            PolicySeverity::Tracked => 1,
+            PolicySeverity::Accepted => 2,
+        };
+        class(other.0.policy)
+            .cmp(&class(self.0.policy))
+            .then(
+                self.0
+                    .finding
+                    .priority
+                    .partial_cmp(&other.0.finding.priority)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(
+                other
+                    .0
+                    .arrived_day
+                    .partial_cmp(&self.0.arrived_day)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A served item with its outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServedItem {
+    /// The item.
+    pub item: TriageItem,
+    /// Day it was remediated.
+    pub served_day: f64,
+    /// Whether the SLA (if any) was met.
+    pub sla_met: Option<bool>,
+}
+
+/// The prioritized remediation queue.
+#[derive(Debug, Default)]
+pub struct TriageQueue {
+    heap: BinaryHeap<Ranked>,
+    sla: SlaPolicy,
+}
+
+impl TriageQueue {
+    /// Creates an empty queue with default SLAs.
+    pub fn new() -> Self {
+        TriageQueue::default()
+    }
+
+    /// Creates a queue with explicit SLAs.
+    pub fn with_sla(sla: SlaPolicy) -> Self {
+        TriageQueue { heap: BinaryHeap::new(), sla }
+    }
+
+    /// Enqueues a finding.
+    pub fn push(&mut self, finding: ScoredFinding, policy: PolicySeverity, arrived_day: f64) {
+        self.heap.push(Ranked(TriageItem { finding, policy, arrived_day }));
+    }
+
+    /// Items waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Serves the highest-ranked item at `day`, recording SLA compliance.
+    pub fn serve(&mut self, day: f64) -> Option<ServedItem> {
+        let Ranked(item) = self.heap.pop()?;
+        let sla_met = self
+            .sla
+            .deadline(item.policy)
+            .map(|deadline| day - item.arrived_day <= deadline);
+        Some(ServedItem { item, served_day: day, sla_met })
+    }
+
+    /// Simulates steady operation: serves `per_day` items per day for
+    /// `days`, returning everything served (in service order) plus the
+    /// backlog left behind.
+    pub fn drain_simulation(mut self, per_day: usize, days: usize) -> (Vec<ServedItem>, usize) {
+        let mut served = Vec::new();
+        for day in 0..days {
+            for _ in 0..per_day {
+                match self.serve(day as f64) {
+                    Some(s) => served.push(s),
+                    None => break,
+                }
+            }
+        }
+        let backlog = self.len();
+        (served, backlog)
+    }
+}
+
+/// SLA compliance summary of a service trace.
+pub fn sla_compliance(served: &[ServedItem]) -> f64 {
+    let with_sla: Vec<&ServedItem> = served.iter().filter(|s| s.sla_met.is_some()).collect();
+    if with_sla.is_empty() {
+        return 1.0;
+    }
+    with_sla.iter().filter(|s| s.sla_met == Some(true)).count() as f64 / with_sla.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_analysis::finding::{Confidence, Finding};
+    use vulnman_analysis::reachability::Surface;
+    use vulnman_analysis::severity::score;
+    use vulnman_synth::cwe::Cwe;
+
+    fn scored(cwe: Cwe, surface: Surface) -> ScoredFinding {
+        score(
+            Finding {
+                cwe,
+                function: "f".into(),
+                span: vulnman_lang::Span::dummy(),
+                detector: "t".into(),
+                message: String::new(),
+                confidence: Confidence::High,
+            },
+            surface,
+        )
+    }
+
+    #[test]
+    fn blocking_served_before_higher_priority_tracked() {
+        let mut q = TriageQueue::new();
+        // Tracked command injection (very high priority score)…
+        q.push(scored(Cwe::CommandInjection, Surface::ZeroClick), PolicySeverity::Tracked, 0.0);
+        // …must still wait behind a Blocking null deref (low score).
+        q.push(scored(Cwe::NullDereference, Surface::Local), PolicySeverity::Blocking, 0.0);
+        let first = q.serve(0.0).unwrap();
+        assert_eq!(first.item.policy, PolicySeverity::Blocking);
+        assert_eq!(first.item.finding.finding.cwe, Cwe::NullDereference);
+    }
+
+    #[test]
+    fn priority_orders_within_class() {
+        let mut q = TriageQueue::new();
+        q.push(scored(Cwe::RaceCondition, Surface::Local), PolicySeverity::Tracked, 0.0);
+        q.push(scored(Cwe::CommandInjection, Surface::ZeroClick), PolicySeverity::Tracked, 0.0);
+        assert_eq!(q.serve(0.0).unwrap().item.finding.finding.cwe, Cwe::CommandInjection);
+        assert_eq!(q.serve(0.0).unwrap().item.finding.finding.cwe, Cwe::RaceCondition);
+    }
+
+    #[test]
+    fn fifo_among_equals() {
+        let mut q = TriageQueue::new();
+        let a = scored(Cwe::SqlInjection, Surface::ZeroClick);
+        q.push(a.clone(), PolicySeverity::Blocking, 1.0);
+        q.push(a, PolicySeverity::Blocking, 0.0);
+        assert_eq!(q.serve(2.0).unwrap().item.arrived_day, 0.0);
+    }
+
+    #[test]
+    fn sla_tracking() {
+        let mut q = TriageQueue::with_sla(SlaPolicy { blocking_days: 2.0, tracked_days: 10.0 });
+        q.push(scored(Cwe::SqlInjection, Surface::ZeroClick), PolicySeverity::Blocking, 0.0);
+        q.push(scored(Cwe::SqlInjection, Surface::ZeroClick), PolicySeverity::Blocking, 0.0);
+        q.push(scored(Cwe::SqlInjection, Surface::ZeroClick), PolicySeverity::Accepted, 0.0);
+        let on_time = q.serve(1.0).unwrap();
+        assert_eq!(on_time.sla_met, Some(true));
+        let late = q.serve(5.0).unwrap();
+        assert_eq!(late.sla_met, Some(false));
+        let accepted = q.serve(100.0).unwrap();
+        assert_eq!(accepted.sla_met, None, "accepted risk has no SLA");
+    }
+
+    #[test]
+    fn drain_simulation_respects_capacity_and_reports_backlog() {
+        let mut q = TriageQueue::new();
+        for day in 0..10 {
+            q.push(
+                scored(Cwe::SqlInjection, Surface::ZeroClick),
+                PolicySeverity::Blocking,
+                day as f64,
+            );
+        }
+        let (served, backlog) = q.drain_simulation(2, 3);
+        assert_eq!(served.len(), 6);
+        assert_eq!(backlog, 4);
+        let compliance = sla_compliance(&served);
+        assert!(compliance > 0.9, "{compliance}");
+    }
+
+    #[test]
+    fn overloaded_queue_breaches_slas() {
+        let mut q = TriageQueue::with_sla(SlaPolicy { blocking_days: 1.0, tracked_days: 5.0 });
+        for _ in 0..50 {
+            q.push(scored(Cwe::SqlInjection, Surface::ZeroClick), PolicySeverity::Blocking, 0.0);
+        }
+        let (served, backlog) = q.drain_simulation(2, 10);
+        assert_eq!(backlog, 30);
+        assert!(sla_compliance(&served) < 0.3, "{}", sla_compliance(&served));
+    }
+}

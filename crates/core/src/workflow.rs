@@ -1,0 +1,629 @@
+//! The industry security-vulnerability-management workflow of Figure 1.
+//!
+//! Pipeline per the paper: **Vulnerability Assessment** (automated detection
+//! → threat-model/reachability gating → manual security review) feeding
+//! **Vulnerability Repair** (auto-fix → AI suggestion → expert
+//! recommendation), with **Security Training** closing the loop. The engine
+//! runs either sequentially or as a staged concurrent pipeline over
+//! crossbeam channels (one worker per Figure-1 box).
+
+use crate::costmodel::{CostParams, CostReport};
+use crate::detector::DetectorRegistry;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vulnman_analysis::autofix::AutoFixer;
+use vulnman_analysis::detectors::RuleEngine;
+use vulnman_analysis::reachability::{CallGraph, Surface};
+use vulnman_ml::eval::Metrics;
+use vulnman_synth::sample::Sample;
+
+/// Tunables for the workflow engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowConfig {
+    /// Probability a manual reviewer catches a real vulnerability the
+    /// automated stage missed.
+    pub analyst_skill: f64,
+    /// Minutes per manual review.
+    pub review_minutes: f64,
+    /// Minutes to verify one AI repair suggestion (the paper's concern:
+    /// "the engineering effort required to verify these recommendations").
+    pub suggestion_verify_minutes: f64,
+    /// Expert hours per hand-written fix.
+    pub expert_fix_hours: f64,
+    /// Deterministic seed for review outcomes.
+    pub seed: u64,
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        WorkflowConfig {
+            analyst_skill: 0.85,
+            review_minutes: 30.0,
+            suggestion_verify_minutes: 10.0,
+            expert_fix_hours: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// How a confirmed vulnerability was remediated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairChannel {
+    /// Mechanical rule-based patch (verified by re-scan).
+    AutoFix,
+    /// AI-suggested patch accepted after verification.
+    AiSuggestion,
+    /// Security expert wrote the fix.
+    Expert,
+}
+
+/// One traced decision for one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseOutcome {
+    /// Sample id.
+    pub sample_id: u64,
+    /// Ground truth.
+    pub truly_vulnerable: bool,
+    /// Flagged by the automated assessment stage.
+    pub auto_flagged: bool,
+    /// Attack-surface classification of the unit's entry function.
+    pub surface: Surface,
+    /// Went through manual security review.
+    pub manually_reviewed: bool,
+    /// Caught by the manual reviewer (implies `manually_reviewed`).
+    pub review_catch: bool,
+    /// Repair channel used, when remediated.
+    pub repaired_via: Option<RepairChannel>,
+    /// The remediated source, when a patch was produced and verified.
+    pub patched_source: Option<String>,
+}
+
+impl CaseOutcome {
+    /// Whether the vulnerability was detected by any stage.
+    pub fn detected(&self) -> bool {
+        self.auto_flagged || self.review_catch
+    }
+}
+
+/// Aggregate result of a workflow run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorkflowReport {
+    /// Per-sample outcomes, in submission order.
+    pub cases: Vec<CaseOutcome>,
+    /// Total analyst minutes consumed (review + suggestion verification).
+    pub analyst_minutes: f64,
+    /// Total expert hours consumed writing fixes.
+    pub expert_hours: f64,
+    /// Counts per repair channel.
+    pub auto_fixed: usize,
+    /// AI suggestions accepted.
+    pub ai_fixed: usize,
+    /// Expert-written fixes.
+    pub expert_fixed: usize,
+    /// Vulnerable samples that escaped every stage.
+    pub escaped: usize,
+    /// Manual reviews skipped because the review budget ran out
+    /// (capacity-limited runs only).
+    pub reviews_skipped: usize,
+}
+
+impl WorkflowReport {
+    /// Detection confusion matrix (detected-by-any-stage vs ground truth).
+    pub fn detection_metrics(&self) -> Metrics {
+        let pred: Vec<bool> = self.cases.iter().map(|c| c.detected()).collect();
+        let truth: Vec<bool> = self.cases.iter().map(|c| c.truly_vulnerable).collect();
+        Metrics::from_predictions(&pred, &truth)
+    }
+
+    /// Prices the run under a cost model (adds workflow labour to the
+    /// confusion-matrix pricing).
+    pub fn price(&self, params: &CostParams) -> CostReport {
+        let mut r = crate::costmodel::price_deployment(&self.detection_metrics(), params);
+        let labour = self.analyst_minutes / 60.0 * params.analyst_hourly_usd
+            + self.expert_hours * params.analyst_hourly_usd;
+        r.triage_cost += labour;
+        r.net_value -= labour;
+        r
+    }
+
+    /// Fraction of manual reviews among all cases.
+    pub fn review_rate(&self) -> f64 {
+        if self.cases.is_empty() {
+            0.0
+        } else {
+            self.cases.iter().filter(|c| c.manually_reviewed).count() as f64
+                / self.cases.len() as f64
+        }
+    }
+}
+
+/// The Figure-1 workflow engine.
+pub struct WorkflowEngine {
+    registry: DetectorRegistry,
+    fixer: AutoFixer,
+    verifier: RuleEngine,
+    config: WorkflowConfig,
+}
+
+impl std::fmt::Debug for WorkflowEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowEngine")
+            .field("registry", &self.registry)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl WorkflowEngine {
+    /// Creates an engine over a detector registry.
+    pub fn new(registry: DetectorRegistry, config: WorkflowConfig) -> Self {
+        WorkflowEngine {
+            registry,
+            fixer: AutoFixer::new(),
+            verifier: RuleEngine::default_suite(),
+            config,
+        }
+    }
+
+    /// The registered detectors.
+    pub fn registry(&self) -> &DetectorRegistry {
+        &self.registry
+    }
+
+    /// Processes a batch sequentially (deterministic reference execution).
+    pub fn process(&self, samples: &[Sample]) -> WorkflowReport {
+        let mut report = WorkflowReport::default();
+        for s in samples {
+            let outcome = self.process_one(s, &mut report);
+            report.cases.push(outcome);
+        }
+        report
+    }
+
+    /// Processes a batch under a finite manual-review budget, allocating
+    /// reviews by threat-model priority: zero-click surfaces first, then
+    /// one-click, then flagged-but-local — the "scalability and
+    /// prioritization" requirement of Gap Observation 1. With an unlimited
+    /// budget this matches [`WorkflowEngine::process`] exactly.
+    pub fn process_with_capacity(&self, samples: &[Sample], budget_minutes: f64) -> WorkflowReport {
+        let mut report = WorkflowReport::default();
+        // Phase 1: automated assessment + threat model for every change.
+        let assessed: Vec<(usize, bool, Surface)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (flagged, _) = self.registry.verdict(s);
+                (i, flagged, classify_surface(s))
+            })
+            .collect();
+        // Phase 2: allocate the review budget by priority.
+        let mut candidates: Vec<&(usize, bool, Surface)> = assessed
+            .iter()
+            .filter(|(_, flagged, surface)| surface.requires_manual_review() || *flagged)
+            .collect();
+        candidates.sort_by_key(|(i, flagged, surface)| (*surface, !*flagged, *i));
+        let mut remaining = budget_minutes;
+        let mut reviewed_set = std::collections::HashSet::new();
+        for (i, _, _) in &candidates {
+            if remaining >= self.config.review_minutes {
+                remaining -= self.config.review_minutes;
+                report.analyst_minutes += self.config.review_minutes;
+                reviewed_set.insert(*i);
+            } else {
+                report.reviews_skipped += 1;
+            }
+        }
+        // Phase 3: review outcomes + repair, per sample in submission order.
+        for (i, flagged, surface) in assessed {
+            let sample = &samples[i];
+            let reviewed = reviewed_set.contains(&i);
+            let catch =
+                reviewed && sample.label && hash_unit(sample.id ^ self.config.seed) < self.config.analyst_skill;
+            let mut outcome = CaseOutcome {
+                sample_id: sample.id,
+                truly_vulnerable: sample.label,
+                auto_flagged: flagged,
+                surface,
+                manually_reviewed: reviewed,
+                review_catch: catch,
+                repaired_via: None,
+                patched_source: None,
+            };
+            if outcome.detected() && sample.label {
+                let (channel_used, patched, analyst_min, expert_h) =
+                    repair(sample, &self.fixer, &self.verifier, &self.config);
+                report.analyst_minutes += analyst_min;
+                report.expert_hours += expert_h;
+                match channel_used {
+                    RepairChannel::AutoFix => report.auto_fixed += 1,
+                    RepairChannel::AiSuggestion => report.ai_fixed += 1,
+                    RepairChannel::Expert => report.expert_fixed += 1,
+                }
+                outcome.repaired_via = Some(channel_used);
+                outcome.patched_source = patched;
+            } else if sample.label {
+                report.escaped += 1;
+            }
+            report.cases.push(outcome);
+        }
+        report
+    }
+
+    /// Processes a batch through a staged concurrent pipeline: assessment,
+    /// threat-model/review, and repair each run on their own worker thread,
+    /// connected by bounded crossbeam channels (back-pressure included).
+    ///
+    /// The report is identical to [`WorkflowEngine::process`] — per-sample
+    /// decisions are seeded by sample id, not arrival order.
+    pub fn process_pipelined(&self, samples: &[Sample]) -> WorkflowReport {
+        let (tx_in, rx_assess) = channel::bounded::<Sample>(64);
+        let (tx_assess, rx_review) = channel::bounded::<(Sample, bool, Surface)>(64);
+        let (tx_review, rx_repair) = channel::bounded::<(Sample, bool, Surface, bool, bool)>(64);
+        let report = Arc::new(Mutex::new(WorkflowReport::default()));
+
+        std::thread::scope(|scope| {
+            // Stage 1: automated vulnerability detection + threat model.
+            let registry = &self.registry;
+            scope.spawn(move || {
+                for sample in rx_assess {
+                    let (flagged, _) = registry.verdict(&sample);
+                    let surface = classify_surface(&sample);
+                    if tx_assess.send((sample, flagged, surface)).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // Stage 2: manual security review (gated by surface).
+            let config = self.config;
+            let report2 = Arc::clone(&report);
+            scope.spawn(move || {
+                for (sample, flagged, surface) in rx_review {
+                    let (reviewed, catch, minutes) =
+                        manual_review(&sample, flagged, surface, &config);
+                    if minutes > 0.0 {
+                        report2.lock().analyst_minutes += minutes;
+                    }
+                    if tx_review.send((sample, flagged, surface, reviewed, catch)).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // Stage 3: repair routing.
+            let report3 = Arc::clone(&report);
+            let fixer = &self.fixer;
+            let verifier = &self.verifier;
+            scope.spawn(move || {
+                for (sample, flagged, surface, reviewed, catch) in rx_repair {
+                    let mut outcome = CaseOutcome {
+                        sample_id: sample.id,
+                        truly_vulnerable: sample.label,
+                        auto_flagged: flagged,
+                        surface,
+                        manually_reviewed: reviewed,
+                        review_catch: catch,
+                        repaired_via: None,
+                        patched_source: None,
+                    };
+                    let mut guard = report3.lock();
+                    if outcome.detected() && sample.label {
+                        let (channel_used, patched, analyst_min, expert_h) =
+                            repair(&sample, fixer, verifier, &config);
+                        guard.analyst_minutes += analyst_min;
+                        guard.expert_hours += expert_h;
+                        match channel_used {
+                            RepairChannel::AutoFix => guard.auto_fixed += 1,
+                            RepairChannel::AiSuggestion => guard.ai_fixed += 1,
+                            RepairChannel::Expert => guard.expert_fixed += 1,
+                        }
+                        outcome.repaired_via = Some(channel_used);
+                        outcome.patched_source = patched;
+                    } else if sample.label {
+                        guard.escaped += 1;
+                    }
+                    guard.cases.push(outcome);
+                }
+            });
+
+            for s in samples {
+                tx_in.send(s.clone()).expect("pipeline input");
+            }
+            drop(tx_in);
+        });
+
+        let mut report = Arc::try_unwrap(report).expect("pipeline done").into_inner();
+        report.cases.sort_by_key(|c| {
+            samples.iter().position(|s| s.id == c.sample_id).unwrap_or(usize::MAX)
+        });
+        report
+    }
+
+    fn process_one(&self, sample: &Sample, report: &mut WorkflowReport) -> CaseOutcome {
+        // Stage 1: automated detection (Figure 1, "Vulnerability Detection").
+        let (flagged, _assessments) = self.registry.verdict(sample);
+        // Threat modeling / reachability analysis.
+        let surface = classify_surface(sample);
+        // Stage 2: manual security review for exposed surfaces.
+        let (reviewed, catch, minutes) = manual_review(sample, flagged, surface, &self.config);
+        report.analyst_minutes += minutes;
+
+        let mut outcome = CaseOutcome {
+            sample_id: sample.id,
+            truly_vulnerable: sample.label,
+            auto_flagged: flagged,
+            surface,
+            manually_reviewed: reviewed,
+            review_catch: catch,
+            repaired_via: None,
+            patched_source: None,
+        };
+
+        // Stage 3: repair (only real, detected vulnerabilities get patched;
+        // false alarms burn triage time, which manual_review accounted for).
+        if outcome.detected() && sample.label {
+            let (channel_used, patched, analyst_min, expert_h) =
+                repair(sample, &self.fixer, &self.verifier, &self.config);
+            report.analyst_minutes += analyst_min;
+            report.expert_hours += expert_h;
+            match channel_used {
+                RepairChannel::AutoFix => report.auto_fixed += 1,
+                RepairChannel::AiSuggestion => report.ai_fixed += 1,
+                RepairChannel::Expert => report.expert_fixed += 1,
+            }
+            outcome.repaired_via = Some(channel_used);
+            outcome.patched_source = patched;
+        } else if sample.label {
+            report.escaped += 1;
+        }
+        outcome
+    }
+}
+
+/// Threat-model stage: surface of the sample's unit (most exposed function).
+fn classify_surface(sample: &Sample) -> Surface {
+    match vulnman_lang::parse(&sample.source) {
+        Ok(program) => {
+            let graph = CallGraph::build(&program);
+            graph
+                .surfaces()
+                .into_values()
+                .min() // ZeroClick < OneClick < Local
+                .unwrap_or(Surface::Local)
+        }
+        Err(_) => Surface::Local,
+    }
+}
+
+/// Manual-review stage. Returns `(reviewed, caught, analyst_minutes)`.
+fn manual_review(
+    sample: &Sample,
+    auto_flagged: bool,
+    surface: Surface,
+    config: &WorkflowConfig,
+) -> (bool, bool, f64) {
+    // Figure 1: zero/one-click surfaces trigger manual review; flagged
+    // samples are triaged regardless.
+    let reviewed = surface.requires_manual_review() || auto_flagged;
+    if !reviewed {
+        return (false, false, 0.0);
+    }
+    let minutes = config.review_minutes;
+    // Deterministic pseudo-random analyst outcome per sample.
+    let catch = sample.label && hash_unit(sample.id ^ config.seed) < config.analyst_skill;
+    (true, catch, minutes)
+}
+
+/// Repair stage: auto-fix → AI suggestion → expert.
+/// Returns `(channel, patched_source, analyst_minutes, expert_hours)`.
+fn repair(
+    sample: &Sample,
+    fixer: &AutoFixer,
+    verifier: &RuleEngine,
+    config: &WorkflowConfig,
+) -> (RepairChannel, Option<String>, f64, f64) {
+    if let Some(cwe) = sample.cwe {
+        if AutoFixer::supports(cwe) {
+            if let Some(patched) = fixer.fix_source(&sample.source, cwe) {
+                let clean = verifier
+                    .scan_source(&patched)
+                    .map(|fs| fs.iter().all(|f| f.cwe != cwe))
+                    .unwrap_or(false);
+                if clean {
+                    return (RepairChannel::AutoFix, Some(patched), 0.0, 0.0);
+                }
+            }
+        }
+        // AI suggestion: plausible for the remaining mechanical-ish classes,
+        // but costs verification time and is rejected when wrong.
+        let suggestion_ok = hash_unit(sample.id.wrapping_mul(31) ^ config.seed) < 0.5;
+        if suggestion_ok {
+            return (
+                RepairChannel::AiSuggestion,
+                None,
+                config.suggestion_verify_minutes,
+                0.0,
+            );
+        }
+        return (
+            RepairChannel::Expert,
+            None,
+            config.suggestion_verify_minutes, // time spent rejecting the suggestion
+            config.expert_fix_hours,
+        );
+    }
+    (RepairChannel::Expert, None, 0.0, config.expert_fix_hours)
+}
+
+/// Maps a u64 to a deterministic uniform in `[0, 1)` (splitmix64 finalizer).
+fn hash_unit(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorRegistry, RuleBasedDetector};
+    use vulnman_synth::cwe::Cwe;
+    use vulnman_synth::dataset::DatasetBuilder;
+    use vulnman_synth::generator::SampleGenerator;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::tier::Tier;
+
+    fn engine() -> WorkflowEngine {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        WorkflowEngine::new(registry, WorkflowConfig::default())
+    }
+
+    fn corpus() -> Vec<Sample> {
+        DatasetBuilder::new(11)
+            .vulnerable_count(20)
+            .vulnerable_fraction(0.4)
+            .build()
+            .samples()
+            .to_vec()
+    }
+
+    #[test]
+    fn detected_vulnerabilities_get_repaired() {
+        let report = engine().process(&corpus());
+        let repaired = report.auto_fixed + report.ai_fixed + report.expert_fixed;
+        assert!(repaired > 0);
+        assert_eq!(
+            repaired + report.escaped,
+            report.cases.iter().filter(|c| c.truly_vulnerable).count()
+        );
+    }
+
+    #[test]
+    fn auto_fix_produces_verified_patches() {
+        let mut g = SampleGenerator::new(5, StyleProfile::mainstream());
+        let (v, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Simple, "p");
+        let report = engine().process(&[v]);
+        assert_eq!(report.auto_fixed, 1);
+        let patched = report.cases[0].patched_source.as_ref().expect("patch");
+        assert!(patched.contains("escape_sql"));
+    }
+
+    #[test]
+    fn exposed_surfaces_reviewed_per_figure1() {
+        let report = engine().process(&corpus());
+        for c in &report.cases {
+            if c.surface.requires_manual_review() {
+                assert!(c.manually_reviewed, "exposed case {} must be reviewed", c.sample_id);
+            }
+        }
+        assert!(report.review_rate() > 0.0);
+        assert!(report.analyst_minutes > 0.0);
+    }
+
+    #[test]
+    fn detection_metrics_reflect_rule_quality() {
+        let report = engine().process(&corpus());
+        let m = report.detection_metrics();
+        assert!(m.recall() > 0.8, "rules + review should catch most: {:?}", m);
+        assert!(m.precision() > 0.8);
+    }
+
+    #[test]
+    fn pipelined_matches_sequential() {
+        let samples = corpus();
+        let e = engine();
+        let seq = e.process(&samples);
+        let pipe = e.process_pipelined(&samples);
+        assert_eq!(seq.detection_metrics(), pipe.detection_metrics());
+        assert_eq!(seq.auto_fixed, pipe.auto_fixed);
+        assert_eq!(seq.expert_fixed, pipe.expert_fixed);
+        assert_eq!(seq.escaped, pipe.escaped);
+        assert!((seq.analyst_minutes - pipe.analyst_minutes).abs() < 1e-9);
+        let ids: Vec<u64> = pipe.cases.iter().map(|c| c.sample_id).collect();
+        let expected: Vec<u64> = samples.iter().map(|s| s.id).collect();
+        assert_eq!(ids, expected, "pipeline preserves submission order in the report");
+    }
+
+    #[test]
+    fn unlimited_capacity_matches_plain_processing() {
+        let samples = corpus();
+        let e = engine();
+        let plain = e.process(&samples);
+        let capped = e.process_with_capacity(&samples, f64::INFINITY);
+        assert_eq!(plain.detection_metrics(), capped.detection_metrics());
+        assert_eq!(plain.auto_fixed, capped.auto_fixed);
+        assert_eq!(plain.escaped, capped.escaped);
+        assert_eq!(capped.reviews_skipped, 0);
+    }
+
+    #[test]
+    fn tight_capacity_skips_reviews_and_lets_vulns_escape() {
+        let samples = corpus();
+        let e = engine();
+        let full = e.process_with_capacity(&samples, f64::INFINITY);
+        let starved = e.process_with_capacity(&samples, 0.0);
+        assert!(starved.reviews_skipped > 0);
+        assert!(starved.analyst_minutes < full.analyst_minutes);
+        // With no reviews, only auto-flagged vulns are repaired.
+        assert!(starved.escaped >= full.escaped);
+    }
+
+    #[test]
+    fn scarce_reviews_go_to_exposed_surfaces_first() {
+        let samples = corpus();
+        let e = engine();
+        // Budget for exactly three reviews.
+        let cfg = WorkflowConfig::default();
+        let r = e.process_with_capacity(&samples, cfg.review_minutes * 3.0);
+        let reviewed: Vec<Surface> =
+            r.cases.iter().filter(|c| c.manually_reviewed).map(|c| c.surface).collect();
+        let skipped: Vec<Surface> = r
+            .cases
+            .iter()
+            .filter(|c| !c.manually_reviewed && c.surface.requires_manual_review())
+            .map(|c| c.surface)
+            .collect();
+        assert_eq!(reviewed.len(), 3);
+        // No skipped candidate outranks a reviewed one.
+        for s in &skipped {
+            for done in &reviewed {
+                assert!(done <= s, "reviewed {done:?} vs skipped {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pricing_adds_labour() {
+        let report = engine().process(&corpus());
+        let params = CostParams::default();
+        let priced = report.price(&params);
+        let bare = crate::costmodel::price_deployment(&report.detection_metrics(), &params);
+        assert!(priced.triage_cost > bare.triage_cost);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let samples = corpus();
+        let a = engine().process(&samples);
+        let b = engine().process(&samples);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = engine().process(&[]);
+        assert!(report.cases.is_empty());
+        assert_eq!(report.review_rate(), 0.0);
+    }
+
+    #[test]
+    fn hash_unit_is_uniformish() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(hash_unit).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+}

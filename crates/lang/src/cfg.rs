@@ -1,0 +1,494 @@
+//! Control-flow graph construction.
+//!
+//! The AST's structured control flow is lowered to basic blocks of
+//! [`CfgInst`]s. The CFG is consumed by the data-flow framework
+//! ([`crate::dataflow`]), the taint engine ([`crate::taint`]), and the
+//! graph-feature extractors in the ML crate.
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = usize;
+
+/// A lowered instruction inside a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CfgInst {
+    /// Local declaration, possibly initialized.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment through any lvalue.
+    Assign {
+        /// Target lvalue.
+        target: LValue,
+        /// Right-hand side (already desugared: compound ops folded in).
+        value: Expr,
+    },
+    /// Expression for side effects.
+    Expr(Expr),
+    /// Function return.
+    Return(Option<Expr>),
+    /// Block-terminating branch condition; the block then has exactly two
+    /// successors: `[taken, not_taken]`.
+    Branch(Expr),
+}
+
+impl CfgInst {
+    /// The expression evaluated by this instruction, if any (initializer,
+    /// RHS, condition, or returned value).
+    pub fn expr(&self) -> Option<&Expr> {
+        match self {
+            CfgInst::Decl { init, .. } => init.as_ref(),
+            CfgInst::Assign { value, .. } => Some(value),
+            CfgInst::Expr(e) | CfgInst::Branch(e) => Some(e),
+            CfgInst::Return(e) => e.as_ref(),
+        }
+    }
+
+    /// The variable directly defined (killed) by this instruction, if any.
+    /// Indirect stores (`*p = …`, `a[i] = …`) do not kill.
+    pub fn defined_var(&self) -> Option<&str> {
+        match self {
+            CfgInst::Decl { name, .. } => Some(name),
+            CfgInst::Assign { target: LValue::Var(name), .. } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// An instruction plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedInst {
+    /// The lowered instruction.
+    pub inst: CfgInst,
+    /// Source span of the originating statement.
+    pub span: Span,
+}
+
+/// A basic block: straight-line instructions plus successor/predecessor edges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicBlock {
+    /// Instructions in execution order.
+    pub insts: Vec<SpannedInst>,
+    /// Successor block ids. For a block ending in [`CfgInst::Branch`] the
+    /// order is `[taken, fallthrough]`.
+    pub succs: Vec<BlockId>,
+    /// Predecessor block ids (derived; kept in sync by the builder).
+    pub preds: Vec<BlockId>,
+}
+
+/// A per-function control-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    /// All basic blocks; indices are [`BlockId`]s.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block id (always `0`).
+    pub entry: BlockId,
+    /// Single synthetic exit block id.
+    pub exit: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG for a function body.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), vulnman_lang::error::ParseError> {
+    /// use vulnman_lang::{cfg::Cfg, parser::parse};
+    /// let prog = parse("int f(int x) { if (x) { return 1; } return 0; }")?;
+    /// let cfg = Cfg::build(&prog.functions[0]);
+    /// assert!(cfg.blocks.len() >= 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(func: &Function) -> Cfg {
+        let mut b = Builder::new();
+        let mut current = b.new_block(); // entry = 0
+        debug_assert_eq!(current, 0);
+        current = b.lower_stmts(&func.body, current, &mut Vec::new());
+        // Implicit fallthrough return.
+        b.edge(current, b.exit);
+        b.finish()
+    }
+
+    /// Number of edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len()).sum()
+    }
+
+    /// Cyclomatic complexity `E - N + 2` (per connected function).
+    pub fn cyclomatic_complexity(&self) -> usize {
+        (self.edge_count() + 2).saturating_sub(self.blocks.len())
+    }
+
+    /// Blocks in reverse post-order from the entry (good iteration order for
+    /// forward data-flow problems).
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::with_capacity(self.blocks.len());
+        self.dfs_post(self.entry, &mut visited, &mut order);
+        order.reverse();
+        order
+    }
+
+    fn dfs_post(&self, id: BlockId, visited: &mut [bool], order: &mut Vec<BlockId>) {
+        if visited[id] {
+            return;
+        }
+        visited[id] = true;
+        for &s in &self.blocks[id].succs {
+            self.dfs_post(s, visited, order);
+        }
+        order.push(id);
+    }
+
+    /// Immediate-dominator-free dominator sets, computed by the classic
+    /// iterative algorithm. `result[b]` contains every block that dominates
+    /// `b` (including `b` itself). Unreachable blocks dominate nothing and
+    /// report only themselves.
+    pub fn dominators(&self) -> Vec<Vec<BlockId>> {
+        let n = self.blocks.len();
+        let all: Vec<BlockId> = (0..n).collect();
+        let mut dom: Vec<Vec<BlockId>> = vec![all; n];
+        dom[self.entry] = vec![self.entry];
+        let rpo = self.reverse_post_order();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == self.entry {
+                    continue;
+                }
+                let mut new: Option<Vec<BlockId>> = None;
+                for &p in &self.blocks[b].preds {
+                    let pd = &dom[p];
+                    new = Some(match new {
+                        None => pd.clone(),
+                        Some(cur) => cur.iter().copied().filter(|x| pd.contains(x)).collect(),
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                if !new.contains(&b) {
+                    new.push(b);
+                    new.sort_unstable();
+                }
+                if new != dom[b] {
+                    dom[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    exit: BlockId,
+}
+
+/// Loop context: (header/continue target, exit/break target).
+type LoopCtx = (BlockId, BlockId);
+
+impl Builder {
+    fn new() -> Self {
+        let mut b = Builder { blocks: Vec::new(), exit: 0 };
+        // Block 0 is reserved by the caller as entry; exit created lazily
+        // after entry so ids stay compact. Entry is created by the caller via
+        // new_block; we pre-create exit as block index set later in finish.
+        b.exit = usize::MAX;
+        b
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn ensure_exit(&mut self) -> BlockId {
+        if self.exit == usize::MAX {
+            self.exit = self.new_block();
+        }
+        self.exit
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        let to = if to == usize::MAX { self.ensure_exit() } else { to };
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+            self.blocks[to].preds.push(from);
+        }
+    }
+
+    fn push(&mut self, block: BlockId, inst: CfgInst, span: Span) {
+        self.blocks[block].insts.push(SpannedInst { inst, span });
+    }
+
+    /// Lowers a statement list starting in `current`; returns the block where
+    /// control continues afterwards. A returned block that already ends in a
+    /// jump-away (return/break/continue) is a fresh unreachable block.
+    fn lower_stmts(&mut self, stmts: &[Stmt], mut current: BlockId, loops: &mut Vec<LoopCtx>) -> BlockId {
+        for s in stmts {
+            current = self.lower_stmt(s, current, loops);
+        }
+        current
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, current: BlockId, loops: &mut Vec<LoopCtx>) -> BlockId {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                self.push(
+                    current,
+                    CfgInst::Decl { name: clone_name(name), ty: ty.clone(), init: init.clone() },
+                    s.span,
+                );
+                current
+            }
+            StmtKind::Assign { target, value, op } => {
+                let value = desugar_compound(target, value, *op, s.span);
+                self.push(current, CfgInst::Assign { target: target.clone(), value }, s.span);
+                current
+            }
+            StmtKind::Expr(e) => {
+                self.push(current, CfgInst::Expr(e.clone()), s.span);
+                current
+            }
+            StmtKind::Return(e) => {
+                self.push(current, CfgInst::Return(e.clone()), s.span);
+                let exit = self.ensure_exit();
+                self.edge(current, exit);
+                self.new_block() // unreachable continuation
+            }
+            StmtKind::Break => {
+                if let Some(&(_, brk)) = loops.last() {
+                    self.edge(current, brk);
+                }
+                self.new_block()
+            }
+            StmtKind::Continue => {
+                if let Some(&(cont, _)) = loops.last() {
+                    self.edge(current, cont);
+                }
+                self.new_block()
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.push(current, CfgInst::Branch(cond.clone()), s.span);
+                let then_entry = self.new_block();
+                self.edge(current, then_entry);
+                let then_end = self.lower_stmts(then_branch, then_entry, loops);
+                let join = self.new_block();
+                match else_branch {
+                    Some(els) => {
+                        let else_entry = self.new_block();
+                        self.edge(current, else_entry);
+                        let else_end = self.lower_stmts(els, else_entry, loops);
+                        self.edge(then_end, join);
+                        self.edge(else_end, join);
+                    }
+                    None => {
+                        self.edge(current, join);
+                        self.edge(then_end, join);
+                    }
+                }
+                join
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.new_block();
+                self.edge(current, header);
+                self.push(header, CfgInst::Branch(cond.clone()), s.span);
+                let body_entry = self.new_block();
+                let exit = self.new_block();
+                self.edge(header, body_entry);
+                self.edge(header, exit);
+                loops.push((header, exit));
+                let body_end = self.lower_stmts(body, body_entry, loops);
+                loops.pop();
+                self.edge(body_end, header);
+                exit
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let mut cur = current;
+                if let Some(i) = init {
+                    cur = self.lower_stmt(i, cur, loops);
+                }
+                let header = self.new_block();
+                self.edge(cur, header);
+                let cond_expr = cond.clone().unwrap_or_else(|| Expr::int(1));
+                self.push(header, CfgInst::Branch(cond_expr), s.span);
+                let body_entry = self.new_block();
+                let exit = self.new_block();
+                let step_block = self.new_block();
+                self.edge(header, body_entry);
+                self.edge(header, exit);
+                loops.push((step_block, exit));
+                let body_end = self.lower_stmts(body, body_entry, loops);
+                loops.pop();
+                self.edge(body_end, step_block);
+                if let Some(st) = step {
+                    let after = self.lower_stmt(st, step_block, loops);
+                    self.edge(after, header);
+                } else {
+                    self.edge(step_block, header);
+                }
+                exit
+            }
+        }
+    }
+
+    fn finish(mut self) -> Cfg {
+        let exit = self.ensure_exit();
+        Cfg { blocks: self.blocks, entry: 0, exit }
+    }
+}
+
+fn clone_name(name: &str) -> String {
+    name.to_string()
+}
+
+/// Rewrites `x += e` as `x = x + e` so downstream analyses see plain stores.
+fn desugar_compound(target: &LValue, value: &Expr, op: Option<BinOp>, span: Span) -> Expr {
+    match op {
+        None => value.clone(),
+        Some(op) => {
+            let base = match target {
+                LValue::Var(name) => Expr::new(ExprKind::Var(name.clone()), span),
+                LValue::Deref(e) => {
+                    Expr::new(ExprKind::Unary(UnOp::Deref, Box::new(e.clone())), span)
+                }
+                LValue::Index(b, i) => Expr::new(
+                    ExprKind::Index(Box::new(b.clone()), Box::new(i.clone())),
+                    span,
+                ),
+            };
+            Expr::new(ExprKind::Binary(op, Box::new(base), Box::new(value.clone())), span)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).unwrap();
+        Cfg::build(&p.functions[0])
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let c = cfg_of("void f() { int x = 1; int y = 2; }");
+        // entry + exit
+        assert_eq!(c.blocks[c.entry].insts.len(), 2);
+        assert_eq!(c.blocks[c.entry].succs, vec![c.exit]);
+        assert_eq!(c.cyclomatic_complexity(), 1);
+    }
+
+    #[test]
+    fn if_produces_diamond() {
+        let c = cfg_of("int f(int x) { int r = 0; if (x) { r = 1; } else { r = 2; } return r; }");
+        assert_eq!(c.cyclomatic_complexity(), 2);
+        // Entry ends with a branch and has two successors.
+        let entry = &c.blocks[c.entry];
+        assert!(matches!(entry.insts.last().unwrap().inst, CfgInst::Branch(_)));
+        assert_eq!(entry.succs.len(), 2);
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let c = cfg_of("void f(int n) { while (n > 0) { n -= 1; } }");
+        let has_back_edge = c
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(id, b)| b.succs.iter().any(|&s| s <= id && !c.blocks[s].preds.is_empty()));
+        assert!(has_back_edge);
+        assert_eq!(c.cyclomatic_complexity(), 2);
+    }
+
+    #[test]
+    fn for_desugars_compound_step() {
+        let c = cfg_of("void f(int n) { for (int i = 0; i < n; i++) { work(i); } }");
+        let mut found = false;
+        for b in &c.blocks {
+            for i in &b.insts {
+                if let CfgInst::Assign { target: LValue::Var(v), value } = &i.inst {
+                    if v == "i" {
+                        if let ExprKind::Binary(BinOp::Add, _, _) = &value.kind {
+                            found = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "i++ should desugar to i = i + 1");
+    }
+
+    #[test]
+    fn return_edges_to_exit() {
+        let c = cfg_of("int f(int x) { if (x) { return 1; } return 0; }");
+        let exit_preds = &c.blocks[c.exit].preds;
+        assert!(exit_preds.len() >= 2, "both returns should reach exit: {exit_preds:?}");
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let c = cfg_of("void f() { while (1) { if (stop()) { break; } tick(); } done(); }");
+        // done() must be reachable from entry.
+        let rpo = c.reverse_post_order();
+        let reachable_insts: usize = rpo.iter().map(|&b| c.blocks[b].insts.len()).sum();
+        let has_done = rpo.iter().any(|&b| {
+            c.blocks[b].insts.iter().any(|i| match &i.inst {
+                CfgInst::Expr(e) => e.called_fns().contains(&"done"),
+                _ => false,
+            })
+        });
+        assert!(has_done, "done() unreachable; {reachable_insts} insts reachable");
+    }
+
+    #[test]
+    fn continue_targets_step_in_for() {
+        let c = cfg_of("void f(int n) { for (int i = 0; i < n; i++) { if (i == 3) { continue; } use(i); } }");
+        // The graph must still terminate and contain the step assignment
+        // reachable from the continue edge.
+        assert!(c.cyclomatic_complexity() >= 3);
+        assert!(!c.reverse_post_order().is_empty());
+    }
+
+    #[test]
+    fn dominators_entry_dominates_all_reachable() {
+        let c = cfg_of("int f(int x) { if (x) { return 1; } return 0; }");
+        let dom = c.dominators();
+        for &b in &c.reverse_post_order() {
+            assert!(dom[b].contains(&c.entry), "entry should dominate block {b}");
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let c = cfg_of("void f(int n) { while (n) { n -= 1; } }");
+        assert_eq!(c.reverse_post_order()[0], c.entry);
+    }
+
+    #[test]
+    fn inst_expr_and_defined_var() {
+        let c = cfg_of("void f(int a) { int x = a + 1; x = 2; *p = 3; }");
+        let insts: Vec<_> = c.blocks.iter().flat_map(|b| b.insts.iter()).collect();
+        assert_eq!(insts[0].inst.defined_var(), Some("x"));
+        assert!(insts[0].inst.expr().is_some());
+        assert_eq!(insts[1].inst.defined_var(), Some("x"));
+        assert_eq!(insts[2].inst.defined_var(), None, "indirect store kills nothing");
+    }
+}

@@ -1,0 +1,312 @@
+//! Classic data-flow analyses over the [`Cfg`].
+//!
+//! Implements reaching definitions (forward, may) and live variables
+//! (backward, may) with a shared worklist core. These power the expert
+//! feature extractors and the auto-fix safety checks.
+
+use crate::cfg::{BlockId, Cfg, CfgInst};
+use std::collections::{HashMap, HashSet};
+
+/// A definition site: block id and instruction index within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DefSite {
+    /// Block containing the definition.
+    pub block: BlockId,
+    /// Index of the defining instruction inside the block.
+    pub inst: usize,
+}
+
+/// Result of reaching-definitions analysis.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// For each block, the set of `(variable, def-site)` pairs live at entry.
+    pub at_entry: Vec<HashSet<(String, DefSite)>>,
+    /// For each block, the set at exit.
+    pub at_exit: Vec<HashSet<(String, DefSite)>>,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis on `cfg`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), vulnman_lang::error::ParseError> {
+    /// use vulnman_lang::{cfg::Cfg, dataflow::ReachingDefs, parser::parse};
+    /// let p = parse("int f(int a) { int x = 1; if (a) { x = 2; } return x; }")?;
+    /// let cfg = Cfg::build(&p.functions[0]);
+    /// let rd = ReachingDefs::compute(&cfg);
+    /// // Two definitions of x can reach the exit.
+    /// let defs_of_x = rd.at_entry[cfg.exit].iter().filter(|(v, _)| v == "x").count();
+    /// assert_eq!(defs_of_x, 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(cfg: &Cfg) -> ReachingDefs {
+        let n = cfg.blocks.len();
+        // Per-block gen/kill over (var, site).
+        let mut gen_sets: Vec<HashSet<(String, DefSite)>> = vec![HashSet::new(); n];
+        let mut kill_vars: Vec<HashSet<String>> = vec![HashSet::new(); n];
+        for (bid, block) in cfg.blocks.iter().enumerate() {
+            for (iid, si) in block.insts.iter().enumerate() {
+                if let Some(var) = si.inst.defined_var() {
+                    // Later defs in the same block kill earlier ones.
+                    gen_sets[bid].retain(|(v, _)| v != var);
+                    gen_sets[bid].insert((var.to_string(), DefSite { block: bid, inst: iid }));
+                    kill_vars[bid].insert(var.to_string());
+                }
+            }
+        }
+
+        let mut at_entry: Vec<HashSet<(String, DefSite)>> = vec![HashSet::new(); n];
+        let mut at_exit: Vec<HashSet<(String, DefSite)>> = vec![HashSet::new(); n];
+        let order = cfg.reverse_post_order();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut input: HashSet<(String, DefSite)> = HashSet::new();
+                for &p in &cfg.blocks[b].preds {
+                    input.extend(at_exit[p].iter().cloned());
+                }
+                let mut out: HashSet<(String, DefSite)> = input
+                    .iter()
+                    .filter(|(v, _)| !kill_vars[b].contains(v))
+                    .cloned()
+                    .collect();
+                out.extend(gen_sets[b].iter().cloned());
+                if input != at_entry[b] || out != at_exit[b] {
+                    at_entry[b] = input;
+                    at_exit[b] = out;
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs { at_entry, at_exit }
+    }
+
+    /// Number of distinct definitions of `var` reaching the entry of `block`.
+    pub fn defs_reaching(&self, block: BlockId, var: &str) -> usize {
+        self.at_entry[block].iter().filter(|(v, _)| v == var).count()
+    }
+}
+
+/// Result of live-variables analysis.
+#[derive(Debug, Clone)]
+pub struct LiveVars {
+    /// Variables live at the entry of each block.
+    pub at_entry: Vec<HashSet<String>>,
+    /// Variables live at the exit of each block.
+    pub at_exit: Vec<HashSet<String>>,
+}
+
+impl LiveVars {
+    /// Runs backward liveness on `cfg`.
+    pub fn compute(cfg: &Cfg) -> LiveVars {
+        let n = cfg.blocks.len();
+        // use[b]: vars read before any redefinition; def[b]: vars defined.
+        let mut use_sets: Vec<HashSet<String>> = vec![HashSet::new(); n];
+        let mut def_sets: Vec<HashSet<String>> = vec![HashSet::new(); n];
+        for (bid, block) in cfg.blocks.iter().enumerate() {
+            for si in &block.insts {
+                // Reads inside the instruction's expression(s), plus reads
+                // implied by indirect targets.
+                let mut reads: Vec<String> = Vec::new();
+                if let Some(e) = si.inst.expr() {
+                    reads.extend(e.read_vars().iter().map(|s| s.to_string()));
+                }
+                if let CfgInst::Assign { target, .. } = &si.inst {
+                    match target {
+                        crate::ast::LValue::Deref(e) => {
+                            reads.extend(e.read_vars().iter().map(|s| s.to_string()))
+                        }
+                        crate::ast::LValue::Index(b, i) => {
+                            reads.extend(b.read_vars().iter().map(|s| s.to_string()));
+                            reads.extend(i.read_vars().iter().map(|s| s.to_string()));
+                        }
+                        crate::ast::LValue::Var(_) => {}
+                    }
+                }
+                for r in reads {
+                    if !def_sets[bid].contains(&r) {
+                        use_sets[bid].insert(r);
+                    }
+                }
+                if let Some(d) = si.inst.defined_var() {
+                    def_sets[bid].insert(d.to_string());
+                }
+            }
+        }
+
+        let mut at_entry: Vec<HashSet<String>> = vec![HashSet::new(); n];
+        let mut at_exit: Vec<HashSet<String>> = vec![HashSet::new(); n];
+        let mut order = cfg.reverse_post_order();
+        order.reverse(); // post-order: good for backward problems
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out: HashSet<String> = HashSet::new();
+                for &s in &cfg.blocks[b].succs {
+                    out.extend(at_entry[s].iter().cloned());
+                }
+                let mut input: HashSet<String> =
+                    out.iter().filter(|v| !def_sets[b].contains(*v)).cloned().collect();
+                input.extend(use_sets[b].iter().cloned());
+                if out != at_exit[b] || input != at_entry[b] {
+                    at_exit[b] = out;
+                    at_entry[b] = input;
+                    changed = true;
+                }
+            }
+        }
+        LiveVars { at_entry, at_exit }
+    }
+
+    /// Returns `true` if `var` is live at the entry of `block`.
+    pub fn is_live_at_entry(&self, block: BlockId, var: &str) -> bool {
+        self.at_entry[block].contains(var)
+    }
+}
+
+/// Finds definitions that are never used (dead stores): the variable is not
+/// live immediately after the defining instruction. Returns `(var, DefSite)`
+/// pairs. Conservative with respect to indirect reads.
+pub fn dead_stores(cfg: &Cfg) -> Vec<(String, DefSite)> {
+    let live = LiveVars::compute(cfg);
+    let mut dead = Vec::new();
+    for (bid, block) in cfg.blocks.iter().enumerate() {
+        for (iid, si) in block.insts.iter().enumerate() {
+            let Some(var) = si.inst.defined_var() else { continue };
+            // Live-after: scan the rest of the block for a read before a
+            // redefinition; otherwise consult block-exit liveness.
+            let mut status: Option<bool> = None;
+            for later in &block.insts[iid + 1..] {
+                let mut reads: Vec<&str> = Vec::new();
+                if let Some(e) = later.inst.expr() {
+                    reads.extend(e.read_vars());
+                }
+                if let CfgInst::Assign { target, .. } = &later.inst {
+                    if target.is_indirect() {
+                        if let Some(base) = target.base_var() {
+                            reads.push(base);
+                        }
+                    }
+                }
+                if reads.contains(&var) {
+                    status = Some(true);
+                    break;
+                }
+                if later.inst.defined_var() == Some(var) {
+                    status = Some(false);
+                    break;
+                }
+            }
+            let live_after = status.unwrap_or_else(|| {
+                cfg.blocks[bid].succs.iter().any(|&s| live.is_live_at_entry(s, var))
+            });
+            if !live_after {
+                dead.push((var.to_string(), DefSite { block: bid, inst: iid }));
+            }
+        }
+    }
+    dead
+}
+
+/// Counts, per variable, how many distinct definition sites exist in the
+/// function — a cheap proxy for data-flow complexity used by the expert
+/// feature extractor.
+pub fn def_counts(cfg: &Cfg) -> HashMap<String, usize> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for block in &cfg.blocks {
+        for si in &block.insts {
+            if let Some(v) = si.inst.defined_var() {
+                *counts.entry(v.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).unwrap();
+        Cfg::build(&p.functions[0])
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_join() {
+        let c = cfg_of("int f(int a) { int x = 1; if (a) { x = 2; } else { x = 3; } return x; }");
+        let rd = ReachingDefs::compute(&c);
+        // At exit both branch definitions reach; the initial def is killed on
+        // both paths.
+        assert_eq!(rd.defs_reaching(c.exit, "x"), 2);
+    }
+
+    #[test]
+    fn reaching_defs_kill_within_block() {
+        let c = cfg_of("void f() { int x = 1; x = 2; use(x); }");
+        let rd = ReachingDefs::compute(&c);
+        assert_eq!(rd.defs_reaching(c.exit, "x"), 1);
+    }
+
+    #[test]
+    fn loop_defs_reach_header() {
+        let c = cfg_of("void f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } sink(s); }");
+        let rd = ReachingDefs::compute(&c);
+        // Find the loop-header block (the one with a branch on n > 0 and two succs).
+        let header = c
+            .blocks
+            .iter()
+            .position(|b| b.succs.len() == 2)
+            .expect("loop header");
+        assert_eq!(rd.defs_reaching(header, "s"), 2, "initial + loop-carried defs of s");
+    }
+
+    #[test]
+    fn liveness_through_branches() {
+        let c = cfg_of("int f(int a, int b) { int r = 0; if (a) { r = b; } return r; }");
+        let lv = LiveVars::compute(&c);
+        // b is live at entry (used on one path).
+        assert!(lv.is_live_at_entry(c.entry, "b"));
+        assert!(lv.is_live_at_entry(c.entry, "a"));
+    }
+
+    #[test]
+    fn dead_store_detected() {
+        let c = cfg_of("void f() { int x = 1; x = 2; use(x); int y = 9; }");
+        let dead = dead_stores(&c);
+        let vars: Vec<&str> = dead.iter().map(|(v, _)| v.as_str()).collect();
+        assert!(vars.contains(&"x"), "first def of x is dead: {vars:?}");
+        assert!(vars.contains(&"y"), "y never used: {vars:?}");
+        // The second def of x is used, so exactly one x entry.
+        assert_eq!(vars.iter().filter(|v| **v == "x").count(), 1);
+    }
+
+    #[test]
+    fn store_live_across_loop_not_dead() {
+        let c = cfg_of("void f(int n) { int s = 0; while (n) { s += 1; n -= 1; } use(s); }");
+        let dead = dead_stores(&c);
+        assert!(dead.iter().all(|(v, _)| v != "s"), "{dead:?}");
+    }
+
+    #[test]
+    fn indirect_write_base_counts_as_read() {
+        // buf is "read" by buf[i] = …, so the decl of buf is not a dead store.
+        let c = cfg_of("void f(int i) { char buf[4]; buf[i] = 'x'; }");
+        let dead = dead_stores(&c);
+        assert!(dead.iter().all(|(v, _)| v != "buf"), "{dead:?}");
+    }
+
+    #[test]
+    fn def_counts_counts_sites() {
+        let c = cfg_of("void f(int a) { int x = 1; if (a) { x = 2; } x = 3; }");
+        let counts = def_counts(&c);
+        assert_eq!(counts["x"], 3);
+    }
+}

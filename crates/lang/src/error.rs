@@ -1,0 +1,60 @@
+//! Error types shared by the lexer and parser.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing mini-C source.
+///
+/// Implements [`std::error::Error`] and is `Send + Sync` so it composes with
+/// standard error-handling machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates a new error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+
+    /// The human-readable description, without location.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Convenience alias for lex/parse results.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = ParseError::new("unexpected `;`", Span::new(3, 4, 2, 1));
+        assert_eq!(e.to_string(), "parse error at 2:1: unexpected `;`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,441 @@
+//! Lexer for the mini-C dialect.
+//!
+//! Produces a token stream plus the comment trivia the corpus generator and
+//! multimodal feature extractors rely on.
+
+use crate::error::{ParseError, ParseResult};
+use crate::span::Span;
+use crate::token::{Comment, Token, TokenKind};
+
+/// Output of [`lex`]: the token stream (terminated by [`TokenKind::Eof`]) and
+/// all comments encountered, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexOutput {
+    /// Tokens, ending with a single `Eof` token.
+    pub tokens: Vec<Token>,
+    /// Comment trivia in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input: unterminated string or block
+/// comment, bad character literal, an integer that overflows `i64`, or a
+/// character that is not part of the language.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vulnman_lang::error::ParseError> {
+/// let out = vulnman_lang::lexer::lex("int x = 42; // answer")?;
+/// assert_eq!(out.comments.len(), 1);
+/// assert_eq!(out.comments[0].text, "answer");
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> ParseResult<LexOutput> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0, self.pos, start.1, start.2)
+    }
+
+    fn run(mut self) -> ParseResult<LexOutput> {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => self.line_comment(),
+                b'/' if self.peek2() == Some(b'*') => self.block_comment()?,
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'"' => self.string()?,
+                b'\'' => self.char_lit()?,
+                _ => self.operator()?,
+            }
+        }
+        let eof = Span::new(self.pos, self.pos, self.line, self.col);
+        self.tokens.push(Token::new(TokenKind::Eof, eof));
+        Ok(LexOutput { tokens: self.tokens, comments: self.comments })
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.here();
+        self.bump();
+        self.bump();
+        let text_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.src[text_start..self.pos].trim().to_string();
+        self.comments.push(Comment { text, span: self.span_from(start), block: false });
+    }
+
+    fn block_comment(&mut self) -> ParseResult<()> {
+        let start = self.here();
+        self.bump();
+        self.bump();
+        let text_start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'*') if self.peek2() == Some(b'/') => {
+                    let text = self.src[text_start..self.pos].trim().to_string();
+                    self.bump();
+                    self.bump();
+                    self.comments.push(Comment { text, span: self.span_from(start), block: true });
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    return Err(ParseError::new("unterminated block comment", self.span_from(start)))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<()> {
+        let start = self.here();
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let text = &self.src[start.0..self.pos];
+        let value: i64 = text
+            .parse()
+            .map_err(|_| ParseError::new(format!("integer literal `{text}` overflows i64"), self.span_from(start)))?;
+        self.push(TokenKind::Int(value), start);
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.here();
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = &self.src[start.0..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.push(kind, start);
+    }
+
+    fn string(&mut self) -> ParseResult<()> {
+        let start = self.here();
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| ParseError::new("unterminated string literal", self.span_from(start)))?;
+                    value.push(unescape(esc, self.span_from(start))?);
+                }
+                Some(b'\n') | None => {
+                    return Err(ParseError::new("unterminated string literal", self.span_from(start)))
+                }
+                Some(b) => value.push(b as char),
+            }
+        }
+        self.push(TokenKind::Str(value), start);
+        Ok(())
+    }
+
+    fn char_lit(&mut self) -> ParseResult<()> {
+        let start = self.here();
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => {
+                let esc = self
+                    .bump()
+                    .ok_or_else(|| ParseError::new("unterminated char literal", self.span_from(start)))?;
+                unescape(esc, self.span_from(start))?
+            }
+            Some(b'\'') | None => {
+                return Err(ParseError::new("empty char literal", self.span_from(start)))
+            }
+            Some(b) => b as char,
+        };
+        match self.bump() {
+            Some(b'\'') => {}
+            _ => return Err(ParseError::new("unterminated char literal", self.span_from(start))),
+        }
+        self.push(TokenKind::Char(c), start);
+        Ok(())
+    }
+
+    fn operator(&mut self) -> ParseResult<()> {
+        let start = self.here();
+        let b = self.bump().expect("operator called at end of input");
+        let two = |l: &mut Lexer<'a>, next: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'^' => TokenKind::Caret,
+            b'%' => TokenKind::Percent,
+            b'/' => TokenKind::Slash,
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    TokenKind::PlusPlus
+                } else {
+                    two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    TokenKind::MinusMinus
+                } else {
+                    two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus)
+                }
+            }
+            b'*' => TokenKind::Star,
+            b'&' => two(self, b'&', TokenKind::AmpAmp, TokenKind::Amp),
+            b'|' => two(self, b'|', TokenKind::PipePipe, TokenKind::Pipe),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Bang),
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, b'=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, b'=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{}`", other as char),
+                    self.span_from(start),
+                ))
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        let span = self.span_from(start);
+        self.tokens.push(Token::new(kind, span));
+    }
+}
+
+fn unescape(b: u8, span: Span) -> ParseResult<char> {
+    Ok(match b {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => {
+            return Err(ParseError::new(format!("unknown escape `\\{}`", other as char), span))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(42),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("a <= b == c != d >= e && f || g << h >> i"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("e".into()),
+                TokenKind::AmpAmp,
+                TokenKind::Ident("f".into()),
+                TokenKind::PipePipe,
+                TokenKind::Ident("g".into()),
+                TokenKind::Shl,
+                TokenKind::Ident("h".into()),
+                TokenKind::Shr,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn captures_line_and_block_comments() {
+        let out = lex("// top\nint x; /* middle */ int y;").unwrap();
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].text, "top");
+        assert!(!out.comments[0].block);
+        assert_eq!(out.comments[1].text, "middle");
+        assert!(out.comments[1].block);
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        let out = lex(r#""a\nb\"c""#).unwrap();
+        assert_eq!(out.tokens[0].kind, TokenKind::Str("a\nb\"c".into()));
+    }
+
+    #[test]
+    fn char_literals() {
+        let out = lex(r"'x' '\n' '\0'").unwrap();
+        let cs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Char(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cs, vec!['x', '\n', '\0']);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let out = lex("int a;\nint b;\n  int c;").unwrap();
+        let c_tok = out.tokens.iter().find(|t| t.as_ident() == Some("c")).unwrap();
+        assert_eq!(c_tok.span.line, 3);
+        assert_eq!(c_tok.span.col, 7);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        let err = lex("int @x;").unwrap_err();
+        assert!(err.message().contains('@'), "{err}");
+    }
+
+    #[test]
+    fn overflowing_integer_is_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn increment_and_compound_assign() {
+        assert_eq!(
+            kinds("i++ + j-- += k -= 1"),
+            vec![
+                TokenKind::Ident("i".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Plus,
+                TokenKind::Ident("j".into()),
+                TokenKind::MinusMinus,
+                TokenKind::PlusAssign,
+                TokenKind::Ident("k".into()),
+                TokenKind::MinusAssign,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Pretty-printer for the mini-C AST.
+//!
+//! Printing then re-parsing yields a structurally identical AST (round-trip
+//! property, covered by property tests). The anonymization pipeline and the
+//! corpus generator both rely on this printer to materialize source text.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program as source text.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), vulnman_lang::error::ParseError> {
+/// use vulnman_lang::{parser::parse, printer::print_program};
+/// let prog = parse("int id(int x) { return x; }")?;
+/// let text = print_program(&prog);
+/// assert!(text.contains("int id(int x)"));
+/// // Round-trip.
+/// assert_eq!(parse(&text)?, parse(&print_program(&parse(&text)?))?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, f);
+    }
+    out
+}
+
+/// Renders a single function as source text (doc comments included).
+pub fn print_function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    print_function(&mut out, f);
+    out
+}
+
+/// Renders a single expression as source text.
+pub fn print_expr(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(&mut out, e);
+    out
+}
+
+/// Renders a single statement as source text at the given indent level.
+pub fn print_stmt(s: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    stmt(&mut out, s, indent);
+    out
+}
+
+fn print_function(out: &mut String, f: &Function) {
+    for line in &f.doc {
+        let _ = writeln!(out, "// {line}");
+    }
+    let _ = write!(out, "{} {}(", f.ret, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        param(out, p);
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn param(out: &mut String, p: &Param) {
+    match &p.ty {
+        Type::Array(inner, n) => {
+            let _ = write!(out, "{inner} {}[{n}]", p.name);
+        }
+        ty => {
+            let _ = write!(out, "{ty} {}", p.name);
+        }
+    }
+}
+
+fn indent_str(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent_str(out, level);
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            match ty {
+                Type::Array(inner, n) => {
+                    let _ = write!(out, "{inner} {name}[{n}]");
+                }
+                ty => {
+                    let _ = write!(out, "{ty} {name}");
+                }
+            }
+            if let Some(e) = init {
+                out.push_str(" = ");
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { target, value, op } => {
+            lvalue(out, target);
+            match op {
+                None => out.push_str(" = "),
+                Some(BinOp::Add) => out.push_str(" += "),
+                Some(BinOp::Sub) => out.push_str(" -= "),
+                Some(other) => {
+                    // No compound token for this operator: desugar.
+                    out.push_str(" = ");
+                    lvalue(out, target);
+                    let _ = write!(out, " {} ", other.symbol());
+                }
+            }
+            expr(out, value);
+            out.push_str(";\n");
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            out.push_str("if (");
+            expr(out, cond);
+            out.push_str(") {\n");
+            for s in then_branch {
+                stmt(out, s, level + 1);
+            }
+            indent_str(out, level);
+            out.push('}');
+            if let Some(els) = else_branch {
+                out.push_str(" else {\n");
+                for s in els {
+                    stmt(out, s, level + 1);
+                }
+                indent_str(out, level);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while (");
+            expr(out, cond);
+            out.push_str(") {\n");
+            for s in body {
+                stmt(out, s, level + 1);
+            }
+            indent_str(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::For { init, cond, step, body } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                inline_stmt(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                expr(out, c);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                inline_stmt(out, st);
+            }
+            out.push_str(") {\n");
+            for s in body {
+                stmt(out, s, level + 1);
+            }
+            indent_str(out, level);
+            out.push_str("}\n");
+        }
+        StmtKind::Return(e) => {
+            out.push_str("return");
+            if let Some(e) = e {
+                out.push(' ');
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Expr(e) => {
+            expr(out, e);
+            out.push_str(";\n");
+        }
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+    }
+}
+
+/// A statement without trailing `;\n` or indentation (for `for` headers).
+fn inline_stmt(out: &mut String, s: &Stmt) {
+    let mut tmp = String::new();
+    stmt(&mut tmp, s, 0);
+    let trimmed = tmp.trim_end().trim_end_matches(';');
+    out.push_str(trimmed);
+}
+
+fn lvalue(out: &mut String, lv: &LValue) {
+    match lv {
+        LValue::Var(name) => out.push_str(name),
+        LValue::Deref(e) => {
+            out.push('*');
+            expr_prec(out, e, 12);
+        }
+        LValue::Index(base, idx) => {
+            expr_prec(out, base, 12);
+            out.push('[');
+            expr(out, idx);
+            out.push(']');
+        }
+    }
+}
+
+fn expr(out: &mut String, e: &Expr) {
+    expr_prec(out, e, 0);
+}
+
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::BitOr => 3,
+        BinOp::BitXor => 4,
+        BinOp::BitAnd => 5,
+        BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+    }
+}
+
+fn expr_prec(out: &mut String, e: &Expr, min_prec: u8) {
+    match &e.kind {
+        ExprKind::Int(v) => {
+            if *v < 0 {
+                // Negative literals print parenthesized so unary minus
+                // round-trips unambiguously.
+                let _ = write!(out, "({v})");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::Char(c) => {
+            let escaped = match c {
+                '\n' => "\\n".to_string(),
+                '\t' => "\\t".to_string(),
+                '\r' => "\\r".to_string(),
+                '\0' => "\\0".to_string(),
+                '\\' => "\\\\".to_string(),
+                '\'' => "\\'".to_string(),
+                other => other.to_string(),
+            };
+            let _ = write!(out, "'{escaped}'");
+        }
+        ExprKind::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    '\0' => out.push_str("\\0"),
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Unary(op, inner) => {
+            let need = min_prec > 11;
+            if need {
+                out.push('(');
+            }
+            out.push_str(op.symbol());
+            expr_prec(out, inner, 11);
+            if need {
+                out.push(')');
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let p = prec_of(*op);
+            let need = p < min_prec;
+            if need {
+                out.push('(');
+            }
+            expr_prec(out, l, p);
+            let _ = write!(out, " {} ", op.symbol());
+            expr_prec(out, r, p + 1);
+            if need {
+                out.push(')');
+            }
+        }
+        ExprKind::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Index(base, idx) => {
+            expr_prec(out, base, 12);
+            out.push('[');
+            expr(out, idx);
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let text = print_program(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("reprint failed: {e}\n{text}"));
+        // Compare ignoring spans by printing again.
+        assert_eq!(text, print_program(&p2), "unstable print for:\n{text}");
+        assert_eq!(p1.functions.len(), p2.functions.len());
+    }
+
+    #[test]
+    fn roundtrips_basic_function() {
+        roundtrip("int add(int a, int b) { return a + b; }");
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (i % 2 == 0) { emit(i); } else { skip(); } } while (n > 0) { n -= 1; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_pointers_strings() {
+        roundtrip(
+            r#"void g(char* s) { char buf[8]; int* p; p = &buf[0]; *p = s[0]; log("got: \n", s); }"#,
+        );
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        let e = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(print_expr(&e), "(a + b) * c");
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(print_expr(&e), "a + b * c");
+        let e = parse_expr("a - (b - c)").unwrap();
+        assert_eq!(print_expr(&e), "a - (b - c)");
+    }
+
+    #[test]
+    fn negative_literal_roundtrips() {
+        roundtrip("int f() { return 0 - 5; }");
+        let e = parse_expr("-x + 1").unwrap();
+        let printed = print_expr(&e);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(print_expr(&e2), printed);
+    }
+
+    #[test]
+    fn doc_comments_print() {
+        let p = parse("// Hello.\nint f() { return 1; }").unwrap();
+        let text = print_program(&p);
+        assert!(text.starts_with("// Hello.\n"));
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p2.functions[0].doc, vec!["Hello."]);
+    }
+
+    #[test]
+    fn char_escapes_print() {
+        roundtrip(r"void f() { char c; c = '\n'; c = '\\'; c = '\''; }");
+    }
+
+    #[test]
+    fn array_param_prints() {
+        roundtrip("void f(char buf[32]) { buf[0] = 'x'; }");
+    }
+}

@@ -1,0 +1,127 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] so that analyses (taint
+//! tracking, detectors) can report findings at precise source locations,
+//! mirroring line-level vulnerability prediction tools such as LineVul.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file, with the
+/// 1-based line and column of its start for human-readable reporting.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_lang::span::Span;
+/// let s = Span::new(0, 3, 1, 1);
+/// assert_eq!(s.len(), 3);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span from raw parts.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A placeholder span for synthesized nodes that have no source text.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0, line: 0, col: 0 }
+    }
+
+    /// Returns `true` if this is the placeholder produced by [`Span::dummy`].
+    pub fn is_dummy(&self) -> bool {
+        self.line == 0
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// The line/column of the earlier span is kept.
+    pub fn to(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Returns `true` if `self` fully contains `other`.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::dummy()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_recognizable() {
+        assert!(Span::dummy().is_dummy());
+        assert!(!Span::new(0, 1, 1, 1).is_dummy());
+    }
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 14, 2, 3);
+        let j = a.to(b);
+        assert_eq!(j.start, 0);
+        assert_eq!(j.end, 14);
+        assert_eq!(j.line, 1);
+        // Join is symmetric in extent.
+        let k = b.to(a);
+        assert_eq!(k.start, 0);
+        assert_eq!(k.end, 14);
+        assert_eq!(k.line, 1);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Span::new(0, 10, 1, 1);
+        let inner = Span::new(2, 5, 1, 3);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(5, 9, 3, 7).to_string(), "3:7");
+    }
+}

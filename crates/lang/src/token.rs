@@ -1,0 +1,219 @@
+//! Token definitions for the mini-C dialect.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Keyword and punctuation variants are self-describing; see
+/// [`TokenKind::describe`] for their surface syntax.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier such as `buf` or `copy_bytes`.
+    Ident(String),
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Character literal, e.g. `'a'`.
+    Char(char),
+    /// String literal with escapes already resolved.
+    Str(String),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Assign,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusAssign,
+    MinusAssign,
+    PlusPlus,
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a reserved word.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "int" => TokenKind::KwInt,
+            "char" => TokenKind::KwChar,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable name used in parse error messages.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            TokenKind::Ident(_) => "identifier",
+            TokenKind::Int(_) => "integer literal",
+            TokenKind::Char(_) => "char literal",
+            TokenKind::Str(_) => "string literal",
+            TokenKind::KwInt => "`int`",
+            TokenKind::KwChar => "`char`",
+            TokenKind::KwVoid => "`void`",
+            TokenKind::KwIf => "`if`",
+            TokenKind::KwElse => "`else`",
+            TokenKind::KwWhile => "`while`",
+            TokenKind::KwFor => "`for`",
+            TokenKind::KwReturn => "`return`",
+            TokenKind::KwBreak => "`break`",
+            TokenKind::KwContinue => "`continue`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::AmpAmp => "`&&`",
+            TokenKind::PipePipe => "`||`",
+            TokenKind::Bang => "`!`",
+            TokenKind::Assign => "`=`",
+            TokenKind::Eq => "`==`",
+            TokenKind::Ne => "`!=`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::PlusAssign => "`+=`",
+            TokenKind::MinusAssign => "`-=`",
+            TokenKind::PlusPlus => "`++`",
+            TokenKind::MinusMinus => "`--`",
+            TokenKind::Eof => "end of input",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Char(c) => write!(f, "'{c}'"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            other => write!(f, "{}", other.describe().trim_matches('`')),
+        }
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus its source [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token from its parts.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A comment captured during lexing.
+///
+/// Comments are trivia: they do not participate in parsing, but the corpus
+/// generator and the multimodal feature extractors consume them, so the lexer
+/// preserves them on the side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` or `/* */` delimiters, trimmed.
+    pub text: String,
+    /// Location of the whole comment, delimiters included.
+    pub span: Span,
+    /// Whether this was a block (`/* */`) comment.
+    pub block: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("int"), Some(TokenKind::KwInt));
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("banana"), None);
+    }
+
+    #[test]
+    fn ident_accessor() {
+        let t = Token::new(TokenKind::Ident("x".into()), Span::dummy());
+        assert_eq!(t.as_ident(), Some("x"));
+        let t = Token::new(TokenKind::Semi, Span::dummy());
+        assert_eq!(t.as_ident(), None);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::Semi.describe(), "`;`");
+        assert_eq!(TokenKind::Ident("a".into()).describe(), "identifier");
+    }
+}

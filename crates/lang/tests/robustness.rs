@@ -1,0 +1,51 @@
+//! Robustness: the front end must never panic, only return errors.
+
+use proptest::prelude::*;
+use vulnman_lang::interp::{run_program, InterpConfig};
+use vulnman_lang::{lexer::lex, parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: lexing and parsing return, never panic.
+    #[test]
+    fn lexer_and_parser_total_on_arbitrary_input(input in ".*") {
+        let _ = lex(&input);
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary token soup from the language's own alphabet: still total.
+    #[test]
+    fn parser_total_on_token_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "char", "void", "if", "else", "while", "for", "return",
+                "break", "continue", "x", "y", "f", "42", "\"s\"", "'c'",
+                "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/",
+                "=", "==", "<", ">", "&&", "||", "&", "!",
+            ]),
+            0..64,
+        )
+    ) {
+        let source = words.join(" ");
+        let _ = parse(&source);
+    }
+
+    /// Anything that parses can be interpreted without panicking.
+    #[test]
+    fn interpreter_total_on_parsed_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "char", "if", "else", "while", "return", "x", "y",
+                "1", "2", "(", ")", "{", "}", ";", "+", "-", "=", "<",
+            ]),
+            0..48,
+        )
+    ) {
+        let source = format!("void fuzz(int x, char* y) {{ {} }}", words.join(" "));
+        if let Ok(program) = parse(&source) {
+            let cfg = InterpConfig { step_budget: 5_000, ..InterpConfig::default() };
+            let _ = run_program(&program, &cfg);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Stacked ensembles: a meta-learner over heterogeneous detection models.
+//!
+//! E02 shows the model families disagree constantly; [`CombinePolicy`-style
+//! voting](https://en.wikipedia.org/wiki/Ensemble_learning) treats every
+//! vote equally. A stacker instead *learns* how much to trust each family —
+//! "integrate seamlessly with existing tools and … iteratively incorporate
+//! and apply knowledge derived from an organization's existing suite"
+//! (Gap Observation 2).
+
+use crate::eval::Metrics;
+use crate::linear::LogisticRegression;
+use crate::model::Classifier;
+use crate::pipeline::DetectionModel;
+use vulnman_synth::dataset::Dataset;
+use vulnman_synth::sample::Sample;
+
+/// A two-level stacked ensemble: base detection models feed a logistic
+/// meta-learner trained on out-of-fold predictions.
+pub struct StackedEnsemble {
+    factory: Box<dyn Fn(u64) -> Vec<DetectionModel> + Send + Sync>,
+    bases: Vec<DetectionModel>,
+    meta: LogisticRegression,
+    trained: bool,
+}
+
+impl std::fmt::Debug for StackedEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackedEnsemble")
+            .field("bases", &self.bases.iter().map(|b| b.name().to_string()).collect::<Vec<_>>())
+            .field("trained", &self.trained)
+            .finish()
+    }
+}
+
+impl StackedEnsemble {
+    /// Creates an ensemble from a base-model factory (called with a seed;
+    /// must return the same architectures each time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory returns no models.
+    pub fn new(factory: impl Fn(u64) -> Vec<DetectionModel> + Send + Sync + 'static) -> Self {
+        let probe = factory(0);
+        assert!(!probe.is_empty(), "factory must produce at least one base model");
+        let n = probe.len();
+        StackedEnsemble {
+            factory: Box::new(factory),
+            bases: Vec::new(),
+            meta: LogisticRegression::new(n, 0x5ac4),
+            trained: false,
+        }
+    }
+
+    /// Returns `true` once trained.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Names of the base models.
+    pub fn base_names(&self) -> Vec<String> {
+        self.bases.iter().map(|b| b.name().to_string()).collect()
+    }
+
+    /// Trains with two-fold stacking: each half's meta-features come from
+    /// bases trained on the other half; the final bases are retrained on the
+    /// full set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has fewer than four samples.
+    pub fn train(&mut self, data: &Dataset) {
+        assert!(data.len() >= 4, "stacking needs a few samples");
+        let shuffled = data.shuffled(0xf01d);
+        let half = shuffled.len() / 2;
+        let fold_a: Dataset = shuffled.iter().take(half).cloned().collect();
+        let fold_b: Dataset = shuffled.iter().skip(half).cloned().collect();
+
+        // Out-of-fold meta features.
+        let mut meta_x: Vec<Vec<f64>> = Vec::with_capacity(shuffled.len());
+        let mut meta_y: Vec<bool> = Vec::with_capacity(shuffled.len());
+        for (train_fold, pred_fold) in [(&fold_a, &fold_b), (&fold_b, &fold_a)] {
+            let mut bases = (self.factory)(1);
+            for b in &mut bases {
+                b.train(train_fold);
+            }
+            for s in pred_fold.iter() {
+                meta_x.push(bases.iter().map(|b| b.predict_proba(s)).collect());
+                meta_y.push(s.observed_label);
+            }
+        }
+        self.meta.fit(&meta_x, &meta_y);
+
+        // Final bases on everything.
+        let mut bases = (self.factory)(1);
+        for b in &mut bases {
+            b.train(data);
+        }
+        self.bases = bases;
+        self.trained = true;
+    }
+
+    /// Probability the sample is vulnerable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`StackedEnsemble::train`].
+    pub fn predict_proba(&self, sample: &Sample) -> f64 {
+        assert!(self.trained, "train the ensemble first");
+        let features: Vec<f64> = self.bases.iter().map(|b| b.predict_proba(sample)).collect();
+        self.meta.predict_proba(&features)
+    }
+
+    /// Hard decision at the 0.5 threshold.
+    pub fn predict(&self, sample: &Sample) -> bool {
+        self.predict_proba(sample) >= 0.5
+    }
+
+    /// Evaluates against ground truth.
+    pub fn evaluate(&self, data: &Dataset) -> Metrics {
+        let pred: Vec<bool> = data.iter().map(|s| self.predict(s)).collect();
+        let truth: Vec<bool> = data.iter().map(|s| s.label).collect();
+        Metrics::from_predictions(&pred, &truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::model_zoo;
+    use crate::split::stratified_split;
+    use vulnman_synth::dataset::DatasetBuilder;
+
+    #[test]
+    fn stacker_is_competitive_with_best_base() {
+        let ds = DatasetBuilder::new(23).vulnerable_count(150).vulnerable_fraction(0.5).build();
+        let split = stratified_split(&ds, 0.3, 3);
+
+        let mut best_base: f64 = 0.0;
+        for mut m in model_zoo(9) {
+            m.train(&split.train);
+            best_base = best_base.max(m.evaluate(&split.test).f1());
+        }
+
+        let mut stack = StackedEnsemble::new(model_zoo);
+        stack.train(&split.train);
+        let stacked = stack.evaluate(&split.test).f1();
+        assert!(
+            stacked > best_base - 0.06,
+            "stacker ({stacked:.3}) should be competitive with the best base ({best_base:.3})"
+        );
+        assert_eq!(stack.base_names().len(), 5);
+    }
+
+    #[test]
+    fn stacker_beats_uniform_vote() {
+        let ds = DatasetBuilder::new(29).vulnerable_count(150).vulnerable_fraction(0.4).build();
+        let split = stratified_split(&ds, 0.3, 5);
+        let mut bases = model_zoo(11);
+        for b in &mut bases {
+            b.train(&split.train);
+        }
+        // Uniform majority vote.
+        let vote_pred: Vec<bool> = split
+            .test
+            .iter()
+            .map(|s| bases.iter().filter(|b| b.predict(s)).count() * 2 > bases.len())
+            .collect();
+        let truth: Vec<bool> = split.test.iter().map(|s| s.label).collect();
+        let vote_f1 = Metrics::from_predictions(&vote_pred, &truth).f1();
+
+        let mut stack = StackedEnsemble::new(model_zoo);
+        stack.train(&split.train);
+        let stacked = stack.evaluate(&split.test).f1();
+        assert!(
+            stacked > vote_f1 - 0.03,
+            "learned weighting ({stacked:.3}) should match or beat voting ({vote_f1:.3})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "train the ensemble first")]
+    fn untrained_prediction_panics() {
+        let ds = DatasetBuilder::new(1).vulnerable_count(2).build();
+        let stack = StackedEnsemble::new(model_zoo);
+        let _ = stack.predict_proba(&ds.samples()[0]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Evaluation metrics and multi-model agreement statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary-classification confusion counts and derived metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Metrics {
+    /// Builds metrics from aligned prediction/truth slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vulnman_ml::eval::Metrics;
+    /// let m = Metrics::from_predictions(&[true, false, true], &[true, false, false]);
+    /// assert_eq!(m.tp, 1);
+    /// assert_eq!(m.fp, 1);
+    /// assert!((m.precision() - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn from_predictions(pred: &[bool], truth: &[bool]) -> Metrics {
+        assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+        let mut m = Metrics::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision (`tp / (tp + fp)`); 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (`tp / (tp + fn)`); 0 when no positive samples.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
+    }
+
+    /// False positives per true positive — the triage-burden number the
+    /// paper's financial argument turns on ("ten times as many false
+    /// positives… unlikely to be adopted"). Infinite when `tp == 0` but
+    /// `fp > 0`; 0 when both are 0.
+    pub fn fp_per_tp(&self) -> f64 {
+        if self.tp == 0 {
+            if self.fp == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.fp as f64 / self.tp as f64
+        }
+    }
+}
+
+/// Area under the ROC curve from scores (rank statistic, ties averaged).
+///
+/// Returns 0.5 when either class is absent.
+pub fn roc_auc(scores: &[f64], truth: &[bool]) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "scores/truth length mismatch");
+    let n_pos = truth.iter().filter(|&&t| t).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank with average ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    let sum_pos: f64 = ranks.iter().zip(truth).filter(|(_, &t)| t).map(|(r, _)| r).sum();
+    (sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+/// Agreement statistics across multiple models' predictions on the same
+/// sample set — the measurements behind Gap Observation 1 ("leading AI
+/// models only agree 7% of the time").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgreementReport {
+    /// Number of models compared.
+    pub n_models: usize,
+    /// Number of samples compared on.
+    pub n_samples: usize,
+    /// Fraction of samples where *all* models emit the same prediction.
+    pub unanimous_rate: f64,
+    /// Mean pairwise agreement rate.
+    pub mean_pairwise: f64,
+    /// Fleiss' kappa (chance-corrected multi-rater agreement).
+    pub fleiss_kappa: f64,
+}
+
+/// Computes agreement across `predictions[model][sample]`.
+///
+/// # Panics
+///
+/// Panics unless at least two models with equal, non-zero sample counts are
+/// given.
+pub fn agreement(predictions: &[Vec<bool>]) -> AgreementReport {
+    assert!(predictions.len() >= 2, "need at least two models");
+    let n = predictions[0].len();
+    assert!(n > 0, "need at least one sample");
+    assert!(predictions.iter().all(|p| p.len() == n), "sample counts must match");
+    let m = predictions.len();
+
+    let mut unanimous = 0usize;
+    for s in 0..n {
+        let first = predictions[0][s];
+        if predictions.iter().all(|p| p[s] == first) {
+            unanimous += 1;
+        }
+    }
+
+    let mut pair_sum = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..m {
+        for b in (a + 1)..m {
+            let same = (0..n).filter(|&s| predictions[a][s] == predictions[b][s]).count();
+            pair_sum += same as f64 / n as f64;
+            pairs += 1;
+        }
+    }
+
+    // Fleiss' kappa with two categories.
+    let mut p_i_sum = 0.0;
+    let mut pos_total = 0usize;
+    for s in 0..n {
+        let pos = predictions.iter().filter(|p| p[s]).count();
+        let neg = m - pos;
+        pos_total += pos;
+        p_i_sum += (pos * pos + neg * neg - m) as f64 / (m * (m - 1)) as f64;
+    }
+    let p_bar = p_i_sum / n as f64;
+    let p_pos = pos_total as f64 / (n * m) as f64;
+    let p_e = p_pos * p_pos + (1.0 - p_pos) * (1.0 - p_pos);
+    let fleiss_kappa = if (1.0 - p_e).abs() < 1e-12 { 1.0 } else { (p_bar - p_e) / (1.0 - p_e) };
+
+    AgreementReport {
+        n_models: m,
+        n_samples: n,
+        unanimous_rate: unanimous as f64 / n as f64,
+        mean_pairwise: pair_sum / pairs as f64,
+        fleiss_kappa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_identities() {
+        let m = Metrics { tp: 8, fp: 2, tn: 85, fn_: 5 };
+        assert_eq!(m.total(), 100);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 13.0).abs() < 1e-12);
+        let p = m.precision();
+        let r = m.recall();
+        assert!((m.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert!((m.accuracy() - 0.93).abs() < 1e-12);
+        assert!((m.fp_per_tp() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero_not_nan() {
+        let m = Metrics::default();
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.fp_per_tp(), 0.0);
+        let m = Metrics { fp: 3, ..Metrics::default() };
+        assert!(m.fp_per_tp().is_infinite());
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = [true, false, true, false];
+        let m = Metrics::from_predictions(&truth, &truth);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let truth = [true, true, false, false];
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &truth) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &truth) - 0.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn unanimity_shrinks_with_more_models() {
+        // Independent-ish models: each disagrees on a different third.
+        let a = vec![true, true, true, false, false, false];
+        let b = vec![true, false, true, false, true, false];
+        let c = vec![false, true, true, false, false, true];
+        let two = agreement(&[a.clone(), b.clone()]);
+        let three = agreement(&[a, b, c]);
+        assert!(three.unanimous_rate <= two.unanimous_rate);
+        assert!(three.mean_pairwise <= 1.0);
+    }
+
+    #[test]
+    fn identical_models_agree_fully() {
+        let p = vec![true, false, true];
+        let r = agreement(&[p.clone(), p.clone(), p]);
+        assert_eq!(r.unanimous_rate, 1.0);
+        assert_eq!(r.mean_pairwise, 1.0);
+        assert!((r.fleiss_kappa - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kappa_near_zero_for_random_raters() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let preds: Vec<Vec<bool>> =
+            (0..5).map(|_| (0..2000).map(|_| rng.gen_bool(0.5)).collect()).collect();
+        let r = agreement(&preds);
+        assert!(r.fleiss_kappa.abs() < 0.05, "kappa {}", r.fleiss_kappa);
+        assert!((r.mean_pairwise - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_model_rejected() {
+        let _ = agreement(&[vec![true]]);
+    }
+}

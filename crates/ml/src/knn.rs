@@ -1,0 +1,148 @@
+//! k-nearest-neighbours classifier (cosine similarity).
+//!
+//! Stands in for similarity/clone-detection approaches: its predictions are
+//! driven by training-set proximity, which makes it the model family most
+//! inflated by dataset near-duplication (experiment E08).
+
+use crate::model::{validate_fit_input, Classifier};
+
+/// k-NN with cosine similarity over dense vectors.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::{knn::Knn, model::Classifier};
+/// let x = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+/// let y = vec![true, false];
+/// let mut m = Knn::new(1);
+/// m.fit(&x, &y);
+/// assert!(m.predict(&[0.9, 0.1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<bool>,
+}
+
+impl Knn {
+    /// Creates a classifier using the `k` nearest neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Knn { k, train_x: Vec::new(), train_y: Vec::new() }
+    }
+
+    /// Number of stored training points.
+    pub fn len(&self) -> usize {
+        self.train_x.len()
+    }
+
+    /// Returns `true` if the model holds no training data.
+    pub fn is_empty(&self) -> bool {
+        self.train_x.is_empty()
+    }
+
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        self.train_x = x.to_vec();
+        self.train_y = y.to_vec();
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.train_x.is_empty() {
+            return 0.5;
+        }
+        let mut sims: Vec<(f64, bool)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(t, &l)| (Self::cosine(t, x), l))
+            .collect();
+        sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(sims.len());
+        let pos = sims[..k].iter().filter(|(_, l)| *l).count();
+        pos as f64 / k as f64
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn fit_incremental(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        self.train_x.extend(x.iter().cloned());
+        self.train_y.extend(y.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_wins() {
+        let mut m = Knn::new(3);
+        m.fit(
+            &[vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0], vec![0.1, 0.9]],
+            &[true, true, false, false],
+        );
+        assert!(m.predict(&[0.95, 0.05]));
+        assert!(!m.predict(&[0.05, 0.95]));
+    }
+
+    #[test]
+    fn untrained_is_uninformative() {
+        let m = Knn::new(3);
+        assert_eq!(m.predict_proba(&[1.0]), 0.5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn incremental_appends() {
+        let mut m = Knn::new(1);
+        m.fit(&[vec![1.0]], &[true]);
+        m.fit_incremental(&[vec![-1.0]], &[false]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.predict(&[-0.9]));
+    }
+
+    #[test]
+    fn zero_vector_handled() {
+        let mut m = Knn::new(1);
+        m.fit(&[vec![0.0, 0.0], vec![1.0, 0.0]], &[false, true]);
+        let p = m.predict_proba(&[0.0, 0.0]);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = Knn::new(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Logistic regression trained by mini-batch SGD.
+
+use crate::model::{sigmoid, validate_fit_input, Classifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// L2-regularized logistic regression.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::{linear::LogisticRegression, model::Classifier};
+/// let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.1, 0.9], vec![0.9, 0.1]];
+/// let y = vec![true, false, true, false];
+/// let mut m = LogisticRegression::new(2, 1);
+/// m.fit(&x, &y);
+/// assert!(m.predict(&[0.0, 1.0]));
+/// assert!(!m.predict(&[1.0, 0.0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    dim: usize,
+    seed: u64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model for `dim`-dimensional inputs.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        LogisticRegression {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            dim,
+            seed,
+            learning_rate: 0.5,
+            epochs: 60,
+            l2: 1e-4,
+        }
+    }
+
+    /// The learned weight vector (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn run_epochs(&mut self, x: &[Vec<f64>], y: &[bool], epochs: usize) {
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..epochs {
+            // Fisher–Yates shuffle per epoch.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let lr = self.learning_rate / (1.0 + 0.05 * epoch as f64);
+            for &i in &order {
+                let row = &x[i];
+                let z = self.bias
+                    + row.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>();
+                let p = sigmoid(z);
+                let err = p - if y[i] { 1.0 } else { 0.0 };
+                for (w, a) in self.weights.iter_mut().zip(row) {
+                    *w -= lr * (err * a + self.l2 * *w);
+                }
+                self.bias -= lr * err;
+            }
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "logreg"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        assert_eq!(x[0].len(), self.dim, "input dimension mismatch");
+        self.weights = vec![0.0; self.dim];
+        self.bias = 0.0;
+        self.run_epochs(x, y, self.epochs);
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z = self.bias + x.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>();
+        sigmoid(z)
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn fit_incremental(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        // Warm start: fewer epochs at a reduced rate, keeping prior weights.
+        let saved = self.learning_rate;
+        self.learning_rate *= 0.5;
+        self.run_epochs(x, y, (self.epochs / 2).max(1));
+        self.learning_rate = saved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let label: bool = rng.gen_bool(0.5);
+            let center = if label { 1.0 } else { -1.0 };
+            x.push(vec![
+                center + rng.gen_range(-0.5..0.5),
+                -center + rng.gen_range(-0.5..0.5),
+            ]);
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs(200, 3);
+        let mut m = LogisticRegression::new(2, 7);
+        m.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(xi, yi)| m.predict(xi) == **yi).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "{correct}/200");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let (x, y) = blobs(100, 4);
+        let mut a = LogisticRegression::new(2, 9);
+        let mut b = LogisticRegression::new(2, 9);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn incremental_improves_on_shifted_data() {
+        let (x, y) = blobs(200, 5);
+        let mut m = LogisticRegression::new(2, 1);
+        m.fit(&x, &y);
+        // New domain: labels flipped along a shifted boundary.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut x2 = Vec::new();
+        let mut y2 = Vec::new();
+        for _ in 0..200 {
+            let label: bool = rng.gen_bool(0.5);
+            let center = if label { 3.0 } else { 1.0 };
+            x2.push(vec![center + rng.gen_range(-0.4..0.4), rng.gen_range(-0.4..0.4)]);
+            y2.push(label);
+        }
+        let before = x2.iter().zip(&y2).filter(|(xi, yi)| m.predict(xi) == **yi).count();
+        m.fit_incremental(&x2, &y2);
+        let after = x2.iter().zip(&y2).filter(|(xi, yi)| m.predict(xi) == **yi).count();
+        assert!(after > before, "fine-tuning should adapt: {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut m = LogisticRegression::new(3, 1);
+        m.fit(&[vec![1.0, 2.0]], &[true]);
+    }
+
+    #[test]
+    fn proba_in_unit_interval() {
+        let (x, y) = blobs(50, 8);
+        let mut m = LogisticRegression::new(2, 2);
+        m.fit(&x, &y);
+        for xi in &x {
+            let p = m.predict_proba(xi);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! A small multi-layer perceptron (one hidden layer, tanh) trained by SGD.
+
+use crate::model::{sigmoid, validate_fit_input, Classifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One-hidden-layer MLP for binary classification.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::{mlp::Mlp, model::Classifier};
+/// let x = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+/// let y = vec![false, true, true, false]; // XOR
+/// let mut m = Mlp::new(2, 8, 3);
+/// m.epochs = 800;
+/// m.fit(&x, &y);
+/// assert!(m.predict(&[0.0, 1.0]));
+/// assert!(!m.predict(&[1.0, 1.0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    dim: usize,
+    hidden: usize,
+    w1: Vec<f64>, // hidden × dim
+    b1: Vec<f64>,
+    w2: Vec<f64>, // hidden
+    b2: f64,
+    seed: u64,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Mlp {
+    /// Creates an untrained network with the given input and hidden sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `hidden` is zero.
+    pub fn new(dim: usize, hidden: usize, seed: u64) -> Self {
+        assert!(dim > 0 && hidden > 0, "sizes must be positive");
+        let mut m = Mlp {
+            dim,
+            hidden,
+            w1: Vec::new(),
+            b1: Vec::new(),
+            w2: Vec::new(),
+            b2: 0.0,
+            seed,
+            learning_rate: 0.3,
+            epochs: 250,
+        };
+        m.init_weights();
+        m
+    }
+
+    fn init_weights(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scale = (2.0 / self.dim as f64).sqrt();
+        self.w1 = (0..self.hidden * self.dim).map(|_| rng.gen_range(-scale..scale)).collect();
+        self.b1 = vec![0.0; self.hidden];
+        let s2 = (2.0 / self.hidden as f64).sqrt();
+        self.w2 = (0..self.hidden).map(|_| rng.gen_range(-s2..s2)).collect();
+        self.b2 = 0.0;
+    }
+
+    #[allow(clippy::needless_range_loop)] // j indexes three parallel arrays
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let mut h = vec![0.0; self.hidden];
+        for j in 0..self.hidden {
+            let mut z = self.b1[j];
+            let row = &self.w1[j * self.dim..(j + 1) * self.dim];
+            for (w, a) in row.iter().zip(x) {
+                z += w * a;
+            }
+            h[j] = z.tanh();
+        }
+        let z2 = self.b2 + h.iter().zip(&self.w2).map(|(a, w)| a * w).sum::<f64>();
+        (h, sigmoid(z2))
+    }
+
+    #[allow(clippy::needless_range_loop)] // j indexes parallel weight arrays
+    fn run_epochs(&mut self, x: &[Vec<f64>], y: &[bool], epochs: usize, lr0: f64) {
+        let n = x.len();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xabcd);
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..epochs {
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let lr = lr0 / (1.0 + 0.02 * epoch as f64);
+            for &i in &order {
+                let xi = &x[i];
+                let (h, p) = self.forward(xi);
+                let err = p - if y[i] { 1.0 } else { 0.0 };
+                // Output layer gradients.
+                for j in 0..self.hidden {
+                    let grad_w2 = err * h[j];
+                    // Hidden layer (through tanh: dh/dz = 1 - h^2).
+                    let back = err * self.w2[j] * (1.0 - h[j] * h[j]);
+                    let row = &mut self.w1[j * self.dim..(j + 1) * self.dim];
+                    for (w, a) in row.iter_mut().zip(xi) {
+                        *w -= lr * back * a;
+                    }
+                    self.b1[j] -= lr * back;
+                    self.w2[j] -= lr * grad_w2;
+                }
+                self.b2 -= lr * err;
+            }
+        }
+    }
+}
+
+impl Classifier for Mlp {
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        assert_eq!(x[0].len(), self.dim, "input dimension mismatch");
+        self.init_weights();
+        self.run_epochs(x, y, self.epochs, self.learning_rate);
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.forward(x).1
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn fit_incremental(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        self.run_epochs(x, y, (self.epochs / 2).max(1), self.learning_rate * 0.5);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_boundary_fast() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let t = i as f64 * 0.1;
+            x.push(vec![1.0 + t * 0.01, 0.0]);
+            y.push(true);
+            x.push(vec![-1.0 - t * 0.01, 0.0]);
+            y.push(false);
+        }
+        let mut m = Mlp::new(2, 4, 5);
+        m.fit(&x, &y);
+        let acc = x.iter().zip(&y).filter(|(xi, yi)| m.predict(xi) == **yi).count();
+        assert!(acc as f64 / x.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let y = vec![true, false];
+        let mut a = Mlp::new(2, 4, 3);
+        let mut b = Mlp::new(2, 4, 3);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&[0.4, 0.3]), b.predict_proba(&[0.4, 0.3]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.9, 0.1], vec![0.1, 0.9]];
+        let y = vec![true, false, true, false];
+        let mut a = Mlp::new(2, 4, 3);
+        let mut b = Mlp::new(2, 4, 4);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_ne!(a.predict_proba(&[0.5, 0.5]), b.predict_proba(&[0.5, 0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut m = Mlp::new(3, 4, 0);
+        m.fit(&[vec![1.0]], &[true]);
+    }
+}

@@ -1,0 +1,80 @@
+//! The classifier abstraction shared by every model family.
+
+/// A trainable binary classifier over dense feature vectors.
+///
+/// Implementations must be deterministic given their construction seed.
+pub trait Classifier: Send + Sync {
+    /// Stable model-family name.
+    fn name(&self) -> &'static str;
+
+    /// Trains from scratch on the given matrix.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` and `y` lengths differ or `x` is empty.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]);
+
+    /// Probability that `x` is positive (vulnerable), in `[0, 1]`.
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Whether [`Classifier::fit_incremental`] continues training rather
+    /// than refitting (true for gradient-based models).
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// Continues training on additional data (fine-tuning). The default
+    /// retrains from scratch on only the new data; gradient-based models
+    /// override this to warm-start from current parameters.
+    fn fit_incremental(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        self.fit(x, y);
+    }
+}
+
+pub(crate) fn validate_fit_input(x: &[Vec<f64>], y: &[bool]) {
+    assert!(!x.is_empty(), "training set must be non-empty");
+    assert_eq!(x.len(), y.len(), "features and labels must align");
+    let d = x[0].len();
+    assert!(x.iter().all(|r| r.len() == d), "all rows must share a dimension");
+}
+
+pub(crate) fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        // Numerically stable at extremes.
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(1000.0) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_rejected() {
+        validate_fit_input(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_labels_rejected() {
+        validate_fit_input(&[vec![1.0]], &[true, false]);
+    }
+}

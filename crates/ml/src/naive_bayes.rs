@@ -1,0 +1,166 @@
+//! Gaussian naive Bayes.
+
+use crate::model::{validate_fit_input, Classifier};
+
+/// Gaussian naive Bayes with per-class feature means/variances.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::{model::Classifier, naive_bayes::GaussianNb};
+/// let x = vec![vec![5.0], vec![5.2], vec![-5.0], vec![-5.1]];
+/// let y = vec![true, true, false, false];
+/// let mut m = GaussianNb::new();
+/// m.fit(&x, &y);
+/// assert!(m.predict(&[4.0]));
+/// assert!(!m.predict(&[-4.0]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    prior_pos: f64,
+    mean_pos: Vec<f64>,
+    var_pos: Vec<f64>,
+    mean_neg: Vec<f64>,
+    var_neg: Vec<f64>,
+    trained: bool,
+}
+
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianNb {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        GaussianNb::default()
+    }
+
+    fn log_likelihood(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+        x.iter()
+            .zip(mean.iter().zip(var))
+            .map(|(xi, (m, v))| {
+                let v = v.max(VAR_FLOOR);
+                let d = xi - m;
+                -0.5 * (d * d / v + v.ln() + std::f64::consts::TAU.ln())
+            })
+            .sum()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn name(&self) -> &'static str {
+        "naive-bayes"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        let d = x[0].len();
+        let (mut n_pos, mut n_neg) = (0usize, 0usize);
+        let mut sum_pos = vec![0.0; d];
+        let mut sum_neg = vec![0.0; d];
+        for (row, &label) in x.iter().zip(y) {
+            let (n, sum) = if label {
+                n_pos += 1;
+                (&mut n_pos, &mut sum_pos)
+            } else {
+                n_neg += 1;
+                (&mut n_neg, &mut sum_neg)
+            };
+            let _ = n;
+            for (s, v) in sum.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        // Laplace-ish prior smoothing so single-class sets stay finite.
+        self.prior_pos = (n_pos as f64 + 1.0) / (x.len() as f64 + 2.0);
+        self.mean_pos = sum_pos.iter().map(|s| s / (n_pos.max(1) as f64)).collect();
+        self.mean_neg = sum_neg.iter().map(|s| s / (n_neg.max(1) as f64)).collect();
+        let mut var_pos = vec![VAR_FLOOR; d];
+        let mut var_neg = vec![VAR_FLOOR; d];
+        for (row, &label) in x.iter().zip(y) {
+            let (mean, var) =
+                if label { (&self.mean_pos, &mut var_pos) } else { (&self.mean_neg, &mut var_neg) };
+            for ((v, m), xi) in var.iter_mut().zip(mean).zip(row) {
+                let dlt = xi - m;
+                *v += dlt * dlt;
+            }
+        }
+        self.var_pos = var_pos.iter().map(|v| v / (n_pos.max(1) as f64)).collect();
+        self.var_neg = var_neg.iter().map(|v| v / (n_neg.max(1) as f64)).collect();
+        self.trained = true;
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if !self.trained {
+            return 0.5;
+        }
+        let lp = self.prior_pos.ln() + Self::log_likelihood(x, &self.mean_pos, &self.var_pos);
+        let ln = (1.0 - self.prior_pos).ln() + Self::log_likelihood(x, &self.mean_neg, &self.var_neg);
+        // Softmax over the two log-joint scores.
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_is_uninformative() {
+        let m = GaussianNb::new();
+        assert_eq!(m.predict_proba(&[1.0, 2.0]), 0.5);
+    }
+
+    #[test]
+    fn learns_axis_aligned_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 / 50.0;
+            x.push(vec![2.0 + t, 0.0]);
+            y.push(true);
+            x.push(vec![-2.0 - t, 0.0]);
+            y.push(false);
+        }
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        assert!(m.predict(&[2.5, 0.0]));
+        assert!(!m.predict(&[-2.5, 0.0]));
+        assert!(m.predict_proba(&[2.5, 0.0]) > 0.9);
+    }
+
+    #[test]
+    fn prior_shifts_decision_under_imbalance() {
+        // 90% negative: ambiguous points lean negative.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..90 {
+            x.push(vec![-1.0]);
+            y.push(false);
+        }
+        for _ in 0..10 {
+            x.push(vec![1.0]);
+            y.push(true);
+        }
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        assert!(m.predict_proba(&[0.0]) < 0.5);
+    }
+
+    #[test]
+    fn single_class_training_stays_finite() {
+        let mut m = GaussianNb::new();
+        m.fit(&[vec![1.0], vec![2.0]], &[true, true]);
+        let p = m.predict_proba(&[1.5]);
+        assert!(p.is_finite());
+        assert!(p > 0.5);
+    }
+
+    #[test]
+    fn constant_feature_no_nan() {
+        let mut m = GaussianNb::new();
+        m.fit(&[vec![3.0, 0.0], vec![3.0, 1.0]], &[true, false]);
+        assert!(m.predict_proba(&[3.0, 0.5]).is_finite());
+    }
+}

@@ -1,0 +1,264 @@
+//! Calibration and cost-aware operating points.
+//!
+//! Two industry requirements the paper raises that plain accuracy metrics
+//! ignore:
+//!
+//! * Gap 2 — teams must "maintain confidence in [the model's] predictive
+//!   outcomes": a score of 0.9 should *mean* ninety percent. Measured here
+//!   by expected calibration error and repaired by Platt scaling.
+//! * Gap 3 / Proposal 3 — the deployment threshold is an *economic* choice,
+//!   not 0.5: [`optimal_threshold`] picks the operating point that maximizes
+//!   net dollar value under a `CostParams`-style pricing of the confusion
+//!   matrix.
+
+use crate::eval::Metrics;
+use crate::model::sigmoid;
+use serde::{Deserialize, Serialize};
+
+/// Expected calibration error over `bins` equal-width score bins: the
+/// confidence-weighted mean gap between predicted score and empirical
+/// positive rate. 0 = perfectly calibrated.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, lengths differ, or `bins == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::operating_point::expected_calibration_error;
+/// // Scores that match empirical frequency exactly.
+/// let scores = vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
+/// let truth: Vec<bool> = (0..10).map(|i| i == 0).collect(); // 10% positive
+/// let ece = expected_calibration_error(&scores, &truth, 10);
+/// assert!(ece < 0.01);
+/// ```
+pub fn expected_calibration_error(scores: &[f64], truth: &[bool], bins: usize) -> f64 {
+    assert!(!scores.is_empty(), "need scores");
+    assert_eq!(scores.len(), truth.len(), "scores/truth must align");
+    assert!(bins > 0, "need at least one bin");
+    let mut bin_n = vec![0usize; bins];
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_pos = vec![0usize; bins];
+    for (&s, &t) in scores.iter().zip(truth) {
+        let b = ((s * bins as f64) as usize).min(bins - 1);
+        bin_n[b] += 1;
+        bin_conf[b] += s;
+        bin_pos[b] += t as usize;
+    }
+    let n = scores.len() as f64;
+    (0..bins)
+        .filter(|&b| bin_n[b] > 0)
+        .map(|b| {
+            let conf = bin_conf[b] / bin_n[b] as f64;
+            let acc = bin_pos[b] as f64 / bin_n[b] as f64;
+            bin_n[b] as f64 / n * (conf - acc).abs()
+        })
+        .sum()
+}
+
+/// Platt scaling: fits `sigmoid(a·s + b)` to map raw scores to calibrated
+/// probabilities, by gradient descent on log-loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the scaler on held-out validation scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths differ.
+    pub fn fit(scores: &[f64], truth: &[bool]) -> PlattScaler {
+        assert!(!scores.is_empty(), "need scores");
+        assert_eq!(scores.len(), truth.len(), "scores/truth must align");
+        let (mut a, mut b) = (1.0f64, 0.0f64);
+        let n = scores.len() as f64;
+        let lr = 0.5;
+        for _ in 0..500 {
+            let (mut ga, mut gb) = (0.0, 0.0);
+            for (&s, &t) in scores.iter().zip(truth) {
+                let p = sigmoid(a * s + b);
+                let err = p - t as u8 as f64;
+                ga += err * s;
+                gb += err;
+            }
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        PlattScaler { a, b }
+    }
+
+    /// Maps a raw score to a calibrated probability.
+    pub fn calibrate(&self, score: f64) -> f64 {
+        sigmoid(self.a * score + self.b)
+    }
+}
+
+/// Dollar weights for the four confusion-matrix cells (per sample).
+/// Positive = value gained, negative = cost incurred.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellValues {
+    /// Value of a true positive (breach prevented, minus triage + fix).
+    pub tp: f64,
+    /// Value of a false positive (wasted triage; negative).
+    pub fp: f64,
+    /// Value of a true negative (usually 0).
+    pub tn: f64,
+    /// Value of a false negative (expected breach loss; negative).
+    pub fn_: f64,
+}
+
+impl CellValues {
+    /// Total value of a confusion-matrix outcome.
+    pub fn value_of(&self, m: &Metrics) -> f64 {
+        self.tp * m.tp as f64
+            + self.fp * m.fp as f64
+            + self.tn * m.tn as f64
+            + self.fn_ * m.fn_ as f64
+    }
+}
+
+/// The chosen operating point and its consequences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Decision threshold on the (calibrated) score.
+    pub threshold: f64,
+    /// Confusion matrix at that threshold on the tuning set.
+    pub metrics: Metrics,
+    /// Net value at that threshold on the tuning set.
+    pub net_value: f64,
+}
+
+/// Sweeps every achievable threshold and returns the one maximizing net
+/// value under `values` (ties broken toward higher thresholds, i.e. fewer
+/// flags).
+///
+/// # Panics
+///
+/// Panics if inputs are empty or lengths differ.
+pub fn optimal_threshold(scores: &[f64], truth: &[bool], values: &CellValues) -> OperatingPoint {
+    assert!(!scores.is_empty(), "need scores");
+    assert_eq!(scores.len(), truth.len(), "scores/truth must align");
+    // Candidate thresholds: midpoints between sorted distinct scores, plus
+    // the extremes.
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    sorted.dedup();
+    let mut candidates = vec![0.0];
+    candidates.extend(sorted.windows(2).map(|w| (w[0] + w[1]) / 2.0));
+    candidates.push(1.0 + f64::EPSILON);
+
+    let mut best: Option<OperatingPoint> = None;
+    for &th in &candidates {
+        let pred: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+        let m = Metrics::from_predictions(&pred, truth);
+        let v = values.value_of(&m);
+        let better = match &best {
+            None => true,
+            Some(b) => v > b.net_value || (v == b.net_value && th > b.threshold),
+        };
+        if better {
+            best = Some(OperatingPoint { threshold: th, metrics: m, net_value: v });
+        }
+    }
+    best.expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize, overlap: f64) -> (Vec<f64>, Vec<bool>) {
+        // Deterministic quasi-random scores whose class distributions
+        // overlap (no threshold separates them perfectly).
+        let mut scores = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i % 3 == 0;
+            let noise = ((i.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0;
+            let s = if t {
+                0.35 + (0.55 + overlap * 0.1) * noise
+            } else {
+                0.05 + (0.55 + overlap * 0.1) * noise
+            };
+            scores.push(s.clamp(0.0, 1.0));
+            truth.push(t);
+        }
+        (scores, truth)
+    }
+
+    #[test]
+    fn ece_zero_for_perfect_calibration() {
+        // Score 0.25 on a population that is 25% positive, etc.
+        let mut scores = Vec::new();
+        let mut truth = Vec::new();
+        for (s, rate) in [(0.25f64, 4usize), (0.75, 4)] {
+            for i in 0..40 {
+                scores.push(s);
+                truth.push(i % rate < (s * rate as f64) as usize);
+            }
+        }
+        assert!(expected_calibration_error(&scores, &truth, 4) < 0.01);
+    }
+
+    #[test]
+    fn ece_large_for_overconfident_scores() {
+        // Claims 0.95 on a 50% population.
+        let scores = vec![0.95; 100];
+        let truth: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&scores, &truth, 10);
+        assert!((ece - 0.45).abs() < 0.01, "{ece}");
+    }
+
+    #[test]
+    fn platt_reduces_ece() {
+        // Systematically overconfident scores.
+        let (raw, truth) = synthetic(300, 1.0);
+        let inflated: Vec<f64> = raw.iter().map(|s| (s * 1.6 - 0.1).clamp(0.0, 1.0)).collect();
+        let before = expected_calibration_error(&inflated, &truth, 10);
+        let scaler = PlattScaler::fit(&inflated, &truth);
+        let calibrated: Vec<f64> = inflated.iter().map(|&s| scaler.calibrate(s)).collect();
+        let after = expected_calibration_error(&calibrated, &truth, 10);
+        assert!(after < before, "Platt should reduce ECE: {before} -> {after}");
+    }
+
+    #[test]
+    fn optimal_threshold_tracks_economics() {
+        let (scores, truth) = synthetic(400, 1.0);
+        // Expensive false positives => higher threshold than cheap ones.
+        let fp_cheap = CellValues { tp: 100.0, fp: -1.0, tn: 0.0, fn_: -100.0 };
+        let fp_dear = CellValues { tp: 100.0, fp: -80.0, tn: 0.0, fn_: -10.0 };
+        let cheap = optimal_threshold(&scores, &truth, &fp_cheap);
+        let dear = optimal_threshold(&scores, &truth, &fp_dear);
+        assert!(
+            dear.threshold > cheap.threshold,
+            "dear FPs should raise the bar: {} vs {}",
+            dear.threshold,
+            cheap.threshold
+        );
+        // Chosen points beat the default 0.5 threshold under their own economics.
+        let at_half = |v: &CellValues| {
+            let pred: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+            v.value_of(&Metrics::from_predictions(&pred, &truth))
+        };
+        assert!(cheap.net_value >= at_half(&fp_cheap));
+        assert!(dear.net_value >= at_half(&fp_dear));
+    }
+
+    #[test]
+    fn extreme_economics_degenerate_sanely() {
+        let (scores, truth) = synthetic(100, 1.0);
+        // Misses are free, FPs ruinous: tolerate zero false positives
+        // (flag at most the score range no negative reaches).
+        let never = CellValues { tp: 1.0, fp: -1000.0, tn: 0.0, fn_: 0.0 };
+        let p = optimal_threshold(&scores, &truth, &never);
+        assert_eq!(p.metrics.fp, 0, "{p:?}");
+        // FPs free, misses ruinous: miss nothing.
+        let always = CellValues { tp: 1.0, fp: 0.0, tn: 0.0, fn_: -1000.0 };
+        let p = optimal_threshold(&scores, &truth, &always);
+        assert_eq!(p.metrics.fn_, 0, "{p:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Dataset splitting: stratified, k-fold, and group (cross-project) splits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vulnman_synth::dataset::Dataset;
+
+/// A train/test split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training partition.
+    pub train: Dataset,
+    /// Test partition.
+    pub test: Dataset,
+}
+
+/// Stratified split preserving the observed-label ratio.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::split::stratified_split;
+/// use vulnman_synth::dataset::DatasetBuilder;
+/// let ds = DatasetBuilder::new(1).vulnerable_count(20).vulnerable_fraction(0.2).build();
+/// let s = stratified_split(&ds, 0.25, 7);
+/// assert_eq!(s.train.len() + s.test.len(), ds.len());
+/// let tr = s.train.vulnerable_fraction();
+/// let te = s.test.vulnerable_fraction();
+/// assert!((tr - te).abs() < 0.05);
+/// ```
+pub fn stratified_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> Split {
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Dataset::new();
+    let mut test = Dataset::new();
+    for label in [true, false] {
+        let mut group: Vec<_> =
+            dataset.iter().filter(|s| s.observed_label == label).cloned().collect();
+        for i in (1..group.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            group.swap(i, j);
+        }
+        let n_test = (group.len() as f64 * test_fraction).round() as usize;
+        for (i, s) in group.into_iter().enumerate() {
+            if i < n_test {
+                test.push(s);
+            } else {
+                train.push(s);
+            }
+        }
+    }
+    Split { train, test }
+}
+
+/// Group split: held-out test projects never appear in training — the
+/// cross-project evaluation setting under which academic models lose most of
+/// their reported performance (Gap Observation 3).
+///
+/// `test_projects` selects which project ids go to the test side.
+pub fn split_by_project(dataset: &Dataset, test_projects: &[String]) -> Split {
+    let (test, train) = dataset.partition(|s| test_projects.contains(&s.project));
+    Split { train, test }
+}
+
+/// Deterministic k-fold assignment; returns `(train, test)` for `fold`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `fold >= k`.
+pub fn kfold(dataset: &Dataset, k: usize, fold: usize, seed: u64) -> Split {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(fold < k, "fold out of range");
+    let shuffled = dataset.shuffled(seed);
+    let mut train = Dataset::new();
+    let mut test = Dataset::new();
+    for (i, s) in shuffled.iter().enumerate() {
+        if i % k == fold {
+            test.push(s.clone());
+        } else {
+            train.push(s.clone());
+        }
+    }
+    Split { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_synth::dataset::DatasetBuilder;
+    use vulnman_synth::style::StyleProfile;
+
+    fn ds() -> Dataset {
+        DatasetBuilder::new(3)
+            .teams(StyleProfile::internal_teams())
+            .projects_per_team(3)
+            .vulnerable_count(40)
+            .vulnerable_fraction(0.4)
+            .build()
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        let d = ds();
+        let s = stratified_split(&d, 0.3, 1);
+        assert!((s.train.vulnerable_fraction() - s.test.vulnerable_fraction()).abs() < 0.08);
+        assert_eq!(s.train.len() + s.test.len(), d.len());
+    }
+
+    #[test]
+    fn stratified_is_deterministic() {
+        let d = ds();
+        let a = stratified_split(&d, 0.3, 9);
+        let b = stratified_split(&d, 0.3, 9);
+        let ids = |x: &Dataset| x.iter().map(|s| s.id).collect::<Vec<_>>();
+        assert_eq!(ids(&a.test), ids(&b.test));
+    }
+
+    #[test]
+    fn project_split_is_disjoint() {
+        let d = ds();
+        let projects = d.projects();
+        let held_out = vec![projects[0].clone()];
+        let s = split_by_project(&d, &held_out);
+        assert!(s.test.iter().all(|x| x.project == held_out[0]));
+        assert!(s.train.iter().all(|x| x.project != held_out[0]));
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let d = ds();
+        let mut seen = std::collections::HashSet::new();
+        for fold in 0..5 {
+            let s = kfold(&d, 5, fold, 2);
+            for x in &s.test {
+                assert!(seen.insert(x.id), "sample in two folds");
+            }
+            assert_eq!(s.train.len() + s.test.len(), d.len());
+        }
+        assert_eq!(seen.len(), d.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "fold out of range")]
+    fn kfold_bounds_checked() {
+        let _ = kfold(&ds(), 3, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_rejected() {
+        let _ = stratified_split(&ds(), 1.5, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! CART decision trees and random forests.
+
+use crate::model::{validate_fit_input, Classifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,  // feature <= threshold
+        right: Box<Node>, // feature > threshold
+    },
+}
+
+/// A single CART decision tree (Gini impurity).
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_ml::{model::Classifier, tree::DecisionTree};
+/// let x = vec![vec![0.0], vec![1.0], vec![0.1], vec![0.9]];
+/// let y = vec![false, true, false, true];
+/// let mut t = DecisionTree::new(4, 1);
+/// t.fit(&x, &y);
+/// assert!(t.predict(&[0.95]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Option<Node>,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split (`None` = all).
+    feature_subsample: Option<usize>,
+    seed: u64,
+}
+
+impl DecisionTree {
+    /// Creates an untrained tree.
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        DecisionTree {
+            root: None,
+            max_depth,
+            min_samples_split: min_samples_split.max(2),
+            feature_subsample: None,
+            seed: 0,
+        }
+    }
+
+    fn with_subsample(max_depth: usize, min_samples_split: usize, k: usize, seed: u64) -> Self {
+        DecisionTree {
+            root: None,
+            max_depth,
+            min_samples_split: min_samples_split.max(2),
+            feature_subsample: Some(k.max(1)),
+            seed,
+        }
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        y: &[bool],
+        idx: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Node {
+        let pos = idx.iter().filter(|&&i| y[i]).count();
+        let n = idx.len();
+        let proba = (pos as f64 + 1.0) / (n as f64 + 2.0);
+        if depth >= self.max_depth || n < self.min_samples_split || pos == 0 || pos == n {
+            return Node::Leaf { proba };
+        }
+        let d = x[0].len();
+        let features: Vec<usize> = match self.feature_subsample {
+            None => (0..d).collect(),
+            Some(k) => {
+                let mut all: Vec<usize> = (0..d).collect();
+                for i in 0..k.min(d) {
+                    let j = rng.gen_range(i..d);
+                    all.swap(i, j);
+                }
+                all.truncate(k.min(d));
+                all
+            }
+        };
+        let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+        for &f in &features {
+            let mut vals: Vec<(f64, bool)> = idx.iter().map(|&i| (x[i][f], y[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let total_pos = vals.iter().filter(|(_, l)| *l).count() as f64;
+            let mut left_pos = 0.0f64;
+            for (k, w) in vals.windows(2).enumerate() {
+                if w[0].1 {
+                    left_pos += 1.0;
+                }
+                if w[0].0 == w[1].0 {
+                    continue;
+                }
+                let nl = (k + 1) as f64;
+                let nr = n as f64 - nl;
+                let pl = left_pos / nl;
+                let pr = (total_pos - left_pos) / nr;
+                let gini = nl * 2.0 * pl * (1.0 - pl) + nr * 2.0 * pr * (1.0 - pr);
+                if best.is_none_or(|(b, _, _)| gini < b) {
+                    best = Some((gini, f, (w[0].0 + w[1].0) / 2.0));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            return Node::Leaf { proba };
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf { proba };
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_idx, depth + 1, rng)),
+            right: Box::new(self.build(x, y, &right_idx, depth + 1, rng)),
+        }
+    }
+
+    fn eval(node: &Node, x: &[f64]) -> f64 {
+        match node {
+            Node::Leaf { proba } => *proba,
+            Node::Split { feature, threshold, left, right } => {
+                if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                    Self::eval(left, x)
+                } else {
+                    Self::eval(right, x)
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "cart"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.root = Some(self.build(x, y, &idx, 0, &mut rng));
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        match &self.root {
+            Some(root) => Self::eval(root, x),
+            None => 0.5,
+        }
+    }
+}
+
+/// Bagged ensemble of feature-subsampled CART trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    seed: u64,
+}
+
+impl RandomForest {
+    /// Creates an untrained forest.
+    pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        RandomForest { trees: Vec::new(), n_trees: n_trees.max(1), max_depth, seed }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "random-forest"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[bool]) {
+        validate_fit_input(x, y);
+        let n = x.len();
+        let d = x[0].len();
+        let k = (d as f64).sqrt().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for t in 0..self.n_trees {
+            // Bootstrap sample.
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let mut tree = DecisionTree::with_subsample(
+                self.max_depth,
+                2,
+                k,
+                self.seed.wrapping_add(t as u64 * 101),
+            );
+            tree.fit(&bx, &by);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees.iter().map(|t| t.predict_proba(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.01;
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                x.push(vec![a + jitter, b - jitter]);
+                y.push((a > 0.5) != (b > 0.5));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn tree_learns_xor() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(4, 2);
+        t.fit(&x, &y);
+        let acc = x.iter().zip(&y).filter(|(xi, yi)| t.predict(xi) == **yi).count();
+        assert!(acc as f64 / x.len() as f64 > 0.95, "{acc}/{}", x.len());
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor_data();
+        let mut stump = DecisionTree::new(1, 2);
+        stump.fit(&x, &y);
+        // A depth-1 stump cannot solve XOR.
+        let acc = x.iter().zip(&y).filter(|(xi, yi)| stump.predict(xi) == **yi).count();
+        assert!((acc as f64 / x.len() as f64) < 0.8);
+    }
+
+    #[test]
+    fn forest_learns_xor_and_is_deterministic() {
+        let (x, y) = xor_data();
+        let mut f1 = RandomForest::new(11, 5, 42);
+        let mut f2 = RandomForest::new(11, 5, 42);
+        f1.fit(&x, &y);
+        f2.fit(&x, &y);
+        let acc = x.iter().zip(&y).filter(|(xi, yi)| f1.predict(xi) == **yi).count();
+        assert!(acc as f64 / x.len() as f64 > 0.95);
+        for xi in &x {
+            assert_eq!(f1.predict_proba(xi), f2.predict_proba(xi));
+        }
+    }
+
+    #[test]
+    fn untrained_is_uninformative() {
+        let t = DecisionTree::new(3, 2);
+        assert_eq!(t.predict_proba(&[1.0]), 0.5);
+        let f = RandomForest::new(3, 3, 1);
+        assert_eq!(f.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn pure_class_gives_confident_leaf() {
+        let mut t = DecisionTree::new(3, 2);
+        t.fit(&[vec![0.0], vec![0.1], vec![1.0], vec![1.1]], &[false, false, true, true]);
+        assert!(t.predict_proba(&[1.05]) > 0.7);
+        assert!(t.predict_proba(&[0.05]) < 0.3);
+    }
+}

@@ -1,0 +1,356 @@
+//! CWE catalog: the vulnerability classes the platform manages.
+//!
+//! Covers twelve classes spanning the paper's discussion: memory safety
+//! (the classic "specialized research" targets), injection families, and
+//! the logic/configuration classes that dominate *internal* industry
+//! backlogs but rank lower in the public CWE Top-25 — the mismatch behind
+//! Gap Observation 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A supported CWE class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Cwe {
+    /// CWE-787: Out-of-bounds Write (stack buffer overflow).
+    OutOfBoundsWrite,
+    /// CWE-125: Out-of-bounds Read.
+    OutOfBoundsRead,
+    /// CWE-89: SQL Injection.
+    SqlInjection,
+    /// CWE-78: OS Command Injection.
+    CommandInjection,
+    /// CWE-79: Cross-site Scripting.
+    CrossSiteScripting,
+    /// CWE-416: Use After Free.
+    UseAfterFree,
+    /// CWE-190: Integer Overflow or Wraparound.
+    IntegerOverflow,
+    /// CWE-476: NULL Pointer Dereference.
+    NullDereference,
+    /// CWE-22: Path Traversal.
+    PathTraversal,
+    /// CWE-798: Use of Hard-coded Credentials.
+    HardcodedCredentials,
+    /// CWE-362: Race Condition (TOCTOU).
+    RaceCondition,
+    /// CWE-134: Uncontrolled Format String.
+    FormatString,
+}
+
+impl Cwe {
+    /// All supported classes, in catalog order.
+    pub const ALL: [Cwe; 12] = [
+        Cwe::OutOfBoundsWrite,
+        Cwe::OutOfBoundsRead,
+        Cwe::SqlInjection,
+        Cwe::CommandInjection,
+        Cwe::CrossSiteScripting,
+        Cwe::UseAfterFree,
+        Cwe::IntegerOverflow,
+        Cwe::NullDereference,
+        Cwe::PathTraversal,
+        Cwe::HardcodedCredentials,
+        Cwe::RaceCondition,
+        Cwe::FormatString,
+    ];
+
+    /// The numeric CWE identifier.
+    pub fn id(&self) -> u32 {
+        match self {
+            Cwe::OutOfBoundsWrite => 787,
+            Cwe::OutOfBoundsRead => 125,
+            Cwe::SqlInjection => 89,
+            Cwe::CommandInjection => 78,
+            Cwe::CrossSiteScripting => 79,
+            Cwe::UseAfterFree => 416,
+            Cwe::IntegerOverflow => 190,
+            Cwe::NullDereference => 476,
+            Cwe::PathTraversal => 22,
+            Cwe::HardcodedCredentials => 798,
+            Cwe::RaceCondition => 362,
+            Cwe::FormatString => 134,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Cwe::OutOfBoundsWrite => "out-of-bounds write",
+            Cwe::OutOfBoundsRead => "out-of-bounds read",
+            Cwe::SqlInjection => "SQL injection",
+            Cwe::CommandInjection => "command injection",
+            Cwe::CrossSiteScripting => "cross-site scripting",
+            Cwe::UseAfterFree => "use after free",
+            Cwe::IntegerOverflow => "integer overflow",
+            Cwe::NullDereference => "null dereference",
+            Cwe::PathTraversal => "path traversal",
+            Cwe::HardcodedCredentials => "hard-coded credentials",
+            Cwe::RaceCondition => "race condition",
+            Cwe::FormatString => "format string",
+        }
+    }
+
+    /// Base severity on a 0–10 CVSS-like scale (impact component).
+    pub fn base_severity(&self) -> f64 {
+        match self {
+            Cwe::OutOfBoundsWrite => 9.0,
+            Cwe::OutOfBoundsRead => 6.5,
+            Cwe::SqlInjection => 9.5,
+            Cwe::CommandInjection => 9.8,
+            Cwe::CrossSiteScripting => 6.1,
+            Cwe::UseAfterFree => 8.8,
+            Cwe::IntegerOverflow => 7.5,
+            Cwe::NullDereference => 5.5,
+            Cwe::PathTraversal => 7.5,
+            Cwe::HardcodedCredentials => 7.8,
+            Cwe::RaceCondition => 6.4,
+            Cwe::FormatString => 8.1,
+        }
+    }
+
+    /// Exploitability prior in `[0, 1]` (how often a latent instance is
+    /// practically exploitable; drives prioritization and the cost model).
+    pub fn exploitability(&self) -> f64 {
+        match self {
+            Cwe::OutOfBoundsWrite => 0.55,
+            Cwe::OutOfBoundsRead => 0.35,
+            Cwe::SqlInjection => 0.80,
+            Cwe::CommandInjection => 0.85,
+            Cwe::CrossSiteScripting => 0.70,
+            Cwe::UseAfterFree => 0.40,
+            Cwe::IntegerOverflow => 0.30,
+            Cwe::NullDereference => 0.20,
+            Cwe::PathTraversal => 0.65,
+            Cwe::HardcodedCredentials => 0.60,
+            Cwe::RaceCondition => 0.15,
+            Cwe::FormatString => 0.45,
+        }
+    }
+
+    /// Whether the class is in the (public) CWE Top-25-style priority list
+    /// the paper says academic work over-fits to.
+    pub fn in_public_top25(&self) -> bool {
+        !matches!(self, Cwe::RaceCondition | Cwe::FormatString | Cwe::HardcodedCredentials)
+    }
+
+    /// Whether the class is detectable primarily through taint flows (as
+    /// opposed to structural patterns like missing bounds checks).
+    pub fn is_taint_style(&self) -> bool {
+        matches!(
+            self,
+            Cwe::SqlInjection
+                | Cwe::CommandInjection
+                | Cwe::CrossSiteScripting
+                | Cwe::PathTraversal
+                | Cwe::FormatString
+        )
+    }
+}
+
+impl fmt::Display for Cwe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CWE-{} ({})", self.id(), self.name())
+    }
+}
+
+/// A frequency distribution over CWE classes, used to model both the public
+/// (NVD-derived, Top-25-style) priority ranking and divergent internal team
+/// distributions (Gap Observation 1: "may be far from the vulnerability
+/// distribution or fixing priority within specific industrial projects").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CweDistribution {
+    weights: Vec<(Cwe, f64)>,
+}
+
+impl CweDistribution {
+    /// Builds a distribution from `(class, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is negative or the total
+    /// weight is zero.
+    pub fn new(weights: Vec<(Cwe, f64)>) -> Self {
+        assert!(!weights.is_empty(), "distribution needs at least one class");
+        assert!(weights.iter().all(|(_, w)| *w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "total weight must be positive");
+        CweDistribution { weights }
+    }
+
+    /// Uniform distribution over all supported classes.
+    pub fn uniform() -> Self {
+        CweDistribution::new(Cwe::ALL.iter().map(|&c| (c, 1.0)).collect())
+    }
+
+    /// A public, NVD/Top-25-flavoured distribution: injection and memory
+    /// corruption dominate; "unfashionable" classes barely register.
+    pub fn public_top25() -> Self {
+        CweDistribution::new(vec![
+            (Cwe::OutOfBoundsWrite, 20.0),
+            (Cwe::CrossSiteScripting, 18.0),
+            (Cwe::SqlInjection, 14.0),
+            (Cwe::OutOfBoundsRead, 10.0),
+            (Cwe::CommandInjection, 9.0),
+            (Cwe::UseAfterFree, 9.0),
+            (Cwe::PathTraversal, 7.0),
+            (Cwe::NullDereference, 5.0),
+            (Cwe::IntegerOverflow, 4.0),
+            (Cwe::HardcodedCredentials, 2.0),
+            (Cwe::RaceCondition, 1.0),
+            (Cwe::FormatString, 1.0),
+        ])
+    }
+
+    /// An internal enterprise-backend distribution: credentials, races, and
+    /// path handling dominate; classic memory corruption is rare (managed
+    /// runtimes), illustrating the priority mismatch of Gap Observation 1.
+    pub fn internal_backend() -> Self {
+        CweDistribution::new(vec![
+            (Cwe::HardcodedCredentials, 22.0),
+            (Cwe::PathTraversal, 16.0),
+            (Cwe::RaceCondition, 14.0),
+            (Cwe::SqlInjection, 13.0),
+            (Cwe::NullDereference, 11.0),
+            (Cwe::CrossSiteScripting, 9.0),
+            (Cwe::CommandInjection, 7.0),
+            (Cwe::IntegerOverflow, 4.0),
+            (Cwe::OutOfBoundsRead, 2.0),
+            (Cwe::OutOfBoundsWrite, 1.0),
+            (Cwe::UseAfterFree, 0.5),
+            (Cwe::FormatString, 0.5),
+        ])
+    }
+
+    /// An internal systems/C++-team distribution: memory safety dominates.
+    pub fn internal_systems() -> Self {
+        CweDistribution::new(vec![
+            (Cwe::OutOfBoundsWrite, 24.0),
+            (Cwe::UseAfterFree, 20.0),
+            (Cwe::OutOfBoundsRead, 16.0),
+            (Cwe::IntegerOverflow, 12.0),
+            (Cwe::NullDereference, 10.0),
+            (Cwe::FormatString, 8.0),
+            (Cwe::RaceCondition, 6.0),
+            (Cwe::CommandInjection, 2.0),
+            (Cwe::PathTraversal, 1.0),
+            (Cwe::SqlInjection, 0.5),
+            (Cwe::CrossSiteScripting, 0.25),
+            (Cwe::HardcodedCredentials, 0.25),
+        ])
+    }
+
+    /// Samples a class using `rng`.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> Cwe {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (c, w) in &self.weights {
+            if x < *w {
+                return *c;
+            }
+            x -= w;
+        }
+        self.weights.last().expect("non-empty").0
+    }
+
+    /// Normalized probability of `cwe` under this distribution.
+    pub fn probability(&self, cwe: Cwe) -> f64 {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        self.weights.iter().find(|(c, _)| *c == cwe).map_or(0.0, |(_, w)| w / total)
+    }
+
+    /// Classes ranked by descending weight.
+    pub fn ranking(&self) -> Vec<Cwe> {
+        let mut v = self.weights.clone();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        v.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Total-variation distance to another distribution (in `[0, 1]`).
+    pub fn tv_distance(&self, other: &CweDistribution) -> f64 {
+        Cwe::ALL
+            .iter()
+            .map(|&c| (self.probability(c) - other.probability(c)).abs())
+            .sum::<f64>()
+            / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_match_catalog() {
+        assert_eq!(Cwe::SqlInjection.id(), 89);
+        assert_eq!(Cwe::OutOfBoundsWrite.id(), 787);
+        assert_eq!(Cwe::ALL.len(), 12);
+        // All ids distinct.
+        let mut ids: Vec<u32> = Cwe::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cwe::SqlInjection.to_string(), "CWE-89 (SQL injection)");
+    }
+
+    #[test]
+    fn severity_and_exploitability_in_range() {
+        for c in Cwe::ALL {
+            assert!((0.0..=10.0).contains(&c.base_severity()), "{c}");
+            assert!((0.0..=1.0).contains(&c.exploitability()), "{c}");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let d = CweDistribution::new(vec![(Cwe::SqlInjection, 9.0), (Cwe::RaceCondition, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 5000;
+        let sql = (0..n).filter(|_| d.sample(&mut rng) == Cwe::SqlInjection).count();
+        let frac = sql as f64 / n as f64;
+        assert!((0.85..0.95).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn probability_normalizes() {
+        let d = CweDistribution::public_top25();
+        let total: f64 = Cwe::ALL.iter().map(|&c| d.probability(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rankings_differ_between_public_and_internal() {
+        let public = CweDistribution::public_top25();
+        let internal = CweDistribution::internal_backend();
+        assert_ne!(public.ranking()[0], internal.ranking()[0]);
+        assert!(public.tv_distance(&internal) > 0.3, "distributions should diverge sharply");
+    }
+
+    #[test]
+    fn tv_distance_identity_and_symmetry() {
+        let a = CweDistribution::public_top25();
+        let b = CweDistribution::internal_systems();
+        assert!(a.tv_distance(&a) < 1e-12);
+        assert!((a.tv_distance(&b) - b.tv_distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_distribution_panics() {
+        let _ = CweDistribution::new(vec![]);
+    }
+
+    #[test]
+    fn uniform_covers_all() {
+        let d = CweDistribution::uniform();
+        for c in Cwe::ALL {
+            assert!((d.probability(c) - 1.0 / 12.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Datasets and the pathology-knob builder.
+//!
+//! [`DatasetBuilder`] exposes, as explicit knobs, every data pathology the
+//! paper blames for the research/practice gap:
+//!
+//! * class imbalance (`vulnerable_fraction`) — Gap 3,
+//! * label noise (`label_noise`) — Gap 4 ("up to 70% of labels inaccurate"),
+//! * synthetic near-duplication (`duplication_factor`) — Gap 4,
+//! * project and team diversity (`projects_per_team`, `teams`) — Gap 4,
+//! * complexity tiers (`tier_mix`) — Gap 3,
+//! * CWE distribution (`cwe_distribution`) — Gap 1.
+
+use crate::cwe::{Cwe, CweDistribution};
+use crate::generator::SampleGenerator;
+use crate::mutate;
+use crate::sample::Sample;
+use crate::style::StyleProfile;
+use crate::tier::Tier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A labeled corpus of code samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Wraps an existing sample list.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// The samples, in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of ground-truth vulnerable samples.
+    pub fn vulnerable_count(&self) -> usize {
+        self.samples.iter().filter(|s| s.label).count()
+    }
+
+    /// Ground-truth vulnerable fraction.
+    pub fn vulnerable_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.vulnerable_count() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Fraction of samples whose observed label is wrong.
+    pub fn mislabel_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().filter(|s| s.is_mislabeled()).count() as f64
+                / self.samples.len() as f64
+        }
+    }
+
+    /// Fraction of samples that share a structural fingerprint with at least
+    /// one other sample — the duplication level of Gap Observation 4.
+    pub fn duplicate_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let prints: Vec<u64> =
+            self.samples.iter().map(|s| mutate::structural_fingerprint(&s.source)).collect();
+        for &p in &prints {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+        let dup = prints.iter().filter(|p| counts[p] > 1).count();
+        dup as f64 / self.samples.len() as f64
+    }
+
+    /// Histogram of vulnerable samples per CWE class.
+    pub fn cwe_histogram(&self) -> HashMap<Cwe, usize> {
+        let mut h = HashMap::new();
+        for s in &self.samples {
+            if s.label {
+                if let Some(c) = s.cwe {
+                    *h.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// Distinct project identifiers present.
+    pub fn projects(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.samples.iter().map(|s| s.project.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct team identifiers present.
+    pub fn teams(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.samples.iter().map(|s| s.team.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Samples matching a predicate, as a new dataset.
+    pub fn filter(&self, pred: impl Fn(&Sample) -> bool) -> Dataset {
+        Dataset { samples: self.samples.iter().filter(|s| pred(s)).cloned().collect() }
+    }
+
+    /// Splits into `(matching, rest)` by predicate.
+    pub fn partition(&self, pred: impl Fn(&Sample) -> bool) -> (Dataset, Dataset) {
+        let (a, b) = self.samples.iter().cloned().partition(|s| pred(s));
+        (Dataset { samples: a }, Dataset { samples: b })
+    }
+
+    /// Merges another dataset into this one.
+    pub fn extend_from(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Removes structural near-duplicates, keeping the first occurrence.
+    pub fn deduplicated(&self) -> Dataset {
+        let mut seen = std::collections::HashSet::new();
+        let samples = self
+            .samples
+            .iter()
+            .filter(|s| seen.insert(mutate::structural_fingerprint(&s.source)))
+            .cloned()
+            .collect();
+        Dataset { samples }
+    }
+
+    /// Serializes the dataset to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error if any sample cannot be encoded
+    /// (should not happen for well-formed samples).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(&self.samples)
+    }
+
+    /// Deserializes a dataset from JSON produced by [`Dataset::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserialization error on malformed input.
+    pub fn from_json(json: &str) -> Result<Dataset, serde_json::Error> {
+        Ok(Dataset { samples: serde_json::from_str(json)? })
+    }
+
+    /// A deterministic shuffled copy.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = self.samples.clone();
+        // Fisher–Yates.
+        for i in (1..samples.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            samples.swap(i, j);
+        }
+        Dataset { samples }
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// Builder for corpora with controlled pathologies.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_synth::dataset::DatasetBuilder;
+/// let ds = DatasetBuilder::new(42).vulnerable_count(20).vulnerable_fraction(0.5).build();
+/// assert_eq!(ds.vulnerable_count(), 20);
+/// assert!((ds.vulnerable_fraction() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    seed: u64,
+    teams: Vec<StyleProfile>,
+    projects_per_team: usize,
+    vulnerable_count: usize,
+    vulnerable_fraction: f64,
+    hard_negative_fraction: f64,
+    cwe_distribution: CweDistribution,
+    tier_mix: Vec<(Tier, f64)>,
+    label_noise: f64,
+    duplication_factor: usize,
+    risky_benign_fraction: f64,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder with research-benchmark-style defaults: one
+    /// mainstream team, balanced classes, curated tier, no noise.
+    pub fn new(seed: u64) -> Self {
+        DatasetBuilder {
+            seed,
+            teams: vec![StyleProfile::mainstream()],
+            projects_per_team: 3,
+            vulnerable_count: 100,
+            vulnerable_fraction: 0.5,
+            hard_negative_fraction: 0.5,
+            cwe_distribution: CweDistribution::uniform(),
+            tier_mix: vec![(Tier::Curated, 1.0)],
+            label_noise: 0.0,
+            duplication_factor: 1,
+            risky_benign_fraction: 0.35,
+        }
+    }
+
+    /// Sets the team style profiles contributing samples.
+    pub fn teams(mut self, teams: Vec<StyleProfile>) -> Self {
+        assert!(!teams.is_empty(), "at least one team required");
+        self.teams = teams;
+        self
+    }
+
+    /// Sets the number of distinct projects per team (diversity knob).
+    pub fn projects_per_team(mut self, n: usize) -> Self {
+        self.projects_per_team = n.max(1);
+        self
+    }
+
+    /// Sets the number of ground-truth vulnerable samples.
+    pub fn vulnerable_count(mut self, n: usize) -> Self {
+        self.vulnerable_count = n;
+        self
+    }
+
+    /// Sets the target vulnerable fraction (class balance knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f <= 1`.
+    pub fn vulnerable_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "fraction must be in (0, 1]");
+        self.vulnerable_fraction = f;
+        self
+    }
+
+    /// Among negatives, the fraction that are *patched twins* of vulnerable
+    /// samples (hard negatives) rather than unrelated benign code.
+    pub fn hard_negative_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+        self.hard_negative_fraction = f;
+        self
+    }
+
+    /// Sets the CWE class distribution.
+    pub fn cwe_distribution(mut self, d: CweDistribution) -> Self {
+        self.cwe_distribution = d;
+        self
+    }
+
+    /// Sets the complexity-tier mix as `(tier, weight)` pairs.
+    pub fn tier_mix(mut self, mix: Vec<(Tier, f64)>) -> Self {
+        assert!(!mix.is_empty(), "tier mix must be non-empty");
+        self.tier_mix = mix;
+        self
+    }
+
+    /// Among *pure benign* fill samples, the fraction that are
+    /// "risky-looking" benigns (safe uses of sources/sinks/buffers) rather
+    /// than plain utility code. Realistic negative populations are full of
+    /// such code; it is what drives false positives at scale (Gap 3).
+    pub fn risky_benign_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+        self.risky_benign_fraction = f;
+        self
+    }
+
+    /// Sets the observed-label flip probability.
+    pub fn label_noise(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "noise rate must be in [0, 1]");
+        self.label_noise = rate;
+        self
+    }
+
+    /// Sets the synthetic duplication factor: every generated sample is
+    /// expanded into `k` near-duplicates total (1 = no duplication).
+    pub fn duplication_factor(mut self, k: usize) -> Self {
+        self.duplication_factor = k.max(1);
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn build(self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3779b97f4a7c15);
+        let mut gens: Vec<SampleGenerator> = self
+            .teams
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SampleGenerator::new(self.seed.wrapping_add(i as u64 * 7919), t.clone()))
+            .collect();
+        let mut samples: Vec<Sample> = Vec::new();
+
+        let total_target =
+            (self.vulnerable_count as f64 / self.vulnerable_fraction).round() as usize;
+        let negatives_target = total_target.saturating_sub(self.vulnerable_count);
+        let hard_target = (negatives_target as f64 * self.hard_negative_fraction).round() as usize;
+
+        // Vulnerable samples (+ hard negatives from the same pairs).
+        let mut hard_emitted = 0usize;
+        for k in 0..self.vulnerable_count {
+            let team_idx = k % gens.len();
+            let project = format!(
+                "{}/proj{}",
+                self.teams[team_idx].team,
+                rng.gen_range(0..self.projects_per_team)
+            );
+            let cwe = self.cwe_distribution.sample(&mut rng);
+            let tier = sample_tier(&self.tier_mix, &mut rng);
+            let (vuln, fixed) = gens[team_idx].vulnerable_pair(cwe, tier, &project);
+            samples.push(vuln);
+            if hard_emitted < hard_target {
+                samples.push(fixed);
+                hard_emitted += 1;
+            }
+        }
+        // Pure benign fill.
+        let mut benign_needed = negatives_target.saturating_sub(hard_emitted);
+        let mut k = 0usize;
+        while benign_needed > 0 {
+            let team_idx = k % gens.len();
+            let project = format!(
+                "{}/proj{}",
+                self.teams[team_idx].team,
+                rng.gen_range(0..self.projects_per_team)
+            );
+            let tier = sample_tier(&self.tier_mix, &mut rng);
+            let sample = if rng.gen_bool(self.risky_benign_fraction) {
+                gens[team_idx].benign_risky(tier, &project)
+            } else {
+                gens[team_idx].benign(tier, &project)
+            };
+            samples.push(sample);
+            benign_needed -= 1;
+            k += 1;
+        }
+
+        // Re-number ids (generators overlap) before duplication references.
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.id = i as u64 + 1;
+        }
+
+        // Synthetic duplication.
+        if self.duplication_factor > 1 {
+            let originals = samples.clone();
+            let mut next_id = samples.len() as u64 + 1;
+            for orig in &originals {
+                for _ in 1..self.duplication_factor {
+                    if let Some(dup_src) = mutate::near_duplicate(&orig.source, &mut rng) {
+                        let mut dup = orig.clone();
+                        dup.id = next_id;
+                        next_id += 1;
+                        dup.source = dup_src;
+                        dup.duplicate_of = Some(orig.id);
+                        samples.push(dup);
+                    }
+                }
+            }
+        }
+
+        // Label noise.
+        if self.label_noise > 0.0 {
+            for s in &mut samples {
+                if rng.gen_bool(self.label_noise) {
+                    s.observed_label = !s.label;
+                }
+            }
+        }
+
+        Dataset { samples }
+    }
+}
+
+fn sample_tier<R: Rng>(mix: &[(Tier, f64)], rng: &mut R) -> Tier {
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (t, w) in mix {
+        if x < *w {
+            return *t;
+        }
+        x -= w;
+    }
+    mix.last().expect("non-empty mix").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_hits_counts_and_ratio() {
+        let ds = DatasetBuilder::new(1).vulnerable_count(30).vulnerable_fraction(0.25).build();
+        assert_eq!(ds.vulnerable_count(), 30);
+        assert_eq!(ds.len(), 120);
+        assert!((ds.vulnerable_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalanced_ratio() {
+        let ds = DatasetBuilder::new(2).vulnerable_count(10).vulnerable_fraction(0.05).build();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.vulnerable_count(), 10);
+    }
+
+    #[test]
+    fn label_noise_rate_approximately_respected() {
+        let ds = DatasetBuilder::new(3)
+            .vulnerable_count(200)
+            .vulnerable_fraction(0.5)
+            .label_noise(0.3)
+            .build();
+        let rate = ds.mislabel_rate();
+        assert!((0.24..0.36).contains(&rate), "got {rate}");
+    }
+
+    #[test]
+    fn duplication_expands_and_marks() {
+        let base = DatasetBuilder::new(4).vulnerable_count(10).vulnerable_fraction(0.5);
+        let plain = base.clone().build();
+        let dup = base.duplication_factor(3).build();
+        assert_eq!(dup.len(), plain.len() * 3);
+        let marked = dup.iter().filter(|s| s.is_duplicate()).count();
+        assert_eq!(marked, plain.len() * 2);
+        assert!(dup.duplicate_fraction() > 0.9, "{}", dup.duplicate_fraction());
+        // Dedup recovers roughly the original size.
+        let deduped = dup.deduplicated();
+        assert!(deduped.len() <= plain.len() + 2, "{} vs {}", deduped.len(), plain.len());
+    }
+
+    #[test]
+    fn fresh_corpus_has_low_duplication() {
+        let ds = DatasetBuilder::new(5)
+            .vulnerable_count(40)
+            .vulnerable_fraction(0.5)
+            .tier_mix(vec![(Tier::Curated, 1.0), (Tier::RealWorld, 1.0)])
+            .build();
+        assert!(ds.duplicate_fraction() < 0.35, "{}", ds.duplicate_fraction());
+    }
+
+    #[test]
+    fn cwe_distribution_respected() {
+        use crate::cwe::CweDistribution;
+        let ds = DatasetBuilder::new(6)
+            .vulnerable_count(300)
+            .cwe_distribution(CweDistribution::new(vec![
+                (Cwe::SqlInjection, 8.0),
+                (Cwe::RaceCondition, 2.0),
+            ]))
+            .build();
+        let h = ds.cwe_histogram();
+        let sql = *h.get(&Cwe::SqlInjection).unwrap_or(&0) as f64;
+        let race = *h.get(&Cwe::RaceCondition).unwrap_or(&0) as f64;
+        assert!(sql > race * 2.0, "sql={sql} race={race}");
+        assert!(h.keys().all(|k| matches!(k, Cwe::SqlInjection | Cwe::RaceCondition)));
+    }
+
+    #[test]
+    fn teams_and_projects_present() {
+        let ds = DatasetBuilder::new(7)
+            .teams(StyleProfile::internal_teams())
+            .projects_per_team(2)
+            .vulnerable_count(30)
+            .build();
+        assert_eq!(ds.teams().len(), 3);
+        assert!(ds.projects().len() >= 4, "{:?}", ds.projects());
+    }
+
+    #[test]
+    fn all_samples_parse() {
+        let ds = DatasetBuilder::new(8)
+            .teams(StyleProfile::internal_teams())
+            .vulnerable_count(24)
+            .tier_mix(vec![(Tier::Simple, 1.0), (Tier::Curated, 1.0), (Tier::RealWorld, 1.0)])
+            .duplication_factor(2)
+            .build();
+        for s in &ds {
+            vulnman_lang::parse(&s.source)
+                .unwrap_or_else(|e| panic!("sample {} must parse: {e}", s.id));
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let mk = || DatasetBuilder::new(9).vulnerable_count(15).build();
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let ds = DatasetBuilder::new(10).vulnerable_count(20).build();
+        let sh = ds.shuffled(1);
+        assert_eq!(ds.len(), sh.len());
+        assert_eq!(ds.vulnerable_count(), sh.vulnerable_count());
+        let mut a: Vec<u64> = ds.iter().map(|s| s.id).collect();
+        let mut b: Vec<u64> = sh.iter().map(|s| s.id).collect();
+        assert_ne!(a, b, "order should change");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn risky_benigns_present_and_clean() {
+        let ds = DatasetBuilder::new(12)
+            .vulnerable_count(20)
+            .vulnerable_fraction(0.2)
+            .hard_negative_fraction(0.0)
+            .risky_benign_fraction(1.0)
+            .build();
+        // All negatives are risky benigns: they reference security APIs but
+        // remain ground-truth benign.
+        let negatives: Vec<_> = ds.iter().filter(|s| !s.label).collect();
+        assert!(!negatives.is_empty());
+        let risky = negatives
+            .iter()
+            .filter(|s| {
+                s.source.contains("exec_query")
+                    || s.source.contains("http_param")
+                    || s.source.contains("read_input")
+                    || s.source.contains("system(")
+                    || s.source.contains("find_entry")
+                    || s.source.contains("alloc_buffer")
+            })
+            .count();
+        assert!(risky * 10 >= negatives.len() * 9, "{risky}/{}", negatives.len());
+        for s in &negatives {
+            vulnman_lang::parse(&s.source).unwrap();
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = DatasetBuilder::new(13).vulnerable_count(6).build();
+        let json = ds.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(ds, back);
+        assert!(Dataset::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn partition_and_filter() {
+        let ds = DatasetBuilder::new(11).vulnerable_count(10).build();
+        let (vuln, rest) = ds.partition(|s| s.label);
+        assert_eq!(vuln.len(), 10);
+        assert_eq!(vuln.len() + rest.len(), ds.len());
+        assert_eq!(ds.filter(|s| s.label).len(), 10);
+    }
+}

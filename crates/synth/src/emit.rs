@@ -1,0 +1,359 @@
+//! Shared code-emission helpers for the vulnerability templates.
+//!
+//! Everything here emits *source text* that is guaranteed to parse under
+//! `vulnman-lang` (property-tested in the templates module).
+
+use crate::style::{NameGen, StyleProfile};
+use crate::tier::Tier;
+use rand::Rng;
+
+/// Accumulates function definitions into a translation unit.
+#[derive(Debug, Default, Clone)]
+pub struct UnitBuilder {
+    functions: Vec<String>,
+}
+
+impl UnitBuilder {
+    /// Creates an empty unit.
+    pub fn new() -> Self {
+        UnitBuilder::default()
+    }
+
+    /// Appends a complete function definition (source text).
+    pub fn push_fn(&mut self, source: impl Into<String>) -> &mut Self {
+        self.functions.push(source.into());
+        self
+    }
+
+    /// Renders the unit: functions separated by blank lines.
+    pub fn build(&self) -> String {
+        self.functions.join("\n")
+    }
+
+    /// Number of functions collected so far.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Returns `true` if no functions were added.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+/// Context threaded through every template generator.
+pub struct EmitCtx<'a, R: Rng> {
+    /// Team style for naming/idioms.
+    pub style: &'a StyleProfile,
+    /// Complexity tier controlling padding/indirection.
+    pub tier: Tier,
+    /// Randomness source.
+    pub rng: &'a mut R,
+    counter: u32,
+}
+
+impl<'a, R: Rng> EmitCtx<'a, R> {
+    /// Creates a context.
+    pub fn new(style: &'a StyleProfile, tier: Tier, rng: &'a mut R) -> Self {
+        EmitCtx { style, tier, rng, counter: 0 }
+    }
+
+    /// A fresh unique suffix for identifiers local to this unit.
+    pub fn fresh(&mut self) -> u32 {
+        self.counter += 1;
+        self.counter
+    }
+
+    /// A fresh themed variable name.
+    pub fn var(&mut self, hint: &str) -> String {
+        let n = self.fresh();
+        let mut g = NameGen::new(self.style, self.rng);
+        let base = g.var_hint(hint);
+        format!("{base}_{n}")
+    }
+
+    /// A fresh themed function name.
+    pub fn func(&mut self, verb: &str) -> String {
+        let n = self.fresh();
+        let mut g = NameGen::new(self.style, self.rng);
+        let base = g.func_hint(verb);
+        format!("{base}_{n}")
+    }
+
+    /// Samples from an inclusive range.
+    pub fn in_range(&mut self, (lo, hi): (usize, usize)) -> usize {
+        if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Benign, self-contained padding statements at `indent` levels.
+    ///
+    /// Each line declares what it uses, so injecting padding anywhere in a
+    /// function body keeps the unit parseable.
+    pub fn padding(&mut self, n: usize, indent: usize) -> String {
+        let mut out = String::new();
+        let pad = "    ".repeat(indent);
+        for _ in 0..n {
+            let v = self.var("tmp");
+            let stmt = match self.rng.gen_range(0..5u8) {
+                0 => {
+                    let a = self.rng.gen_range(1..100);
+                    let b = self.rng.gen_range(1..10);
+                    format!("int {v} = {a} * {b} + 1;")
+                }
+                1 => {
+                    let msg = self.log_message();
+                    format!("log_event(\"{msg}\");")
+                }
+                2 => {
+                    let a = self.rng.gen_range(1..50);
+                    format!("int {v} = {a};\n{pad}record_metric(\"{}\", {v});", self.metric_name())
+                }
+                3 => {
+                    let hi = self.rng.gen_range(2..6);
+                    let i = self.var("i");
+                    format!("for (int {i} = 0; {i} < {hi}; {i}++) {{ tick_counter({i}); }}")
+                }
+                _ => {
+                    let a = self.rng.gen_range(0..2);
+                    format!("int {v} = {a};\n{pad}if ({v} > 0) {{ log_event(\"flag\"); }}")
+                }
+            };
+            out.push_str(&pad);
+            out.push_str(&stmt);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A distractor branch: declared condition variable plus a harmless body.
+    pub fn distractor(&mut self, indent: usize) -> String {
+        let pad = "    ".repeat(indent);
+        let v = self.var("mode");
+        let t = self.rng.gen_range(1..8);
+        let msg = self.log_message();
+        format!(
+            "{pad}int {v} = config_flag({t});\n{pad}if ({v} > {t}) {{\n{pad}    log_event(\"{msg}\");\n{pad}    record_metric(\"branch\", {v});\n{pad}}}\n"
+        )
+    }
+
+    /// A benign unrelated function definition.
+    pub fn benign_fn(&mut self) -> String {
+        let name = self.func("handle");
+        let p = self.var("n");
+        match self.rng.gen_range(0..4u8) {
+            0 => {
+                let acc = self.var("acc");
+                let i = self.var("i");
+                format!(
+                    "int {name}(int {p}) {{\n    int {acc} = 0;\n    for (int {i} = 0; {i} < {p}; {i}++) {{\n        {acc} += {i} * 2;\n    }}\n    return {acc};\n}}\n"
+                )
+            }
+            1 => {
+                format!(
+                    "int {name}(int {p}) {{\n    if ({p} < 0) {{\n        return 0 - {p};\n    }}\n    return {p};\n}}\n"
+                )
+            }
+            2 => {
+                let s = self.var("buf");
+                let i = self.var("i");
+                format!(
+                    "int {name}(char* {s}) {{\n    int {i} = 0;\n    while ({s}[{i}] != '\\0') {{\n        {i}++;\n    }}\n    return {i};\n}}\n"
+                )
+            }
+            _ => {
+                let msg = self.log_message();
+                format!(
+                    "void {name}(int {p}) {{\n    log_event(\"{msg}\");\n    record_metric(\"calls\", {p});\n}}\n"
+                )
+            }
+        }
+    }
+
+    /// Optional doc comment for the target function, per style density.
+    pub fn maybe_doc(&mut self, topic: &str) -> String {
+        if self.rng.gen_bool(self.style.comment_density) {
+            format!("// {} {}.\n", self.doc_verb(), topic)
+        } else {
+            String::new()
+        }
+    }
+
+    fn doc_verb(&mut self) -> &'static str {
+        const VERBS: [&str; 5] =
+            ["Handles", "Processes", "Validates and forwards", "Implements", "Manages"];
+        VERBS[self.rng.gen_range(0..VERBS.len())]
+    }
+
+    fn log_message(&mut self) -> String {
+        const MSGS: [&str; 6] =
+            ["enter", "checkpoint", "state ok", "cache warm", "retry", "done"];
+        MSGS[self.rng.gen_range(0..MSGS.len())].to_string()
+    }
+
+    fn metric_name(&mut self) -> String {
+        const NAMES: [&str; 4] = ["latency", "hits", "depth", "size"];
+        NAMES[self.rng.gen_range(0..NAMES.len())].to_string()
+    }
+
+    /// The call-name for a canonical sanitizer under the current style.
+    ///
+    /// Teams with an alias prefix call their *team-library* wrappers (e.g.
+    /// `mi_clean_sql`); the wrapper definitions live in the shared team
+    /// library (see [`StyleProfile::team_library_source`]), **not** in the
+    /// generated unit. Generic tools and models that have never seen the
+    /// team library therefore cannot tell the wrapper is a sanitizer — the
+    /// customization gap of Gap Observation 2.
+    pub fn sanitizer(&mut self, canonical: &str) -> (String, Option<String>) {
+        let call = self.style.sanitizer_call_name(canonical);
+        (call, None)
+    }
+
+    /// Wraps a *source expression* in 0..=depth helper functions according to
+    /// the tier and style. Returns `(helper_defs, call_expr)` where
+    /// `call_expr` evaluates to the (tainted) value.
+    pub fn wrap_source(&mut self, source_expr: &str) -> (Vec<String>, String) {
+        let mut depth = 0;
+        let max = self.tier.max_wrap_depth();
+        while depth < max && self.rng.gen_bool(self.style.helper_wrap_prob) {
+            depth += 1;
+        }
+        let mut defs = Vec::new();
+        let mut expr = source_expr.to_string();
+        for _ in 0..depth {
+            let name = self.func("fetch");
+            defs.push(format!("char* {name}() {{\n    return {expr};\n}}\n"));
+            expr = format!("{name}()");
+        }
+        (defs, expr)
+    }
+
+    /// Wraps a *sink call* in 0..=depth helper functions. Returns
+    /// `(helper_defs, sink_fn_name)`; the returned name accepts one `char*`
+    /// argument and eventually reaches `sink_call` (a function of one arg).
+    pub fn wrap_sink(&mut self, sink_fn: &str) -> (Vec<String>, String) {
+        let mut depth = 0;
+        let max = self.tier.max_wrap_depth();
+        while depth < max && self.rng.gen_bool(self.style.helper_wrap_prob) {
+            depth += 1;
+        }
+        let mut defs = Vec::new();
+        let mut current = sink_fn.to_string();
+        for _ in 0..depth {
+            let name = self.func("run");
+            defs.push(format!("void {name}(char* v) {{\n    {current}(v);\n}}\n"));
+            current = name;
+        }
+        (defs, current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parser::parse;
+
+    fn ctx_parse_fn(body: &str) {
+        let unit = format!("void probe(int a, char* s) {{\n{body}}}\n");
+        parse(&unit).unwrap_or_else(|e| panic!("padding must parse: {e}\n{unit}"));
+    }
+
+    #[test]
+    fn padding_parses() {
+        let style = StyleProfile::mainstream();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = EmitCtx::new(&style, Tier::RealWorld, &mut rng);
+            let body = ctx.padding(10, 1);
+            ctx_parse_fn(&body);
+        }
+    }
+
+    #[test]
+    fn distractor_parses() {
+        let style = StyleProfile::internal_teams()[2].clone();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = EmitCtx::new(&style, Tier::RealWorld, &mut rng);
+            let body = ctx.distractor(1);
+            ctx_parse_fn(&body);
+        }
+    }
+
+    #[test]
+    fn benign_fn_parses() {
+        for (ti, style) in StyleProfile::internal_teams().into_iter().enumerate() {
+            for seed in 0..20 {
+                let mut rng = StdRng::seed_from_u64(seed + ti as u64 * 1000);
+                let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+                let f = ctx.benign_fn();
+                parse(&f).unwrap_or_else(|e| panic!("benign fn must parse: {e}\n{f}"));
+            }
+        }
+    }
+
+    #[test]
+    fn sanitizer_alias_resolves_via_team_library() {
+        let style = StyleProfile::internal_teams()[1].clone(); // has prefix
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        let (call, def) = ctx.sanitizer("escape_sql");
+        assert_eq!(call, "mi_clean_sql");
+        assert!(def.is_none(), "wrapper lives in the team library, not the unit");
+        let lib = style.team_library_source();
+        parse(&lib).unwrap();
+        assert!(lib.contains("mi_clean_sql"));
+        assert!(lib.contains("escape_sql"));
+    }
+
+    #[test]
+    fn mainstream_sanitizer_is_direct() {
+        let style = StyleProfile::mainstream();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        let (call, def) = ctx.sanitizer("escape_html");
+        assert_eq!(call, "escape_html");
+        assert!(def.is_none());
+    }
+
+    #[test]
+    fn wrapped_source_and_sink_parse_and_flow() {
+        use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+        let style = StyleProfile {
+            helper_wrap_prob: 1.0,
+            ..StyleProfile::internal_teams()[2].clone()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ctx = EmitCtx::new(&style, Tier::RealWorld, &mut rng);
+        let (sdefs, sexpr) = ctx.wrap_source("read_input()");
+        let (kdefs, kname) = ctx.wrap_sink("exec_query");
+        assert!(!sdefs.is_empty());
+        assert!(!kdefs.is_empty());
+        let mut unit = UnitBuilder::new();
+        for d in sdefs.iter().chain(kdefs.iter()) {
+            unit.push_fn(d.clone());
+        }
+        unit.push_fn(format!("void target() {{\n    char* v = {sexpr};\n    {kname}(v);\n}}\n"));
+        let src = unit.build();
+        let prog = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let t = TaintAnalysis::run(&prog, &TaintConfig::default_config());
+        assert!(t.function_has_finding("target"), "wrapped flow must be found\n{src}");
+    }
+
+    #[test]
+    fn unit_builder_joins() {
+        let mut u = UnitBuilder::new();
+        assert!(u.is_empty());
+        u.push_fn("void a() {\n}\n").push_fn("void b() {\n}\n");
+        assert_eq!(u.len(), 2);
+        let text = u.build();
+        assert!(text.contains("void a()"));
+        assert!(text.contains("void b()"));
+        parse(&text).unwrap();
+    }
+}

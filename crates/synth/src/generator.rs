@@ -1,0 +1,373 @@
+//! Whole-sample generation: vulnerable units, their patched twins, benign
+//! units, and correlated multimodal artifacts.
+
+use crate::cwe::Cwe;
+use crate::emit::{EmitCtx, UnitBuilder};
+use crate::sample::{Artifacts, Sample};
+use crate::style::StyleProfile;
+use crate::templates::{self, TemplatePair};
+use crate::tier::Tier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates individual samples under a fixed style/tier context.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_synth::{cwe::Cwe, generator::SampleGenerator, style::StyleProfile, tier::Tier};
+/// let mut g = SampleGenerator::new(42, StyleProfile::mainstream());
+/// let (vuln, fixed) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Simple, "proj0");
+/// assert!(vuln.label);
+/// assert!(!fixed.label);
+/// assert!(vulnman_lang::parse(&vuln.source).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct SampleGenerator {
+    rng: StdRng,
+    style: StyleProfile,
+    next_id: u64,
+}
+
+impl SampleGenerator {
+    /// Creates a generator with a deterministic seed and team style.
+    pub fn new(seed: u64, style: StyleProfile) -> Self {
+        SampleGenerator { rng: StdRng::seed_from_u64(seed), style, next_id: 0 }
+    }
+
+    /// The team style this generator emits.
+    pub fn style(&self) -> &StyleProfile {
+        &self.style
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Generates a matched (vulnerable, fixed) sample pair.
+    pub fn vulnerable_pair(&mut self, cwe: Cwe, tier: Tier, project: &str) -> (Sample, Sample) {
+        let pair = {
+            let mut ctx = EmitCtx::new(&self.style, tier, &mut self.rng);
+            templates::generate(cwe, &mut ctx)
+        };
+        let TemplatePair { cwe, vulnerable, fixed, target_fn } = pair;
+        let vuln_artifacts = self.vulnerable_artifacts(cwe);
+        let fixed_artifacts = self.fixed_artifacts(cwe);
+        let vuln = Sample {
+            id: self.fresh_id(),
+            source: vulnerable,
+            label: true,
+            observed_label: true,
+            cwe: Some(cwe),
+            target_fn: target_fn.clone(),
+            team: self.style.team.clone(),
+            project: project.to_string(),
+            tier,
+            duplicate_of: None,
+            artifacts: vuln_artifacts,
+        };
+        let fixed = Sample {
+            id: self.fresh_id(),
+            source: fixed,
+            label: false,
+            observed_label: false,
+            cwe: Some(cwe),
+            target_fn,
+            team: self.style.team.clone(),
+            project: project.to_string(),
+            tier,
+            duplicate_of: None,
+            artifacts: fixed_artifacts,
+        };
+        (vuln, fixed)
+    }
+
+    /// Generates a benign sample that *looks* risky: it exercises sources,
+    /// sinks, and buffers the way production code does — constant queries,
+    /// sanitized flows, bounded copies, checked lookups — without any actual
+    /// flaw. Real negative populations are full of such code, and it is what
+    /// drives false positives at realistic base rates (Gap 3).
+    pub fn benign_risky(&mut self, tier: Tier, project: &str) -> Sample {
+        let source = {
+            let mut ctx = EmitCtx::new(&self.style, tier, &mut self.rng);
+            let name = ctx.func("serve");
+            let body = match ctx.rng.gen_range(0..6u8) {
+                0 => {
+                    // Constant query execution.
+                    let q = ctx.var("query");
+                    format!(
+                        "    char* {q} = \"SELECT id FROM jobs WHERE state = 1\";\n    exec_query({q});\n"
+                    )
+                }
+                1 => {
+                    // Properly sanitized user flow.
+                    let u = ctx.var("user");
+                    let (san, _) = ctx.sanitizer("escape_html");
+                    format!(
+                        "    char* {u} = http_param(\"display\");\n    render_html({san}({u}));\n"
+                    )
+                }
+                2 => {
+                    // Bounded copy loop.
+                    let b = ctx.var("buf");
+                    let s2 = ctx.var("line");
+                    let i = ctx.var("i");
+                    format!(
+                        "    char {b}[32];\n    char* {s2} = read_input();\n    int {i} = 0;\n    while ({s2}[{i}] != '\\0' && {i} < 31) {{\n        {b}[{i}] = {s2}[{i}];\n        {i}++;\n    }}\n    {b}[{i}] = '\\0';\n    consume({b});\n"
+                    )
+                }
+                3 => {
+                    // Null-checked lookup use.
+                    let e = ctx.var("entry");
+                    format!(
+                        "    char* {e} = find_entry(7);\n    if ({e} == 0) {{\n        return;\n    }}\n    {e}[0] = 'B';\n"
+                    )
+                }
+                4 => {
+                    // Range-checked external index.
+                    let tbl = ctx.var("table");
+                    let i = ctx.var("slot");
+                    format!(
+                        "    int {tbl}[16];\n    init_table({tbl}, 16);\n    int {i} = to_int(http_param(\"slot\"));\n    if ({i} < 0 || {i} >= 16) {{\n        return;\n    }}\n    record_metric(\"slot\", {tbl}[{i}]);\n"
+                    )
+                }
+                _ => {
+                    // Constant shell command + disciplined alloc/free.
+                    let pbuf = ctx.var("scratch");
+                    format!(
+                        "    system(\"ls /var/spool/exports\");\n    char* {pbuf} = alloc_buffer(64);\n    fill_data({pbuf}, 64);\n    send_data({pbuf}, 64);\n    free_mem({pbuf});\n"
+                    )
+                }
+            };
+            let n_pad = ctx.in_range(tier.padding_range()) / 2;
+            let pad = ctx.padding(n_pad, 1);
+            format!("void {name}() {{\n{pad}{body}}}\n")
+        };
+        let target_fn = first_fn_name(&source);
+        let artifacts = self.benign_artifacts();
+        Sample {
+            id: self.fresh_id(),
+            source,
+            label: false,
+            observed_label: false,
+            cwe: None,
+            target_fn,
+            team: self.style.team.clone(),
+            project: project.to_string(),
+            tier,
+            duplicate_of: None,
+            artifacts,
+        }
+    }
+
+    /// Generates a purely benign sample (no vulnerability pattern at all).
+    pub fn benign(&mut self, tier: Tier, project: &str) -> Sample {
+        let source = {
+            let mut ctx = EmitCtx::new(&self.style, tier, &mut self.rng);
+            let n = 1 + ctx.in_range(tier.extra_fn_range());
+            let mut unit = UnitBuilder::new();
+            for _ in 0..n {
+                unit.push_fn(ctx.benign_fn());
+            }
+            unit.build()
+        };
+        let target_fn = first_fn_name(&source);
+        let artifacts = self.benign_artifacts();
+        Sample {
+            id: self.fresh_id(),
+            source,
+            label: false,
+            observed_label: false,
+            cwe: None,
+            target_fn,
+            team: self.style.team.clone(),
+            project: project.to_string(),
+            tier,
+            duplicate_of: None,
+            artifacts,
+        }
+    }
+
+    // ----- artifact synthesis ----------------------------------------------
+    //
+    // Commit messages / review comments correlate with the label the way
+    // real histories do: patched code descends from fix commits, vulnerable
+    // code from feature commits (sometimes with an unheeded review warning).
+    // This correlation is what gives multimodal features their lift (E11).
+
+    fn vulnerable_artifacts(&mut self, cwe: Cwe) -> Artifacts {
+        const FEATURE_MSGS: [&str; 5] = [
+            "add handler for new endpoint",
+            "implement batch processing path",
+            "wire up service integration",
+            "initial version of lookup flow",
+            "port legacy routine",
+        ];
+        // Some vulnerable states descend from unrelated fix commits — the
+        // label/artifact correlation in real history is noisy.
+        const CONFUSER_MSGS: [&str; 2] =
+            ["fix: handle empty payload correctly", "fix flaky retry logic"];
+        let commit_message = if self.rng.gen_bool(0.25) {
+            CONFUSER_MSGS[self.rng.gen_range(0..CONFUSER_MSGS.len())].to_string()
+        } else {
+            FEATURE_MSGS[self.rng.gen_range(0..FEATURE_MSGS.len())].to_string()
+        };
+        let review_comment = if self.rng.gen_bool(0.2) {
+            Some(
+                match cwe {
+                    Cwe::SqlInjection => "is this query input escaped anywhere?",
+                    Cwe::OutOfBoundsWrite | Cwe::OutOfBoundsRead => {
+                        "do we know the index stays in range here?"
+                    }
+                    Cwe::HardcodedCredentials => "should this constant live in the secret store?",
+                    _ => "not sure about the error handling here, please double check",
+                }
+                .to_string(),
+            )
+        } else if self.rng.gen_bool(0.5) {
+            Some("lgtm".to_string())
+        } else {
+            None
+        };
+        let analyst_note =
+            if self.rng.gen_bool(0.1) { Some("pending security triage".to_string()) } else { None };
+        Artifacts { commit_message, review_comment, analyst_note }
+    }
+
+    fn fixed_artifacts(&mut self, cwe: Cwe) -> Artifacts {
+        let fix_word = match cwe {
+            Cwe::SqlInjection => "escape query parameter before execution",
+            Cwe::CommandInjection => "sanitize host argument passed to shell",
+            Cwe::CrossSiteScripting => "escape user content in rendered page",
+            Cwe::PathTraversal => "normalize path before open",
+            Cwe::FormatString => "use constant format string",
+            Cwe::OutOfBoundsWrite => "bound copy loop to buffer size",
+            Cwe::OutOfBoundsRead => "validate index before table read",
+            Cwe::UseAfterFree => "move free after last use",
+            Cwe::IntegerOverflow => "range-check count before size multiply",
+            Cwe::NullDereference => "handle missing entry before write",
+            Cwe::HardcodedCredentials => "load key from secret store",
+            Cwe::RaceCondition => "open atomically instead of check-then-open",
+        };
+        // A good fraction of patched states carry mundane messages — the
+        // security fix landed earlier or was folded into a refactor.
+        if self.rng.gen_bool(0.35) {
+            return self.benign_artifacts();
+        }
+        let prefix = ["fix: ", "security: ", ""][self.rng.gen_range(0..3)];
+        Artifacts {
+            commit_message: format!("{prefix}{fix_word}"),
+            review_comment: match self.rng.gen_range(0..10u8) {
+                0 | 1 => Some("thanks, safer now".to_string()),
+                2..=5 => Some("lgtm".to_string()),
+                _ => None,
+            },
+            analyst_note: if self.rng.gen_bool(0.4) {
+                Some(format!("verified remediation of {cwe}"))
+            } else {
+                None
+            },
+        }
+    }
+
+    fn benign_artifacts(&mut self) -> Artifacts {
+        // Benign code descends from feature commits just as often as
+        // vulnerable code does — commit vocabulary overlaps across classes.
+        const MSGS: [&str; 12] = [
+            "refactor helper naming",
+            "add metrics to hot path",
+            "simplify loop structure",
+            "update logging format",
+            "extract utility function",
+            "fix: correct off-by-one in pagination copy", // non-security fixes
+            "fix typo in error message",
+            "add handler for new endpoint",
+            "implement batch processing path",
+            "wire up service integration",
+            "initial version of lookup flow",
+            "port legacy routine",
+        ];
+        Artifacts {
+            commit_message: MSGS[self.rng.gen_range(0..MSGS.len())].to_string(),
+            review_comment: match self.rng.gen_range(0..10u8) {
+                0..=2 => Some("lgtm".to_string()),
+                3 => Some("please rename this for clarity".to_string()),
+                4 => Some("not sure about the error handling here, please double check".to_string()),
+                _ => None,
+            },
+            analyst_note: None,
+        }
+    }
+}
+
+/// Extracts the first function name from a unit (cheap textual scan used for
+/// benign samples, where any function is representative).
+fn first_fn_name(source: &str) -> String {
+    vulnman_lang::parse(source)
+        .ok()
+        .and_then(|p| p.functions.first().map(|f| f.name.clone()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnman_lang::parse;
+
+    #[test]
+    fn pair_labels_and_parseability() {
+        let mut g = SampleGenerator::new(1, StyleProfile::mainstream());
+        for cwe in Cwe::ALL {
+            let (v, f) = g.vulnerable_pair(cwe, Tier::Curated, "p0");
+            assert!(v.label && !f.label);
+            assert_eq!(v.cwe, Some(cwe));
+            parse(&v.source).unwrap();
+            parse(&f.source).unwrap();
+            assert_ne!(v.id, f.id);
+        }
+    }
+
+    #[test]
+    fn benign_samples_parse_and_are_unlabeled() {
+        let mut g = SampleGenerator::new(2, StyleProfile::internal_teams()[0].clone());
+        for tier in Tier::ALL {
+            let b = g.benign(tier, "p1");
+            assert!(!b.label);
+            assert!(b.cwe.is_none());
+            parse(&b.source).unwrap();
+            assert_ne!(b.target_fn, "unknown");
+        }
+    }
+
+    #[test]
+    fn fixed_commit_messages_mention_remediation() {
+        let mut g = SampleGenerator::new(3, StyleProfile::mainstream());
+        let (_, f) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Simple, "p0");
+        assert!(f.artifacts.commit_message.contains("escape"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = |seed| {
+            let mut g = SampleGenerator::new(seed, StyleProfile::mainstream());
+            let (v, _) = g.vulnerable_pair(Cwe::PathTraversal, Tier::RealWorld, "p0");
+            v.source
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn ids_are_unique_across_kinds() {
+        let mut g = SampleGenerator::new(4, StyleProfile::mainstream());
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let (v, f) = g.vulnerable_pair(Cwe::UseAfterFree, Tier::Simple, "p0");
+            let b = g.benign(Tier::Simple, "p0");
+            assert!(ids.insert(v.id));
+            assert!(ids.insert(f.id));
+            assert!(ids.insert(b.id));
+        }
+    }
+}

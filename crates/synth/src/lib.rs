@@ -1,0 +1,54 @@
+//! # vulnman-synth
+//!
+//! Synthetic vulnerable-code corpus generation for the `vulnman` workspace.
+//!
+//! The paper's gap studies are all statements about *data*: class imbalance,
+//! label noise, synthetic duplication, distribution shift across complexity
+//! tiers, team-style divergence, and CWE priority mismatch. This crate makes
+//! each of those an explicit, reproducible knob on [`dataset::DatasetBuilder`]
+//! and provides:
+//!
+//! * a catalog of twelve CWE classes with severity/exploitability priors and
+//!   public-vs-internal frequency distributions ([`cwe`]),
+//! * per-CWE vulnerable/fixed template generators ([`templates`]) in mini-C,
+//! * team style profiles that change how the same flaw *looks* ([`style`]),
+//! * complexity tiers from textbook snippets to real-world-shaped units
+//!   ([`tier`]),
+//! * slice-preserving near-duplication and structural fingerprinting
+//!   ([`mutate`]),
+//! * repair-benchmark task generation ([`repair_tasks`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vulnman_synth::dataset::DatasetBuilder;
+//!
+//! // A realistic, imbalanced corpus with noisy labels.
+//! let corpus = DatasetBuilder::new(42)
+//!     .vulnerable_count(50)
+//!     .vulnerable_fraction(0.1)
+//!     .label_noise(0.05)
+//!     .build();
+//! assert_eq!(corpus.vulnerable_count(), 50);
+//! assert_eq!(corpus.len(), 500);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cwe;
+pub mod dataset;
+pub mod emit;
+pub mod generator;
+pub mod mutate;
+pub mod project;
+pub mod repair_tasks;
+pub mod sample;
+pub mod style;
+pub mod templates;
+pub mod tier;
+
+pub use cwe::{Cwe, CweDistribution};
+pub use dataset::{Dataset, DatasetBuilder};
+pub use sample::Sample;
+pub use style::StyleProfile;
+pub use tier::Tier;

@@ -1,0 +1,324 @@
+//! Slice-preserving mutation for synthetic dataset duplication.
+//!
+//! Models the common synthetic-augmentation practice the paper criticizes
+//! (Gap Observation 4, citing Allamanis): "keeping vulnerable code unchanged
+//! and adding variations to unrelated neighboring code", which floods
+//! corpora with near-duplicate slices and inflates benchmark scores.
+//!
+//! A mutation alpha-renames local variables and parameters, optionally
+//! prepends inert declarations, and reorders function definitions — the
+//! vulnerable *slice structure* is untouched.
+
+use rand::Rng;
+use vulnman_lang::ast::{Expr, ExprKind, Function, LValue, Stmt, StmtKind, Type};
+use vulnman_lang::{parse, print_program};
+
+/// Produces a near-duplicate of `source`: same semantic skeleton, fresh
+/// local names, shuffled function order, optional inert padding.
+///
+/// Returns `None` if `source` does not parse (callers generate sources from
+/// templates, so this indicates a bug upstream).
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let src = "int f(int alpha) { int beta = alpha + 1; return beta; }";
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let dup = vulnman_synth::mutate::near_duplicate(src, &mut rng).unwrap();
+/// assert_ne!(dup, src);
+/// assert!(vulnman_lang::parse(&dup).is_ok());
+/// ```
+pub fn near_duplicate<R: Rng>(source: &str, rng: &mut R) -> Option<String> {
+    let mut program = parse(source).ok()?;
+    let salt: u32 = rng.gen_range(1..=9999);
+    for func in &mut program.functions {
+        rename_function_locals(func, salt);
+        if rng.gen_bool(0.5) {
+            prepend_inert_decl(func, rng);
+        }
+    }
+    // Shuffle function order (stable labels: function *names* are preserved).
+    if program.functions.len() > 1 && rng.gen_bool(0.7) {
+        let k = rng.gen_range(0..program.functions.len());
+        program.functions.rotate_left(k);
+    }
+    Some(print_program(&program))
+}
+
+fn rename_function_locals(func: &mut Function, salt: u32) {
+    let mut map = std::collections::HashMap::new();
+    for (i, p) in func.params.iter_mut().enumerate() {
+        let fresh = format!("p{salt}_{i}");
+        map.insert(p.name.clone(), fresh.clone());
+        p.name = fresh;
+    }
+    // Collect declared locals first (pre-pass) so uses before the walk order
+    // still rename consistently.
+    let mut counter = 0usize;
+    collect_decls(&mut func.body, &mut map, salt, &mut counter);
+    for s in &mut func.body {
+        rename_stmt(s, &map);
+    }
+}
+
+fn collect_decls(
+    stmts: &mut [Stmt],
+    map: &mut std::collections::HashMap<String, String>,
+    salt: u32,
+    counter: &mut usize,
+) {
+    for s in stmts {
+        match &mut s.kind {
+            StmtKind::Decl { name, .. } => {
+                *counter += 1;
+                let fresh = format!("v{salt}_{counter}");
+                map.insert(name.clone(), fresh.clone());
+                *name = fresh;
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                collect_decls(then_branch, map, salt, counter);
+                if let Some(e) = else_branch {
+                    collect_decls(e, map, salt, counter);
+                }
+            }
+            StmtKind::While { body, .. } => collect_decls(body, map, salt, counter),
+            StmtKind::For { init, body, step, .. } => {
+                if let Some(i) = init {
+                    collect_decls(std::slice::from_mut(i.as_mut()), map, salt, counter);
+                }
+                if let Some(st) = step {
+                    collect_decls(std::slice::from_mut(st.as_mut()), map, salt, counter);
+                }
+                collect_decls(body, map, salt, counter);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rename_stmt(s: &mut Stmt, map: &std::collections::HashMap<String, String>) {
+    match &mut s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                rename_expr(e, map);
+            }
+        }
+        StmtKind::Assign { target, value, .. } => {
+            match target {
+                LValue::Var(name) => rename_name(name, map),
+                LValue::Deref(e) => rename_expr(e, map),
+                LValue::Index(b, i) => {
+                    rename_expr(b, map);
+                    rename_expr(i, map);
+                }
+            }
+            rename_expr(value, map);
+        }
+        StmtKind::If { cond, then_branch, else_branch } => {
+            rename_expr(cond, map);
+            for t in then_branch {
+                rename_stmt(t, map);
+            }
+            if let Some(e) = else_branch {
+                for t in e {
+                    rename_stmt(t, map);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            rename_expr(cond, map);
+            for t in body {
+                rename_stmt(t, map);
+            }
+        }
+        StmtKind::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                rename_stmt(i, map);
+            }
+            if let Some(c) = cond {
+                rename_expr(c, map);
+            }
+            if let Some(st) = step {
+                rename_stmt(st, map);
+            }
+            for t in body {
+                rename_stmt(t, map);
+            }
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                rename_expr(e, map);
+            }
+        }
+        StmtKind::Expr(e) => rename_expr(e, map),
+        StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn rename_expr(e: &mut Expr, map: &std::collections::HashMap<String, String>) {
+    match &mut e.kind {
+        ExprKind::Var(name) => rename_name(name, map),
+        ExprKind::Unary(_, inner) => rename_expr(inner, map),
+        ExprKind::Binary(_, l, r) => {
+            rename_expr(l, map);
+            rename_expr(r, map);
+        }
+        ExprKind::Call(_, args) => {
+            // Function names are global and deliberately preserved.
+            for a in args {
+                rename_expr(a, map);
+            }
+        }
+        ExprKind::Index(b, i) => {
+            rename_expr(b, map);
+            rename_expr(i, map);
+        }
+        ExprKind::Int(_) | ExprKind::Char(_) | ExprKind::Str(_) => {}
+    }
+}
+
+fn rename_name(name: &mut String, map: &std::collections::HashMap<String, String>) {
+    if let Some(fresh) = map.get(name.as_str()) {
+        *name = fresh.clone();
+    }
+}
+
+fn prepend_inert_decl<R: Rng>(func: &mut Function, rng: &mut R) {
+    let v = format!("inert_{}", rng.gen_range(0..100000u32));
+    let value: i64 = rng.gen_range(0..256);
+    func.body.insert(
+        0,
+        Stmt::new(
+            StmtKind::Decl { name: v, ty: Type::Int, init: Some(Expr::int(value)) },
+            vulnman_lang::Span::dummy(),
+        ),
+    );
+}
+
+/// A structural fingerprint of a unit that ignores identifier names and
+/// literal values: near-duplicates produced by [`near_duplicate`] collide
+/// under this fingerprint while independently generated units do not
+/// (almost surely). Used to *measure* duplication rates in datasets (E08).
+pub fn structural_fingerprint(source: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    match parse(source) {
+        Ok(p) => {
+            // Order-insensitive: hash the sorted multiset of per-function
+            // shape hashes, so function reordering does not defeat dedup.
+            let mut fn_hashes: Vec<u64> =
+                p.functions.iter().map(function_shape_hash).collect();
+            fn_hashes.sort_unstable();
+            fn_hashes.hash(&mut hasher);
+        }
+        Err(_) => source.hash(&mut hasher),
+    }
+    hasher.finish()
+}
+
+/// Shape hash of one function: statement/expression structure with names and
+/// literal values erased. Declarations initialized to integer literals are
+/// skipped entirely, so inert-padding insertion does not defeat dedup either.
+fn function_shape_hash(f: &Function) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    f.params.len().hash(&mut hasher);
+    f.walk_stmts(&mut |s| {
+        if let StmtKind::Decl { init, .. } = &s.kind {
+            let literal_init =
+                matches!(init, None | Some(Expr { kind: ExprKind::Int(_), .. }));
+            if literal_init {
+                return;
+            }
+        }
+        std::mem::discriminant(&s.kind).hash(&mut hasher);
+        for e in s.exprs() {
+            e.walk(&mut |sub| {
+                match &sub.kind {
+                    // Call targets are part of the slice shape.
+                    ExprKind::Call(name, args) => {
+                        0u8.hash(&mut hasher);
+                        name.hash(&mut hasher);
+                        args.len().hash(&mut hasher);
+                    }
+                    other => std::mem::discriminant(other).hash(&mut hasher),
+                }
+            });
+        }
+    });
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SampleGenerator;
+    use crate::style::StyleProfile;
+    use crate::tier::Tier;
+    use crate::cwe::Cwe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+
+    #[test]
+    fn duplicate_parses_and_differs_textually() {
+        let mut g = SampleGenerator::new(1, StyleProfile::mainstream());
+        let (v, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Curated, "p");
+        let mut rng = StdRng::seed_from_u64(2);
+        let dup = near_duplicate(&v.source, &mut rng).unwrap();
+        assert_ne!(dup, v.source);
+        parse(&dup).unwrap();
+    }
+
+    #[test]
+    fn duplicate_preserves_vulnerability() {
+        let cfg = TaintConfig::default_config();
+        let mut g = SampleGenerator::new(3, StyleProfile::mainstream());
+        for cwe in [Cwe::SqlInjection, Cwe::CommandInjection, Cwe::PathTraversal] {
+            let (v, f) = g.vulnerable_pair(cwe, Tier::Curated, "p");
+            let mut rng = StdRng::seed_from_u64(7);
+            let dup_v = near_duplicate(&v.source, &mut rng).unwrap();
+            let dup_f = near_duplicate(&f.source, &mut rng).unwrap();
+            let pv = parse(&dup_v).unwrap();
+            let pf = parse(&dup_f).unwrap();
+            assert!(
+                !TaintAnalysis::run(&pv, &cfg).findings.is_empty(),
+                "{cwe}: duplicate must keep the flow\n{dup_v}"
+            );
+            assert!(
+                TaintAnalysis::run(&pf, &cfg).findings.is_empty(),
+                "{cwe}: fixed duplicate must stay clean"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_collides_for_rename_only_duplicates() {
+        // A pure alpha-rename (no inert padding, no rotation) must collide.
+        let src = "int f(int alpha) { int beta = alpha * 2; if (beta > 3) { return beta; } return alpha; }";
+        let mut p = parse(src).unwrap();
+        rename_function_locals(&mut p.functions[0], 77);
+        let renamed = print_program(&p);
+        assert_ne!(renamed, src);
+        assert_eq!(structural_fingerprint(src), structural_fingerprint(&renamed));
+    }
+
+    #[test]
+    fn fingerprint_separates_independent_units() {
+        let mut g = SampleGenerator::new(5, StyleProfile::mainstream());
+        let (a, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::RealWorld, "p");
+        let (b, _) = g.vulnerable_pair(Cwe::UseAfterFree, Tier::RealWorld, "p");
+        assert_ne!(structural_fingerprint(&a.source), structural_fingerprint(&b.source));
+    }
+
+    #[test]
+    fn rename_keeps_function_names() {
+        let src = "int helper(int x) { return x; }\nint f(int y) { return helper(y); }";
+        let mut rng = StdRng::seed_from_u64(9);
+        let dup = near_duplicate(src, &mut rng).unwrap();
+        assert!(dup.contains("helper"));
+        assert!(dup.contains("int f("));
+        assert!(!dup.contains(" y)"), "param should be renamed: {dup}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Repair-benchmark task generation (the SWE-bench-style experiment, E15).
+//!
+//! A [`RepairTask`] is a vulnerable unit a repair engine must patch. Tasks
+//! come in the same complexity tiers as detection samples; the paper's
+//! point (Gap 3) is that solve rates collapse from toy benchmarks to
+//! real-world issues (Claude-2: 4.8%, GPT-4: 1.7% on SWE-bench).
+
+use crate::cwe::{Cwe, CweDistribution};
+use crate::generator::SampleGenerator;
+use crate::style::StyleProfile;
+use crate::tier::Tier;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One program-repair task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairTask {
+    /// Task id.
+    pub id: u64,
+    /// Vulnerability class to remediate.
+    pub cwe: Cwe,
+    /// The vulnerable unit the engine receives.
+    pub broken: String,
+    /// Function containing the flaw.
+    pub target_fn: String,
+    /// Complexity tier (difficulty axis).
+    pub tier: Tier,
+    /// The ground-truth patched unit (held out; used only for evaluation
+    /// diagnostics, never shown to engines).
+    pub reference_fix: String,
+    /// Team whose style the unit follows.
+    pub team: String,
+}
+
+/// Generates a suite of repair tasks for one tier.
+///
+/// # Examples
+///
+/// ```
+/// use vulnman_synth::{repair_tasks::generate_tasks, tier::Tier};
+/// let tasks = generate_tasks(7, Tier::Simple, 5);
+/// assert_eq!(tasks.len(), 5);
+/// assert!(tasks.iter().all(|t| t.tier == Tier::Simple));
+/// ```
+pub fn generate_tasks(seed: u64, tier: Tier, count: usize) -> Vec<RepairTask> {
+    let styles: Vec<StyleProfile> = match tier {
+        // Toy benchmarks use mainstream style; harder tiers mix real teams.
+        Tier::Simple => vec![StyleProfile::mainstream()],
+        Tier::Curated => {
+            vec![StyleProfile::mainstream(), StyleProfile::internal_teams()[0].clone()]
+        }
+        Tier::RealWorld => StyleProfile::internal_teams(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = CweDistribution::uniform();
+    let mut gens: Vec<SampleGenerator> = styles
+        .iter()
+        .enumerate()
+        .map(|(i, s)| SampleGenerator::new(seed.wrapping_add(1000 + i as u64), s.clone()))
+        .collect();
+    let mut tasks = Vec::with_capacity(count);
+    for i in 0..count {
+        let cwe = dist.sample(&mut rng);
+        let g = &mut gens[i % styles.len()];
+        let team = g.style().team.clone();
+        let (vuln, fixed) = g.vulnerable_pair(cwe, tier, "repair");
+        tasks.push(RepairTask {
+            id: i as u64 + 1,
+            cwe,
+            broken: vuln.source,
+            target_fn: vuln.target_fn,
+            tier,
+            reference_fix: fixed.source,
+            team,
+        });
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_parse_and_cover_classes() {
+        let tasks = generate_tasks(1, Tier::Curated, 36);
+        assert_eq!(tasks.len(), 36);
+        let mut classes = std::collections::HashSet::new();
+        for t in &tasks {
+            vulnman_lang::parse(&t.broken).unwrap();
+            vulnman_lang::parse(&t.reference_fix).unwrap();
+            classes.insert(t.cwe);
+        }
+        assert!(classes.len() >= 6, "should span many classes: {}", classes.len());
+    }
+
+    #[test]
+    fn realworld_tasks_use_internal_teams() {
+        let tasks = generate_tasks(2, Tier::RealWorld, 9);
+        let teams: std::collections::HashSet<_> = tasks.iter().map(|t| t.team.clone()).collect();
+        assert!(teams.len() >= 2);
+        assert!(!teams.contains("oss-mainstream"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_tasks(3, Tier::Simple, 4), generate_tasks(3, Tier::Simple, 4));
+    }
+}

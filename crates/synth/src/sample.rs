@@ -1,0 +1,124 @@
+//! Labeled samples and their multimodal artifacts.
+
+use crate::cwe::Cwe;
+use crate::tier::Tier;
+use serde::{Deserialize, Serialize};
+
+/// Side-channel artifacts accompanying a code sample — the "multimodal
+/// information" of Gap Observation 4 (commit messages, review comments,
+/// analyst notes) that industry datasets have and scraped corpora lack.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Artifacts {
+    /// Message of the commit that introduced this code state.
+    pub commit_message: String,
+    /// A code-review comment left on the change, if any.
+    pub review_comment: Option<String>,
+    /// Security-analyst triage note, if the sample went through manual
+    /// review (industry-only signal).
+    pub analyst_note: Option<String>,
+}
+
+impl Artifacts {
+    /// Concatenated text of all artifacts (for feature extraction).
+    pub fn combined_text(&self) -> String {
+        let mut s = self.commit_message.clone();
+        if let Some(r) = &self.review_comment {
+            s.push(' ');
+            s.push_str(r);
+        }
+        if let Some(a) = &self.analyst_note {
+            s.push(' ');
+            s.push_str(a);
+        }
+        s
+    }
+}
+
+/// A labeled code sample: one translation unit focused on one target
+/// function, plus provenance and artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Unique id within its corpus.
+    pub id: u64,
+    /// Source text of the translation unit.
+    pub source: String,
+    /// Ground-truth label: does the target function contain a vulnerability?
+    pub label: bool,
+    /// The label as *recorded in the dataset* — may differ from `label`
+    /// when label noise is injected (Gap Observation 4: "up to 70% of
+    /// labels in OSS repositories are inaccurate").
+    pub observed_label: bool,
+    /// Vulnerability class, when `label` is true.
+    pub cwe: Option<Cwe>,
+    /// Name of the function of interest.
+    pub target_fn: String,
+    /// Owning team (style profile name).
+    pub team: String,
+    /// Owning project identifier (diversity axis).
+    pub project: String,
+    /// Complexity tier.
+    pub tier: Tier,
+    /// If this sample is a synthetic near-duplicate, the id of its original.
+    pub duplicate_of: Option<u64>,
+    /// Multimodal artifacts.
+    pub artifacts: Artifacts,
+}
+
+impl Sample {
+    /// Returns `true` if the recorded label is wrong.
+    pub fn is_mislabeled(&self) -> bool {
+        self.label != self.observed_label
+    }
+
+    /// Returns `true` if this sample is a synthetic near-duplicate.
+    pub fn is_duplicate(&self) -> bool {
+        self.duplicate_of.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sample {
+        Sample {
+            id: 1,
+            source: "void f() {\n}\n".into(),
+            label: true,
+            observed_label: true,
+            cwe: Some(Cwe::SqlInjection),
+            target_fn: "f".into(),
+            team: "t".into(),
+            project: "p0".into(),
+            tier: Tier::Simple,
+            duplicate_of: None,
+            artifacts: Artifacts::default(),
+        }
+    }
+
+    #[test]
+    fn mislabeled_detection() {
+        let mut s = sample();
+        assert!(!s.is_mislabeled());
+        s.observed_label = false;
+        assert!(s.is_mislabeled());
+    }
+
+    #[test]
+    fn combined_text_joins_present_parts() {
+        let a = Artifacts {
+            commit_message: "fix overflow".into(),
+            review_comment: Some("add bounds check".into()),
+            analyst_note: None,
+        };
+        assert_eq!(a.combined_text(), "fix overflow add bounds check");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sample = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,338 @@
+//! Team style profiles.
+//!
+//! Industrial codebases differ in naming conventions, helper idioms, and
+//! security-wrapper vocabularies (Gap Observation 2: "various codebases
+//! present unique requirements due to different coding styles…"). The corpus
+//! generator threads a [`StyleProfile`] through every template so that the
+//! same vulnerability class *looks* different across teams — which is what
+//! makes the customization/fine-tuning experiment (E04) meaningful.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier naming convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamingStyle {
+    /// `snake_case` multi-word names.
+    Snake,
+    /// `camelCase` multi-word names.
+    Camel,
+    /// Hungarian-ish prefixes: `pszUserName`.
+    Hungarian,
+    /// Terse single-word or abbreviated names: `un`, `buf2`.
+    Short,
+}
+
+impl NamingStyle {
+    /// Joins word parts according to the convention.
+    pub fn join(&self, parts: &[&str]) -> String {
+        match self {
+            NamingStyle::Snake => parts.join("_"),
+            NamingStyle::Camel => {
+                let mut out = String::new();
+                for (i, p) in parts.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(p);
+                    } else {
+                        let mut cs = p.chars();
+                        if let Some(c) = cs.next() {
+                            out.push(c.to_ascii_uppercase());
+                        }
+                        out.push_str(cs.as_str());
+                    }
+                }
+                out
+            }
+            NamingStyle::Hungarian => {
+                let mut out = String::from("p");
+                for p in parts {
+                    let mut cs = p.chars();
+                    if let Some(c) = cs.next() {
+                        out.push(c.to_ascii_uppercase());
+                    }
+                    out.push_str(cs.as_str());
+                }
+                out
+            }
+            NamingStyle::Short => {
+                let mut out = String::new();
+                for p in parts {
+                    out.push_str(&p[..p.len().min(3)]);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Domain vocabulary the team's identifiers draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainVocab {
+    /// Web/API service words.
+    Web,
+    /// Database/storage words.
+    Database,
+    /// Media-processing words.
+    Media,
+    /// Systems/kernel words.
+    Systems,
+}
+
+impl DomainVocab {
+    /// Nouns characteristic of the domain.
+    pub fn nouns(&self) -> &'static [&'static str] {
+        match self {
+            DomainVocab::Web => {
+                &["user", "session", "request", "cookie", "route", "token", "page", "form"]
+            }
+            DomainVocab::Database => {
+                &["record", "row", "table", "index", "cursor", "schema", "shard", "txn"]
+            }
+            DomainVocab::Media => {
+                &["frame", "pixel", "codec", "stream", "sample", "track", "chunk", "packet"]
+            }
+            DomainVocab::Systems => {
+                &["page", "inode", "slab", "queue", "lock", "node", "block", "cache"]
+            }
+        }
+    }
+
+    /// Verbs characteristic of the domain.
+    pub fn verbs(&self) -> &'static [&'static str] {
+        match self {
+            DomainVocab::Web => &["handle", "serve", "render", "route", "submit", "fetch"],
+            DomainVocab::Database => &["query", "scan", "insert", "commit", "lookup", "migrate"],
+            DomainVocab::Media => &["decode", "encode", "resample", "mux", "filter", "seek"],
+            DomainVocab::Systems => &["map", "flush", "pin", "evict", "probe", "alloc"],
+        }
+    }
+}
+
+/// A team's coding-style profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StyleProfile {
+    /// Team identifier (stable across a corpus).
+    pub team: String,
+    /// Naming convention for identifiers.
+    pub naming: NamingStyle,
+    /// Domain vocabulary.
+    pub vocab: DomainVocab,
+    /// Probability that a generated function carries a doc comment.
+    pub comment_density: f64,
+    /// If set, sanitizers are called through team-named wrapper functions
+    /// with this prefix (e.g. `acme_clean_sql`), hiding the canonical
+    /// sanitizer names from shallow token models.
+    pub sanitizer_alias_prefix: Option<String>,
+    /// Probability that sources/sinks are wrapped in team helper functions
+    /// (increases interprocedural distance).
+    pub helper_wrap_prob: f64,
+}
+
+impl StyleProfile {
+    /// The neutral "open-source mainstream" style most research corpora
+    /// resemble; generic models are trained on this.
+    pub fn mainstream() -> Self {
+        StyleProfile {
+            team: "oss-mainstream".into(),
+            naming: NamingStyle::Snake,
+            vocab: DomainVocab::Web,
+            comment_density: 0.4,
+            sanitizer_alias_prefix: None,
+            helper_wrap_prob: 0.15,
+        }
+    }
+
+    /// A set of divergent internal team profiles, ordered by increasing
+    /// style distance from [`StyleProfile::mainstream`].
+    pub fn internal_teams() -> Vec<StyleProfile> {
+        vec![
+            StyleProfile {
+                team: "payments".into(),
+                naming: NamingStyle::Snake,
+                vocab: DomainVocab::Database,
+                comment_density: 0.6,
+                sanitizer_alias_prefix: None,
+                helper_wrap_prob: 0.3,
+            },
+            StyleProfile {
+                team: "media-infra".into(),
+                naming: NamingStyle::Camel,
+                vocab: DomainVocab::Media,
+                comment_density: 0.2,
+                sanitizer_alias_prefix: Some("mi".into()),
+                helper_wrap_prob: 0.5,
+            },
+            StyleProfile {
+                team: "kernel".into(),
+                naming: NamingStyle::Short,
+                vocab: DomainVocab::Systems,
+                comment_density: 0.1,
+                sanitizer_alias_prefix: Some("k".into()),
+                helper_wrap_prob: 0.7,
+            },
+        ]
+    }
+
+    /// Rough style distance from another profile in `[0, 1]`: fraction of
+    /// divergent dimensions. Used to order teams in the E04 experiment.
+    pub fn distance(&self, other: &StyleProfile) -> f64 {
+        let mut d = 0.0;
+        if self.naming != other.naming {
+            d += 0.25;
+        }
+        if self.vocab != other.vocab {
+            d += 0.25;
+        }
+        if self.sanitizer_alias_prefix != other.sanitizer_alias_prefix {
+            d += 0.3;
+        }
+        d += 0.2 * (self.helper_wrap_prob - other.helper_wrap_prob).abs();
+        d.min(1.0)
+    }
+
+    /// Source of the team's shared security library: wrapper definitions
+    /// for every aliased sanitizer. Kept outside generated units; analyses
+    /// that want to resolve team wrappers interprocedurally can prepend it,
+    /// or register the wrapper names as sanitizers directly (see
+    /// `SecurityStandard::taint_config` in `vulnman-core`).
+    pub fn team_library_source(&self) -> String {
+        const CANONICAL: [&str; 5] =
+            ["escape_sql", "escape_html", "sanitize_path", "escape_shell", "validate_input"];
+        let mut out = String::new();
+        if self.sanitizer_alias_prefix.is_some() {
+            for canonical in CANONICAL {
+                let call = self.sanitizer_call_name(canonical);
+                out.push_str(&format!(
+                    "char* {call}(char* s) {{\n    return {canonical}(s);\n}}\n"
+                ));
+            }
+        }
+        out
+    }
+
+    /// The name a sanitizer is invoked by under this profile. Teams with an
+    /// alias prefix call wrappers (`<prefix>_clean_<tail>`); others call the
+    /// canonical function directly.
+    pub fn sanitizer_call_name(&self, canonical: &str) -> String {
+        match &self.sanitizer_alias_prefix {
+            Some(prefix) => {
+                let tail = canonical.rsplit('_').next().unwrap_or(canonical);
+                format!("{prefix}_clean_{tail}")
+            }
+            None => canonical.to_string(),
+        }
+    }
+}
+
+/// Deterministic identifier generator over a style profile.
+#[derive(Debug)]
+pub struct NameGen<'a, R: Rng> {
+    style: &'a StyleProfile,
+    rng: &'a mut R,
+    counter: u32,
+}
+
+impl<'a, R: Rng> NameGen<'a, R> {
+    /// Creates a generator drawing randomness from `rng`.
+    pub fn new(style: &'a StyleProfile, rng: &'a mut R) -> Self {
+        NameGen { style, rng, counter: 0 }
+    }
+
+    /// A fresh variable name themed on the team vocabulary.
+    pub fn var(&mut self) -> String {
+        let noun = self.pick(self.style.vocab.nouns());
+        self.unique(&[noun])
+    }
+
+    /// A fresh variable name with a semantic hint word (e.g. "len", "buf").
+    pub fn var_hint(&mut self, hint: &str) -> String {
+        let noun = self.pick(self.style.vocab.nouns());
+        self.unique(&[noun, hint])
+    }
+
+    /// A fresh function name themed on the team vocabulary.
+    pub fn func(&mut self) -> String {
+        let verb = self.pick(self.style.vocab.verbs());
+        let noun = self.pick(self.style.vocab.nouns());
+        self.unique(&[verb, noun])
+    }
+
+    /// A fresh function name with a fixed verb (e.g. "fetch", "check").
+    pub fn func_hint(&mut self, verb: &str) -> String {
+        let noun = self.pick(self.style.vocab.nouns());
+        self.unique(&[verb, noun])
+    }
+
+    fn pick(&mut self, pool: &'static [&'static str]) -> &'static str {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    fn unique(&mut self, parts: &[&str]) -> String {
+        self.counter += 1;
+        let base = self.style.naming.join(parts);
+        // Suffix a counter so names never collide within a unit.
+        format!("{base}{}", self.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn naming_styles_join() {
+        assert_eq!(NamingStyle::Snake.join(&["user", "name"]), "user_name");
+        assert_eq!(NamingStyle::Camel.join(&["user", "name"]), "userName");
+        assert_eq!(NamingStyle::Hungarian.join(&["user", "name"]), "pUserName");
+        assert_eq!(NamingStyle::Short.join(&["user", "name"]), "usenam");
+    }
+
+    #[test]
+    fn sanitizer_alias() {
+        let mut p = StyleProfile::mainstream();
+        assert_eq!(p.sanitizer_call_name("escape_sql"), "escape_sql");
+        p.sanitizer_alias_prefix = Some("acme".into());
+        assert_eq!(p.sanitizer_call_name("escape_sql"), "acme_clean_sql");
+        assert_eq!(p.sanitizer_call_name("sanitize_path"), "acme_clean_path");
+    }
+
+    #[test]
+    fn distance_orders_teams() {
+        let main = StyleProfile::mainstream();
+        let teams = StyleProfile::internal_teams();
+        let dists: Vec<f64> = teams.iter().map(|t| main.distance(t)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "teams should be ordered: {dists:?}");
+        assert!(main.distance(&main) < 1e-9);
+    }
+
+    #[test]
+    fn names_are_unique_and_valid_identifiers() {
+        let style = StyleProfile::mainstream();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gen = NameGen::new(&style, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = gen.var();
+            let f = gen.func();
+            for name in [&v, &f] {
+                assert!(seen.insert(name.clone()), "duplicate {name}");
+                assert!(name.chars().next().unwrap().is_ascii_alphabetic());
+                assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let style = StyleProfile::internal_teams()[1].clone();
+        let gen_seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = NameGen::new(&style, &mut rng);
+            (0..10).map(|_| g.func()).collect::<Vec<_>>()
+        };
+        assert_eq!(gen_seq(42), gen_seq(42));
+        assert_ne!(gen_seq(42), gen_seq(43));
+    }
+}

@@ -1,0 +1,240 @@
+//! Taint-style injection templates: SQL injection, command injection, XSS,
+//! path traversal, and format string.
+
+use super::{Scaffold, TemplatePair};
+use crate::cwe::Cwe;
+use crate::emit::EmitCtx;
+use rand::Rng;
+
+/// Parameters describing a source→sink injection family.
+struct InjectionSpec {
+    cwe: Cwe,
+    /// Candidate source expressions (attacker-controlled data producers).
+    sources: &'static [&'static str],
+    /// Candidate sink function names (single `char*` argument).
+    sinks: &'static [&'static str],
+    /// Canonical sanitizer whose application constitutes the fix.
+    sanitizer: &'static str,
+    /// Static prefix concatenated before the tainted value (flavor text).
+    prefixes: &'static [&'static str],
+    /// Doc topic for the target function.
+    topic: &'static str,
+}
+
+fn generate_injection<R: Rng>(ctx: &mut EmitCtx<'_, R>, spec: &InjectionSpec) -> TemplatePair {
+    let source_expr = spec.sources[ctx.rng.gen_range(0..spec.sources.len())];
+    let sink_fn = spec.sinks[ctx.rng.gen_range(0..spec.sinks.len())];
+    let prefix = spec.prefixes[ctx.rng.gen_range(0..spec.prefixes.len())];
+
+    let (mut helpers, src_call) = ctx.wrap_source(source_expr);
+    let (sink_helpers, sink_name) = ctx.wrap_sink(sink_fn);
+    helpers.extend(sink_helpers);
+    let (san_call, san_def) = ctx.sanitizer(spec.sanitizer);
+    let helpers_fixed: Vec<String> = san_def.into_iter().collect();
+
+    let raw = ctx.var("raw");
+    let msg = ctx.var("payload");
+    let target_fn = ctx.func("handle");
+    let use_concat = ctx.rng.gen_bool(0.7);
+
+    let core_vuln = if use_concat {
+        format!(
+            "    char* {raw} = {src_call};\n    char* {msg} = concat(\"{prefix}\", {raw});\n    {sink_name}({msg});\n"
+        )
+    } else {
+        format!("    char* {raw} = {src_call};\n    {sink_name}({raw});\n")
+    };
+    let clean = ctx.var("clean");
+    let core_fixed = if use_concat {
+        format!(
+            "    char* {raw} = {src_call};\n    char* {clean} = {san_call}({raw});\n    char* {msg} = concat(\"{prefix}\", {clean});\n    {sink_name}({msg});\n"
+        )
+    } else {
+        format!(
+            "    char* {raw} = {src_call};\n    char* {clean} = {san_call}({raw});\n    {sink_name}({clean});\n"
+        )
+    };
+
+    let scaffold = Scaffold::sample(ctx, spec.topic);
+    let (vulnerable, fixed) = scaffold.assemble(
+        &helpers,
+        &helpers_fixed,
+        &format!("void {target_fn}()"),
+        &core_vuln,
+        &core_fixed,
+    );
+    TemplatePair { cwe: spec.cwe, vulnerable, fixed, target_fn }
+}
+
+/// CWE-89: attacker data concatenated into a query string.
+pub fn sql_injection<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    generate_injection(
+        ctx,
+        &InjectionSpec {
+            cwe: Cwe::SqlInjection,
+            sources: &["http_param(\"id\")", "get_request_field(\"user\")", "read_input()"],
+            sinks: &["exec_query", "sql_execute"],
+            sanitizer: "escape_sql",
+            prefixes: &[
+                "SELECT * FROM users WHERE id = ",
+                "DELETE FROM sessions WHERE token = ",
+                "UPDATE accounts SET plan = ",
+            ],
+            topic: "the account lookup query",
+        },
+    )
+}
+
+/// CWE-78: attacker data reaching a shell execution primitive.
+pub fn command_injection<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    generate_injection(
+        ctx,
+        &InjectionSpec {
+            cwe: Cwe::CommandInjection,
+            sources: &["read_input()", "getenv(\"TARGET_HOST\")", "http_param(\"host\")"],
+            sinks: &["system", "exec_shell", "popen"],
+            sanitizer: "escape_shell",
+            prefixes: &["ping -c 1 ", "convert -resize 80x80 ", "tar -xf "],
+            topic: "the diagnostics command",
+        },
+    )
+}
+
+/// CWE-79: attacker data rendered into an HTML response.
+pub fn cross_site_scripting<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    generate_injection(
+        ctx,
+        &InjectionSpec {
+            cwe: Cwe::CrossSiteScripting,
+            sources: &["http_param(\"name\")", "get_request_field(\"bio\")", "deserialize()"],
+            sinks: &["render_html", "write_response"],
+            sanitizer: "escape_html",
+            prefixes: &["<div class=profile>", "<span>Welcome ", "<td>"],
+            topic: "the profile page fragment",
+        },
+    )
+}
+
+/// CWE-22: attacker data used as a filesystem path.
+pub fn path_traversal<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    generate_injection(
+        ctx,
+        &InjectionSpec {
+            cwe: Cwe::PathTraversal,
+            sources: &["http_param(\"file\")", "get_request_field(\"attachment\")", "read_input()"],
+            sinks: &["open_file", "fopen_path"],
+            sanitizer: "sanitize_path",
+            prefixes: &["/var/data/uploads/", "/srv/static/", "/tmp/export/"],
+            topic: "the download handler",
+        },
+    )
+}
+
+/// CWE-134: attacker data used as a format string. The fix passes a constant
+/// format and moves the data to an argument position, so no sanitizer is
+/// involved — the patched shape itself is the fix.
+pub fn format_string<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let sources = ["read_input()", "http_param(\"msg\")", "getenv(\"BANNER\")"];
+    let source_expr = sources[ctx.rng.gen_range(0..sources.len())];
+    let (helpers, src_call) = ctx.wrap_source(source_expr);
+
+    let raw = ctx.var("text");
+    let target_fn = ctx.func("render");
+    let core_vuln = format!("    char* {raw} = {src_call};\n    printf_fmt({raw});\n");
+    let core_fixed =
+        format!("    char* {raw} = {src_call};\n    printf_fmt(\"%s\", {raw});\n");
+
+    let scaffold = Scaffold::sample(ctx, "the status banner");
+    let (vulnerable, fixed) = scaffold.assemble(
+        &helpers,
+        &[],
+        &format!("void {target_fn}()"),
+        &core_vuln,
+        &core_fixed,
+    );
+    TemplatePair { cwe: Cwe::FormatString, vulnerable, fixed, target_fn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::StyleProfile;
+    use crate::tier::Tier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parse;
+    use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+
+    fn pair_for(seed: u64, f: fn(&mut EmitCtx<'_, StdRng>) -> TemplatePair) -> TemplatePair {
+        let style = StyleProfile::mainstream();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn sql_injection_has_sql_kind_finding() {
+        let pair = pair_for(3, sql_injection);
+        let p = parse(&pair.vulnerable).unwrap();
+        let t = TaintAnalysis::run(&p, &TaintConfig::default_config());
+        assert!(t.findings.iter().any(|f| f.sink_kind == "sql"), "{:?}", t.findings);
+    }
+
+    #[test]
+    fn command_injection_kind() {
+        let pair = pair_for(4, command_injection);
+        let p = parse(&pair.vulnerable).unwrap();
+        let t = TaintAnalysis::run(&p, &TaintConfig::default_config());
+        assert!(t.findings.iter().any(|f| f.sink_kind == "command"));
+    }
+
+    #[test]
+    fn xss_kind() {
+        let pair = pair_for(5, cross_site_scripting);
+        let p = parse(&pair.vulnerable).unwrap();
+        let t = TaintAnalysis::run(&p, &TaintConfig::default_config());
+        assert!(t.findings.iter().any(|f| f.sink_kind == "xss"));
+    }
+
+    #[test]
+    fn path_traversal_kind() {
+        let pair = pair_for(6, path_traversal);
+        let p = parse(&pair.vulnerable).unwrap();
+        let t = TaintAnalysis::run(&p, &TaintConfig::default_config());
+        assert!(t.findings.iter().any(|f| f.sink_kind == "path"));
+    }
+
+    #[test]
+    fn format_string_fix_moves_data_out_of_position_zero() {
+        let pair = pair_for(7, format_string);
+        let cfg = TaintConfig::default_config();
+        let pv = parse(&pair.vulnerable).unwrap();
+        let pf = parse(&pair.fixed).unwrap();
+        assert!(TaintAnalysis::run(&pv, &cfg).findings.iter().any(|f| f.sink_kind == "format"));
+        assert!(TaintAnalysis::run(&pf, &cfg).findings.is_empty());
+        assert!(pair.fixed.contains("\"%s\""));
+    }
+
+    #[test]
+    fn alias_team_fix_requires_customized_tooling() {
+        let style = StyleProfile::internal_teams()[1].clone();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        let pair = sql_injection(&mut ctx);
+        assert!(pair.fixed.contains("mi_clean_sql"), "{}", pair.fixed);
+        assert!(
+            !pair.fixed.contains("escape_sql"),
+            "canonical sanitizer must not leak into the unit:\n{}",
+            pair.fixed
+        );
+        let p = parse(&pair.fixed).unwrap();
+        // A generic (uncustomized) tool false-positives on the team's fix…
+        let generic = TaintAnalysis::run(&p, &TaintConfig::default_config());
+        assert!(!generic.findings.is_empty(), "generic tooling cannot see the wrapper");
+        // …while a team-customized config accepts it (Gap Observation 2).
+        let mut team = TaintConfig::default_config();
+        team.add_sanitizer("mi_clean_sql");
+        let customized = TaintAnalysis::run(&p, &team);
+        assert!(customized.findings.is_empty(), "{:?}", customized.findings);
+    }
+}

@@ -1,0 +1,117 @@
+//! Logic/configuration templates: hard-coded credentials and TOCTOU races.
+//!
+//! These classes rank low in the public CWE Top-25 yet dominate internal
+//! enterprise backlogs (see [`crate::cwe::CweDistribution::internal_backend`]),
+//! which is exactly the priority mismatch of Gap Observation 1.
+
+use super::{Scaffold, TemplatePair};
+use crate::cwe::Cwe;
+use crate::emit::EmitCtx;
+use rand::Rng;
+
+const SECRET_LITERALS: [&str; 6] = [
+    "sk_live_9aF3xQ81LmZz",
+    "AKIA4XP7Q2MEXAMPLE",
+    "ghp_Zt8s1WqYv42aa0Bc",
+    "hunter2supersecret",
+    "pg_pass_Xy77Qa21",
+    "tok_9f8e7d6c5b4a",
+];
+
+/// CWE-798: a secret embedded as a string literal. The fix loads it from the
+/// secret store at runtime.
+pub fn hardcoded_credentials<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let secret = SECRET_LITERALS[ctx.rng.gen_range(0..SECRET_LITERALS.len())];
+    let key_var = ctx.var("key");
+    let conn = ctx.var("conn");
+    let target_fn = ctx.func("connect");
+    let service = ["billing", "storage", "auth", "search"][ctx.rng.gen_range(0..4)];
+    let auth_fns = ["connect_service", "authenticate", "open_session"];
+    let auth_fn = auth_fns[ctx.rng.gen_range(0..auth_fns.len())];
+
+    let core_vuln = format!(
+        "    char* {key_var} = \"{secret}\";\n    int {conn} = {auth_fn}(\"{service}\", {key_var});\n    if ({conn} < 0) {{\n        log_event(\"auth failed\");\n    }}\n"
+    );
+    let core_fixed = format!(
+        "    char* {key_var} = load_secret(\"{service}_api_key\");\n    int {conn} = {auth_fn}(\"{service}\", {key_var});\n    if ({conn} < 0) {{\n        log_event(\"auth failed\");\n    }}\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the service connection");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::HardcodedCredentials, vulnerable, fixed, target_fn }
+}
+
+/// CWE-362 (TOCTOU): existence check followed by a separate open. The fix
+/// opens atomically and checks the handle instead.
+pub fn race_condition<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let path = ctx.var("path");
+    let fd = ctx.var("fd");
+    let target_fn = ctx.func("probe");
+    let dirs = ["/var/spool/jobs/", "/run/locks/", "/srv/queue/"];
+    let dir = dirs[ctx.rng.gen_range(0..dirs.len())];
+    let file = ["current", "next", "state"][ctx.rng.gen_range(0..3)];
+
+    let core_vuln = format!(
+        "    char* {path} = concat(\"{dir}\", \"{file}\");\n    if (file_exists({path})) {{\n        int {fd} = open_file({path});\n        read_all({fd});\n        close_file({fd});\n    }}\n"
+    );
+    let core_fixed = format!(
+        "    char* {path} = concat(\"{dir}\", \"{file}\");\n    int {fd} = open_file_atomic({path});\n    if ({fd} >= 0) {{\n        read_all({fd});\n        close_file({fd});\n    }}\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the spool reader");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::RaceCondition, vulnerable, fixed, target_fn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::StyleProfile;
+    use crate::tier::Tier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parse;
+
+    fn pair_for(seed: u64, f: fn(&mut EmitCtx<'_, StdRng>) -> TemplatePair) -> TemplatePair {
+        let style = StyleProfile::mainstream();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn credentials_vulnerable_embeds_secret_literal() {
+        let pair = pair_for(1, hardcoded_credentials);
+        parse(&pair.vulnerable).unwrap();
+        parse(&pair.fixed).unwrap();
+        assert!(SECRET_LITERALS.iter().any(|s| pair.vulnerable.contains(s)));
+        assert!(SECRET_LITERALS.iter().all(|s| !pair.fixed.contains(s)));
+        assert!(pair.fixed.contains("load_secret"));
+    }
+
+    #[test]
+    fn race_vulnerable_has_check_then_open() {
+        let pair = pair_for(2, race_condition);
+        parse(&pair.vulnerable).unwrap();
+        parse(&pair.fixed).unwrap();
+        assert!(pair.vulnerable.contains("file_exists"));
+        assert!(pair.vulnerable.contains("open_file("));
+        assert!(!pair.fixed.contains("file_exists"));
+        assert!(pair.fixed.contains("open_file_atomic"));
+    }
+
+    #[test]
+    fn note_toctou_path_is_not_tainted() {
+        // The race template must not accidentally create a path-traversal
+        // taint flow (its path comes from constants, not attacker data).
+        use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+        for seed in 0..10 {
+            let pair = pair_for(seed, race_condition);
+            let p = parse(&pair.vulnerable).unwrap();
+            let t = TaintAnalysis::run(&p, &TaintConfig::default_config());
+            assert!(t.findings.is_empty(), "{:?}", t.findings);
+        }
+    }
+}

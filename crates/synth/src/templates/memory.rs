@@ -1,0 +1,215 @@
+//! Memory-safety templates: out-of-bounds write/read, use-after-free,
+//! integer overflow, and null dereference.
+//!
+//! These are *structural* vulnerabilities: unlike the injection family they
+//! are not simple source→sink taint flows, so they exercise the pattern/
+//! bounds detectors and the structural ML features.
+
+use super::{Scaffold, TemplatePair};
+use crate::cwe::Cwe;
+use crate::emit::EmitCtx;
+use rand::Rng;
+
+/// CWE-787: unbounded copy loop (or `strcpy`) into a fixed-size stack buffer.
+pub fn out_of_bounds_write<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let size = [16usize, 32, 64, 128][ctx.rng.gen_range(0..4)];
+    let buf = ctx.var("buf");
+    let src = ctx.var("input");
+    let i = ctx.var("i");
+    let target_fn = ctx.func("copy");
+    let use_strcpy = ctx.rng.gen_bool(0.4);
+
+    let (core_vuln, core_fixed) = if use_strcpy {
+        (
+            format!(
+                "    char {buf}[{size}];\n    char* {src} = read_input();\n    strcpy({buf}, {src});\n    consume({buf});\n"
+            ),
+            format!(
+                "    char {buf}[{size}];\n    char* {src} = read_input();\n    copy_bounded({buf}, {src}, {cap});\n    consume({buf});\n",
+                cap = size - 1
+            ),
+        )
+    } else {
+        (
+            format!(
+                "    char {buf}[{size}];\n    char* {src} = read_input();\n    int {i} = 0;\n    while ({src}[{i}] != '\\0') {{\n        {buf}[{i}] = {src}[{i}];\n        {i}++;\n    }}\n    {buf}[{i}] = '\\0';\n    consume({buf});\n"
+            ),
+            format!(
+                "    char {buf}[{size}];\n    char* {src} = read_input();\n    int {i} = 0;\n    while ({src}[{i}] != '\\0' && {i} < {cap}) {{\n        {buf}[{i}] = {src}[{i}];\n        {i}++;\n    }}\n    {buf}[{i}] = '\\0';\n    consume({buf});\n",
+                cap = size - 1
+            ),
+        )
+    };
+
+    let scaffold = Scaffold::sample(ctx, "the ingest buffer");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::OutOfBoundsWrite, vulnerable, fixed, target_fn }
+}
+
+/// CWE-125: table lookup with an unvalidated index from external input.
+pub fn out_of_bounds_read<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let size = [8usize, 16, 32][ctx.rng.gen_range(0..3)];
+    let table = ctx.var("table");
+    let idx = ctx.var("idx");
+    let out = ctx.var("value");
+    let target_fn = ctx.func("lookup");
+
+    let core_vuln = format!(
+        "    int {table}[{size}];\n    init_table({table}, {size});\n    int {idx} = to_int(http_param(\"slot\"));\n    int {out} = {table}[{idx}];\n    record_metric(\"slot\", {out});\n"
+    );
+    let core_fixed = format!(
+        "    int {table}[{size}];\n    init_table({table}, {size});\n    int {idx} = to_int(http_param(\"slot\"));\n    if ({idx} < 0 || {idx} >= {size}) {{\n        return;\n    }}\n    int {out} = {table}[{idx}];\n    record_metric(\"slot\", {out});\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the slot table read");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::OutOfBoundsRead, vulnerable, fixed, target_fn }
+}
+
+/// CWE-416: buffer used after `free_mem`. The fix frees after the last use.
+pub fn use_after_free<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let p = ctx.var("ptr");
+    let n = [64usize, 256, 1024][ctx.rng.gen_range(0..3)];
+    let target_fn = ctx.func("flush");
+
+    let core_vuln = format!(
+        "    char* {p} = alloc_buffer({n});\n    fill_data({p}, {n});\n    free_mem({p});\n    log_event(\"flushed\");\n    send_data({p}, {n});\n"
+    );
+    let core_fixed = format!(
+        "    char* {p} = alloc_buffer({n});\n    fill_data({p}, {n});\n    send_data({p}, {n});\n    log_event(\"flushed\");\n    free_mem({p});\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the transmit path");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::UseAfterFree, vulnerable, fixed, target_fn }
+}
+
+/// CWE-190: attacker-influenced multiplication feeding an allocation size.
+pub fn integer_overflow<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let count = ctx.var("count");
+    let total = ctx.var("total");
+    let buf = ctx.var("items");
+    let elem = [4usize, 8, 16][ctx.rng.gen_range(0..3)];
+    let limit = [1024usize, 4096][ctx.rng.gen_range(0..2)];
+    let target_fn = ctx.func("alloc");
+
+    let core_vuln = format!(
+        "    int {count} = to_int(read_input());\n    int {total} = {count} * {elem};\n    char* {buf} = alloc_buffer({total});\n    fill_items({buf}, {count});\n    send_data({buf}, {total});\n"
+    );
+    let core_fixed = format!(
+        "    int {count} = to_int(read_input());\n    if ({count} < 0 || {count} > {limit}) {{\n        return;\n    }}\n    int {total} = {count} * {elem};\n    char* {buf} = alloc_buffer({total});\n    fill_items({buf}, {count});\n    send_data({buf}, {total});\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the batch allocator");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::IntegerOverflow, vulnerable, fixed, target_fn }
+}
+
+/// CWE-476: maybe-null lookup result used without a check.
+pub fn null_dereference<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let rec = ctx.var("entry");
+    let key = ctx.var("key");
+    let lookups = ["find_entry", "lookup_user", "get_config", "find_session"];
+    let lookup = lookups[ctx.rng.gen_range(0..lookups.len())];
+    let target_fn = ctx.func("touch");
+
+    let core_vuln = format!(
+        "    int {key} = to_int(read_input());\n    char* {rec} = {lookup}({key});\n    {rec}[0] = 'A';\n    record_metric(\"touched\", {key});\n"
+    );
+    let core_fixed = format!(
+        "    int {key} = to_int(read_input());\n    char* {rec} = {lookup}({key});\n    if ({rec} == 0) {{\n        log_event(\"miss\");\n        return;\n    }}\n    {rec}[0] = 'A';\n    record_metric(\"touched\", {key});\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the cache entry update");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::NullDereference, vulnerable, fixed, target_fn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::StyleProfile;
+    use crate::tier::Tier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parse;
+
+    fn pair_for(seed: u64, f: fn(&mut EmitCtx<'_, StdRng>) -> TemplatePair) -> TemplatePair {
+        let style = StyleProfile::mainstream();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn oob_write_fixed_has_bound() {
+        for seed in 0..10 {
+            let pair = pair_for(seed, out_of_bounds_write);
+            parse(&pair.vulnerable).unwrap();
+            parse(&pair.fixed).unwrap();
+            assert!(
+                pair.fixed.contains("copy_bounded") || pair.fixed.contains("< "),
+                "fix must bound the copy: {}",
+                pair.fixed
+            );
+        }
+    }
+
+    #[test]
+    fn oob_read_fixed_checks_range() {
+        let pair = pair_for(2, out_of_bounds_read);
+        assert!(pair.fixed.contains(">="));
+        assert!(!pair.vulnerable.contains(">="));
+    }
+
+    #[test]
+    fn uaf_order_differs() {
+        let pair = pair_for(3, use_after_free);
+        let v_free = pair.vulnerable.find("free_mem").unwrap();
+        let v_use = pair.vulnerable.find("send_data").unwrap();
+        assert!(v_free < v_use, "vulnerable frees before use");
+        let f_free = pair.fixed.find("free_mem").unwrap();
+        let f_use = pair.fixed.find("send_data").unwrap();
+        assert!(f_use < f_free, "fixed uses before free");
+    }
+
+    #[test]
+    fn int_overflow_fixed_checks_limit() {
+        let pair = pair_for(4, integer_overflow);
+        assert!(pair.fixed.contains("if ("));
+        assert!(pair.fixed.contains(">"));
+    }
+
+    #[test]
+    fn null_deref_fixed_checks_null() {
+        let pair = pair_for(5, null_dereference);
+        assert!(pair.fixed.contains("== 0"));
+        assert!(!pair.vulnerable.contains("== 0"));
+    }
+
+    #[test]
+    fn structural_templates_parse_on_realworld_tier() {
+        let style = StyleProfile::internal_teams()[2].clone();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = EmitCtx::new(&style, Tier::RealWorld, &mut rng);
+            for f in [
+                out_of_bounds_write,
+                out_of_bounds_read,
+                use_after_free,
+                integer_overflow,
+                null_dereference,
+            ] as [fn(&mut EmitCtx<'_, StdRng>) -> TemplatePair; 5]
+            {
+                let pair = f(&mut ctx);
+                parse(&pair.vulnerable).unwrap_or_else(|e| panic!("{e}\n{}", pair.vulnerable));
+                parse(&pair.fixed).unwrap_or_else(|e| panic!("{e}\n{}", pair.fixed));
+            }
+        }
+    }
+}

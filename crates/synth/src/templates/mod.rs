@@ -1,0 +1,217 @@
+//! Per-CWE vulnerable/fixed code-pattern generators.
+//!
+//! Every generator produces a [`TemplatePair`]: a *vulnerable* translation
+//! unit and its *fixed* (patched) twin, sharing the same surrounding
+//! structure so the pair differs the way a real security patch differs from
+//! its parent commit. All emitted code parses under `vulnman-lang`
+//! (property-tested below).
+
+mod injection;
+mod logic;
+mod memory;
+
+use crate::cwe::Cwe;
+use crate::emit::{EmitCtx, UnitBuilder};
+use rand::Rng;
+
+/// A matched vulnerable/fixed sample pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplatePair {
+    /// The vulnerability class instantiated.
+    pub cwe: Cwe,
+    /// Source of the vulnerable translation unit.
+    pub vulnerable: String,
+    /// Source of the patched translation unit.
+    pub fixed: String,
+    /// Name of the function containing the (potential) flaw.
+    pub target_fn: String,
+}
+
+/// Generates a vulnerable/fixed pair for `cwe` under the given context.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use vulnman_synth::{cwe::Cwe, emit::EmitCtx, style::StyleProfile, templates, tier::Tier};
+///
+/// let style = StyleProfile::mainstream();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+/// let pair = templates::generate(Cwe::SqlInjection, &mut ctx);
+/// assert!(vulnman_lang::parse(&pair.vulnerable).is_ok());
+/// assert!(vulnman_lang::parse(&pair.fixed).is_ok());
+/// ```
+pub fn generate<R: Rng>(cwe: Cwe, ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    match cwe {
+        Cwe::SqlInjection => injection::sql_injection(ctx),
+        Cwe::CommandInjection => injection::command_injection(ctx),
+        Cwe::CrossSiteScripting => injection::cross_site_scripting(ctx),
+        Cwe::PathTraversal => injection::path_traversal(ctx),
+        Cwe::FormatString => injection::format_string(ctx),
+        Cwe::OutOfBoundsWrite => memory::out_of_bounds_write(ctx),
+        Cwe::OutOfBoundsRead => memory::out_of_bounds_read(ctx),
+        Cwe::UseAfterFree => memory::use_after_free(ctx),
+        Cwe::IntegerOverflow => memory::integer_overflow(ctx),
+        Cwe::NullDereference => memory::null_dereference(ctx),
+        Cwe::HardcodedCredentials => logic::hardcoded_credentials(ctx),
+        Cwe::RaceCondition => logic::race_condition(ctx),
+    }
+}
+
+/// Shared scaffold: padding, distractors, doc comment, and unit assembly.
+pub(crate) struct Scaffold {
+    pub pre: String,
+    pub post: String,
+    pub doc: String,
+    pub extra_fns: Vec<String>,
+}
+
+impl Scaffold {
+    pub(crate) fn sample<R: Rng>(ctx: &mut EmitCtx<'_, R>, topic: &str) -> Scaffold {
+        let total_pad = ctx.in_range(ctx.tier.padding_range());
+        let n_dis = ctx.in_range(ctx.tier.distractor_range());
+        let n_extra = ctx.in_range(ctx.tier.extra_fn_range());
+        let pre_n = total_pad / 2;
+        let post_n = total_pad - pre_n;
+        let mut pre = ctx.padding(pre_n, 1);
+        for _ in 0..n_dis {
+            pre.push_str(&ctx.distractor(1));
+        }
+        let post = ctx.padding(post_n, 1);
+        let doc = ctx.maybe_doc(topic);
+        let extra_fns = (0..n_extra).map(|_| ctx.benign_fn()).collect();
+        Scaffold { pre, post, doc, extra_fns }
+    }
+
+    /// Assembles the vulnerable and fixed units around the two core bodies.
+    pub(crate) fn assemble(
+        &self,
+        helpers_common: &[String],
+        helpers_fixed_only: &[String],
+        signature: &str,
+        core_vuln: &str,
+        core_fixed: &str,
+    ) -> (String, String) {
+        let build = |core: &str, fixed: bool| {
+            let mut unit = UnitBuilder::new();
+            for h in helpers_common {
+                unit.push_fn(h.clone());
+            }
+            if fixed {
+                for h in helpers_fixed_only {
+                    unit.push_fn(h.clone());
+                }
+            }
+            for f in &self.extra_fns {
+                unit.push_fn(f.clone());
+            }
+            unit.push_fn(format!(
+                "{doc}{sig} {{\n{pre}{core}{post}}}\n",
+                doc = self.doc,
+                sig = signature,
+                pre = self.pre,
+                core = core,
+                post = self.post,
+            ));
+            unit.build()
+        };
+        (build(core_vuln, false), build(core_fixed, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::StyleProfile;
+    use crate::tier::Tier;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parse;
+    use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
+
+    fn all_styles() -> Vec<StyleProfile> {
+        let mut v = vec![StyleProfile::mainstream()];
+        v.extend(StyleProfile::internal_teams());
+        v
+    }
+
+    #[test]
+    fn every_template_parses_across_styles_and_tiers() {
+        for style in all_styles() {
+            for tier in Tier::ALL {
+                for cwe in Cwe::ALL {
+                    for seed in 0..5u64 {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let mut ctx = EmitCtx::new(&style, tier, &mut rng);
+                        let pair = generate(cwe, &mut ctx);
+                        parse(&pair.vulnerable).unwrap_or_else(|e| {
+                            panic!("{cwe} vulnerable ({}, {tier}): {e}\n{}", style.team, pair.vulnerable)
+                        });
+                        parse(&pair.fixed).unwrap_or_else(|e| {
+                            panic!("{cwe} fixed ({}, {tier}): {e}\n{}", style.team, pair.fixed)
+                        });
+                        assert!(
+                            pair.vulnerable.contains(&pair.target_fn),
+                            "target fn must appear in unit"
+                        );
+                        assert_ne!(pair.vulnerable, pair.fixed, "{cwe}: patch must change code");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Taint config customized to a team: the team's wrapper sanitizers are
+    /// registered (what `SecurityStandard::taint_config` does in core).
+    fn team_config(style: &StyleProfile) -> TaintConfig {
+        let mut config = TaintConfig::default_config();
+        for canonical in ["escape_sql", "escape_html", "sanitize_path", "escape_shell"] {
+            config.add_sanitizer(style.sanitizer_call_name(canonical));
+        }
+        config
+    }
+
+    #[test]
+    fn taint_style_templates_flow_only_when_vulnerable() {
+        for style in all_styles() {
+            let config = team_config(&style);
+            for cwe in Cwe::ALL.into_iter().filter(|c| c.is_taint_style()) {
+                let mut vuln_found = 0;
+                let mut fixed_found = 0;
+                for seed in 0..8u64 {
+                    let mut rng = StdRng::seed_from_u64(1000 + seed);
+                    let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+                    let pair = generate(cwe, &mut ctx);
+                    let pv = parse(&pair.vulnerable).unwrap();
+                    let pf = parse(&pair.fixed).unwrap();
+                    if TaintAnalysis::run(&pv, &config).function_has_finding(&pair.target_fn) {
+                        vuln_found += 1;
+                    }
+                    if TaintAnalysis::run(&pf, &config).function_has_finding(&pair.target_fn) {
+                        fixed_found += 1;
+                    }
+                }
+                assert_eq!(vuln_found, 8, "{cwe} ({}) vulnerable variants must all flow", style.team);
+                assert_eq!(fixed_found, 0, "{cwe} ({}) fixed variants must never flow", style.team);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn any_seed_any_cwe_parses(seed in any::<u64>(), cwe_idx in 0usize..12, tier_idx in 0usize..3, style_idx in 0usize..4) {
+            let styles = all_styles();
+            let style = &styles[style_idx];
+            let tier = Tier::ALL[tier_idx];
+            let cwe = Cwe::ALL[cwe_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = EmitCtx::new(style, tier, &mut rng);
+            let pair = generate(cwe, &mut ctx);
+            prop_assert!(parse(&pair.vulnerable).is_ok());
+            prop_assert!(parse(&pair.fixed).is_ok());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Complexity tiers.
+//!
+//! The paper's Gap Observation 3 rests on the difference between *curated
+//! research benchmarks* and *complex real-world code* (">50% performance
+//! drop when applying academic models to more complex datasets"; SWE-bench
+//! solve rates in the single digits). Tiers make that axis explicit and
+//! controllable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How "real" a generated sample looks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Minimal textbook examples: the vulnerability is the whole function.
+    Simple,
+    /// Curated benchmark style: some context, mild noise (typical academic
+    /// dataset shape).
+    Curated,
+    /// Real-world style: long functions, distractor logic, helper
+    /// indirection, dead code, team idioms.
+    RealWorld,
+}
+
+impl Tier {
+    /// All tiers in ascending complexity order.
+    pub const ALL: [Tier; 3] = [Tier::Simple, Tier::Curated, Tier::RealWorld];
+
+    /// Inclusive range of benign padding statements inserted around the
+    /// vulnerable core.
+    pub fn padding_range(&self) -> (usize, usize) {
+        match self {
+            Tier::Simple => (0, 1),
+            Tier::Curated => (2, 5),
+            Tier::RealWorld => (6, 14),
+        }
+    }
+
+    /// Inclusive range of distractor branches (irrelevant `if`s).
+    pub fn distractor_range(&self) -> (usize, usize) {
+        match self {
+            Tier::Simple => (0, 0),
+            Tier::Curated => (0, 1),
+            Tier::RealWorld => (1, 3),
+        }
+    }
+
+    /// Maximum helper-wrapping depth for sources/sinks (interprocedural
+    /// distance of the flow).
+    pub fn max_wrap_depth(&self) -> usize {
+        match self {
+            Tier::Simple => 0,
+            Tier::Curated => 1,
+            Tier::RealWorld => 2,
+        }
+    }
+
+    /// Inclusive range of extra unrelated benign functions in the unit.
+    pub fn extra_fn_range(&self) -> (usize, usize) {
+        match self {
+            Tier::Simple => (0, 0),
+            Tier::Curated => (0, 1),
+            Tier::RealWorld => (1, 3),
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tier::Simple => "simple",
+            Tier::Curated => "curated",
+            Tier::RealWorld => "real-world",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_complexity() {
+        assert!(Tier::Simple < Tier::Curated);
+        assert!(Tier::Curated < Tier::RealWorld);
+    }
+
+    #[test]
+    fn knobs_grow_with_tier() {
+        let pads: Vec<usize> = Tier::ALL.iter().map(|t| t.padding_range().1).collect();
+        assert!(pads.windows(2).all(|w| w[0] < w[1]));
+        let wraps: Vec<usize> = Tier::ALL.iter().map(|t| t.max_wrap_depth()).collect();
+        assert!(wraps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Tier::RealWorld.to_string(), "real-world");
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: generate an industry-shaped corpus, run the Figure-1
+//! workflow, and read the outcome.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vulnman::prelude::*;
+
+fn main() {
+    // 1. An incoming change stream the way production looks: mostly benign,
+    //    a few real vulnerabilities across CWE classes.
+    let stream = DatasetBuilder::new(42)
+        .vulnerable_count(30)
+        .vulnerable_fraction(0.12)
+        .build();
+    println!(
+        "change stream: {} units ({} truly vulnerable)",
+        stream.len(),
+        stream.vulnerable_count()
+    );
+
+    // 2. The assessment stack: the specialized rule suite of Figure 1.
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    let engine = WorkflowEngine::new(registry, WorkflowConfig::default());
+
+    // 3. Run detection → threat-model gating → manual review → repair.
+    let report = engine.process(stream.samples());
+    let metrics = report.detection_metrics();
+    println!(
+        "detection:  precision {:.2}  recall {:.2}  F1 {:.2}",
+        metrics.precision(),
+        metrics.recall(),
+        metrics.f1()
+    );
+    println!(
+        "repair:     {} auto-fixed, {} AI-suggested, {} expert-fixed, {} escaped",
+        report.auto_fixed, report.ai_fixed, report.expert_fixed, report.escaped
+    );
+    println!(
+        "economics:  {:.0} analyst minutes, {:.1} expert hours",
+        report.analyst_minutes, report.expert_hours
+    );
+
+    // 4. Price the run: the financial lens of Gap Observation 3.
+    let cost = report.price(&CostParams::default());
+    println!(
+        "value:      ${:.0} net (${:.0} prevented − ${:.0} triage/labour)",
+        cost.net_value, cost.prevented_loss, cost.triage_cost
+    );
+
+    // 5. Inspect one verified auto-fix.
+    if let Some(case) = report.cases.iter().find(|c| c.patched_source.is_some()) {
+        let original = stream
+            .iter()
+            .find(|s| s.id == case.sample_id)
+            .expect("sample present");
+        println!("\n--- auto-fix example ({}) ---", original.cwe.map(|c| c.to_string()).unwrap_or_default());
+        println!("{}", case.patched_source.as_ref().expect("patch present"));
+    }
+}

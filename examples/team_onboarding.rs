@@ -1,0 +1,77 @@
+//! Onboarding the platform onto a new team's codebase.
+//!
+//! The kernel team writes terse identifiers, wraps everything in helpers,
+//! and sanitizes through its own `k_clean_*` library. A generic model and a
+//! stock rule suite both stumble; this example walks the full customization
+//! path of Gap Observation 2: register the team's security standard, then
+//! fine-tune the model on the team's history.
+//!
+//! ```sh
+//! cargo run --release --example team_onboarding
+//! ```
+
+use vulnman::core::customize::{customize_to_team, SecurityStandard};
+use vulnman::prelude::*;
+use vulnman::synth::cwe::CweDistribution;
+
+fn main() {
+    let team = StyleProfile::internal_teams()[2].clone(); // kernel
+    println!("onboarding team `{}`", team.team);
+    println!("team security library:\n{}", team.team_library_source());
+
+    // The team's backlog skews injection-heavy for this service.
+    let backlog = CweDistribution::new(vec![
+        (Cwe::SqlInjection, 3.0),
+        (Cwe::CommandInjection, 2.0),
+        (Cwe::CrossSiteScripting, 2.0),
+        (Cwe::PathTraversal, 2.0),
+        (Cwe::FormatString, 1.0),
+    ]);
+    let history = DatasetBuilder::new(21)
+        .teams(vec![team.clone()])
+        .vulnerable_count(300)
+        .cwe_distribution(backlog)
+        .hard_negative_fraction(0.7)
+        .build();
+    let split = stratified_split(&history, 0.4, 9);
+
+    // Step 1: register the team standard (tool-side customization).
+    let standard = SecurityStandard::for_team(&team);
+    println!(
+        "registered standard: {} custom sanitizers, {} class policies",
+        standard.custom_sanitizers.len(),
+        standard.policies.len()
+    );
+    let team_taint = standard.taint_config();
+    let fixed_example = split
+        .test
+        .iter()
+        .find(|s| !s.label && s.cwe == Some(Cwe::SqlInjection))
+        .expect("a patched SQL sample exists");
+    let program = parse(&fixed_example.source).expect("parses");
+    let stock_verdict = TaintAnalysis::run(&program, &TaintConfig::default_config());
+    let custom_verdict = TaintAnalysis::run(&program, &team_taint);
+    println!(
+        "stock taint config flags the team's own fix: {} — customized config: {}",
+        !stock_verdict.findings.is_empty(),
+        !custom_verdict.findings.is_empty()
+    );
+
+    // Step 2: fine-tune the generic model on team history (model-side).
+    let generic_corpus = DatasetBuilder::new(22).vulnerable_count(300).build();
+    let mut model = model_zoo(7).remove(0); // token-lr
+    model.train(&generic_corpus);
+    let distance = StyleProfile::mainstream().distance(&team);
+    let outcome = customize_to_team(&mut model, &team, distance, &split.train, &split.test);
+    println!(
+        "\nmodel customization (style distance {:.2}):\n  generic     F1 {:.3}  (precision {:.3}, recall {:.3})\n  fine-tuned  F1 {:.3}  (precision {:.3}, recall {:.3})\n  lift        {:+.3}",
+        outcome.style_distance,
+        outcome.generic.f1(),
+        outcome.generic.precision(),
+        outcome.generic.recall(),
+        outcome.fine_tuned.f1(),
+        outcome.fine_tuned.precision(),
+        outcome.fine_tuned.recall(),
+        outcome.f1_lift(),
+    );
+}

@@ -1,0 +1,291 @@
+//! `vulnman` — command-line front end for the vulnerability-management
+//! platform.
+//!
+//! ```text
+//! vulnman scan <file> [--dynamic] [--sanitizer <name>]...   scan a mini-C unit
+//! vulnman fix <file> [--cwe <id>]                            auto-fix and print the patch
+//! vulnman exec <file>                                        run under the sanitizer interpreter
+//! vulnman gen [--seed N] [--count N] [--fraction F] [--out <dir>]
+//!                                                            generate a labeled corpus
+//! vulnman workflow [--seed N] [--count N] [--fraction F]     run the Figure-1 pipeline
+//! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
+//! ```
+
+use std::process::ExitCode;
+use vulnman::analysis::detectors::{RuleEngine, TaintDetector};
+use vulnman::analysis::severity::{score, triage_order};
+use vulnman::core::sft::harvest;
+use vulnman::lang::interp::{run_program, InterpConfig};
+use vulnman::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "scan" => cmd_scan(rest),
+        "fix" => cmd_fix(rest),
+        "exec" => cmd_exec(rest),
+        "gen" => cmd_gen(rest),
+        "workflow" => cmd_workflow(rest),
+        "sft" => cmd_sft(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|sft|help> [options]
+  scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
+  fix <file> [--cwe <id>]                        auto-fix and print the patch
+  exec <file>                                    run under the sanitizer interpreter
+  gen [--seed N] [--count N] [--fraction F] [--out DIR]
+  workflow [--seed N] [--count N] [--fraction F]
+  sft [--seed N] [--count N]";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+    }
+}
+
+fn read_source(args: &[String]) -> Result<(String, String), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| "missing <file> argument".to_string())?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok((path.clone(), source))
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let (path, source) = read_source(args)?;
+    let program = parse(&source).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut engine =
+        if flag_present(args, "--dynamic") { RuleEngine::full_suite() } else { RuleEngine::default_suite() };
+    // Team sanitizer customization (repeatable flag).
+    let sanitizers: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--sanitizer")
+        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .collect();
+    if !sanitizers.is_empty() {
+        let mut config = TaintConfig::default_config();
+        for s in &sanitizers {
+            config.add_sanitizer(s.to_string());
+        }
+        // Rebuild the suite with the team-customized taint detector in
+        // place of the stock one (the other detectors are
+        // vocabulary-independent).
+        let mut custom = RuleEngine::new();
+        custom.register(Box::new(TaintDetector::with_config(config.clone())));
+        custom.register(Box::new(vulnman::analysis::detectors::BoundsDetector));
+        custom.register(Box::new(vulnman::analysis::detectors::UseAfterFreeDetector));
+        custom.register(Box::new(vulnman::analysis::detectors::OverflowDetector));
+        custom.register(Box::new(vulnman::analysis::detectors::NullDerefDetector));
+        custom.register(Box::new(vulnman::analysis::detectors::CredentialDetector));
+        custom.register(Box::new(vulnman::analysis::detectors::RaceDetector));
+        if flag_present(args, "--dynamic") {
+            let interp_config =
+                vulnman::lang::interp::InterpConfig { taint: config, ..Default::default() };
+            custom.register(Box::new(vulnman::analysis::dynamic::DynamicSanitizer::with_config(
+                interp_config,
+            )));
+        }
+        engine = custom;
+    }
+
+    let graph = CallGraph::build(&program);
+    let mut findings: Vec<_> = engine
+        .scan(&program)
+        .into_iter()
+        .map(|f| {
+            let surface = graph.surface(&f.function);
+            score(f, surface)
+        })
+        .collect();
+    triage_order(&mut findings);
+    if findings.is_empty() {
+        println!("{path}: no findings");
+        return Ok(());
+    }
+    println!("{path}: {} finding(s)", findings.len());
+    for s in &findings {
+        println!(
+            "  [{:>5.2}] line {:>3}  {}  in `{}` ({:?}) — {} [{}]",
+            s.priority,
+            s.finding.line(),
+            s.finding.cwe,
+            s.finding.function,
+            s.surface,
+            s.finding.message,
+            s.finding.detector,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fix(args: &[String]) -> Result<(), String> {
+    let (path, source) = read_source(args)?;
+    let program = parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let fixer = AutoFixer::new();
+    // Which classes to try: an explicit --cwe id, or whatever the scan finds.
+    let classes: Vec<Cwe> = match flag_value(args, "--cwe") {
+        Some(id) => {
+            let id: u32 = id.parse().map_err(|_| format!("invalid CWE id: {id}"))?;
+            vec![Cwe::ALL
+                .into_iter()
+                .find(|c| c.id() == id)
+                .ok_or_else(|| format!("unsupported CWE-{id}"))?]
+        }
+        None => {
+            let mut found: Vec<Cwe> =
+                RuleEngine::default_suite().scan(&program).iter().map(|f| f.cwe).collect();
+            found.sort_by_key(|c| c.id());
+            found.dedup();
+            found
+        }
+    };
+    if classes.is_empty() {
+        println!("{path}: nothing to fix");
+        return Ok(());
+    }
+    let mut current = source;
+    let mut applied = Vec::new();
+    for cwe in classes {
+        if let Some(patched) = fixer.fix_source(&current, cwe) {
+            current = patched;
+            applied.push(cwe);
+        } else {
+            eprintln!("note: no unified mechanical fix for {cwe}; route to expert review");
+        }
+    }
+    if applied.is_empty() {
+        println!("{path}: no mechanical fixes applied");
+    } else {
+        eprintln!(
+            "applied fixes: {}",
+            applied.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        println!("{current}");
+    }
+    Ok(())
+}
+
+fn cmd_exec(args: &[String]) -> Result<(), String> {
+    let (path, source) = read_source(args)?;
+    let program = parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let report = run_program(&program, &InterpConfig::default());
+    println!(
+        "{path}: ran {} entry point(s), {} crashed",
+        report.entries_run.len(),
+        report.crashed.len()
+    );
+    for e in &report.events {
+        println!("  line {:>3}  {:?} in `{}`", e.span.line, e.kind, e.function);
+    }
+    if report.events.is_empty() {
+        println!("  no runtime faults under the adversarial input model");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let count: usize = parse_num(args, "--count", 20)?;
+    let fraction: f64 = parse_num(args, "--fraction", 0.5)?;
+    let ds = DatasetBuilder::new(seed)
+        .vulnerable_count(count)
+        .vulnerable_fraction(fraction)
+        .build();
+    match flag_value(args, "--out") {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            for s in &ds {
+                let label = if s.label { "vuln" } else { "benign" };
+                let file = format!("{dir}/sample_{:04}_{label}.c", s.id);
+                std::fs::write(&file, &s.source).map_err(|e| format!("write {file}: {e}"))?;
+            }
+            let index = serde_json::to_string_pretty(ds.samples())
+                .map_err(|e| format!("serialize: {e}"))?;
+            std::fs::write(format!("{dir}/index.json"), index)
+                .map_err(|e| format!("write index: {e}"))?;
+            println!("wrote {} samples to {dir}/ (sources + index.json)", ds.len());
+        }
+        None => {
+            let json =
+                serde_json::to_string_pretty(ds.samples()).map_err(|e| format!("{e}"))?;
+            println!("{json}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_workflow(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let count: usize = parse_num(args, "--count", 30)?;
+    let fraction: f64 = parse_num(args, "--fraction", 0.15)?;
+    let ds = DatasetBuilder::new(seed)
+        .vulnerable_count(count)
+        .vulnerable_fraction(fraction)
+        .build();
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    let engine = WorkflowEngine::new(registry, WorkflowConfig::default());
+    let report = engine.process(ds.samples());
+    let m = report.detection_metrics();
+    println!("processed {} changes ({} vulnerable)", ds.len(), ds.vulnerable_count());
+    println!(
+        "detection: precision {:.3}, recall {:.3}, F1 {:.3}",
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
+    println!(
+        "repair: {} auto-fixed, {} AI-suggested, {} expert-fixed, {} escaped",
+        report.auto_fixed, report.ai_fixed, report.expert_fixed, report.escaped
+    );
+    let cost = report.price(&CostParams::default());
+    println!(
+        "economics: {:.0} analyst minutes, net value ${:.0}",
+        report.analyst_minutes, cost.net_value
+    );
+    Ok(())
+}
+
+fn cmd_sft(args: &[String]) -> Result<(), String> {
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let count: usize = parse_num(args, "--count", 10)?;
+    let ds = DatasetBuilder::new(seed).vulnerable_count(count).build();
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    let engine = WorkflowEngine::new(registry, WorkflowConfig::default());
+    let report = engine.process(ds.samples());
+    let sft = harvest(ds.samples(), &report);
+    print!("{}", sft.to_jsonl().map_err(|e| format!("{e}"))?);
+    Ok(())
+}

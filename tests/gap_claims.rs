@@ -1,0 +1,128 @@
+//! Integration tests pinning the paper's five gap claims at small scale.
+//!
+//! Each test is a miniature of the corresponding experiment in
+//! `vulnman-bench` (which runs the paper-scale version); together they keep
+//! the *shape* of every claim under continuous test.
+
+use vulnman::core::agreement::{run_agreement_study, TrainingRegime};
+use vulnman::core::anonymize::{identifier_leakage, Anonymizer, Strength};
+use vulnman::core::repair::{evaluate_engine, LlmSimRepairEngine};
+use vulnman::prelude::*;
+use vulnman::synth::repair_tasks::generate_tasks;
+
+#[test]
+fn gap1_models_disagree() {
+    let ds = DatasetBuilder::new(11)
+        .teams(StyleProfile::internal_teams())
+        .vulnerable_count(50)
+        .vulnerable_fraction(0.4)
+        .tier_mix(vec![(Tier::RealWorld, 1.0)])
+        .build();
+    let split = stratified_split(&ds, 0.4, 1);
+    let mut models = model_zoo(7);
+    let study = run_agreement_study(&mut models, &split.train, &split.test, TrainingRegime::Disjoint);
+    let best_f1 = study.f1.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        study.unanimous_detection_rate < best_f1,
+        "unanimity ({}) must be rarer than the best model's quality ({best_f1})",
+        study.unanimous_detection_rate
+    );
+    assert!(study.unanimous_detection_rate <= study.top3_detection_rate.unwrap() + 1e-9);
+}
+
+#[test]
+fn gap2_customization_beats_generic_tooling() {
+    use vulnman::core::customize::SecurityStandard;
+    // A stock taint config flags the media team's *fixed* code; the team
+    // config accepts it.
+    let team = StyleProfile::internal_teams()[1].clone();
+    let ds = DatasetBuilder::new(12)
+        .teams(vec![team.clone()])
+        .vulnerable_count(12)
+        .cwe_distribution(CweDistribution::new(vec![(Cwe::SqlInjection, 1.0)]))
+        .hard_negative_fraction(1.0)
+        .build();
+    let standard = SecurityStandard::for_team(&team);
+    let stock = TaintConfig::default_config();
+    let custom = standard.taint_config();
+    let mut stock_fp = 0;
+    let mut custom_fp = 0;
+    for s in ds.iter().filter(|s| !s.label && s.cwe.is_some()) {
+        let p = parse(&s.source).expect("parses");
+        if !TaintAnalysis::run(&p, &stock).findings.is_empty() {
+            stock_fp += 1;
+        }
+        if !TaintAnalysis::run(&p, &custom).findings.is_empty() {
+            custom_fp += 1;
+        }
+    }
+    assert!(stock_fp > 0, "stock tooling must stumble on team wrappers");
+    assert_eq!(custom_fp, 0, "team-customized tooling accepts the team's own fixes");
+}
+
+#[test]
+fn gap3_imbalance_destroys_precision() {
+    let train = DatasetBuilder::new(13).vulnerable_count(80).vulnerable_fraction(0.5).build();
+    let mut model = model_zoo(5).remove(0);
+    model.train(&train);
+    let balanced = DatasetBuilder::new(14).vulnerable_count(40).vulnerable_fraction(0.5).build();
+    let imbalanced =
+        DatasetBuilder::new(15).vulnerable_count(20).vulnerable_fraction(0.04).build();
+    let mb = model.evaluate(&balanced);
+    let mi = model.evaluate(&imbalanced);
+    assert!(
+        mi.precision() < mb.precision(),
+        "precision must fall with the base rate: {} -> {}",
+        mb.precision(),
+        mi.precision()
+    );
+    assert!(mi.fp_per_tp() > mb.fp_per_tp());
+}
+
+#[test]
+fn gap3_repair_collapses_on_real_world_tasks() {
+    let engine = LlmSimRepairEngine::new(3);
+    let toy = evaluate_engine(&engine, &generate_tasks(16, Tier::Simple, 30));
+    let real = evaluate_engine(&engine, &generate_tasks(16, Tier::RealWorld, 30));
+    assert!(toy.solve_rate() > 0.6, "toy solve {}", toy.solve_rate());
+    assert!(real.solve_rate() < 0.15, "real solve {}", real.solve_rate());
+}
+
+#[test]
+fn gap4_label_noise_and_duplication_hurt() {
+    // Noise.
+    let clean = DatasetBuilder::new(17).vulnerable_count(60).build();
+    let noisy = DatasetBuilder::new(17).vulnerable_count(60).label_noise(0.6).build();
+    let test = DatasetBuilder::new(18).vulnerable_count(40).build();
+    let mut m_clean = model_zoo(11).remove(2);
+    let mut m_noisy = model_zoo(11).remove(2);
+    m_clean.train(&clean);
+    m_noisy.train(&noisy);
+    assert!(
+        m_noisy.evaluate(&test).f1() < m_clean.evaluate(&test).f1(),
+        "noisy labels must cost accuracy"
+    );
+    // Duplication is detectable and removable.
+    let dup = DatasetBuilder::new(19).vulnerable_count(20).duplication_factor(4).build();
+    assert!(dup.duplicate_fraction() > 0.8);
+    let dedup = dup.deduplicated();
+    assert!(dedup.len() * 3 <= dup.len(), "{} -> {}", dup.len(), dedup.len());
+}
+
+#[test]
+fn gap5_expert_features_survive_anonymized_sharing() {
+    // Proposal 4 end-to-end: anonymized data retains the flow patterns the
+    // expert representation (and rule tools) key on.
+    let ds = DatasetBuilder::new(20).vulnerable_count(20).build();
+    let anonymizer = Anonymizer::new(Strength::Aggressive);
+    let engine = RuleEngine::default_suite();
+    let mut leak_sum = 0.0;
+    for s in &ds {
+        let anon = anonymizer.anonymize(s).expect("anonymizes");
+        leak_sum += identifier_leakage(s, &anon.sample);
+        let before = !engine.scan_source(&s.source).expect("scan").is_empty();
+        let after = !engine.scan_source(&anon.sample.source).expect("scan").is_empty();
+        assert_eq!(before, after, "detector verdict must survive anonymization (id {})", s.id);
+    }
+    assert!((leak_sum / ds.len() as f64) < 0.1, "aggressive anonymization leaks little");
+}

@@ -1,0 +1,165 @@
+//! Cross-crate property tests: invariants that must hold for *any* seed,
+//! knob setting, or generated program.
+
+use proptest::prelude::*;
+use vulnman::core::anonymize::{identifier_leakage, Anonymizer, Strength};
+use vulnman::lang::interp::{run_program, InterpConfig};
+use vulnman::ml::eval::{roc_auc, Metrics};
+use vulnman::prelude::*;
+use vulnman::synth::emit::EmitCtx;
+use vulnman::synth::templates;
+
+fn all_styles() -> Vec<StyleProfile> {
+    let mut v = vec![StyleProfile::mainstream()];
+    v.extend(StyleProfile::internal_teams());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every template under every style/tier parses, round-trips through
+    /// the printer, and interprets without panicking.
+    #[test]
+    fn template_parse_print_interp_roundtrip(
+        seed in any::<u64>(),
+        cwe_idx in 0usize..12,
+        style_idx in 0usize..4,
+        tier_idx in 0usize..3,
+    ) {
+        use rand::SeedableRng;
+        let styles = all_styles();
+        let tier = Tier::ALL[tier_idx];
+        let cwe = Cwe::ALL[cwe_idx];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut ctx = EmitCtx::new(&styles[style_idx], tier, &mut rng);
+        let pair = templates::generate(cwe, &mut ctx);
+        for source in [&pair.vulnerable, &pair.fixed] {
+            // Parse.
+            let program = parse(source).expect("template parses");
+            // Print → parse → print is a fixpoint.
+            let printed = print_program(&program);
+            let reparsed = parse(&printed).expect("printed source reparses");
+            prop_assert_eq!(&printed, &print_program(&reparsed));
+            // Interpretation terminates within budget (no panic, no hang).
+            let _ = run_program(&program, &InterpConfig::default());
+        }
+    }
+
+    /// Dataset builders respect their knobs for arbitrary settings.
+    #[test]
+    fn dataset_knobs_respected(
+        seed in any::<u64>(),
+        n in 4usize..24,
+        frac_pct in 10u32..=100,
+        noise_pct in 0u32..=50,
+        dup in 1usize..4,
+    ) {
+        let frac = frac_pct as f64 / 100.0;
+        let noise = noise_pct as f64 / 100.0;
+        let ds = DatasetBuilder::new(seed)
+            .vulnerable_count(n)
+            .vulnerable_fraction(frac)
+            .label_noise(noise)
+            .duplication_factor(dup)
+            .build();
+        prop_assert_eq!(ds.vulnerable_count(), n * dup);
+        // Total ≈ dup × round(n / frac).
+        let expected_base = (n as f64 / frac).round() as usize;
+        prop_assert_eq!(ds.len(), expected_base * dup);
+        // Noise stays plausible (binomial bound, generous).
+        if noise == 0.0 {
+            prop_assert_eq!(ds.mislabel_rate(), 0.0);
+        } else {
+            prop_assert!(ds.mislabel_rate() < noise + 0.35);
+        }
+        // Everything parses.
+        for s in ds.iter() {
+            prop_assert!(parse(&s.source).is_ok());
+        }
+    }
+
+    /// Anonymization never breaks parseability and leakage is monotone
+    /// non-increasing in strength.
+    #[test]
+    fn anonymization_monotone_and_parseable(seed in any::<u64>(), cwe_idx in 0usize..12) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let style = StyleProfile::mainstream();
+        let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+        let pair = templates::generate(Cwe::ALL[cwe_idx], &mut ctx);
+        let mut sample = DatasetBuilder::new(1).vulnerable_count(1).build().samples()[0].clone();
+        sample.source = pair.vulnerable;
+        sample.target_fn = pair.target_fn;
+
+        let mut last = f64::INFINITY;
+        for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
+            let anon = Anonymizer::new(strength).anonymize(&sample).expect("anonymizes");
+            prop_assert!(parse(&anon.sample.source).is_ok());
+            let leak = identifier_leakage(&sample, &anon.sample);
+            prop_assert!(leak <= last + 1e-9, "{:?} leaked {} > {}", strength, leak, last);
+            last = leak;
+        }
+    }
+
+    /// Confusion-matrix metrics satisfy their algebraic invariants.
+    #[test]
+    fn metrics_invariants(tp in 0usize..500, fp in 0usize..500, tn in 0usize..500, fn_ in 0usize..500) {
+        let m = Metrics { tp, fp, tn, fn_ };
+        let (p, r, f1, acc) = (m.precision(), m.recall(), m.f1(), m.accuracy());
+        for v in [p, r, f1, acc] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        if p > 0.0 && r > 0.0 {
+            // F1 is the harmonic mean: between min and max of (p, r).
+            prop_assert!(f1 <= p.max(r) + 1e-12);
+            prop_assert!(f1 >= p.min(r) - 1e-12);
+        }
+        prop_assert_eq!(m.total(), tp + fp + tn + fn_);
+    }
+
+    /// ROC-AUC is bounded and anti-symmetric under label flip.
+    #[test]
+    fn auc_bounds_and_flip(scores in prop::collection::vec(0.0f64..1.0, 4..40), flip_at in 1usize..3) {
+        let truth: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % (flip_at + 1) == 0).collect();
+        let auc = roc_auc(&scores, &truth);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let flipped: Vec<bool> = truth.iter().map(|t| !t).collect();
+        let auc_flipped = roc_auc(&scores, &flipped);
+        // Both classes present on both sides => anti-symmetry holds.
+        if truth.iter().any(|&t| t) && truth.iter().any(|&t| !t) {
+            prop_assert!((auc + auc_flipped - 1.0).abs() < 1e-9, "{auc} + {auc_flipped}");
+        }
+    }
+
+    /// The cost model is monotone: more false positives never increase net
+    /// value; more true positives never decrease it.
+    #[test]
+    fn cost_model_monotone(tp in 1usize..200, fp in 0usize..200, extra in 1usize..50) {
+        let params = CostParams::default();
+        let base = Metrics { tp, fp, tn: 1000, fn_: 10 };
+        let more_fp = Metrics { fp: fp + extra, ..base };
+        let more_tp = Metrics { tp: tp + extra, fn_: 10usize.saturating_sub(extra), ..base };
+        let v0 = price_deployment(&base, &params).net_value;
+        prop_assert!(price_deployment(&more_fp, &params).net_value <= v0);
+        prop_assert!(price_deployment(&more_tp, &params).net_value >= v0);
+    }
+
+    /// The workflow engine is a pure function of (samples, config): same
+    /// inputs, same report — and the pipelined execution agrees.
+    #[test]
+    fn workflow_deterministic_and_pipeline_equivalent(seed in any::<u64>()) {
+        let ds = DatasetBuilder::new(seed).vulnerable_count(6).vulnerable_fraction(0.3).build();
+        let mk = || {
+            let mut registry = DetectorRegistry::new();
+            registry.register(Box::new(RuleBasedDetector::standard()));
+            WorkflowEngine::new(registry, WorkflowConfig::default())
+        };
+        let a = mk().process(ds.samples());
+        let b = mk().process(ds.samples());
+        prop_assert_eq!(&a, &b);
+        let c = mk().process_pipelined(ds.samples());
+        prop_assert_eq!(a.detection_metrics(), c.detection_metrics());
+        prop_assert_eq!(a.auto_fixed, c.auto_fixed);
+    }
+}
