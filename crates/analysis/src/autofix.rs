@@ -84,12 +84,8 @@ impl AutoFixer {
 fn fix_injection(program: &mut Program, kind: &str, sanitizer: &str) -> bool {
     let config = TaintConfig::default_config();
     let analysis = TaintAnalysis::run(program, &config);
-    let spans: Vec<Span> = analysis
-        .findings
-        .iter()
-        .filter(|f| f.sink_kind == kind)
-        .map(|f| f.span)
-        .collect();
+    let spans: Vec<Span> =
+        analysis.findings.iter().filter(|f| f.sink_kind == kind).map(|f| f.span).collect();
     if spans.is_empty() {
         return false;
     }
@@ -215,9 +211,7 @@ fn insert_null_guards(stmts: &mut Vec<Stmt>) -> bool {
         }
         let needs_guard = match &stmts[i].kind {
             StmtKind::Decl { name, init: Some(init), .. } => {
-                let risky = MAYBE_NULL_FNS
-                    .iter()
-                    .any(|f| init.called_fns().contains(f));
+                let risky = MAYBE_NULL_FNS.iter().any(|f| init.called_fns().contains(f));
                 let already_guarded = stmts.get(i + 1).is_some_and(|next|
 
                     matches!(&next.kind, StmtKind::If { cond, .. } if is_null_cmp(cond, name)));

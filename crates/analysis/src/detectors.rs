@@ -6,7 +6,9 @@
 //! address certain vulnerabilities more effectively than others".
 
 use crate::finding::{Confidence, Finding};
-use vulnman_lang::ast::{BinOp, Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind, Type, UnOp};
+use vulnman_lang::ast::{
+    BinOp, Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind, Type, UnOp,
+};
 use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
 use vulnman_synth::cwe::Cwe;
 
@@ -90,6 +92,41 @@ impl RuleEngine {
     /// Returns the parse error if `source` is not valid mini-C.
     pub fn scan_source(&self, source: &str) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
         Ok(self.scan(&vulnman_lang::parse(source)?))
+    }
+
+    /// A 64-bit fingerprint of the suite's configuration (its detector
+    /// lineup), used as the cache config key: two engines with the same
+    /// detectors share memoized findings, different lineups never collide.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        for name in self.detector_names() {
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+            h = (h ^ 0x1f).wrapping_mul(PRIME); // name separator
+        }
+        h
+    }
+
+    /// Parses and scans source text through a content-addressed cache:
+    /// textually identical sources (duplicated corpus slices, repeated
+    /// scans) are parsed and analyzed once. Results are identical to
+    /// [`RuleEngine::scan_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `source` is not valid mini-C.
+    pub fn scan_source_cached(
+        &self,
+        source: &str,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
+        let program = cache.parse(source)?;
+        let findings =
+            cache.analysis(source, "rule-findings", self.fingerprint(), || self.scan(&program));
+        Ok((*findings).clone())
     }
 }
 
@@ -514,8 +551,9 @@ impl StaticDetector for OverflowDetector {
                     let feeds_alloc = stmts.iter().skip(pos + 1).any(|later| {
                         later.exprs().iter().any(|e| {
                             find_call(e, "alloc_buffer").is_some_and(|args| {
-                                args.first()
-                                    .is_some_and(|a| matches!(&a.kind, ExprKind::Var(v) if v == total_var))
+                                args.first().is_some_and(
+                                    |a| matches!(&a.kind, ExprKind::Var(v) if v == total_var),
+                                )
                             })
                         })
                     });
@@ -688,8 +726,9 @@ impl StaticDetector for CredentialDetector {
                     });
                 }
                 // Declarations initialized with secret-shaped literals.
-                if let StmtKind::Decl { init: Some(Expr { kind: ExprKind::Str(lit), span }), .. } =
-                    &s.kind
+                if let StmtKind::Decl {
+                    init: Some(Expr { kind: ExprKind::Str(lit), span }), ..
+                } = &s.kind
                 {
                     if secret_like(lit) {
                         out.push(Finding {
@@ -821,10 +860,10 @@ mod tests {
 
     #[test]
     fn oob_read_needs_external_index() {
-        let internal = r#"void f() { int t[4]; init_table(t, 4); int i = 2; int v = t[i]; use(v); }"#;
+        let internal =
+            r#"void f() { int t[4]; init_table(t, 4); int i = 2; int v = t[i]; use(v); }"#;
         assert!(scan(internal).is_empty(), "constant index is fine");
-        let external =
-            r#"void f() { int t[4]; init_table(t, 4); int i = to_int(http_param("x")); int v = t[i]; use(v); }"#;
+        let external = r#"void f() { int t[4]; init_table(t, 4); int i = to_int(http_param("x")); int v = t[i]; use(v); }"#;
         assert!(scan(external).iter().any(|f| f.cwe == Cwe::OutOfBoundsRead));
     }
 
@@ -895,7 +934,10 @@ mod tests {
     fn full_suite_includes_dynamic_analysis() {
         let e = RuleEngine::full_suite();
         assert!(e.detector_names().contains(&"dynamic-sanitizer"));
-        assert_eq!(e.detector_names().len(), RuleEngine::default_suite().detector_names().len() + 1);
+        assert_eq!(
+            e.detector_names().len(),
+            RuleEngine::default_suite().detector_names().len() + 1
+        );
     }
 
     #[test]

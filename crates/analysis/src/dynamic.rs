@@ -182,7 +182,11 @@ mod tests {
         for _ in 0..30 {
             let b = g.benign_risky(Tier::Curated, "p");
             let findings = detector.scan(&parse(&b.source).unwrap());
-            assert!(findings.is_empty(), "dynamic analysis observed a fault in safe code:\n{}\n{findings:?}", b.source);
+            assert!(
+                findings.is_empty(),
+                "dynamic analysis observed a fault in safe code:\n{}\n{findings:?}",
+                b.source
+            );
         }
     }
 

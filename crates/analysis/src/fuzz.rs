@@ -93,10 +93,8 @@ mod tests {
     #[test]
     fn campaign_finds_faults_a_single_config_misses() {
         // Overflows only for payloads longer than 100 bytes.
-        let p = parse(
-            r#"void f() { char buf[100]; char* s = read_input(); strcpy(buf, s); }"#,
-        )
-        .unwrap();
+        let p = parse(r#"void f() { char buf[100]; char* s = read_input(); strcpy(buf, s); }"#)
+            .unwrap();
         let short = InterpConfig { attacker_string_len: 8, ..InterpConfig::default() };
         let single = run_program(&p, &short);
         assert!(!single.has(&DynamicEventKind::OutOfBoundsWrite), "short payload fits");
@@ -109,10 +107,8 @@ mod tests {
         // Lookup result written past its real size: null-deref when the
         // lookup fails, out-of-bounds write when it succeeds (16-byte entry).
         let p = parse(r#"void f() { char* e = find_entry(1); e[32] = 'x'; }"#).unwrap();
-        let failing = run_program(
-            &p,
-            &InterpConfig { lookups_fail: true, ..InterpConfig::default() },
-        );
+        let failing =
+            run_program(&p, &InterpConfig { lookups_fail: true, ..InterpConfig::default() });
         assert!(failing.has(&DynamicEventKind::NullDereference));
         assert!(!failing.has(&DynamicEventKind::OutOfBoundsWrite));
         let campaign = FuzzCampaign::standard().run(&p);

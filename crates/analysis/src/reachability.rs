@@ -6,7 +6,7 @@
 //! from which input sources a function's call subtree touches.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use vulnman_lang::Program;
 
 /// How much attacker interaction is needed to reach a code path.
@@ -126,8 +126,9 @@ impl CallGraph {
         }
     }
 
-    /// Surface classification for every function.
-    pub fn surfaces(&self) -> HashMap<String, Surface> {
+    /// Surface classification for every function, keyed in name order so
+    /// iterating callers (report renderers) stay deterministic.
+    pub fn surfaces(&self) -> BTreeMap<String, Surface> {
         self.functions.iter().map(|f| (f.clone(), self.surface(f))).collect()
     }
 }

@@ -62,10 +62,8 @@ fn bench_ml_training(c: &mut Criterion) {
     for template in ["token-lr", "graph-rf", "stat-nb"] {
         group.bench_function(template, |b| {
             b.iter(|| {
-                let mut model = model_zoo(5)
-                    .into_iter()
-                    .find(|m| m.name() == template)
-                    .expect("model present");
+                let mut model =
+                    model_zoo(5).into_iter().find(|m| m.name() == template).expect("model present");
                 model.train(&ds);
                 model
             })

@@ -1,5 +1,6 @@
 //! Binary wrapper for experiment `e06_distribution_shift` (pass `--quick` for a CI-sized run).
 
 fn main() {
-    let _ = vulnman_bench::experiments::e06_distribution_shift::run(vulnman_bench::quick_from_args());
+    let _ =
+        vulnman_bench::experiments::e06_distribution_shift::run(vulnman_bench::quick_from_args());
 }

@@ -2,5 +2,6 @@
 //! for a CI-sized run).
 
 fn main() {
-    let _ = vulnman_bench::experiments::e17_static_vs_dynamic::run(vulnman_bench::quick_from_args());
+    let _ =
+        vulnman_bench::experiments::e17_static_vs_dynamic::run(vulnman_bench::quick_from_args());
 }

@@ -76,7 +76,11 @@ pub fn run(quick: bool) -> vulnman_core::workflow::WorkflowReport {
     let detected = report.cases.iter().filter(|c| c.detected() && c.truly_vulnerable).count();
 
     let mut t = Table::new(vec!["Figure-1 stage", "count", "notes"]);
-    t.row(vec!["changes submitted".into(), total.to_string(), format!("{vulnerable} truly vulnerable")]);
+    t.row(vec![
+        "changes submitted".into(),
+        total.to_string(),
+        format!("{vulnerable} truly vulnerable"),
+    ]);
     t.row(vec![
         "automated detection flags".into(),
         flagged.to_string(),
@@ -122,11 +126,7 @@ pub fn run(quick: bool) -> vulnman_core::workflow::WorkflowReport {
         (RepairChannel::AiSuggestion, report.ai_fixed, "\"real-time repair … LLMs\""),
         (RepairChannel::Expert, report.expert_fixed, "\"expert recommendations\""),
     ] {
-        t2.row(vec![
-            format!("{ch:?}"),
-            pct(n as f64 / repaired.max(1) as f64),
-            note.into(),
-        ]);
+        t2.row(vec![format!("{ch:?}"), pct(n as f64 / repaired.max(1) as f64), note.into()]);
     }
     t2.print("E01.b  repair-channel mix");
 
@@ -158,11 +158,8 @@ pub fn run(quick: bool) -> vulnman_core::workflow::WorkflowReport {
     ] {
         let r = engine.process_with_capacity(stream.samples(), budget);
         let reviewed = r.cases.iter().filter(|c| c.manually_reviewed).count();
-        let zc_total = r
-            .cases
-            .iter()
-            .filter(|c| c.surface == vulnman_analysis::Surface::ZeroClick)
-            .count();
+        let zc_total =
+            r.cases.iter().filter(|c| c.surface == vulnman_analysis::Surface::ZeroClick).count();
         let zc_reviewed = r
             .cases
             .iter()

@@ -52,9 +52,8 @@ pub fn run(quick: bool) -> SpecializationResult {
     let mut generalists = model_zoo(13);
     let shuffled = split.train.shuffled(0xe03);
     let k = generalists.len();
-    let slices: Vec<Dataset> = (0..k)
-        .map(|i| shuffled.iter().skip(i).step_by(k).cloned().collect())
-        .collect();
+    let slices: Vec<Dataset> =
+        (0..k).map(|i| shuffled.iter().skip(i).step_by(k).cloned().collect()).collect();
     for (m, slice) in generalists.iter_mut().zip(&slices) {
         m.train(slice);
     }
@@ -106,11 +105,8 @@ pub fn run(quick: bool) -> SpecializationResult {
         let mut specialist = model_zoo(900 + i as u64).remove(2); // graph-rf base
         specialist.train(&train_subset);
         let spec_f1 = per_cwe_metrics(&specialist, &split.test, cwe).f1();
-        let gen_best = winners
-            .iter()
-            .find(|(c, _, _)| *c == cwe)
-            .map(|(_, _, f)| *f)
-            .unwrap_or(0.0);
+        let gen_best =
+            winners.iter().find(|(c, _, _)| *c == cwe).map(|(_, _, f)| *f).unwrap_or(0.0);
         t2.row(vec![
             format!("CWE-{}", cwe.id()),
             fmt3(spec_f1),
@@ -136,11 +132,7 @@ mod tests {
             "multiple families should win somewhere"
         );
         // Specialists at least match generalists on average over focus classes.
-        let mean_delta: f64 = r
-            .specialist_vs_generalist
-            .iter()
-            .map(|(_, s, g)| s - g)
-            .sum::<f64>()
+        let mean_delta: f64 = r.specialist_vs_generalist.iter().map(|(_, s, g)| s - g).sum::<f64>()
             / r.specialist_vs_generalist.len() as f64;
         assert!(mean_delta > -0.08, "specialists should be competitive: {mean_delta}");
     }

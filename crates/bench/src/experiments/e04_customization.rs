@@ -92,10 +92,6 @@ mod tests {
             outcomes.iter().map(|o| o.f1_lift()).sum::<f64>() / outcomes.len() as f64;
         assert!(mean_lift > 0.0, "mean lift {mean_lift}");
         let most_divergent = outcomes.last().unwrap();
-        assert!(
-            most_divergent.f1_lift() > 0.03,
-            "kernel team lift {}",
-            most_divergent.f1_lift()
-        );
+        assert!(most_divergent.f1_lift() > 0.03, "kernel team lift {}", most_divergent.f1_lift());
     }
 }

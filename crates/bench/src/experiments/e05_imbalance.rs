@@ -35,14 +35,8 @@ pub fn run(quick: bool) -> Vec<ImbalancePoint> {
     let fractions = [0.5, 0.2, 0.1, 0.05, 0.02];
     let params = CostParams::default();
     let mut points = Vec::new();
-    let mut t = Table::new(vec![
-        "vuln fraction",
-        "precision",
-        "recall",
-        "F1",
-        "FP per TP",
-        "net value",
-    ]);
+    let mut t =
+        Table::new(vec!["vuln fraction", "precision", "recall", "F1", "FP per TP", "net value"]);
     for (i, &frac) in fractions.iter().enumerate() {
         let vuln_count = if quick { 30 } else { 80 };
         let eval = DatasetBuilder::new(502 + i as u64)

@@ -22,7 +22,7 @@ pub fn run(quick: bool) -> Vec<ShiftRow> {
         "\">50% performance drop when applying academic models to more complex \
          datasets\" (Gap 3)",
     );
-    let n = if quick { 120 } else { 500 };
+    let n = if quick { 400 } else { 500 };
 
     // The academic benchmark: simple/curated tiers, mainstream style.
     let benchmark = DatasetBuilder::new(601)
@@ -53,12 +53,7 @@ pub fn run(quick: bool) -> Vec<ShiftRow> {
         let bench_f1 = model.evaluate(&bench_split.test).f1();
         let real_f1 = model.evaluate(&industrial).f1();
         let drop = if bench_f1 > 0.0 { 1.0 - real_f1 / bench_f1 } else { 0.0 };
-        t.row(vec![
-            model.name().to_string(),
-            fmt3(bench_f1),
-            fmt3(real_f1),
-            pct(drop),
-        ]);
+        t.row(vec![model.name().to_string(), fmt3(bench_f1), fmt3(real_f1), pct(drop)]);
         rows.push((model.name().to_string(), bench_f1, real_f1, drop));
     }
     t.print("E06  benchmark-trained models on real-world-tier industrial code");

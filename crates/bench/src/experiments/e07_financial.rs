@@ -61,16 +61,26 @@ pub fn run(quick: bool) -> (Vec<FinanceRow>, Vec<OperatingRow>) {
             usd(r.prevented_loss),
             usd(r.net_value),
         ]);
-        rows.push((model.name().to_string(), m.precision(), m.recall(), r.net_value, r.triage_cost));
+        rows.push((
+            model.name().to_string(),
+            m.precision(),
+            m.recall(),
+            r.net_value,
+            r.triage_cost,
+        ));
     }
     t.print("E07.a  per-model deployment economics at 8% base rate");
 
     // Break-even frontier: the precision below which deployment destroys
     // value, as a function of expected breach cost.
     let mut t2 = Table::new(vec!["breach cost", "exploitability", "break-even precision"]);
-    for &(breach, expl) in
-        &[(1_000_000.0, 0.25), (250_000.0, 0.25), (50_000.0, 0.25), (50_000.0, 0.05), (10_000.0, 0.05)]
-    {
+    for &(breach, expl) in &[
+        (1_000_000.0, 0.25),
+        (250_000.0, 0.25),
+        (50_000.0, 0.25),
+        (50_000.0, 0.05),
+        (10_000.0, 0.05),
+    ] {
         let p = CostParams { breach_cost_usd: breach, mean_exploitability: expl, ..params };
         t2.row(vec![usd(breach), fmt3(expl), format!("{:.4}", break_even_precision(&p, 0.8))]);
     }

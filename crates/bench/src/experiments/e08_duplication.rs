@@ -65,13 +65,7 @@ pub fn run(quick: bool) -> Vec<DupRow> {
         let inflated = model.evaluate(&split.test).f1();
         let true_f1 = model.evaluate(&practice).f1();
         let gap = if inflated > 0.0 { 1.0 - true_f1 / inflated } else { 0.0 };
-        t.row(vec![
-            k.to_string(),
-            pct(dup_frac),
-            fmt3(inflated),
-            fmt3(true_f1),
-            pct(gap),
-        ]);
+        t.row(vec![k.to_string(), pct(dup_frac), fmt3(inflated), fmt3(true_f1), pct(gap)]);
         rows.push((k, dup_frac, inflated, true_f1, gap));
     }
     t.print("E08  clone-1nn under increasing synthetic duplication");
@@ -93,12 +87,7 @@ mod tests {
         // Duplicate fraction rises with the factor.
         assert!(last.1 > first.1 + 0.3, "{rows:?}");
         // The inflation gap (benchmark vs practice) widens with duplication.
-        assert!(
-            last.4 > first.4,
-            "gap should widen: {} -> {} ({rows:?})",
-            first.4,
-            last.4
-        );
+        assert!(last.4 > first.4, "gap should widen: {} -> {} ({rows:?})", first.4, last.4);
         // At high duplication the benchmark number materially overstates
         // practice.
         assert!(last.2 > last.3, "inflated {} vs true {}", last.2, last.3);

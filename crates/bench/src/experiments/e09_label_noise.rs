@@ -24,12 +24,7 @@ pub fn run(quick: bool) -> Vec<NoiseRow> {
     let noise_levels = [0.0, 0.1, 0.2, 0.3, 0.5, 0.7];
 
     let mut rows = Vec::new();
-    let mut t = Table::new(vec![
-        "label noise",
-        "token-lr F1",
-        "graph-rf F1",
-        "note",
-    ]);
+    let mut t = Table::new(vec!["label noise", "token-lr F1", "graph-rf F1", "note"]);
     for (i, &noise) in noise_levels.iter().enumerate() {
         let ds = DatasetBuilder::new(901 + i as u64)
             .vulnerable_count(n)

@@ -19,8 +19,7 @@ pub fn run(quick: bool) -> Vec<ScaleRow> {
         "learning curves over corpus size and team diversity",
         "\"better performance from larger and more diverse training dataset\" (Gap 4)",
     );
-    let sizes: Vec<usize> =
-        if quick { vec![40, 80, 160] } else { vec![50, 100, 200, 400, 800] };
+    let sizes: Vec<usize> = if quick { vec![40, 80, 160] } else { vec![50, 100, 200, 400, 800] };
 
     // Evaluation: the broad industrial reality — the *internal* teams a
     // deployed model must serve. Injection-heavy with hard (patched-twin)

@@ -36,9 +36,8 @@ pub fn run(quick: bool) -> Vec<ExpertRow> {
         .tier_mix(vec![(Tier::RealWorld, 1.0)])
         .build();
     let split = stratified_split(&ds, 0.3, 23);
-    let taint_test = split.test.filter(|s| {
-        !s.label || s.cwe.map(|c| c.is_taint_style()).unwrap_or(false)
-    });
+    let taint_test =
+        split.test.filter(|s| !s.label || s.cwe.map(|c| c.is_taint_style()).unwrap_or(false));
 
     let mut reps: Vec<(&str, Box<dyn FeatureExtractor>)> = vec![
         ("raw tokens", Box::new(TokenNgramFeatures::new(512))),
@@ -78,9 +77,7 @@ mod tests {
     #[test]
     fn e12_shape() {
         let rows = super::run(true);
-        let f1 = |name: &str| {
-            rows.iter().find(|r| r.0 == name).map(|r| r.1).expect("row present")
-        };
+        let f1 = |name: &str| rows.iter().find(|r| r.0 == name).map(|r| r.1).expect("row present");
         let tokens = f1("raw tokens");
         let expert = f1("expert flow/graph");
         let combo = f1("tokens + expert");
@@ -88,10 +85,7 @@ mod tests {
             expert > tokens,
             "expert features should beat raw tokens on hard data: {expert} vs {tokens}"
         );
-        assert!(
-            combo > tokens,
-            "composition should dominate raw tokens: {combo} vs {tokens}"
-        );
+        assert!(combo > tokens, "composition should dominate raw tokens: {combo} vs {tokens}");
         let _ = expert;
     }
 }

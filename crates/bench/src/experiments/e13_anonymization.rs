@@ -17,18 +17,14 @@ pub type AnonRow = (String, f64, f64, f64);
 
 fn anonymize_dataset(ds: &Dataset, strength: Strength) -> Dataset {
     let anonymizer = Anonymizer::new(strength);
-    ds.iter()
-        .filter_map(|s| anonymizer.anonymize(s).map(|a| a.sample))
-        .collect()
+    ds.iter().filter_map(|s| anonymizer.anonymize(s).map(|a| a.sample)).collect()
 }
 
 fn rule_f1(ds: &Dataset) -> f64 {
     use vulnman_analysis::detectors::RuleEngine;
     let engine = RuleEngine::default_suite();
-    let pred: Vec<bool> = ds
-        .iter()
-        .map(|s| !engine.scan_source(&s.source).unwrap_or_default().is_empty())
-        .collect();
+    let pred: Vec<bool> =
+        ds.iter().map(|s| !engine.scan_source(&s.source).unwrap_or_default().is_empty()).collect();
     let truth: Vec<bool> = ds.iter().map(|s| s.label).collect();
     vulnman_ml::eval::Metrics::from_predictions(&pred, &truth).f1()
 }

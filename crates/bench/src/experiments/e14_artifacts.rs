@@ -57,7 +57,12 @@ pub fn run(quick: bool) -> SurveyDistribution {
     let db = survey_distribution(&badged, 55, runs, 78);
     let dm = survey_distribution(&maintained, 55, runs, 79);
     let mut t2 = Table::new(vec!["intervention", "public", "incomplete docs", "non-functional"]);
-    t2.row(vec!["status quo".into(), pct(dist.public.0), pct(dist.incomplete_docs.0), pct(dist.non_functional.0)]);
+    t2.row(vec![
+        "status quo".into(),
+        pct(dist.public.0),
+        pct(dist.incomplete_docs.0),
+        pct(dist.non_functional.0),
+    ]);
     t2.row(vec![
         "artifact badging (Proposal: \"artifact review and badging\")".into(),
         pct(db.public.0),

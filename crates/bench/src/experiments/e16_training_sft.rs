@@ -34,13 +34,15 @@ pub fn run(quick: bool) -> TrainingSftResult {
 
     // Training regimes.
     let base = TrainingConfig::default();
-    let configs = [("no training".to_string(), TrainingConfig { cadence_weeks: 0, ..base }),
+    let configs = [
+        ("no training".to_string(), TrainingConfig { cadence_weeks: 0, ..base }),
         ("quarterly generic".to_string(), TrainingConfig { cadence_weeks: 12, ..base }),
         ("monthly generic".to_string(), TrainingConfig { cadence_weeks: 4, ..base }),
         (
             "monthly AI-personalized".to_string(),
             TrainingConfig { cadence_weeks: 4, personalized: true, ..base },
-        )];
+        ),
+    ];
     let mut regimes = Vec::new();
     let mut personalized_trace = None;
     let mut t = Table::new(vec!["regime", "steady-state introduction rate", "vs untrained"]);

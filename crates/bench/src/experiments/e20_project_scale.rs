@@ -59,8 +59,18 @@ pub fn run(quick: bool) -> ProjectScaleResult {
     let mut clean = Vec::new();
     for i in 0..n_projects {
         let cwe = taint_classes[i % taint_classes.len()];
-        intra.push(generate_project(2000 + i as u64, &style, units_per, ProjectFlaw::IntraUnit(cwe)));
-        cross.push(generate_project(3000 + i as u64, &style, units_per, ProjectFlaw::CrossUnit(cwe)));
+        intra.push(generate_project(
+            2000 + i as u64,
+            &style,
+            units_per,
+            ProjectFlaw::IntraUnit(cwe),
+        ));
+        cross.push(generate_project(
+            3000 + i as u64,
+            &style,
+            units_per,
+            ProjectFlaw::CrossUnit(cwe),
+        ));
         clean.push(generate_project(4000 + i as u64, &style, units_per, ProjectFlaw::Clean));
     }
 
@@ -75,7 +85,10 @@ pub fn run(quick: bool) -> ProjectScaleResult {
         "false alarms on clean",
     ]);
     for (name, scan) in [
-        ("per-unit (file-level, research-style)", &scan_per_unit as &dyn Fn(&Project, &TaintConfig) -> bool),
+        (
+            "per-unit (file-level, research-style)",
+            &scan_per_unit as &dyn Fn(&Project, &TaintConfig) -> bool,
+        ),
         ("whole-project (industry requirement)", &scan_whole),
     ] {
         let ri = recall(&intra, &|p| scan(p, &config));
@@ -91,7 +104,8 @@ pub fn run(quick: bool) -> ProjectScaleResult {
     let mut scaling = Vec::new();
     let mut t2 = Table::new(vec!["units/project", "per-unit scan ms", "whole-project scan ms"]);
     for &n in &sizes {
-        let p = generate_project(5000 + n as u64, &style, n, ProjectFlaw::CrossUnit(Cwe::SqlInjection));
+        let p =
+            generate_project(5000 + n as u64, &style, n, ProjectFlaw::CrossUnit(Cwe::SqlInjection));
         let reps = if quick { 3 } else { 5 };
         let t0 = Instant::now();
         for _ in 0..reps {

@@ -9,7 +9,6 @@ use vulnman_ml::eval::{agreement, AgreementReport, Metrics};
 use vulnman_ml::pipeline::DetectionModel;
 use vulnman_synth::dataset::Dataset;
 
-
 /// Result of an agreement study over a trained model pool.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AgreementStudy {
@@ -91,11 +90,8 @@ pub fn run_agreement_study(
     let unanimous_detection_rate = if vuln_idx.is_empty() {
         0.0
     } else {
-        vuln_idx
-            .iter()
-            .enumerate()
-            .filter(|(row, _)| vuln_preds.iter().all(|p| p[*row]))
-            .count() as f64
+        vuln_idx.iter().enumerate().filter(|(row, _)| vuln_preds.iter().all(|p| p[*row])).count()
+            as f64
             / vuln_idx.len() as f64
     };
 
@@ -108,9 +104,7 @@ pub fn run_agreement_study(
         let rate = if vuln_idx.is_empty() {
             0.0
         } else {
-            (0..vuln_idx.len())
-                .filter(|&row| top_preds.iter().all(|p| p[row]))
-                .count() as f64
+            (0..vuln_idx.len()).filter(|&row| top_preds.iter().all(|p| p[row])).count() as f64
                 / vuln_idx.len() as f64
         };
         (Some(agreement(&top_preds)), Some(rate))

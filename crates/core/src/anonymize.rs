@@ -168,10 +168,22 @@ fn collect_decl_renames(
             }
             StmtKind::For { init, step, body, .. } => {
                 if let Some(i) = init {
-                    collect_decl_renames(std::slice::from_mut(i.as_mut()), salt, counter, local, global);
+                    collect_decl_renames(
+                        std::slice::from_mut(i.as_mut()),
+                        salt,
+                        counter,
+                        local,
+                        global,
+                    );
                 }
                 if let Some(st) = step {
-                    collect_decl_renames(std::slice::from_mut(st.as_mut()), salt, counter, local, global);
+                    collect_decl_renames(
+                        std::slice::from_mut(st.as_mut()),
+                        salt,
+                        counter,
+                        local,
+                        global,
+                    );
                 }
                 collect_decl_renames(body, salt, counter, local, global);
             }
@@ -446,10 +458,7 @@ mod tests {
         for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
             let a = Anonymizer::new(strength).anonymize(&v).unwrap();
             let leak = identifier_leakage(&v, &a.sample);
-            assert!(
-                leak <= last + 1e-9,
-                "{strength:?} leaked {leak} > previous {last}"
-            );
+            assert!(leak <= last + 1e-9, "{strength:?} leaked {leak} > previous {last}");
             last = leak;
         }
         assert!(last < 0.1, "aggressive should leak almost nothing: {last}");

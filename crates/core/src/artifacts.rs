@@ -63,8 +63,7 @@ impl ReleaseProcess {
             return PaperArtifact { released, documented: false, functional: false, age_years };
         }
         let documented = rng.gen_bool(self.p_documented);
-        let alive_prob =
-            self.p_functional_at_release * (1.0 - self.annual_decay).powf(age_years);
+        let alive_prob = self.p_functional_at_release * (1.0 - self.annual_decay).powf(age_years);
         let functional = rng.gen_bool(alive_prob.clamp(0.0, 1.0));
         PaperArtifact { released, documented, functional, age_years }
     }
@@ -86,8 +85,7 @@ pub struct SurveyResult {
 /// Surveys `n_papers` papers drawn from the process.
 pub fn survey(process: &ReleaseProcess, n_papers: usize, seed: u64) -> SurveyResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let artifacts: Vec<PaperArtifact> =
-        (0..n_papers).map(|_| process.sample(&mut rng)).collect();
+    let artifacts: Vec<PaperArtifact> = (0..n_papers).map(|_| process.sample(&mut rng)).collect();
     let public: Vec<&PaperArtifact> = artifacts.iter().filter(|a| a.released).collect();
     let n_public = public.len().max(1);
     SurveyResult {

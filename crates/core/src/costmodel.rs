@@ -102,8 +102,7 @@ pub fn price_deployment(metrics: &Metrics, params: &CostParams) -> CostReport {
 pub fn break_even_precision(params: &CostParams, recall: f64) -> f64 {
     // Per caught vuln: value = E[breach]; costs = fix + triage(TP) and
     // triage of FP = triage_cost_per_finding * (1/p - 1) per TP.
-    let triage_per_finding =
-        params.triage_minutes_per_finding / 60.0 * params.analyst_hourly_usd;
+    let triage_per_finding = params.triage_minutes_per_finding / 60.0 * params.analyst_hourly_usd;
     let value_per_tp = params.breach_cost_usd * params.mean_exploitability
         - params.fix_hours_per_vuln * params.analyst_hourly_usd
         - triage_per_finding;
@@ -111,7 +110,7 @@ pub fn break_even_precision(params: &CostParams, recall: f64) -> f64 {
         return 1.0; // never profitable
     }
     let _ = recall; // recall scales both sides; precision threshold is invariant
-    // value_per_tp = triage_per_finding * (1 - p) / p  =>  p = t / (v + t)
+                    // value_per_tp = triage_per_finding * (1 - p) / p  =>  p = t / (v + t)
     (triage_per_finding / (value_per_tp + triage_per_finding)).clamp(f64::MIN_POSITIVE, 1.0)
 }
 

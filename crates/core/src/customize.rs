@@ -191,8 +191,13 @@ mod tests {
         let mut model = model_zoo(3).remove(0); // token-lr: style-sensitive
         model.train(&generic);
         let distance = StyleProfile::mainstream().distance(&team_style);
-        let outcome =
-            customize_to_team(&mut model, &team_style, distance, &team_split.train, &team_split.test);
+        let outcome = customize_to_team(
+            &mut model,
+            &team_style,
+            distance,
+            &team_split.train,
+            &team_split.test,
+        );
         assert!(
             outcome.f1_lift() > 0.05,
             "fine-tuning should lift F1 substantially: generic={:.2} tuned={:.2}",

@@ -38,6 +38,15 @@ pub trait Detector: Send + Sync {
 
     /// Assesses one sample.
     fn assess(&self, sample: &Sample) -> Assessment;
+
+    /// Assesses one sample with access to a shared content-addressed
+    /// analysis cache. Detectors whose work is source-derived (parse, CFG,
+    /// dataflow, taint) override this to memoize per unique content; the
+    /// default ignores the cache. Must return exactly what
+    /// [`Detector::assess`] returns.
+    fn assess_cached(&self, sample: &Sample, _cache: &vulnman_lang::AnalysisCache) -> Assessment {
+        self.assess(sample)
+    }
 }
 
 /// Adapter: the rule-based suite as a [`Detector`].
@@ -66,8 +75,19 @@ impl Detector for RuleBasedDetector {
 
     fn assess(&self, sample: &Sample) -> Assessment {
         let findings = self.engine.scan_source(&sample.source).unwrap_or_default();
-        // The unit is flagged when its function of interest is implicated;
-        // findings in shared helpers count too if nothing is in the target.
+        self.to_assessment(findings)
+    }
+
+    fn assess_cached(&self, sample: &Sample, cache: &vulnman_lang::AnalysisCache) -> Assessment {
+        let findings = self.engine.scan_source_cached(&sample.source, cache).unwrap_or_default();
+        self.to_assessment(findings)
+    }
+}
+
+impl RuleBasedDetector {
+    /// The unit is flagged when any rule fires; findings in shared helpers
+    /// count too if nothing is in the target.
+    fn to_assessment(&self, findings: Vec<Finding>) -> Assessment {
         let vulnerable = !findings.is_empty();
         Assessment {
             vulnerable,
@@ -196,8 +216,7 @@ impl Detector for MlDetector {
 }
 
 /// How a registry combines multiple detector verdicts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum CombinePolicy {
     /// Flag when any detector flags (maximum recall, industry default for
     /// high-severity classes).
@@ -214,11 +233,13 @@ pub struct DetectorRegistry {
     policy: CombinePolicy,
 }
 
-
 impl std::fmt::Debug for DetectorRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DetectorRegistry")
-            .field("detectors", &self.detectors.iter().map(|d| d.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "detectors",
+                &self.detectors.iter().map(|d| d.name().to_string()).collect::<Vec<_>>(),
+            )
             .field("policy", &self.policy)
             .finish()
     }
@@ -257,9 +278,9 @@ impl DetectorRegistry {
         self.detectors.iter().map(|d| d.name().to_string()).collect()
     }
 
-    /// Runs every *applicable* detector (scope matching the sample's CWE
+    /// Detectors applicable to a sample (scope matching the sample's CWE
     /// when the sample declares one; unscoped detectors always run).
-    pub fn assess_all(&self, sample: &Sample) -> Vec<Assessment> {
+    fn applicable<'a>(&'a self, sample: &'a Sample) -> impl Iterator<Item = &'a dyn Detector> {
         self.detectors
             .iter()
             .filter(|d| match (d.scope(), sample.cwe) {
@@ -267,14 +288,41 @@ impl DetectorRegistry {
                 (Some(_), None) => true, // scoped tools still scan unknown code
                 (None, _) => true,
             })
-            .map(|d| d.assess(sample))
-            .collect()
+            .map(|d| d.as_ref())
+    }
+
+    /// Runs every applicable detector.
+    pub fn assess_all(&self, sample: &Sample) -> Vec<Assessment> {
+        self.applicable(sample).map(|d| d.assess(sample)).collect()
+    }
+
+    /// Runs every applicable detector through a shared analysis cache.
+    /// Assessments are identical to [`DetectorRegistry::assess_all`].
+    pub fn assess_all_cached(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Vec<Assessment> {
+        self.applicable(sample).map(|d| d.assess_cached(sample, cache)).collect()
     }
 
     /// Combined verdict under the registry policy, along with the individual
     /// assessments.
     pub fn verdict(&self, sample: &Sample) -> (bool, Vec<Assessment>) {
-        let assessments = self.assess_all(sample);
+        self.combine(self.assess_all(sample))
+    }
+
+    /// Cache-assisted [`DetectorRegistry::verdict`]; the verdict and the
+    /// assessments are identical, only repeated work is skipped.
+    pub fn verdict_cached(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> (bool, Vec<Assessment>) {
+        self.combine(self.assess_all_cached(sample, cache))
+    }
+
+    fn combine(&self, assessments: Vec<Assessment>) -> (bool, Vec<Assessment>) {
         let positive = assessments.iter().filter(|a| a.vulnerable).count();
         let flagged = match self.policy {
             CombinePolicy::Any => positive > 0,
@@ -356,7 +404,12 @@ mod tests {
                 Some(vec![Cwe::SqlInjection])
             }
             fn assess(&self, _: &Sample) -> Assessment {
-                Assessment { vulnerable: true, score: 1.0, findings: vec![], detector: "yes".into() }
+                Assessment {
+                    vulnerable: true,
+                    score: 1.0,
+                    findings: vec![],
+                    detector: "yes".into(),
+                }
             }
         }
         let mut g = SampleGenerator::new(3, StyleProfile::mainstream());
@@ -401,12 +454,7 @@ mod tests {
         registry.register(Box::new(d));
         registry.register(Box::new(RuleBasedDetector::standard()));
         assert_eq!(registry.len(), 2);
-        let hits = split
-            .test
-            .iter()
-            .filter(|s| s.label)
-            .filter(|s| registry.verdict(s).0)
-            .count();
+        let hits = split.test.iter().filter(|s| s.label).filter(|s| registry.verdict(s).0).count();
         let total = split.test.iter().filter(|s| s.label).count();
         assert!(hits * 10 >= total * 8, "combined registry should catch most: {hits}/{total}");
     }

@@ -15,7 +15,7 @@ use vulnman_analysis::detectors::RuleEngine;
 use vulnman_synth::sample::Sample;
 
 /// Task family of an SFT pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SftTask {
     /// "Is this code vulnerable? Explain."
     Detect,
@@ -80,9 +80,9 @@ impl SftDataset {
         self.pairs.is_empty()
     }
 
-    /// Count per task family.
-    pub fn task_counts(&self) -> std::collections::HashMap<SftTask, usize> {
-        let mut h = std::collections::HashMap::new();
+    /// Count per task family, in stable task order (reports iterate this).
+    pub fn task_counts(&self) -> std::collections::BTreeMap<SftTask, usize> {
+        let mut h = std::collections::BTreeMap::new();
         for p in &self.pairs {
             *h.entry(p.task).or_insert(0) += 1;
         }

@@ -117,8 +117,7 @@ pub fn simulate(
         let mut flaws = 0usize;
         let mut changes = 0usize;
         for d in &mut devs {
-            let rate =
-                config.base_introduction_rate * (1.0 - config.max_reduction * d.awareness);
+            let rate = config.base_introduction_rate * (1.0 - config.max_reduction * d.awareness);
             for _ in 0..changes_per_week {
                 changes += 1;
                 if rng.gen_bool(rate.clamp(0.0, 1.0)) {

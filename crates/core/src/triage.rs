@@ -136,10 +136,8 @@ impl TriageQueue {
     /// Serves the highest-ranked item at `day`, recording SLA compliance.
     pub fn serve(&mut self, day: f64) -> Option<ServedItem> {
         let Ranked(item) = self.heap.pop()?;
-        let sla_met = self
-            .sla
-            .deadline(item.policy)
-            .map(|deadline| day - item.arrived_day <= deadline);
+        let sla_met =
+            self.sla.deadline(item.policy).map(|deadline| day - item.arrived_day <= deadline);
         Some(ServedItem { item, served_day: day, sla_met })
     }
 

@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vulnman_analysis::autofix::AutoFixer;
 use vulnman_analysis::detectors::RuleEngine;
+use vulnman_analysis::finding::Finding;
 use vulnman_analysis::reachability::{CallGraph, Surface};
+use vulnman_lang::{AnalysisCache, CacheStats};
 use vulnman_ml::eval::Metrics;
 use vulnman_synth::sample::Sample;
 
@@ -34,6 +36,15 @@ pub struct WorkflowConfig {
     pub expert_fix_hours: f64,
     /// Deterministic seed for review outcomes.
     pub seed: u64,
+    /// Worker threads for [`WorkflowEngine::process`]: the corpus is
+    /// sharded across this many scoped threads. `1` (the default) runs the
+    /// sequential reference path; any value produces a byte-identical
+    /// report.
+    pub jobs: usize,
+    /// Whether the engine memoizes source-derived analyses (parse, rule
+    /// findings, surface classification) in a content-addressed cache.
+    /// Caching never changes results, only repeated work.
+    pub cache: bool,
 }
 
 impl Default for WorkflowConfig {
@@ -44,6 +55,8 @@ impl Default for WorkflowConfig {
             suggestion_verify_minutes: 10.0,
             expert_fix_hours: 4.0,
             seed: 0,
+            jobs: 1,
+            cache: true,
         }
     }
 }
@@ -74,6 +87,11 @@ pub struct CaseOutcome {
     pub manually_reviewed: bool,
     /// Caught by the manual reviewer (implies `manually_reviewed`).
     pub review_catch: bool,
+    /// Structured findings from the assessment stage, merged across
+    /// detectors in a deterministic order: detector name, then span, then
+    /// CWE, then message. (Cases themselves are kept in submission order,
+    /// so the report-wide ordering is sample, detector, span.)
+    pub findings: Vec<Finding>,
     /// Repair channel used, when remediated.
     pub repaired_via: Option<RepairChannel>,
     /// The remediated source, when a patch was produced and verified.
@@ -145,6 +163,27 @@ pub struct WorkflowEngine {
     fixer: AutoFixer,
     verifier: RuleEngine,
     config: WorkflowConfig,
+    cache: AnalysisCache,
+}
+
+/// Output of the assessment + threat-model stages for one sample.
+struct Assessed {
+    flagged: bool,
+    surface: Surface,
+    findings: Vec<Finding>,
+}
+
+/// The complete, order-independent result of processing one sample: the
+/// traced outcome plus the labour it consumed. Produced by the pure
+/// per-sample path ([`WorkflowEngine::assess_one`]) and folded into a
+/// [`WorkflowReport`] by [`WorkflowEngine::reduce`] in submission order, so
+/// sequential and sharded runs accumulate floating-point totals in exactly
+/// the same order and the reports are byte-identical.
+struct CaseWork {
+    outcome: CaseOutcome,
+    review_minutes: f64,
+    repair_minutes: f64,
+    expert_hours: f64,
 }
 
 impl std::fmt::Debug for WorkflowEngine {
@@ -163,6 +202,7 @@ impl WorkflowEngine {
             registry,
             fixer: AutoFixer::new(),
             verifier: RuleEngine::default_suite(),
+            cache: if config.cache { AnalysisCache::new() } else { AnalysisCache::disabled() },
             config,
         }
     }
@@ -172,14 +212,56 @@ impl WorkflowEngine {
         &self.registry
     }
 
-    /// Processes a batch sequentially (deterministic reference execution).
+    /// The engine's configuration.
+    pub fn config(&self) -> &WorkflowConfig {
+        &self.config
+    }
+
+    /// Hit/miss counters of the engine's analysis cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all memoized analysis results (e.g. between benchmark runs).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Processes a batch, sharding it across [`WorkflowConfig::jobs`]
+    /// worker threads (sequentially when `jobs <= 1`). Per-sample decisions
+    /// are pure functions of the sample and the seed, and labour totals are
+    /// folded in submission order regardless of which shard computed them,
+    /// so the report is byte-identical for every `jobs` value.
     pub fn process(&self, samples: &[Sample]) -> WorkflowReport {
-        let mut report = WorkflowReport::default();
-        for s in samples {
-            let outcome = self.process_one(s, &mut report);
-            report.cases.push(outcome);
+        let jobs = self.config.jobs.max(1);
+        if jobs == 1 || samples.len() < 2 {
+            return Self::reduce(samples.iter().map(|s| self.assess_one(s)).collect());
         }
-        report
+        self.process_sharded(samples, jobs)
+    }
+
+    /// Processes a batch across exactly `jobs` scoped worker threads,
+    /// overriding the configured job count. Shards are contiguous slices of
+    /// the input; results are concatenated in shard order (= submission
+    /// order) before the fold, so output equals the sequential path's.
+    pub fn process_sharded(&self, samples: &[Sample], jobs: usize) -> WorkflowReport {
+        let jobs = jobs.clamp(1, samples.len().max(1));
+        let chunk = samples.len().div_ceil(jobs);
+        let mut work: Vec<CaseWork> = Vec::with_capacity(samples.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk.max(1))
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard.iter().map(|s| self.assess_one(s)).collect::<Vec<CaseWork>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                work.extend(handle.join().expect("workflow shard panicked"));
+            }
+        });
+        Self::reduce(work)
     }
 
     /// Processes a batch under a finite manual-review budget, allocating
@@ -190,23 +272,17 @@ impl WorkflowEngine {
     pub fn process_with_capacity(&self, samples: &[Sample], budget_minutes: f64) -> WorkflowReport {
         let mut report = WorkflowReport::default();
         // Phase 1: automated assessment + threat model for every change.
-        let assessed: Vec<(usize, bool, Surface)> = samples
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let (flagged, _) = self.registry.verdict(s);
-                (i, flagged, classify_surface(s))
-            })
-            .collect();
+        let assessed: Vec<(usize, Assessed)> =
+            samples.iter().enumerate().map(|(i, s)| (i, self.assess_stage(s))).collect();
         // Phase 2: allocate the review budget by priority.
-        let mut candidates: Vec<&(usize, bool, Surface)> = assessed
+        let mut candidates: Vec<&(usize, Assessed)> = assessed
             .iter()
-            .filter(|(_, flagged, surface)| surface.requires_manual_review() || *flagged)
+            .filter(|(_, a)| a.surface.requires_manual_review() || a.flagged)
             .collect();
-        candidates.sort_by_key(|(i, flagged, surface)| (*surface, !*flagged, *i));
+        candidates.sort_by_key(|(i, a)| (a.surface, !a.flagged, *i));
         let mut remaining = budget_minutes;
         let mut reviewed_set = std::collections::HashSet::new();
-        for (i, _, _) in &candidates {
+        for (i, _) in &candidates {
             if remaining >= self.config.review_minutes {
                 remaining -= self.config.review_minutes;
                 report.analyst_minutes += self.config.review_minutes;
@@ -216,11 +292,12 @@ impl WorkflowEngine {
             }
         }
         // Phase 3: review outcomes + repair, per sample in submission order.
-        for (i, flagged, surface) in assessed {
+        for (i, Assessed { flagged, surface, findings }) in assessed {
             let sample = &samples[i];
             let reviewed = reviewed_set.contains(&i);
-            let catch =
-                reviewed && sample.label && hash_unit(sample.id ^ self.config.seed) < self.config.analyst_skill;
+            let catch = reviewed
+                && sample.label
+                && hash_unit(sample.id ^ self.config.seed) < self.config.analyst_skill;
             let mut outcome = CaseOutcome {
                 sample_id: sample.id,
                 truly_vulnerable: sample.label,
@@ -228,12 +305,13 @@ impl WorkflowEngine {
                 surface,
                 manually_reviewed: reviewed,
                 review_catch: catch,
+                findings,
                 repaired_via: None,
                 patched_source: None,
             };
             if outcome.detected() && sample.label {
                 let (channel_used, patched, analyst_min, expert_h) =
-                    repair(sample, &self.fixer, &self.verifier, &self.config);
+                    repair(sample, &self.fixer, &self.verifier, &self.config, &self.cache);
                 report.analyst_minutes += analyst_min;
                 report.expert_hours += expert_h;
                 match channel_used {
@@ -259,18 +337,16 @@ impl WorkflowEngine {
     /// decisions are seeded by sample id, not arrival order.
     pub fn process_pipelined(&self, samples: &[Sample]) -> WorkflowReport {
         let (tx_in, rx_assess) = channel::bounded::<Sample>(64);
-        let (tx_assess, rx_review) = channel::bounded::<(Sample, bool, Surface)>(64);
-        let (tx_review, rx_repair) = channel::bounded::<(Sample, bool, Surface, bool, bool)>(64);
+        let (tx_assess, rx_review) = channel::bounded::<(Sample, Assessed)>(64);
+        let (tx_review, rx_repair) = channel::bounded::<(Sample, Assessed, bool, bool)>(64);
         let report = Arc::new(Mutex::new(WorkflowReport::default()));
 
         std::thread::scope(|scope| {
             // Stage 1: automated vulnerability detection + threat model.
-            let registry = &self.registry;
             scope.spawn(move || {
                 for sample in rx_assess {
-                    let (flagged, _) = registry.verdict(&sample);
-                    let surface = classify_surface(&sample);
-                    if tx_assess.send((sample, flagged, surface)).is_err() {
+                    let assessed = self.assess_stage(&sample);
+                    if tx_assess.send((sample, assessed)).is_err() {
                         return;
                     }
                 }
@@ -280,13 +356,13 @@ impl WorkflowEngine {
             let config = self.config;
             let report2 = Arc::clone(&report);
             scope.spawn(move || {
-                for (sample, flagged, surface) in rx_review {
+                for (sample, assessed) in rx_review {
                     let (reviewed, catch, minutes) =
-                        manual_review(&sample, flagged, surface, &config);
+                        manual_review(&sample, assessed.flagged, assessed.surface, &config);
                     if minutes > 0.0 {
                         report2.lock().analyst_minutes += minutes;
                     }
-                    if tx_review.send((sample, flagged, surface, reviewed, catch)).is_err() {
+                    if tx_review.send((sample, assessed, reviewed, catch)).is_err() {
                         return;
                     }
                 }
@@ -296,8 +372,10 @@ impl WorkflowEngine {
             let report3 = Arc::clone(&report);
             let fixer = &self.fixer;
             let verifier = &self.verifier;
+            let cache = &self.cache;
             scope.spawn(move || {
-                for (sample, flagged, surface, reviewed, catch) in rx_repair {
+                for (sample, assessed, reviewed, catch) in rx_repair {
+                    let Assessed { flagged, surface, findings } = assessed;
                     let mut outcome = CaseOutcome {
                         sample_id: sample.id,
                         truly_vulnerable: sample.label,
@@ -305,13 +383,14 @@ impl WorkflowEngine {
                         surface,
                         manually_reviewed: reviewed,
                         review_catch: catch,
+                        findings,
                         repaired_via: None,
                         patched_source: None,
                     };
                     let mut guard = report3.lock();
                     if outcome.detected() && sample.label {
                         let (channel_used, patched, analyst_min, expert_h) =
-                            repair(&sample, fixer, verifier, &config);
+                            repair(&sample, fixer, verifier, &config, cache);
                         guard.analyst_minutes += analyst_min;
                         guard.expert_hours += expert_h;
                         match channel_used {
@@ -341,14 +420,51 @@ impl WorkflowEngine {
         report
     }
 
-    fn process_one(&self, sample: &Sample, report: &mut WorkflowReport) -> CaseOutcome {
-        // Stage 1: automated detection (Figure 1, "Vulnerability Detection").
-        let (flagged, _assessments) = self.registry.verdict(sample);
-        // Threat modeling / reachability analysis.
-        let surface = classify_surface(sample);
+    /// Stage 1 + threat model: detector verdicts and surface classification
+    /// for one sample, with findings merged across detectors in the
+    /// deterministic (detector, span, CWE, message) order.
+    fn assess_stage(&self, sample: &Sample) -> Assessed {
+        let (flagged, assessments) = self.registry.verdict_cached(sample, &self.cache);
+        let surface = self.classify_surface(sample);
+        let mut findings: Vec<Finding> = assessments.into_iter().flat_map(|a| a.findings).collect();
+        findings.sort_by(|a, b| {
+            a.detector
+                .cmp(&b.detector)
+                .then(a.span.cmp(&b.span))
+                .then(a.cwe.id().cmp(&b.cwe.id()))
+                .then(a.message.cmp(&b.message))
+        });
+        Assessed { flagged, surface, findings }
+    }
+
+    /// Threat-model stage: surface of the sample's unit (most exposed
+    /// function), memoized per unique source content.
+    fn classify_surface(&self, sample: &Sample) -> Surface {
+        *self.cache.analysis(&sample.source, "surface", 0, || {
+            match self.cache.parse(&sample.source) {
+                Ok(program) => {
+                    let graph = CallGraph::build(&program);
+                    graph
+                        .surfaces()
+                        .into_values()
+                        .min() // ZeroClick < OneClick < Local
+                        .unwrap_or(Surface::Local)
+                }
+                Err(_) => Surface::Local,
+            }
+        })
+    }
+
+    /// Runs all three Figure-1 stages for one sample. Pure with respect to
+    /// batch state: the result depends only on the sample, the seed, and
+    /// the detector suite — never on which thread or position processed it.
+    fn assess_one(&self, sample: &Sample) -> CaseWork {
+        // Stage 1: automated detection (Figure 1, "Vulnerability Detection")
+        // + threat modeling / reachability analysis.
+        let Assessed { flagged, surface, findings } = self.assess_stage(sample);
         // Stage 2: manual security review for exposed surfaces.
-        let (reviewed, catch, minutes) = manual_review(sample, flagged, surface, &self.config);
-        report.analyst_minutes += minutes;
+        let (reviewed, catch, review_minutes) =
+            manual_review(sample, flagged, surface, &self.config);
 
         let mut outcome = CaseOutcome {
             sample_id: sample.id,
@@ -357,43 +473,47 @@ impl WorkflowEngine {
             surface,
             manually_reviewed: reviewed,
             review_catch: catch,
+            findings,
             repaired_via: None,
             patched_source: None,
         };
 
         // Stage 3: repair (only real, detected vulnerabilities get patched;
         // false alarms burn triage time, which manual_review accounted for).
+        let mut repair_minutes = 0.0;
+        let mut expert_hours = 0.0;
         if outcome.detected() && sample.label {
             let (channel_used, patched, analyst_min, expert_h) =
-                repair(sample, &self.fixer, &self.verifier, &self.config);
-            report.analyst_minutes += analyst_min;
-            report.expert_hours += expert_h;
-            match channel_used {
-                RepairChannel::AutoFix => report.auto_fixed += 1,
-                RepairChannel::AiSuggestion => report.ai_fixed += 1,
-                RepairChannel::Expert => report.expert_fixed += 1,
-            }
+                repair(sample, &self.fixer, &self.verifier, &self.config, &self.cache);
+            repair_minutes = analyst_min;
+            expert_hours = expert_h;
             outcome.repaired_via = Some(channel_used);
             outcome.patched_source = patched;
-        } else if sample.label {
-            report.escaped += 1;
         }
-        outcome
+        CaseWork { outcome, review_minutes, repair_minutes, expert_hours }
     }
-}
 
-/// Threat-model stage: surface of the sample's unit (most exposed function).
-fn classify_surface(sample: &Sample) -> Surface {
-    match vulnman_lang::parse(&sample.source) {
-        Ok(program) => {
-            let graph = CallGraph::build(&program);
-            graph
-                .surfaces()
-                .into_values()
-                .min() // ZeroClick < OneClick < Local
-                .unwrap_or(Surface::Local)
+    /// Folds per-case results into the aggregate report, in submission
+    /// order. Both the sequential and the sharded path run this exact fold,
+    /// which pins the floating-point accumulation order (review minutes
+    /// before repair minutes, case by case) and therefore makes the two
+    /// paths bit-identical.
+    fn reduce(work: Vec<CaseWork>) -> WorkflowReport {
+        let mut report = WorkflowReport::default();
+        for w in work {
+            report.analyst_minutes += w.review_minutes;
+            report.analyst_minutes += w.repair_minutes;
+            report.expert_hours += w.expert_hours;
+            match w.outcome.repaired_via {
+                Some(RepairChannel::AutoFix) => report.auto_fixed += 1,
+                Some(RepairChannel::AiSuggestion) => report.ai_fixed += 1,
+                Some(RepairChannel::Expert) => report.expert_fixed += 1,
+                None if w.outcome.truly_vulnerable => report.escaped += 1,
+                None => {}
+            }
+            report.cases.push(w.outcome);
         }
-        Err(_) => Surface::Local,
+        report
     }
 }
 
@@ -423,12 +543,13 @@ fn repair(
     fixer: &AutoFixer,
     verifier: &RuleEngine,
     config: &WorkflowConfig,
+    cache: &AnalysisCache,
 ) -> (RepairChannel, Option<String>, f64, f64) {
     if let Some(cwe) = sample.cwe {
         if AutoFixer::supports(cwe) {
             if let Some(patched) = fixer.fix_source(&sample.source, cwe) {
                 let clean = verifier
-                    .scan_source(&patched)
+                    .scan_source_cached(&patched, cache)
                     .map(|fs| fs.iter().all(|f| f.cwe != cwe))
                     .unwrap_or(false);
                 if clean {
@@ -440,12 +561,7 @@ fn repair(
         // but costs verification time and is rejected when wrong.
         let suggestion_ok = hash_unit(sample.id.wrapping_mul(31) ^ config.seed) < 0.5;
         if suggestion_ok {
-            return (
-                RepairChannel::AiSuggestion,
-                None,
-                config.suggestion_verify_minutes,
-                0.0,
-            );
+            return (RepairChannel::AiSuggestion, None, config.suggestion_verify_minutes, 0.0);
         }
         return (
             RepairChannel::Expert,
@@ -618,6 +734,118 @@ mod tests {
         let report = engine().process(&[]);
         assert!(report.cases.is_empty());
         assert_eq!(report.review_rate(), 0.0);
+    }
+
+    fn engine_with(jobs: usize, cache: bool) -> WorkflowEngine {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        WorkflowEngine::new(registry, WorkflowConfig { jobs, cache, ..Default::default() })
+    }
+
+    fn big_corpus() -> Vec<Sample> {
+        let mut samples = DatasetBuilder::new(77)
+            .vulnerable_count(40)
+            .vulnerable_fraction(0.25)
+            .duplication_factor(2)
+            .build()
+            .samples()
+            .to_vec();
+        // An exact-duplicate slice on top of the near-duplicates: vendored
+        // copies share content byte-for-byte, which is what the
+        // content-addressed cache exploits.
+        let next = samples.iter().map(|s| s.id).max().unwrap_or(0) + 1;
+        let copies: Vec<Sample> = samples
+            .iter()
+            .take(60)
+            .cloned()
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.id = next + i as u64;
+                s
+            })
+            .collect();
+        samples.extend(copies);
+        samples
+    }
+
+    #[test]
+    fn sharded_report_is_byte_identical_to_sequential() {
+        let samples = big_corpus();
+        assert!(samples.len() >= 200, "corpus should be sizable: {}", samples.len());
+        let seq = engine_with(1, true).process(&samples);
+        for jobs in [2, 3, 4, 7] {
+            let par = engine_with(jobs, true).process(&samples);
+            assert_eq!(seq, par, "jobs={jobs} must match the sequential report");
+            // Byte-identical serialized artifacts, not just structural equality.
+            let a = serde_json::to_string(&seq).unwrap();
+            let b = serde_json::to_string(&par).unwrap();
+            assert_eq!(a, b, "serialized reports must be byte-identical at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn sharded_handles_degenerate_shapes() {
+        let samples = corpus();
+        let e = engine_with(4, true);
+        // More jobs than samples, empty input, single sample.
+        assert_eq!(e.process_sharded(&samples, 64), engine_with(1, true).process(&samples));
+        assert!(e.process_sharded(&[], 4).cases.is_empty());
+        let one = &samples[..1];
+        assert_eq!(e.process(one), engine_with(1, true).process(one));
+    }
+
+    #[test]
+    fn caching_does_not_change_results() {
+        let samples = big_corpus();
+        let cached = engine_with(1, true).process(&samples);
+        let uncached = engine_with(1, false).process(&samples);
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn duplicated_corpus_hits_the_cache() {
+        let samples = big_corpus();
+        let e = engine_with(1, true);
+        e.process(&samples);
+        let stats = e.cache_stats();
+        // Every sample is parsed for detection and again for surface
+        // classification, and duplicated slices share content, so a large
+        // share of lookups must be served from the cache.
+        assert!(stats.hits > 0, "expected cache hits: {stats:?}");
+        assert!(
+            stats.hit_rate() > 0.3,
+            "duplication + multi-stage reuse should hit often: {stats:?}"
+        );
+        // A second scan of the same corpus is answered almost entirely
+        // from the cache.
+        let before = e.cache_stats();
+        e.process(&samples);
+        let after = e.cache_stats();
+        assert!(after.hits - before.hits > (after.misses - before.misses) * 10);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let e = engine_with(1, false);
+        e.process(&corpus());
+        assert_eq!(e.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn findings_are_ordered_and_attributed() {
+        let report = engine_with(1, true).process(&big_corpus());
+        let mut saw_findings = false;
+        for c in &report.cases {
+            saw_findings |= !c.findings.is_empty();
+            for pair in c.findings.windows(2) {
+                let key = |f: &Finding| (f.detector.clone(), f.span, f.cwe.id(), f.message.clone());
+                assert!(key(&pair[0]) <= key(&pair[1]), "findings sorted within case");
+            }
+            if c.auto_flagged {
+                assert!(!c.findings.is_empty(), "flagged case carries its findings");
+            }
+        }
+        assert!(saw_findings, "some cases should have findings");
     }
 
     #[test]

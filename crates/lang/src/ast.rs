@@ -139,7 +139,14 @@ impl BinOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -611,7 +618,10 @@ mod tests {
             Stmt::new(
                 StmtKind::While {
                     cond: Expr::var("n"),
-                    body: vec![Stmt::new(StmtKind::Expr(Expr::call("step", vec![Expr::var("n")])), sp())],
+                    body: vec![Stmt::new(
+                        StmtKind::Expr(Expr::call("step", vec![Expr::var("n")])),
+                        sp(),
+                    )],
                 },
                 sp(),
             ),

@@ -1,0 +1,317 @@
+//! Content-addressed analysis cache.
+//!
+//! Industrial corpora are full of textually identical units — vendored
+//! copies, generated code, and the deliberate duplicate slices of Gap
+//! Observation 4 (experiment E08). Re-parsing and re-analyzing the same
+//! bytes for every copy wastes most of a scan's CPU time. [`AnalysisCache`]
+//! addresses results by a hash of the *normalized* source (line endings and
+//! trailing whitespace stripped), so any stage — parsing, CFG construction,
+//! dataflow, taint, rule scans — can memoize per unique content.
+//!
+//! Two tables are kept:
+//!
+//! * a parse table: content key → `Result<Arc<Program>, ParseError>`, and
+//! * a generic analysis table: `(content key, analysis kind, config
+//!   fingerprint)` → type-erased `Arc` result, for downstream passes whose
+//!   output depends on both the source and the pass configuration.
+//!
+//! The cache is thread-safe (shared by the parallel workflow shards) and
+//! deterministic: it never changes *what* is computed, only whether the
+//! computation is repeated, so cached and uncached runs produce identical
+//! results. A disabled cache (see [`AnalysisCache::disabled`]) computes
+//! everything fresh, which benchmarks use as the baseline.
+
+use crate::ast::Program;
+use crate::error::ParseError;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Key of one memoized downstream analysis.
+type AnalysisKey = (u64, &'static str, u64);
+
+/// A thread-safe, content-addressed cache of parse and analysis results.
+pub struct AnalysisCache {
+    enabled: bool,
+    parses: Mutex<HashMap<u64, Result<Arc<Program>, ParseError>>>,
+    analyses: Mutex<HashMap<AnalysisKey, Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        AnalysisCache::new()
+    }
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("AnalysisCache")
+            .field("enabled", &self.enabled)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl AnalysisCache {
+    /// Creates an empty, enabled cache.
+    pub fn new() -> Self {
+        AnalysisCache {
+            enabled: true,
+            parses: Mutex::new(HashMap::new()),
+            analyses: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a pass-through cache: every lookup computes fresh and nothing
+    /// is stored. Used as the baseline in benchmarks and when a run must not
+    /// retain source-derived state.
+    pub fn disabled() -> Self {
+        AnalysisCache { enabled: false, ..AnalysisCache::new() }
+    }
+
+    /// Whether lookups are served from storage.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current hit/miss counters (counted even when disabled, so baselines
+    /// can report their would-be lookup volume).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all stored results and resets the counters.
+    pub fn clear(&self) {
+        self.parses.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.analyses.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The content address of `source`: a 64-bit hash of the normalized
+    /// text. Two sources that differ only in line endings or trailing
+    /// whitespace share a key.
+    pub fn content_key(source: &str) -> u64 {
+        // FNV-1a over normalized bytes. `\r` is dropped, and whitespace
+        // runs (including newlines) are buffered until the next
+        // non-whitespace byte — so trailing whitespace on each line and
+        // trailing blank lines at EOF never reach the hash.
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        };
+        let mut pending_ws = 0usize;
+        let mut pending_nl = 0usize;
+        for &b in source.as_bytes() {
+            match b {
+                b'\r' => {}
+                b'\n' => {
+                    pending_ws = 0;
+                    pending_nl += 1;
+                }
+                b' ' | b'\t' => pending_ws += 1,
+                other => {
+                    for _ in 0..pending_nl {
+                        eat(b'\n');
+                    }
+                    pending_nl = 0;
+                    for _ in 0..pending_ws {
+                        eat(b' ');
+                    }
+                    pending_ws = 0;
+                    eat(other);
+                }
+            }
+        }
+        h
+    }
+
+    /// Parses `source`, reusing the stored result when the same content has
+    /// been parsed before. Errors are cached too: malformed duplicates fail
+    /// fast without re-lexing.
+    pub fn parse(&self, source: &str) -> Result<Arc<Program>, ParseError> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return crate::parser::parse(source).map(Arc::new);
+        }
+        let key = Self::content_key(source);
+        if let Some(cached) = self.parses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        // Compute outside the lock; a concurrent shard may duplicate the
+        // parse of a brand-new key, but both produce identical values.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = crate::parser::parse(source).map(Arc::new);
+        self.parses.lock().unwrap_or_else(|e| e.into_inner()).insert(key, result.clone());
+        result
+    }
+
+    /// Memoizes one named downstream analysis of `source`.
+    ///
+    /// `kind` names the pass ("findings", "surface", "taint", …) and
+    /// `config_key` fingerprints its configuration, so the same source can
+    /// carry several memoized passes — and the same pass under different
+    /// configurations — without collision. `compute` runs on a miss.
+    pub fn analysis<T, F>(
+        &self,
+        source: &str,
+        kind: &'static str,
+        config_key: u64,
+        compute: F,
+    ) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(compute());
+        }
+        let key = (Self::content_key(source), kind, config_key);
+        if let Some(cached) = self.analyses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            if let Ok(typed) = Arc::downcast::<T>(Arc::clone(cached)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return typed;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        self.analyses
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int f(int a) { return a + 1; }";
+
+    #[test]
+    fn parse_is_cached_by_content() {
+        let cache = AnalysisCache::new();
+        let a = cache.parse(SRC).unwrap();
+        let b = cache.parse(SRC).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second parse must be the cached Arc");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn normalization_ignores_line_endings_and_trailing_ws() {
+        let unix = "int f() {\n  return 0;\n}";
+        let dos = "int f() {  \r\n  return 0;\t\r\n}";
+        assert_eq!(AnalysisCache::content_key(unix), AnalysisCache::content_key(dos));
+        // Leading indentation is significant only in run length, not CRs.
+        assert_ne!(
+            AnalysisCache::content_key("int f() { return 0; }"),
+            AnalysisCache::content_key("int g() { return 0; }")
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_cached() {
+        let cache = AnalysisCache::new();
+        let e1 = cache.parse("int f( {").unwrap_err();
+        let e2 = cache.parse("int f( {").unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn analyses_are_keyed_by_kind_and_config() {
+        let cache = AnalysisCache::new();
+        let a = cache.analysis(SRC, "len", 0, || SRC.len());
+        let b = cache.analysis(SRC, "len", 0, || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different config fingerprint recomputes.
+        let c = cache.analysis(SRC, "len", 1, || 999usize);
+        assert_eq!(*c, 999);
+        // Different kind with a different type is fine.
+        let d = cache.analysis(SRC, "name", 0, || "f".to_string());
+        assert_eq!(*d, "f");
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache = AnalysisCache::disabled();
+        let a = cache.parse(SRC).unwrap();
+        let b = cache.parse(SRC).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+        let n = cache.analysis(SRC, "len", 0, || 1u32);
+        let m = cache.analysis(SRC, "len", 0, || 2u32);
+        assert_eq!((*n, *m), (1, 2));
+    }
+
+    #[test]
+    fn clear_resets_storage_and_counters() {
+        let cache = AnalysisCache::new();
+        cache.parse(SRC).unwrap();
+        cache.parse(SRC).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.parse(SRC).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = AnalysisCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        cache.parse(SRC).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 64);
+        assert!(stats.hits >= 60, "most lookups hit: {stats:?}");
+    }
+
+    #[test]
+    fn hit_rate_is_sane() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats { hits: 3, misses: 1 }.hit_rate(), 0.75);
+    }
+}

@@ -239,7 +239,12 @@ impl Builder {
     /// Lowers a statement list starting in `current`; returns the block where
     /// control continues afterwards. A returned block that already ends in a
     /// jump-away (return/break/continue) is a fresh unreachable block.
-    fn lower_stmts(&mut self, stmts: &[Stmt], mut current: BlockId, loops: &mut Vec<LoopCtx>) -> BlockId {
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        mut current: BlockId,
+        loops: &mut Vec<LoopCtx>,
+    ) -> BlockId {
         for s in stmts {
             current = self.lower_stmt(s, current, loops);
         }
@@ -367,10 +372,9 @@ fn desugar_compound(target: &LValue, value: &Expr, op: Option<BinOp>, span: Span
                 LValue::Deref(e) => {
                     Expr::new(ExprKind::Unary(UnOp::Deref, Box::new(e.clone())), span)
                 }
-                LValue::Index(b, i) => Expr::new(
-                    ExprKind::Index(Box::new(b.clone()), Box::new(i.clone())),
-                    span,
-                ),
+                LValue::Index(b, i) => {
+                    Expr::new(ExprKind::Index(Box::new(b.clone()), Box::new(i.clone())), span)
+                }
             };
             Expr::new(ExprKind::Binary(op, Box::new(base), Box::new(value.clone())), span)
         }
@@ -460,7 +464,9 @@ mod tests {
 
     #[test]
     fn continue_targets_step_in_for() {
-        let c = cfg_of("void f(int n) { for (int i = 0; i < n; i++) { if (i == 3) { continue; } use(i); } }");
+        let c = cfg_of(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (i == 3) { continue; } use(i); } }",
+        );
         // The graph must still terminate and contain the step assignment
         // reachable from the continue edge.
         assert!(c.cyclomatic_complexity() >= 3);

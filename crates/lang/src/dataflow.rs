@@ -69,11 +69,8 @@ impl ReachingDefs {
                 for &p in &cfg.blocks[b].preds {
                     input.extend(at_exit[p].iter().cloned());
                 }
-                let mut out: HashSet<(String, DefSite)> = input
-                    .iter()
-                    .filter(|(v, _)| !kill_vars[b].contains(v))
-                    .cloned()
-                    .collect();
+                let mut out: HashSet<(String, DefSite)> =
+                    input.iter().filter(|(v, _)| !kill_vars[b].contains(v)).cloned().collect();
                 out.extend(gen_sets[b].iter().cloned());
                 if input != at_entry[b] || out != at_exit[b] {
                     at_entry[b] = input;
@@ -260,11 +257,7 @@ mod tests {
         let c = cfg_of("void f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } sink(s); }");
         let rd = ReachingDefs::compute(&c);
         // Find the loop-header block (the one with a branch on n > 0 and two succs).
-        let header = c
-            .blocks
-            .iter()
-            .position(|b| b.succs.len() == 2)
-            .expect("loop header");
+        let header = c.blocks.iter().position(|b| b.succs.len() == 2).expect("loop header");
         assert_eq!(rd.defs_reaching(header, "s"), 2, "initial + loop-carried defs of s");
     }
 

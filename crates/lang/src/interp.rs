@@ -497,15 +497,18 @@ impl<'a> Interp<'a> {
         let tainted = l.tainted || r.tainted;
         // Null/pointer comparisons.
         if matches!(op, Eq | Ne) {
-            let l_null = matches!(l.kind, ValueKind::Null) || l.as_int() == 0 && matches!(l.kind, ValueKind::Int(_));
-            let r_null = matches!(r.kind, ValueKind::Null) || r.as_int() == 0 && matches!(r.kind, ValueKind::Int(_));
+            let l_null = matches!(l.kind, ValueKind::Null)
+                || l.as_int() == 0 && matches!(l.kind, ValueKind::Int(_));
+            let r_null = matches!(r.kind, ValueKind::Null)
+                || r.as_int() == 0 && matches!(r.kind, ValueKind::Int(_));
             if matches!(l.kind, ValueKind::Null | ValueKind::Ptr { .. })
                 || matches!(r.kind, ValueKind::Null | ValueKind::Ptr { .. })
             {
                 let same = match (l.kind, r.kind) {
-                    (ValueKind::Ptr { obj: a, offset: x }, ValueKind::Ptr { obj: b, offset: y }) => {
-                        a == b && x == y
-                    }
+                    (
+                        ValueKind::Ptr { obj: a, offset: x },
+                        ValueKind::Ptr { obj: b, offset: y },
+                    ) => a == b && x == y,
                     (ValueKind::Null, ValueKind::Null) => true,
                     (ValueKind::Null, _) => r_null,
                     (_, ValueKind::Null) => l_null,
@@ -645,11 +648,8 @@ impl<'a> Interp<'a> {
     fn check_sink(&mut self, name: &str, args: &[Value], span: Span) {
         if let Some(positions) = self.config.taint.sink_positions(name) {
             let kind = self.config.taint.sink_kind(name).to_string();
-            let dangerous: Vec<usize> = if positions.is_empty() {
-                (0..args.len()).collect()
-            } else {
-                positions.to_vec()
-            };
+            let dangerous: Vec<usize> =
+                if positions.is_empty() { (0..args.len()).collect() } else { positions.to_vec() };
             for p in dangerous {
                 if args.get(p).map(|v| self.value_tainted(*v)).unwrap_or(false) {
                     self.record(DynamicEventKind::TaintedSink(kind.clone()), span);
@@ -755,7 +755,12 @@ impl<'a> Interp<'a> {
                     } else {
                         0
                     };
-                    self.store(dst, i as i64, Value { kind: ValueKind::Int(v), tainted: src_tainted }, span)?;
+                    self.store(
+                        dst,
+                        i as i64,
+                        Value { kind: ValueKind::Int(v), tainted: src_tainted },
+                        span,
+                    )?;
                 }
                 Ok(Value::int(0))
             }
@@ -771,7 +776,12 @@ impl<'a> Interp<'a> {
                     } else {
                         0
                     };
-                    self.store(dst, i as i64, Value { kind: ValueKind::Int(v), tainted: src_tainted }, span)?;
+                    self.store(
+                        dst,
+                        i as i64,
+                        Value { kind: ValueKind::Int(v), tainted: src_tainted },
+                        span,
+                    )?;
                 }
                 Ok(Value::int(0))
             }
@@ -950,13 +960,11 @@ mod tests {
 
     #[test]
     fn taint_flows_through_concat_and_wrappers() {
-        let r = run(
-            r#"
+        let r = run(r#"
             char* fetch() { return read_input(); }
             void runq(char* q) { exec_query(q); }
             void f() { char* u = fetch(); char* q = concat("SELECT ", u); runq(q); }
-            "#,
-        );
+            "#);
         assert!(r.has(&DynamicEventKind::TaintedSink("sql".into())), "{:?}", r.events);
         // The event is attributed to the function executing the sink call.
         assert!(r.events.iter().any(|e| e.function == "runq"));
@@ -984,9 +992,7 @@ mod tests {
 
     #[test]
     fn events_deduplicated_per_function() {
-        let r = run(
-            r#"void f() { char* a = read_input(); exec_query(a); exec_query(a); }"#,
-        );
+        let r = run(r#"void f() { char* a = read_input(); exec_query(a); exec_query(a); }"#);
         let sql_events = r
             .events
             .iter()

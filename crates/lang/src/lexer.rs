@@ -143,7 +143,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 None => {
-                    return Err(ParseError::new("unterminated block comment", self.span_from(start)))
+                    return Err(ParseError::new(
+                        "unterminated block comment",
+                        self.span_from(start),
+                    ))
                 }
             }
         }
@@ -155,9 +158,12 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = &self.src[start.0..self.pos];
-        let value: i64 = text
-            .parse()
-            .map_err(|_| ParseError::new(format!("integer literal `{text}` overflows i64"), self.span_from(start)))?;
+        let value: i64 = text.parse().map_err(|_| {
+            ParseError::new(
+                format!("integer literal `{text}` overflows i64"),
+                self.span_from(start),
+            )
+        })?;
         self.push(TokenKind::Int(value), start);
         Ok(())
     }
@@ -180,13 +186,16 @@ impl<'a> Lexer<'a> {
             match self.bump() {
                 Some(b'"') => break,
                 Some(b'\\') => {
-                    let esc = self
-                        .bump()
-                        .ok_or_else(|| ParseError::new("unterminated string literal", self.span_from(start)))?;
+                    let esc = self.bump().ok_or_else(|| {
+                        ParseError::new("unterminated string literal", self.span_from(start))
+                    })?;
                     value.push(unescape(esc, self.span_from(start))?);
                 }
                 Some(b'\n') | None => {
-                    return Err(ParseError::new("unterminated string literal", self.span_from(start)))
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        self.span_from(start),
+                    ))
                 }
                 Some(b) => value.push(b as char),
             }
@@ -200,9 +209,9 @@ impl<'a> Lexer<'a> {
         self.bump(); // opening quote
         let c = match self.bump() {
             Some(b'\\') => {
-                let esc = self
-                    .bump()
-                    .ok_or_else(|| ParseError::new("unterminated char literal", self.span_from(start)))?;
+                let esc = self.bump().ok_or_else(|| {
+                    ParseError::new("unterminated char literal", self.span_from(start))
+                })?;
                 unescape(esc, self.span_from(start))?
             }
             Some(b'\'') | None => {

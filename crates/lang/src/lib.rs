@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod taint;
 pub mod token;
 
 pub use ast::{Expr, Function, Program, Stmt, Type};
+pub use cache::{AnalysisCache, CacheStats};
 pub use error::{ParseError, ParseResult};
 pub use parser::parse;
 pub use printer::print_program;

@@ -173,8 +173,9 @@ mod tests {
     #[test]
     fn complexity_score_monotone_in_size() {
         let small = parse("void f() { int a = 1; }").unwrap();
-        let big = parse("void f(int n) { for (int i = 0; i < n; i++) { if (i % 2) { work(i); } } }")
-            .unwrap();
+        let big =
+            parse("void f(int n) { for (int i = 0; i < n; i++) { if (i % 2) { work(i); } } }")
+                .unwrap();
         let ms = FunctionMetrics::compute(&small.functions[0]);
         let mb = FunctionMetrics::compute(&big.functions[0]);
         assert!(mb.complexity_score() > ms.complexity_score());

@@ -45,10 +45,17 @@ pub fn parse_expr(source: &str) -> ParseResult<Expr> {
     Ok(e)
 }
 
+/// Maximum statement/expression nesting before parsing aborts with an
+/// error. The parser is recursive-descent, so unbounded nesting (e.g. ten
+/// thousand `(`s from a fuzzer or a truncated upload) would otherwise
+/// overflow the stack instead of returning a [`ParseError`].
+const MAX_NESTING_DEPTH: usize = 200;
+
 struct Parser {
     tokens: Vec<Token>,
     comments: Vec<(usize, String)>, // (end offset, text) of line comments
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -59,7 +66,22 @@ impl Parser {
             .filter(|c| !c.block)
             .map(|c| (c.span.end, c.text.clone()))
             .collect();
-        Parser { tokens: out.tokens, comments, pos: 0 }
+        Parser { tokens: out.tokens, comments, pos: 0, depth: 0 }
+    }
+
+    fn descend(&mut self) -> ParseResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(ParseError::new(
+                format!("nesting exceeds {MAX_NESTING_DEPTH} levels"),
+                self.peek().span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &Token {
@@ -216,6 +238,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> ParseResult<Stmt> {
+        self.descend()?;
+        let result = self.stmt_inner();
+        self.ascend();
+        result
+    }
+
+    fn stmt_inner(&mut self) -> ParseResult<Stmt> {
         let span = self.peek().span;
         match self.peek_kind() {
             TokenKind::KwInt | TokenKind::KwChar | TokenKind::KwVoid => self.decl_stmt(),
@@ -369,7 +398,8 @@ impl Parser {
         self.expect(TokenKind::Semi)?;
         let cond = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
         self.expect(TokenKind::Semi)?;
-        let step = if self.at(&TokenKind::RParen) { None } else { Some(Box::new(self.simple_stmt()?)) };
+        let step =
+            if self.at(&TokenKind::RParen) { None } else { Some(Box::new(self.simple_stmt()?)) };
         self.expect(TokenKind::RParen)?;
         let body = self.block_or_single()?;
         Ok(Stmt::new(StmtKind::For { init, cond, step, body }, span))
@@ -416,7 +446,17 @@ impl Parser {
         Ok(lhs)
     }
 
+    // Every expression nesting level — unary chains, parenthesized groups,
+    // call arguments, index brackets — passes through `unary` on its way
+    // down, so guarding here bounds all expression recursion.
     fn unary(&mut self) -> ParseResult<Expr> {
+        self.descend()?;
+        let result = self.unary_inner();
+        self.ascend();
+        result
+    }
+
+    fn unary_inner(&mut self) -> ParseResult<Expr> {
         let span = self.peek().span;
         let op = match self.peek_kind() {
             TokenKind::Minus => Some(UnOp::Neg),
@@ -507,8 +547,10 @@ mod tests {
 
     #[test]
     fn parses_pointers_and_arrays() {
-        let p = parse("void f(char* s, int n) { char buf[16]; int* q; q = &n; *q = 1; buf[0] = s[0]; }")
-            .unwrap();
+        let p = parse(
+            "void f(char* s, int n) { char buf[16]; int* q; q = &n; *q = 1; buf[0] = s[0]; }",
+        )
+        .unwrap();
         let f = &p.functions[0];
         assert_eq!(f.params[0].ty, Type::Char.ptr());
         match &f.body[0].kind {
@@ -632,6 +674,31 @@ mod tests {
     fn call_with_nested_calls() {
         let e = parse_expr("outer(inner(a), b + c)").unwrap();
         assert_eq!(e.called_fns(), vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        let src = format!("int f() {{ return {}1{}; }}", "(".repeat(5000), ")".repeat(5000));
+        let err = parse(&src).unwrap_err();
+        assert!(err.message().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn deep_unary_nesting_errors_instead_of_overflowing() {
+        let src = format!("int f(int x) {{ return {}x; }}", "!".repeat(5000));
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn deep_statement_nesting_errors_instead_of_overflowing() {
+        let src = format!("void f() {{ {} x = 1; {} }}", "if (1) {".repeat(5000), "}".repeat(5000));
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let src = format!("int f() {{ return {}1{}; }}", "(".repeat(100), ")".repeat(100));
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

@@ -217,17 +217,10 @@ impl TaintAnalysis {
     /// # }
     /// ```
     pub fn run(program: &Program, config: &TaintConfig) -> TaintAnalysis {
-        let mut summaries: HashMap<String, FnSummary> = program
-            .functions
-            .iter()
-            .map(|f| (f.name.clone(), FnSummary::default()))
-            .collect();
-        let cfgs: Vec<(usize, Cfg)> = program
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (i, Cfg::build(f)))
-            .collect();
+        let mut summaries: HashMap<String, FnSummary> =
+            program.functions.iter().map(|f| (f.name.clone(), FnSummary::default())).collect();
+        let cfgs: Vec<(usize, Cfg)> =
+            program.functions.iter().enumerate().map(|(i, f)| (i, Cfg::build(f))).collect();
 
         // Fixpoint over summaries.
         let max_rounds = program.functions.len().max(1) + 2;
@@ -333,7 +326,8 @@ fn analyze_function(
             for si in &cfg.blocks[b].insts {
                 match &si.inst {
                     CfgInst::Decl { name, init, .. } => {
-                        let t = init.as_ref().map_or(0, |e| expr_origins(e, &env, config, summaries));
+                        let t =
+                            init.as_ref().map_or(0, |e| expr_origins(e, &env, config, summaries));
                         env.insert(name.clone(), t);
                     }
                     CfgInst::Assign { target, value } => {
@@ -375,7 +369,8 @@ fn analyze_function(
     let mut internal_flow = false;
     for (b, block) in cfg.blocks.iter().enumerate() {
         // Replay the block from its entry state to get per-instruction envs.
-        let mut env = if b == cfg.entry { at_entry[cfg.entry].clone() } else { at_entry[b].clone() };
+        let mut env =
+            if b == cfg.entry { at_entry[cfg.entry].clone() } else { at_entry[b].clone() };
         for si in &block.insts {
             // Check every call appearing in this instruction.
             let exprs: Vec<&Expr> = si.inst.expr().into_iter().collect();
@@ -383,8 +378,16 @@ fn analyze_function(
                 root.walk(&mut |e| {
                     if let ExprKind::Call(name, args) = &e.kind {
                         check_call(
-                            func, name, args, e.span, &env, config, summaries, &mut findings,
-                            &mut param_to_sink, &mut internal_flow,
+                            func,
+                            name,
+                            args,
+                            e.span,
+                            &env,
+                            config,
+                            summaries,
+                            &mut findings,
+                            &mut param_to_sink,
+                            &mut internal_flow,
                         );
                     }
                 });
@@ -400,8 +403,16 @@ fn analyze_function(
                     root.walk(&mut |e| {
                         if let ExprKind::Call(name, args) = &e.kind {
                             check_call(
-                                func, name, args, e.span, &env, config, summaries, &mut findings,
-                                &mut param_to_sink, &mut internal_flow,
+                                func,
+                                name,
+                                args,
+                                e.span,
+                                &env,
+                                config,
+                                summaries,
+                                &mut findings,
+                                &mut param_to_sink,
+                                &mut internal_flow,
                             );
                         }
                     });
@@ -566,7 +577,9 @@ mod tests {
 
     #[test]
     fn sanitizer_blocks_flow() {
-        let r = run(r#"void f() { char* q = http_param("id"); char* s = escape_sql(q); exec_query(s); }"#);
+        let r = run(
+            r#"void f() { char* q = http_param("id"); char* s = escape_sql(q); exec_query(s); }"#,
+        );
         assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
@@ -578,7 +591,9 @@ mod tests {
 
     #[test]
     fn flow_through_arithmetic_and_concat() {
-        let r = run(r#"void f() { char* u = read_input(); char* q = concat("SELECT ", u); exec_query(q); }"#);
+        let r = run(
+            r#"void f() { char* u = read_input(); char* q = concat("SELECT ", u); exec_query(q); }"#,
+        );
         assert_eq!(r.findings.len(), 1, "unknown helper propagates taint");
     }
 
@@ -601,12 +616,10 @@ mod tests {
 
     #[test]
     fn interprocedural_source_wrapper() {
-        let r = run(
-            r#"
+        let r = run(r#"
             char* fetch() { char* v = read_input(); return v; }
             void f() { char* q = fetch(); exec_query(q); }
-            "#,
-        );
+            "#);
         assert_eq!(r.findings.len(), 1);
         let s = &r.summaries["fetch"];
         assert_ne!(s.ret_origins & SOURCE_BIT, 0, "fetch returns source data");
@@ -614,12 +627,10 @@ mod tests {
 
     #[test]
     fn interprocedural_sink_wrapper() {
-        let r = run(
-            r#"
+        let r = run(r#"
             void run_query(char* q) { exec_query(q); }
             void f() { char* u = http_param("id"); run_query(u); }
-            "#,
-        );
+            "#);
         let in_f: Vec<_> = r.findings.iter().filter(|x| x.function == "f").collect();
         assert_eq!(in_f.len(), 1, "{:?}", r.findings);
         assert!(in_f[0].interprocedural);
@@ -628,24 +639,20 @@ mod tests {
 
     #[test]
     fn two_level_wrapper_chain() {
-        let r = run(
-            r#"
+        let r = run(r#"
             void level1(char* a) { exec_query(a); }
             void level2(char* b) { level1(b); }
             void f() { level2(getenv("X")); }
-            "#,
-        );
+            "#);
         assert!(r.function_has_finding("f"), "{:?}", r.findings);
     }
 
     #[test]
     fn sanitizing_wrapper_is_clean() {
-        let r = run(
-            r#"
+        let r = run(r#"
             char* clean_fetch() { return escape_sql(read_input()); }
             void f() { exec_query(clean_fetch()); }
-            "#,
-        );
+            "#);
         assert!(r.findings.is_empty(), "{:?}", r.findings);
     }
 
@@ -665,12 +672,10 @@ mod tests {
 
     #[test]
     fn recursion_terminates() {
-        let r = run(
-            r#"
+        let r = run(r#"
             char* spin(char* x, int n) { if (n > 0) { return spin(x, n - 1); } return x; }
             void f() { exec_query(spin(read_input(), 3)); }
-            "#,
-        );
+            "#);
         assert_eq!(r.findings.len(), 1);
     }
 
@@ -700,9 +705,7 @@ mod tests {
 
     #[test]
     fn findings_of_kind_filters() {
-        let r = run(
-            r#"void f() { char* a = read_input(); exec_query(a); system(a); }"#,
-        );
+        let r = run(r#"void f() { char* a = read_input(); exec_query(a); system(a); }"#);
         assert_eq!(r.findings.len(), 2);
         assert_eq!(r.findings_of_kind("sql").len(), 1);
         assert_eq!(r.findings_of_kind("command").len(), 1);
@@ -711,9 +714,7 @@ mod tests {
 
     #[test]
     fn multiple_sink_args_checked() {
-        let r = run(
-            r#"void f(char* dst) { char* s = recv(); memcpy(dst, s, 8); }"#,
-        );
+        let r = run(r#"void f(char* dst) { char* s = recv(); memcpy(dst, s, 8); }"#);
         assert_eq!(r.findings.len(), 1, "tainted src argument of memcpy");
     }
 

@@ -235,6 +235,40 @@ mod tests {
     }
 
     #[test]
+    fn all_negative_corpus_yields_finite_metrics() {
+        // No positive samples at all (a clean codebase): every derived
+        // metric must be a finite number or a documented infinity, never
+        // NaN.
+        let truth = vec![false; 50];
+        for flag_rate in [0, 1, 50] {
+            let pred: Vec<bool> = (0..50).map(|i| i < flag_rate).collect();
+            let m = Metrics::from_predictions(&pred, &truth);
+            assert_eq!(m.recall(), 0.0, "no positives to recall");
+            assert_eq!(m.f1(), 0.0);
+            assert!(!m.precision().is_nan());
+            assert!(!m.accuracy().is_nan());
+            assert!(!m.fp_per_tp().is_nan());
+        }
+        assert_eq!(roc_auc(&[0.3; 50], &truth), 0.5);
+    }
+
+    #[test]
+    fn all_positive_corpus_yields_finite_metrics() {
+        // Every sample vulnerable (a worst-case triage queue).
+        let truth = vec![true; 50];
+        for flag_rate in [0, 1, 50] {
+            let pred: Vec<bool> = (0..50).map(|i| i < flag_rate).collect();
+            let m = Metrics::from_predictions(&pred, &truth);
+            assert!(!m.precision().is_nan());
+            assert!(!m.recall().is_nan());
+            assert!(!m.f1().is_nan());
+            assert!(!m.accuracy().is_nan());
+            assert_eq!(m.fp_per_tp(), 0.0, "no negatives, so no false positives");
+        }
+        assert_eq!(roc_auc(&[0.7; 50], &truth), 0.5);
+    }
+
+    #[test]
     fn perfect_predictions() {
         let truth = [true, false, true, false];
         let m = Metrics::from_predictions(&truth, &truth);

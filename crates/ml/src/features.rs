@@ -369,10 +369,10 @@ impl FeatureExtractor for ExpertFlowFeatures {
                         && !s.contains(' ')
                         && !s.contains('/')
                         && s.chars().any(|c| c.is_ascii_digit())
-                        && s.chars().any(|c| c.is_ascii_alphabetic())
-                    => {
-                        secret_literals += 1.0;
-                    }
+                        && s.chars().any(|c| c.is_ascii_alphabetic()) =>
+                {
+                    secret_literals += 1.0;
+                }
                 ExprKind::Binary(vulnman_lang::ast::BinOp::Mul, _, _) => mults += 1.0,
                 _ => {}
             });

@@ -78,12 +78,8 @@ impl Classifier for Knn {
         if self.train_x.is_empty() {
             return 0.5;
         }
-        let mut sims: Vec<(f64, bool)> = self
-            .train_x
-            .iter()
-            .zip(&self.train_y)
-            .map(|(t, &l)| (Self::cosine(t, x), l))
-            .collect();
+        let mut sims: Vec<(f64, bool)> =
+            self.train_x.iter().zip(&self.train_y).map(|(t, &l)| (Self::cosine(t, x), l)).collect();
         sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let k = self.k.min(sims.len());
         let pos = sims[..k].iter().filter(|(_, l)| *l).count();

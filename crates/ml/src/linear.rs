@@ -63,8 +63,7 @@ impl LogisticRegression {
             let lr = self.learning_rate / (1.0 + 0.05 * epoch as f64);
             for &i in &order {
                 let row = &x[i];
-                let z = self.bias
-                    + row.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>();
+                let z = self.bias + row.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>();
                 let p = sigmoid(z);
                 let err = p - if y[i] { 1.0 } else { 0.0 };
                 for (w, a) in self.weights.iter_mut().zip(row) {
@@ -119,10 +118,7 @@ mod tests {
         for _ in 0..n {
             let label: bool = rng.gen_bool(0.5);
             let center = if label { 1.0 } else { -1.0 };
-            x.push(vec![
-                center + rng.gen_range(-0.5..0.5),
-                -center + rng.gen_range(-0.5..0.5),
-            ]);
+            x.push(vec![center + rng.gen_range(-0.5..0.5), -center + rng.gen_range(-0.5..0.5)]);
             y.push(label);
         }
         (x, y)

@@ -93,7 +93,8 @@ impl Classifier for GaussianNb {
             return 0.5;
         }
         let lp = self.prior_pos.ln() + Self::log_likelihood(x, &self.mean_pos, &self.var_pos);
-        let ln = (1.0 - self.prior_pos).ln() + Self::log_likelihood(x, &self.mean_neg, &self.var_neg);
+        let ln =
+            (1.0 - self.prior_pos).ln() + Self::log_likelihood(x, &self.mean_neg, &self.var_neg);
         // Softmax over the two log-joint scores.
         let m = lp.max(ln);
         let ep = (lp - m).exp();

@@ -249,6 +249,26 @@ mod tests {
     }
 
     #[test]
+    fn single_class_corpora_produce_finite_operating_points() {
+        let values = CellValues { tp: 100.0, fp: -10.0, tn: 0.0, fn_: -50.0 };
+        let scores: Vec<f64> = (0..40).map(|i| i as f64 / 40.0).collect();
+        // All-negative corpus: best to flag nothing; numbers stay finite.
+        let p = optimal_threshold(&scores, &[false; 40], &values);
+        assert_eq!(p.metrics.tp + p.metrics.fn_, 0);
+        assert!(p.net_value.is_finite());
+        assert!(!p.metrics.f1().is_nan());
+        assert_eq!(p.metrics.fp, 0, "flagging a clean corpus only costs money");
+        // All-positive corpus: best to flag everything.
+        let p = optimal_threshold(&scores, &[true; 40], &values);
+        assert!(p.net_value.is_finite());
+        assert!(!p.metrics.precision().is_nan());
+        assert_eq!(p.metrics.fn_, 0, "missing a vuln-only corpus only loses value");
+        // Calibration error is defined on single-class corpora too.
+        assert!(expected_calibration_error(&scores, &[false; 40], 10).is_finite());
+        assert!(expected_calibration_error(&scores, &[true; 40], 10).is_finite());
+    }
+
+    #[test]
     fn extreme_economics_degenerate_sanely() {
         let (scores, truth) = synthetic(100, 1.0);
         // Misses are free, FPs ruinous: tolerate zero false positives

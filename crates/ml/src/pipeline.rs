@@ -3,8 +3,8 @@
 
 use crate::eval::Metrics;
 use crate::features::{
-    ArtifactTextFeatures, AstStatFeatures, ComposedFeatures, ExpertFlowFeatures,
-    FeatureExtractor, NormalizedTokenFeatures, TokenNgramFeatures,
+    ArtifactTextFeatures, AstStatFeatures, ComposedFeatures, ExpertFlowFeatures, FeatureExtractor,
+    NormalizedTokenFeatures, TokenNgramFeatures,
 };
 use crate::knn::Knn;
 use crate::linear::LogisticRegression;
@@ -164,11 +164,7 @@ pub fn model_zoo(seed: u64) -> Vec<DetectionModel> {
             Box::new(ExpertFlowFeatures::new()),
             Box::new(RandomForest::new(15, 6, seed ^ 0x33)),
         ),
-        DetectionModel::new(
-            "stat-nb",
-            Box::new(AstStatFeatures),
-            Box::new(GaussianNb::new()),
-        ),
+        DetectionModel::new("stat-nb", Box::new(AstStatFeatures), Box::new(GaussianNb::new())),
         DetectionModel::new(
             "clone-knn",
             // Clone detectors normalize identifiers before matching.
@@ -236,8 +232,7 @@ mod tests {
             })
             .collect();
         let n = split.test.len();
-        let unanimous =
-            (0..n).filter(|&i| preds.iter().all(|p| p[i] == preds[0][i])).count();
+        let unanimous = (0..n).filter(|&i| preds.iter().all(|p| p[i] == preds[0][i])).count();
         assert!(unanimous < n, "heterogeneous families should not be identical");
     }
 

@@ -268,10 +268,7 @@ impl CweDistribution {
 
     /// Total-variation distance to another distribution (in `[0, 1]`).
     pub fn tv_distance(&self, other: &CweDistribution) -> f64 {
-        Cwe::ALL
-            .iter()
-            .map(|&c| (self.probability(c) - other.probability(c)).abs())
-            .sum::<f64>()
+        Cwe::ALL.iter().map(|&c| (self.probability(c) - other.probability(c)).abs()).sum::<f64>()
             / 2.0
     }
 }

@@ -103,9 +103,10 @@ impl Dataset {
         dup as f64 / self.samples.len() as f64
     }
 
-    /// Histogram of vulnerable samples per CWE class.
-    pub fn cwe_histogram(&self) -> HashMap<Cwe, usize> {
-        let mut h = HashMap::new();
+    /// Histogram of vulnerable samples per CWE class, in stable class order
+    /// so printed breakdowns are identical run to run.
+    pub fn cwe_histogram(&self) -> std::collections::BTreeMap<Cwe, usize> {
+        let mut h = std::collections::BTreeMap::new();
         for s in &self.samples {
             if s.label {
                 if let Some(c) = s.cwe {

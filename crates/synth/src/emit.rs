@@ -189,8 +189,7 @@ impl<'a, R: Rng> EmitCtx<'a, R> {
     }
 
     fn log_message(&mut self) -> String {
-        const MSGS: [&str; 6] =
-            ["enter", "checkpoint", "state ok", "cache warm", "retry", "done"];
+        const MSGS: [&str; 6] = ["enter", "checkpoint", "state ok", "cache warm", "retry", "done"];
         MSGS[self.rng.gen_range(0..MSGS.len())].to_string()
     }
 
@@ -324,10 +323,8 @@ mod tests {
     #[test]
     fn wrapped_source_and_sink_parse_and_flow() {
         use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
-        let style = StyleProfile {
-            helper_wrap_prob: 1.0,
-            ..StyleProfile::internal_teams()[2].clone()
-        };
+        let style =
+            StyleProfile { helper_wrap_prob: 1.0, ..StyleProfile::internal_teams()[2].clone() };
         let mut rng = StdRng::seed_from_u64(9);
         let mut ctx = EmitCtx::new(&style, Tier::RealWorld, &mut rng);
         let (sdefs, sexpr) = ctx.wrap_source("read_input()");

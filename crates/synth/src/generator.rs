@@ -293,7 +293,9 @@ impl SampleGenerator {
             review_comment: match self.rng.gen_range(0..10u8) {
                 0..=2 => Some("lgtm".to_string()),
                 3 => Some("please rename this for clarity".to_string()),
-                4 => Some("not sure about the error handling here, please double check".to_string()),
+                4 => {
+                    Some("not sure about the error handling here, please double check".to_string())
+                }
                 _ => None,
             },
             analyst_note: None,

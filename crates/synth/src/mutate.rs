@@ -207,8 +207,7 @@ pub fn structural_fingerprint(source: &str) -> u64 {
         Ok(p) => {
             // Order-insensitive: hash the sorted multiset of per-function
             // shape hashes, so function reordering does not defeat dedup.
-            let mut fn_hashes: Vec<u64> =
-                p.functions.iter().map(function_shape_hash).collect();
+            let mut fn_hashes: Vec<u64> = p.functions.iter().map(function_shape_hash).collect();
             fn_hashes.sort_unstable();
             fn_hashes.hash(&mut hasher);
         }
@@ -226,8 +225,7 @@ fn function_shape_hash(f: &Function) -> u64 {
     f.params.len().hash(&mut hasher);
     f.walk_stmts(&mut |s| {
         if let StmtKind::Decl { init, .. } = &s.kind {
-            let literal_init =
-                matches!(init, None | Some(Expr { kind: ExprKind::Int(_), .. }));
+            let literal_init = matches!(init, None | Some(Expr { kind: ExprKind::Int(_), .. }));
             if literal_init {
                 return;
             }
@@ -253,10 +251,10 @@ fn function_shape_hash(f: &Function) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cwe::Cwe;
     use crate::generator::SampleGenerator;
     use crate::style::StyleProfile;
     use crate::tier::Tier;
-    use crate::cwe::Cwe;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use vulnman_lang::taint::{TaintAnalysis, TaintConfig};

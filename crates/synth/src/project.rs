@@ -130,9 +130,9 @@ pub fn generate_project(
                     sink_slot = rng.gen_range(0..n_units);
                 }
             }
-            units[src_slot].source.push_str(&format!(
-                "\nchar* {helper}() {{\n    return {source_call};\n}}\n"
-            ));
+            units[src_slot]
+                .source
+                .push_str(&format!("\nchar* {helper}() {{\n    return {source_call};\n}}\n"));
             units[sink_slot].source.push_str(&format!(
                 "\nvoid {handler}() {{\n    char* v = {helper}();\n    {sink_fn}(v);\n}}\n"
             ));
@@ -167,7 +167,12 @@ mod tests {
 
     #[test]
     fn cross_unit_flow_needs_whole_project_analysis() {
-        let p = generate_project(7, &StyleProfile::mainstream(), 5, ProjectFlaw::CrossUnit(Cwe::SqlInjection));
+        let p = generate_project(
+            7,
+            &StyleProfile::mainstream(),
+            5,
+            ProjectFlaw::CrossUnit(Cwe::SqlInjection),
+        );
         assert!(p.cross_unit);
         let config = TaintConfig::default_config();
         // Per-unit: no single unit shows the flow.
@@ -192,14 +197,24 @@ mod tests {
 
     #[test]
     fn non_taint_cross_unit_falls_back_to_intra() {
-        let p = generate_project(11, &StyleProfile::mainstream(), 3, ProjectFlaw::CrossUnit(Cwe::UseAfterFree));
+        let p = generate_project(
+            11,
+            &StyleProfile::mainstream(),
+            3,
+            ProjectFlaw::CrossUnit(Cwe::UseAfterFree),
+        );
         assert!(p.vulnerable);
         assert!(!p.cross_unit, "UAF cannot span units; planted intra-unit");
     }
 
     #[test]
     fn single_unit_cross_request_stays_in_unit() {
-        let p = generate_project(13, &StyleProfile::mainstream(), 1, ProjectFlaw::CrossUnit(Cwe::SqlInjection));
+        let p = generate_project(
+            13,
+            &StyleProfile::mainstream(),
+            1,
+            ProjectFlaw::CrossUnit(Cwe::SqlInjection),
+        );
         assert!(p.vulnerable);
         assert!(!p.cross_unit, "one unit cannot span units");
     }

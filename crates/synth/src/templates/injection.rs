@@ -141,17 +141,11 @@ pub fn format_string<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
     let raw = ctx.var("text");
     let target_fn = ctx.func("render");
     let core_vuln = format!("    char* {raw} = {src_call};\n    printf_fmt({raw});\n");
-    let core_fixed =
-        format!("    char* {raw} = {src_call};\n    printf_fmt(\"%s\", {raw});\n");
+    let core_fixed = format!("    char* {raw} = {src_call};\n    printf_fmt(\"%s\", {raw});\n");
 
     let scaffold = Scaffold::sample(ctx, "the status banner");
-    let (vulnerable, fixed) = scaffold.assemble(
-        &helpers,
-        &[],
-        &format!("void {target_fn}()"),
-        &core_vuln,
-        &core_fixed,
-    );
+    let (vulnerable, fixed) =
+        scaffold.assemble(&helpers, &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
     TemplatePair { cwe: Cwe::FormatString, vulnerable, fixed, target_fn }
 }
 

@@ -147,7 +147,10 @@ mod tests {
                         let mut ctx = EmitCtx::new(&style, tier, &mut rng);
                         let pair = generate(cwe, &mut ctx);
                         parse(&pair.vulnerable).unwrap_or_else(|e| {
-                            panic!("{cwe} vulnerable ({}, {tier}): {e}\n{}", style.team, pair.vulnerable)
+                            panic!(
+                                "{cwe} vulnerable ({}, {tier}): {e}\n{}",
+                                style.team, pair.vulnerable
+                            )
                         });
                         parse(&pair.fixed).unwrap_or_else(|e| {
                             panic!("{cwe} fixed ({}, {tier}): {e}\n{}", style.team, pair.fixed)
@@ -193,7 +196,11 @@ mod tests {
                         fixed_found += 1;
                     }
                 }
-                assert_eq!(vuln_found, 8, "{cwe} ({}) vulnerable variants must all flow", style.team);
+                assert_eq!(
+                    vuln_found, 8,
+                    "{cwe} ({}) vulnerable variants must all flow",
+                    style.team
+                );
                 assert_eq!(fixed_found, 0, "{cwe} ({}) fixed variants must never flow", style.team);
             }
         }

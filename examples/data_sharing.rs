@@ -24,16 +24,11 @@ fn main() {
 
     for strength in [Strength::Light, Strength::Standard, Strength::Aggressive] {
         let anonymizer = Anonymizer::new(strength);
-        let shared: Dataset = internal
-            .iter()
-            .filter_map(|s| anonymizer.anonymize(s).map(|a| a.sample))
-            .collect();
-        let leakage: f64 = internal
-            .iter()
-            .zip(shared.iter())
-            .map(|(o, a)| identifier_leakage(o, a))
-            .sum::<f64>()
-            / internal.len() as f64;
+        let shared: Dataset =
+            internal.iter().filter_map(|s| anonymizer.anonymize(s).map(|a| a.sample)).collect();
+        let leakage: f64 =
+            internal.iter().zip(shared.iter()).map(|(o, a)| identifier_leakage(o, a)).sum::<f64>()
+                / internal.len() as f64;
         // Utility check: a researcher trains on the shared data alone.
         let split = stratified_split(&shared, 0.3, 3);
         let mut model = model_zoo(5).remove(0);

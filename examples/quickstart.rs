@@ -10,10 +10,7 @@ use vulnman::prelude::*;
 fn main() {
     // 1. An incoming change stream the way production looks: mostly benign,
     //    a few real vulnerabilities across CWE classes.
-    let stream = DatasetBuilder::new(42)
-        .vulnerable_count(30)
-        .vulnerable_fraction(0.12)
-        .build();
+    let stream = DatasetBuilder::new(42).vulnerable_count(30).vulnerable_fraction(0.12).build();
     println!(
         "change stream: {} units ({} truly vulnerable)",
         stream.len(),
@@ -52,11 +49,11 @@ fn main() {
 
     // 5. Inspect one verified auto-fix.
     if let Some(case) = report.cases.iter().find(|c| c.patched_source.is_some()) {
-        let original = stream
-            .iter()
-            .find(|s| s.id == case.sample_id)
-            .expect("sample present");
-        println!("\n--- auto-fix example ({}) ---", original.cwe.map(|c| c.to_string()).unwrap_or_default());
+        let original = stream.iter().find(|s| s.id == case.sample_id).expect("sample present");
+        println!(
+            "\n--- auto-fix example ({}) ---",
+            original.cwe.map(|c| c.to_string()).unwrap_or_default()
+        );
         println!("{}", case.patched_source.as_ref().expect("patch present"));
     }
 }

@@ -60,10 +60,8 @@ fn main() {
 
     for month in 0..months {
         // Flaw-introduction rate for this month comes from the training sim.
-        let intro_rate = training.introduction_rate[month * 4..(month + 1) * 4]
-            .iter()
-            .sum::<f64>()
-            / 4.0;
+        let intro_rate =
+            training.introduction_rate[month * 4..(month + 1) * 4].iter().sum::<f64>() / 4.0;
         let changes = 400usize;
         let vulns = ((changes as f64) * intro_rate).round().max(1.0) as usize;
         let batch = DatasetBuilder::new(100 + month as u64)

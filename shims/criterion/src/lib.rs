@@ -1,0 +1,253 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API the vulnman
+//! bench files use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark warms up
+//! briefly, then runs timed batches for a fixed measurement window and
+//! reports mean time per iteration (plus throughput when configured).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (samples, programs, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/name` or a bare parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time across iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// Measurement window.
+    window: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, measuring wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also primes caches/lazy statics).
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.window {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{label:<40} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed / b.iters as u32;
+    let mut line =
+        format!("{label:<40} time: {:>12}/iter   iters: {}", format_duration(per_iter), b.iters);
+    if let Some(tp) = throughput {
+        let per_sec =
+            |units: u64| -> f64 { units as f64 * b.iters as f64 / b.elapsed.as_secs_f64() };
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:>12.1} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("   thrpt: {:>12.1} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window: these benches run in CI and tests, not for
+        // publication-grade statistics.
+        Criterion { window: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, window: self.window };
+        f(&mut b);
+        report(name, &b, None);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration used for throughput lines.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// window, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.window = window;
+        self
+    }
+
+    /// Benches a closure under an id.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, window: self.criterion.window };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    /// Benches a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, window: self.criterion.window };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut c = Criterion { window: Duration::from_millis(10) };
+        let mut group = c.benchmark_group("shim-selftest");
+        group.throughput(Throughput::Elements(4));
+        let mut ran = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("scan", 3).label, "scan/3");
+        assert_eq!(BenchmarkId::from_parameter("curated").label, "curated");
+    }
+}

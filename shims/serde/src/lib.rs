@@ -1,0 +1,386 @@
+//! Offline shim for `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this shim uses a
+//! simple self-describing [`Value`] tree: `Serialize` renders a type into a
+//! `Value`, `Deserialize` rebuilds it from one. `serde_json` (the sibling
+//! shim) converts between `Value` and JSON text. The `derive` macros (from
+//! the local `serde_derive` shim, re-exported here) cover the shapes this
+//! workspace uses: structs with named fields, unit enums, and enums with
+//! single-field tuple variants (externally tagged, matching serde_json's
+//! default representation).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order (field order of the serialized struct).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key; missing keys read as `Null` (so `Option`
+    /// fields tolerate absent keys, as with upstream serde's defaults).
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Map(m) => {
+                m.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&Value::Null)
+            }
+            _ => &Value::Null,
+        }
+    }
+
+    /// One-word description of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Helper used by derived code: deserialize one struct field by key.
+pub fn field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    T::from_value(v.get(key)).map_err(|e| DeError(format!("field `{key}`: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i128;
+                if let Ok(i) = i64::try_from(wide) {
+                    Value::I64(i)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::I64(i) => *i as i128,
+                    Value::U64(u) => *u as i128,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i128,
+                    other => return Err(DeError(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    other => Err(DeError(format!(
+                        "expected number, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!("expected single-char string, got {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($len:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError(format!(
+                        "expected {}-element array, got {}", $len, other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_serde_tuple!(2 => A.0, B.1);
+impl_serde_tuple!(3 => A.0, B.1, C.2);
+impl_serde_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted by key so serialized output is deterministic.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(u64::from_value(&123u64.to_value()).unwrap(), 123);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn big_u64_uses_u64_variant() {
+        let v = u64::MAX.to_value();
+        assert_eq!(v, Value::U64(u64::MAX));
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn option_null_and_missing_key() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let m = Value::Map(vec![]);
+        let got: Option<u32> = field(&m, "absent").unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::I64(1)).is_err());
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+    }
+}

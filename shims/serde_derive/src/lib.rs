@@ -1,0 +1,279 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` against the local `serde` shim's
+//! `Value` model. Implemented with hand-rolled `proc_macro::TokenStream`
+//! parsing (the container has no `syn`/`quote`), covering the item shapes
+//! this workspace derives on:
+//!
+//! - structs with named fields → externally untagged JSON objects;
+//! - enums with unit variants → JSON strings (`"Variant"`);
+//! - enums with single-field tuple variants → one-entry objects
+//!   (`{"Variant": payload}`), matching serde_json's externally-tagged
+//!   default.
+//!
+//! Generics and other shapes are rejected with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive target.
+enum Item {
+    /// Struct name + named field idents, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + variants (`(name, has_payload)`).
+    Enum(String, Vec<(String, bool)>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split fields.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses the derive input into an [`Item`], or an error message.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive does not support generic type `{name}`"));
+        }
+    }
+    // Find the body: the next brace group (skips `where` clauses, which
+    // never appear on non-generic items anyway).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("`{name}`: tuple/unit items are not supported by the serde shim"))?;
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            for chunk in split_top_level_commas(&body_tokens) {
+                let j = skip_attrs_and_vis(&chunk, 0);
+                match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    None => continue,
+                    other => return Err(format!("`{name}`: unexpected field token {other:?}")),
+                }
+            }
+            Ok(Item::Struct(name, fields))
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for chunk in split_top_level_commas(&body_tokens) {
+                let j = skip_attrs_and_vis(&chunk, 0);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => continue,
+                    other => return Err(format!("`{name}`: unexpected variant token {other:?}")),
+                };
+                let payload = match chunk.get(j + 1) {
+                    Some(TokenTree::Group(g)) => {
+                        if g.delimiter() == Delimiter::Brace {
+                            return Err(format!(
+                                "`{name}::{vname}`: struct variants are not supported by the serde shim"
+                            ));
+                        }
+                        let arity =
+                            split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                                .len();
+                        if arity != 1 {
+                            return Err(format!(
+                                "`{name}::{vname}`: only 1-field tuple variants are supported, got {arity}"
+                            ));
+                        }
+                        true
+                    }
+                    _ => false,
+                };
+                variants.push((vname, payload));
+            }
+            Ok(Item::Enum(name, variants))
+        }
+        other => Err(format!("cannot derive serde for `{other}` item")),
+    }
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Map(::std::vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, payload)| {
+                    if *payload {
+                        format!(
+                            "{name}::{v}(x) => ::serde::Value::Map(::std::vec![(
+                                ::std::string::String::from({v:?}),
+                                ::serde::Serialize::to_value(x),
+                            )]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: ::serde::field(v, {f:?})?,")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        if v.as_map().is_none() {{
+                            return ::std::result::Result::Err(::serde::DeError(
+                                ::std::format!(\"expected object for {name}, got {{}}\", v.kind())
+                            ));
+                        }}
+                        ::std::result::Result::Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| !payload)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|(_, payload)| *payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(
+                            ::serde::Deserialize::from_value(&m[0].1)?
+                        )),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => ::std::result::Result::Err(::serde::DeError(
+                                    ::std::format!(\"unknown {name} variant `{{other}}`\")
+                                )),
+                            }},
+                            ::serde::Value::Map(m) if m.len() == 1 => match m[0].0.as_str() {{
+                                {payload_arms}
+                                other => ::std::result::Result::Err(::serde::DeError(
+                                    ::std::format!(\"unknown {name} variant `{{other}}`\")
+                                )),
+                            }},
+                            other => ::std::result::Result::Err(::serde::DeError(
+                                ::std::format!(\"expected {name} variant, got {{}}\", other.kind())
+                            )),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -7,7 +7,8 @@
 //! vulnman exec <file>                                        run under the sanitizer interpreter
 //! vulnman gen [--seed N] [--count N] [--fraction F] [--out <dir>]
 //!                                                            generate a labeled corpus
-//! vulnman workflow [--seed N] [--count N] [--fraction F]     run the Figure-1 pipeline
+//! vulnman workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+//!                                                            run the Figure-1 pipeline
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
 //! ```
 
@@ -52,7 +53,7 @@ const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|sft|help> [optio
   fix <file> [--cwe <id>]                        auto-fix and print the patch
   exec <file>                                    run under the sanitizer interpreter
   gen [--seed N] [--count N] [--fraction F] [--out DIR]
-  workflow [--seed N] [--count N] [--fraction F]
+  workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
   sft [--seed N] [--count N]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -75,8 +76,7 @@ fn read_source(args: &[String]) -> Result<(String, String), String> {
         .iter()
         .find(|a| !a.starts_with("--"))
         .ok_or_else(|| "missing <file> argument".to_string())?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok((path.clone(), source))
 }
 
@@ -84,8 +84,11 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     let (path, source) = read_source(args)?;
     let program = parse(&source).map_err(|e| format!("{path}: {e}"))?;
 
-    let mut engine =
-        if flag_present(args, "--dynamic") { RuleEngine::full_suite() } else { RuleEngine::default_suite() };
+    let mut engine = if flag_present(args, "--dynamic") {
+        RuleEngine::full_suite()
+    } else {
+        RuleEngine::default_suite()
+    };
     // Team sanitizer customization (repeatable flag).
     let sanitizers: Vec<&str> = args
         .iter()
@@ -218,10 +221,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_num(args, "--seed", 42)?;
     let count: usize = parse_num(args, "--count", 20)?;
     let fraction: f64 = parse_num(args, "--fraction", 0.5)?;
-    let ds = DatasetBuilder::new(seed)
-        .vulnerable_count(count)
-        .vulnerable_fraction(fraction)
-        .build();
+    let ds =
+        DatasetBuilder::new(seed).vulnerable_count(count).vulnerable_fraction(fraction).build();
     match flag_value(args, "--out") {
         Some(dir) => {
             std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
@@ -237,8 +238,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             println!("wrote {} samples to {dir}/ (sources + index.json)", ds.len());
         }
         None => {
-            let json =
-                serde_json::to_string_pretty(ds.samples()).map_err(|e| format!("{e}"))?;
+            let json = serde_json::to_string_pretty(ds.samples()).map_err(|e| format!("{e}"))?;
             println!("{json}");
         }
     }
@@ -249,16 +249,25 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_num(args, "--seed", 42)?;
     let count: usize = parse_num(args, "--count", 30)?;
     let fraction: f64 = parse_num(args, "--fraction", 0.15)?;
-    let ds = DatasetBuilder::new(seed)
-        .vulnerable_count(count)
-        .vulnerable_fraction(fraction)
-        .build();
+    let jobs: usize = parse_num(args, "--jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let ds =
+        DatasetBuilder::new(seed).vulnerable_count(count).vulnerable_fraction(fraction).build();
     let mut registry = DetectorRegistry::new();
     registry.register(Box::new(RuleBasedDetector::standard()));
-    let engine = WorkflowEngine::new(registry, WorkflowConfig::default());
+    let config =
+        WorkflowConfig { jobs, cache: !flag_present(args, "--no-cache"), ..Default::default() };
+    let engine = WorkflowEngine::new(registry, config);
     let report = engine.process(ds.samples());
     let m = report.detection_metrics();
-    println!("processed {} changes ({} vulnerable)", ds.len(), ds.vulnerable_count());
+    println!(
+        "processed {} changes ({} vulnerable) on {jobs} worker{}",
+        ds.len(),
+        ds.vulnerable_count(),
+        if jobs == 1 { "" } else { "s" }
+    );
     println!(
         "detection: precision {:.3}, recall {:.3}, F1 {:.3}",
         m.precision(),
@@ -273,6 +282,13 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
     println!(
         "economics: {:.0} analyst minutes, net value ${:.0}",
         report.analyst_minutes, cost.net_value
+    );
+    let stats = engine.cache_stats();
+    println!(
+        "analysis cache: {} hits / {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
     );
     Ok(())
 }

@@ -53,10 +53,7 @@ fn full_pipeline_from_corpus_to_sft() {
         let sample = corpus.iter().find(|s| s.id == case.sample_id).expect("sample exists");
         let cwe = sample.cwe.expect("repaired samples are classified");
         let findings = verifier.scan(&program);
-        assert!(
-            findings.iter().all(|f| f.cwe != cwe),
-            "auto-fix for {cwe} must verify clean"
-        );
+        assert!(findings.iter().all(|f| f.cwe != cwe), "auto-fix for {cwe} must verify clean");
     }
 
     // 5. SFT harvest covers detection and repair supervision.
@@ -89,10 +86,7 @@ fn rule_suite_and_taint_engine_agree_on_injection() {
     for s in corpus.iter().filter(|s| s.cwe.map(|c| c.is_taint_style()).unwrap_or(false)) {
         let program = parse(&s.source).expect("parses");
         let taint_hit = !TaintAnalysis::run(&program, &config).findings.is_empty();
-        let rule_hit = engine
-            .scan(&program)
-            .iter()
-            .any(|f| f.cwe == s.cwe.expect("classified"));
+        let rule_hit = engine.scan(&program).iter().any(|f| f.cwe == s.cwe.expect("classified"));
         if s.label {
             assert!(taint_hit && rule_hit, "sample {} should be caught by both", s.id);
         }
@@ -122,10 +116,7 @@ fn detection_models_transfer_between_crates() {
 
 #[test]
 fn cross_project_split_is_leak_free_and_harder() {
-    let ds = DatasetBuilder::new(7)
-        .projects_per_team(4)
-        .vulnerable_count(60)
-        .build();
+    let ds = DatasetBuilder::new(7).projects_per_team(4).vulnerable_count(60).build();
     let projects = ds.projects();
     let held_out = vec![projects[0].clone(), projects[1].clone()];
     let split = split_by_project(&ds, &held_out);

@@ -20,7 +20,8 @@ fn gap1_models_disagree() {
         .build();
     let split = stratified_split(&ds, 0.4, 1);
     let mut models = model_zoo(7);
-    let study = run_agreement_study(&mut models, &split.train, &split.test, TrainingRegime::Disjoint);
+    let study =
+        run_agreement_study(&mut models, &split.train, &split.test, TrainingRegime::Disjoint);
     let best_f1 = study.f1.iter().cloned().fold(0.0, f64::max);
     assert!(
         study.unanimous_detection_rate < best_f1,
@@ -66,8 +67,7 @@ fn gap3_imbalance_destroys_precision() {
     let mut model = model_zoo(5).remove(0);
     model.train(&train);
     let balanced = DatasetBuilder::new(14).vulnerable_count(40).vulnerable_fraction(0.5).build();
-    let imbalanced =
-        DatasetBuilder::new(15).vulnerable_count(20).vulnerable_fraction(0.04).build();
+    let imbalanced = DatasetBuilder::new(15).vulnerable_count(20).vulnerable_fraction(0.04).build();
     let mb = model.evaluate(&balanced);
     let mi = model.evaluate(&imbalanced);
     assert!(

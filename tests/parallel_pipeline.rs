@@ -1,0 +1,100 @@
+//! End-to-end guarantees of the parallel, cached analysis pipeline: sharded
+//! execution is byte-identical to the sequential reference, and the
+//! content-addressed cache changes cost, never results.
+
+use vulnman::lang::AnalysisCache;
+use vulnman::prelude::*;
+use vulnman::synth::sample::Sample;
+
+fn corpus_of_200() -> Vec<Sample> {
+    let mut samples = DatasetBuilder::new(2024)
+        .vulnerable_count(25)
+        .vulnerable_fraction(0.25)
+        .duplication_factor(2)
+        .build()
+        .samples()
+        .to_vec();
+    // Add an exact-duplicate slice (vendored copies: same content, fresh
+    // ids) — the duplication the content-addressed cache exploits — and in
+    // doing so top the corpus up past 200 samples.
+    let base = samples.len();
+    let max_id = samples.iter().map(|s| s.id).max().unwrap_or(0);
+    for i in 0..80.max(200usize.saturating_sub(base)) {
+        let mut copy = samples[i % base].clone();
+        copy.id = max_id + 1 + i as u64;
+        samples.push(copy);
+    }
+    samples
+}
+
+fn engine(jobs: usize, cache: bool) -> WorkflowEngine {
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    engine_with_registry(registry, jobs, cache)
+}
+
+fn engine_with_registry(registry: DetectorRegistry, jobs: usize, cache: bool) -> WorkflowEngine {
+    WorkflowEngine::new(registry, WorkflowConfig { jobs, cache, ..Default::default() })
+}
+
+#[test]
+fn parallel_jobs4_equals_sequential_jobs1_on_200_samples() {
+    let samples = corpus_of_200();
+    assert!(samples.len() >= 200);
+    let sequential = engine(1, true).process(&samples);
+    let parallel = engine(4, true).process(&samples);
+    assert_eq!(sequential, parallel, "structural equality");
+
+    let seq_json = serde_json::to_string(&sequential).expect("serialize sequential");
+    let par_json = serde_json::to_string(&parallel).expect("serialize parallel");
+    assert_eq!(seq_json, par_json, "serialized reports must be byte-identical");
+}
+
+#[test]
+fn report_findings_follow_sample_then_detector_then_span_order() {
+    let samples = corpus_of_200();
+    let report = engine(4, true).process(&samples);
+    // Cases stay in submission order.
+    let ids: Vec<u64> = report.cases.iter().map(|c| c.sample_id).collect();
+    let expected: Vec<u64> = samples.iter().map(|s| s.id).collect();
+    assert_eq!(ids, expected);
+    // Within a case, findings are sorted by detector name then span.
+    for case in &report.cases {
+        for w in case.findings.windows(2) {
+            assert!(
+                (&w[0].detector, w[0].span) <= (&w[1].detector, w[1].span),
+                "findings out of order in case {}",
+                case.sample_id
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicated_samples_are_served_from_the_cache() {
+    let samples = corpus_of_200();
+    let e = engine(1, true);
+    e.process(&samples);
+    let stats = e.cache_stats();
+    assert!(stats.hits > 0, "duplicate-heavy corpus must produce hits: {stats:?}");
+    assert!(stats.hit_rate() > 0.3, "hit rate too low: {stats:?}");
+}
+
+#[test]
+fn cache_and_parallelism_never_change_the_report() {
+    let samples = corpus_of_200();
+    let reference = engine(1, false).process(&samples);
+    for (jobs, cache) in [(1, true), (4, false), (4, true)] {
+        let got = engine(jobs, cache).process(&samples);
+        assert_eq!(reference, got, "jobs={jobs} cache={cache}");
+    }
+}
+
+#[test]
+fn analysis_cache_is_content_addressed() {
+    let cache = AnalysisCache::new();
+    let a = cache.parse("int f() { return 1; }").expect("valid");
+    let b = cache.parse("int f() { return 1; }\r\n").expect("normalized duplicate");
+    assert_eq!(*a, *b);
+    assert_eq!(cache.stats().hits, 1);
+}

@@ -22,7 +22,12 @@ fn fuzz_campaign_matches_ground_truth_on_dynamic_classes() {
         let program = parse(&s.source).expect("parses");
         let report = campaign.run(&program);
         if s.label {
-            assert!(!report.events.is_empty(), "campaign must fault sample {}:\n{}", s.id, s.source);
+            assert!(
+                !report.events.is_empty(),
+                "campaign must fault sample {}:\n{}",
+                s.id,
+                s.source
+            );
         } else {
             assert!(report.events.is_empty(), "clean sample {} faulted: {:?}", s.id, report.events);
         }
@@ -57,11 +62,8 @@ fn scan_to_triage_queue_end_to_end() {
     let (served, backlog) = queue.drain_simulation(4, 30);
     assert_eq!(served.len() + backlog, pushed);
     // Blocking items are served no later than any Tracked item around them.
-    let first_tracked =
-        served.iter().position(|s| s.item.policy == PolicySeverity::Tracked);
-    let last_blocking = served
-        .iter()
-        .rposition(|s| s.item.policy == PolicySeverity::Blocking);
+    let first_tracked = served.iter().position(|s| s.item.policy == PolicySeverity::Tracked);
+    let last_blocking = served.iter().rposition(|s| s.item.policy == PolicySeverity::Blocking);
     if let (Some(ft), Some(lb)) = (first_tracked, last_blocking) {
         // With same-day arrivals they can interleave only across days.
         let ft_day = served[ft].served_day;

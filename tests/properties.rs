@@ -145,6 +145,50 @@ proptest! {
         prop_assert!(price_deployment(&more_tp, &params).net_value >= v0);
     }
 
+    /// `parse` is total on arbitrary damage to well-formed sources: any
+    /// truncation or byte mutation yields `Ok` or `ParseError`, never a
+    /// panic or stack overflow.
+    #[test]
+    fn parse_never_panics_on_truncated_or_mutated_source(
+        seed in any::<u64>(),
+        cwe_idx in 0usize..12,
+        cut_pct in 0u32..100,
+        mutations in prop::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let style = StyleProfile::mainstream();
+        let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+        let source = templates::generate(Cwe::ALL[cwe_idx], &mut ctx).vulnerable;
+
+        // Truncate at an arbitrary char boundary (a partial upload).
+        let cut = source.len() * cut_pct as usize / 100;
+        let cut = (0..=cut).rev().find(|&i| source.is_char_boundary(i)).unwrap_or(0);
+        let mut damaged: Vec<u8> = source.as_bytes()[..cut].to_vec();
+        // Then flip some bytes (bit rot, merge damage). Keep them ASCII so
+        // the result stays a valid str; non-UTF-8 can't reach parse(&str).
+        for &(at, with) in &mutations {
+            if !damaged.is_empty() {
+                let i = at as usize % damaged.len();
+                damaged[i] = with % 0x80;
+            }
+        }
+        let damaged = String::from_utf8(damaged).expect("ascii mutations");
+        let _ = parse(&damaged); // must return, not panic
+    }
+
+    /// Pathological nesting is rejected with an error, not a stack
+    /// overflow, whichever bracket is abused.
+    #[test]
+    fn parse_rejects_arbitrary_deep_nesting(depth in 300usize..3000, which in 0usize..3) {
+        let src = match which {
+            0 => format!("int f() {{ return {}1{}; }}", "(".repeat(depth), ")".repeat(depth)),
+            1 => format!("int f(int x) {{ return {}x; }}", "!".repeat(depth)),
+            _ => format!("void f() {{ {} x = 1; {} }}", "while (1) {".repeat(depth), "}".repeat(depth)),
+        };
+        prop_assert!(parse(&src).is_err());
+    }
+
     /// The workflow engine is a pure function of (samples, config): same
     /// inputs, same report — and the pipelined execution agrees.
     #[test]
