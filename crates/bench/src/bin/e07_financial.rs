@@ -1,4 +1,5 @@
-//! Binary wrapper for experiment `e07_financial` (pass `--quick` for a CI-sized run).
+//! Binary wrapper for experiment `e07_financial` (pass `--quick` for a CI-sized run,
+//! `--metrics-out FILE` to dump the observability snapshot as JSON).
 
 fn main() {
     let _ = vulnman_bench::experiments::e07_financial::run(vulnman_bench::quick_from_args());

@@ -1,5 +1,6 @@
 //! Binary wrapper for experiment `e20_project_scale` (pass `--quick` for a
-//! CI-sized run).
+//! CI-sized run, `--metrics-out FILE` to dump the observability snapshot
+//! as JSON).
 
 fn main() {
     let _ = vulnman_bench::experiments::e20_project_scale::run(vulnman_bench::quick_from_args());

@@ -178,6 +178,7 @@ pub fn run(quick: bool) -> vulnman_core::workflow::WorkflowReport {
         "shape check: as capacity shrinks, zero-click surfaces keep their reviews \
          longest and escapes grow — prioritization, not uniform sampling."
     );
+    crate::dump_metrics(&engine.metrics_snapshot());
     report
 }
 

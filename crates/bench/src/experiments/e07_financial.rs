@@ -31,6 +31,9 @@ pub fn run(quick: bool) -> (Vec<FinanceRow>, Vec<OperatingRow>) {
     );
     let n = if quick { 100 } else { 300 };
     let params = CostParams::default();
+    // One registry across both model loops: train/predict wall-clock per
+    // model family accumulates under `ml.<name>.*`.
+    let metrics = vulnman_obs::Registry::new();
 
     // Realistic deployment window: imbalanced stream.
     let train = DatasetBuilder::new(701).vulnerable_count(n).vulnerable_fraction(0.5).build();
@@ -50,6 +53,7 @@ pub fn run(quick: bool) -> (Vec<FinanceRow>, Vec<OperatingRow>) {
         "net value",
     ]);
     for mut model in model_zoo(29) {
+        model.attach_metrics(&metrics);
         model.train(&split.train);
         let m = model.evaluate(&eval);
         let r = price_deployment(&m, &params);
@@ -111,6 +115,7 @@ pub fn run(quick: bool) -> (Vec<FinanceRow>, Vec<OperatingRow>) {
         "net value @tuned",
     ]);
     for mut model in model_zoo(29) {
+        model.attach_metrics(&metrics);
         model.train(&split.train);
         let tune_truth: Vec<bool> = tune.iter().map(|s| s.label).collect();
         let raw_scores = model.scores(&tune);
@@ -144,6 +149,7 @@ pub fn run(quick: bool) -> (Vec<FinanceRow>, Vec<OperatingRow>) {
          products demand precision academic evaluations rarely report. Calibrated, \
          cost-tuned thresholds recover value the default 0.5 leaves on the table."
     );
+    crate::dump_metrics(&metrics.snapshot());
     (rows, op_rows)
 }
 

@@ -77,6 +77,15 @@ pub fn run(quick: bool) -> ProjectScaleResult {
     let recall = |projects: &[Project], f: &dyn Fn(&Project) -> bool| {
         projects.iter().filter(|p| f(p)).count() as f64 / projects.len() as f64
     };
+    // Per-scan wall-clock for each strategy lands in a histogram, so the
+    // `--metrics-out` snapshot carries the full latency distribution rather
+    // than only the table's per-size means.
+    let metrics = vulnman_obs::Registry::new();
+    let scanned = metrics.counter("e20.projects_scanned");
+    let hists = [
+        metrics.histogram("e20.per_unit_scan_micros"),
+        metrics.histogram("e20.whole_project_scan_micros"),
+    ];
     let mut strategies = Vec::new();
     let mut t = Table::new(vec![
         "strategy",
@@ -84,16 +93,27 @@ pub fn run(quick: bool) -> ProjectScaleResult {
         "cross-unit recall",
         "false alarms on clean",
     ]);
-    for (name, scan) in [
+    for (idx, (name, scan)) in [
         (
             "per-unit (file-level, research-style)",
             &scan_per_unit as &dyn Fn(&Project, &TaintConfig) -> bool,
         ),
         ("whole-project (industry requirement)", &scan_whole),
-    ] {
-        let ri = recall(&intra, &|p| scan(p, &config));
-        let rc = recall(&cross, &|p| scan(p, &config));
-        let fp = clean.iter().filter(|p| scan(p, &config)).count();
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let hist = &hists[idx];
+        let timed = |p: &Project| {
+            scanned.inc();
+            let t0 = Instant::now();
+            let hit = scan(p, &config);
+            hist.observe_duration(t0.elapsed());
+            hit
+        };
+        let ri = recall(&intra, &timed);
+        let rc = recall(&cross, &timed);
+        let fp = clean.iter().filter(|p| timed(p)).count();
         t.row(vec![name.into(), fmt3(ri), fmt3(rc), fp.to_string()]);
         strategies.push((name.to_string(), ri, rc, fp));
     }
@@ -111,11 +131,13 @@ pub fn run(quick: bool) -> ProjectScaleResult {
         for _ in 0..reps {
             let _ = scan_per_unit(&p, &config);
         }
+        hists[0].observe_duration(t0.elapsed() / reps as u32);
         let per_unit_ms = t0.elapsed().as_secs_f64() * 1000.0 / reps as f64;
         let t1 = Instant::now();
         for _ in 0..reps {
             let _ = scan_whole(&p, &config);
         }
+        hists[1].observe_duration(t1.elapsed() / reps as u32);
         let whole_ms = t1.elapsed().as_secs_f64() * 1000.0 / reps as f64;
         t2.row(vec![n.to_string(), fmt3(per_unit_ms), fmt3(whole_ms)]);
         scaling.push((n, per_unit_ms, whole_ms));
@@ -127,6 +149,7 @@ pub fn run(quick: bool) -> ProjectScaleResult {
          wall-time cost as projects grow, which is the scalability bill the paper \
          says industry must (and academia rarely does) account for."
     );
+    crate::dump_metrics(&metrics.snapshot());
     ProjectScaleResult { strategies, scaling }
 }
 

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use vulnman_analysis::detectors::RuleEngine;
 use vulnman_analysis::finding::Finding;
 use vulnman_ml::pipeline::DetectionModel;
+use vulnman_obs::{Counter, Histogram, Registry};
 use vulnman_synth::cwe::Cwe;
 use vulnman_synth::sample::Sample;
 
@@ -226,11 +227,25 @@ pub enum CombinePolicy {
     Majority,
 }
 
+/// Pre-resolved observability handles for one registered detector, so the
+/// hot path never formats instrument names.
+struct DetectorInstruments {
+    calls: Counter,
+    micros: Histogram,
+}
+
 /// A registry of detectors the assessment stage runs.
+///
+/// When a metrics [`Registry`] is attached (the workflow engine does this
+/// at construction), every detector invocation is counted and timed under
+/// `detector.<name>.calls` / `detector.<name>.micros`. Without one, the
+/// default no-op recorder makes instrumentation cost a predicted branch.
 #[derive(Default)]
 pub struct DetectorRegistry {
     detectors: Vec<Box<dyn Detector>>,
     policy: CombinePolicy,
+    metrics: Registry,
+    instruments: Vec<DetectorInstruments>,
 }
 
 impl std::fmt::Debug for DetectorRegistry {
@@ -259,8 +274,44 @@ impl DetectorRegistry {
 
     /// Registers a detector.
     pub fn register(&mut self, d: Box<dyn Detector>) -> &mut Self {
+        self.instruments.push(self.make_instruments(d.name()));
         self.detectors.push(d);
         self
+    }
+
+    /// Attaches a metrics registry: per-detector invocation counters and
+    /// latency histograms are (re-)registered for every detector, present
+    /// and future, so the exported schema is fixed at attach time.
+    pub fn attach_metrics(&mut self, metrics: Registry) {
+        self.metrics = metrics;
+        self.instruments = self.detectors.iter().map(|d| self.make_instruments(d.name())).collect();
+    }
+
+    /// The attached metrics registry (no-op unless
+    /// [`DetectorRegistry::attach_metrics`] was called).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    fn make_instruments(&self, name: &str) -> DetectorInstruments {
+        DetectorInstruments {
+            calls: self.metrics.counter(&format!("detector.{name}.calls")),
+            micros: self.metrics.histogram(&format!("detector.{name}.micros")),
+        }
+    }
+
+    /// Runs `assess` for the detector at `idx`, counted and timed.
+    fn observed(&self, idx: usize, assess: impl FnOnce() -> Assessment) -> Assessment {
+        let ins = &self.instruments[idx];
+        ins.calls.inc();
+        if ins.micros.is_enabled() {
+            let t0 = std::time::Instant::now();
+            let a = assess();
+            ins.micros.observe_duration(t0.elapsed());
+            a
+        } else {
+            assess()
+        }
     }
 
     /// Number of registered detectors.
@@ -279,21 +330,26 @@ impl DetectorRegistry {
     }
 
     /// Detectors applicable to a sample (scope matching the sample's CWE
-    /// when the sample declares one; unscoped detectors always run).
-    fn applicable<'a>(&'a self, sample: &'a Sample) -> impl Iterator<Item = &'a dyn Detector> {
+    /// when the sample declares one; unscoped detectors always run), with
+    /// their registration index for instrument lookup.
+    fn applicable<'a>(
+        &'a self,
+        sample: &'a Sample,
+    ) -> impl Iterator<Item = (usize, &'a dyn Detector)> {
         self.detectors
             .iter()
-            .filter(|d| match (d.scope(), sample.cwe) {
+            .enumerate()
+            .filter(|(_, d)| match (d.scope(), sample.cwe) {
                 (Some(scope), Some(cwe)) => scope.contains(&cwe),
                 (Some(_), None) => true, // scoped tools still scan unknown code
                 (None, _) => true,
             })
-            .map(|d| d.as_ref())
+            .map(|(i, d)| (i, d.as_ref()))
     }
 
     /// Runs every applicable detector.
     pub fn assess_all(&self, sample: &Sample) -> Vec<Assessment> {
-        self.applicable(sample).map(|d| d.assess(sample)).collect()
+        self.applicable(sample).map(|(i, d)| self.observed(i, || d.assess(sample))).collect()
     }
 
     /// Runs every applicable detector through a shared analysis cache.
@@ -303,7 +359,9 @@ impl DetectorRegistry {
         sample: &Sample,
         cache: &vulnman_lang::AnalysisCache,
     ) -> Vec<Assessment> {
-        self.applicable(sample).map(|d| d.assess_cached(sample, cache)).collect()
+        self.applicable(sample)
+            .map(|(i, d)| self.observed(i, || d.assess_cached(sample, cache)))
+            .collect()
     }
 
     /// Combined verdict under the registry policy, along with the individual
@@ -359,6 +417,27 @@ mod tests {
             MlDetector::new(model)
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn attached_metrics_count_and_time_detectors() {
+        let metrics = Registry::new();
+        let mut r = DetectorRegistry::new();
+        r.register(Box::new(RuleBasedDetector::standard()));
+        r.attach_metrics(metrics.clone());
+        let mut g = SampleGenerator::new(9, StyleProfile::mainstream());
+        let (v, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Simple, "p");
+        r.verdict(&v);
+        r.verdict(&v);
+        assert_eq!(metrics.counter("detector.rule-suite.calls").get(), 2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["detector.rule-suite.micros"].count, 2);
+        // Instruments exist in the schema even before the first call.
+        let mut r2 = DetectorRegistry::new();
+        r2.register(Box::new(RuleBasedDetector::standard()));
+        let m2 = Registry::new();
+        r2.attach_metrics(m2.clone());
+        assert!(m2.snapshot().counters.contains_key("detector.rule-suite.calls"));
     }
 
     #[test]

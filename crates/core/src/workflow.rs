@@ -19,6 +19,7 @@ use vulnman_analysis::finding::Finding;
 use vulnman_analysis::reachability::{CallGraph, Surface};
 use vulnman_lang::{AnalysisCache, CacheStats};
 use vulnman_ml::eval::Metrics;
+use vulnman_obs::{Registry, Snapshot};
 use vulnman_synth::sample::Sample;
 
 /// Tunables for the workflow engine.
@@ -164,7 +165,26 @@ pub struct WorkflowEngine {
     verifier: RuleEngine,
     config: WorkflowConfig,
     cache: AnalysisCache,
+    metrics: Registry,
 }
+
+/// Every instrument name the engine emits, pre-registered at construction
+/// so the exported metrics schema does not depend on which processing path
+/// (sequential, sharded, pipelined, capacity-limited) a run happens to
+/// take. Stage spans land in `span.<name>` histograms.
+const ENGINE_SPANS: [&str; 11] = [
+    "stage.assess",
+    "stage.assess.detect",
+    "stage.assess.surface",
+    "stage.review",
+    "stage.repair",
+    "pipeline.assess",
+    "pipeline.review",
+    "pipeline.repair",
+    "capacity.assess",
+    "capacity.allocate",
+    "capacity.resolve",
+];
 
 /// Output of the assessment + threat-model stages for one sample.
 struct Assessed {
@@ -196,14 +216,46 @@ impl std::fmt::Debug for WorkflowEngine {
 }
 
 impl WorkflowEngine {
-    /// Creates an engine over a detector registry.
+    /// Creates an engine over a detector registry, recording metrics into a
+    /// fresh enabled [`Registry`] (read it back via
+    /// [`WorkflowEngine::metrics`]).
     pub fn new(registry: DetectorRegistry, config: WorkflowConfig) -> Self {
+        WorkflowEngine::with_metrics(registry, config, Registry::new())
+    }
+
+    /// Creates an engine recording into `metrics` — pass
+    /// [`Registry::noop`] to strip instrumentation down to predicted
+    /// branches (the benchmark baseline), or a shared registry to fold the
+    /// engine's counters into a larger snapshot.
+    ///
+    /// The full instrument schema (stage spans, shard histograms, cache
+    /// and per-detector counters) is registered here, up front, so two
+    /// runs with different `jobs`/`cache` settings export identical metric
+    /// key sets.
+    pub fn with_metrics(
+        mut registry: DetectorRegistry,
+        config: WorkflowConfig,
+        metrics: Registry,
+    ) -> Self {
+        for span in ENGINE_SPANS {
+            metrics.histogram(&format!("span.{span}"));
+        }
+        metrics.counter("workflow.samples");
+        metrics.histogram("shard.queue_depth");
+        metrics.histogram("shard.latency_micros");
+        registry.attach_metrics(metrics.clone());
+        let cache = if config.cache {
+            AnalysisCache::with_metrics(&metrics)
+        } else {
+            AnalysisCache::disabled_with_metrics(&metrics)
+        };
         WorkflowEngine {
             registry,
             fixer: AutoFixer::new(),
             verifier: RuleEngine::default_suite(),
-            cache: if config.cache { AnalysisCache::new() } else { AnalysisCache::disabled() },
+            cache,
             config,
+            metrics,
         }
     }
 
@@ -217,9 +269,25 @@ impl WorkflowEngine {
         &self.config
     }
 
-    /// Hit/miss counters of the engine's analysis cache.
+    /// The engine's metrics registry (per-stage spans, shard histograms,
+    /// cache counters, per-detector timings).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// A frozen snapshot of every instrument.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Hit/miss counters of the engine's analysis cache, read from the
+    /// metrics registry's `cache.*` counters — the cache's single set of
+    /// bookkeeping.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        CacheStats {
+            hits: self.metrics.counter("cache.hits").get(),
+            misses: self.metrics.counter("cache.misses").get(),
+        }
     }
 
     /// Drops all memoized analysis results (e.g. between benchmark runs).
@@ -235,6 +303,7 @@ impl WorkflowEngine {
     pub fn process(&self, samples: &[Sample]) -> WorkflowReport {
         let jobs = self.config.jobs.max(1);
         if jobs == 1 || samples.len() < 2 {
+            self.metrics.counter("workflow.samples").add(samples.len() as u64);
             return Self::reduce(samples.iter().map(|s| self.assess_one(s)).collect());
         }
         self.process_sharded(samples, jobs)
@@ -247,13 +316,25 @@ impl WorkflowEngine {
     pub fn process_sharded(&self, samples: &[Sample], jobs: usize) -> WorkflowReport {
         let jobs = jobs.clamp(1, samples.len().max(1));
         let chunk = samples.len().div_ceil(jobs);
+        self.metrics.counter("workflow.samples").add(samples.len() as u64);
+        let depth = self.metrics.histogram("shard.queue_depth");
+        let latency = self.metrics.histogram("shard.latency_micros");
         let mut work: Vec<CaseWork> = Vec::with_capacity(samples.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = samples
                 .chunks(chunk.max(1))
                 .map(|shard| {
+                    let depth = depth.clone();
+                    let latency = latency.clone();
                     scope.spawn(move || {
-                        shard.iter().map(|s| self.assess_one(s)).collect::<Vec<CaseWork>>()
+                        depth.observe(shard.len() as u64);
+                        let t0 = latency.is_enabled().then(std::time::Instant::now);
+                        let out =
+                            shard.iter().map(|s| self.assess_one(s)).collect::<Vec<CaseWork>>();
+                        if let Some(t0) = t0 {
+                            latency.observe_duration(t0.elapsed());
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -270,11 +351,15 @@ impl WorkflowEngine {
     /// prioritization" requirement of Gap Observation 1. With an unlimited
     /// budget this matches [`WorkflowEngine::process`] exactly.
     pub fn process_with_capacity(&self, samples: &[Sample], budget_minutes: f64) -> WorkflowReport {
+        self.metrics.counter("workflow.samples").add(samples.len() as u64);
         let mut report = WorkflowReport::default();
         // Phase 1: automated assessment + threat model for every change.
+        let assess_span = self.metrics.span("capacity.assess");
         let assessed: Vec<(usize, Assessed)> =
             samples.iter().enumerate().map(|(i, s)| (i, self.assess_stage(s))).collect();
+        assess_span.stop();
         // Phase 2: allocate the review budget by priority.
+        let allocate_span = self.metrics.span("capacity.allocate");
         let mut candidates: Vec<&(usize, Assessed)> = assessed
             .iter()
             .filter(|(_, a)| a.surface.requires_manual_review() || a.flagged)
@@ -291,7 +376,9 @@ impl WorkflowEngine {
                 report.reviews_skipped += 1;
             }
         }
+        allocate_span.stop();
         // Phase 3: review outcomes + repair, per sample in submission order.
+        let resolve_span = self.metrics.span("capacity.resolve");
         for (i, Assessed { flagged, surface, findings }) in assessed {
             let sample = &samples[i];
             let reviewed = reviewed_set.contains(&i);
@@ -326,6 +413,7 @@ impl WorkflowEngine {
             }
             report.cases.push(outcome);
         }
+        resolve_span.stop();
         report
     }
 
@@ -341,9 +429,14 @@ impl WorkflowEngine {
         let (tx_review, rx_repair) = channel::bounded::<(Sample, Assessed, bool, bool)>(64);
         let report = Arc::new(Mutex::new(WorkflowReport::default()));
 
+        self.metrics.counter("workflow.samples").add(samples.len() as u64);
         std::thread::scope(|scope| {
             // Stage 1: automated vulnerability detection + threat model.
+            // Each stage worker runs under one span covering the batch, so
+            // the summary shows where pipeline wall-clock is spent.
+            let metrics1 = self.metrics.clone();
             scope.spawn(move || {
+                let _span = metrics1.span("pipeline.assess");
                 for sample in rx_assess {
                     let assessed = self.assess_stage(&sample);
                     if tx_assess.send((sample, assessed)).is_err() {
@@ -355,7 +448,9 @@ impl WorkflowEngine {
             // Stage 2: manual security review (gated by surface).
             let config = self.config;
             let report2 = Arc::clone(&report);
+            let metrics2 = self.metrics.clone();
             scope.spawn(move || {
+                let _span = metrics2.span("pipeline.review");
                 for (sample, assessed) in rx_review {
                     let (reviewed, catch, minutes) =
                         manual_review(&sample, assessed.flagged, assessed.surface, &config);
@@ -373,7 +468,9 @@ impl WorkflowEngine {
             let fixer = &self.fixer;
             let verifier = &self.verifier;
             let cache = &self.cache;
+            let metrics3 = self.metrics.clone();
             scope.spawn(move || {
+                let _span = metrics3.span("pipeline.repair");
                 for (sample, assessed, reviewed, catch) in rx_repair {
                     let Assessed { flagged, surface, findings } = assessed;
                     let mut outcome = CaseOutcome {
@@ -424,8 +521,13 @@ impl WorkflowEngine {
     /// for one sample, with findings merged across detectors in the
     /// deterministic (detector, span, CWE, message) order.
     fn assess_stage(&self, sample: &Sample) -> Assessed {
+        let span = self.metrics.span("stage.assess");
+        let detect = self.metrics.child_span(&span, "detect");
         let (flagged, assessments) = self.registry.verdict_cached(sample, &self.cache);
+        detect.stop();
+        let surface_span = self.metrics.child_span(&span, "surface");
         let surface = self.classify_surface(sample);
+        surface_span.stop();
         let mut findings: Vec<Finding> = assessments.into_iter().flat_map(|a| a.findings).collect();
         findings.sort_by(|a, b| {
             a.detector
@@ -463,8 +565,10 @@ impl WorkflowEngine {
         // + threat modeling / reachability analysis.
         let Assessed { flagged, surface, findings } = self.assess_stage(sample);
         // Stage 2: manual security review for exposed surfaces.
+        let review_span = self.metrics.span("stage.review");
         let (reviewed, catch, review_minutes) =
             manual_review(sample, flagged, surface, &self.config);
+        review_span.stop();
 
         let mut outcome = CaseOutcome {
             sample_id: sample.id,
@@ -483,8 +587,10 @@ impl WorkflowEngine {
         let mut repair_minutes = 0.0;
         let mut expert_hours = 0.0;
         if outcome.detected() && sample.label {
+            let repair_span = self.metrics.span("stage.repair");
             let (channel_used, patched, analyst_min, expert_h) =
                 repair(sample, &self.fixer, &self.verifier, &self.config, &self.cache);
+            repair_span.stop();
             repair_minutes = analyst_min;
             expert_hours = expert_h;
             outcome.repaired_via = Some(channel_used);
@@ -846,6 +952,55 @@ mod tests {
             }
         }
         assert!(saw_findings, "some cases should have findings");
+    }
+
+    #[test]
+    fn metrics_capture_stage_spans_and_cache_counters() {
+        let samples = corpus();
+        let e = engine();
+        e.process(&samples);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.counters["workflow.samples"], samples.len() as u64);
+        assert_eq!(snap.histograms["span.stage.assess"].count, samples.len() as u64);
+        assert_eq!(snap.histograms["span.stage.assess.detect"].count, samples.len() as u64);
+        assert!(snap.histograms["span.stage.repair"].count > 0);
+        assert_eq!(snap.spans_started, snap.spans_stopped, "spans balanced");
+        // cache_stats reads the same registry counters — one source of truth.
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, snap.counters["cache.hits"]);
+        assert_eq!(stats.misses, snap.counters["cache.misses"]);
+        assert!(snap.counters["detector.rule-suite.calls"] >= samples.len() as u64);
+    }
+
+    #[test]
+    fn metrics_schema_is_path_and_config_independent() {
+        let samples = corpus();
+        let seq = engine_with(1, true);
+        seq.process(&samples);
+        let sharded = engine_with(4, true);
+        sharded.process(&samples);
+        let uncached = engine_with(1, false);
+        uncached.process(&samples);
+        let schema = seq.metrics_snapshot().schema();
+        assert_eq!(schema, sharded.metrics_snapshot().schema());
+        assert_eq!(schema, uncached.metrics_snapshot().schema());
+        // Sharded runs populate the pre-registered shard histograms.
+        assert!(sharded.metrics_snapshot().histograms["shard.queue_depth"].count > 0);
+        assert_eq!(seq.metrics_snapshot().histograms["shard.queue_depth"].count, 0);
+    }
+
+    #[test]
+    fn noop_recorder_changes_nothing_but_records_nothing() {
+        let samples = corpus();
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        let noop =
+            WorkflowEngine::with_metrics(registry, WorkflowConfig::default(), Registry::noop());
+        let a = noop.process(&samples);
+        let b = engine().process(&samples);
+        assert_eq!(a, b, "recording must never change results");
+        assert!(noop.metrics_snapshot().counters.is_empty());
+        assert_eq!(noop.cache_stats(), CacheStats::default());
     }
 
     #[test]

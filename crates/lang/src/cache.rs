@@ -25,10 +25,12 @@ use crate::ast::Program;
 use crate::error::ParseError;
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use vulnman_obs::{Counter, Gauge, Registry};
 
-/// Hit/miss counters for one cache.
+/// Hit/miss counters for one cache: a point-in-time view read from the
+/// cache's observability counters (`cache.hits` / `cache.misses` in the
+/// attached [`Registry`]), which are the single source of truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -53,12 +55,20 @@ impl CacheStats {
 type AnalysisKey = (u64, &'static str, u64);
 
 /// A thread-safe, content-addressed cache of parse and analysis results.
+///
+/// Accounting (hits, misses, evictions, resident source bytes) is reported
+/// through [`vulnman_obs`] instruments — pass a shared [`Registry`] via
+/// [`AnalysisCache::with_metrics`] to fold the cache's counters into a
+/// pipeline-wide snapshot, or use [`AnalysisCache::new`] for a standalone
+/// cache with its own private registry.
 pub struct AnalysisCache {
     enabled: bool,
     parses: Mutex<HashMap<u64, Result<Arc<Program>, ParseError>>>,
     analyses: Mutex<HashMap<AnalysisKey, Arc<dyn Any + Send + Sync>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    bytes: Gauge,
 }
 
 impl Default for AnalysisCache {
@@ -79,14 +89,25 @@ impl std::fmt::Debug for AnalysisCache {
 }
 
 impl AnalysisCache {
-    /// Creates an empty, enabled cache.
+    /// Creates an empty, enabled cache with its own private metrics
+    /// registry.
     pub fn new() -> Self {
+        AnalysisCache::with_metrics(&Registry::new())
+    }
+
+    /// Creates an empty, enabled cache reporting through `metrics` under
+    /// the `cache.*` instrument names (`cache.hits`, `cache.misses`,
+    /// `cache.evictions` counters and the `cache.bytes` gauge of resident
+    /// cached source bytes).
+    pub fn with_metrics(metrics: &Registry) -> Self {
         AnalysisCache {
             enabled: true,
             parses: Mutex::new(HashMap::new()),
             analyses: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: metrics.counter("cache.hits"),
+            misses: metrics.counter("cache.misses"),
+            evictions: metrics.counter("cache.evictions"),
+            bytes: metrics.gauge("cache.bytes"),
         }
     }
 
@@ -94,7 +115,13 @@ impl AnalysisCache {
     /// is stored. Used as the baseline in benchmarks and when a run must not
     /// retain source-derived state.
     pub fn disabled() -> Self {
-        AnalysisCache { enabled: false, ..AnalysisCache::new() }
+        AnalysisCache::disabled_with_metrics(&Registry::new())
+    }
+
+    /// A pass-through cache reporting its (all-miss) lookup volume through
+    /// `metrics`, so baselines can still export comparable counters.
+    pub fn disabled_with_metrics(metrics: &Registry) -> Self {
+        AnalysisCache { enabled: false, ..AnalysisCache::with_metrics(metrics) }
     }
 
     /// Whether lookups are served from storage.
@@ -103,20 +130,28 @@ impl AnalysisCache {
     }
 
     /// Current hit/miss counters (counted even when disabled, so baselines
-    /// can report their would-be lookup volume).
+    /// can report their would-be lookup volume). Reads the `cache.*`
+    /// counters of the attached registry — there is no second set of
+    /// bookkeeping.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        CacheStats { hits: self.hits.get(), misses: self.misses.get() }
     }
 
-    /// Drops all stored results and resets the counters.
+    /// Drops all stored results and resets the hit/miss counters (a
+    /// lifecycle boundary, e.g. between benchmark runs). Dropped entries
+    /// are recorded on the `cache.evictions` counter and the resident-byte
+    /// gauge returns to zero.
     pub fn clear(&self) {
-        self.parses.lock().unwrap_or_else(|e| e.into_inner()).clear();
-        self.analyses.lock().unwrap_or_else(|e| e.into_inner()).clear();
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        let mut parses = self.parses.lock().unwrap_or_else(|e| e.into_inner());
+        let mut analyses = self.analyses.lock().unwrap_or_else(|e| e.into_inner());
+        self.evictions.add((parses.len() + analyses.len()) as u64);
+        parses.clear();
+        analyses.clear();
+        drop(parses);
+        drop(analyses);
+        self.bytes.set(0);
+        self.hits.reset();
+        self.misses.reset();
     }
 
     /// The content address of `source`: a 64-bit hash of the normalized
@@ -164,19 +199,23 @@ impl AnalysisCache {
     /// fast without re-lexing.
     pub fn parse(&self, source: &str) -> Result<Arc<Program>, ParseError> {
         if !self.enabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return crate::parser::parse(source).map(Arc::new);
         }
         let key = Self::content_key(source);
         if let Some(cached) = self.parses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return cached.clone();
         }
         // Compute outside the lock; a concurrent shard may duplicate the
         // parse of a brand-new key, but both produce identical values.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let result = crate::parser::parse(source).map(Arc::new);
-        self.parses.lock().unwrap_or_else(|e| e.into_inner()).insert(key, result.clone());
+        let prev =
+            self.parses.lock().unwrap_or_else(|e| e.into_inner()).insert(key, result.clone());
+        if prev.is_none() {
+            self.bytes.add(source.len() as i64);
+        }
         result
     }
 
@@ -198,17 +237,17 @@ impl AnalysisCache {
         F: FnOnce() -> T,
     {
         if !self.enabled {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return Arc::new(compute());
         }
         let key = (Self::content_key(source), kind, config_key);
         if let Some(cached) = self.analyses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             if let Ok(typed) = Arc::downcast::<T>(Arc::clone(cached)) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return typed;
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let value = Arc::new(compute());
         self.analyses
             .lock()
@@ -313,5 +352,31 @@ mod tests {
     fn hit_rate_is_sane() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         assert_eq!(CacheStats { hits: 3, misses: 1 }.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn shared_registry_is_the_source_of_truth() {
+        let metrics = Registry::new();
+        let cache = AnalysisCache::with_metrics(&metrics);
+        cache.parse(SRC).unwrap();
+        cache.parse(SRC).unwrap();
+        // The registry's counters and stats() agree — same atomics.
+        assert_eq!(metrics.counter("cache.hits").get(), 1);
+        assert_eq!(metrics.counter("cache.misses").get(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // Resident bytes track stored parse sources; clear evicts and zeroes.
+        assert_eq!(metrics.gauge("cache.bytes").get(), SRC.len() as i64);
+        cache.clear();
+        assert_eq!(metrics.counter("cache.evictions").get(), 1);
+        assert_eq!(metrics.gauge("cache.bytes").get(), 0);
+    }
+
+    #[test]
+    fn noop_registry_cache_still_caches_but_reports_nothing() {
+        let cache = AnalysisCache::with_metrics(&Registry::noop());
+        let a = cache.parse(SRC).unwrap();
+        let b = cache.parse(SRC).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "storage works regardless of recording");
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 }

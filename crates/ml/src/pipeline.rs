@@ -26,6 +26,12 @@ pub struct DetectionModel {
     // `fine_tune`).
     seen_x: Vec<Vec<f64>>,
     seen_y: Vec<bool>,
+    // Observability handles (no-op unless `attach_metrics` was called):
+    // train/predict wall-clock and prediction volume under
+    // `ml.<name>.{train_micros, predict_micros, predictions}`.
+    train_micros: vulnman_obs::Histogram,
+    predict_micros: vulnman_obs::Histogram,
+    predictions: vulnman_obs::Counter,
 }
 
 impl std::fmt::Debug for DetectionModel {
@@ -53,12 +59,24 @@ impl DetectionModel {
             trained: false,
             seen_x: Vec::new(),
             seen_y: Vec::new(),
+            train_micros: vulnman_obs::Histogram::default(),
+            predict_micros: vulnman_obs::Histogram::default(),
+            predictions: vulnman_obs::Counter::default(),
         }
     }
 
     /// Display name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Attaches a metrics registry: training and prediction wall-clock land
+    /// in `ml.<name>.train_micros` / `ml.<name>.predict_micros` histograms
+    /// and prediction volume on the `ml.<name>.predictions` counter.
+    pub fn attach_metrics(&mut self, metrics: &vulnman_obs::Registry) {
+        self.train_micros = metrics.histogram(&format!("ml.{}.train_micros", self.name));
+        self.predict_micros = metrics.histogram(&format!("ml.{}.predict_micros", self.name));
+        self.predictions = metrics.counter(&format!("ml.{}.predictions", self.name));
     }
 
     /// Returns `true` once the model has been trained.
@@ -73,11 +91,15 @@ impl DetectionModel {
     ///
     /// Panics if `data` is empty.
     pub fn train(&mut self, data: &Dataset) {
+        let t0 = self.train_micros.is_enabled().then(std::time::Instant::now);
         let (x, y) = self.matrix(data);
         self.classifier.fit(&x, &y);
         self.seen_x = x;
         self.seen_y = y;
         self.trained = true;
+        if let Some(t0) = t0 {
+            self.train_micros.observe_duration(t0.elapsed());
+        }
     }
 
     /// Continues training on new data (fine-tuning / customization,
@@ -93,11 +115,15 @@ impl DetectionModel {
     ///
     /// Panics if `data` is empty.
     pub fn fine_tune(&mut self, data: &Dataset) {
+        let t0 = self.train_micros.is_enabled().then(std::time::Instant::now);
         let (x, y) = self.matrix(data);
         self.seen_x.extend(x);
         self.seen_y.extend(y);
         self.classifier.fit(&self.seen_x.clone(), &self.seen_y.clone());
         self.trained = true;
+        if let Some(t0) = t0 {
+            self.train_micros.observe_duration(t0.elapsed());
+        }
     }
 
     fn matrix(&self, data: &Dataset) -> (Vec<Vec<f64>>, Vec<bool>) {
@@ -108,7 +134,13 @@ impl DetectionModel {
 
     /// Probability the sample is vulnerable.
     pub fn predict_proba(&self, sample: &Sample) -> f64 {
-        self.classifier.predict_proba(&self.features.extract(sample))
+        self.predictions.inc();
+        let t0 = self.predict_micros.is_enabled().then(std::time::Instant::now);
+        let p = self.classifier.predict_proba(&self.features.extract(sample));
+        if let Some(t0) = t0 {
+            self.predict_micros.observe_duration(t0.elapsed());
+        }
+        p
     }
 
     /// Hard prediction at the 0.5 threshold.
@@ -254,6 +286,27 @@ mod tests {
         for s in ds.iter().take(10) {
             assert_eq!(m.predict(s), m.predict_proba(s) >= 0.5);
         }
+    }
+
+    #[test]
+    fn attached_metrics_record_training_and_predictions() {
+        let ds = corpus(9);
+        let metrics = vulnman_obs::Registry::new();
+        let mut m = model_zoo(1).remove(0);
+        m.attach_metrics(&metrics);
+        m.train(&ds);
+        let n_pred = 10;
+        for s in ds.iter().take(n_pred) {
+            m.predict(s);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["ml.token-lr.train_micros"].count, 1);
+        assert_eq!(snap.histograms["ml.token-lr.predict_micros"].count, n_pred as u64);
+        assert_eq!(snap.counters["ml.token-lr.predictions"], n_pred as u64);
+        // Fine-tuning lands in the same training histogram.
+        m.fine_tune(&ds);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["ml.token-lr.train_micros"].count, 2);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Deterministic snapshot and export formats (JSON via serde, Prometheus
+//! text exposition, human-readable summary table).
+
+use crate::histogram::BUCKET_BOUNDS;
+use crate::registry::Registry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; the last entry is the overflow
+    /// bucket above the largest bound in [`BUCKET_BOUNDS`].
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values (microseconds for latency histograms).
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A frozen, serializable view of every instrument in a [`Registry`].
+///
+/// All tables are `BTreeMap`s, so serialization order — and therefore the
+/// exported JSON and Prometheus text — is deterministic for a given set of
+/// instrument names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name (spans appear as `span.<name>`).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Total spans started.
+    pub spans_started: u64,
+    /// Total spans stopped.
+    pub spans_stopped: u64,
+}
+
+impl Snapshot {
+    pub(crate) fn capture(registry: &Registry) -> Snapshot {
+        let Some(inner) = registry.inner() else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, core)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        buckets: core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                        sum: core.sum.load(Ordering::Relaxed),
+                        count: core.count.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans_started: inner.spans_started.load(Ordering::Relaxed),
+            spans_stopped: inner.spans_stopped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A copy with every timing-derived value zeroed: histogram sums and
+    /// bucket distributions are dropped, observation *counts* are kept.
+    /// Two runs of the same deterministic workload produce identical
+    /// normalized snapshots regardless of machine speed, which is what the
+    /// golden determinism tests compare.
+    pub fn normalized(&self) -> Snapshot {
+        let mut out = self.clone();
+        for h in out.histograms.values_mut() {
+            h.sum = 0;
+            h.buckets = vec![0; h.buckets.len()];
+        }
+        out
+    }
+
+    /// Every instrument name in the snapshot, sorted: the metrics schema.
+    pub fn schema(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .counters
+            .keys()
+            .map(|k| format!("counter:{k}"))
+            .chain(self.gauges.keys().map(|k| format!("gauge:{k}")))
+            .chain(self.histograms.keys().map(|k| format!("histogram:{k}")))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    ///
+    /// Instrument names are sanitized to `[a-zA-Z0-9_]` (dots and dashes
+    /// become underscores) and histograms expose the conventional
+    /// `_bucket{le=…}`, `_sum`, `_count` series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, count) in h.buckets.iter().enumerate() {
+                cumulative += count;
+                let le = match BUCKET_BOUNDS.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out.push_str(&format!(
+            "# TYPE spans_started counter\nspans_started {}\n\
+             # TYPE spans_stopped counter\nspans_stopped {}\n",
+            self.spans_started, self.spans_stopped
+        ));
+        out
+    }
+
+    /// Renders a compact human-readable summary: per-stage span timings,
+    /// then counters and gauges. Printed at the end of workflow runs.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let spans: Vec<(&String, &HistogramSnapshot)> =
+            self.histograms.iter().filter(|(k, _)| k.starts_with("span.")).collect();
+        if !spans.is_empty() {
+            out.push_str(&format!(
+                "{:<38} {:>9} {:>12} {:>12}\n",
+                "span", "count", "total ms", "mean µs"
+            ));
+            for (name, h) in spans {
+                out.push_str(&format!(
+                    "{:<38} {:>9} {:>12.2} {:>12.1}\n",
+                    &name["span.".len()..],
+                    h.count,
+                    h.sum as f64 / 1_000.0,
+                    h.mean()
+                ));
+            }
+        }
+        let plain: Vec<(&String, &HistogramSnapshot)> =
+            self.histograms.iter().filter(|(k, _)| !k.starts_with("span.")).collect();
+        if !plain.is_empty() {
+            out.push_str(&format!(
+                "{:<38} {:>9} {:>12} {:>12}\n",
+                "histogram", "count", "sum", "mean"
+            ));
+            for (name, h) in plain {
+                out.push_str(&format!(
+                    "{:<38} {:>9} {:>12} {:>12.1}\n",
+                    name,
+                    h.count,
+                    h.sum,
+                    h.mean()
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<38} {:>9}\n", "counter", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<38} {v:>9}\n"));
+            }
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<38} {v:>9} (gauge)\n"));
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Registry {
+        let r = Registry::new();
+        r.counter("cache.hits").add(7);
+        r.counter("cache.misses").add(3);
+        r.gauge("cache.bytes").set(1024);
+        let h = r.histogram("shard.latency_micros");
+        h.observe(5);
+        h.observe(300);
+        let s = r.span("stage.assess");
+        s.stop();
+        r
+    }
+
+    #[test]
+    fn snapshot_captures_everything() {
+        let snap = populated().snapshot();
+        assert_eq!(snap.counters["cache.hits"], 7);
+        assert_eq!(snap.gauges["cache.bytes"], 1024);
+        assert_eq!(snap.histograms["shard.latency_micros"].count, 2);
+        assert_eq!(snap.histograms["span.stage.assess"].count, 1);
+        assert_eq!(snap.spans_started, 1);
+        assert_eq!(snap.spans_stopped, 1);
+    }
+
+    #[test]
+    fn normalized_zeroes_timings_keeps_counts() {
+        let snap = populated().snapshot();
+        let norm = snap.normalized();
+        let h = &norm.histograms["shard.latency_micros"];
+        assert_eq!(h.sum, 0);
+        assert!(h.buckets.iter().all(|&b| b == 0));
+        assert_eq!(h.count, 2);
+        assert_eq!(norm.counters, snap.counters);
+        assert_eq!(norm.schema(), snap.schema());
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = populated().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE cache_hits counter"));
+        assert!(text.contains("cache_hits 7"));
+        assert!(text.contains("# TYPE span_stage_assess histogram"));
+        assert!(text.contains("span_stage_assess_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("span_stage_assess_count 1"));
+        // Cumulative buckets: the +Inf bucket equals the count.
+        for line in text.lines() {
+            assert!(!line.contains('.') || line.starts_with('#'), "sanitized: {line}");
+        }
+    }
+
+    #[test]
+    fn summary_mentions_spans_and_counters() {
+        let s = populated().snapshot().render_summary();
+        assert!(s.contains("stage.assess"));
+        assert!(s.contains("cache.hits"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixed-bucket latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bounds (inclusive) of the fixed buckets, in the unit observed —
+/// microseconds for every latency histogram in this workspace. Powers of
+/// two from 1 µs to 512 ms; values above the last bound land in the
+/// implicit overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 20] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536,
+    131_072, 262_144, 524_288,
+];
+
+/// Number of buckets including the overflow bucket.
+pub(crate) const BUCKETS: usize = BUCKET_BOUNDS.len() + 1;
+
+/// Lock-free histogram storage: per-bucket counts plus sum and count.
+pub(crate) struct HistogramCore {
+    pub(crate) buckets: [AtomicU64; BUCKETS],
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    pub(crate) fn observe(&self, value: u64) {
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A clonable handle to one fixed-bucket histogram.
+///
+/// Handles from a noop registry discard observations.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+    }
+}
+
+impl Histogram {
+    pub(crate) fn from_core(core: Option<Arc<HistogramCore>>) -> Self {
+        Histogram(core)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.observe(value);
+        }
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        match &self.0 {
+            Some(core) => core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            None => vec![0; BUCKETS],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_bucket() {
+        let h = Histogram::from_core(Some(Arc::new(HistogramCore::default())));
+        h.observe(1); // bucket 0 (<= 1)
+        h.observe(3); // bucket 2 (<= 4)
+        h.observe(1_000_000); // overflow
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(counts[BUCKETS - 1], 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_000_004);
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_count() {
+        let h = Histogram::from_core(Some(Arc::new(HistogramCore::default())));
+        for v in [0, 1, 2, 5, 77, 512, 513, u64::MAX / 2] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        h.observe(10);
+        assert_eq!(h.mean(), 0.0, "noop handle never records");
+    }
+
+    #[test]
+    fn duration_is_recorded_in_micros() {
+        let h = Histogram::from_core(Some(Arc::new(HistogramCore::default())));
+        h.observe_duration(Duration::from_millis(3));
+        assert_eq!(h.sum(), 3_000);
+    }
+}

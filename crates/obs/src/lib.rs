@@ -1,0 +1,38 @@
+//! # vulnman-obs
+//!
+//! Pipeline observability for the workflow engine: a lock-cheap metrics
+//! registry (monotonic counters, gauges, fixed-bucket latency histograms)
+//! plus hierarchical wall-clock spans with explicit start/stop.
+//!
+//! The paper's Figure-1 pipeline is an *industrial* workflow whose
+//! operating costs — review hours, per-stage throughput, cache behaviour —
+//! drive every gap observation. This crate makes those costs visible
+//! without perturbing them:
+//!
+//! * **Hot-path cost is a handful of relaxed atomic ops.** Instruments are
+//!   resolved to `Arc`'d atomics once (at registration) and then updated
+//!   lock-free; the registry's `Mutex` is touched only when a new name is
+//!   first registered or a snapshot is taken.
+//! * **A [`Registry::noop`] registry compiles instrumentation down to a
+//!   branch on a `None`.** Every handle holds `Option<Arc<...>>`; in noop
+//!   mode nothing is allocated, no clock is read, and no atomic is touched,
+//!   so disabled instrumentation costs near-zero.
+//! * **Exports are deterministic.** [`Snapshot`] stores every table as a
+//!   `BTreeMap`, serializes to stable JSON via serde, renders Prometheus
+//!   text exposition format, and [`Snapshot::normalized`] zeroes all
+//!   timing-derived values so two runs of the same corpus can be compared
+//!   structurally (schema + deterministic counts) in golden tests.
+//!
+//! No external dependencies beyond the workspace's vendored `serde` shim.
+
+#![warn(missing_docs)]
+
+mod export;
+mod histogram;
+mod registry;
+mod span;
+
+pub use export::{HistogramSnapshot, Snapshot};
+pub use histogram::{Histogram, BUCKET_BOUNDS};
+pub use registry::{Counter, Gauge, Registry};
+pub use span::Span;

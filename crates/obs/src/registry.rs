@@ -1,0 +1,258 @@
+//! The metrics registry and its scalar instruments.
+
+use crate::export::Snapshot;
+use crate::histogram::{Histogram, HistogramCore};
+use crate::span::Span;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event counter.
+///
+/// Handles are cheap clones of one shared atomic; a handle from a
+/// [`Registry::noop`] registry ignores every update.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for noop handles).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Resets the counter to zero.
+    ///
+    /// Counters are monotonic during normal operation; reset exists only
+    /// for lifecycle boundaries (cache clears between benchmark runs,
+    /// test isolation) and is never called on the hot path.
+    pub fn reset(&self) {
+        if let Some(c) = &self.0 {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An instantaneous signed value (queue depth, resident bytes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds to the gauge (negative deltas allowed).
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for noop handles).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage behind an enabled registry.
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    /// Span bookkeeping for the balance invariant: every started span is
+    /// eventually stopped (explicitly or by its drop guard).
+    pub(crate) spans_started: AtomicU64,
+    pub(crate) spans_stopped: AtomicU64,
+}
+
+/// A clonable handle to one metrics domain.
+///
+/// All clones share storage, so instruments registered by one component
+/// (the analysis cache, the detector registry, the ML pipeline) land in the
+/// same snapshot. Instrument names are dot-separated paths; span names form
+/// the hierarchy (`stage.assess`, `stage.assess.detect`, …).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled, empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// Creates the no-op recorder: every instrument it hands out discards
+    /// updates without reading the clock or touching memory.
+    pub fn noop() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-fetches) a counter by name.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Registers (or re-fetches) a gauge by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .gauges
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Registers (or re-fetches) a fixed-bucket histogram by name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram::from_core(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Starts a wall-clock span. Stop it explicitly with [`Span::stop`];
+    /// an unstopped span records itself when dropped, so start/stop is
+    /// always balanced. The elapsed time lands in the histogram
+    /// `span.<name>` (microseconds).
+    pub fn span(&self, name: &str) -> Span {
+        Span::start(self, name)
+    }
+
+    /// Starts a child span `parent.name` under an existing span's name.
+    pub fn child_span(&self, parent: &Span, name: &str) -> Span {
+        match parent.name() {
+            Some(p) => Span::start(self, &format!("{p}.{name}")),
+            None => Span::start(self, name),
+        }
+    }
+
+    pub(crate) fn inner(&self) -> Option<&Arc<Inner>> {
+        self.inner.as_ref()
+    }
+
+    /// Number of spans started so far.
+    pub fn spans_started(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.spans_started.load(Ordering::Relaxed))
+    }
+
+    /// Number of spans stopped so far.
+    pub fn spans_stopped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.spans_stopped.load(Ordering::Relaxed))
+    }
+
+    /// Captures the current state of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.add(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn noop_registry_discards_everything() {
+        let r = Registry::noop();
+        assert!(!r.is_enabled());
+        let c = r.counter("x");
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = r.gauge("g");
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        let h = r.histogram("h");
+        h.observe(1);
+        assert_eq!(h.count(), 0);
+        let s = r.span("anything");
+        s.stop();
+        assert_eq!(r.spans_started(), 0);
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("shared").inc();
+        assert_eq!(r2.counter("shared").get(), 1);
+        assert_eq!(r2.snapshot().counters.get("shared"), Some(&1));
+    }
+
+    #[test]
+    fn counter_reset_is_explicit_only() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(9);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Hierarchical wall-clock spans.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running wall-clock span.
+///
+/// Created by [`Registry::span`]; elapsed time is recorded into the
+/// histogram `span.<name>` (microseconds) when the span is stopped.
+/// Stopping is explicit ([`Span::stop`]) but guaranteed: a span dropped
+/// without an explicit stop records itself from its drop guard, so the
+/// start/stop balance invariant holds even across early returns and
+/// panics. Spans from a noop registry never read the clock.
+pub struct Span {
+    name: Option<String>,
+    hist: Histogram,
+    inner: Option<Arc<crate::registry::Inner>>,
+    started_at: Option<Instant>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("name", &self.name).finish()
+    }
+}
+
+impl Span {
+    pub(crate) fn start(registry: &Registry, name: &str) -> Span {
+        match registry.inner() {
+            None => Span { name: None, hist: Histogram::default(), inner: None, started_at: None },
+            Some(inner) => {
+                inner.spans_started.fetch_add(1, Ordering::Relaxed);
+                Span {
+                    name: Some(name.to_string()),
+                    hist: registry.histogram(&format!("span.{name}")),
+                    inner: Some(Arc::clone(inner)),
+                    started_at: Some(Instant::now()),
+                }
+            }
+        }
+    }
+
+    /// The span's name (`None` for noop spans).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Stops the span, recording its elapsed wall-clock time.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(t0) = self.started_at.take() {
+            self.hist.observe_duration(t0.elapsed());
+            if let Some(inner) = &self.inner {
+                inner.spans_stopped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_stop_records_once() {
+        let r = Registry::new();
+        let s = r.span("work");
+        s.stop();
+        assert_eq!(r.spans_started(), 1);
+        assert_eq!(r.spans_stopped(), 1);
+        assert_eq!(r.histogram("span.work").count(), 1);
+    }
+
+    #[test]
+    fn drop_guard_balances_unstopped_spans() {
+        let r = Registry::new();
+        {
+            let _s = r.span("scoped");
+        }
+        assert_eq!(r.spans_started(), r.spans_stopped());
+        assert_eq!(r.histogram("span.scoped").count(), 1);
+    }
+
+    #[test]
+    fn child_spans_nest_by_name() {
+        let r = Registry::new();
+        let parent = r.span("stage");
+        let child = r.child_span(&parent, "parse");
+        assert_eq!(child.name(), Some("stage.parse"));
+        child.stop();
+        parent.stop();
+        assert_eq!(r.histogram("span.stage.parse").count(), 1);
+        assert_eq!(r.histogram("span.stage").count(), 1);
+        assert_eq!(r.spans_started(), 2);
+        assert_eq!(r.spans_stopped(), 2);
+    }
+
+    #[test]
+    fn panic_unwinding_still_stops_spans() {
+        let r = Registry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _s = r.span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(r.spans_started(), r.spans_stopped());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the observability invariants: random sequences of
+//! instrument events must never violate the accounting the exporters (and
+//! the golden determinism tests) rely on.
+
+use proptest::prelude::*;
+use vulnman_obs::{Registry, Snapshot, BUCKET_BOUNDS};
+
+/// One randomly generated instrument event.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    CounterAdd(u64),
+    GaugeAdd(i64),
+    Observe(u64),
+    Span,
+}
+
+fn decode(code: u64) -> Event {
+    // Four event kinds, payload derived from the upper bits. Payloads are
+    // kept small enough that no u64 accumulator can overflow within a run.
+    let payload = code >> 2;
+    match code % 4 {
+        0 => Event::CounterAdd(payload % 1_000),
+        1 => Event::GaugeAdd((payload % 2_000) as i64 - 1_000),
+        2 => Event::Observe(payload % 2_000_000),
+        _ => Event::Span,
+    }
+}
+
+fn apply(registry: &Registry, events: &[u64]) {
+    let counter = registry.counter("prop.counter");
+    let gauge = registry.gauge("prop.gauge");
+    let hist = registry.histogram("prop.hist");
+    for &code in events {
+        match decode(code) {
+            Event::CounterAdd(n) => counter.add(n),
+            Event::GaugeAdd(n) => gauge.add(n),
+            Event::Observe(v) => hist.observe(v),
+            Event::Span => registry.span("prop.span").stop(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counters are monotone, gauges sum their deltas, histogram bucket
+    /// counts always sum to the observation count, and spans are balanced —
+    /// for any event sequence.
+    #[test]
+    fn instrument_accounting_holds(events in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let registry = Registry::new();
+        let mut expected_counter = 0u64;
+        let mut expected_gauge = 0i64;
+        let mut expected_obs: Vec<u64> = Vec::new();
+        let mut expected_spans = 0u64;
+        let mut last_counter = 0u64;
+        // Pre-register every instrument (the schema-stability discipline the
+        // engine follows) so empty sequences still export all keys.
+        let counter = registry.counter("prop.counter");
+        let gauge = registry.gauge("prop.gauge");
+        let hist = registry.histogram("prop.hist");
+        registry.span("prop.span").stop();
+        expected_spans += 1;
+        for &code in &events {
+            match decode(code) {
+                Event::CounterAdd(n) => { counter.add(n); expected_counter += n; }
+                Event::GaugeAdd(n) => { gauge.add(n); expected_gauge += n; }
+                Event::Observe(v) => { hist.observe(v); expected_obs.push(v); }
+                Event::Span => { registry.span("prop.span").stop(); expected_spans += 1; }
+            }
+            // Monotonicity: the counter never decreases between events.
+            let now = counter.get();
+            prop_assert!(now >= last_counter, "counter went backwards: {last_counter} -> {now}");
+            last_counter = now;
+        }
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counters["prop.counter"], expected_counter);
+        prop_assert_eq!(snap.gauges["prop.gauge"], expected_gauge);
+        let h = &snap.histograms["prop.hist"];
+        prop_assert_eq!(h.count, expected_obs.len() as u64);
+        prop_assert_eq!(h.sum, expected_obs.iter().sum::<u64>());
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count,
+            "bucket counts must sum to the observation count");
+        // Each observation landed in exactly the right bucket.
+        let mut expected_buckets = vec![0u64; BUCKET_BOUNDS.len() + 1];
+        for &v in &expected_obs {
+            expected_buckets[BUCKET_BOUNDS.partition_point(|&b| b < v)] += 1;
+        }
+        prop_assert_eq!(&h.buckets, &expected_buckets);
+        // Span balance: every started span was stopped (explicitly or by its
+        // drop guard), and each stop produced one histogram entry.
+        prop_assert_eq!(snap.spans_started, expected_spans);
+        prop_assert_eq!(snap.spans_stopped, expected_spans);
+        prop_assert_eq!(snap.histograms["span.prop.span"].count, expected_spans);
+    }
+
+    /// The same event sequence against a noop registry records nothing and
+    /// exports an empty snapshot — the "disabled means free" contract.
+    #[test]
+    fn noop_registry_stays_empty(events in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let registry = Registry::noop();
+        apply(&registry, &events);
+        let snap = registry.snapshot();
+        prop_assert!(snap.counters.is_empty());
+        prop_assert!(snap.gauges.is_empty());
+        prop_assert!(snap.histograms.is_empty());
+        prop_assert_eq!(snap.spans_started, 0);
+        prop_assert_eq!(snap.spans_stopped, 0);
+    }
+
+    /// Snapshots survive a JSON round-trip exactly, and normalization is
+    /// idempotent and schema-preserving.
+    #[test]
+    fn snapshot_round_trips_through_json(events in proptest::collection::vec(any::<u64>(), 0..150)) {
+        let registry = Registry::new();
+        apply(&registry, &events);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &snap);
+        let norm = snap.normalized();
+        prop_assert_eq!(&norm.normalized(), &norm, "normalized() must be idempotent");
+        prop_assert_eq!(norm.schema(), snap.schema());
+        // Prometheus rendering never emits unsanitized instrument names.
+        for line in snap.to_prometheus().lines() {
+            prop_assert!(line.starts_with('#') || !line.contains('.'), "unsanitized: {}", line);
+        }
+    }
+
+    /// Cloned handles share state: parallel-looking updates through clones
+    /// are all visible in one snapshot.
+    #[test]
+    fn cloned_handles_share_state(adds in proptest::collection::vec(1u64..100, 1..20)) {
+        let registry = Registry::new();
+        let a = registry.counter("prop.shared");
+        let b = registry.counter("prop.shared");
+        let mut total = 0;
+        for (i, &n) in adds.iter().enumerate() {
+            if i % 2 == 0 { a.add(n) } else { b.add(n) }
+            total += n;
+        }
+        prop_assert_eq!(a.get(), total);
+        prop_assert_eq!(b.get(), total);
+        prop_assert_eq!(registry.snapshot().counters["prop.shared"], total);
+    }
+}

@@ -46,6 +46,48 @@ pub fn near_duplicate<R: Rng>(source: &str, rng: &mut R) -> Option<String> {
     Some(print_program(&program))
 }
 
+/// Metamorphic transform: deterministic alpha-rename of every parameter and
+/// local in every function (`salt` picks the fresh name family). Function
+/// names, statement structure, and literals are untouched, so any detector
+/// verdict that changes under this transform is a detector bug.
+///
+/// Returns `None` if `source` does not parse.
+pub fn alpha_rename(source: &str, salt: u32) -> Option<String> {
+    let mut program = parse(source).ok()?;
+    for func in &mut program.functions {
+        rename_function_locals(func, salt);
+    }
+    Some(print_program(&program))
+}
+
+/// Metamorphic transform: inserts whole-line `//` comments between source
+/// lines. Purely lexical — the token stream is unchanged and only line
+/// numbers shift, so detector *verdicts* (not spans) must be invariant.
+pub fn insert_comments<R: Rng>(source: &str, rng: &mut R) -> String {
+    let mut out = String::new();
+    for line in source.lines() {
+        if rng.gen_bool(0.4) {
+            out.push_str(&format!("// audit note {}\n", rng.gen_range(0..100000u32)));
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Metamorphic transform: prepends one inert (never-read) declaration to
+/// every function body. Dead straight-line code reaches no sink and frees
+/// no pointer, so detector verdicts must be invariant.
+///
+/// Returns `None` if `source` does not parse.
+pub fn insert_dead_statements<R: Rng>(source: &str, rng: &mut R) -> Option<String> {
+    let mut program = parse(source).ok()?;
+    for func in &mut program.functions {
+        prepend_inert_decl(func, rng);
+    }
+    Some(print_program(&program))
+}
+
 fn rename_function_locals(func: &mut Function, salt: u32) {
     let mut map = std::collections::HashMap::new();
     for (i, p) in func.params.iter_mut().enumerate() {
@@ -308,6 +350,27 @@ mod tests {
         let (a, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::RealWorld, "p");
         let (b, _) = g.vulnerable_pair(Cwe::UseAfterFree, Tier::RealWorld, "p");
         assert_ne!(structural_fingerprint(&a.source), structural_fingerprint(&b.source));
+    }
+
+    #[test]
+    fn metamorphic_transforms_parse_and_differ() {
+        let mut g = SampleGenerator::new(11, StyleProfile::mainstream());
+        let (v, _) = g.vulnerable_pair(Cwe::SqlInjection, Tier::Curated, "p");
+        let renamed = alpha_rename(&v.source, 42).unwrap();
+        assert_ne!(renamed, v.source);
+        parse(&renamed).unwrap();
+        // Alpha-renaming is salt-deterministic.
+        assert_eq!(renamed, alpha_rename(&v.source, 42).unwrap());
+
+        let mut rng = StdRng::seed_from_u64(13);
+        let commented = insert_comments(&v.source, &mut rng);
+        assert!(commented.contains("// audit note"));
+        parse(&commented).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let padded = insert_dead_statements(&v.source, &mut rng).unwrap();
+        assert!(padded.contains("inert_"));
+        parse(&padded).unwrap();
     }
 
     #[test]

@@ -127,8 +127,12 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Short window: these benches run in CI and tests, not for
-        // publication-grade statistics.
-        Criterion { window: Duration::from_millis(300) }
+        // publication-grade statistics. `--quick` (or, like real criterion,
+        // `--bench -- --quick` forwarding) shrinks the window further for
+        // smoke runs that only need every bench to execute once.
+        let quick = std::env::args().any(|a| a == "--quick");
+        let window = if quick { Duration::from_millis(30) } else { Duration::from_millis(300) };
+        Criterion { window }
     }
 }
 

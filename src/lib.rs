@@ -50,6 +50,7 @@ pub use vulnman_analysis as analysis;
 pub use vulnman_core as core;
 pub use vulnman_lang as lang;
 pub use vulnman_ml as ml;
+pub use vulnman_obs as obs;
 pub use vulnman_synth as synth;
 
 /// Convenient re-exports of the most commonly used types.
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use vulnman_lang::{parse, print_program};
     pub use vulnman_ml::pipeline::{model_zoo, DetectionModel};
     pub use vulnman_ml::split::{split_by_project, stratified_split};
+    pub use vulnman_obs::{Registry, Snapshot};
     pub use vulnman_synth::cwe::{Cwe, CweDistribution};
     pub use vulnman_synth::dataset::{Dataset, DatasetBuilder};
     pub use vulnman_synth::style::StyleProfile;

@@ -8,6 +8,7 @@
 //! vulnman gen [--seed N] [--count N] [--fraction F] [--out <dir>]
 //!                                                            generate a labeled corpus
 //! vulnman workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+//!                  [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
 //!                                                            run the Figure-1 pipeline
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
 //! ```
@@ -54,6 +55,9 @@ const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|sft|help> [optio
   exec <file>                                    run under the sanitizer interpreter
   gen [--seed N] [--count N] [--fraction F] [--out DIR]
   workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+           [--metrics-out FILE]     dump the metrics snapshot as JSON
+           [--metrics-prom FILE]    dump Prometheus text exposition
+           [--metrics-summary]      print the per-stage timing table
   sft [--seed N] [--count N]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -290,6 +294,25 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
         stats.misses,
         stats.hit_rate() * 100.0
     );
+    write_metrics(args, &engine.metrics_snapshot())?;
+    Ok(())
+}
+
+/// Shared `--metrics-out` / `--metrics-prom` / `--metrics-summary` handling.
+fn write_metrics(args: &[String], snapshot: &vulnman::obs::Snapshot) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        let json = serde_json::to_string_pretty(snapshot)
+            .map_err(|e| format!("serialize metrics: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--metrics-prom") {
+        std::fs::write(path, snapshot.to_prometheus()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("prometheus metrics written to {path}");
+    }
+    if flag_present(args, "--metrics-summary") {
+        print!("{}", snapshot.render_summary());
+    }
     Ok(())
 }
 

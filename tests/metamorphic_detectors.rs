@@ -1,0 +1,113 @@
+//! Metamorphic detector tests: semantics-preserving source transforms must
+//! not change detector verdicts.
+//!
+//! Three transforms from `vulnman_synth::mutate` are applied to generated
+//! samples across every CWE family:
+//!
+//! * **alpha-renaming** — fresh local/parameter names,
+//! * **comment insertion** — whole-line `//` comments (token stream is
+//!   unchanged; only line numbers shift),
+//! * **dead-statement insertion** — an inert, never-read declaration at the
+//!   top of each function.
+//!
+//! The invariant is the *verdict*: whether the unit is flagged, and the
+//! multiset of `(detector, CWE)` pairs. Spans and messages legitimately
+//! differ (lines shift under comment insertion; messages may quote renamed
+//! identifiers), so they are excluded from the signature on purpose.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vulnman::analysis::detectors::RuleEngine;
+use vulnman::prelude::*;
+use vulnman::synth::generator::SampleGenerator;
+use vulnman::synth::mutate::{alpha_rename, insert_comments, insert_dead_statements};
+
+/// Verdict signature: sorted multiset of `(detector, cwe id)`.
+fn signature(engine: &RuleEngine, source: &str) -> Vec<(String, u32)> {
+    let program = parse(source).expect("sample must parse");
+    let mut sig: Vec<(String, u32)> =
+        engine.scan(&program).into_iter().map(|f| (f.detector, f.cwe.id())).collect();
+    sig.sort();
+    sig
+}
+
+/// 100 samples per CWE family: 50 vulnerable/fixed pairs spanning the
+/// Simple and Curated tiers (RealWorld units include cross-team styles that
+/// are exercised by the generator tests; the metamorphic contract is
+/// tier-independent).
+fn family_samples(cwe: Cwe) -> Vec<String> {
+    let mut g = SampleGenerator::new(0xC0DE + cwe.id() as u64, StyleProfile::mainstream());
+    let mut out = Vec::with_capacity(100);
+    for i in 0..50 {
+        let tier = if i % 2 == 0 { Tier::Simple } else { Tier::Curated };
+        let (vuln, fixed) = g.vulnerable_pair(cwe, tier, "meta");
+        out.push(vuln.source);
+        out.push(fixed.source);
+    }
+    out
+}
+
+fn assert_invariant(name: &str, transform: impl Fn(&str, u64) -> String) {
+    let engine = RuleEngine::default_suite();
+    for cwe in Cwe::ALL {
+        for (i, source) in family_samples(cwe).iter().enumerate() {
+            let mutated = transform(source, i as u64);
+            let before = signature(&engine, source);
+            let after = signature(&engine, &mutated);
+            assert_eq!(
+                before.is_empty(),
+                after.is_empty(),
+                "{name} flipped the flagged verdict on {cwe} sample {i}:\n--- before\n{source}\n--- after\n{mutated}"
+            );
+            assert_eq!(
+                before, after,
+                "{name} changed the (detector, cwe) signature on {cwe} sample {i}:\n--- before\n{source}\n--- after\n{mutated}"
+            );
+        }
+    }
+}
+
+#[test]
+fn alpha_renaming_preserves_verdicts() {
+    assert_invariant("alpha-rename", |src, i| {
+        alpha_rename(src, 1000 + i as u32).expect("transform parses")
+    });
+}
+
+#[test]
+fn comment_insertion_preserves_verdicts() {
+    assert_invariant("comment-insertion", |src, i| {
+        let mut rng = StdRng::seed_from_u64(7700 + i);
+        insert_comments(src, &mut rng)
+    });
+}
+
+#[test]
+fn dead_statement_insertion_preserves_verdicts() {
+    assert_invariant("dead-statement-insertion", |src, i| {
+        let mut rng = StdRng::seed_from_u64(8800 + i);
+        insert_dead_statements(src, &mut rng).expect("transform parses")
+    });
+}
+
+#[test]
+fn transforms_compose_without_changing_verdicts() {
+    // The transforms are independent rewrites, so their composition is also
+    // semantics-preserving — a cheap way to reach deeper mutants.
+    let engine = RuleEngine::default_suite();
+    for cwe in [Cwe::SqlInjection, Cwe::UseAfterFree, Cwe::OutOfBoundsWrite] {
+        for (i, source) in family_samples(cwe).iter().take(20).enumerate() {
+            let mut rng = StdRng::seed_from_u64(9900 + i as u64);
+            let mutated = insert_comments(
+                &insert_dead_statements(&alpha_rename(source, 31 + i as u32).unwrap(), &mut rng)
+                    .unwrap(),
+                &mut rng,
+            );
+            assert_eq!(
+                signature(&engine, source),
+                signature(&engine, &mutated),
+                "composed transform changed verdicts on {cwe} sample {i}"
+            );
+        }
+    }
+}
