@@ -1,0 +1,51 @@
+//! Criterion bench: workflow throughput under seeded fault injection.
+//!
+//! Retries and quarantine bookkeeping run on a virtual clock (backoff is
+//! charged to a histogram, never slept), so resilience must be close to
+//! free: the budget is that a 5% transient-only rate at jobs=4 stays
+//! within 25% of the fault-free `faulted_workflow/rate/0` throughput on
+//! the same corpus. The sweep at 0 / 1% / 5% / 10% makes the cost curve
+//! visible in the criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vulnman_core::detector::{DetectorRegistry, RuleBasedDetector};
+use vulnman_core::workflow::{WorkflowConfig, WorkflowEngine};
+use vulnman_faults::{FaultConfig, FaultMix};
+use vulnman_synth::dataset::{Dataset, DatasetBuilder};
+
+fn corpus() -> Dataset {
+    DatasetBuilder::new(11).vulnerable_count(60).vulnerable_fraction(0.3).build()
+}
+
+fn mk_fault_engine(jobs: usize, rate: f64) -> WorkflowEngine {
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    let fault_config =
+        FaultConfig { seed: 11, rate, mix: FaultMix::transient_only(), ..Default::default() };
+    WorkflowEngine::with_fault_config(
+        registry,
+        WorkflowConfig { jobs, cache: false, ..Default::default() },
+        fault_config,
+    )
+}
+
+/// Throughput of the sharded workflow as the transient-injection rate
+/// rises. `rate/0` is the plan-bearing-but-silent baseline — it measures
+/// the pure overhead of carrying an injector (one hash per guarded call);
+/// the non-zero rates add deterministic retries on top.
+fn bench_faulted_workflow(c: &mut Criterion) {
+    let ds = corpus();
+    let mut group = c.benchmark_group("faulted_workflow");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    for rate_pct in [0u32, 1, 5, 10] {
+        let engine = mk_fault_engine(4, f64::from(rate_pct) / 100.0);
+        group.bench_with_input(BenchmarkId::new("rate", rate_pct), &ds, |b, ds| {
+            b.iter(|| engine.process(ds.samples()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulted_workflow);
+criterion_main!(benches);

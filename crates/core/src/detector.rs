@@ -7,8 +7,10 @@
 //! often specialized to address certain vulnerabilities").
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vulnman_analysis::detectors::RuleEngine;
 use vulnman_analysis::finding::Finding;
+use vulnman_faults::FaultInjector;
 use vulnman_ml::pipeline::DetectionModel;
 use vulnman_obs::{Counter, Histogram, Registry};
 use vulnman_synth::cwe::Cwe;
@@ -26,6 +28,25 @@ pub struct Assessment {
     /// Name of the detector that produced this assessment.
     pub detector: String,
 }
+
+/// A detector invocation that produced no assessment — the failure surface
+/// of fallible backends (ML prediction under fault injection). The engine
+/// degrades by omitting the assessment, never by panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssessError {
+    /// Name of the detector that failed.
+    pub detector: String,
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for AssessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "detector {} failed: {}", self.detector, self.reason)
+    }
+}
+
+impl std::error::Error for AssessError {}
 
 /// A vulnerability detector usable by the workflow engine.
 pub trait Detector: Send + Sync {
@@ -48,6 +69,22 @@ pub trait Detector: Send + Sync {
     fn assess_cached(&self, sample: &Sample, _cache: &vulnman_lang::AnalysisCache) -> Assessment {
         self.assess(sample)
     }
+
+    /// Fallible [`Detector::assess_cached`]: detectors with fallible
+    /// backends (e.g. ML prediction under fault injection) override this to
+    /// surface failures the engine degrades on. The default never fails.
+    fn try_assess_cached(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Assessment, AssessError> {
+        Ok(self.assess_cached(sample, cache))
+    }
+
+    /// Receives the engine's fault injector at construction. Detectors
+    /// whose backends consult a fault plan (ML prediction) forward it; the
+    /// default ignores it.
+    fn attach_faults(&mut self, _injector: Arc<FaultInjector>) {}
 }
 
 /// Adapter: the rule-based suite as a [`Detector`].
@@ -214,6 +251,28 @@ impl Detector for MlDetector {
             detector: self.model.name().to_string(),
         }
     }
+
+    fn try_assess_cached(
+        &self,
+        sample: &Sample,
+        _cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Assessment, AssessError> {
+        match self.model.try_predict_proba(sample) {
+            Ok(score) => Ok(Assessment {
+                vulnerable: score >= 0.5,
+                score,
+                findings: Vec::new(),
+                detector: self.model.name().to_string(),
+            }),
+            Err(e) => {
+                Err(AssessError { detector: self.model.name().to_string(), reason: e.to_string() })
+            }
+        }
+    }
+
+    fn attach_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.model.attach_faults(injector);
+    }
 }
 
 /// How a registry combines multiple detector verdicts.
@@ -301,7 +360,7 @@ impl DetectorRegistry {
     }
 
     /// Runs `assess` for the detector at `idx`, counted and timed.
-    fn observed(&self, idx: usize, assess: impl FnOnce() -> Assessment) -> Assessment {
+    fn observed<T>(&self, idx: usize, assess: impl FnOnce() -> T) -> T {
         let ins = &self.instruments[idx];
         ins.calls.inc();
         if ins.micros.is_enabled() {
@@ -312,6 +371,32 @@ impl DetectorRegistry {
         } else {
             assess()
         }
+    }
+
+    /// Propagates the engine's fault injector to every registered detector
+    /// (see [`Detector::attach_faults`]).
+    pub fn attach_faults(&mut self, injector: &Arc<FaultInjector>) {
+        for d in &mut self.detectors {
+            d.attach_faults(Arc::clone(injector));
+        }
+    }
+
+    /// Registration indices of the detectors applicable to `sample`, in
+    /// registration order (the engine's resilient path drives detectors
+    /// individually through these).
+    pub(crate) fn applicable_indices(&self, sample: &Sample) -> Vec<usize> {
+        self.applicable(sample).map(|(i, _)| i).collect()
+    }
+
+    /// Runs the detector at `idx` through the cache, counted and timed,
+    /// surfacing fallible-backend errors instead of panicking.
+    pub(crate) fn try_assess_cached_at(
+        &self,
+        idx: usize,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Assessment, AssessError> {
+        self.observed(idx, || self.detectors[idx].try_assess_cached(sample, cache))
     }
 
     /// Number of registered detectors.
@@ -380,7 +465,7 @@ impl DetectorRegistry {
         self.combine(self.assess_all_cached(sample, cache))
     }
 
-    fn combine(&self, assessments: Vec<Assessment>) -> (bool, Vec<Assessment>) {
+    pub(crate) fn combine(&self, assessments: Vec<Assessment>) -> (bool, Vec<Assessment>) {
         let positive = assessments.iter().filter(|a| a.vulnerable).count();
         let flagged = match self.policy {
             CombinePolicy::Any => positive > 0,

@@ -51,11 +51,12 @@ pub mod detector;
 pub mod feedback;
 pub mod repair;
 pub mod report;
+mod resilience;
 pub mod sft;
 pub mod training;
 pub mod triage;
 pub mod workflow;
 
 pub use costmodel::{price_deployment, CostParams, CostReport};
-pub use detector::{Assessment, CombinePolicy, Detector, DetectorRegistry};
-pub use workflow::{WorkflowConfig, WorkflowEngine, WorkflowReport};
+pub use detector::{AssessError, Assessment, CombinePolicy, Detector, DetectorRegistry};
+pub use workflow::{DegradationSummary, WorkflowConfig, WorkflowEngine, WorkflowReport};

@@ -113,6 +113,38 @@ pub fn usd(x: f64) -> String {
     }
 }
 
+/// Renders a [`DegradationSummary`] as a two-column table, for chaos-mode
+/// experiment output (empty ledger → empty table, so fault-free runs print
+/// nothing extra).
+///
+/// [`DegradationSummary`]: crate::workflow::DegradationSummary
+pub fn degradation_table(deg: &crate::workflow::DegradationSummary) -> Table {
+    let mut t = Table::new(vec!["degradation", "value"]);
+    let injected = deg.transient + deg.timeout + deg.corrupt + deg.crash;
+    if injected == 0 && !deg.is_degraded() {
+        return t;
+    }
+    for (label, value) in [
+        ("faults injected", injected),
+        ("  transient", deg.transient),
+        ("  timeout", deg.timeout),
+        ("  corrupt", deg.corrupt),
+        ("  crash", deg.crash),
+        ("retries", deg.retries),
+        ("recovered", deg.recovered),
+        ("exhausted", deg.exhausted),
+        ("assessments lost", deg.assessments_lost),
+        ("ml failures", deg.ml_failures),
+        ("degraded samples", deg.degraded_samples as u64),
+    ] {
+        t.row(vec![label.into(), value.to_string()]);
+    }
+    let quarantined =
+        if deg.quarantined.is_empty() { "none".into() } else { deg.quarantined.join(", ") };
+    t.row(vec!["quarantined".into(), quarantined]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +185,24 @@ mod tests {
     #[should_panic(expected = "at least one column")]
     fn empty_headers_rejected() {
         let _ = Table::new(vec![]);
+    }
+
+    #[test]
+    fn degradation_table_is_empty_for_clean_runs_and_full_for_degraded() {
+        let clean = crate::workflow::DegradationSummary::default();
+        assert!(degradation_table(&clean).is_empty());
+        let degraded = crate::workflow::DegradationSummary {
+            transient: 3,
+            retries: 4,
+            recovered: 2,
+            exhausted: 1,
+            assessments_lost: 1,
+            degraded_samples: 1,
+            quarantined: vec!["rule-suite".into()],
+            ..Default::default()
+        };
+        let rendered = degradation_table(&degraded).render();
+        assert!(rendered.contains("faults injected"));
+        assert!(rendered.contains("rule-suite"));
     }
 }

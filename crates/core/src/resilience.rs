@@ -1,0 +1,125 @@
+//! Bridge between the dependency-free fault layer and the metrics registry.
+//!
+//! `vulnman_faults` reports resilience events through its [`FaultObserver`]
+//! trait so the crate itself stays free of workspace dependencies; this
+//! module is the one concrete observer, translating events into the
+//! pre-registered `fault.*` instruments. Instrument handles are resolved at
+//! construction (the same schema-stability pattern as `ENGINE_SPANS`), so
+//! the hot path never formats a metric name.
+
+use vulnman_faults::{FaultKind, FaultObserver, Site};
+use vulnman_obs::{Counter, Histogram, Registry};
+
+/// Pre-registers every `fault.*` instrument, so the exported metrics schema
+/// is identical whether or not a run injects faults (and regardless of
+/// which sites actually fire).
+pub(crate) fn register_fault_instruments(metrics: &Registry) {
+    for site in Site::ALL {
+        metrics.counter(&format!("fault.injected.{site}"));
+        metrics.counter(&format!("fault.recovered.{site}"));
+        metrics.counter(&format!("fault.exhausted.{site}"));
+    }
+    metrics.histogram("fault.retries");
+    metrics.histogram("fault.backoff_micros");
+    metrics.gauge("fault.degraded");
+    metrics.counter("fault.shard_crashes");
+}
+
+/// Feeds [`FaultObserver`] events into per-site counters plus retry and
+/// virtual-backoff histograms.
+pub(crate) struct ObsFaultObserver {
+    injected: [Counter; 5],
+    recovered: [Counter; 5],
+    exhausted: [Counter; 5],
+    retries: Histogram,
+    backoff: Histogram,
+}
+
+impl ObsFaultObserver {
+    pub(crate) fn new(metrics: &Registry) -> Self {
+        register_fault_instruments(metrics);
+        let per_site =
+            |prefix: &str| Site::ALL.map(|s| metrics.counter(&format!("fault.{prefix}.{s}")));
+        ObsFaultObserver {
+            injected: per_site("injected"),
+            recovered: per_site("recovered"),
+            exhausted: per_site("exhausted"),
+            retries: metrics.histogram("fault.retries"),
+            backoff: metrics.histogram("fault.backoff_micros"),
+        }
+    }
+
+    fn idx(site: Site) -> usize {
+        Site::ALL.iter().position(|s| *s == site).unwrap_or(0)
+    }
+}
+
+impl FaultObserver for ObsFaultObserver {
+    fn on_fault(&self, site: Site, _kind: FaultKind, _attempt: u32) {
+        self.injected[Self::idx(site)].inc();
+    }
+
+    fn on_backoff(&self, _site: Site, micros: u64) {
+        self.backoff.observe(micros);
+    }
+
+    fn on_recovered(&self, site: Site, retries: u32) {
+        // A first-try success is not a recovery; only retried successes
+        // count (the ML predict path reports every clean call here).
+        if retries > 0 {
+            self.recovered[Self::idx(site)].inc();
+            self.retries.observe(u64::from(retries));
+        }
+    }
+
+    fn on_exhausted(&self, site: Site) {
+        self.exhausted[Self::idx(site)].inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vulnman_faults::{FaultConfig, FaultInjector, FaultMix};
+
+    #[test]
+    fn instruments_are_registered_up_front() {
+        let metrics = Registry::new();
+        register_fault_instruments(&metrics);
+        let snap = metrics.snapshot();
+        for site in Site::ALL {
+            assert!(snap.counters.contains_key(&format!("fault.injected.{site}")));
+            assert!(snap.counters.contains_key(&format!("fault.exhausted.{site}")));
+        }
+        assert!(snap.histograms.contains_key("fault.retries"));
+        assert!(snap.gauges.contains_key("fault.degraded"));
+    }
+
+    #[test]
+    fn observer_translates_events_into_counters() {
+        let metrics = Registry::new();
+        let observer = Arc::new(ObsFaultObserver::new(&metrics));
+        let cfg = FaultConfig {
+            seed: 2,
+            rate: 0.5,
+            mix: FaultMix::transient_only(),
+            ..Default::default()
+        };
+        let inj = FaultInjector::with_observer(&cfg, observer);
+        for key in 0..200 {
+            let _ = inj.run(Site::DetectorCall, key, || ());
+        }
+        let snap = metrics.snapshot();
+        assert!(snap.counters["fault.injected.detector_call"] > 0);
+        assert!(snap.counters["fault.recovered.detector_call"] > 0);
+        assert!(snap.histograms["fault.backoff_micros"].count > 0);
+        // Other sites never fired but their keys exist with zero counts.
+        assert_eq!(snap.counters["fault.injected.cache_get"], 0);
+        // Clean first-try successes are not recoveries.
+        assert!(
+            snap.counters["fault.recovered.detector_call"]
+                <= snap.counters["fault.injected.detector_call"]
+        );
+    }
+}

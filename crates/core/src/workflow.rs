@@ -8,7 +8,8 @@
 //! crossbeam channels (one worker per Figure-1 box).
 
 use crate::costmodel::{CostParams, CostReport};
-use crate::detector::DetectorRegistry;
+use crate::detector::{Assessment, DetectorRegistry};
+use crate::resilience::{register_fault_instruments, ObsFaultObserver};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -17,7 +18,8 @@ use vulnman_analysis::autofix::AutoFixer;
 use vulnman_analysis::detectors::RuleEngine;
 use vulnman_analysis::finding::Finding;
 use vulnman_analysis::reachability::{CallGraph, Surface};
-use vulnman_lang::{AnalysisCache, CacheStats};
+use vulnman_faults::{site_key, FaultConfig, FaultInjector, FaultKind, Site};
+use vulnman_lang::{AnalysisCache, CacheOp, CacheStats};
 use vulnman_ml::eval::Metrics;
 use vulnman_obs::{Registry, Snapshot};
 use vulnman_synth::sample::Sample;
@@ -106,6 +108,93 @@ impl CaseOutcome {
     }
 }
 
+/// Deterministic fault-degradation accounting for one run.
+///
+/// Every count here derives from the fault plan over detector-call and
+/// ML-predict coordinates that are independent of worker count, cache
+/// configuration, and call order — which is why the summary (and therefore
+/// the whole serialized report) stays byte-identical across `jobs`
+/// settings. Jobs-dependent sites (cache get/put, shard workers) are
+/// accounted in metrics only, never here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DegradationSummary {
+    /// Transient faults injected at the detector-call site.
+    pub transient: u64,
+    /// Timeout faults injected at the detector-call site.
+    pub timeout: u64,
+    /// Corrupt-response faults injected at the detector-call site.
+    pub corrupt: u64,
+    /// Crash faults injected at the detector-call site.
+    pub crash: u64,
+    /// Detector-call retries performed (backed off on the virtual clock,
+    /// never slept).
+    pub retries: u64,
+    /// Detector calls that succeeded after at least one retry.
+    pub recovered: u64,
+    /// Detector calls that gave up (retry budget exhausted or crash).
+    pub exhausted: u64,
+    /// Assessments lost to exhaustion, quarantine skips, or ML predict
+    /// failures.
+    pub assessments_lost: u64,
+    /// ML predictions that failed under injection (deterministic per
+    /// sample id).
+    pub ml_failures: u64,
+    /// Samples that lost at least one detector assessment.
+    pub degraded_samples: usize,
+    /// Detectors quarantined for the remainder of the run after exhausting
+    /// their retry budget, by name, sorted.
+    pub quarantined: Vec<String>,
+}
+
+impl DegradationSummary {
+    /// Whether the run lost any assessment or quarantined any detector.
+    pub fn is_degraded(&self) -> bool {
+        self.assessments_lost > 0 || !self.quarantined.is_empty()
+    }
+
+    /// Folds one case's accounting in, in submission order.
+    fn absorb(&mut self, d: &CaseDegradation) {
+        self.transient += d.transient;
+        self.timeout += d.timeout;
+        self.corrupt += d.corrupt;
+        self.crash += d.crash;
+        self.retries += d.retries;
+        self.recovered += d.recovered;
+        self.exhausted += d.exhausted;
+        self.assessments_lost += d.lost;
+        self.ml_failures += d.ml_failures;
+        if d.lost > 0 {
+            self.degraded_samples += 1;
+        }
+    }
+}
+
+/// Per-case fault accounting from the resilient assessment path, folded
+/// into [`DegradationSummary`] in submission order.
+#[derive(Debug, Clone, Copy, Default)]
+struct CaseDegradation {
+    transient: u64,
+    timeout: u64,
+    corrupt: u64,
+    crash: u64,
+    retries: u64,
+    recovered: u64,
+    exhausted: u64,
+    lost: u64,
+    ml_failures: u64,
+}
+
+impl CaseDegradation {
+    fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Transient => self.transient += 1,
+            FaultKind::Timeout => self.timeout += 1,
+            FaultKind::Corrupt => self.corrupt += 1,
+            FaultKind::Crash => self.crash += 1,
+        }
+    }
+}
+
 /// Aggregate result of a workflow run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct WorkflowReport {
@@ -126,6 +215,9 @@ pub struct WorkflowReport {
     /// Manual reviews skipped because the review budget ran out
     /// (capacity-limited runs only).
     pub reviews_skipped: usize,
+    /// Fault-injection accounting (all zeros and empty when the engine runs
+    /// without a fault plan or at rate zero).
+    pub degradation: DegradationSummary,
 }
 
 impl WorkflowReport {
@@ -166,6 +258,23 @@ pub struct WorkflowEngine {
     config: WorkflowConfig,
     cache: AnalysisCache,
     metrics: Registry,
+    faults: Option<FaultHarness>,
+}
+
+/// The engine's fault-injection state: the shared injector (which every
+/// site consults) plus the config it was built from.
+struct FaultHarness {
+    injector: Arc<FaultInjector>,
+    config: FaultConfig,
+}
+
+/// Per-batch fault context: the injector plus each detector's quarantine
+/// point — the first submission index at which the plan exhausts that
+/// detector's retry budget. Computed from the plan alone (never from call
+/// order or timing), so every execution path and worker count agrees.
+struct FaultRun {
+    injector: Arc<FaultInjector>,
+    quarantine_at: Vec<u64>,
 }
 
 /// Every instrument name the engine emits, pre-registered at construction
@@ -204,6 +313,7 @@ struct CaseWork {
     review_minutes: f64,
     repair_minutes: f64,
     expert_hours: f64,
+    degradation: CaseDegradation,
 }
 
 impl std::fmt::Debug for WorkflowEngine {
@@ -243,6 +353,7 @@ impl WorkflowEngine {
         metrics.counter("workflow.samples");
         metrics.histogram("shard.queue_depth");
         metrics.histogram("shard.latency_micros");
+        register_fault_instruments(&metrics);
         registry.attach_metrics(metrics.clone());
         let cache = if config.cache {
             AnalysisCache::with_metrics(&metrics)
@@ -256,7 +367,54 @@ impl WorkflowEngine {
             cache,
             config,
             metrics,
+            faults: None,
         }
+    }
+
+    /// Creates an engine whose component calls run under a deterministic
+    /// seeded fault plan: detector invocations retry with virtual-clock
+    /// backoff and quarantine on exhaustion, cache lookups and stores can
+    /// be dropped, shard workers can crash (the coordinator finishes their
+    /// slice inline), and ML predictions can fail per sample. At rate zero
+    /// the report is byte-identical to [`WorkflowEngine::new`]'s.
+    pub fn with_fault_config(
+        registry: DetectorRegistry,
+        config: WorkflowConfig,
+        fault_config: FaultConfig,
+    ) -> Self {
+        WorkflowEngine::with_fault_metrics(registry, config, fault_config, Registry::new())
+    }
+
+    /// [`WorkflowEngine::with_fault_config`] recording into `metrics`
+    /// (resilience events land on the pre-registered `fault.*` instruments).
+    pub fn with_fault_metrics(
+        mut registry: DetectorRegistry,
+        config: WorkflowConfig,
+        fault_config: FaultConfig,
+        metrics: Registry,
+    ) -> Self {
+        let observer = Arc::new(ObsFaultObserver::new(&metrics));
+        let injector = Arc::new(FaultInjector::with_observer(&fault_config, observer));
+        registry.attach_faults(&injector);
+        let mut engine = WorkflowEngine::with_metrics(registry, config, metrics);
+        let hook_injector = Arc::clone(&injector);
+        // Cache faults are keyed by content hash: a dropped get degrades to
+        // a recompute, a dropped put to a future miss — results never change
+        // (only `cache.*` counters), so they stay out of the report.
+        engine.cache.set_fault_hook(Arc::new(move |op, key| {
+            let site = match op {
+                CacheOp::Get => Site::CacheGet,
+                CacheOp::Put => Site::CachePut,
+            };
+            hook_injector.attempt(site, key, 0).is_some()
+        }));
+        engine.faults = Some(FaultHarness { injector, config: fault_config });
+        engine
+    }
+
+    /// The fault-injection config, when the engine was built with one.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(|h| &h.config)
     }
 
     /// The registered detectors.
@@ -301,12 +459,21 @@ impl WorkflowEngine {
     /// folded in submission order regardless of which shard computed them,
     /// so the report is byte-identical for every `jobs` value.
     pub fn process(&self, samples: &[Sample]) -> WorkflowReport {
+        let run = self.fault_run(samples.len());
         let jobs = self.config.jobs.max(1);
-        if jobs == 1 || samples.len() < 2 {
+        let report = if jobs == 1 || samples.len() < 2 {
             self.metrics.counter("workflow.samples").add(samples.len() as u64);
-            return Self::reduce(samples.iter().map(|s| self.assess_one(s)).collect());
-        }
-        self.process_sharded(samples, jobs)
+            Self::reduce(
+                samples
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| self.assess_one(i, s, run.as_ref()))
+                    .collect(),
+            )
+        } else {
+            self.process_sharded_inner(samples, jobs, run.as_ref())
+        };
+        self.finish_report(report, run.as_ref(), samples.len())
     }
 
     /// Processes a batch across exactly `jobs` scoped worker threads,
@@ -314,23 +481,59 @@ impl WorkflowEngine {
     /// the input; results are concatenated in shard order (= submission
     /// order) before the fold, so output equals the sequential path's.
     pub fn process_sharded(&self, samples: &[Sample], jobs: usize) -> WorkflowReport {
+        let run = self.fault_run(samples.len());
+        let report = self.process_sharded_inner(samples, jobs, run.as_ref());
+        self.finish_report(report, run.as_ref(), samples.len())
+    }
+
+    fn process_sharded_inner(
+        &self,
+        samples: &[Sample],
+        jobs: usize,
+        run: Option<&FaultRun>,
+    ) -> WorkflowReport {
         let jobs = jobs.clamp(1, samples.len().max(1));
-        let chunk = samples.len().div_ceil(jobs);
+        let chunk = samples.len().div_ceil(jobs).max(1);
         self.metrics.counter("workflow.samples").add(samples.len() as u64);
         let depth = self.metrics.histogram("shard.queue_depth");
         let latency = self.metrics.histogram("shard.latency_micros");
+        let shards: Vec<&[Sample]> = samples.chunks(chunk).collect();
         let mut work: Vec<CaseWork> = Vec::with_capacity(samples.len());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(chunk.max(1))
-                .map(|shard| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(shard_idx, shard)| {
                     let depth = depth.clone();
                     let latency = latency.clone();
+                    let base = shard_idx * chunk;
                     scope.spawn(move || {
                         depth.observe(shard.len() as u64);
                         let t0 = latency.is_enabled().then(std::time::Instant::now);
-                        let out =
-                            shard.iter().map(|s| self.assess_one(s)).collect::<Vec<CaseWork>>();
+                        // A worker whose plan coordinate says "crash" dies
+                        // mid-shard: it hands back the half it finished and
+                        // the coordinator completes the rest inline.
+                        let crashed = match run {
+                            Some(r) => {
+                                let key = site_key(0x5A, shard_idx as u64);
+                                match r.injector.attempt(Site::ShardWorker, key, 0) {
+                                    Some(FaultKind::Crash) => true,
+                                    Some(_) => {
+                                        r.injector.note_recovered(Site::ShardWorker, 1);
+                                        false
+                                    }
+                                    None => false,
+                                }
+                            }
+                            None => false,
+                        };
+                        let take = if crashed { shard.len() / 2 } else { shard.len() };
+                        let out: Vec<CaseWork> = shard
+                            .iter()
+                            .take(take)
+                            .enumerate()
+                            .map(|(i, s)| self.assess_one(base + i, s, run))
+                            .collect();
                         if let Some(t0) = t0 {
                             latency.observe_duration(t0.elapsed());
                         }
@@ -338,11 +541,85 @@ impl WorkflowEngine {
                     })
                 })
                 .collect();
-            for handle in handles {
-                work.extend(handle.join().expect("workflow shard panicked"));
+            for (shard_idx, handle) in handles.into_iter().enumerate() {
+                let shard = shards[shard_idx];
+                let base = shard_idx * chunk;
+                match handle.join() {
+                    Ok(partial) => {
+                        let done = partial.len();
+                        work.extend(partial);
+                        if done < shard.len() {
+                            // Per-sample work is pure, so finishing a dead
+                            // worker's slice inline reproduces exactly what
+                            // it would have computed.
+                            self.metrics.counter("fault.shard_crashes").inc();
+                            work.extend(
+                                shard
+                                    .iter()
+                                    .enumerate()
+                                    .skip(done)
+                                    .map(|(i, s)| self.assess_one(base + i, s, run)),
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        // A genuine panic (not an injected crash): recompute
+                        // the whole shard instead of poisoning the run.
+                        self.metrics.counter("fault.shard_crashes").inc();
+                        work.extend(
+                            shard
+                                .iter()
+                                .enumerate()
+                                .map(|(i, s)| self.assess_one(base + i, s, run)),
+                        );
+                    }
+                }
             }
         });
         Self::reduce(work)
+    }
+
+    /// Precomputes the batch's fault context. Quarantine points derive from
+    /// the plan over `(detector, submission index)` coordinates, never from
+    /// execution order, so sequential and sharded runs agree byte-for-byte.
+    fn fault_run(&self, n: usize) -> Option<FaultRun> {
+        let harness = self.faults.as_ref()?;
+        let plan = *harness.injector.plan();
+        let max_retries = harness.injector.max_retries();
+        let quarantine_at = (0..self.registry.len())
+            .map(|d| {
+                (0..n as u64)
+                    .find(|&i| {
+                        plan.exhausts(Site::DetectorCall, site_key(d as u64, i), max_retries)
+                    })
+                    .unwrap_or(u64::MAX)
+            })
+            .collect();
+        Some(FaultRun { injector: Arc::clone(&harness.injector), quarantine_at })
+    }
+
+    /// Stamps run-level degradation facts (quarantined detector names, the
+    /// `fault.degraded` gauge) onto a finished report.
+    fn finish_report(
+        &self,
+        mut report: WorkflowReport,
+        run: Option<&FaultRun>,
+        n: usize,
+    ) -> WorkflowReport {
+        if let Some(run) = run {
+            let names = self.registry.names();
+            let mut quarantined: Vec<String> = run
+                .quarantine_at
+                .iter()
+                .enumerate()
+                .filter(|&(_, &at)| at < n as u64)
+                .map(|(d, _)| names[d].clone())
+                .collect();
+            quarantined.sort();
+            self.metrics.gauge("fault.degraded").set(quarantined.len() as i64);
+            report.degradation.quarantined = quarantined;
+        }
+        report
     }
 
     /// Processes a batch under a finite manual-review budget, allocating
@@ -351,12 +628,20 @@ impl WorkflowEngine {
     /// prioritization" requirement of Gap Observation 1. With an unlimited
     /// budget this matches [`WorkflowEngine::process`] exactly.
     pub fn process_with_capacity(&self, samples: &[Sample], budget_minutes: f64) -> WorkflowReport {
+        let run = self.fault_run(samples.len());
         self.metrics.counter("workflow.samples").add(samples.len() as u64);
         let mut report = WorkflowReport::default();
         // Phase 1: automated assessment + threat model for every change.
         let assess_span = self.metrics.span("capacity.assess");
-        let assessed: Vec<(usize, Assessed)> =
-            samples.iter().enumerate().map(|(i, s)| (i, self.assess_stage(s))).collect();
+        let assessed: Vec<(usize, Assessed)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (a, deg) = self.assess_stage(s, i, run.as_ref());
+                report.degradation.absorb(&deg);
+                (i, a)
+            })
+            .collect();
         assess_span.stop();
         // Phase 2: allocate the review budget by priority.
         let allocate_span = self.metrics.span("capacity.allocate");
@@ -414,7 +699,7 @@ impl WorkflowEngine {
             report.cases.push(outcome);
         }
         resolve_span.stop();
-        report
+        self.finish_report(report, run.as_ref(), samples.len())
     }
 
     /// Processes a batch through a staged concurrent pipeline: assessment,
@@ -424,9 +709,12 @@ impl WorkflowEngine {
     /// The report is identical to [`WorkflowEngine::process`] — per-sample
     /// decisions are seeded by sample id, not arrival order.
     pub fn process_pipelined(&self, samples: &[Sample]) -> WorkflowReport {
-        let (tx_in, rx_assess) = channel::bounded::<Sample>(64);
-        let (tx_assess, rx_review) = channel::bounded::<(Sample, Assessed)>(64);
-        let (tx_review, rx_repair) = channel::bounded::<(Sample, Assessed, bool, bool)>(64);
+        let run = self.fault_run(samples.len());
+        let run_ref = run.as_ref();
+        let (tx_in, rx_assess) = channel::bounded::<(usize, Sample)>(64);
+        let (tx_assess, rx_review) = channel::bounded::<(Sample, Assessed, CaseDegradation)>(64);
+        let (tx_review, rx_repair) =
+            channel::bounded::<(Sample, Assessed, CaseDegradation, bool, bool)>(64);
         let report = Arc::new(Mutex::new(WorkflowReport::default()));
 
         self.metrics.counter("workflow.samples").add(samples.len() as u64);
@@ -437,9 +725,9 @@ impl WorkflowEngine {
             let metrics1 = self.metrics.clone();
             scope.spawn(move || {
                 let _span = metrics1.span("pipeline.assess");
-                for sample in rx_assess {
-                    let assessed = self.assess_stage(&sample);
-                    if tx_assess.send((sample, assessed)).is_err() {
+                for (idx, sample) in rx_assess {
+                    let (assessed, deg) = self.assess_stage(&sample, idx, run_ref);
+                    if tx_assess.send((sample, assessed, deg)).is_err() {
                         return;
                     }
                 }
@@ -451,13 +739,13 @@ impl WorkflowEngine {
             let metrics2 = self.metrics.clone();
             scope.spawn(move || {
                 let _span = metrics2.span("pipeline.review");
-                for (sample, assessed) in rx_review {
+                for (sample, assessed, deg) in rx_review {
                     let (reviewed, catch, minutes) =
                         manual_review(&sample, assessed.flagged, assessed.surface, &config);
                     if minutes > 0.0 {
                         report2.lock().analyst_minutes += minutes;
                     }
-                    if tx_review.send((sample, assessed, reviewed, catch)).is_err() {
+                    if tx_review.send((sample, assessed, deg, reviewed, catch)).is_err() {
                         return;
                     }
                 }
@@ -471,7 +759,7 @@ impl WorkflowEngine {
             let metrics3 = self.metrics.clone();
             scope.spawn(move || {
                 let _span = metrics3.span("pipeline.repair");
-                for (sample, assessed, reviewed, catch) in rx_repair {
+                for (sample, assessed, deg, reviewed, catch) in rx_repair {
                     let Assessed { flagged, surface, findings } = assessed;
                     let mut outcome = CaseOutcome {
                         sample_id: sample.id,
@@ -485,6 +773,7 @@ impl WorkflowEngine {
                         patched_source: None,
                     };
                     let mut guard = report3.lock();
+                    guard.degradation.absorb(&deg);
                     if outcome.detected() && sample.label {
                         let (channel_used, patched, analyst_min, expert_h) =
                             repair(&sample, fixer, verifier, &config, cache);
@@ -504,26 +793,57 @@ impl WorkflowEngine {
                 }
             });
 
-            for s in samples {
-                tx_in.send(s.clone()).expect("pipeline input");
+            for (i, s) in samples.iter().enumerate() {
+                // A send fails only when every downstream stage is gone;
+                // the fill pass below completes whatever never went through.
+                if tx_in.send((i, s.clone())).is_err() {
+                    break;
+                }
             }
             drop(tx_in);
         });
 
-        let mut report = Arc::try_unwrap(report).expect("pipeline done").into_inner();
+        let mut report = Arc::try_unwrap(report)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|report| report.lock().clone());
+        if report.cases.len() < samples.len() {
+            // A stage died mid-stream: fold the missing samples in inline.
+            // Per-sample work is pure, so their outcomes are what the
+            // pipeline would have produced.
+            let present: std::collections::HashSet<u64> =
+                report.cases.iter().map(|c| c.sample_id).collect();
+            for (i, s) in samples.iter().enumerate() {
+                if !present.contains(&s.id) {
+                    Self::fold_case(&mut report, self.assess_one(i, s, run_ref));
+                }
+            }
+        }
         report.cases.sort_by_key(|c| {
             samples.iter().position(|s| s.id == c.sample_id).unwrap_or(usize::MAX)
         });
-        report
+        self.finish_report(report, run_ref, samples.len())
     }
 
     /// Stage 1 + threat model: detector verdicts and surface classification
     /// for one sample, with findings merged across detectors in the
-    /// deterministic (detector, span, CWE, message) order.
-    fn assess_stage(&self, sample: &Sample) -> Assessed {
+    /// deterministic (detector, span, CWE, message) order. `idx` is the
+    /// sample's submission index — the fault plan's coordinate; without a
+    /// fault run the index is unused and the degradation stays zero.
+    fn assess_stage(
+        &self,
+        sample: &Sample,
+        idx: usize,
+        run: Option<&FaultRun>,
+    ) -> (Assessed, CaseDegradation) {
         let span = self.metrics.span("stage.assess");
         let detect = self.metrics.child_span(&span, "detect");
-        let (flagged, assessments) = self.registry.verdict_cached(sample, &self.cache);
+        let (flagged, assessments, deg) = match run {
+            None => {
+                let (flagged, assessments) = self.registry.verdict_cached(sample, &self.cache);
+                (flagged, assessments, CaseDegradation::default())
+            }
+            Some(run) => self.assess_resilient(sample, idx, run),
+        };
         detect.stop();
         let surface_span = self.metrics.child_span(&span, "surface");
         let surface = self.classify_surface(sample);
@@ -536,7 +856,71 @@ impl WorkflowEngine {
                 .then(a.cwe.id().cmp(&b.cwe.id()))
                 .then(a.message.cmp(&b.message))
         });
-        Assessed { flagged, surface, findings }
+        (Assessed { flagged, surface, findings }, deg)
+    }
+
+    /// The fault-aware assessment stage: each applicable detector runs
+    /// under a bounded retry loop driven by the plan. Quarantined detectors
+    /// are skipped outright; a detector that exhausts its budget (or hits a
+    /// crash) loses its assessment for this sample, and the verdict is
+    /// combined from whatever survived — graceful degradation instead of a
+    /// failed run. At rate zero every call succeeds on the first attempt,
+    /// making the result byte-identical to the non-fault path.
+    fn assess_resilient(
+        &self,
+        sample: &Sample,
+        idx: usize,
+        run: &FaultRun,
+    ) -> (bool, Vec<Assessment>, CaseDegradation) {
+        let mut deg = CaseDegradation::default();
+        let mut assessments = Vec::new();
+        let inj = run.injector.as_ref();
+        for d in self.registry.applicable_indices(sample) {
+            if (idx as u64) > run.quarantine_at[d] {
+                // Quarantined earlier in the run: never called again.
+                deg.lost += 1;
+                continue;
+            }
+            let key = site_key(d as u64, idx as u64);
+            let mut produced = false;
+            let mut attempts_made = 0u32;
+            for attempt in 0..=inj.max_retries() {
+                attempts_made = attempt + 1;
+                match inj.attempt(Site::DetectorCall, key, attempt) {
+                    None => {
+                        if attempt > 0 {
+                            inj.note_recovered(Site::DetectorCall, attempt);
+                            deg.recovered += 1;
+                        }
+                        match self.registry.try_assess_cached_at(d, sample, &self.cache) {
+                            Ok(a) => assessments.push(a),
+                            Err(_) => {
+                                // The detector ran but its backend failed
+                                // (ML predict fault, keyed by sample id).
+                                deg.ml_failures += 1;
+                                deg.lost += 1;
+                            }
+                        }
+                        produced = true;
+                        break;
+                    }
+                    Some(kind) => {
+                        deg.record(kind);
+                        if !kind.is_retryable() {
+                            break;
+                        }
+                    }
+                }
+            }
+            deg.retries += u64::from(attempts_made.saturating_sub(1));
+            if !produced {
+                inj.note_exhausted(Site::DetectorCall);
+                deg.exhausted += 1;
+                deg.lost += 1;
+            }
+        }
+        let (flagged, assessments) = self.registry.combine(assessments);
+        (flagged, assessments, deg)
     }
 
     /// Threat-model stage: surface of the sample's unit (most exposed
@@ -560,10 +944,11 @@ impl WorkflowEngine {
     /// Runs all three Figure-1 stages for one sample. Pure with respect to
     /// batch state: the result depends only on the sample, the seed, and
     /// the detector suite — never on which thread or position processed it.
-    fn assess_one(&self, sample: &Sample) -> CaseWork {
+    fn assess_one(&self, idx: usize, sample: &Sample, run: Option<&FaultRun>) -> CaseWork {
         // Stage 1: automated detection (Figure 1, "Vulnerability Detection")
         // + threat modeling / reachability analysis.
-        let Assessed { flagged, surface, findings } = self.assess_stage(sample);
+        let (Assessed { flagged, surface, findings }, degradation) =
+            self.assess_stage(sample, idx, run);
         // Stage 2: manual security review for exposed surfaces.
         let review_span = self.metrics.span("stage.review");
         let (reviewed, catch, review_minutes) =
@@ -596,7 +981,24 @@ impl WorkflowEngine {
             outcome.repaired_via = Some(channel_used);
             outcome.patched_source = patched;
         }
-        CaseWork { outcome, review_minutes, repair_minutes, expert_hours }
+        CaseWork { outcome, review_minutes, repair_minutes, expert_hours, degradation }
+    }
+
+    /// Folds one case into the aggregate report (labour totals, repair
+    /// channel counts, degradation accounting, the traced outcome).
+    fn fold_case(report: &mut WorkflowReport, w: CaseWork) {
+        report.analyst_minutes += w.review_minutes;
+        report.analyst_minutes += w.repair_minutes;
+        report.expert_hours += w.expert_hours;
+        report.degradation.absorb(&w.degradation);
+        match w.outcome.repaired_via {
+            Some(RepairChannel::AutoFix) => report.auto_fixed += 1,
+            Some(RepairChannel::AiSuggestion) => report.ai_fixed += 1,
+            Some(RepairChannel::Expert) => report.expert_fixed += 1,
+            None if w.outcome.truly_vulnerable => report.escaped += 1,
+            None => {}
+        }
+        report.cases.push(w.outcome);
     }
 
     /// Folds per-case results into the aggregate report, in submission
@@ -607,17 +1009,7 @@ impl WorkflowEngine {
     fn reduce(work: Vec<CaseWork>) -> WorkflowReport {
         let mut report = WorkflowReport::default();
         for w in work {
-            report.analyst_minutes += w.review_minutes;
-            report.analyst_minutes += w.repair_minutes;
-            report.expert_hours += w.expert_hours;
-            match w.outcome.repaired_via {
-                Some(RepairChannel::AutoFix) => report.auto_fixed += 1,
-                Some(RepairChannel::AiSuggestion) => report.ai_fixed += 1,
-                Some(RepairChannel::Expert) => report.expert_fixed += 1,
-                None if w.outcome.truly_vulnerable => report.escaped += 1,
-                None => {}
-            }
-            report.cases.push(w.outcome);
+            Self::fold_case(&mut report, w);
         }
         report
     }
@@ -1008,5 +1400,120 @@ mod tests {
         let n = 10_000;
         let mean: f64 = (0..n).map(hash_unit).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "{mean}");
+    }
+
+    use vulnman_faults::{FaultMix, FaultPlan};
+
+    fn fault_engine(jobs: usize, fault_cfg: FaultConfig) -> WorkflowEngine {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        let config = WorkflowConfig { jobs, ..Default::default() };
+        WorkflowEngine::with_fault_config(registry, config, fault_cfg)
+    }
+
+    #[test]
+    fn zero_rate_fault_engine_is_byte_identical_to_plain() {
+        let samples = corpus();
+        let plain = engine().process(&samples);
+        let faulted = fault_engine(1, FaultConfig::with_rate(9, 0.0)).process(&samples);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&faulted).unwrap(),
+            "a zero-rate plan must not perturb the report in any byte"
+        );
+        assert!(!faulted.degradation.is_degraded());
+    }
+
+    #[test]
+    fn faulted_reports_are_byte_identical_across_jobs() {
+        let samples = big_corpus();
+        let cfg = FaultConfig::with_rate(42, 0.2);
+        let seq = fault_engine(1, cfg).process(&samples);
+        assert!(seq.degradation.is_degraded(), "20% faults must degrade something");
+        for jobs in [2, 4, 7] {
+            let par = fault_engine(jobs, cfg).process(&samples);
+            assert_eq!(
+                serde_json::to_string(&seq).unwrap(),
+                serde_json::to_string(&par).unwrap(),
+                "degraded reports must stay byte-identical at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantined_detector_is_never_called_after_exhaustion() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Counting(Arc<AtomicU64>);
+        impl crate::detector::Detector for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn assess(&self, _: &Sample) -> Assessment {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Assessment {
+                    vulnerable: false,
+                    score: 0.0,
+                    findings: vec![],
+                    detector: "counting".into(),
+                }
+            }
+        }
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(Counting(Arc::clone(&calls))));
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        let fault_cfg =
+            FaultConfig { seed: 3, rate: 0.5, mix: FaultMix::crash_only(), ..Default::default() };
+        let e = WorkflowEngine::with_fault_config(registry, WorkflowConfig::default(), fault_cfg);
+        let samples = corpus();
+        let report = e.process(&samples);
+        // With a crash-only mix, detector 0 exhausts at the first index
+        // whose attempt-0 coordinate faults; before that every call is
+        // clean, after that it must never run again.
+        let plan = FaultPlan::new(&fault_cfg);
+        let q = (0..samples.len() as u64)
+            .find(|&i| plan.exhausts(Site::DetectorCall, site_key(0, i), fault_cfg.max_retries))
+            .expect("50% crash rate must quarantine within the corpus");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            q,
+            "the quarantined detector runs exactly once per pre-quarantine sample"
+        );
+        assert!(report.degradation.quarantined.contains(&"counting".to_string()));
+        assert_eq!(e.metrics_snapshot().gauges["fault.degraded"], 2);
+    }
+
+    #[test]
+    fn crashed_shard_worker_still_yields_a_complete_identical_report() {
+        // A crash-heavy plan kills shard workers mid-batch; the coordinator
+        // finishes their slices inline and the report comes out complete
+        // and byte-identical to the sequential run under the same plan.
+        let fault_cfg =
+            FaultConfig { seed: 1, rate: 0.9, mix: FaultMix::crash_only(), ..Default::default() };
+        let samples = big_corpus();
+        let seq = fault_engine(1, fault_cfg).process(&samples);
+        let par_engine = fault_engine(4, fault_cfg);
+        let par = par_engine.process(&samples);
+        assert_eq!(par.cases.len(), samples.len(), "no sample may be dropped");
+        assert_eq!(serde_json::to_string(&seq).unwrap(), serde_json::to_string(&par).unwrap());
+        let snap = par_engine.metrics_snapshot();
+        assert!(
+            snap.counters["fault.shard_crashes"] >= 1,
+            "a 90% crash rate across 4 shard workers must kill at least one"
+        );
+    }
+
+    #[test]
+    fn fault_metrics_schema_matches_plain_engines() {
+        let samples = corpus();
+        let plain = engine_with(1, true);
+        plain.process(&samples);
+        let faulted = fault_engine(1, FaultConfig::with_rate(5, 0.1));
+        faulted.process(&samples);
+        assert_eq!(
+            plain.metrics_snapshot().schema(),
+            faulted.metrics_snapshot().schema(),
+            "fault instruments are pre-registered for every engine"
+        );
     }
 }

@@ -1,0 +1,377 @@
+//! The seeded fault plan: a pure function from call coordinates to fault
+//! decisions.
+//!
+//! Every decision is a function of `(seed, site, key, attempt)` and nothing
+//! else — not wall-clock time, not call order, not thread identity. Two
+//! consequences the rest of the workspace leans on:
+//!
+//! * **Reproducibility.** A run that degrades under `--fault-seed 7` degrades
+//!   identically on one worker or eight, today or in CI next week.
+//! * **Rate monotonicity.** Whether a coordinate faults is decided by
+//!   comparing one hash draw against the rate, and *which kind* of fault it
+//!   is comes from a second, independent draw. Raising the rate therefore
+//!   only ever adds faults (the fault set at rate `r1` is a subset of the
+//!   set at `r2 >= r1`, with identical kinds), which is what makes
+//!   "degradation is monotone in the fault rate" a testable property.
+
+/// The kind of failure injected at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A transient failure (lost RPC, flaky analyzer): retrying may succeed.
+    Transient,
+    /// The operation exceeded its stage budget; charged the timeout budget
+    /// on the virtual clock and retried.
+    Timeout,
+    /// The response failed validation (checksum/shape mismatch); discarded
+    /// and retried.
+    Corrupt,
+    /// The component died. Not retryable: the caller must degrade.
+    Crash,
+}
+
+impl FaultKind {
+    /// Every kind, in severity order.
+    pub const ALL: [FaultKind; 4] =
+        [FaultKind::Transient, FaultKind::Timeout, FaultKind::Corrupt, FaultKind::Crash];
+
+    /// Stable lowercase name (used for metric keys).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Crash => "crash",
+        }
+    }
+
+    /// Whether a bounded retry can recover from this kind.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, FaultKind::Crash)
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A named injection site: one class of operation faults can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Site {
+    /// One detector invocation on one sample.
+    DetectorCall,
+    /// A lookup in the content-addressed analysis cache (a faulted get is
+    /// served as a miss).
+    CacheGet,
+    /// A store into the analysis cache (a faulted put is dropped).
+    CachePut,
+    /// A shard worker thread of the parallel workflow engine.
+    ShardWorker,
+    /// One ML model prediction.
+    MlPredict,
+}
+
+impl Site {
+    /// Every site.
+    pub const ALL: [Site; 5] =
+        [Site::DetectorCall, Site::CacheGet, Site::CachePut, Site::ShardWorker, Site::MlPredict];
+
+    /// Stable lowercase name (used for metric keys).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Site::DetectorCall => "detector_call",
+            Site::CacheGet => "cache_get",
+            Site::CachePut => "cache_put",
+            Site::ShardWorker => "shard_worker",
+            Site::MlPredict => "ml_predict",
+        }
+    }
+
+    /// Stable per-site hash tag, so two sites never share a decision stream.
+    fn tag(self) -> u64 {
+        match self {
+            Site::DetectorCall => 0x01,
+            Site::CacheGet => 0x02,
+            Site::CachePut => 0x03,
+            Site::ShardWorker => 0x04,
+            Site::MlPredict => 0x05,
+        }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Relative weights of the four fault kinds. Weights are normalized at
+/// decision time; they choose *which* fault fires, never *whether* one does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultMix {
+    /// Weight of [`FaultKind::Transient`].
+    pub transient: f64,
+    /// Weight of [`FaultKind::Timeout`].
+    pub timeout: f64,
+    /// Weight of [`FaultKind::Corrupt`].
+    pub corrupt: f64,
+    /// Weight of [`FaultKind::Crash`].
+    pub crash: f64,
+}
+
+impl FaultMix {
+    /// The production-shaped default: mostly transient hiccups, a few
+    /// timeouts and corruptions, rare crashes.
+    pub fn standard() -> Self {
+        FaultMix { transient: 0.70, timeout: 0.15, corrupt: 0.10, crash: 0.05 }
+    }
+
+    /// Only recoverable transient faults — the differential-testing mix,
+    /// where every injected fault must be invisible to verdicts.
+    pub fn transient_only() -> Self {
+        FaultMix { transient: 1.0, timeout: 0.0, corrupt: 0.0, crash: 0.0 }
+    }
+
+    /// Only crashes — the mix that exercises quarantine and shard-worker
+    /// recovery paths directly.
+    pub fn crash_only() -> Self {
+        FaultMix { transient: 0.0, timeout: 0.0, corrupt: 0.0, crash: 1.0 }
+    }
+
+    /// Picks a kind from a uniform draw in `[0, 1)`.
+    fn pick(&self, u: f64) -> FaultKind {
+        let total = self.transient + self.timeout + self.corrupt + self.crash;
+        if total <= 0.0 {
+            return FaultKind::Transient;
+        }
+        let x = u * total;
+        if x < self.transient {
+            FaultKind::Transient
+        } else if x < self.transient + self.timeout {
+            FaultKind::Timeout
+        } else if x < self.transient + self.timeout + self.corrupt {
+            FaultKind::Corrupt
+        } else {
+            FaultKind::Crash
+        }
+    }
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix::standard()
+    }
+}
+
+/// Everything a resilience layer needs to know about how to fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault plan (independent of the corpus seed).
+    pub seed: u64,
+    /// Probability that any given `(site, key, attempt)` coordinate faults.
+    pub rate: f64,
+    /// Relative kind weights.
+    pub mix: FaultMix,
+    /// Retries allowed after the first failed attempt (total attempts =
+    /// `max_retries + 1`).
+    pub max_retries: u32,
+    /// First backoff delay, on the virtual clock.
+    pub base_backoff_micros: u64,
+    /// Backoff ceiling, on the virtual clock.
+    pub max_backoff_micros: u64,
+    /// Virtual time charged by a [`FaultKind::Timeout`] before the retry
+    /// (the per-stage timeout budget).
+    pub timeout_budget_micros: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            rate: 0.0,
+            mix: FaultMix::standard(),
+            max_retries: 3,
+            base_backoff_micros: 100,
+            max_backoff_micros: 100_000,
+            timeout_budget_micros: 50_000,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A plan-bearing config at `rate` with everything else default.
+    pub fn with_rate(seed: u64, rate: f64) -> Self {
+        FaultConfig { seed, rate, ..Default::default() }
+    }
+}
+
+/// The deterministic fault plan: decides, per `(site, key, attempt)`,
+/// whether and how to fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    mix: FaultMix,
+}
+
+/// splitmix64 finalizer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a u64 to a uniform f64 in `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Combines two identifying values into one decision key (e.g. a detector
+/// index and a sample index). Pure and collision-scattered.
+pub fn site_key(a: u64, b: u64) -> u64 {
+    mix64(mix64(a) ^ b.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+impl FaultPlan {
+    /// Builds the plan for a config.
+    pub fn new(config: &FaultConfig) -> Self {
+        FaultPlan { seed: config.seed, rate: config.rate.clamp(0.0, 1.0), mix: config.mix }
+    }
+
+    /// The configured fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The decision draw for one coordinate, independent of the rate.
+    fn draw(&self, site: Site, key: u64, attempt: u32, salt: u64) -> f64 {
+        let mut h = mix64(self.seed ^ salt);
+        h = mix64(h ^ site.tag());
+        h = mix64(h ^ key);
+        h = mix64(h ^ attempt as u64);
+        unit(h)
+    }
+
+    /// Whether (and how) the coordinate `(site, key, attempt)` faults.
+    ///
+    /// Pure: the same plan and coordinates always return the same decision.
+    /// Monotone in the rate: if this returns `Some` at rate `r`, it returns
+    /// the *same* `Some(kind)` at every rate above `r` (whether-to-fault and
+    /// which-kind come from independent draws).
+    pub fn decide(&self, site: Site, key: u64, attempt: u32) -> Option<FaultKind> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        if self.draw(site, key, attempt, 0xFA01) >= self.rate {
+            return None;
+        }
+        Some(self.mix.pick(self.draw(site, key, attempt, 0xFA02)))
+    }
+
+    /// Whether a bounded retry loop over `(site, key)` exhausts its budget:
+    /// `true` when every one of the `max_retries + 1` attempts faults, or a
+    /// [`FaultKind::Crash`] fires before any attempt succeeds. This is the
+    /// same walk [`crate::FaultInjector::run`] performs, precomputable
+    /// without running anything — which is how quarantine points stay
+    /// identical across worker counts.
+    pub fn exhausts(&self, site: Site, key: u64, max_retries: u32) -> bool {
+        for attempt in 0..=max_retries {
+            match self.decide(site, key, attempt) {
+                None => return false,
+                Some(FaultKind::Crash) => return true,
+                Some(_) => {}
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure() {
+        let plan = FaultPlan::new(&FaultConfig::with_rate(7, 0.3));
+        for key in 0..200 {
+            for attempt in 0..4 {
+                let a = plan.decide(Site::DetectorCall, key, attempt);
+                let b = plan.decide(Site::DetectorCall, key, attempt);
+                assert_eq!(a, b);
+                // A separately constructed identical plan agrees too.
+                let other = FaultPlan::new(&FaultConfig::with_rate(7, 0.3));
+                assert_eq!(a, other.decide(Site::DetectorCall, key, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let plan = FaultPlan::new(&FaultConfig::with_rate(3, 0.0));
+        for key in 0..1000 {
+            assert_eq!(plan.decide(Site::DetectorCall, key, 0), None);
+            assert!(!plan.exhausts(Site::DetectorCall, key, 3));
+        }
+    }
+
+    #[test]
+    fn full_rate_always_faults() {
+        let plan = FaultPlan::new(&FaultConfig::with_rate(3, 1.0));
+        for key in 0..100 {
+            assert!(plan.decide(Site::MlPredict, key, 0).is_some());
+            assert!(plan.exhausts(Site::MlPredict, key, 3));
+        }
+    }
+
+    #[test]
+    fn sites_have_independent_streams() {
+        let plan = FaultPlan::new(&FaultConfig::with_rate(11, 0.5));
+        let a: Vec<bool> = (0..256).map(|k| plan.decide(Site::CacheGet, k, 0).is_some()).collect();
+        let b: Vec<bool> = (0..256).map(|k| plan.decide(Site::CachePut, k, 0).is_some()).collect();
+        assert_ne!(a, b, "distinct sites must not share decisions");
+    }
+
+    #[test]
+    fn rate_monotonicity_preserves_kind() {
+        let lo = FaultPlan::new(&FaultConfig::with_rate(5, 0.1));
+        let hi = FaultPlan::new(&FaultConfig::with_rate(5, 0.4));
+        let mut nested = 0;
+        for key in 0..2000 {
+            for attempt in 0..3 {
+                if let Some(kind) = lo.decide(Site::DetectorCall, key, attempt) {
+                    nested += 1;
+                    assert_eq!(
+                        hi.decide(Site::DetectorCall, key, attempt),
+                        Some(kind),
+                        "higher rate must keep every lower-rate fault, same kind"
+                    );
+                }
+            }
+        }
+        assert!(nested > 100, "the low-rate plan should fault somewhere: {nested}");
+    }
+
+    #[test]
+    fn mix_pick_covers_all_kinds() {
+        let mix = FaultMix::standard();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000 {
+            seen.insert(mix.pick(i as f64 / 1000.0));
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(FaultMix::transient_only().pick(0.999), FaultKind::Transient);
+        assert_eq!(FaultMix::crash_only().pick(0.0), FaultKind::Crash);
+        // A degenerate all-zero mix still returns something retryable.
+        let zero = FaultMix { transient: 0.0, timeout: 0.0, corrupt: 0.0, crash: 0.0 };
+        assert_eq!(zero.pick(0.5), FaultKind::Transient);
+    }
+
+    #[test]
+    fn site_key_scatters() {
+        assert_ne!(site_key(0, 1), site_key(1, 0));
+        assert_ne!(site_key(2, 3), site_key(3, 2));
+        assert_eq!(site_key(7, 9), site_key(7, 9));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the fault plan and retry loop: the invariants every
+//! consumer of the crate leans on, checked over arbitrary seeds, rates,
+//! and keys.
+//!
+//! * **Purity** — `decide` is a pure function of (config, site, key,
+//!   attempt): rebuilding the plan never changes a decision.
+//! * **Calibration** — the empirical injection frequency over many keys
+//!   tracks the configured rate.
+//! * **Nesting** — raising the rate only adds faults; every fault at a
+//!   lower rate fires with the same kind at any higher rate (the property
+//!   that makes degradation monotone in the rate).
+//! * **Budget** — `run` never retries past `max_retries`, and an
+//!   exhausted call used exactly `max_retries + 1` attempts.
+//! * **Backoff** — delays are non-decreasing in the attempt number and
+//!   never exceed the cap.
+
+use proptest::prelude::*;
+use vulnman_faults::{Backoff, FaultConfig, FaultError, FaultInjector, FaultPlan, Site};
+
+fn site(idx: usize) -> Site {
+    Site::ALL[idx % Site::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rebuilding a plan from the same config reproduces every decision.
+    #[test]
+    fn decide_is_pure(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+        site_idx in 0usize..5,
+        key in any::<u64>(),
+        attempt in 0u32..8,
+    ) {
+        let config = FaultConfig::with_rate(seed, f64::from(rate_pct) / 100.0);
+        let a = FaultPlan::new(&config);
+        let b = FaultPlan::new(&config);
+        prop_assert_eq!(a.decide(site(site_idx), key, attempt), b.decide(site(site_idx), key, attempt));
+    }
+
+    /// The observed fault frequency over 4000 keys stays within 5
+    /// percentage points of the configured rate (≥ 6σ for a Bernoulli
+    /// sample of that size).
+    #[test]
+    fn empirical_rate_tracks_configured_rate(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=50,
+        site_idx in 0usize..5,
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let plan = FaultPlan::new(&FaultConfig::with_rate(seed, rate));
+        let n = 4000u64;
+        let fired =
+            (0..n).filter(|&key| plan.decide(site(site_idx), key, 0).is_some()).count() as f64;
+        let empirical = fired / n as f64;
+        prop_assert!(
+            (empirical - rate).abs() < 0.05,
+            "empirical {} vs configured {}", empirical, rate
+        );
+    }
+
+    /// Fault sets nest: anything that fires at a lower rate fires with
+    /// the same kind at any higher rate.
+    #[test]
+    fn fault_sets_nest_as_rate_rises(
+        seed in any::<u64>(),
+        lo_pct in 0u32..=50,
+        extra_pct in 0u32..=50,
+        site_idx in 0usize..5,
+        key in any::<u64>(),
+        attempt in 0u32..8,
+    ) {
+        let lo = f64::from(lo_pct) / 100.0;
+        let hi = f64::from(lo_pct + extra_pct) / 100.0;
+        let plan_lo = FaultPlan::new(&FaultConfig::with_rate(seed, lo));
+        let plan_hi = FaultPlan::new(&FaultConfig::with_rate(seed, hi));
+        if let Some(kind) = plan_lo.decide(site(site_idx), key, attempt) {
+            prop_assert_eq!(plan_hi.decide(site(site_idx), key, attempt), Some(kind));
+        }
+    }
+
+    /// `run` respects the retry budget: a success reports at most
+    /// `max_retries` retries, an exhaustion used exactly
+    /// `max_retries + 1` attempts, and a crash never retries past the
+    /// attempt it fired on.
+    #[test]
+    fn run_never_exceeds_the_retry_budget(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=90,
+        max_retries in 0u32..6,
+        key in any::<u64>(),
+        site_idx in 0usize..5,
+    ) {
+        let config = FaultConfig {
+            max_retries,
+            ..FaultConfig::with_rate(seed, f64::from(rate_pct) / 100.0)
+        };
+        let inj = FaultInjector::new(&config);
+        match inj.run(site(site_idx), key, || ()) {
+            Ok(attempted) => prop_assert!(attempted.retries <= max_retries),
+            Err(FaultError::Exhausted { attempts, .. }) => {
+                prop_assert_eq!(attempts, max_retries + 1);
+            }
+            Err(FaultError::Crashed { attempt, .. }) => prop_assert!(attempt <= max_retries),
+        }
+    }
+
+    /// Backoff delays are non-decreasing in the attempt number and capped.
+    #[test]
+    fn backoff_is_monotone_and_capped(
+        base in 1u64..10_000,
+        cap_extra in 0u64..1_000_000,
+        attempt in 0u32..80,
+    ) {
+        let cap = base + cap_extra;
+        let backoff = Backoff::new(base, cap);
+        let here = backoff.delay_micros(attempt);
+        let next = backoff.delay_micros(attempt + 1);
+        prop_assert!(here <= next, "delay must not shrink: {} > {}", here, next);
+        prop_assert!(next <= cap, "delay {} exceeds cap {}", next, cap);
+    }
+}

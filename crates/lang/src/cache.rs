@@ -54,6 +54,25 @@ impl CacheStats {
 /// Key of one memoized downstream analysis.
 type AnalysisKey = (u64, &'static str, u64);
 
+/// A cache operation a fault hook can veto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// A lookup. A vetoed get is served as a miss (the value is recomputed).
+    Get,
+    /// A store. A vetoed put is dropped (the value is returned but not
+    /// retained).
+    Put,
+}
+
+/// Decides whether a cache operation is dropped, keyed by the content hash.
+///
+/// Returning `true` vetoes the operation. Installed by the workflow
+/// engine's fault-injection layer; because a dropped get degrades to a
+/// recompute and a dropped put to a smaller cache, a hook can *never*
+/// change analysis results — only how much work is repeated. The hook must
+/// be a pure function of its arguments for runs to stay reproducible.
+pub type CacheFaultHook = Arc<dyn Fn(CacheOp, u64) -> bool + Send + Sync>;
+
 /// A thread-safe, content-addressed cache of parse and analysis results.
 ///
 /// Accounting (hits, misses, evictions, resident source bytes) is reported
@@ -69,6 +88,7 @@ pub struct AnalysisCache {
     misses: Counter,
     evictions: Counter,
     bytes: Gauge,
+    fault_hook: Option<CacheFaultHook>,
 }
 
 impl Default for AnalysisCache {
@@ -108,7 +128,20 @@ impl AnalysisCache {
             misses: metrics.counter("cache.misses"),
             evictions: metrics.counter("cache.evictions"),
             bytes: metrics.gauge("cache.bytes"),
+            fault_hook: None,
         }
+    }
+
+    /// Installs a fault hook consulted before every storage access (see
+    /// [`CacheFaultHook`]). Vetoed gets are misses, vetoed puts are dropped;
+    /// results are unchanged either way.
+    pub fn set_fault_hook(&mut self, hook: CacheFaultHook) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Whether the hook vetoes `op` for `key`.
+    fn faulted(&self, op: CacheOp, key: u64) -> bool {
+        self.fault_hook.as_ref().is_some_and(|h| h(op, key))
     }
 
     /// Creates a pass-through cache: every lookup computes fresh and nothing
@@ -203,6 +236,12 @@ impl AnalysisCache {
             return crate::parser::parse(source).map(Arc::new);
         }
         let key = Self::content_key(source);
+        if self.faulted(CacheOp::Get, key) {
+            // Injected lookup fault: degrade to a recompute (and skip the
+            // store — a faulted read path should not mutate storage).
+            self.misses.inc();
+            return crate::parser::parse(source).map(Arc::new);
+        }
         if let Some(cached) = self.parses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.hits.inc();
             return cached.clone();
@@ -211,6 +250,9 @@ impl AnalysisCache {
         // parse of a brand-new key, but both produce identical values.
         self.misses.inc();
         let result = crate::parser::parse(source).map(Arc::new);
+        if self.faulted(CacheOp::Put, key) {
+            return result;
+        }
         let prev =
             self.parses.lock().unwrap_or_else(|e| e.into_inner()).insert(key, result.clone());
         if prev.is_none() {
@@ -241,6 +283,10 @@ impl AnalysisCache {
             return Arc::new(compute());
         }
         let key = (Self::content_key(source), kind, config_key);
+        if self.faulted(CacheOp::Get, key.0) {
+            self.misses.inc();
+            return Arc::new(compute());
+        }
         if let Some(cached) = self.analyses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             if let Ok(typed) = Arc::downcast::<T>(Arc::clone(cached)) {
                 self.hits.inc();
@@ -249,6 +295,9 @@ impl AnalysisCache {
         }
         self.misses.inc();
         let value = Arc::new(compute());
+        if self.faulted(CacheOp::Put, key.0) {
+            return value;
+        }
         self.analyses
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -378,5 +427,45 @@ mod tests {
         let b = cache.parse(SRC).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "storage works regardless of recording");
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn get_fault_degrades_to_recompute_with_identical_value() {
+        let baseline = AnalysisCache::new();
+        let expected = baseline.parse(SRC).unwrap();
+
+        let mut cache = AnalysisCache::new();
+        cache.set_fault_hook(Arc::new(|op, _key| op == CacheOp::Get));
+        let a = cache.parse(SRC).unwrap();
+        let b = cache.parse(SRC).unwrap();
+        // Every lookup is dropped, so both calls recompute fresh values …
+        assert!(!Arc::ptr_eq(&a, &b), "faulted gets must never hit");
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        // … but the values are byte-identical to the fault-free parse.
+        assert_eq!(format!("{a:?}"), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn put_fault_never_stores_but_results_are_correct() {
+        let metrics = Registry::new();
+        let mut cache = AnalysisCache::with_metrics(&metrics);
+        cache.set_fault_hook(Arc::new(|op, _key| op == CacheOp::Put));
+        cache.parse(SRC).unwrap();
+        cache.parse(SRC).unwrap();
+        // Stores are dropped, so the second lookup still misses and nothing
+        // is resident.
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(metrics.gauge("cache.bytes").get(), 0);
+    }
+
+    #[test]
+    fn analysis_faults_degrade_without_changing_values() {
+        let mut cache = AnalysisCache::new();
+        cache.set_fault_hook(Arc::new(|op, _key| op == CacheOp::Get));
+        let a = cache.analysis(SRC, "taint", 0, || 41_u32 + 1);
+        let b = cache.analysis(SRC, "taint", 0, || 41_u32 + 1);
+        assert_eq!(*a, 42);
+        assert_eq!(*b, 42);
+        assert!(!Arc::ptr_eq(&a, &b), "faulted analysis gets recompute");
     }
 }

@@ -47,7 +47,7 @@ pub mod taint;
 pub mod token;
 
 pub use ast::{Expr, Function, Program, Stmt, Type};
-pub use cache::{AnalysisCache, CacheStats};
+pub use cache::{AnalysisCache, CacheFaultHook, CacheOp, CacheStats};
 pub use error::{ParseError, ParseResult};
 pub use parser::parse;
 pub use printer::print_program;

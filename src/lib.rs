@@ -48,6 +48,7 @@
 
 pub use vulnman_analysis as analysis;
 pub use vulnman_core as core;
+pub use vulnman_faults as faults;
 pub use vulnman_lang as lang;
 pub use vulnman_ml as ml;
 pub use vulnman_obs as obs;
@@ -62,7 +63,10 @@ pub mod prelude {
     pub use vulnman_core::detector::{
         CombinePolicy, Detector, DetectorRegistry, MlDetector, RuleBasedDetector,
     };
-    pub use vulnman_core::workflow::{WorkflowConfig, WorkflowEngine, WorkflowReport};
+    pub use vulnman_core::workflow::{
+        DegradationSummary, WorkflowConfig, WorkflowEngine, WorkflowReport,
+    };
+    pub use vulnman_faults::{FaultConfig, FaultKind, FaultMix, FaultPlan, Site};
     pub use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
     pub use vulnman_lang::{parse, print_program};
     pub use vulnman_ml::pipeline::{model_zoo, DetectionModel};

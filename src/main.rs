@@ -8,6 +8,7 @@
 //! vulnman gen [--seed N] [--count N] [--fraction F] [--out <dir>]
 //!                                                            generate a labeled corpus
 //! vulnman workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+//!                  [--fault-seed N] [--fault-rate F] [--max-retries N]
 //!                  [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
 //!                                                            run the Figure-1 pipeline
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
@@ -55,6 +56,9 @@ const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|sft|help> [optio
   exec <file>                                    run under the sanitizer interpreter
   gen [--seed N] [--count N] [--fraction F] [--out DIR]
   workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+           [--fault-rate F]         inject seeded faults at this rate (chaos mode)
+           [--fault-seed N]         fault-plan seed (default 0; independent of --seed)
+           [--max-retries N]        retry budget per faulted call (default 3)
            [--metrics-out FILE]     dump the metrics snapshot as JSON
            [--metrics-prom FILE]    dump Prometheus text exposition
            [--metrics-summary]      print the per-stage timing table
@@ -263,7 +267,21 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
     registry.register(Box::new(RuleBasedDetector::standard()));
     let config =
         WorkflowConfig { jobs, cache: !flag_present(args, "--no-cache"), ..Default::default() };
-    let engine = WorkflowEngine::new(registry, config);
+    let fault_rate: f64 = parse_num(args, "--fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err("--fault-rate must be between 0 and 1".into());
+    }
+    let engine = if fault_rate > 0.0 {
+        let fault_config = FaultConfig {
+            seed: parse_num(args, "--fault-seed", 0)?,
+            rate: fault_rate,
+            max_retries: parse_num(args, "--max-retries", 3)?,
+            ..Default::default()
+        };
+        WorkflowEngine::with_fault_config(registry, config, fault_config)
+    } else {
+        WorkflowEngine::new(registry, config)
+    };
     let report = engine.process(ds.samples());
     let m = report.detection_metrics();
     println!(
@@ -294,6 +312,29 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
         stats.misses,
         stats.hit_rate() * 100.0
     );
+    if let Some(fc) = engine.fault_config() {
+        let deg = &report.degradation;
+        let injected = deg.transient + deg.timeout + deg.corrupt + deg.crash;
+        println!(
+            "resilience: {injected} fault(s) injected (seed {}, rate {:.0}%), \
+             {} recovered after {} retries, {} call(s) exhausted",
+            fc.seed,
+            fc.rate * 100.0,
+            deg.recovered,
+            deg.retries,
+            deg.exhausted
+        );
+        if deg.is_degraded() {
+            println!(
+                "degradation: {} assessment(s) lost across {} sample(s); quarantined: {}",
+                deg.assessments_lost,
+                deg.degraded_samples,
+                if deg.quarantined.is_empty() { "none".into() } else { deg.quarantined.join(", ") }
+            );
+        } else {
+            println!("degradation: none — every fault recovered within the retry budget");
+        }
+    }
     write_metrics(args, &engine.metrics_snapshot())?;
     Ok(())
 }

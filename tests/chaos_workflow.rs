@@ -1,0 +1,134 @@
+//! Chaos suite: the Figure-1 workflow under seeded fault injection.
+//!
+//! A deterministic `FaultPlan` decides per (site, attempt) whether a
+//! detector call, cache access, shard worker, or ML prediction fails, so
+//! "chaos" runs are exactly reproducible: same corpus seed + fault seed +
+//! config → byte-identical reports, regardless of worker count. The grid
+//! here sweeps injection rates {0, 1%, 5%, 20%} × jobs {1, 4} on a
+//! fixed-seed 300-sample corpus and pins three contracts:
+//!
+//! 1. no configuration panics, and every report stays complete;
+//! 2. reports are byte-identical across jobs for each fault seed;
+//! 3. a zero-rate plan is byte-identical to the fault-free engine, and
+//!    recall degrades monotonically (never improves) as the rate rises.
+
+use vulnman::prelude::*;
+
+const FAULT_SEED: u64 = 20240806;
+const RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.2];
+const JOBS: [usize; 2] = [1, 4];
+
+/// Fixed-seed corpus: 60 vulnerable / 300 total — large enough to hit
+/// every workflow stage and both shard paths, small enough for a grid.
+fn corpus() -> Dataset {
+    DatasetBuilder::new(20240806).vulnerable_count(60).vulnerable_fraction(0.2).build()
+}
+
+fn registry() -> DetectorRegistry {
+    let mut r = DetectorRegistry::new();
+    r.register(Box::new(RuleBasedDetector::standard()));
+    r
+}
+
+fn fault_run(jobs: usize, rate: f64, ds: &Dataset) -> WorkflowReport {
+    let config = WorkflowConfig { jobs, ..Default::default() };
+    let engine = WorkflowEngine::with_fault_config(
+        registry(),
+        config,
+        FaultConfig::with_rate(FAULT_SEED, rate),
+    );
+    engine.process(ds.samples())
+}
+
+fn to_json(report: &WorkflowReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+#[test]
+fn chaos_grid_completes_and_is_byte_identical_across_jobs() {
+    let ds = corpus();
+    for rate in RATES {
+        let golden = to_json(&fault_run(JOBS[0], rate, &ds));
+        for &jobs in &JOBS[1..] {
+            let json = to_json(&fault_run(jobs, rate, &ds));
+            assert_eq!(
+                json, golden,
+                "faulted report must be byte-identical at rate={rate} jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_rate_plan_is_byte_identical_to_fault_free_engine() {
+    let ds = corpus();
+    let plain = WorkflowEngine::new(registry(), WorkflowConfig::default());
+    let golden = to_json(&plain.process(ds.samples()));
+    for jobs in JOBS {
+        let json = to_json(&fault_run(jobs, 0.0, &ds));
+        assert_eq!(json, golden, "zero-rate plan must be a no-op at jobs={jobs}");
+        assert!(!fault_run(jobs, 0.0, &ds).degradation.is_degraded());
+    }
+}
+
+#[test]
+fn recall_degrades_monotonically_with_injection_rate() {
+    // Whether a (site, attempt) faults and which kind fires are drawn
+    // independently, so the fault sets of two rates nest: every fault at
+    // 1% also fires (with the same kind) at 5% and 20%. Lost assessments
+    // can only unflag samples under the any-detector combine policy, so
+    // recall is monotone non-increasing in the rate.
+    let ds = corpus();
+    let mut last = f64::INFINITY;
+    for rate in RATES {
+        let report = fault_run(1, rate, &ds);
+        let recall = report.detection_metrics().recall();
+        assert!(
+            recall <= last + 1e-12,
+            "recall must not improve as the fault rate rises: {recall} > {last} at rate={rate}"
+        );
+        last = recall;
+    }
+}
+
+#[test]
+fn degradation_summary_accounts_for_what_the_plan_injected() {
+    let ds = corpus();
+    let report = fault_run(4, 0.2, &ds);
+    let deg = &report.degradation;
+    // A 20% rate over 300 detector calls cannot pass silently.
+    assert!(deg.is_degraded(), "20% injection must register as degraded");
+    assert!(deg.transient + deg.timeout + deg.corrupt + deg.crash > 0);
+    // Every lost assessment traces back to an exhaustion, a quarantine
+    // skip, or an ML failure; recoveries imply at least as many retries.
+    assert!(deg.retries >= deg.recovered);
+    assert!(u64::try_from(deg.degraded_samples).unwrap() <= deg.assessments_lost);
+    // Quarantine only ever names registered detectors.
+    for name in &deg.quarantined {
+        assert_eq!(name, "rule-suite", "unexpected quarantined detector {name}");
+    }
+}
+
+#[test]
+fn chaos_runs_keep_the_stable_metrics_schema() {
+    // The `fault.*` instruments are pre-registered for every engine, so
+    // dashboards see one schema whether or not a run injects faults.
+    let ds = corpus();
+    let plain = WorkflowEngine::new(registry(), WorkflowConfig::default());
+    plain.process(ds.samples());
+    let plain_schema = plain.metrics_snapshot().schema();
+    for rate in [0.0, 0.2] {
+        let config = WorkflowConfig { jobs: 4, ..Default::default() };
+        let engine = WorkflowEngine::with_fault_config(
+            registry(),
+            config,
+            FaultConfig::with_rate(FAULT_SEED, rate),
+        );
+        engine.process(ds.samples());
+        assert_eq!(
+            engine.metrics_snapshot().schema(),
+            plain_schema,
+            "metrics schema must not vary with rate={rate}"
+        );
+    }
+}
