@@ -151,18 +151,25 @@ impl TaintDetector {
     pub fn with_config(config: TaintConfig) -> Self {
         TaintDetector { config }
     }
+}
 
-    fn kind_to_cwe(kind: &str) -> Option<Cwe> {
-        Some(match kind {
-            "sql" => Cwe::SqlInjection,
-            "command" | "injection" => Cwe::CommandInjection,
-            "xss" => Cwe::CrossSiteScripting,
-            "path" => Cwe::PathTraversal,
-            "format" => Cwe::FormatString,
-            "memory" => Cwe::OutOfBoundsWrite,
-            _ => return None,
-        })
-    }
+/// Maps a taint sink category label (the `kind` strings of
+/// [`TaintConfig`]) to the CWE class it evidences. `None` for kinds outside
+/// the built-in vocabulary (team-specific categories).
+///
+/// Shared by the static taint-flow detector, the dynamic sanitizer, and the
+/// differential oracle so all three views agree on the mapping by
+/// construction.
+pub fn sink_kind_to_cwe(kind: &str) -> Option<Cwe> {
+    Some(match kind {
+        "sql" => Cwe::SqlInjection,
+        "command" | "injection" => Cwe::CommandInjection,
+        "xss" => Cwe::CrossSiteScripting,
+        "path" => Cwe::PathTraversal,
+        "format" => Cwe::FormatString,
+        "memory" => Cwe::OutOfBoundsWrite,
+        _ => return None,
+    })
 }
 
 impl StaticDetector for TaintDetector {
@@ -187,7 +194,7 @@ impl StaticDetector for TaintDetector {
             .findings
             .iter()
             .filter_map(|f| {
-                let cwe = Self::kind_to_cwe(&f.sink_kind)?;
+                let cwe = sink_kind_to_cwe(&f.sink_kind)?;
                 Some(Finding {
                     cwe,
                     function: f.function.clone(),

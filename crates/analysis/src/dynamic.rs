@@ -36,6 +36,13 @@ impl DynamicSanitizer {
         DynamicSanitizer { config }
     }
 
+    /// Maps an observed runtime fault to the CWE class it evidences.
+    ///
+    /// `None` only for [`DynamicEventKind::TaintedSink`] events whose kind
+    /// string is outside the built-in vocabulary; [`DynamicSanitizer::scan`]
+    /// turns those into a low-confidence generic injection finding instead
+    /// of dropping them (a runtime-observed fault must never vanish from
+    /// the report).
     fn event_to_cwe(kind: &DynamicEventKind) -> Option<Cwe> {
         Some(match kind {
             DynamicEventKind::OutOfBoundsWrite => Cwe::OutOfBoundsWrite,
@@ -43,15 +50,7 @@ impl DynamicSanitizer {
             DynamicEventKind::UseAfterFree => Cwe::UseAfterFree,
             DynamicEventKind::NullDereference => Cwe::NullDereference,
             DynamicEventKind::IntegerOverflow => Cwe::IntegerOverflow,
-            DynamicEventKind::TaintedSink(kind) => match kind.as_str() {
-                "sql" => Cwe::SqlInjection,
-                "command" | "injection" => Cwe::CommandInjection,
-                "xss" => Cwe::CrossSiteScripting,
-                "path" => Cwe::PathTraversal,
-                "format" => Cwe::FormatString,
-                "memory" => Cwe::OutOfBoundsWrite,
-                _ => return None,
-            },
+            DynamicEventKind::TaintedSink(kind) => return crate::detectors::sink_kind_to_cwe(kind),
         })
     }
 
@@ -100,16 +99,38 @@ impl StaticDetector for DynamicSanitizer {
         report
             .events
             .iter()
-            .filter_map(|e| {
-                let cwe = Self::event_to_cwe(&e.kind)?;
-                Some(Finding {
+            .map(|e| match Self::event_to_cwe(&e.kind) {
+                Some(cwe) => Finding {
                     cwe,
                     function: e.function.clone(),
                     span: e.span,
                     detector: "dynamic-sanitizer".into(),
                     message: Self::describe(&e.kind),
                     confidence: Confidence::High,
-                })
+                },
+                None => {
+                    // A tainted-sink fault with a team-specific kind string
+                    // outside the built-in vocabulary. The fault *happened*
+                    // at runtime, so it must surface — as a generic
+                    // injection finding at low confidence rather than a
+                    // silently dropped event.
+                    let kind = match &e.kind {
+                        DynamicEventKind::TaintedSink(k) => k.as_str(),
+                        _ => unreachable!("only unmapped sink kinds reach here"),
+                    };
+                    Finding {
+                        cwe: Cwe::CommandInjection,
+                        function: e.function.clone(),
+                        span: e.span,
+                        detector: "dynamic-sanitizer".into(),
+                        message: format!(
+                            "attacker data observed reaching an unmapped `{kind}` sink at \
+                             runtime (generic injection finding; map this kind in the taint \
+                             vocabulary for a precise class)"
+                        ),
+                        confidence: Confidence::Low,
+                    }
+                }
             })
             .collect()
     }
@@ -188,6 +209,37 @@ mod tests {
                 b.source
             );
         }
+    }
+
+    #[test]
+    fn unmapped_sink_kind_still_surfaces_as_a_finding() {
+        // Regression: a `TaintedSink` event whose kind string is outside
+        // the built-in vocabulary used to be silently dropped
+        // (`_ => return None`), making a runtime-observed fault vanish
+        // from the report. It must now surface as a low-confidence
+        // generic finding.
+        let mut config = InterpConfig::default();
+        config.taint.add_sink("ldap_query", vec![0], "ldap");
+        let detector = DynamicSanitizer::with_config(config);
+        let program =
+            parse(r#"void handler() { char* q = http_param("filter"); ldap_query(q); }"#).unwrap();
+        let findings = detector.scan(&program);
+        assert_eq!(findings.len(), 1, "the observed fault must not vanish: {findings:?}");
+        assert_eq!(findings[0].confidence, Confidence::Low, "unmapped kind => low confidence");
+        assert!(
+            findings[0].message.contains("ldap"),
+            "the unmapped kind is named in the message: {}",
+            findings[0].message
+        );
+        // Mapped kinds are unaffected: same flow through a known sink is a
+        // high-confidence, precisely classified finding.
+        let stock = DynamicSanitizer::new();
+        let program =
+            parse(r#"void handler() { char* q = http_param("filter"); exec_query(q); }"#).unwrap();
+        let findings = stock.scan(&program);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].cwe, Cwe::SqlInjection);
+        assert_eq!(findings[0].confidence, Confidence::High);
     }
 
     #[test]

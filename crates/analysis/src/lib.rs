@@ -31,6 +31,7 @@ pub mod detectors;
 pub mod dynamic;
 pub mod finding;
 pub mod fuzz;
+pub mod oracle;
 pub mod reachability;
 pub mod severity;
 
@@ -38,5 +39,8 @@ pub use autofix::AutoFixer;
 pub use detectors::{RuleEngine, StaticDetector};
 pub use dynamic::DynamicSanitizer;
 pub use finding::{Confidence, Finding};
+pub use oracle::{
+    DifferentialOracle, Disagreement, DisagreementKind, OracleConfig, OracleReport, View,
+};
 pub use reachability::{CallGraph, Surface};
 pub use severity::{score, ScoredFinding};

@@ -123,7 +123,8 @@ pub fn run(quick: bool) -> (Vec<FinanceRow>, Vec<OperatingRow>) {
         let cal_scores: Vec<f64> = raw_scores.iter().map(|&s| scaler.calibrate(s)).collect();
         let ece_raw = expected_calibration_error(&raw_scores, &tune_truth, 10);
         let ece_cal = expected_calibration_error(&cal_scores, &tune_truth, 10);
-        let point = optimal_threshold(&cal_scores, &tune_truth, &cell_values);
+        let point = optimal_threshold(&cal_scores, &tune_truth, &cell_values)
+            .expect("calibrated scores are finite");
         // Apply both operating points to the held-out eval window.
         let eval_truth: Vec<bool> = eval.iter().map(|s| s.label).collect();
         let eval_scores: Vec<f64> =

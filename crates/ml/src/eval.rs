@@ -107,22 +107,33 @@ impl Metrics {
 
 /// Area under the ROC curve from scores (rank statistic, ties averaged).
 ///
-/// Returns 0.5 when either class is absent.
+/// Non-finite policy: a `NaN` score carries no ranking information (it is
+/// neither above nor below any threshold), so each `(NaN, label)` pair is
+/// **dropped** before ranking — the result is the AUC of the finite-scored
+/// subset. `±inf` are legitimate extreme scores and rank above/below every
+/// finite value. Returns 0.5 when either class is absent after filtering.
+///
+/// (Previously NaN scores were kept and silently treated as ties: NaN
+/// defeats both the `partial_cmp` sort and the `==` tie grouping, so a
+/// single NaN quietly skewed the ranks of every other sample.)
 pub fn roc_auc(scores: &[f64], truth: &[bool]) -> f64 {
     assert_eq!(scores.len(), truth.len(), "scores/truth length mismatch");
-    let n_pos = truth.iter().filter(|&&t| t).count();
-    let n_neg = truth.len() - n_pos;
+    let kept: Vec<(f64, bool)> =
+        scores.iter().zip(truth).filter(|(s, _)| !s.is_nan()).map(|(&s, &t)| (s, t)).collect();
+    let n_pos = kept.iter().filter(|(_, t)| *t).count();
+    let n_neg = kept.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    // Rank with average ties.
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
-    let mut ranks = vec![0.0; scores.len()];
+    // Rank with average ties. `total_cmp` is a total order on the NaN-free
+    // slice and agrees with `==` on tie groups (±inf included).
+    let mut idx: Vec<usize> = (0..kept.len()).collect();
+    idx.sort_by(|&a, &b| kept[a].0.total_cmp(&kept[b].0));
+    let mut ranks = vec![0.0; kept.len()];
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+        while j + 1 < idx.len() && kept[idx[j + 1]].0 == kept[idx[i]].0 {
             j += 1;
         }
         let avg = (i + j) as f64 / 2.0 + 1.0;
@@ -131,7 +142,7 @@ pub fn roc_auc(scores: &[f64], truth: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let sum_pos: f64 = ranks.iter().zip(truth).filter(|(_, &t)| t).map(|(r, _)| r).sum();
+    let sum_pos: f64 = ranks.iter().zip(&kept).filter(|(_, (_, t))| *t).map(|(r, _)| r).sum();
     (sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
 }
 
@@ -287,6 +298,45 @@ mod tests {
     #[test]
     fn auc_single_class_is_half() {
         assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_nan_scores_are_dropped_not_tied() {
+        // Regression: NaN used to survive into the ranking, where it
+        // defeats both the sort comparator and the `==` tie grouping —
+        // one NaN quietly shifted every other sample's rank. Policy now:
+        // a (NaN, label) pair is dropped, so the AUC equals the AUC of
+        // the finite-scored subset.
+        let truth = [true, true, true, false, false];
+        let with_nan = [f64::NAN, 0.9, 0.8, 0.2, 0.1];
+        let finite_subset = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+        assert_eq!(roc_auc(&with_nan, &truth), finite_subset);
+        assert!((roc_auc(&with_nan, &truth) - 1.0).abs() < 1e-12);
+        // NaN position must not matter.
+        assert_eq!(
+            roc_auc(&[0.9, 0.8, f64::NAN, 0.2, 0.1], &[true, true, true, false, false]),
+            finite_subset
+        );
+    }
+
+    #[test]
+    fn auc_all_nan_or_emptied_class_is_half() {
+        assert_eq!(roc_auc(&[f64::NAN, f64::NAN], &[true, false]), 0.5);
+        // Filtering may empty one class entirely.
+        assert_eq!(roc_auc(&[f64::NAN, 0.7], &[true, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_infinite_scores_rank_at_the_extremes() {
+        let truth = [true, true, false, false];
+        assert!(
+            (roc_auc(&[f64::INFINITY, 0.8, 0.2, f64::NEG_INFINITY], &truth) - 1.0).abs() < 1e-12
+        );
+        assert!(
+            (roc_auc(&[f64::NEG_INFINITY, 0.2, 0.8, f64::INFINITY], &truth) - 0.0).abs() < 1e-12
+        );
+        // Tied infinities average like any other tie group.
+        assert!((roc_auc(&[f64::INFINITY, f64::INFINITY, 0.5, 0.5], &truth) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -132,24 +132,70 @@ pub struct OperatingPoint {
     pub net_value: f64,
 }
 
+/// Why an operating point could not be derived from the tuning set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThresholdError {
+    /// No scores were given.
+    Empty,
+    /// `scores` and `truth` have different lengths.
+    LengthMismatch,
+    /// A score is NaN or ±infinite — no threshold on such a score is
+    /// meaningful, and silently skipping it would tune the operating point
+    /// on a different corpus than the caller evaluates on. Clean or clamp
+    /// the scores first.
+    NonFiniteScore,
+}
+
+impl std::fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThresholdError::Empty => f.write_str("no scores to tune a threshold on"),
+            ThresholdError::LengthMismatch => f.write_str("scores/truth length mismatch"),
+            ThresholdError::NonFiniteScore => {
+                f.write_str("scores must be finite to tune a threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
 /// Sweeps every achievable threshold and returns the one maximizing net
 /// value under `values` (ties broken toward higher thresholds, i.e. fewer
 /// flags).
 ///
-/// # Panics
+/// Candidates are derived from the *observed score range*: the minimum
+/// score (flag everything), midpoints between adjacent distinct scores,
+/// and the value just above the maximum (flag nothing) — so score domains
+/// outside `[0, 1]` (raw margins, distances) keep both degenerate
+/// operating points reachable. (Previously the upper candidate was
+/// hard-coded to `1.0 + ε`, making "predict nothing" unreachable for such
+/// domains, and NaN scores panicked mid-sort.)
 ///
-/// Panics if inputs are empty or lengths differ.
-pub fn optimal_threshold(scores: &[f64], truth: &[bool], values: &CellValues) -> OperatingPoint {
-    assert!(!scores.is_empty(), "need scores");
-    assert_eq!(scores.len(), truth.len(), "scores/truth must align");
-    // Candidate thresholds: midpoints between sorted distinct scores, plus
-    // the extremes.
+/// # Errors
+///
+/// Returns a [`ThresholdError`] on empty input, mismatched lengths, or
+/// non-finite scores, instead of panicking.
+pub fn optimal_threshold(
+    scores: &[f64],
+    truth: &[bool],
+    values: &CellValues,
+) -> Result<OperatingPoint, ThresholdError> {
+    if scores.is_empty() {
+        return Err(ThresholdError::Empty);
+    }
+    if scores.len() != truth.len() {
+        return Err(ThresholdError::LengthMismatch);
+    }
+    if scores.iter().any(|s| !s.is_finite()) {
+        return Err(ThresholdError::NonFiniteScore);
+    }
     let mut sorted: Vec<f64> = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    sorted.sort_by(f64::total_cmp);
     sorted.dedup();
-    let mut candidates = vec![0.0];
+    let mut candidates = vec![sorted[0]];
     candidates.extend(sorted.windows(2).map(|w| (w[0] + w[1]) / 2.0));
-    candidates.push(1.0 + f64::EPSILON);
+    candidates.push(sorted[sorted.len() - 1].next_up());
 
     let mut best: Option<OperatingPoint> = None;
     for &th in &candidates {
@@ -164,7 +210,7 @@ pub fn optimal_threshold(scores: &[f64], truth: &[bool], values: &CellValues) ->
             best = Some(OperatingPoint { threshold: th, metrics: m, net_value: v });
         }
     }
-    best.expect("non-empty candidates")
+    Ok(best.expect("non-empty candidates"))
 }
 
 #[cfg(test)]
@@ -231,8 +277,8 @@ mod tests {
         // Expensive false positives => higher threshold than cheap ones.
         let fp_cheap = CellValues { tp: 100.0, fp: -1.0, tn: 0.0, fn_: -100.0 };
         let fp_dear = CellValues { tp: 100.0, fp: -80.0, tn: 0.0, fn_: -10.0 };
-        let cheap = optimal_threshold(&scores, &truth, &fp_cheap);
-        let dear = optimal_threshold(&scores, &truth, &fp_dear);
+        let cheap = optimal_threshold(&scores, &truth, &fp_cheap).unwrap();
+        let dear = optimal_threshold(&scores, &truth, &fp_dear).unwrap();
         assert!(
             dear.threshold > cheap.threshold,
             "dear FPs should raise the bar: {} vs {}",
@@ -253,13 +299,13 @@ mod tests {
         let values = CellValues { tp: 100.0, fp: -10.0, tn: 0.0, fn_: -50.0 };
         let scores: Vec<f64> = (0..40).map(|i| i as f64 / 40.0).collect();
         // All-negative corpus: best to flag nothing; numbers stay finite.
-        let p = optimal_threshold(&scores, &[false; 40], &values);
+        let p = optimal_threshold(&scores, &[false; 40], &values).unwrap();
         assert_eq!(p.metrics.tp + p.metrics.fn_, 0);
         assert!(p.net_value.is_finite());
         assert!(!p.metrics.f1().is_nan());
         assert_eq!(p.metrics.fp, 0, "flagging a clean corpus only costs money");
         // All-positive corpus: best to flag everything.
-        let p = optimal_threshold(&scores, &[true; 40], &values);
+        let p = optimal_threshold(&scores, &[true; 40], &values).unwrap();
         assert!(p.net_value.is_finite());
         assert!(!p.metrics.precision().is_nan());
         assert_eq!(p.metrics.fn_, 0, "missing a vuln-only corpus only loses value");
@@ -269,16 +315,59 @@ mod tests {
     }
 
     #[test]
+    fn nan_scores_are_rejected_not_a_panic() {
+        // Regression: a NaN used to abort the sweep inside the sort
+        // comparator (`expect("finite scores")`). It is now a typed error.
+        let values = CellValues { tp: 1.0, fp: -1.0, tn: 0.0, fn_: -1.0 };
+        assert_eq!(
+            optimal_threshold(&[0.2, f64::NAN, 0.8], &[false, true, true], &values),
+            Err(ThresholdError::NonFiniteScore)
+        );
+        assert_eq!(
+            optimal_threshold(&[f64::INFINITY, 0.5], &[true, false], &values),
+            Err(ThresholdError::NonFiniteScore)
+        );
+        assert_eq!(optimal_threshold(&[], &[], &values), Err(ThresholdError::Empty));
+        assert_eq!(
+            optimal_threshold(&[0.5], &[true, false], &values),
+            Err(ThresholdError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn predict_nothing_is_reachable_outside_unit_scores() {
+        // Regression: with raw-margin scores well above 1.0 and economics
+        // that make every flag a loss, the best operating point is "flag
+        // nothing". The old hard-coded `1.0 + ε` upper candidate sat below
+        // every score, so the sweep could never stop flagging.
+        let scores = [3.5, 4.0, 7.25, 9.0];
+        let truth = [false, false, false, false];
+        let values = CellValues { tp: 1.0, fp: -50.0, tn: 0.0, fn_: 0.0 };
+        let p = optimal_threshold(&scores, &truth, &values).unwrap();
+        assert_eq!(p.metrics.fp, 0, "{p:?}");
+        assert_eq!(p.net_value, 0.0);
+        assert!(p.threshold > 9.0, "above the max observed score: {p:?}");
+        // Symmetrically, "flag everything" stays reachable for negative
+        // domains (k-NN distances negated, raw margins).
+        let scores = [-8.0, -3.0, -1.5];
+        let truth = [true, true, true];
+        let values = CellValues { tp: 5.0, fp: 0.0, tn: 0.0, fn_: -50.0 };
+        let p = optimal_threshold(&scores, &truth, &values).unwrap();
+        assert_eq!(p.metrics.fn_, 0, "{p:?}");
+        assert!(p.threshold <= -8.0, "at or below the min score: {p:?}");
+    }
+
+    #[test]
     fn extreme_economics_degenerate_sanely() {
         let (scores, truth) = synthetic(100, 1.0);
         // Misses are free, FPs ruinous: tolerate zero false positives
         // (flag at most the score range no negative reaches).
         let never = CellValues { tp: 1.0, fp: -1000.0, tn: 0.0, fn_: 0.0 };
-        let p = optimal_threshold(&scores, &truth, &never);
+        let p = optimal_threshold(&scores, &truth, &never).unwrap();
         assert_eq!(p.metrics.fp, 0, "{p:?}");
         // FPs free, misses ruinous: miss nothing.
         let always = CellValues { tp: 1.0, fp: 0.0, tn: 0.0, fn_: -1000.0 };
-        let p = optimal_threshold(&scores, &truth, &always);
+        let p = optimal_threshold(&scores, &truth, &always).unwrap();
         assert_eq!(p.metrics.fn_, 0, "{p:?}");
     }
 }

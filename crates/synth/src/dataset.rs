@@ -87,6 +87,14 @@ impl Dataset {
         }
     }
 
+    /// Ids of samples whose recorded label the noise injection corrupted,
+    /// in corpus order — the provenance query the differential oracle uses
+    /// to prove a disagreement is a `LabelNoiseArtifact` rather than an
+    /// analyzer bug.
+    pub fn mislabeled_ids(&self) -> Vec<u64> {
+        self.samples.iter().filter(|s| s.is_mislabeled()).map(|s| s.id).collect()
+    }
+
     /// Fraction of samples that share a structural fingerprint with at least
     /// one other sample — the duplication level of Gap Observation 4.
     pub fn duplicate_fraction(&self) -> f64 {
@@ -463,6 +471,24 @@ mod tests {
             .build();
         let rate = ds.mislabel_rate();
         assert!((0.24..0.36).contains(&rate), "got {rate}");
+    }
+
+    #[test]
+    fn mislabeled_ids_name_exactly_the_corrupted_samples() {
+        let ds = DatasetBuilder::new(11)
+            .vulnerable_count(40)
+            .vulnerable_fraction(0.5)
+            .label_noise(0.25)
+            .build();
+        let ids = ds.mislabeled_ids();
+        assert!(!ids.is_empty(), "a 25% noise rate on 80 samples must corrupt some");
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "corpus order: {ids:?}");
+        for s in ds.iter() {
+            assert_eq!(ids.contains(&s.id), s.is_mislabeled(), "sample {}", s.id);
+        }
+        // A noise-free corpus has a provably empty provenance set.
+        let clean = DatasetBuilder::new(11).vulnerable_count(20).vulnerable_fraction(0.5).build();
+        assert!(clean.mislabeled_ids().is_empty());
     }
 
     #[test]

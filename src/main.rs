@@ -11,6 +11,10 @@
 //!                  [--fault-seed N] [--fault-rate F] [--max-retries N]
 //!                  [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
 //!                                                            run the Figure-1 pipeline
+//! vulnman oracle [--seed N] [--count N] [--fraction F] [--noise F] [--jobs N]
+//!                [--report-out FILE] [--baseline FILE] [--write-baseline FILE]
+//!                [--shrink-golden DIR] [--max-shrunk N]
+//!                                                            differential disagreement triage
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
 //! ```
 
@@ -34,6 +38,7 @@ fn main() -> ExitCode {
         "exec" => cmd_exec(rest),
         "gen" => cmd_gen(rest),
         "workflow" => cmd_workflow(rest),
+        "oracle" => cmd_oracle(rest),
         "sft" => cmd_sft(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -50,7 +55,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|sft|help> [options]
+const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|oracle|sft|help> [options]
   scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
   fix <file> [--cwe <id>]                        auto-fix and print the patch
   exec <file>                                    run under the sanitizer interpreter
@@ -62,6 +67,13 @@ const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|sft|help> [optio
            [--metrics-out FILE]     dump the metrics snapshot as JSON
            [--metrics-prom FILE]    dump Prometheus text exposition
            [--metrics-summary]      print the per-stage timing table
+  oracle [--seed N] [--count N] [--fraction F] [--noise F] [--jobs N] [--no-cache]
+           [--report-out FILE]      write the full disagreement report as JSON
+           [--baseline FILE]        fail if analyzer-defect count exceeds this baseline
+           [--write-baseline FILE]  record the current analyzer-defect count
+           [--shrink-golden DIR]    shrink disagreements into a golden reproducer corpus
+           [--max-shrunk N]         cap golden reproducers written (default 12)
+           [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
   sft [--seed N] [--count N]";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -336,6 +348,135 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
         }
     }
     write_metrics(args, &engine.metrics_snapshot())?;
+    Ok(())
+}
+
+fn cmd_oracle(args: &[String]) -> Result<(), String> {
+    use vulnman::analysis::oracle::{
+        DefectBaseline, DifferentialOracle, DisagreementKind, GoldenCase, GoldenManifest,
+        OracleConfig, View,
+    };
+
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let count: usize = parse_num(args, "--count", 100)?;
+    let fraction: f64 = parse_num(args, "--fraction", 0.2)?;
+    let noise: f64 = parse_num(args, "--noise", 0.05)?;
+    let jobs: usize = parse_num(args, "--jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&noise) {
+        return Err("--noise must be between 0 and 1".into());
+    }
+    let ds = DatasetBuilder::new(seed)
+        .vulnerable_count(count)
+        .vulnerable_fraction(fraction)
+        .label_noise(noise)
+        .build();
+    let metrics = Registry::new();
+    let config = OracleConfig { jobs, cache: !flag_present(args, "--no-cache") };
+    let oracle = DifferentialOracle::with_metrics(config, &metrics);
+    let report = oracle.run(ds.samples());
+    print!("{}", report.summary_table());
+    // Label-noise provenance cross-check: every noise-corrupted sample must
+    // surface as a label-noise artifact (the dataset knows which labels it
+    // flipped; the oracle must rediscover all of them from the outside).
+    let planted = ds.mislabeled_ids().len();
+    println!(
+        "  label-noise recall: {} artifact(s) / {} planted corruption(s)",
+        report.taxonomy.label_noise_artifact, planted
+    );
+
+    if let Some(path) = flag_value(args, "--report-out") {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+
+    if let Some(dir) = flag_value(args, "--shrink-golden") {
+        let max_shrunk: usize = parse_num(args, "--max-shrunk", 12)?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let by_id: std::collections::HashMap<u64, &vulnman::synth::sample::Sample> =
+            ds.samples().iter().map(|s| (s.id, s)).collect();
+        let mut manifest = GoldenManifest::default();
+        // One reproducer per (cwe, view, kind) signature keeps the corpus
+        // small while still covering every distinct disagreement shape.
+        let mut seen_signatures = std::collections::BTreeSet::new();
+        for d in &report.disagreements {
+            if manifest.cases.len() >= max_shrunk {
+                break;
+            }
+            if d.kind == DisagreementKind::LabelNoiseArtifact || d.view == View::RecordedLabel {
+                continue; // nothing in the source encodes a recorded label
+            }
+            if !seen_signatures.insert((d.cwe, d.view, d.kind)) {
+                continue;
+            }
+            let Some(sample) = by_id.get(&d.sample_id) else { continue };
+            let truth = if sample.label { sample.cwe } else { None };
+            let Some(outcome) = oracle.shrink(&sample.source, d, truth, sample.is_mislabeled())
+            else {
+                continue;
+            };
+            let cwe_tag = d.cwe.map_or_else(|| "parse".to_string(), |c| format!("cwe{}", c.id()));
+            let file = format!("case_{:04}_{}_{}.c", d.sample_id, cwe_tag, d.kind.label());
+            std::fs::write(format!("{dir}/{file}"), &outcome.source)
+                .map_err(|e| format!("write {dir}/{file}: {e}"))?;
+            eprintln!(
+                "shrunk sample {} ({} -> {} bytes, {} step(s), {} attempt(s)) -> {file}",
+                d.sample_id,
+                sample.source.len(),
+                outcome.source.len(),
+                outcome.steps,
+                outcome.attempts
+            );
+            manifest.cases.push(GoldenCase {
+                file,
+                sample_id: d.sample_id,
+                cwe: d.cwe,
+                view: d.view,
+                kind: d.kind,
+                truth,
+                mislabeled: sample.is_mislabeled(),
+                detail: d.detail.clone(),
+            });
+        }
+        let json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| format!("serialize manifest: {e}"))?;
+        std::fs::write(format!("{dir}/manifest.json"), json)
+            .map_err(|e| format!("write {dir}/manifest.json: {e}"))?;
+        println!("golden corpus: {} reproducer(s) in {dir}/", manifest.cases.len());
+    }
+
+    if let Some(path) = flag_value(args, "--write-baseline") {
+        let baseline = DefectBaseline { analyzer_defects: report.analyzer_defects() };
+        let json = serde_json::to_string_pretty(&baseline)
+            .map_err(|e| format!("serialize baseline: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("baseline written to {path}");
+    }
+
+    write_metrics(args, &metrics.snapshot())?;
+
+    if let Some(path) = flag_value(args, "--baseline") {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline: DefectBaseline =
+            serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+        let found = report.analyzer_defects();
+        if found > baseline.analyzer_defects {
+            return Err(format!(
+                "analyzer-defect regression: {found} defect(s) found, \
+                 baseline allows {} — triage the new defects or consciously \
+                 raise the baseline",
+                baseline.analyzer_defects
+            ));
+        }
+        println!(
+            "  baseline check: {found} analyzer defect(s) <= {} allowed",
+            baseline.analyzer_defects
+        );
+    }
     Ok(())
 }
 

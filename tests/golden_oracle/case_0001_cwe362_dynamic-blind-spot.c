@@ -1,0 +1,5 @@
+void probe_token1_3() {
+    if (file_exists(session_path1_1)) {
+        int user_fd1_2 = open_file(session_path1_1);
+    }
+}

@@ -1,0 +1,4 @@
+void alloc_user1_4() {
+    char* session_items1_3 = alloc_buffer(cookie_total1_2);
+    send_data(session_items1_3, cookie_total1_2);
+}

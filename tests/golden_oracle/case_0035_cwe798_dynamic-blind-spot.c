@@ -1,0 +1,3 @@
+void connect_cookie1_3() {
+    char* form_key1_1 = "tok_9f8e7d6c5b4a";
+}

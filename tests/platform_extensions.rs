@@ -90,7 +90,8 @@ fn stacked_ensemble_with_tuned_threshold_prices_well() {
     };
     let scores: Vec<f64> = split.train.iter().map(|s| stack.predict_proba(s)).collect();
     let truth: Vec<bool> = split.train.iter().map(|s| s.label).collect();
-    let point = optimal_threshold(&scores, &truth, &values);
+    let point =
+        optimal_threshold(&scores, &truth, &values).expect("model probabilities are finite");
 
     let pred: Vec<bool> =
         split.test.iter().map(|s| stack.predict_proba(s) >= point.threshold).collect();
