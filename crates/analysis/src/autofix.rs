@@ -71,7 +71,11 @@ impl AutoFixer {
             Cwe::NullDereference => fix_null_deref(&mut program),
             Cwe::OutOfBoundsWrite => fix_oob_write(&mut program),
             Cwe::OutOfBoundsRead => fix_oob_read(&mut program),
-            Cwe::UseAfterFree | Cwe::IntegerOverflow | Cwe::RaceCondition => false,
+            Cwe::UseAfterFree
+            | Cwe::IntegerOverflow
+            | Cwe::RaceCondition
+            | Cwe::UninitializedUse
+            | Cwe::DivideByZero => false,
         };
         changed.then(|| print_program(&program))
     }

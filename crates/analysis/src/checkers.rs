@@ -1,0 +1,812 @@
+//! Semantic checkers: detectors backed by the abstract-interpretation
+//! framework in [`vulnman_lang::absint`].
+//!
+//! Where the rule-based suite in [`crate::detectors`] pattern-matches on
+//! syntax (known source functions, known loop shapes), these checkers prove
+//! facts about program *values* — an index interval entirely outside the
+//! array, a pointer that is the literal null on some path, a variable read
+//! before any initialization — and only report when the abstract state
+//! constitutes a proof. Every finding therefore carries
+//! [`Evidence`](crate::finding::Evidence): the abstract facts at the report
+//! point plus the claim derived from them, reproducible by re-running the
+//! named domain to the same point.
+//!
+//! The domains are tuned so "maybe" verdicts only arise from *tracked*
+//! merges (a literal null joined with a non-null path; an initialized path
+//! joined with an uninitialized one) — the lattice top is never
+//! report-worthy. That keeps the suite false-positive-free on the synthetic
+//! corpus while catching the semantic template classes the rule suite is
+//! blind to by construction.
+
+use crate::detectors::StaticDetector;
+use crate::finding::{Confidence, Evidence, EvidenceFact, Finding};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+use vulnman_lang::absint::domain::inst_reads;
+use vulnman_lang::absint::{
+    analyze_program, Domain, DomainAnalysis, Env, Init, InitDomain, Interval, IntervalDomain,
+    Nullness, NullnessDomain, SolverConfig, SolverStats,
+};
+use vulnman_lang::ast::{BinOp, Expr, ExprKind, Function, LValue, Program, UnOp};
+use vulnman_lang::cfg::{Cfg, CfgInst};
+use vulnman_obs::Registry;
+use vulnman_synth::cwe::Cwe;
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// The full result of a semantic scan: findings plus solver telemetry.
+#[derive(Debug, Clone)]
+pub struct SemanticScan {
+    /// Findings, sorted by `(span.start, cwe)`; each carries evidence.
+    pub findings: Vec<Finding>,
+    /// Accumulated fixpoint statistics across all three domain passes.
+    pub stats: SolverStats,
+    /// Wall time of the interval pass (solver + checker), in microseconds.
+    pub interval_micros: u64,
+    /// Wall time of the nullness pass, in microseconds.
+    pub nullness_micros: u64,
+    /// Wall time of the definite-initialization pass, in microseconds.
+    pub init_micros: u64,
+}
+
+/// Runs the three abstract domains over a program and reports semantic
+/// findings with machine-checkable evidence.
+///
+/// Implements [`StaticDetector`] so it plugs into the same registries as the
+/// rule suite, but it is deliberately *not* part of
+/// [`RuleEngine::default_suite`](crate::detectors::RuleEngine::default_suite):
+/// the differential oracle treats rules and semantics as independent views.
+#[derive(Debug, Clone, Copy)]
+pub struct SemanticEngine {
+    config: SolverConfig,
+}
+
+impl SemanticEngine {
+    /// An engine with the default solver configuration.
+    pub fn new() -> Self {
+        SemanticEngine { config: SolverConfig::default() }
+    }
+
+    /// An engine with custom widening/iteration knobs.
+    pub fn with_config(config: SolverConfig) -> Self {
+        SemanticEngine { config }
+    }
+
+    /// A 64-bit fingerprint of the engine configuration, used as the
+    /// analysis-cache config key (same FNV construction as
+    /// [`RuleEngine::fingerprint`](crate::detectors::RuleEngine::fingerprint)).
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        for b in "semantic-suite".bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        for v in [self.config.widening_threshold as u64, self.config.max_iterations] {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
+
+    /// Runs all three domain passes and returns findings plus telemetry.
+    pub fn analyze(&self, program: &Program) -> SemanticScan {
+        let mut findings = Vec::new();
+        let mut stats = SolverStats { converged: true, ..SolverStats::default() };
+
+        let t = Instant::now();
+        let pa = analyze_program::<IntervalDomain, _, _>(
+            program,
+            self.config,
+            |summaries| IntervalDomain::with_summaries(summaries.clone()),
+            |func, cfg, domain, analysis| {
+                check_intervals(func, cfg, domain, analysis, &mut findings);
+            },
+        );
+        stats.absorb(&pa.stats);
+        let interval_micros = t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let pa = analyze_program::<NullnessDomain, _, _>(
+            program,
+            self.config,
+            |summaries| NullnessDomain::with_summaries(summaries.clone()),
+            |func, cfg, domain, analysis| {
+                check_nullness(func, cfg, domain, analysis, &mut findings);
+            },
+        );
+        stats.absorb(&pa.stats);
+        let nullness_micros = t.elapsed().as_micros() as u64;
+
+        let t = Instant::now();
+        let pa = analyze_program::<InitDomain, _, _>(
+            program,
+            self.config,
+            |_| InitDomain,
+            |func, cfg, domain, analysis| {
+                check_init(func, cfg, domain, analysis, &mut findings);
+            },
+        );
+        stats.absorb(&pa.stats);
+        let init_micros = t.elapsed().as_micros() as u64;
+
+        findings.sort_by_key(|f| (f.span.start, f.cwe.id()));
+        SemanticScan { findings, stats, interval_micros, nullness_micros, init_micros }
+    }
+
+    /// Parses and scans source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `source` is not valid mini-C.
+    pub fn scan_source(&self, source: &str) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
+        Ok(self.scan(&vulnman_lang::parse(source)?))
+    }
+
+    /// Parses and scans through a content-addressed cache under the
+    /// `"absint-findings"` kind: warm runs skip the fixpoint entirely.
+    /// Results are identical to [`SemanticEngine::scan_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `source` is not valid mini-C.
+    pub fn scan_source_cached(
+        &self,
+        source: &str,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
+        let program = cache.parse(source)?;
+        let findings =
+            cache.analysis(source, "absint-findings", self.fingerprint(), || self.scan(&program));
+        Ok((*findings).clone())
+    }
+
+    /// Scans and reports solver telemetry through the pre-registered
+    /// `absint.*` instruments (see [`register_absint_instruments`]).
+    pub fn scan_with_metrics(&self, program: &Program, metrics: &Registry) -> Vec<Finding> {
+        let scan = self.analyze(program);
+        metrics.counter("absint.solver.iterations").add(scan.stats.iterations);
+        metrics.counter("absint.solver.widenings").add(scan.stats.widenings);
+        if !scan.stats.converged {
+            metrics.counter("absint.solver.nonconverged").add(1);
+        }
+        metrics.counter("absint.findings").add(scan.findings.len() as u64);
+        metrics.histogram("absint.domain.interval_micros").observe(scan.interval_micros);
+        metrics.histogram("absint.domain.nullness_micros").observe(scan.nullness_micros);
+        metrics.histogram("absint.domain.init_micros").observe(scan.init_micros);
+        scan.findings
+    }
+}
+
+/// Detection counts for one CWE class on the fixed semantic-gap corpus —
+/// one row of [`AbsintBaseline`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// CWE id (e.g. 125).
+    pub cwe: u32,
+    /// Vulnerable samples where the semantic suite reported this class.
+    pub true_positives: usize,
+    /// Fixed twins where the suite still reported this class.
+    pub false_positives: usize,
+}
+
+/// Committed per-CWE detection baseline for the semantic checker suite
+/// (`tests/absint_baseline.json`). The regression gate fails when any
+/// class's true positives drop below — or false positives rise above — the
+/// committed numbers; conscious improvements regenerate the file instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbsintBaseline {
+    /// One entry per semantic-gap CWE class, sorted by id.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Default for SemanticEngine {
+    fn default() -> Self {
+        SemanticEngine::new()
+    }
+}
+
+impl StaticDetector for SemanticEngine {
+    fn name(&self) -> &'static str {
+        "semantic-suite"
+    }
+
+    fn cwes(&self) -> Vec<Cwe> {
+        vec![
+            Cwe::OutOfBoundsWrite,
+            Cwe::OutOfBoundsRead,
+            Cwe::IntegerOverflow,
+            Cwe::DivideByZero,
+            Cwe::NullDereference,
+            Cwe::UninitializedUse,
+        ]
+    }
+
+    fn scan(&self, program: &Program) -> Vec<Finding> {
+        self.analyze(program).findings
+    }
+}
+
+/// Pre-registers every `absint.*` instrument the semantic engine can
+/// produce, so exported snapshots have a stable schema even when a counter
+/// never fires (the same pattern as the `oracle.*` and `fault.*` families).
+pub fn register_absint_instruments(metrics: &Registry) {
+    metrics.counter("absint.solver.iterations");
+    metrics.counter("absint.solver.widenings");
+    metrics.counter("absint.solver.nonconverged");
+    metrics.counter("absint.findings");
+    metrics.histogram("absint.domain.interval_micros");
+    metrics.histogram("absint.domain.nullness_micros");
+    metrics.histogram("absint.domain.init_micros");
+}
+
+// ---------------------------------------------------------------------------
+// Instruction traversal helpers
+// ---------------------------------------------------------------------------
+
+/// Every expression syntactically contained in an instruction (lvalue
+/// sub-expressions included).
+fn inst_exprs(inst: &CfgInst) -> Vec<&Expr> {
+    match inst {
+        CfgInst::Decl { init, .. } => init.iter().collect(),
+        CfgInst::Assign { target, value } => {
+            let mut out = vec![value];
+            match target {
+                LValue::Var(_) => {}
+                LValue::Deref(e) => out.push(e),
+                LValue::Index(base, index) => {
+                    out.push(base);
+                    out.push(index);
+                }
+            }
+            out
+        }
+        CfgInst::Expr(e) | CfgInst::Branch(e) => vec![e],
+        CfgInst::Return(e) => e.iter().collect(),
+    }
+}
+
+/// Depth-first walk over an expression tree.
+fn walk<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Unary(_, inner) => walk(inner, f),
+        ExprKind::Binary(_, l, r) => {
+            walk(l, f);
+            walk(r, f);
+        }
+        ExprKind::Call(_, args) => {
+            for a in args {
+                walk(a, f);
+            }
+        }
+        ExprKind::Index(base, index) => {
+            walk(base, f);
+            walk(index, f);
+        }
+        ExprKind::Int(_) | ExprKind::Char(_) | ExprKind::Str(_) | ExprKind::Var(_) => {}
+    }
+}
+
+/// One `base[index]` access with direction.
+struct IndexAccess<'a> {
+    base: &'a str,
+    index: &'a Expr,
+    is_write: bool,
+}
+
+/// All array/pointer index accesses in an instruction whose base is a plain
+/// variable.
+fn index_accesses(inst: &CfgInst) -> Vec<IndexAccess<'_>> {
+    let mut out = Vec::new();
+    if let CfgInst::Assign { target: LValue::Index(base, index), .. } = inst {
+        if let ExprKind::Var(name) = &base.kind {
+            out.push(IndexAccess { base: name, index, is_write: true });
+        }
+    }
+    for e in inst_exprs(inst) {
+        walk(e, &mut |e| {
+            if let ExprKind::Index(base, index) = &e.kind {
+                if let ExprKind::Var(name) = &base.kind {
+                    out.push(IndexAccess { base: name, index, is_write: false });
+                }
+            }
+        });
+    }
+    out
+}
+
+/// All divisor sub-expressions (`/` and `%` right operands) in an
+/// instruction.
+fn divisors(inst: &CfgInst) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    for e in inst_exprs(inst) {
+        walk(e, &mut |e| {
+            if let ExprKind::Binary(BinOp::Div | BinOp::Rem, _, r) = &e.kind {
+                out.push(&**r);
+            }
+        });
+    }
+    out
+}
+
+/// Variables dereferenced by an instruction (`*p`, `p[i]`, and stores
+/// through either form).
+fn deref_targets(inst: &CfgInst) -> BTreeSet<&str> {
+    let mut out = BTreeSet::new();
+    if let CfgInst::Assign { target: LValue::Deref(e) | LValue::Index(e, _), .. } = inst {
+        if let ExprKind::Var(name) = &e.kind {
+            out.insert(name.as_str());
+        }
+    }
+    for e in inst_exprs(inst) {
+        walk(e, &mut |e| match &e.kind {
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                if let ExprKind::Var(name) = &inner.kind {
+                    out.insert(name.as_str());
+                }
+            }
+            ExprKind::Index(base, _) => {
+                if let ExprKind::Var(name) = &base.kind {
+                    out.insert(name.as_str());
+                }
+            }
+            _ => {}
+        });
+    }
+    out
+}
+
+/// Evidence facts for every variable read by `exprs`, rendered from the
+/// pre-state of the report point.
+fn facts_for<V: vulnman_lang::absint::AbstractValue + std::fmt::Display>(
+    pre: &Env<V>,
+    exprs: &[&Expr],
+) -> Vec<EvidenceFact> {
+    let mut vars: BTreeSet<&str> = BTreeSet::new();
+    for e in exprs {
+        vars.extend(e.read_vars());
+    }
+    vars.into_iter()
+        .map(|v| EvidenceFact { var: v.to_string(), value: pre.get(v).to_string() })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Interval checkers: OOB (CWE-787/125), div-by-zero (CWE-369), overflow (190)
+// ---------------------------------------------------------------------------
+
+fn check_intervals(
+    func: &Function,
+    cfg: &Cfg,
+    domain: &IntervalDomain,
+    analysis: &DomainAnalysis<Interval>,
+    out: &mut Vec<Finding>,
+) {
+    // Declared array lengths in this function. The language has
+    // function-level scope, so one map per function suffices.
+    let mut arrays: BTreeMap<&str, i128> = BTreeMap::new();
+    for block in &cfg.blocks {
+        for inst in &block.insts {
+            if let CfgInst::Decl { name, ty, .. } = &inst.inst {
+                if let Some(n) = ty.array_len() {
+                    arrays.insert(name, n as i128);
+                }
+            }
+        }
+    }
+
+    let reachable = cfg.reachable();
+    for (b, &live) in reachable.iter().enumerate() {
+        if !live {
+            continue;
+        }
+        for (pre, inst) in analysis.replay(domain, cfg, b) {
+            if !pre.is_reachable() {
+                continue;
+            }
+            for access in index_accesses(&inst.inst) {
+                let Some(&len) = arrays.get(access.base) else { continue };
+                let iv = domain.eval(&pre, access.index);
+                // Must-style gate: report only when *every* possible index
+                // is outside `[0, len)` — a proof, not a possibility.
+                if iv.is_bottom() || (iv.lo() < len && iv.hi() >= 0) {
+                    continue;
+                }
+                let (cwe, verb) = if access.is_write {
+                    (Cwe::OutOfBoundsWrite, "write to")
+                } else {
+                    (Cwe::OutOfBoundsRead, "read of")
+                };
+                let claim = format!(
+                    "index into `{}` is {iv}, entirely outside the valid range [0, {len})",
+                    access.base
+                );
+                out.push(Finding {
+                    cwe,
+                    function: func.name.clone(),
+                    span: inst.span,
+                    detector: "absint-interval".into(),
+                    message: format!(
+                        "{verb} `{}[...]` with an index proven out of bounds ({iv} vs length \
+                         {len})",
+                        access.base
+                    ),
+                    confidence: Confidence::High,
+                    evidence: Some(Evidence {
+                        domain: domain.name().into(),
+                        facts: facts_for(&pre, &[access.index]),
+                        claim,
+                    }),
+                });
+            }
+            for divisor in divisors(&inst.inst) {
+                let dv = domain.eval(&pre, divisor);
+                if !dv.is_point(0) {
+                    continue;
+                }
+                out.push(Finding {
+                    cwe: Cwe::DivideByZero,
+                    function: func.name.clone(),
+                    span: inst.span,
+                    detector: "absint-interval".into(),
+                    message: "division by a divisor proven to be exactly zero".into(),
+                    confidence: Confidence::High,
+                    evidence: Some(Evidence {
+                        domain: domain.name().into(),
+                        facts: facts_for(&pre, &[divisor]),
+                        claim: "the divisor evaluates to [0, 0] on every path reaching this \
+                                division"
+                            .into(),
+                    }),
+                });
+            }
+            if let CfgInst::Decl { init: Some(value), .. } | CfgInst::Assign { value, .. } =
+                &inst.inst
+            {
+                let v = domain.eval(&pre, value);
+                if v.fits_i64() {
+                    continue;
+                }
+                out.push(Finding {
+                    cwe: Cwe::IntegerOverflow,
+                    function: func.name.clone(),
+                    span: inst.span,
+                    detector: "absint-interval".into(),
+                    message: format!(
+                        "assigned value {v} lies entirely outside the 64-bit integer range"
+                    ),
+                    confidence: Confidence::High,
+                    evidence: Some(Evidence {
+                        domain: domain.name().into(),
+                        facts: facts_for(&pre, &[value]),
+                        claim: format!("the assigned expression evaluates to {v}"),
+                    }),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nullness checker: null dereference (CWE-476)
+// ---------------------------------------------------------------------------
+
+fn check_nullness(
+    func: &Function,
+    cfg: &Cfg,
+    domain: &NullnessDomain,
+    analysis: &DomainAnalysis<Nullness>,
+    out: &mut Vec<Finding>,
+) {
+    let reachable = cfg.reachable();
+    // One finding per variable per function: later dereferences of the same
+    // null pointer add no information.
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for (b, &live) in reachable.iter().enumerate() {
+        if !live {
+            continue;
+        }
+        for (pre, inst) in analysis.replay(domain, cfg, b) {
+            if !pre.is_reachable() {
+                continue;
+            }
+            for name in deref_targets(&inst.inst) {
+                let v = pre.get(name);
+                if !v.is_derefable_bug() || reported.contains(name) {
+                    continue;
+                }
+                reported.insert(name.to_string());
+                let (confidence, how) = match v {
+                    Nullness::Null => (Confidence::High, "is the literal null on every path"),
+                    _ => (
+                        Confidence::Medium,
+                        "may be the literal null: a null-valued path \
+                           merges in unguarded",
+                    ),
+                };
+                out.push(Finding {
+                    cwe: Cwe::NullDereference,
+                    function: func.name.clone(),
+                    span: inst.span,
+                    detector: "absint-nullness".into(),
+                    message: format!("dereference of `{name}`, which {how}"),
+                    confidence,
+                    evidence: Some(Evidence {
+                        domain: domain.name().into(),
+                        facts: vec![EvidenceFact { var: name.to_string(), value: v.to_string() }],
+                        claim: format!("`{name}` is {v} at the dereference"),
+                    }),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Definite-initialization checker: use of uninitialized variable (CWE-457)
+// ---------------------------------------------------------------------------
+
+fn check_init(
+    func: &Function,
+    cfg: &Cfg,
+    domain: &InitDomain,
+    analysis: &DomainAnalysis<Init>,
+    out: &mut Vec<Finding>,
+) {
+    let reachable = cfg.reachable();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for (b, &live) in reachable.iter().enumerate() {
+        if !live {
+            continue;
+        }
+        for (pre, inst) in analysis.replay(domain, cfg, b) {
+            if !pre.is_reachable() {
+                continue;
+            }
+            for name in inst_reads(&inst.inst) {
+                let v = pre.get(name);
+                if !v.is_read_bug() || reported.contains(name) {
+                    continue;
+                }
+                reported.insert(name.to_string());
+                let (confidence, how) = match v {
+                    Init::No => (Confidence::High, "is never initialized before this read"),
+                    _ => (
+                        Confidence::Medium,
+                        "is uninitialized on at least one path to this \
+                           read",
+                    ),
+                };
+                out.push(Finding {
+                    cwe: Cwe::UninitializedUse,
+                    function: func.name.clone(),
+                    span: inst.span,
+                    detector: "absint-init".into(),
+                    message: format!("read of `{name}`, which {how}"),
+                    confidence,
+                    evidence: Some(Evidence {
+                        domain: domain.name().into(),
+                        facts: vec![EvidenceFact { var: name.to_string(), value: v.to_string() }],
+                        claim: format!("`{name}` is {v} at the read"),
+                    }),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::RuleEngine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::{parse, AnalysisCache};
+    use vulnman_synth::emit::EmitCtx;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::templates::semantic::{semantic_gap_pair, GAP_CLASSES};
+    use vulnman_synth::tier::Tier;
+
+    #[test]
+    fn semantic_suite_catches_gap_templates_and_passes_fixes() {
+        let engine = SemanticEngine::new();
+        let mut styles = vec![StyleProfile::mainstream()];
+        styles.extend(StyleProfile::internal_teams());
+        for style in &styles {
+            for cwe in GAP_CLASSES {
+                for seed in 0..6u64 {
+                    let mut rng = StdRng::seed_from_u64(seed * 31 + cwe.id() as u64);
+                    let mut ctx = EmitCtx::new(style, Tier::Curated, &mut rng);
+                    let pair = semantic_gap_pair(cwe, &mut ctx);
+                    let fv = engine.scan_source(&pair.vulnerable).unwrap();
+                    let hit = fv.iter().find(|f| f.cwe == cwe);
+                    assert!(
+                        hit.is_some(),
+                        "{cwe} seed {seed} team {}: vulnerable unit missed:\n{}",
+                        style.team,
+                        pair.vulnerable
+                    );
+                    assert!(
+                        hit.unwrap().evidence.is_some(),
+                        "{cwe}: semantic findings must carry evidence"
+                    );
+                    let ff = engine.scan_source(&pair.fixed).unwrap();
+                    assert!(
+                        ff.iter().all(|f| f.cwe != cwe),
+                        "{cwe} seed {seed} team {}: fixed unit flagged:\n{}\n{ff:?}",
+                        style.team,
+                        pair.fixed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule_suite_stays_blind_to_gap_templates() {
+        // The whole point of the semantic templates: the syntactic rule
+        // suite has no trigger for constant-flow bugs.
+        let rules = RuleEngine::default_suite();
+        let style = StyleProfile::mainstream();
+        for cwe in GAP_CLASSES {
+            for seed in 0..6u64 {
+                let mut rng = StdRng::seed_from_u64(seed * 13 + cwe.id() as u64);
+                let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+                let pair = semantic_gap_pair(cwe, &mut ctx);
+                let findings = rules.scan_source(&pair.vulnerable).unwrap();
+                assert!(
+                    findings.iter().all(|f| f.cwe != cwe),
+                    "{cwe} seed {seed}: rules unexpectedly caught a semantic template:\n{}",
+                    pair.vulnerable
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_false_positives_on_benign_and_fixed_classic_corpus() {
+        use vulnman_synth::generator::SampleGenerator;
+        let engine = SemanticEngine::new();
+        let mut g = SampleGenerator::new(41, StyleProfile::mainstream());
+        for _ in 0..30 {
+            let b = g.benign_risky(Tier::Curated, "p");
+            let findings = engine.scan_source(&b.source).unwrap();
+            assert!(
+                findings.is_empty(),
+                "semantic checker flagged safe code:\n{}\n{findings:?}",
+                b.source
+            );
+        }
+        // Classic fixed templates must also stay clean.
+        let style = StyleProfile::mainstream();
+        for cwe in Cwe::CLASSIC {
+            for seed in 0..4u64 {
+                let mut rng = StdRng::seed_from_u64(seed * 7 + cwe.id() as u64);
+                let mut ctx = EmitCtx::new(&style, Tier::Curated, &mut rng);
+                let pair = vulnman_synth::templates::generate(cwe, &mut ctx);
+                let ff = engine.scan_source(&pair.fixed).unwrap();
+                assert!(
+                    ff.iter().all(|f| f.cwe != cwe),
+                    "{cwe} seed {seed}: semantic checker flagged the fixed unit:\n{}\n{ff:?}",
+                    pair.fixed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evidence_replays_the_abstract_state() {
+        let engine = SemanticEngine::new();
+        let findings = engine
+            .scan_source("void f() { int a[4]; int i = 9; int x = a[i]; record_metric(\"x\", x); }")
+            .unwrap();
+        let f = findings.iter().find(|f| f.cwe == Cwe::OutOfBoundsRead).expect("OOB read found");
+        let ev = f.evidence.as_ref().expect("evidence attached");
+        assert_eq!(ev.domain, "interval");
+        assert!(
+            ev.facts.iter().any(|fa| fa.var == "i" && fa.value == "[9, 9]"),
+            "the index variable's interval is the evidence: {ev:?}"
+        );
+        assert!(ev.claim.contains("[0, 4)"), "claim names the valid range: {}", ev.claim);
+        // The Display form is the lint-output trace.
+        let trace = ev.to_string();
+        assert!(trace.contains("interval domain:"), "{trace}");
+        assert!(trace.contains("i = [9, 9]"), "{trace}");
+    }
+
+    #[test]
+    fn division_by_zero_and_overflow_are_proven_not_guessed() {
+        let engine = SemanticEngine::new();
+        // Interprocedural: the zero flows through a call summary.
+        let findings = engine
+            .scan_source(
+                "int stride() { int k = 5; return k - 5; }\n\
+                 void f() { int total = 100; int d = stride(); int q = total / d; \
+                 record_metric(\"q\", q); }",
+            )
+            .unwrap();
+        assert!(
+            findings.iter().any(|f| f.cwe == Cwe::DivideByZero),
+            "zero divisor through a summary: {findings:?}"
+        );
+        // A merely-possible zero is not reported (must, not may).
+        let findings = engine
+            .scan_source("void f(int n) { int q = 10 / n; record_metric(\"q\", q); }")
+            .unwrap();
+        assert!(findings.is_empty(), "unknown divisor must not be flagged: {findings:?}");
+        // Overflow: a product proven outside i64.
+        let findings = engine
+            .scan_source(
+                "void f() { int big = 9000000000000000000; int x = big * 9; \
+                 record_metric(\"x\", x); }",
+            )
+            .unwrap();
+        assert!(
+            findings.iter().any(|f| f.cwe == Cwe::IntegerOverflow),
+            "proven overflow: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn maybe_states_report_at_medium_confidence() {
+        let engine = SemanticEngine::new();
+        let findings = engine
+            .scan_source(
+                "void f(int flag) { char* p = 0; if (flag > 0) { p = make_buf(8); } \
+                 p[0] = 'x'; }",
+            )
+            .unwrap();
+        let f = findings.iter().find(|f| f.cwe == Cwe::NullDereference).expect("476 found");
+        assert_eq!(f.confidence, Confidence::Medium, "maybe-null is a merge, not a must");
+        let findings = engine.scan_source("void f() { char* p = 0; p[0] = 'x'; }").unwrap();
+        let f = findings.iter().find(|f| f.cwe == Cwe::NullDereference).expect("476 found");
+        assert_eq!(f.confidence, Confidence::High, "definite null is a must");
+    }
+
+    #[test]
+    fn cached_scan_is_identical_and_warm() {
+        let engine = SemanticEngine::new();
+        let src = "void f() { int a[4]; int i = 9; a[i] = 1; consume_table(a, 4); }";
+        let cache = AnalysisCache::new();
+        let cold = engine.scan_source_cached(src, &cache).unwrap();
+        let warm = engine.scan_source_cached(src, &cache).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, engine.scan_source(src).unwrap());
+        assert!(!cold.is_empty());
+        // Different solver configs must not share cache entries.
+        let other = SemanticEngine::with_config(SolverConfig {
+            widening_threshold: 2,
+            max_iterations: 10_000,
+        });
+        assert_ne!(engine.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn absint_instruments_are_schema_stable() {
+        let metrics = Registry::new();
+        register_absint_instruments(&metrics);
+        let engine = SemanticEngine::new();
+        let program = parse("void f() { int x; record_metric(\"x\", x); }").unwrap();
+        let findings = engine.scan_with_metrics(&program, &metrics);
+        assert_eq!(findings.len(), 1);
+        let json = serde_json::to_string(&metrics.snapshot()).unwrap();
+        for key in [
+            "absint.solver.iterations",
+            "absint.solver.widenings",
+            "absint.solver.nonconverged",
+            "absint.findings",
+            "absint.domain.interval_micros",
+            "absint.domain.nullness_micros",
+            "absint.domain.init_micros",
+        ] {
+            assert!(json.contains(key), "{key} must be pre-registered");
+        }
+        assert!(metrics.counter("absint.solver.iterations").get() > 0);
+        assert_eq!(metrics.counter("absint.findings").get(), 1);
+    }
+}

@@ -107,6 +107,7 @@ impl StaticDetector for DynamicSanitizer {
                     detector: "dynamic-sanitizer".into(),
                     message: Self::describe(&e.kind),
                     confidence: Confidence::High,
+                    evidence: None,
                 },
                 None => {
                     // A tainted-sink fault with a team-specific kind string
@@ -129,6 +130,7 @@ impl StaticDetector for DynamicSanitizer {
                              vocabulary for a precise class)"
                         ),
                         confidence: Confidence::Low,
+                        evidence: None,
                     }
                 }
             })
@@ -137,8 +139,16 @@ impl StaticDetector for DynamicSanitizer {
 }
 
 /// Classes the dynamic sanitizer can observe under its input model.
+///
+/// Beyond the logic classes, the semantic classes are invisible at runtime
+/// by construction of the language: an uninitialized declaration reads as
+/// `0` and division by zero evaluates to `0`, so neither faults — only the
+/// abstract-interpretation checkers see them.
 pub fn dynamically_detectable(cwe: Cwe) -> bool {
-    !matches!(cwe, Cwe::HardcodedCredentials | Cwe::RaceCondition)
+    !matches!(
+        cwe,
+        Cwe::HardcodedCredentials | Cwe::RaceCondition | Cwe::UninitializedUse | Cwe::DivideByZero
+    )
 }
 
 #[cfg(test)]
@@ -182,14 +192,19 @@ mod tests {
     fn blind_spots_are_the_logic_classes() {
         let detector = DynamicSanitizer::new();
         let style = StyleProfile::mainstream();
-        for cwe in [Cwe::HardcodedCredentials, Cwe::RaceCondition] {
+        for cwe in [
+            Cwe::HardcodedCredentials,
+            Cwe::RaceCondition,
+            Cwe::UninitializedUse,
+            Cwe::DivideByZero,
+        ] {
             let mut rng = StdRng::seed_from_u64(5);
             let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
             let pair = templates::generate(cwe, &mut ctx);
             let findings = detector.scan(&parse(&pair.vulnerable).unwrap());
             assert!(
                 findings.iter().all(|f| f.cwe != cwe),
-                "{cwe} cannot manifest in single-threaded execution: {findings:?}"
+                "{cwe} cannot manifest under single-threaded execution: {findings:?}"
             );
             assert!(!dynamically_detectable(cwe));
         }

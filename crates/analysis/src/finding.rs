@@ -16,6 +16,42 @@ pub enum Confidence {
     High,
 }
 
+/// One abstract fact backing a semantic finding: a variable and its
+/// abstract value at the report point, rendered by the domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidenceFact {
+    /// Variable the fact is about.
+    pub var: String,
+    /// The domain's rendering of the abstract value (e.g. `[33, 33]`,
+    /// `maybe-null`).
+    pub value: String,
+}
+
+/// Machine-checkable evidence for a semantic (abstract-interpretation)
+/// finding: the abstract state at the report point plus the claim the
+/// checker derived from it. Re-running the named domain to the same program
+/// point must reproduce every fact — that is what "machine-checkable"
+/// means here, and what the differential oracle exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Name of the abstract domain that proved the claim.
+    pub domain: String,
+    /// The abstract facts (variable states) at the report point.
+    pub facts: Vec<EvidenceFact>,
+    /// The checker's conclusion drawn from the facts.
+    pub claim: String,
+}
+
+impl fmt::Display for Evidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} domain: {}", self.domain, self.claim)?;
+        for fact in &self.facts {
+            write!(f, "; {} = {}", fact.var, fact.value)?;
+        }
+        Ok(())
+    }
+}
+
 /// A single static-analysis finding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Finding {
@@ -31,6 +67,9 @@ pub struct Finding {
     pub message: String,
     /// Detector confidence.
     pub confidence: Confidence,
+    /// Abstract-state evidence, present on semantic-checker findings
+    /// (serialized as `null` elsewhere; absent keys also read as `None`).
+    pub evidence: Option<Evidence>,
 }
 
 impl Finding {
@@ -69,6 +108,7 @@ mod tests {
             detector: "taint".into(),
             message: "tainted query".into(),
             confidence: Confidence::High,
+            evidence: None,
         };
         let s = f.to_string();
         assert!(s.contains("CWE-89"));

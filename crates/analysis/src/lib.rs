@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod autofix;
+pub mod checkers;
 pub mod detectors;
 pub mod dynamic;
 pub mod finding;
@@ -36,6 +37,9 @@ pub mod reachability;
 pub mod severity;
 
 pub use autofix::AutoFixer;
+pub use checkers::{
+    register_absint_instruments, AbsintBaseline, BaselineEntry, SemanticEngine, SemanticScan,
+};
 pub use detectors::{RuleEngine, StaticDetector};
 pub use dynamic::DynamicSanitizer;
 pub use finding::{Confidence, Finding};

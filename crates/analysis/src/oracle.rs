@@ -67,6 +67,10 @@ pub enum View {
     TaintEngine,
     /// The label recorded in the dataset (which label noise can corrupt).
     RecordedLabel,
+    /// The abstract-interpretation checker suite
+    /// ([`SemanticEngine`](crate::checkers::SemanticEngine)). A must-style
+    /// prover: silence is expected over-approximation, never a defect.
+    Absint,
 }
 
 impl View {
@@ -77,6 +81,7 @@ impl View {
             View::Dynamic => "dynamic",
             View::TaintEngine => "taint-engine",
             View::RecordedLabel => "recorded-label",
+            View::Absint => "absint",
         }
     }
 }
@@ -114,16 +119,30 @@ pub enum DisagreementKind {
     /// from the static taint-flow detector. These are bugs; CI holds their
     /// count at or below the checked-in baseline.
     AnalyzerDefect,
+    /// Ground truth plants a class inside the semantic suite's coverage,
+    /// but the abstract-interpretation checkers prove nothing. Expected at
+    /// some rate — the checkers are must-style and abstraction loses
+    /// precision (e.g. a widened loop index). The detail records whether
+    /// the rule suite caught it, making rule-vs-semantic gaps auditable.
+    SemanticBlindSpot,
+    /// The semantic checkers claim a proof of a class the ground truth says
+    /// is absent. For a must-style prover this signals an unsound transfer
+    /// function or refinement; tracked separately from
+    /// [`DisagreementKind::AnalyzerDefect`] so the precision regression can
+    /// be baselined on its own.
+    SemanticFalsePositive,
 }
 
 impl DisagreementKind {
     /// Every kind, in report order.
-    pub const ALL: [DisagreementKind; 5] = [
+    pub const ALL: [DisagreementKind; 7] = [
         DisagreementKind::StaticFalsePositive,
         DisagreementKind::StaticBlindSpot,
         DisagreementKind::DynamicBlindSpot,
         DisagreementKind::LabelNoiseArtifact,
         DisagreementKind::AnalyzerDefect,
+        DisagreementKind::SemanticBlindSpot,
+        DisagreementKind::SemanticFalsePositive,
     ];
 
     /// Stable kebab-case label used in reports, metrics, and manifests.
@@ -134,6 +153,8 @@ impl DisagreementKind {
             DisagreementKind::DynamicBlindSpot => "dynamic-blind-spot",
             DisagreementKind::LabelNoiseArtifact => "label-noise-artifact",
             DisagreementKind::AnalyzerDefect => "analyzer-defect",
+            DisagreementKind::SemanticBlindSpot => "semantic-blind-spot",
+            DisagreementKind::SemanticFalsePositive => "semantic-false-positive",
         }
     }
 }
@@ -171,7 +192,7 @@ impl Disagreement {
 /// Per-kind disagreement totals.
 ///
 /// A named-field struct (not a map keyed by [`DisagreementKind`]) so the
-/// serialized schema is fixed and all five counts appear even when zero.
+/// serialized schema is fixed and every count appears even when zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaxonomyCounts {
     /// [`DisagreementKind::StaticFalsePositive`] count.
@@ -184,6 +205,10 @@ pub struct TaxonomyCounts {
     pub label_noise_artifact: usize,
     /// [`DisagreementKind::AnalyzerDefect`] count.
     pub analyzer_defect: usize,
+    /// [`DisagreementKind::SemanticBlindSpot`] count.
+    pub semantic_blind_spot: usize,
+    /// [`DisagreementKind::SemanticFalsePositive`] count.
+    pub semantic_false_positive: usize,
 }
 
 impl TaxonomyCounts {
@@ -195,6 +220,8 @@ impl TaxonomyCounts {
             DisagreementKind::DynamicBlindSpot => self.dynamic_blind_spot += 1,
             DisagreementKind::LabelNoiseArtifact => self.label_noise_artifact += 1,
             DisagreementKind::AnalyzerDefect => self.analyzer_defect += 1,
+            DisagreementKind::SemanticBlindSpot => self.semantic_blind_spot += 1,
+            DisagreementKind::SemanticFalsePositive => self.semantic_false_positive += 1,
         }
     }
 
@@ -206,6 +233,8 @@ impl TaxonomyCounts {
             DisagreementKind::DynamicBlindSpot => self.dynamic_blind_spot,
             DisagreementKind::LabelNoiseArtifact => self.label_noise_artifact,
             DisagreementKind::AnalyzerDefect => self.analyzer_defect,
+            DisagreementKind::SemanticBlindSpot => self.semantic_blind_spot,
+            DisagreementKind::SemanticFalsePositive => self.semantic_false_positive,
         }
     }
 
@@ -340,6 +369,8 @@ struct Verdicts {
     dynamics: BTreeSet<Cwe>,
     /// Classes the interprocedural taint engine reports directly.
     taint: BTreeSet<Cwe>,
+    /// Classes the abstract-interpretation checker suite proves.
+    absints: BTreeSet<Cwe>,
 }
 
 impl Verdicts {
@@ -351,6 +382,7 @@ impl Verdicts {
             View::Dynamic => self.dynamics.contains(&cwe),
             View::TaintEngine => self.taint.contains(&cwe),
             View::RecordedLabel => false,
+            View::Absint => self.absints.contains(&cwe),
         }
     }
 }
@@ -377,6 +409,7 @@ pub struct DifferentialOracle {
     statics: RuleEngine,
     dynamic: DynamicSanitizer,
     taint: TaintConfig,
+    semantics: crate::checkers::SemanticEngine,
     cache: AnalysisCache,
     config: OracleConfig,
     metrics: Registry,
@@ -418,6 +451,7 @@ impl DifferentialOracle {
             statics: RuleEngine::default_suite(),
             dynamic: DynamicSanitizer::new(),
             taint: TaintConfig::default_config(),
+            semantics: crate::checkers::SemanticEngine::new(),
             cache,
             config,
             metrics: metrics.clone(),
@@ -446,12 +480,21 @@ impl DifferentialOracle {
                 .filter_map(|f| sink_kind_to_cwe(&f.sink_kind))
                 .collect::<BTreeSet<Cwe>>()
         });
+        // Same cache kind and fingerprint as `SemanticEngine::
+        // scan_source_cached`, so oracle runs and `vulnman lint` share warm
+        // entries and a warm pass skips the fixpoint entirely.
+        let semantic_findings =
+            cache.analysis(source, "absint-findings", self.semantics.fingerprint(), || {
+                self.semantics.analyze(&program).findings
+            });
+        let absints = semantic_findings.iter().map(|f| f.cwe).collect();
         Verdicts {
             parse_error: None,
             statics,
             static_taint,
             dynamics: (*dynamics).clone(),
             taint: (*taint).clone(),
+            absints,
         }
     }
 
@@ -505,7 +548,9 @@ impl DifferentialOracle {
         scope.extend(&v.statics);
         scope.extend(&v.dynamics);
         scope.extend(&v.taint);
+        scope.extend(&v.absints);
         scope.extend(truth);
+        let semantic_coverage = self.semantics.cwes();
         for cwe in scope {
             let planted = truth == Some(cwe);
             if planted {
@@ -567,6 +612,42 @@ impl DifferentialOracle {
                         ),
                     });
                 }
+            }
+            // Rule-vs-semantic cross-check. The semantic suite is a
+            // must-style prover, so a miss inside its coverage is an
+            // expected precision gap (never a defect) and a hit on a
+            // clean class questions its soundness; both details record
+            // the rule suite's verdict so the gap between syntax and
+            // semantics stays auditable per sample.
+            if planted && semantic_coverage.contains(&cwe) && !v.absints.contains(&cwe) {
+                out.push(Disagreement {
+                    sample_id,
+                    cwe: Some(cwe),
+                    view: View::Absint,
+                    kind: DisagreementKind::SemanticBlindSpot,
+                    detail: format!(
+                        "ground truth plants {cwe} but the semantic checkers prove nothing \
+                         (static rules {})",
+                        if v.statics.contains(&cwe) { "catch it" } else { "miss it too" }
+                    ),
+                });
+            }
+            if !planted && v.absints.contains(&cwe) {
+                out.push(Disagreement {
+                    sample_id,
+                    cwe: Some(cwe),
+                    view: View::Absint,
+                    kind: DisagreementKind::SemanticFalsePositive,
+                    detail: format!(
+                        "semantic checkers claim a proof of {cwe} but ground truth is clean \
+                         for this class (static rules {})",
+                        if v.statics.contains(&cwe) {
+                            "agree with the claim"
+                        } else {
+                            "stay silent"
+                        }
+                    ),
+                });
             }
             // The static taint-flow detector wraps the same engine and
             // configuration as the direct taint view, so any divergence
@@ -710,10 +791,11 @@ impl DifferentialOracle {
         if original.parse_error.is_some() {
             return None;
         }
-        let evidence: Vec<View> = [View::StaticRules, View::Dynamic, View::TaintEngine]
-            .into_iter()
-            .filter(|view| original.positive(*view, cwe))
-            .collect();
+        let evidence: Vec<View> =
+            [View::StaticRules, View::Dynamic, View::TaintEngine, View::Absint]
+                .into_iter()
+                .filter(|view| original.positive(*view, cwe))
+                .collect();
         if evidence.is_empty() {
             return None;
         }
@@ -1215,6 +1297,8 @@ mod tests {
             "oracle.kind.dynamic_blind_spot",
             "oracle.kind.label_noise_artifact",
             "oracle.kind.analyzer_defect",
+            "oracle.kind.semantic_blind_spot",
+            "oracle.kind.semantic_false_positive",
             "oracle.shrunk",
             "oracle.shrink_steps",
             "oracle.shrink_attempts",

@@ -40,6 +40,7 @@ pub struct ScoredFinding {
 ///     detector: "taint-flow".into(),
 ///     message: "…".into(),
 ///     confidence: Confidence::High,
+///     evidence: None,
 /// };
 /// let s = score(f, Surface::ZeroClick);
 /// assert!(s.severity > 8.0);
@@ -82,6 +83,7 @@ mod tests {
             detector: "t".into(),
             message: String::new(),
             confidence,
+            evidence: None,
         }
     }
 

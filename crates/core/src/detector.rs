@@ -8,9 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use vulnman_analysis::checkers::SemanticEngine;
 use vulnman_analysis::detectors::RuleEngine;
 use vulnman_analysis::finding::Finding;
-use vulnman_faults::FaultInjector;
+use vulnman_faults::{FaultInjector, Site};
 use vulnman_ml::pipeline::DetectionModel;
 use vulnman_obs::{Counter, Histogram, Registry};
 use vulnman_synth::cwe::Cwe;
@@ -85,6 +86,11 @@ pub trait Detector: Send + Sync {
     /// whose backends consult a fault plan (ML prediction) forward it; the
     /// default ignores it.
     fn attach_faults(&mut self, _injector: Arc<FaultInjector>) {}
+
+    /// Receives the engine's metrics registry when one is attached.
+    /// Detectors with their own instrument families (the semantic suite's
+    /// `absint.*` solver telemetry) store it; the default ignores it.
+    fn attach_metrics(&mut self, _metrics: &Registry) {}
 }
 
 /// Adapter: the rule-based suite as a [`Detector`].
@@ -133,6 +139,95 @@ impl RuleBasedDetector {
             findings,
             detector: self.name.clone(),
         }
+    }
+}
+
+/// Adapter: the abstract-interpretation checker suite as a [`Detector`].
+///
+/// Cache-aware (the `"absint-findings"` kind, shared with the differential
+/// oracle's absint view) and fault-aware: when the engine attaches an
+/// injector, every invocation consults the
+/// [`checker_call`](vulnman_faults::Site::CheckerCall) site keyed by sample
+/// id, so checker failures are deterministic per sample regardless of
+/// sharding, and the engine degrades by omitting the assessment.
+#[derive(Debug)]
+pub struct SemanticDetector {
+    engine: SemanticEngine,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: Registry,
+}
+
+impl SemanticDetector {
+    /// Wraps the default semantic checker suite.
+    pub fn standard() -> Self {
+        SemanticDetector::new(SemanticEngine::new())
+    }
+
+    /// Wraps a custom-configured engine.
+    pub fn new(engine: SemanticEngine) -> Self {
+        SemanticDetector { engine, faults: None, metrics: Registry::noop() }
+    }
+
+    fn to_assessment(&self, findings: Vec<Finding>) -> Assessment {
+        let vulnerable = !findings.is_empty();
+        Assessment {
+            vulnerable,
+            score: if vulnerable { 1.0 } else { 0.0 },
+            findings,
+            detector: "semantic-suite".into(),
+        }
+    }
+}
+
+impl Detector for SemanticDetector {
+    fn name(&self) -> &str {
+        "semantic-suite"
+    }
+
+    fn assess(&self, sample: &Sample) -> Assessment {
+        let findings = self.engine.scan_source(&sample.source).unwrap_or_default();
+        self.to_assessment(findings)
+    }
+
+    fn assess_cached(&self, sample: &Sample, cache: &vulnman_lang::AnalysisCache) -> Assessment {
+        // Same cache key as `SemanticEngine::scan_source_cached`, but cold
+        // scans flow through `scan_with_metrics` so the `absint.*`
+        // instruments see real solver work. Warm hits skip the fixpoint and
+        // leave the counters untouched, which is exactly what they measure.
+        let program = match cache.parse(&sample.source) {
+            Ok(p) => p,
+            Err(_) => return self.to_assessment(Vec::new()),
+        };
+        let findings =
+            cache.analysis(&sample.source, "absint-findings", self.engine.fingerprint(), || {
+                self.engine.scan_with_metrics(&program, &self.metrics)
+            });
+        self.to_assessment((*findings).clone())
+    }
+
+    fn try_assess_cached(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Assessment, AssessError> {
+        match &self.faults {
+            Some(inj) => inj
+                .run(Site::CheckerCall, sample.id, || self.assess_cached(sample, cache))
+                .map(|attempted| attempted.value)
+                .map_err(|e| AssessError {
+                    detector: "semantic-suite".into(),
+                    reason: e.to_string(),
+                }),
+            None => Ok(self.assess_cached(sample, cache)),
+        }
+    }
+
+    fn attach_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
+    }
+
+    fn attach_metrics(&mut self, metrics: &Registry) {
+        self.metrics = metrics.clone();
     }
 }
 
@@ -344,6 +439,9 @@ impl DetectorRegistry {
     pub fn attach_metrics(&mut self, metrics: Registry) {
         self.metrics = metrics;
         self.instruments = self.detectors.iter().map(|d| self.make_instruments(d.name())).collect();
+        for d in &mut self.detectors {
+            d.attach_metrics(&self.metrics);
+        }
     }
 
     /// The attached metrics registry (no-op unless

@@ -58,5 +58,7 @@ pub mod triage;
 pub mod workflow;
 
 pub use costmodel::{price_deployment, CostParams, CostReport};
-pub use detector::{AssessError, Assessment, CombinePolicy, Detector, DetectorRegistry};
+pub use detector::{
+    AssessError, Assessment, CombinePolicy, Detector, DetectorRegistry, SemanticDetector,
+};
 pub use workflow::{DegradationSummary, WorkflowConfig, WorkflowEngine, WorkflowReport};

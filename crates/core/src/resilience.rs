@@ -28,9 +28,9 @@ pub(crate) fn register_fault_instruments(metrics: &Registry) {
 /// Feeds [`FaultObserver`] events into per-site counters plus retry and
 /// virtual-backoff histograms.
 pub(crate) struct ObsFaultObserver {
-    injected: [Counter; 5],
-    recovered: [Counter; 5],
-    exhausted: [Counter; 5],
+    injected: [Counter; Site::ALL.len()],
+    recovered: [Counter; Site::ALL.len()],
+    exhausted: [Counter; Site::ALL.len()],
     retries: Histogram,
     backoff: Histogram,
 }

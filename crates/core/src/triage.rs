@@ -185,6 +185,7 @@ mod tests {
                 detector: "t".into(),
                 message: String::new(),
                 confidence: Confidence::High,
+                evidence: None,
             },
             surface,
         )

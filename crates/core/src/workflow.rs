@@ -354,6 +354,7 @@ impl WorkflowEngine {
         metrics.histogram("shard.queue_depth");
         metrics.histogram("shard.latency_micros");
         register_fault_instruments(&metrics);
+        vulnman_analysis::checkers::register_absint_instruments(&metrics);
         registry.attach_metrics(metrics.clone());
         let cache = if config.cache {
             AnalysisCache::with_metrics(&metrics)
@@ -1514,6 +1515,45 @@ mod tests {
             plain.metrics_snapshot().schema(),
             faulted.metrics_snapshot().schema(),
             "fault instruments are pre-registered for every engine"
+        );
+    }
+
+    #[test]
+    fn semantic_detector_feeds_absint_instruments_and_warm_runs_skip_the_solver() {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(crate::detector::SemanticDetector::standard()));
+        let e = WorkflowEngine::new(registry, WorkflowConfig::default());
+        let samples = corpus();
+        e.process(&samples);
+        let cold = e.metrics_snapshot();
+        assert!(cold.counters["absint.solver.iterations"] > 0, "cold scans must run the fixpoint");
+        e.process(&samples);
+        let warm = e.metrics_snapshot();
+        assert_eq!(
+            warm.counters["absint.solver.iterations"], cold.counters["absint.solver.iterations"],
+            "warm cache hits must skip the solver entirely"
+        );
+    }
+
+    #[test]
+    fn checker_call_faults_degrade_without_losing_samples() {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(crate::detector::SemanticDetector::standard()));
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        let fault_cfg = FaultConfig {
+            seed: 7,
+            rate: 0.4,
+            mix: FaultMix::transient_only(),
+            ..Default::default()
+        };
+        let e = WorkflowEngine::with_fault_config(registry, WorkflowConfig::default(), fault_cfg);
+        let samples = corpus();
+        let report = e.process(&samples);
+        assert_eq!(report.cases.len(), samples.len(), "no sample may be dropped");
+        let snap = e.metrics_snapshot();
+        assert!(
+            snap.counters["fault.injected.checker_call"] > 0,
+            "the CheckerCall site must fire under a 40% transient plan"
         );
     }
 }

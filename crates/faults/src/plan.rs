@@ -70,12 +70,20 @@ pub enum Site {
     ShardWorker,
     /// One ML model prediction.
     MlPredict,
+    /// One semantic (abstract-interpretation) checker invocation.
+    CheckerCall,
 }
 
 impl Site {
     /// Every site.
-    pub const ALL: [Site; 5] =
-        [Site::DetectorCall, Site::CacheGet, Site::CachePut, Site::ShardWorker, Site::MlPredict];
+    pub const ALL: [Site; 6] = [
+        Site::DetectorCall,
+        Site::CacheGet,
+        Site::CachePut,
+        Site::ShardWorker,
+        Site::MlPredict,
+        Site::CheckerCall,
+    ];
 
     /// Stable lowercase name (used for metric keys).
     pub fn as_str(self) -> &'static str {
@@ -85,6 +93,7 @@ impl Site {
             Site::CachePut => "cache_put",
             Site::ShardWorker => "shard_worker",
             Site::MlPredict => "ml_predict",
+            Site::CheckerCall => "checker_call",
         }
     }
 
@@ -96,6 +105,7 @@ impl Site {
             Site::CachePut => 0x03,
             Site::ShardWorker => 0x04,
             Site::MlPredict => 0x05,
+            Site::CheckerCall => 0x06,
         }
     }
 }

@@ -1,0 +1,249 @@
+//! Program call graph and the bottom-up interprocedural analysis driver.
+//!
+//! Summaries are context-insensitive: one abstract return value per
+//! function, computed with callees analysed first (post-order over the call
+//! graph). Calls into functions not yet summarised — externals, or members
+//! of a recursive cycle — evaluate to the domain's top, which keeps the
+//! single bottom-up pass sound without an inter-function fixpoint.
+
+use super::domain::{AbstractValue, Domain, Env};
+use super::solver::{DomainAnalysis, Solver, SolverConfig, SolverStats};
+use crate::ast::{Function, Program};
+use crate::cfg::{Cfg, CfgInst};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed call graph over the functions defined in a [`Program`].
+/// Edges to undefined (external) callees are not represented; externals are
+/// handled by the domains' top fallback.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    names: Vec<String>,
+    index: BTreeMap<String, usize>,
+    callees: Vec<Vec<usize>>,
+    callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of all defined functions.
+    pub fn build(program: &Program) -> CallGraph {
+        let names: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+        let index: BTreeMap<String, usize> =
+            names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (i, f) in program.functions.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for callee in f.callees() {
+                if let Some(&j) = index.get(&callee) {
+                    if seen.insert(j) {
+                        callees[i].push(j);
+                        callers[j].push(i);
+                    }
+                }
+            }
+        }
+        CallGraph { names, index, callees, callers }
+    }
+
+    /// Number of defined functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Defined callees of `name`, in first-call order.
+    pub fn callees_of(&self, name: &str) -> Vec<&str> {
+        match self.index.get(name) {
+            Some(&i) => self.callees[i].iter().map(|&j| self.names[j].as_str()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Defined callers of `name`.
+    pub fn callers_of(&self, name: &str) -> Vec<&str> {
+        match self.index.get(name) {
+            Some(&i) => self.callers[i].iter().map(|&j| self.names[j].as_str()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Function names in bottom-up order: every callee appears before each
+    /// of its callers wherever the graph is acyclic; cycles are broken at
+    /// the deterministic DFS back-edge (members keep their post-order).
+    pub fn bottom_up(&self) -> Vec<&str> {
+        let mut state = vec![0u8; self.names.len()]; // 0 new, 1 visiting, 2 done
+        let mut order = Vec::with_capacity(self.names.len());
+        for start in 0..self.names.len() {
+            self.post_order(start, &mut state, &mut order);
+        }
+        order.iter().map(|&i| self.names[i].as_str()).collect()
+    }
+
+    fn post_order(&self, node: usize, state: &mut [u8], order: &mut Vec<usize>) {
+        if state[node] != 0 {
+            return;
+        }
+        state[node] = 1;
+        for &c in &self.callees[node] {
+            if state[c] == 0 {
+                self.post_order(c, state, order);
+            }
+        }
+        state[node] = 2;
+        order.push(node);
+    }
+
+    /// Whether `name` participates in a call cycle (including self-recursion).
+    pub fn in_cycle(&self, name: &str) -> bool {
+        let Some(&start) = self.index.get(name) else {
+            return false;
+        };
+        // DFS from the node's callees back to itself.
+        let mut stack: Vec<usize> = self.callees[start].clone();
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if n == start {
+                return true;
+            }
+            if seen.insert(n) {
+                stack.extend(self.callees[n].iter().copied());
+            }
+        }
+        false
+    }
+}
+
+/// The result of an interprocedural analysis pass: one solved function at a
+/// time, in bottom-up call-graph order.
+#[derive(Debug)]
+pub struct ProgramAnalysis<V> {
+    /// Abstract return value per defined function.
+    pub summaries: BTreeMap<String, V>,
+    /// Aggregated solver statistics across all functions.
+    pub stats: SolverStats,
+}
+
+/// Analyses every function of `program` bottom-up, building interprocedural
+/// summaries as it goes. `make_domain` constructs the domain for a function
+/// from the summaries of everything analysed so far; `visit` is invoked per
+/// function with its CFG, the domain it was solved under, and the solution —
+/// this is where checkers inspect per-instruction states via
+/// [`DomainAnalysis::replay`].
+pub fn analyze_program<D, M, F>(
+    program: &Program,
+    config: SolverConfig,
+    mut make_domain: M,
+    mut visit: F,
+) -> ProgramAnalysis<D::Value>
+where
+    D: Domain,
+    M: FnMut(&BTreeMap<String, D::Value>) -> D,
+    F: FnMut(&Function, &Cfg, &D, &DomainAnalysis<D::Value>),
+{
+    let cg = CallGraph::build(program);
+    let solver = Solver::new(config);
+    let mut summaries: BTreeMap<String, D::Value> = BTreeMap::new();
+    let mut stats = SolverStats { converged: true, ..SolverStats::default() };
+    for name in cg.bottom_up() {
+        let func = program.function(name).expect("call graph node is a defined function");
+        let cfg = Cfg::build(func);
+        let domain = make_domain(&summaries);
+        let analysis = solver.run(&domain, &cfg, func);
+        stats.absorb(&analysis.stats);
+        let ret = return_summary(&domain, &cfg, &analysis);
+        visit(func, &cfg, &domain, &analysis);
+        summaries.insert(name.to_string(), ret);
+    }
+    ProgramAnalysis { summaries, stats }
+}
+
+/// Joins the abstract value of every reachable `return e;` in the function.
+/// Functions that never return a value (or only fall off the end) summarise
+/// to top.
+fn return_summary<D: Domain>(
+    domain: &D,
+    cfg: &Cfg,
+    analysis: &DomainAnalysis<D::Value>,
+) -> D::Value {
+    let mut acc: Option<D::Value> = None;
+    let reachable = cfg.reachable();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[b] || block.insts.is_empty() {
+            continue;
+        }
+        let mut env: Env<D::Value> = analysis.block_entry[b].clone();
+        for inst in &block.insts {
+            if let CfgInst::Return(Some(e)) = &inst.inst {
+                let v = domain.eval(&env, e);
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => a.join(&v),
+                });
+            }
+            domain.transfer(&mut env, &inst.inst);
+        }
+    }
+    acc.unwrap_or_else(D::Value::top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint::interval::IntervalDomain;
+    use crate::parse;
+
+    #[test]
+    fn bottom_up_orders_callees_first() {
+        let p = parse(
+            "int leaf() { return 1; }\n\
+             int mid() { return leaf() + 1; }\n\
+             int top_fn() { return mid() + leaf(); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&p);
+        let order = cg.bottom_up();
+        let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("leaf") < pos("mid"));
+        assert!(pos("mid") < pos("top_fn"));
+        assert_eq!(cg.callees_of("top_fn"), vec!["mid", "leaf"]);
+        assert_eq!(cg.callers_of("leaf"), vec!["mid", "top_fn"]);
+        assert!(!cg.in_cycle("leaf"));
+    }
+
+    #[test]
+    fn recursion_is_detected_and_summaries_stay_sound() {
+        let p = parse("int r(int n) { if (n) { return r(n - 1); } return 0; }").unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(cg.in_cycle("r"));
+        let pa = analyze_program(
+            &p,
+            SolverConfig::default(),
+            |s| IntervalDomain::with_summaries(s.clone()),
+            |_, _, _, _| {},
+        );
+        assert!(pa.stats.converged);
+        // The self-call evaluated to top mid-analysis, so the summary joins
+        // top with the constant 0 — i.e. top. Sound, not precise.
+        assert!(pa.summaries.contains_key("r"));
+    }
+
+    #[test]
+    fn interprocedural_constant_flows_to_caller() {
+        let p = parse(
+            "int denom() { return 8 - 8; }\n\
+             int f(int x) { int d = denom(); return x / d; }",
+        )
+        .unwrap();
+        let pa = analyze_program(
+            &p,
+            SolverConfig::default(),
+            |s| IntervalDomain::with_summaries(s.clone()),
+            |_, _, _, _| {},
+        );
+        assert!(pa.summaries["denom"].is_point(0), "summary = {}", pa.summaries["denom"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Abstract interpretation: a generic monotone-framework fixpoint solver
+//! over the [`crate::cfg`] layer with pluggable abstract domains.
+//!
+//! The module is organised as a classic monotone framework:
+//!
+//! * [`domain`] — the [`AbstractValue`] lattice contract, the per-variable
+//!   [`Env`] state, and the [`Domain`] transfer-function trait;
+//! * [`interval`] — value ranges with widening to ±∞ (out-of-bounds and
+//!   division-by-zero reasoning);
+//! * [`nullness`] — literal-null provenance tracking for pointers;
+//! * [`init`] — definite-initialization;
+//! * [`solver`] — the reverse-post-order worklist fixpoint engine with a
+//!   configurable widening threshold;
+//! * [`callgraph`] — program call graph plus the bottom-up driver that
+//!   computes context-insensitive interprocedural summaries (one abstract
+//!   return value per function) so facts flow across function boundaries.
+//!
+//! Termination argument: every shipped domain is either of finite height
+//! (nullness, init: chains of length ≤ 4) or equipped with a widening
+//! operator that jumps unstable bounds to ±∞ (intervals), so each variable's
+//! abstract value can only climb a finite chain. The solver joins for the
+//! first [`solver::SolverConfig::widening_threshold`] visits of a block and
+//! widens afterwards, which bounds the number of times any block can be
+//! re-enqueued; a hard `max_iterations` backstop turns a (theoretically
+//! impossible) divergence into a reported non-convergence instead of a hang.
+//!
+//! ```
+//! use vulnman_lang::absint::interval::IntervalDomain;
+//! use vulnman_lang::absint::solver::{Solver, SolverConfig};
+//! use vulnman_lang::cfg::Cfg;
+//! use vulnman_lang::parse;
+//!
+//! let p = parse("int f() { int i = 0; while (i < 10) { i = i + 1; } return i; }").unwrap();
+//! let cfg = Cfg::build(&p.functions[0]);
+//! let domain = IntervalDomain::default();
+//! let analysis = Solver::new(SolverConfig::default()).run(&domain, &cfg, &p.functions[0]);
+//! assert!(analysis.stats.converged);
+//! ```
+
+pub mod callgraph;
+pub mod domain;
+pub mod init;
+pub mod interval;
+pub mod nullness;
+pub mod solver;
+
+pub use callgraph::{analyze_program, CallGraph, ProgramAnalysis};
+pub use domain::{AbstractValue, Domain, Env};
+pub use init::{Init, InitDomain};
+pub use interval::{Interval, IntervalDomain};
+pub use nullness::{Nullness, NullnessDomain};
+pub use solver::{DomainAnalysis, Solver, SolverConfig, SolverStats};

@@ -123,9 +123,12 @@ impl Cfg {
         self.blocks.iter().map(|b| b.succs.len()).sum()
     }
 
-    /// Cyclomatic complexity `E - N + 2` (per connected function).
+    /// Cyclomatic complexity `E - N + 2` over the entry-reachable subgraph
+    /// (unreachable continuation blocks carry no edges after pruning, so
+    /// counting them as nodes would skew the metric).
     pub fn cyclomatic_complexity(&self) -> usize {
-        (self.edge_count() + 2).saturating_sub(self.blocks.len())
+        let n = self.reachable().iter().filter(|&&r| r).count();
+        (self.edge_count() + 2).saturating_sub(n)
     }
 
     /// Blocks in reverse post-order from the entry (good iteration order for
@@ -191,6 +194,23 @@ impl Cfg {
     /// Total instruction count across all blocks.
     pub fn inst_count(&self) -> usize {
         self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Per-block reachability from the entry. The builder prunes all edges
+    /// that originate in unreachable blocks, so for every reachable block
+    /// every listed predecessor is itself reachable — the invariant forward
+    /// analyses rely on at join points.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            stack.extend(self.blocks[b].succs.iter().copied());
+        }
+        seen
     }
 }
 
@@ -354,7 +374,33 @@ impl Builder {
 
     fn finish(mut self) -> Cfg {
         let exit = self.ensure_exit();
+        self.prune_unreachable_edges();
         Cfg { blocks: self.blocks, entry: 0, exit }
+    }
+
+    /// Removes every edge that originates in a block unreachable from the
+    /// entry. Lowering `return`/`break`/`continue` leaves behind fresh
+    /// continuation blocks for any dead code that follows; those blocks edge
+    /// into join points and would pollute forward analyses (a join over an
+    /// unreachable predecessor is a join over garbage). After pruning,
+    /// unreachable blocks are fully isolated: no successors, no predecessors,
+    /// and no reachable block lists one of them as a predecessor.
+    fn prune_unreachable_edges(&mut self) {
+        let mut reachable = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(b) = stack.pop() {
+            if reachable[b] {
+                continue;
+            }
+            reachable[b] = true;
+            stack.extend(self.blocks[b].succs.iter().copied());
+        }
+        for id in 0..self.blocks.len() {
+            if !reachable[id] {
+                self.blocks[id].succs.clear();
+            }
+            self.blocks[id].preds.retain(|&p| reachable[p]);
+        }
     }
 }
 
@@ -486,6 +532,55 @@ mod tests {
     fn rpo_starts_at_entry() {
         let c = cfg_of("void f(int n) { while (n) { n -= 1; } }");
         assert_eq!(c.reverse_post_order()[0], c.entry);
+    }
+
+    #[test]
+    fn dead_code_after_early_return_does_not_feed_joins() {
+        // `x = 2;` after the return lands in an unreachable continuation
+        // block; before pruning, that block edged into the if-join and
+        // polluted every forward analysis meeting there.
+        let c = cfg_of("int f(int x) { if (x) { return 1; x = 2; } return x; }");
+        let reachable = c.reachable();
+        for (id, b) in c.blocks.iter().enumerate() {
+            for &p in &b.preds {
+                assert!(
+                    reachable[p],
+                    "block {id} lists unreachable predecessor {p}: {:?}",
+                    b.preds
+                );
+            }
+            if !reachable[id] {
+                assert!(b.succs.is_empty(), "unreachable block {id} kept successors");
+                assert!(b.preds.is_empty(), "unreachable block {id} kept predecessors");
+            }
+        }
+        // The dead store still exists in the graph (for diagnostics), just
+        // disconnected from the join.
+        let dead_store = c
+            .blocks
+            .iter()
+            .enumerate()
+            .find(|(_, b)| {
+                b.insts
+                    .iter()
+                    .any(|i| matches!(&i.inst, CfgInst::Assign { target: LValue::Var(v), .. } if v == "x"))
+            })
+            .map(|(id, _)| id)
+            .expect("dead store lowered somewhere");
+        assert!(!reachable[dead_store], "the post-return store must be unreachable");
+    }
+
+    #[test]
+    fn dead_code_after_break_and_continue_is_isolated() {
+        let c = cfg_of(
+            "void f(int n) { while (n) { if (n == 1) { break; log_dead(); } n -= 1; } done(); }",
+        );
+        let reachable = c.reachable();
+        for b in &c.blocks {
+            for &p in &b.preds {
+                assert!(reachable[p], "unreachable predecessor leaked into a join");
+            }
+        }
     }
 
     #[test]

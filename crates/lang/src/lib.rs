@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod ast;
 pub mod cache;
 pub mod cfg;

@@ -477,8 +477,9 @@ mod vulnman_analysis_shim {
 pub use vulnman_analysis_shim::ToolSuite;
 
 impl ToolAugmentedFeatures {
-    /// Number of output dimensions: one slot per catalog CWE plus a total.
-    pub const DIM: usize = 13;
+    /// Number of output dimensions: one slot per catalog CWE plus a total
+    /// (14 classes + 1 since the semantic classes CWE-457/369 landed).
+    pub const DIM: usize = 15;
 
     /// Wraps a tool suite (e.g. the rule engine from `vulnman-analysis`,
     /// adapted through [`ToolSuite`]).

@@ -36,11 +36,40 @@ pub enum Cwe {
     RaceCondition,
     /// CWE-134: Uncontrolled Format String.
     FormatString,
+    /// CWE-457: Use of Uninitialized Variable. Only findable with semantic
+    /// (definite-initialization) analysis — rule patterns have no syntactic
+    /// handle on "no assignment dominates this read".
+    UninitializedUse,
+    /// CWE-369: Divide By Zero. Only findable with semantic (value-range)
+    /// analysis — the zero divisor is the result of constant flow, not a
+    /// literal `/ 0` in the source.
+    DivideByZero,
 }
 
 impl Cwe {
     /// All supported classes, in catalog order.
-    pub const ALL: [Cwe; 12] = [
+    pub const ALL: [Cwe; 14] = [
+        Cwe::OutOfBoundsWrite,
+        Cwe::OutOfBoundsRead,
+        Cwe::SqlInjection,
+        Cwe::CommandInjection,
+        Cwe::CrossSiteScripting,
+        Cwe::UseAfterFree,
+        Cwe::IntegerOverflow,
+        Cwe::NullDereference,
+        Cwe::PathTraversal,
+        Cwe::HardcodedCredentials,
+        Cwe::RaceCondition,
+        Cwe::FormatString,
+        Cwe::UninitializedUse,
+        Cwe::DivideByZero,
+    ];
+
+    /// The original twelve-class catalog, exactly as it stood before the
+    /// semantic-analysis classes landed. Seeded corpora are pinned to this
+    /// set (see [`CweDistribution::classic`]) so growing the catalog never
+    /// silently reshuffles previously generated datasets.
+    pub const CLASSIC: [Cwe; 12] = [
         Cwe::OutOfBoundsWrite,
         Cwe::OutOfBoundsRead,
         Cwe::SqlInjection,
@@ -70,6 +99,8 @@ impl Cwe {
             Cwe::HardcodedCredentials => 798,
             Cwe::RaceCondition => 362,
             Cwe::FormatString => 134,
+            Cwe::UninitializedUse => 457,
+            Cwe::DivideByZero => 369,
         }
     }
 
@@ -88,6 +119,8 @@ impl Cwe {
             Cwe::HardcodedCredentials => "hard-coded credentials",
             Cwe::RaceCondition => "race condition",
             Cwe::FormatString => "format string",
+            Cwe::UninitializedUse => "uninitialized use",
+            Cwe::DivideByZero => "divide by zero",
         }
     }
 
@@ -106,6 +139,8 @@ impl Cwe {
             Cwe::HardcodedCredentials => 7.8,
             Cwe::RaceCondition => 6.4,
             Cwe::FormatString => 8.1,
+            Cwe::UninitializedUse => 5.9,
+            Cwe::DivideByZero => 5.3,
         }
     }
 
@@ -125,13 +160,22 @@ impl Cwe {
             Cwe::HardcodedCredentials => 0.60,
             Cwe::RaceCondition => 0.15,
             Cwe::FormatString => 0.45,
+            Cwe::UninitializedUse => 0.25,
+            Cwe::DivideByZero => 0.10,
         }
     }
 
     /// Whether the class is in the (public) CWE Top-25-style priority list
     /// the paper says academic work over-fits to.
     pub fn in_public_top25(&self) -> bool {
-        !matches!(self, Cwe::RaceCondition | Cwe::FormatString | Cwe::HardcodedCredentials)
+        !matches!(
+            self,
+            Cwe::RaceCondition
+                | Cwe::FormatString
+                | Cwe::HardcodedCredentials
+                | Cwe::UninitializedUse
+                | Cwe::DivideByZero
+        )
     }
 
     /// Whether the class is detectable primarily through taint flows (as
@@ -145,6 +189,16 @@ impl Cwe {
                 | Cwe::PathTraversal
                 | Cwe::FormatString
         )
+    }
+
+    /// Whether detecting the class requires semantic (abstract
+    /// interpretation) reasoning — value ranges, nullness, definite
+    /// initialization — rather than syntactic rule patterns or taint flows.
+    /// These classes are the measurable rule-vs-semantic gap: the rule suite
+    /// is not expected to catch them, the `vulnman_analysis` semantic
+    /// checkers are.
+    pub fn requires_semantic_analysis(&self) -> bool {
+        matches!(self, Cwe::UninitializedUse | Cwe::DivideByZero)
     }
 }
 
@@ -181,6 +235,16 @@ impl CweDistribution {
     /// Uniform distribution over all supported classes.
     pub fn uniform() -> Self {
         CweDistribution::new(Cwe::ALL.iter().map(|&c| (c, 1.0)).collect())
+    }
+
+    /// Uniform distribution over the original twelve-class catalog
+    /// ([`Cwe::CLASSIC`]). This is the default for seeded corpus builders:
+    /// it is byte-for-byte the distribution `uniform()` produced before the
+    /// semantic classes (CWE-457, CWE-369) joined the catalog, so every
+    /// pinned dataset, golden corpus, and experiment baseline keeps its
+    /// exact sample stream.
+    pub fn classic() -> Self {
+        CweDistribution::new(Cwe::CLASSIC.iter().map(|&c| (c, 1.0)).collect())
     }
 
     /// A public, NVD/Top-25-flavoured distribution: injection and memory
@@ -283,12 +347,16 @@ mod tests {
     fn ids_match_catalog() {
         assert_eq!(Cwe::SqlInjection.id(), 89);
         assert_eq!(Cwe::OutOfBoundsWrite.id(), 787);
-        assert_eq!(Cwe::ALL.len(), 12);
+        assert_eq!(Cwe::ALL.len(), 14);
         // All ids distinct.
         let mut ids: Vec<u32> = Cwe::ALL.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 14);
+        assert_eq!(Cwe::UninitializedUse.id(), 457);
+        assert_eq!(Cwe::DivideByZero.id(), 369);
+        // CLASSIC is a strict prefix of ALL: catalog growth is append-only.
+        assert_eq!(&Cwe::ALL[..12], &Cwe::CLASSIC[..]);
     }
 
     #[test]
@@ -347,7 +415,24 @@ mod tests {
     fn uniform_covers_all() {
         let d = CweDistribution::uniform();
         for c in Cwe::ALL {
+            assert!((d.probability(c) - 1.0 / 14.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_covers_exactly_the_original_twelve() {
+        let d = CweDistribution::classic();
+        for c in Cwe::CLASSIC {
             assert!((d.probability(c) - 1.0 / 12.0).abs() < 1e-9);
         }
+        assert_eq!(d.probability(Cwe::UninitializedUse), 0.0);
+        assert_eq!(d.probability(Cwe::DivideByZero), 0.0);
+    }
+
+    #[test]
+    fn semantic_classes_are_flagged() {
+        let semantic: Vec<Cwe> =
+            Cwe::ALL.into_iter().filter(|c| c.requires_semantic_analysis()).collect();
+        assert_eq!(semantic, vec![Cwe::UninitializedUse, Cwe::DivideByZero]);
     }
 }

@@ -257,7 +257,7 @@ impl DatasetBuilder {
             vulnerable_count: 100,
             vulnerable_fraction: 0.5,
             hard_negative_fraction: 0.5,
-            cwe_distribution: CweDistribution::uniform(),
+            cwe_distribution: CweDistribution::classic(),
             tier_mix: vec![(Tier::Curated, 1.0)],
             label_noise: 0.0,
             duplication_factor: 1,

@@ -249,6 +249,8 @@ impl SampleGenerator {
             Cwe::NullDereference => "handle missing entry before write",
             Cwe::HardcodedCredentials => "load key from secret store",
             Cwe::RaceCondition => "open atomically instead of check-then-open",
+            Cwe::UninitializedUse => "initialize status before conditional path",
+            Cwe::DivideByZero => "guard divisor against zero stride",
         };
         // A good fraction of patched states carry mundane messages — the
         // security fix landed earlier or was folded into a refactor.

@@ -53,7 +53,7 @@ pub fn generate_tasks(seed: u64, tier: Tier, count: usize) -> Vec<RepairTask> {
         Tier::RealWorld => StyleProfile::internal_teams(),
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let dist = CweDistribution::uniform();
+    let dist = CweDistribution::classic();
     let mut gens: Vec<SampleGenerator> = styles
         .iter()
         .enumerate()

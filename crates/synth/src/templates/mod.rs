@@ -9,6 +9,7 @@
 mod injection;
 mod logic;
 mod memory;
+pub mod semantic;
 
 use crate::cwe::Cwe;
 use crate::emit::{EmitCtx, UnitBuilder};
@@ -56,6 +57,8 @@ pub fn generate<R: Rng>(cwe: Cwe, ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
         Cwe::NullDereference => memory::null_dereference(ctx),
         Cwe::HardcodedCredentials => logic::hardcoded_credentials(ctx),
         Cwe::RaceCondition => logic::race_condition(ctx),
+        Cwe::UninitializedUse => semantic::uninitialized_use(ctx),
+        Cwe::DivideByZero => semantic::divide_by_zero(ctx),
     }
 }
 
@@ -209,7 +212,7 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
-        fn any_seed_any_cwe_parses(seed in any::<u64>(), cwe_idx in 0usize..12, tier_idx in 0usize..3, style_idx in 0usize..4) {
+        fn any_seed_any_cwe_parses(seed in any::<u64>(), cwe_idx in 0usize..14, tier_idx in 0usize..3, style_idx in 0usize..4) {
             let styles = all_styles();
             let style = &styles[style_idx];
             let tier = Tier::ALL[tier_idx];

@@ -1,0 +1,281 @@
+//! Semantic-gap templates: bugs that only a value-flow analysis can see.
+//!
+//! Every family here is deliberately *invisible* to the rule-based detector
+//! suite: no `to_int(...)` external-input wrapper, no unbounded copy loop,
+//! no `find_entry`-style maybe-null lookup. The flaw is carried entirely by
+//! constant value flow — a provably out-of-range index, a literal null
+//! merging into a dereference, a read of a conditionally-assigned variable,
+//! a divisor that arithmetic forces to zero — so the abstract-interpretation
+//! checkers in `vulnman-analysis` detect them while the pattern rules stay
+//! blind. They measure the rule-vs-semantic gap the same way the taint
+//! templates measure the source/sink customization gap.
+
+use super::{Scaffold, TemplatePair};
+use crate::cwe::Cwe;
+use crate::emit::EmitCtx;
+use rand::Rng;
+
+/// CWE-787/125: a constant-flow index provably outside a fixed-size local
+/// array. `write` picks the store (787) or load (125) variant. The fix
+/// clamps the index to the last slot, which interval branch refinement
+/// proves safe.
+pub fn constant_index_oob<R: Rng>(ctx: &mut EmitCtx<'_, R>, write: bool) -> TemplatePair {
+    let len = [4usize, 8, 16][ctx.rng.gen_range(0..3)];
+    let buf = ctx.var("slots");
+    let idx = ctx.var("pos");
+    let out = ctx.var("value");
+    let target_fn = ctx.func(if write { "store" } else { "fetch" });
+    // pos = base * scale + off with base chosen so the product already
+    // clears the array length: provably out of bounds on every path.
+    let scale = ctx.rng.gen_range(2..=4) as usize;
+    let base = len / scale + 1;
+    let off = ctx.rng.gen_range(0..=2) as usize;
+    let fill = ctx.rng.gen_range(1..100);
+
+    let access_vuln = if write {
+        format!("    {buf}[{idx}] = {fill};\n    consume_table({buf}, {len});\n")
+    } else {
+        format!("    int {out} = {buf}[{idx}];\n    record_metric(\"slot\", {out});\n")
+    };
+    let prologue = format!(
+        "    int {buf}[{len}];\n    init_table({buf}, {len});\n    int {idx} = {base};\n    {idx} = {idx} * {scale} + {off};\n"
+    );
+    let clamp = format!("    if ({idx} >= {len}) {{\n        {idx} = {len} - 1;\n    }}\n");
+
+    let core_vuln = format!("{prologue}{access_vuln}");
+    let core_fixed = format!("{prologue}{clamp}{access_vuln}");
+
+    let scaffold = Scaffold::sample(ctx, "the stride-mapped slot table");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    let cwe = if write { Cwe::OutOfBoundsWrite } else { Cwe::OutOfBoundsRead };
+    TemplatePair { cwe, vulnerable, fixed, target_fn }
+}
+
+/// CWE-476: a pointer seeded with the literal null that only one branch
+/// replaces with an allocation; the dereference after the join sees the
+/// null path. The fix guards the dereference, which nullness branch
+/// refinement proves safe.
+pub fn literal_null_flow<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let p = ctx.var("scratch");
+    let flag = ctx.var("enabled");
+    let n = [64usize, 128, 256][ctx.rng.gen_range(0..3)];
+    let allocs = ["alloc_buffer", "make_scratch", "reserve_block"];
+    let alloc = allocs[ctx.rng.gen_range(0..allocs.len())];
+    let target_fn = ctx.func("stage");
+    let marker = ['A', 'S', 'H'][ctx.rng.gen_range(0..3)];
+
+    let prologue = format!(
+        "    char* {p} = 0;\n    if ({flag} > 0) {{\n        {p} = {alloc}({n});\n    }}\n"
+    );
+    let deref = format!("    {p}[0] = '{marker}';\n    send_data({p}, {n});\n");
+    let guard =
+        format!("    if ({p} == 0) {{\n        log_event(\"skipped\");\n        return;\n    }}\n");
+
+    let core_vuln = format!("{prologue}{deref}");
+    let core_fixed = format!("{prologue}{guard}{deref}");
+
+    let scaffold = Scaffold::sample(ctx, "the optional staging buffer");
+    let (vulnerable, fixed) = scaffold.assemble(
+        &[],
+        &[],
+        &format!("void {target_fn}(int {flag})"),
+        &core_vuln,
+        &core_fixed,
+    );
+    TemplatePair { cwe: Cwe::NullDereference, vulnerable, fixed, target_fn }
+}
+
+/// CWE-457: a scalar declared without an initializer and read either
+/// unconditionally (definitely uninitialized) or after a branch that only
+/// sometimes assigns it (maybe uninitialized). The fix initializes the
+/// declaration.
+pub fn uninitialized_use<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let x = ctx.var("status");
+    let target_fn = ctx.func("report");
+    let k = ctx.rng.gen_range(1..50);
+    let seed = ctx.rng.gen_range(0..10);
+    let conditional = ctx.rng.gen_bool(0.5);
+
+    let (sig, core_vuln, core_fixed) = if conditional {
+        let mode = ctx.var("mode");
+        let t = ctx.rng.gen_range(1..8);
+        let body = format!(
+            "    if ({mode} > {t}) {{\n        {x} = {mode} + {k};\n    }}\n    record_metric(\"status\", {x});\n"
+        );
+        (
+            format!("void {target_fn}(int {mode})"),
+            format!("    int {x};\n{body}"),
+            format!("    int {x} = {seed};\n{body}"),
+        )
+    } else {
+        let y = ctx.var("total");
+        let tail = format!("    record_metric(\"total\", {y});\n");
+        (
+            format!("void {target_fn}()"),
+            format!("    int {x};\n    int {y} = {x} + {k};\n{tail}"),
+            format!("    int {x} = {seed};\n    int {y} = {x} + {k};\n{tail}"),
+        )
+    };
+
+    let scaffold = Scaffold::sample(ctx, "the status accumulator");
+    let (vulnerable, fixed) = scaffold.assemble(&[], &[], &sig, &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::UninitializedUse, vulnerable, fixed, target_fn }
+}
+
+/// CWE-369: a divisor that constant arithmetic forces to exactly zero —
+/// locally (`d = k; d = d - k;`) or through a callee whose summary the
+/// interprocedural pass computes as the constant zero. The fix guards the
+/// division, which interval refinement proves safe.
+pub fn divide_by_zero<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let d = ctx.var("step");
+    let num = ctx.var("budget");
+    let q = ctx.var("share");
+    let target_fn = ctx.func("split");
+    let k = ctx.rng.gen_range(2..30);
+    let total = ctx.rng.gen_range(100..5000);
+    let interprocedural = ctx.rng.gen_bool(0.5);
+
+    let (helpers, prologue) = if interprocedural {
+        let helper = ctx.func("stride");
+        let u = ctx.var("unit");
+        (
+            vec![format!("int {helper}() {{\n    int {u} = {k};\n    return {u} - {k};\n}}\n")],
+            format!("    int {num} = {total};\n    int {d} = {helper}();\n"),
+        )
+    } else {
+        (
+            Vec::new(),
+            format!("    int {num} = {total};\n    int {d} = {k};\n    {d} = {d} - {k};\n"),
+        )
+    };
+    let divide = format!("    int {q} = {num} / {d};\n    record_metric(\"share\", {q});\n");
+    let guard = format!("    if ({d} == 0) {{\n        {d} = 1;\n    }}\n");
+
+    let core_vuln = format!("{prologue}{divide}");
+    let core_fixed = format!("{prologue}{guard}{divide}");
+
+    let scaffold = Scaffold::sample(ctx, "the quota splitter");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&helpers, &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::DivideByZero, vulnerable, fixed, target_fn }
+}
+
+/// Generates the semantic-gap variant of `cwe`. For the two classes that
+/// exist *only* in semantic form (457, 369) this is what
+/// [`super::generate`] dispatches to; for 787/125/476 it produces the
+/// rule-blind twin of the classic template, used by the precision corpus.
+pub fn semantic_gap_pair<R: Rng>(cwe: Cwe, ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    match cwe {
+        Cwe::OutOfBoundsWrite => constant_index_oob(ctx, true),
+        Cwe::OutOfBoundsRead => constant_index_oob(ctx, false),
+        Cwe::NullDereference => literal_null_flow(ctx),
+        Cwe::UninitializedUse => uninitialized_use(ctx),
+        Cwe::DivideByZero => divide_by_zero(ctx),
+        other => panic!("{other} has no semantic-gap template"),
+    }
+}
+
+/// The CWE classes with a semantic-gap template.
+pub const GAP_CLASSES: [Cwe; 5] = [
+    Cwe::OutOfBoundsWrite,
+    Cwe::OutOfBoundsRead,
+    Cwe::NullDereference,
+    Cwe::UninitializedUse,
+    Cwe::DivideByZero,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::StyleProfile;
+    use crate::tier::Tier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vulnman_lang::parse;
+
+    fn pair_for(seed: u64, f: impl Fn(&mut EmitCtx<'_, StdRng>) -> TemplatePair) -> TemplatePair {
+        let style = StyleProfile::mainstream();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn gap_templates_parse_across_styles_tiers_and_seeds() {
+        let mut styles = vec![StyleProfile::mainstream()];
+        styles.extend(StyleProfile::internal_teams());
+        for style in &styles {
+            for tier in Tier::ALL {
+                for cwe in GAP_CLASSES {
+                    for seed in 0..5u64 {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let mut ctx = EmitCtx::new(style, tier, &mut rng);
+                        let pair = semantic_gap_pair(cwe, &mut ctx);
+                        parse(&pair.vulnerable)
+                            .unwrap_or_else(|e| panic!("{cwe} vuln: {e}\n{}", pair.vulnerable));
+                        parse(&pair.fixed)
+                            .unwrap_or_else(|e| panic!("{cwe} fixed: {e}\n{}", pair.fixed));
+                        assert_ne!(pair.vulnerable, pair.fixed);
+                        assert!(pair.vulnerable.contains(&pair.target_fn));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oob_index_is_provably_out_of_range() {
+        for seed in 0..10 {
+            let pair = pair_for(seed, |ctx| constant_index_oob(ctx, seed % 2 == 0));
+            // The fixed twin clamps; the vulnerable one must not.
+            assert!(pair.fixed.contains(">="), "clamp missing:\n{}", pair.fixed);
+            assert!(!pair.vulnerable.contains(">="));
+            // No rule-detector trigger: no external-input index.
+            assert!(!pair.vulnerable.contains("to_int"));
+        }
+    }
+
+    #[test]
+    fn null_flow_never_uses_lookup_helpers() {
+        for seed in 0..10 {
+            let pair = pair_for(seed, literal_null_flow);
+            for lookup in ["find_entry", "lookup_user", "get_config", "find_session"] {
+                assert!(!pair.vulnerable.contains(lookup), "{lookup} would wake the rule suite");
+            }
+            assert!(pair.vulnerable.contains("= 0;"), "literal null seed required");
+            assert!(pair.fixed.contains("== 0"));
+        }
+    }
+
+    #[test]
+    fn uninit_fixed_initializes_the_declaration() {
+        for seed in 0..10 {
+            let pair = pair_for(seed, uninitialized_use);
+            let decl_vuln = pair
+                .vulnerable
+                .lines()
+                .find(|l| l.trim_start().starts_with("int") && l.trim_end().ends_with(";"))
+                .unwrap();
+            assert!(!decl_vuln.contains('='), "vulnerable decl must be bare: {decl_vuln}");
+            assert_ne!(pair.vulnerable, pair.fixed);
+        }
+    }
+
+    #[test]
+    fn div_zero_interprocedural_variant_appears() {
+        let mut saw_helper = false;
+        let mut saw_local = false;
+        for seed in 0..20 {
+            let pair = pair_for(seed, divide_by_zero);
+            assert!(pair.vulnerable.contains(" / "));
+            assert!(pair.fixed.contains("== 0"));
+            if pair.vulnerable.contains("();") {
+                saw_helper = true;
+            } else {
+                saw_local = true;
+            }
+        }
+        assert!(saw_helper && saw_local, "both variants must be reachable");
+    }
+}

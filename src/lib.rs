@@ -61,7 +61,7 @@ pub mod prelude {
     pub use vulnman_analysis::reachability::{CallGraph, Surface};
     pub use vulnman_core::costmodel::{price_deployment, CostParams};
     pub use vulnman_core::detector::{
-        CombinePolicy, Detector, DetectorRegistry, MlDetector, RuleBasedDetector,
+        CombinePolicy, Detector, DetectorRegistry, MlDetector, RuleBasedDetector, SemanticDetector,
     };
     pub use vulnman_core::workflow::{
         DegradationSummary, WorkflowConfig, WorkflowEngine, WorkflowReport,

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! vulnman scan <file> [--dynamic] [--sanitizer <name>]...   scan a mini-C unit
+//! vulnman lint <file>...                                     semantic (abstract-interpretation) checkers
 //! vulnman fix <file> [--cwe <id>]                            auto-fix and print the patch
 //! vulnman exec <file>                                        run under the sanitizer interpreter
 //! vulnman gen [--seed N] [--count N] [--fraction F] [--out <dir>]
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "scan" => cmd_scan(rest),
+        "lint" => return cmd_lint(rest),
         "fix" => cmd_fix(rest),
         "exec" => cmd_exec(rest),
         "gen" => cmd_gen(rest),
@@ -55,8 +57,11 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vulnman <scan|fix|exec|gen|workflow|oracle|sft|help> [options]
+const USAGE: &str = "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|sft|help> [options]
   scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
+  lint <file>...                                 run only the semantic (abstract-
+                                                 interpretation) checkers; print evidence
+                                                 traces; exit 1 when any finding survives
   fix <file> [--cwe <id>]                        auto-fix and print the patch
   exec <file>                                    run under the sanitizer interpreter
   gen [--seed N] [--count N] [--fraction F] [--out DIR]
@@ -170,6 +175,63 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `vulnman lint` — the semantic (abstract-interpretation) checkers only.
+/// Every finding carries a machine-checkable evidence trace (the abstract
+/// state at the report point plus the claim derived from it), printed here
+/// so a reviewer can audit the proof. Exits non-zero when any finding
+/// survives, so the command slots directly into CI gates.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("error: missing <file> argument\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let engine = vulnman::analysis::checkers::SemanticEngine::new();
+    let mut total = 0usize;
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let program = match parse(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let scan = engine.analyze(&program);
+        if scan.findings.is_empty() {
+            println!("{path}: clean ({} solver iteration(s))", scan.stats.iterations);
+        } else {
+            println!("{path}: {} semantic finding(s)", scan.findings.len());
+        }
+        for f in &scan.findings {
+            println!(
+                "  line {:>3}  {}  in `{}` ({:?}) — {} [{}]",
+                f.line(),
+                f.cwe,
+                f.function,
+                f.confidence,
+                f.message,
+                f.detector,
+            );
+            if let Some(ev) = &f.evidence {
+                println!("           evidence: {ev}");
+            }
+        }
+        total += scan.findings.len();
+    }
+    if total > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_fix(args: &[String]) -> Result<(), String> {

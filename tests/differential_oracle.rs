@@ -97,6 +97,8 @@ fn oracle_metrics_schema_is_stable_and_populated() {
         "oracle.kind.dynamic_blind_spot",
         "oracle.kind.label_noise_artifact",
         "oracle.kind.analyzer_defect",
+        "oracle.kind.semantic_blind_spot",
+        "oracle.kind.semantic_false_positive",
         "oracle.shrunk",
         "oracle.shrink_steps",
         "oracle.shrink_attempts",

@@ -23,7 +23,7 @@ proptest! {
     #[test]
     fn template_parse_print_interp_roundtrip(
         seed in any::<u64>(),
-        cwe_idx in 0usize..12,
+        cwe_idx in 0usize..14,
         style_idx in 0usize..4,
         tier_idx in 0usize..3,
     ) {
@@ -82,7 +82,7 @@ proptest! {
     /// Anonymization never breaks parseability and leakage is monotone
     /// non-increasing in strength.
     #[test]
-    fn anonymization_monotone_and_parseable(seed in any::<u64>(), cwe_idx in 0usize..12) {
+    fn anonymization_monotone_and_parseable(seed in any::<u64>(), cwe_idx in 0usize..14) {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let style = StyleProfile::mainstream();
@@ -151,7 +151,7 @@ proptest! {
     #[test]
     fn parse_never_panics_on_truncated_or_mutated_source(
         seed in any::<u64>(),
-        cwe_idx in 0usize..12,
+        cwe_idx in 0usize..14,
         cut_pct in 0u32..100,
         mutations in prop::collection::vec((any::<u16>(), any::<u8>()), 0..8),
     ) {
@@ -206,4 +206,105 @@ proptest! {
         prop_assert_eq!(a.detection_metrics(), c.detection_metrics());
         prop_assert_eq!(a.auto_fixed, c.auto_fixed);
     }
+
+    /// The abstract-interpretation solver terminates (converges within its
+    /// iteration backstop) on arbitrarily shaped deep-loop / nested-branch
+    /// programs, and stays within the widening budget: each block can be
+    /// widened at most once per tracked variable per domain, so widenings
+    /// are linearly bounded by program size.
+    #[test]
+    fn absint_solver_terminates_on_deep_loops_and_branches(
+        loop_depth in 1usize..6,
+        branch_depth in 0usize..5,
+        stride in 1i64..1000,
+        bound in 1i64..1_000_000,
+        descending in any::<bool>(),
+    ) {
+        let source = synthetic_loop_nest(loop_depth, branch_depth, stride, bound, descending);
+        let program = parse(&source).expect("synthetic program parses");
+        let scan = vulnman::analysis::checkers::SemanticEngine::new().analyze(&program);
+        prop_assert!(
+            scan.stats.converged,
+            "solver hit the iteration backstop on:\n{source}"
+        );
+        // Generous linear budget: blocks × (loop_depth + vars) per domain.
+        let blocks: usize = source.matches('{').count() * 4 + 16;
+        let budget = (blocks * (loop_depth + branch_depth + 8) * 3) as u64;
+        prop_assert!(
+            scan.stats.widenings <= budget,
+            "{} widenings exceeds the {} budget for:\n{source}",
+            scan.stats.widenings,
+            budget
+        );
+    }
+
+    /// Reports from a workflow with the semantic detector registered are
+    /// byte-identical across worker counts and cache settings — the
+    /// fixpoint solver introduces no scheduling or memoization sensitivity.
+    #[test]
+    fn semantic_workflow_identical_across_jobs_and_cache(seed in any::<u64>()) {
+        let ds = DatasetBuilder::new(seed).vulnerable_count(5).vulnerable_fraction(0.4).build();
+        let run = |jobs: usize, cache: bool| {
+            let mut registry = DetectorRegistry::new();
+            registry.register(Box::new(SemanticDetector::standard()));
+            registry.register(Box::new(RuleBasedDetector::standard()));
+            let config = WorkflowConfig { jobs, cache, ..Default::default() };
+            let report = WorkflowEngine::new(registry, config).process(ds.samples());
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        let baseline = run(1, true);
+        for (jobs, cache) in [(1, false), (4, true), (4, false)] {
+            prop_assert_eq!(
+                &baseline,
+                &run(jobs, cache),
+                "report diverged at jobs={} cache={}",
+                jobs,
+                cache
+            );
+        }
+    }
+}
+
+/// Emits a parseable mini-C program with `loop_depth` nested `while` loops
+/// around `branch_depth` nested `if/else` ladders, ascending or descending
+/// counters, and an accumulator the interval domain must widen to cover.
+fn synthetic_loop_nest(
+    loop_depth: usize,
+    branch_depth: usize,
+    stride: i64,
+    bound: i64,
+    descending: bool,
+) -> String {
+    let mut body = String::new();
+    let indent = |n: usize| "    ".repeat(n + 1);
+    for d in 0..loop_depth {
+        if descending {
+            body.push_str(&format!("{0}int i{1} = {2};\n", indent(d), d, bound));
+            body.push_str(&format!("{0}while (i{1} > 0) {{\n", indent(d), d));
+        } else {
+            body.push_str(&format!("{0}int i{1} = 0;\n", indent(d), d));
+            body.push_str(&format!("{0}while (i{1} < {2}) {{\n", indent(d), d, bound));
+        }
+    }
+    // Innermost: a branch ladder mutating the accumulator both ways, so
+    // the join keeps both outcomes live and widening has real work.
+    for b in 0..branch_depth {
+        body.push_str(&format!(
+            "{0}if (acc < {1}) {{\n{0}    acc = acc + {2};\n{0}}} else {{\n{0}    acc = acc - {3};\n{0}}}\n",
+            indent(loop_depth + b),
+            bound / (b as i64 + 1),
+            stride,
+            stride + b as i64,
+        ));
+    }
+    body.push_str(&format!("{}acc = acc + {stride};\n", indent(loop_depth + branch_depth)));
+    for d in (0..loop_depth).rev() {
+        let step = if descending {
+            format!("i{d} = i{d} - {stride};")
+        } else {
+            format!("i{d} = i{d} + {stride};")
+        };
+        body.push_str(&format!("{0}{1}\n{2}}}\n", indent(d + 1), step, indent(d)));
+    }
+    format!("int f(int n) {{\n    int acc = 0;\n{body}    return acc;\n}}\n\nint main() {{\n    int r = f(7);\n    return r;\n}}\n")
 }
