@@ -60,7 +60,15 @@ impl AutoFixer {
     /// assert!(fixed.contains("escape_sql"));
     /// ```
     pub fn fix_source(&self, source: &str, cwe: Cwe) -> Option<String> {
-        let mut program = parse(source).ok()?;
+        self.fix_program(parse(source).ok()?, cwe).map(|p| print_program(&p))
+    }
+
+    /// [`AutoFixer::fix_source`] over an already-parsed program, returning
+    /// the patched AST instead of text — callers holding a cached parse
+    /// (the workflow repair stage) clone the AST (cheap: interned symbols)
+    /// instead of re-lexing the source, verify the patched program
+    /// directly, and print only when the fix sticks.
+    pub fn fix_program(&self, mut program: Program, cwe: Cwe) -> Option<Program> {
         let changed = match cwe {
             Cwe::SqlInjection => fix_injection(&mut program, "sql", "escape_sql"),
             Cwe::CommandInjection => fix_injection(&mut program, "command", "escape_shell"),
@@ -77,7 +85,7 @@ impl AutoFixer {
             | Cwe::UninitializedUse
             | Cwe::DivideByZero => false,
         };
-        changed.then(|| print_program(&program))
+        changed.then_some(program)
     }
 }
 
@@ -103,7 +111,7 @@ fn fix_injection(program: &mut Program, kind: &str, sanitizer: &str) -> bool {
                             if !matches!(a.kind, ExprKind::Str(_) | ExprKind::Int(_)) {
                                 let inner = a.clone();
                                 *a = Expr::new(
-                                    ExprKind::Call(sanitizer.to_string(), vec![inner]),
+                                    ExprKind::Call(sanitizer.into(), vec![inner]),
                                     a.span,
                                 );
                                 changed = true;
@@ -170,7 +178,7 @@ fn fix_credentials(program: &mut Program) -> bool {
                 if let ExprKind::Str(lit) = &e.kind {
                     if secret_like(lit) {
                         e.kind = ExprKind::Call(
-                            "load_secret".to_string(),
+                            "load_secret".into(),
                             vec![Expr::new(ExprKind::Str("managed_api_key".to_string()), e.span)],
                         );
                         changed = true;
@@ -283,12 +291,12 @@ fn local_arrays(func: &Function) -> Vec<(String, usize)> {
     let mut v = Vec::new();
     func.walk_stmts(&mut |s| {
         if let StmtKind::Decl { name, ty: Type::Array(_, n), .. } = &s.kind {
-            v.push((name.clone(), *n));
+            v.push((name.to_string(), *n));
         }
     });
     for p in &func.params {
         if let Type::Array(_, n) = &p.ty {
-            v.push((p.name.clone(), *n));
+            v.push((p.name.to_string(), *n));
         }
     }
     v
@@ -310,7 +318,7 @@ fn fix_oob_write_stmts(stmts: &mut [Stmt], arrays: &[(String, usize)]) -> bool {
                     {
                         if let (ExprKind::Var(b), ExprKind::Var(i)) = (&base.kind, &idx.kind) {
                             if let Some((_, n)) = arrays.iter().find(|(a, _)| a == b) {
-                                target = Some((i.clone(), *n));
+                                target = Some((i.to_string(), *n));
                             }
                         }
                     }
@@ -321,7 +329,7 @@ fn fix_oob_write_stmts(stmts: &mut [Stmt], arrays: &[(String, usize)]) -> bool {
                         let bound = Expr::new(
                             ExprKind::Binary(
                                 BinOp::Lt,
-                                Box::new(Expr::new(ExprKind::Var(idx_var), span)),
+                                Box::new(Expr::new(ExprKind::Var(idx_var.into()), span)),
                                 Box::new(Expr::new(ExprKind::Int(n as i64 - 1), span)),
                             ),
                             span,
@@ -350,7 +358,7 @@ fn fix_oob_write_stmts(stmts: &mut [Stmt], arrays: &[(String, usize)]) -> bool {
                     if name == "strcpy" && args.len() == 2 {
                         if let ExprKind::Var(b) = &args[0].kind {
                             if let Some((_, n)) = arrays.iter().find(|(a, _)| a == b) {
-                                *name = "copy_bounded".to_string();
+                                *name = "copy_bounded".into();
                                 args.push(Expr::new(ExprKind::Int(*n as i64 - 1), e.span));
                                 changed = true;
                             }
@@ -393,7 +401,7 @@ fn fix_oob_read(program: &mut Program) -> bool {
         func.walk_stmts(&mut |s| {
             if let StmtKind::Decl { name, init: Some(init), .. } = &s.kind {
                 if init.called_fns().contains(&"to_int") {
-                    ext.push(name.clone());
+                    ext.push(name.to_string());
                 }
             }
         });
@@ -428,7 +436,7 @@ fn guard_read(stmts: &mut Vec<Stmt>, idx_var: &str, arrays: &[(String, usize)]) 
         }
         if let Some(n) = risky_size {
             let span = stmts[i].span;
-            let var = |name: &str| Expr::new(ExprKind::Var(name.to_string()), span);
+            let var = |name: &str| Expr::new(ExprKind::Var(name.into()), span);
             let cond = Expr::new(
                 ExprKind::Binary(
                     BinOp::Or,

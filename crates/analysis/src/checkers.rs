@@ -25,8 +25,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 use vulnman_lang::absint::domain::inst_reads;
 use vulnman_lang::absint::{
-    analyze_program, Domain, DomainAnalysis, Env, Init, InitDomain, Interval, IntervalDomain,
-    Nullness, NullnessDomain, SolverConfig, SolverStats,
+    analyze_program_parallel, Domain, DomainAnalysis, Env, Init, InitDomain, Interval,
+    IntervalDomain, Nullness, NullnessDomain, SolverConfig, SolverStats,
 };
 use vulnman_lang::ast::{BinOp, Expr, ExprKind, Function, LValue, Program, UnOp};
 use vulnman_lang::cfg::{Cfg, CfgInst};
@@ -62,17 +62,28 @@ pub struct SemanticScan {
 #[derive(Debug, Clone, Copy)]
 pub struct SemanticEngine {
     config: SolverConfig,
+    jobs: usize,
 }
 
 impl SemanticEngine {
     /// An engine with the default solver configuration.
     pub fn new() -> Self {
-        SemanticEngine { config: SolverConfig::default() }
+        SemanticEngine { config: SolverConfig::default(), jobs: 1 }
     }
 
     /// An engine with custom widening/iteration knobs.
     pub fn with_config(config: SolverConfig) -> Self {
-        SemanticEngine { config }
+        SemanticEngine { config, jobs: 1 }
+    }
+
+    /// Solves per-function fixpoints on up to `jobs` worker threads via
+    /// [`analyze_program_parallel`]. Findings, summaries, and statistics
+    /// are byte-identical for every value, so `jobs` is deliberately not
+    /// part of [`SemanticEngine::fingerprint`] — cached results are shared
+    /// across worker counts. Small programs always solve sequentially.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// A 64-bit fingerprint of the engine configuration, used as the
@@ -99,9 +110,10 @@ impl SemanticEngine {
         let mut stats = SolverStats { converged: true, ..SolverStats::default() };
 
         let t = Instant::now();
-        let pa = analyze_program::<IntervalDomain, _, _>(
+        let pa = analyze_program_parallel::<IntervalDomain, _, _>(
             program,
             self.config,
+            self.jobs,
             |summaries| IntervalDomain::with_summaries(summaries.clone()),
             |func, cfg, domain, analysis| {
                 check_intervals(func, cfg, domain, analysis, &mut findings);
@@ -111,9 +123,10 @@ impl SemanticEngine {
         let interval_micros = t.elapsed().as_micros() as u64;
 
         let t = Instant::now();
-        let pa = analyze_program::<NullnessDomain, _, _>(
+        let pa = analyze_program_parallel::<NullnessDomain, _, _>(
             program,
             self.config,
+            self.jobs,
             |summaries| NullnessDomain::with_summaries(summaries.clone()),
             |func, cfg, domain, analysis| {
                 check_nullness(func, cfg, domain, analysis, &mut findings);
@@ -123,9 +136,10 @@ impl SemanticEngine {
         let nullness_micros = t.elapsed().as_micros() as u64;
 
         let t = Instant::now();
-        let pa = analyze_program::<InitDomain, _, _>(
+        let pa = analyze_program_parallel::<InitDomain, _, _>(
             program,
             self.config,
+            self.jobs,
             |_| InitDomain,
             |func, cfg, domain, analysis| {
                 check_init(func, cfg, domain, analysis, &mut findings);
@@ -159,9 +173,32 @@ impl SemanticEngine {
         source: &str,
         cache: &vulnman_lang::AnalysisCache,
     ) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
-        let program = cache.parse(source)?;
+        self.scan_source_cached_keyed(
+            vulnman_lang::AnalysisCache::content_key(source),
+            source,
+            cache,
+        )
+    }
+
+    /// [`SemanticEngine::scan_source_cached`] with a precomputed
+    /// [`content_key`](vulnman_lang::AnalysisCache::content_key), so callers
+    /// that consult several cache tables for the same sample hash its source
+    /// once. Results are identical to [`SemanticEngine::scan_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `source` is not valid mini-C.
+    pub fn scan_source_cached_keyed(
+        &self,
+        content_key: u64,
+        source: &str,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
+        let program = cache.parse_keyed(content_key, source)?;
         let findings =
-            cache.analysis(source, "absint-findings", self.fingerprint(), || self.scan(&program));
+            cache.analysis_keyed(content_key, "absint-findings", self.fingerprint(), || {
+                self.scan(&program)
+            });
         Ok((*findings).clone())
     }
 
@@ -428,7 +465,7 @@ fn check_intervals(
                 );
                 out.push(Finding {
                     cwe,
-                    function: func.name.clone(),
+                    function: func.name.to_string(),
                     span: inst.span,
                     detector: "absint-interval".into(),
                     message: format!(
@@ -451,7 +488,7 @@ fn check_intervals(
                 }
                 out.push(Finding {
                     cwe: Cwe::DivideByZero,
-                    function: func.name.clone(),
+                    function: func.name.to_string(),
                     span: inst.span,
                     detector: "absint-interval".into(),
                     message: "division by a divisor proven to be exactly zero".into(),
@@ -474,7 +511,7 @@ fn check_intervals(
                 }
                 out.push(Finding {
                     cwe: Cwe::IntegerOverflow,
-                    function: func.name.clone(),
+                    function: func.name.to_string(),
                     span: inst.span,
                     detector: "absint-interval".into(),
                     message: format!(
@@ -531,7 +568,7 @@ fn check_nullness(
                 };
                 out.push(Finding {
                     cwe: Cwe::NullDereference,
-                    function: func.name.clone(),
+                    function: func.name.to_string(),
                     span: inst.span,
                     detector: "absint-nullness".into(),
                     message: format!("dereference of `{name}`, which {how}"),
@@ -584,7 +621,7 @@ fn check_init(
                 };
                 out.push(Finding {
                     cwe: Cwe::UninitializedUse,
-                    function: func.name.clone(),
+                    function: func.name.to_string(),
                     span: inst.span,
                     detector: "absint-init".into(),
                     message: format!("read of `{name}`, which {how}"),

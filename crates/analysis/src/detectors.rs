@@ -85,6 +85,20 @@ impl RuleEngine {
         out
     }
 
+    /// Scans a parsed program with only the detectors whose advertised
+    /// [`StaticDetector::cwes`] cover `cwe` — the targeted core of autofix
+    /// verification, where findings of every other class are filtered out
+    /// anyway. Findings of class `cwe` are exactly those of a full
+    /// [`RuleEngine::scan`]; other classes may be missing.
+    pub fn scan_cwe(&self, program: &Program, cwe: Cwe) -> Vec<Finding> {
+        let mut out: Vec<Finding> = Vec::new();
+        for d in self.detectors.iter().filter(|d| d.cwes().contains(&cwe)) {
+            out.extend(d.scan(program));
+        }
+        out.sort_by_key(|f| (f.span.start, f.cwe.id()));
+        out
+    }
+
     /// Parses and scans source text.
     ///
     /// # Errors
@@ -123,9 +137,32 @@ impl RuleEngine {
         source: &str,
         cache: &vulnman_lang::AnalysisCache,
     ) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
-        let program = cache.parse(source)?;
+        self.scan_source_cached_keyed(
+            vulnman_lang::AnalysisCache::content_key(source),
+            source,
+            cache,
+        )
+    }
+
+    /// [`RuleEngine::scan_source_cached`] with a precomputed
+    /// [`content_key`](vulnman_lang::AnalysisCache::content_key), so callers
+    /// that consult several cache tables for the same sample hash its source
+    /// once. Results are identical to [`RuleEngine::scan_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `source` is not valid mini-C.
+    pub fn scan_source_cached_keyed(
+        &self,
+        content_key: u64,
+        source: &str,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<Vec<Finding>, vulnman_lang::ParseError> {
+        let program = cache.parse_keyed(content_key, source)?;
         let findings =
-            cache.analysis(source, "rule-findings", self.fingerprint(), || self.scan(&program));
+            cache.analysis_keyed(content_key, "rule-findings", self.fingerprint(), || {
+                self.scan(&program)
+            });
         Ok((*findings).clone())
     }
 }
@@ -340,7 +377,7 @@ impl BoundsDetector {
                         if !cond_bounds_var(cond, i) {
                             out.push(Finding {
                                 cwe: Cwe::OutOfBoundsWrite,
-                                function: func.name.clone(),
+                                function: func.name.to_string(),
                                 span: inner.span,
                                 detector: "bounds-check".into(),
                                 message: format!(
@@ -392,7 +429,7 @@ impl BoundsDetector {
                 if read {
                     out.push(Finding {
                         cwe: Cwe::OutOfBoundsRead,
-                        function: func.name.clone(),
+                        function: func.name.to_string(),
                         span: stmts[pos].span,
                         detector: "bounds-check".into(),
                         message: format!(
@@ -483,7 +520,7 @@ impl StaticDetector for UseAfterFreeDetector {
                     if stmt_uses_pointer(later, &var) {
                         out.push(Finding {
                             cwe: Cwe::UseAfterFree,
-                            function: func.name.clone(),
+                            function: func.name.to_string(),
                             span: later.span,
                             detector: "lifetime-order".into(),
                             message: format!("`{var}` used after `free_mem({var})`"),
@@ -571,7 +608,7 @@ impl StaticDetector for OverflowDetector {
                     if feeds_alloc {
                         out.push(Finding {
                             cwe: Cwe::IntegerOverflow,
-                            function: func.name.clone(),
+                            function: func.name.to_string(),
                             span: s.span,
                             detector: "int-range".into(),
                             message: format!(
@@ -640,7 +677,7 @@ impl StaticDetector for NullDerefDetector {
                     if stmt_uses_pointer(later, name) {
                         out.push(Finding {
                             cwe: Cwe::NullDereference,
-                            function: func.name.clone(),
+                            function: func.name.to_string(),
                             span: later.span,
                             detector: "null-guard".into(),
                             message: format!("`{name}` may be null here (lookup result unchecked)"),
@@ -720,7 +757,7 @@ impl StaticDetector for CredentialDetector {
                                     if secret_like(lit) {
                                         out.push(Finding {
                                             cwe: Cwe::HardcodedCredentials,
-                                            function: func.name.clone(),
+                                            function: func.name.to_string(),
                                             span: a.span,
                                             detector: "secret-scan".into(),
                                             message: format!(
@@ -747,7 +784,7 @@ impl StaticDetector for CredentialDetector {
                     if secret_like(lit) {
                         out.push(Finding {
                             cwe: Cwe::HardcodedCredentials,
-                            function: func.name.clone(),
+                            function: func.name.to_string(),
                             span: *span,
                             detector: "secret-scan".into(),
                             message: "secret-shaped literal in declaration".to_string(),
@@ -810,7 +847,7 @@ impl StaticDetector for RaceDetector {
                 if opened {
                     out.push(Finding {
                         cwe: Cwe::RaceCondition,
-                        function: func.name.clone(),
+                        function: func.name.to_string(),
                         span: s.span,
                         detector: "toctou".into(),
                         message: format!(

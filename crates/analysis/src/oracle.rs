@@ -458,22 +458,25 @@ impl DifferentialOracle {
         }
     }
 
-    /// Runs all views over `source` through `cache`.
+    /// Runs all views over `source` through `cache`, hashing the source
+    /// once for all five memoized views.
     fn verdicts(&self, source: &str, cache: &AnalysisCache) -> Verdicts {
-        let program = match cache.parse(source) {
+        let key = AnalysisCache::content_key(source);
+        let program = match cache.parse_keyed(key, source) {
             Ok(p) => p,
             Err(e) => return Verdicts { parse_error: Some(e.to_string()), ..Verdicts::default() },
         };
-        let findings = cache.analysis(source, "rule-findings", self.statics.fingerprint(), || {
-            self.statics.scan(&program)
-        });
+        let findings =
+            cache.analysis_keyed(key, "rule-findings", self.statics.fingerprint(), || {
+                self.statics.scan(&program)
+            });
         let statics = findings.iter().map(|f| f.cwe).collect();
         let static_taint =
             findings.iter().filter(|f| f.detector == "taint-flow").map(|f| f.cwe).collect();
-        let dynamics = cache.analysis(source, "oracle-dynamic", 0, || {
+        let dynamics = cache.analysis_keyed(key, "oracle-dynamic", 0, || {
             self.dynamic.scan(&program).iter().map(|f| f.cwe).collect::<BTreeSet<Cwe>>()
         });
-        let taint = cache.analysis(source, "oracle-taint", 0, || {
+        let taint = cache.analysis_keyed(key, "oracle-taint", 0, || {
             TaintAnalysis::run(&program, &self.taint)
                 .findings
                 .iter()
@@ -484,7 +487,7 @@ impl DifferentialOracle {
         // scan_source_cached`, so oracle runs and `vulnman lint` share warm
         // entries and a warm pass skips the fixpoint entirely.
         let semantic_findings =
-            cache.analysis(source, "absint-findings", self.semantics.fingerprint(), || {
+            cache.analysis_keyed(key, "absint-findings", self.semantics.fingerprint(), || {
                 self.semantics.analyze(&program).findings
             });
         let absints = semantic_findings.iter().map(|f| f.cwe).collect();

@@ -55,14 +55,14 @@ impl CallGraph {
         let defined: HashSet<&str> = program.functions.iter().map(|f| f.name.as_str()).collect();
         let mut g = CallGraph::default();
         for f in &program.functions {
-            g.functions.push(f.name.clone());
-            let entry = g.edges.entry(f.name.clone()).or_default();
-            let ext = g.externals.entry(f.name.clone()).or_default();
+            g.functions.push(f.name.to_string());
+            let entry = g.edges.entry(f.name.to_string()).or_default();
+            let ext = g.externals.entry(f.name.to_string()).or_default();
             for callee in f.callees() {
                 if defined.contains(callee.as_str()) {
-                    entry.insert(callee);
+                    entry.insert(callee.to_string());
                 } else {
-                    ext.insert(callee);
+                    ext.insert(callee.to_string());
                 }
             }
         }

@@ -1,0 +1,233 @@
+//! `BENCH_pipeline.json` generator: the committed performance trajectory of
+//! the `workflow_scaling` configuration.
+//!
+//! Measures cold-path (cache off) workflow throughput at jobs ∈ {1, 2, 4},
+//! the warm cached path at jobs = 4, and per-stage latency quantiles from
+//! the engine's span histograms, then appends one labelled entry to the
+//! trajectory file. CI regenerates the entry with `--quick` and fails if
+//! cold jobs=1 throughput regressed more than 10% against the committed
+//! baseline (see `.github/workflows/ci.yml`, job `bench`).
+//!
+//! Usage: `bench_pipeline [--quick] [--out FILE] [--label STR] [--check]`
+//!
+//! `--check` recomputes the measurement and compares against the last
+//! committed entry without writing, exiting non-zero on a >10% cold-path
+//! regression — the CI gate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use vulnman_core::detector::{DetectorRegistry, RuleBasedDetector};
+use vulnman_core::workflow::{WorkflowConfig, WorkflowEngine};
+use vulnman_obs::Registry;
+use vulnman_synth::dataset::{Dataset, DatasetBuilder};
+
+/// Stage-latency summary from one configuration's span histograms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StageLatency {
+    /// Median per-sample latency, microseconds.
+    p50_us: f64,
+    /// Tail per-sample latency, microseconds.
+    p99_us: f64,
+    /// Mean per-sample latency, microseconds.
+    mean_us: f64,
+    /// Number of span observations behind the quantiles.
+    count: u64,
+}
+
+/// One measured configuration (e.g. `cold_jobs1`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ConfigResult {
+    /// End-to-end throughput in samples per second.
+    throughput_elem_per_s: f64,
+    /// Timed `process()` iterations behind the throughput number.
+    iters: u64,
+    /// Mean wall time of one full `process()` pass, milliseconds.
+    ms_per_iter: f64,
+    /// Per-stage latency quantiles, keyed by span name.
+    stages: BTreeMap<String, StageLatency>,
+}
+
+/// One entry in the committed trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    /// Human label for the measurement (defaults to pre/post PR markers).
+    label: String,
+    /// Seconds since the Unix epoch at measurement time.
+    unix_time: u64,
+    /// Whether this was a `--quick` (CI-sized) run.
+    quick: bool,
+    /// Corpus size in samples.
+    corpus: usize,
+    /// Results keyed by configuration name.
+    configs: BTreeMap<String, ConfigResult>,
+}
+
+/// The whole `BENCH_pipeline.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Trajectory {
+    /// Benchmark identity; always `workflow_scaling`.
+    benchmark: String,
+    /// Measurement entries, oldest first.
+    history: Vec<Entry>,
+}
+
+/// Spans whose latency distribution goes into the report.
+const STAGES: &[&str] = &[
+    "span.stage.assess",
+    "span.stage.assess.detect",
+    "span.stage.assess.surface",
+    "span.stage.repair",
+];
+
+fn corpus(n: usize) -> Dataset {
+    DatasetBuilder::new(11).vulnerable_count(n).vulnerable_fraction(0.3).build()
+}
+
+fn mk_engine(jobs: usize, cache: bool, metrics: &Registry) -> WorkflowEngine {
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    WorkflowEngine::with_metrics(
+        registry,
+        WorkflowConfig { jobs, cache, ..Default::default() },
+        metrics.clone(),
+    )
+}
+
+/// Runs `process()` in a fixed wall-clock window and summarizes throughput
+/// plus the stage-latency histograms accumulated during the timed passes.
+fn measure(jobs: usize, cache: bool, ds: &Dataset, window: Duration) -> ConfigResult {
+    // Untimed warm-up pass on a throwaway engine: touches every lazy code
+    // path without polluting the measured engine's span histograms.
+    mk_engine(jobs, cache, &Registry::new()).process(ds.samples());
+    let metrics = Registry::new();
+    let engine = mk_engine(jobs, cache, &metrics);
+    if cache {
+        engine.process(ds.samples()); // prime storage, then measure warm hits
+    }
+    let snapshot_base = metrics.snapshot();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        std::hint::black_box(engine.process(ds.samples()));
+        iters += 1;
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    let snapshot = metrics.snapshot();
+
+    let mut stages = BTreeMap::new();
+    for &name in STAGES {
+        let Some(h) = snapshot.histograms.get(name) else { continue };
+        // Subtract the priming pass's observations so warm quantiles
+        // describe only the timed window.
+        let base = snapshot_base.histograms.get(name);
+        let mut h = h.clone();
+        if let Some(b) = base {
+            h.count -= b.count;
+            h.sum -= b.sum;
+            for (i, c) in b.buckets.iter().enumerate() {
+                h.buckets[i] -= c;
+            }
+        }
+        if h.count == 0 {
+            continue;
+        }
+        stages.insert(
+            name.to_string(),
+            StageLatency {
+                p50_us: h.quantile(0.50),
+                p99_us: h.quantile(0.99),
+                mean_us: h.mean(),
+                count: h.count,
+            },
+        );
+    }
+
+    let secs = elapsed.as_secs_f64();
+    ConfigResult {
+        throughput_elem_per_s: ds.len() as f64 * iters as f64 / secs,
+        iters,
+        ms_per_iter: secs * 1e3 / iters as f64,
+        stages,
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let label = arg_value(&args, "--label").unwrap_or_else(|| "measurement".into());
+    let window = if quick { Duration::from_millis(300) } else { Duration::from_secs(2) };
+
+    let ds = corpus(60);
+    println!("bench_pipeline: corpus {} samples, window {:?}", ds.len(), window);
+
+    let mut configs = BTreeMap::new();
+    for (name, jobs, cache) in [
+        ("cold_jobs1", 1usize, false),
+        ("cold_jobs2", 2, false),
+        ("cold_jobs4", 4, false),
+        ("warm_jobs4", 4, true),
+    ] {
+        let r = measure(jobs, cache, &ds, window);
+        println!(
+            "  {name:<12} {:>10.1} elem/s   {:>8.3} ms/iter   iters {}",
+            r.throughput_elem_per_s, r.ms_per_iter, r.iters
+        );
+        configs.insert(name.to_string(), r);
+    }
+
+    let entry = Entry {
+        label,
+        unix_time: SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0),
+        quick,
+        corpus: ds.len(),
+        configs,
+    };
+
+    let mut trajectory = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Trajectory>(&s).ok())
+        .unwrap_or_else(|| Trajectory {
+            benchmark: "workflow_scaling".into(),
+            history: Vec::new(),
+        });
+
+    if check {
+        let Some(committed) = trajectory.history.last() else {
+            eprintln!("bench_pipeline --check: no committed baseline in {out}");
+            std::process::exit(2);
+        };
+        let key = "cold_jobs1";
+        let base = committed.configs.get(key).map(|c| c.throughput_elem_per_s).unwrap_or(0.0);
+        let now = entry.configs.get(key).map(|c| c.throughput_elem_per_s).unwrap_or(0.0);
+        let ratio = if base > 0.0 { now / base } else { 1.0 };
+        println!(
+            "gate: {key} committed {base:.1} elem/s, measured {now:.1} elem/s ({:.1}%)",
+            ratio * 100.0
+        );
+        if ratio < 0.90 {
+            eprintln!("bench_pipeline --check: cold-path throughput regressed more than 10%");
+            std::process::exit(1);
+        }
+        println!("gate: within the 10% regression budget");
+        return;
+    }
+
+    trajectory.history.push(entry);
+    let json = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    std::fs::write(&out, json + "\n").expect("write trajectory file");
+    println!(
+        "wrote {out} ({} entr{})",
+        trajectory.history.len(),
+        if trajectory.history.len() == 1 { "y" } else { "ies" }
+    );
+}

@@ -87,17 +87,17 @@ impl Anonymizer {
         // (Definition order, not set order, so renaming is deterministic.)
         if self.strength >= Strength::Aggressive {
             for (i, func) in program.functions.iter().enumerate() {
-                name_map.insert(func.name.clone(), format!("fn_{i}"));
+                name_map.insert(func.name.to_string(), format!("fn_{i}"));
             }
             for func in &mut program.functions {
-                if let Some(fresh) = name_map.get(&func.name) {
-                    func.name = fresh.clone();
+                if let Some(fresh) = name_map.get(func.name.as_str()) {
+                    func.name = fresh.as_str().into();
                 }
                 for s in &mut func.body {
                     rewrite_exprs(s, &mut |e| match &mut e.kind {
                         ExprKind::Call(name, _) => {
                             if let Some(fresh) = name_map.get(name.as_str()) {
-                                *name = fresh.clone();
+                                *name = fresh.as_str().into();
                             }
                         }
                         ExprKind::Int(v)
@@ -130,9 +130,9 @@ fn rename_locals(func: &mut Function, salt: usize, name_map: &mut HashMap<String
     let mut local: HashMap<String, String> = HashMap::new();
     for (i, p) in func.params.iter_mut().enumerate() {
         let fresh = format!("arg{salt}_{i}");
-        local.insert(p.name.clone(), fresh.clone());
-        name_map.insert(p.name.clone(), fresh.clone());
-        p.name = fresh;
+        local.insert(p.name.to_string(), fresh.clone());
+        name_map.insert(p.name.to_string(), fresh.clone());
+        p.name = fresh.into();
     }
     let mut counter = 0usize;
     collect_decl_renames(&mut func.body, salt, &mut counter, &mut local, name_map);
@@ -153,9 +153,9 @@ fn collect_decl_renames(
             StmtKind::Decl { name, .. } => {
                 *counter += 1;
                 let fresh = format!("var{salt}_{counter}");
-                local.insert(name.clone(), fresh.clone());
-                global.insert(name.clone(), fresh.clone());
-                *name = fresh;
+                local.insert(name.to_string(), fresh.clone());
+                global.insert(name.to_string(), fresh.clone());
+                *name = fresh.into();
             }
             StmtKind::If { then_branch, else_branch, .. } => {
                 collect_decl_renames(then_branch, salt, counter, local, global);
@@ -193,9 +193,9 @@ fn collect_decl_renames(
 }
 
 fn apply_renames(s: &mut Stmt, map: &HashMap<String, String>) {
-    let rename_var = |name: &mut String| {
+    let rename_var = |name: &mut vulnman_lang::Symbol| {
         if let Some(fresh) = map.get(name.as_str()) {
-            *name = fresh.clone();
+            *name = fresh.as_str().into();
         }
     };
     match &mut s.kind {
@@ -260,7 +260,7 @@ fn rename_in_expr(e: &mut Expr, map: &HashMap<String, String>) {
     match &mut e.kind {
         ExprKind::Var(name) => {
             if let Some(fresh) = map.get(name.as_str()) {
-                *name = fresh.clone();
+                *name = fresh.as_str().into();
             }
         }
         ExprKind::Unary(_, inner) => rename_in_expr(inner, map),
@@ -397,13 +397,13 @@ fn identifying_tokens(source: &str) -> HashSet<String> {
     let mut out = HashSet::new();
     let Ok(program) = parse(source) else { return out };
     for f in &program.functions {
-        out.insert(f.name.clone());
+        out.insert(f.name.to_string());
         for p in &f.params {
-            out.insert(p.name.clone());
+            out.insert(p.name.to_string());
         }
         f.walk_stmts(&mut |s| {
             if let StmtKind::Decl { name, .. } = &s.kind {
-                out.insert(name.clone());
+                out.insert(name.to_string());
             }
         });
         f.walk_exprs(&mut |e| {

@@ -71,6 +71,20 @@ pub trait Detector: Send + Sync {
         self.assess(sample)
     }
 
+    /// [`Detector::assess_cached`] with a precomputed content key
+    /// ([`vulnman_lang::AnalysisCache::content_key`] of the sample source),
+    /// so the assessment stage hashes each sample once no matter how many
+    /// cache-aware detectors run. Must return exactly what
+    /// [`Detector::assess_cached`] returns; the default ignores the key.
+    fn assess_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        _content_key: u64,
+    ) -> Assessment {
+        self.assess_cached(sample, cache)
+    }
+
     /// Fallible [`Detector::assess_cached`]: detectors with fallible
     /// backends (e.g. ML prediction under fault injection) override this to
     /// surface failures the engine degrades on. The default never fails.
@@ -80,6 +94,20 @@ pub trait Detector: Send + Sync {
         cache: &vulnman_lang::AnalysisCache,
     ) -> Result<Assessment, AssessError> {
         Ok(self.assess_cached(sample, cache))
+    }
+
+    /// [`Detector::try_assess_cached`] with a precomputed content key
+    /// ([`vulnman_lang::AnalysisCache::content_key`] of the sample source),
+    /// so the assessment stage hashes each sample once no matter how many
+    /// cache-aware detectors run. Must return exactly what
+    /// [`Detector::try_assess_cached`] returns; the default ignores the key.
+    fn try_assess_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        _content_key: u64,
+    ) -> Result<Assessment, AssessError> {
+        self.try_assess_cached(sample, cache)
     }
 
     /// Receives the engine's fault injector at construction. Detectors
@@ -125,6 +153,28 @@ impl Detector for RuleBasedDetector {
     fn assess_cached(&self, sample: &Sample, cache: &vulnman_lang::AnalysisCache) -> Assessment {
         let findings = self.engine.scan_source_cached(&sample.source, cache).unwrap_or_default();
         self.to_assessment(findings)
+    }
+
+    fn assess_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Assessment {
+        let findings = self
+            .engine
+            .scan_source_cached_keyed(content_key, &sample.source, cache)
+            .unwrap_or_default();
+        self.to_assessment(findings)
+    }
+
+    fn try_assess_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Result<Assessment, AssessError> {
+        Ok(self.assess_cached_keyed(sample, cache, content_key))
     }
 }
 
@@ -177,6 +227,27 @@ impl SemanticDetector {
             detector: "semantic-suite".into(),
         }
     }
+
+    /// Same cache key as `SemanticEngine::scan_source_cached`, but cold
+    /// scans flow through `scan_with_metrics` so the `absint.*`
+    /// instruments see real solver work. Warm hits skip the fixpoint and
+    /// leave the counters untouched, which is exactly what they measure.
+    fn assess_cached_with_key(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Assessment {
+        let program = match cache.parse_keyed(content_key, &sample.source) {
+            Ok(p) => p,
+            Err(_) => return self.to_assessment(Vec::new()),
+        };
+        let findings =
+            cache.analysis_keyed(content_key, "absint-findings", self.engine.fingerprint(), || {
+                self.engine.scan_with_metrics(&program, &self.metrics)
+            });
+        self.to_assessment((*findings).clone())
+    }
 }
 
 impl Detector for SemanticDetector {
@@ -190,19 +261,17 @@ impl Detector for SemanticDetector {
     }
 
     fn assess_cached(&self, sample: &Sample, cache: &vulnman_lang::AnalysisCache) -> Assessment {
-        // Same cache key as `SemanticEngine::scan_source_cached`, but cold
-        // scans flow through `scan_with_metrics` so the `absint.*`
-        // instruments see real solver work. Warm hits skip the fixpoint and
-        // leave the counters untouched, which is exactly what they measure.
-        let program = match cache.parse(&sample.source) {
-            Ok(p) => p,
-            Err(_) => return self.to_assessment(Vec::new()),
-        };
-        let findings =
-            cache.analysis(&sample.source, "absint-findings", self.engine.fingerprint(), || {
-                self.engine.scan_with_metrics(&program, &self.metrics)
-            });
-        self.to_assessment((*findings).clone())
+        let key = vulnman_lang::AnalysisCache::content_key(&sample.source);
+        self.assess_cached_with_key(sample, cache, key)
+    }
+
+    fn assess_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Assessment {
+        self.assess_cached_with_key(sample, cache, content_key)
     }
 
     fn try_assess_cached(
@@ -210,15 +279,27 @@ impl Detector for SemanticDetector {
         sample: &Sample,
         cache: &vulnman_lang::AnalysisCache,
     ) -> Result<Assessment, AssessError> {
+        let key = vulnman_lang::AnalysisCache::content_key(&sample.source);
+        self.try_assess_cached_keyed(sample, cache, key)
+    }
+
+    fn try_assess_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Result<Assessment, AssessError> {
         match &self.faults {
             Some(inj) => inj
-                .run(Site::CheckerCall, sample.id, || self.assess_cached(sample, cache))
+                .run(Site::CheckerCall, sample.id, || {
+                    self.assess_cached_with_key(sample, cache, content_key)
+                })
                 .map(|attempted| attempted.value)
                 .map_err(|e| AssessError {
                     detector: "semantic-suite".into(),
                     reason: e.to_string(),
                 }),
-            None => Ok(self.assess_cached(sample, cache)),
+            None => Ok(self.assess_cached_with_key(sample, cache, content_key)),
         }
     }
 
@@ -493,8 +574,11 @@ impl DetectorRegistry {
         idx: usize,
         sample: &Sample,
         cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
     ) -> Result<Assessment, AssessError> {
-        self.observed(idx, || self.detectors[idx].try_assess_cached(sample, cache))
+        self.observed(idx, || {
+            self.detectors[idx].try_assess_cached_keyed(sample, cache, content_key)
+        })
     }
 
     /// Number of registered detectors.
@@ -547,6 +631,21 @@ impl DetectorRegistry {
             .collect()
     }
 
+    /// [`DetectorRegistry::assess_all_cached`] with a precomputed content
+    /// key, so every cache-aware detector shares one hash of the sample
+    /// source. Assessments are identical to
+    /// [`DetectorRegistry::assess_all`].
+    pub fn assess_all_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Vec<Assessment> {
+        self.applicable(sample)
+            .map(|(i, d)| self.observed(i, || d.assess_cached_keyed(sample, cache, content_key)))
+            .collect()
+    }
+
     /// Combined verdict under the registry policy, along with the individual
     /// assessments.
     pub fn verdict(&self, sample: &Sample) -> (bool, Vec<Assessment>) {
@@ -561,6 +660,17 @@ impl DetectorRegistry {
         cache: &vulnman_lang::AnalysisCache,
     ) -> (bool, Vec<Assessment>) {
         self.combine(self.assess_all_cached(sample, cache))
+    }
+
+    /// Keyed [`DetectorRegistry::verdict_cached`]: identical verdict and
+    /// assessments, with the sample source hashed once by the caller.
+    pub fn verdict_cached_keyed(
+        &self,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> (bool, Vec<Assessment>) {
+        self.combine(self.assess_all_cached_keyed(sample, cache, content_key))
     }
 
     pub(crate) fn combine(&self, assessments: Vec<Assessment>) -> (bool, Vec<Assessment>) {

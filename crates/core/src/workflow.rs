@@ -21,7 +21,7 @@ use vulnman_analysis::reachability::{CallGraph, Surface};
 use vulnman_faults::{site_key, FaultConfig, FaultInjector, FaultKind, Site};
 use vulnman_lang::{AnalysisCache, CacheOp, CacheStats};
 use vulnman_ml::eval::Metrics;
-use vulnman_obs::{Registry, Snapshot};
+use vulnman_obs::{PreparedSpan, Registry, Snapshot};
 use vulnman_synth::sample::Sample;
 
 /// Tunables for the workflow engine.
@@ -258,7 +258,32 @@ pub struct WorkflowEngine {
     config: WorkflowConfig,
     cache: AnalysisCache,
     metrics: Registry,
+    stage_spans: StageSpans,
     faults: Option<FaultHarness>,
+}
+
+/// Pre-resolved per-sample stage spans: these start once (or more) per
+/// sample, so the name allocation and registry lookup a plain
+/// [`Registry::span`] pays each call are hoisted to engine construction.
+#[derive(Clone)]
+struct StageSpans {
+    assess: PreparedSpan,
+    detect: PreparedSpan,
+    surface: PreparedSpan,
+    review: PreparedSpan,
+    repair: PreparedSpan,
+}
+
+impl StageSpans {
+    fn resolve(metrics: &Registry) -> Self {
+        StageSpans {
+            assess: metrics.prepared_span("stage.assess"),
+            detect: metrics.prepared_span("stage.assess.detect"),
+            surface: metrics.prepared_span("stage.assess.surface"),
+            review: metrics.prepared_span("stage.review"),
+            repair: metrics.prepared_span("stage.repair"),
+        }
+    }
 }
 
 /// The engine's fault-injection state: the shared injector (which every
@@ -361,6 +386,7 @@ impl WorkflowEngine {
         } else {
             AnalysisCache::disabled_with_metrics(&metrics)
         };
+        let stage_spans = StageSpans::resolve(&metrics);
         WorkflowEngine {
             registry,
             fixer: AutoFixer::new(),
@@ -368,6 +394,7 @@ impl WorkflowEngine {
             cache,
             config,
             metrics,
+            stage_spans,
             faults: None,
         }
     }
@@ -461,6 +488,8 @@ impl WorkflowEngine {
     /// so the report is byte-identical for every `jobs` value.
     pub fn process(&self, samples: &[Sample]) -> WorkflowReport {
         let run = self.fault_run(samples.len());
+        let scratch = self.scratch_cache();
+        let cache = scratch.as_ref().unwrap_or(&self.cache);
         let jobs = self.config.jobs.max(1);
         let report = if jobs == 1 || samples.len() < 2 {
             self.metrics.counter("workflow.samples").add(samples.len() as u64);
@@ -468,13 +497,30 @@ impl WorkflowEngine {
                 samples
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| self.assess_one(i, s, run.as_ref()))
+                    .map(|(i, s)| self.assess_one(i, s, run.as_ref(), cache))
                     .collect(),
             )
         } else {
-            self.process_sharded_inner(samples, jobs, run.as_ref())
+            self.process_sharded_inner(samples, jobs, run.as_ref(), cache)
         };
         self.finish_report(report, run.as_ref(), samples.len())
+    }
+
+    /// The cache one batch run works against: the engine's persistent
+    /// content-addressed cache when caching is enabled, otherwise a fresh
+    /// scratch cache private to the call.
+    ///
+    /// The per-sample pipeline needs the same parse in several stages
+    /// (detection, surface classification, repair). With caching enabled
+    /// the engine cache absorbs the repeats; with caching disabled each
+    /// stage used to re-lex and re-parse the sample from scratch — pure
+    /// waste, since within-run reuse carries no state between runs, which
+    /// is what `WorkflowConfig::cache = false` actually promises. The
+    /// scratch cache is dropped with the call and is unmetered, so the
+    /// `cache.*` counters and fault-injection sites still describe the
+    /// persistent cache only.
+    fn scratch_cache(&self) -> Option<AnalysisCache> {
+        (!self.config.cache).then(AnalysisCache::new)
     }
 
     /// Processes a batch across exactly `jobs` scoped worker threads,
@@ -483,7 +529,9 @@ impl WorkflowEngine {
     /// order) before the fold, so output equals the sequential path's.
     pub fn process_sharded(&self, samples: &[Sample], jobs: usize) -> WorkflowReport {
         let run = self.fault_run(samples.len());
-        let report = self.process_sharded_inner(samples, jobs, run.as_ref());
+        let scratch = self.scratch_cache();
+        let cache = scratch.as_ref().unwrap_or(&self.cache);
+        let report = self.process_sharded_inner(samples, jobs, run.as_ref(), cache);
         self.finish_report(report, run.as_ref(), samples.len())
     }
 
@@ -492,6 +540,7 @@ impl WorkflowEngine {
         samples: &[Sample],
         jobs: usize,
         run: Option<&FaultRun>,
+        cache: &AnalysisCache,
     ) -> WorkflowReport {
         let jobs = jobs.clamp(1, samples.len().max(1));
         let chunk = samples.len().div_ceil(jobs).max(1);
@@ -533,7 +582,7 @@ impl WorkflowEngine {
                             .iter()
                             .take(take)
                             .enumerate()
-                            .map(|(i, s)| self.assess_one(base + i, s, run))
+                            .map(|(i, s)| self.assess_one(base + i, s, run, cache))
                             .collect();
                         if let Some(t0) = t0 {
                             latency.observe_duration(t0.elapsed());
@@ -559,7 +608,7 @@ impl WorkflowEngine {
                                     .iter()
                                     .enumerate()
                                     .skip(done)
-                                    .map(|(i, s)| self.assess_one(base + i, s, run)),
+                                    .map(|(i, s)| self.assess_one(base + i, s, run, cache)),
                             );
                         }
                     }
@@ -571,7 +620,7 @@ impl WorkflowEngine {
                             shard
                                 .iter()
                                 .enumerate()
-                                .map(|(i, s)| self.assess_one(base + i, s, run)),
+                                .map(|(i, s)| self.assess_one(base + i, s, run, cache)),
                         );
                     }
                 }
@@ -630,6 +679,8 @@ impl WorkflowEngine {
     /// budget this matches [`WorkflowEngine::process`] exactly.
     pub fn process_with_capacity(&self, samples: &[Sample], budget_minutes: f64) -> WorkflowReport {
         let run = self.fault_run(samples.len());
+        let scratch = self.scratch_cache();
+        let cache = scratch.as_ref().unwrap_or(&self.cache);
         self.metrics.counter("workflow.samples").add(samples.len() as u64);
         let mut report = WorkflowReport::default();
         // Phase 1: automated assessment + threat model for every change.
@@ -638,7 +689,7 @@ impl WorkflowEngine {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let (a, deg) = self.assess_stage(s, i, run.as_ref());
+                let (a, deg) = self.assess_stage(s, i, run.as_ref(), cache);
                 report.degradation.absorb(&deg);
                 (i, a)
             })
@@ -684,7 +735,7 @@ impl WorkflowEngine {
             };
             if outcome.detected() && sample.label {
                 let (channel_used, patched, analyst_min, expert_h) =
-                    repair(sample, &self.fixer, &self.verifier, &self.config, &self.cache);
+                    repair(sample, &self.fixer, &self.verifier, &self.config, cache);
                 report.analyst_minutes += analyst_min;
                 report.expert_hours += expert_h;
                 match channel_used {
@@ -712,6 +763,8 @@ impl WorkflowEngine {
     pub fn process_pipelined(&self, samples: &[Sample]) -> WorkflowReport {
         let run = self.fault_run(samples.len());
         let run_ref = run.as_ref();
+        let scratch = self.scratch_cache();
+        let cache = scratch.as_ref().unwrap_or(&self.cache);
         let (tx_in, rx_assess) = channel::bounded::<(usize, Sample)>(64);
         let (tx_assess, rx_review) = channel::bounded::<(Sample, Assessed, CaseDegradation)>(64);
         let (tx_review, rx_repair) =
@@ -727,7 +780,7 @@ impl WorkflowEngine {
             scope.spawn(move || {
                 let _span = metrics1.span("pipeline.assess");
                 for (idx, sample) in rx_assess {
-                    let (assessed, deg) = self.assess_stage(&sample, idx, run_ref);
+                    let (assessed, deg) = self.assess_stage(&sample, idx, run_ref, cache);
                     if tx_assess.send((sample, assessed, deg)).is_err() {
                         return;
                     }
@@ -756,7 +809,6 @@ impl WorkflowEngine {
             let report3 = Arc::clone(&report);
             let fixer = &self.fixer;
             let verifier = &self.verifier;
-            let cache = &self.cache;
             let metrics3 = self.metrics.clone();
             scope.spawn(move || {
                 let _span = metrics3.span("pipeline.repair");
@@ -815,7 +867,7 @@ impl WorkflowEngine {
                 report.cases.iter().map(|c| c.sample_id).collect();
             for (i, s) in samples.iter().enumerate() {
                 if !present.contains(&s.id) {
-                    Self::fold_case(&mut report, self.assess_one(i, s, run_ref));
+                    Self::fold_case(&mut report, self.assess_one(i, s, run_ref, cache));
                 }
             }
         }
@@ -835,19 +887,25 @@ impl WorkflowEngine {
         sample: &Sample,
         idx: usize,
         run: Option<&FaultRun>,
+        cache: &AnalysisCache,
     ) -> (Assessed, CaseDegradation) {
-        let span = self.metrics.span("stage.assess");
-        let detect = self.metrics.child_span(&span, "detect");
+        let span = self.stage_spans.assess.start();
+        // One content hash per sample: every cache-aware consumer below
+        // (detectors, surface classification) reuses this key instead of
+        // re-hashing the source per cache table.
+        let content_key = vulnman_lang::AnalysisCache::content_key(&sample.source);
+        let detect = self.stage_spans.detect.start();
         let (flagged, assessments, deg) = match run {
             None => {
-                let (flagged, assessments) = self.registry.verdict_cached(sample, &self.cache);
+                let (flagged, assessments) =
+                    self.registry.verdict_cached_keyed(sample, cache, content_key);
                 (flagged, assessments, CaseDegradation::default())
             }
-            Some(run) => self.assess_resilient(sample, idx, run),
+            Some(run) => self.assess_resilient(sample, idx, run, content_key, cache),
         };
         detect.stop();
-        let surface_span = self.metrics.child_span(&span, "surface");
-        let surface = self.classify_surface(sample);
+        let surface_span = self.stage_spans.surface.start();
+        let surface = self.classify_surface(sample, content_key, cache);
         surface_span.stop();
         let mut findings: Vec<Finding> = assessments.into_iter().flat_map(|a| a.findings).collect();
         findings.sort_by(|a, b| {
@@ -857,6 +915,7 @@ impl WorkflowEngine {
                 .then(a.cwe.id().cmp(&b.cwe.id()))
                 .then(a.message.cmp(&b.message))
         });
+        span.stop();
         (Assessed { flagged, surface, findings }, deg)
     }
 
@@ -872,6 +931,8 @@ impl WorkflowEngine {
         sample: &Sample,
         idx: usize,
         run: &FaultRun,
+        content_key: u64,
+        cache: &AnalysisCache,
     ) -> (bool, Vec<Assessment>, CaseDegradation) {
         let mut deg = CaseDegradation::default();
         let mut assessments = Vec::new();
@@ -893,7 +954,7 @@ impl WorkflowEngine {
                             inj.note_recovered(Site::DetectorCall, attempt);
                             deg.recovered += 1;
                         }
-                        match self.registry.try_assess_cached_at(d, sample, &self.cache) {
+                        match self.registry.try_assess_cached_at(d, sample, cache, content_key) {
                             Ok(a) => assessments.push(a),
                             Err(_) => {
                                 // The detector ran but its backend failed
@@ -926,9 +987,14 @@ impl WorkflowEngine {
 
     /// Threat-model stage: surface of the sample's unit (most exposed
     /// function), memoized per unique source content.
-    fn classify_surface(&self, sample: &Sample) -> Surface {
-        *self.cache.analysis(&sample.source, "surface", 0, || {
-            match self.cache.parse(&sample.source) {
+    fn classify_surface(
+        &self,
+        sample: &Sample,
+        content_key: u64,
+        cache: &AnalysisCache,
+    ) -> Surface {
+        *cache.analysis_keyed(content_key, "surface", 0, || {
+            match cache.parse_keyed(content_key, &sample.source) {
                 Ok(program) => {
                     let graph = CallGraph::build(&program);
                     graph
@@ -945,13 +1011,19 @@ impl WorkflowEngine {
     /// Runs all three Figure-1 stages for one sample. Pure with respect to
     /// batch state: the result depends only on the sample, the seed, and
     /// the detector suite — never on which thread or position processed it.
-    fn assess_one(&self, idx: usize, sample: &Sample, run: Option<&FaultRun>) -> CaseWork {
+    fn assess_one(
+        &self,
+        idx: usize,
+        sample: &Sample,
+        run: Option<&FaultRun>,
+        cache: &AnalysisCache,
+    ) -> CaseWork {
         // Stage 1: automated detection (Figure 1, "Vulnerability Detection")
         // + threat modeling / reachability analysis.
         let (Assessed { flagged, surface, findings }, degradation) =
-            self.assess_stage(sample, idx, run);
+            self.assess_stage(sample, idx, run, cache);
         // Stage 2: manual security review for exposed surfaces.
-        let review_span = self.metrics.span("stage.review");
+        let review_span = self.stage_spans.review.start();
         let (reviewed, catch, review_minutes) =
             manual_review(sample, flagged, surface, &self.config);
         review_span.stop();
@@ -973,9 +1045,9 @@ impl WorkflowEngine {
         let mut repair_minutes = 0.0;
         let mut expert_hours = 0.0;
         if outcome.detected() && sample.label {
-            let repair_span = self.metrics.span("stage.repair");
+            let repair_span = self.stage_spans.repair.start();
             let (channel_used, patched, analyst_min, expert_h) =
-                repair(sample, &self.fixer, &self.verifier, &self.config, &self.cache);
+                repair(sample, &self.fixer, &self.verifier, &self.config, cache);
             repair_span.stop();
             repair_minutes = analyst_min;
             expert_hours = expert_h;
@@ -1046,13 +1118,22 @@ fn repair(
 ) -> (RepairChannel, Option<String>, f64, f64) {
     if let Some(cwe) = sample.cwe {
         if AutoFixer::supports(cwe) {
-            if let Some(patched) = fixer.fix_source(&sample.source, cwe) {
-                let clean = verifier
-                    .scan_source_cached(&patched, cache)
-                    .map(|fs| fs.iter().all(|f| f.cwe != cwe))
-                    .unwrap_or(false);
+            // The assess stage already parsed this sample: reuse the cached
+            // AST (an Arc clone plus a cheap interned-AST deep copy) instead
+            // of re-lexing the source from scratch. Verification scans the
+            // patched AST directly, with only the detectors for the fixed
+            // class — the clean-check filters to that class anyway — and the
+            // patched text is printed only when the fix actually sticks.
+            let key = AnalysisCache::content_key(&sample.source);
+            let patched = cache
+                .parse_keyed(key, &sample.source)
+                .ok()
+                .and_then(|program| fixer.fix_program((*program).clone(), cwe));
+            if let Some(patched) = patched {
+                let clean = verifier.scan_cwe(&patched, cwe).iter().all(|f| f.cwe != cwe);
                 if clean {
-                    return (RepairChannel::AutoFix, Some(patched), 0.0, 0.0);
+                    let text = vulnman_lang::print_program(&patched);
+                    return (RepairChannel::AutoFix, Some(text), 0.0, 0.0);
                 }
             }
         }

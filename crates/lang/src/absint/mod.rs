@@ -44,7 +44,7 @@ pub mod interval;
 pub mod nullness;
 pub mod solver;
 
-pub use callgraph::{analyze_program, CallGraph, ProgramAnalysis};
+pub use callgraph::{analyze_program, analyze_program_parallel, CallGraph, ProgramAnalysis};
 pub use domain::{AbstractValue, Domain, Env};
 pub use init::{Init, InitDomain};
 pub use interval::{Interval, IntervalDomain};

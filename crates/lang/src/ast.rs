@@ -5,6 +5,7 @@
 //! pattern in the corpus generator and to support CFG construction, data-flow
 //! analysis, and taint tracking.
 
+use crate::intern::Symbol;
 use crate::span::Span;
 use std::fmt;
 
@@ -165,14 +166,14 @@ pub enum ExprKind {
     Char(char),
     /// String literal.
     Str(String),
-    /// Variable reference.
-    Var(String),
+    /// Variable reference (interned name).
+    Var(Symbol),
     /// Unary operation.
     Unary(UnOp, Box<Expr>),
     /// Binary operation.
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Function call `name(args…)`.
-    Call(String, Vec<Expr>),
+    Call(Symbol, Vec<Expr>),
     /// Array/pointer index `base[index]`.
     Index(Box<Expr>, Box<Expr>),
 }
@@ -193,7 +194,7 @@ impl Expr {
     }
 
     /// Variable reference with a dummy span (for synthesized code).
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl Into<Symbol>) -> Self {
         Expr::new(ExprKind::Var(name.into()), Span::dummy())
     }
 
@@ -203,7 +204,7 @@ impl Expr {
     }
 
     /// Call expression with a dummy span.
-    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Self {
+    pub fn call(name: impl Into<Symbol>, args: Vec<Expr>) -> Self {
         Expr::new(ExprKind::Call(name.into(), args), Span::dummy())
     }
 
@@ -217,7 +218,7 @@ impl Expr {
 
     fn collect_reads<'a>(&'a self, out: &mut Vec<&'a str>) {
         match &self.kind {
-            ExprKind::Var(name) => out.push(name),
+            ExprKind::Var(name) => out.push(name.as_str()),
             ExprKind::Unary(_, e) => e.collect_reads(out),
             ExprKind::Binary(_, l, r) => {
                 l.collect_reads(out);
@@ -246,7 +247,7 @@ impl Expr {
     fn collect_calls<'a>(&'a self, out: &mut Vec<&'a str>) {
         match &self.kind {
             ExprKind::Call(name, args) => {
-                out.push(name);
+                out.push(name.as_str());
                 for a in args {
                     a.collect_calls(out);
                 }
@@ -291,7 +292,7 @@ impl Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LValue {
     /// Plain variable `x = …`.
-    Var(String),
+    Var(Symbol),
     /// Pointer store `*p = …`.
     Deref(Expr),
     /// Indexed store `a[i] = …`.
@@ -303,9 +304,9 @@ impl LValue {
     /// evident: `x` for `x = …`, `p` for `*p = …` and `a` for `a[i] = …`.
     pub fn base_var(&self) -> Option<&str> {
         match self {
-            LValue::Var(name) => Some(name),
+            LValue::Var(name) => Some(name.as_str()),
             LValue::Deref(e) | LValue::Index(e, _) => match &e.kind {
-                ExprKind::Var(name) => Some(name),
+                ExprKind::Var(name) => Some(name.as_str()),
                 _ => None,
             },
         }
@@ -324,7 +325,7 @@ pub enum StmtKind {
     /// Local declaration `ty name = init;`.
     Decl {
         /// Variable name.
-        name: String,
+        name: Symbol,
         /// Declared type.
         ty: Type,
         /// Optional initializer.
@@ -456,7 +457,7 @@ impl Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Parameter name.
-    pub name: String,
+    pub name: Symbol,
     /// Parameter type.
     pub ty: Type,
 }
@@ -465,7 +466,7 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     /// Function name.
-    pub name: String,
+    pub name: Symbol,
     /// Parameters in declaration order.
     pub params: Vec<Param>,
     /// Return type.
@@ -496,7 +497,8 @@ impl Function {
     }
 
     /// Names of all functions called anywhere in the body, with duplicates.
-    pub fn callees(&self) -> Vec<String> {
+    /// Cloning a [`Symbol`] is a reference-count bump, not a string copy.
+    pub fn callees(&self) -> Vec<Symbol> {
         let mut out = Vec::new();
         self.walk_exprs(&mut |e| {
             if let ExprKind::Call(name, _) = &e.kind {

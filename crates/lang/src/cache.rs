@@ -235,7 +235,17 @@ impl AnalysisCache {
             self.misses.inc();
             return crate::parser::parse(source).map(Arc::new);
         }
-        let key = Self::content_key(source);
+        self.parse_keyed(Self::content_key(source), source)
+    }
+
+    /// [`parse`](Self::parse) with a precomputed [`content_key`]
+    /// (Self::content_key). Callers touching several tables for the same
+    /// source hash it once and reuse the key.
+    pub fn parse_keyed(&self, key: u64, source: &str) -> Result<Arc<Program>, ParseError> {
+        if !self.enabled {
+            self.misses.inc();
+            return crate::parser::parse(source).map(Arc::new);
+        }
         if self.faulted(CacheOp::Get, key) {
             // Injected lookup fault: degrade to a recompute (and skip the
             // store — a faulted read path should not mutate storage).
@@ -282,7 +292,28 @@ impl AnalysisCache {
             self.misses.inc();
             return Arc::new(compute());
         }
-        let key = (Self::content_key(source), kind, config_key);
+        self.analysis_keyed(Self::content_key(source), kind, config_key, compute)
+    }
+
+    /// [`analysis`](Self::analysis) with a precomputed content key, so the
+    /// per-sample hot path hashes each source exactly once across all of its
+    /// memoized passes.
+    pub fn analysis_keyed<T, F>(
+        &self,
+        content_key: u64,
+        kind: &'static str,
+        config_key: u64,
+        compute: F,
+    ) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if !self.enabled {
+            self.misses.inc();
+            return Arc::new(compute());
+        }
+        let key = (content_key, kind, config_key);
         if self.faulted(CacheOp::Get, key.0) {
             self.misses.inc();
             return Arc::new(compute());

@@ -6,6 +6,7 @@
 //! graph-feature extractors in the ML crate.
 
 use crate::ast::*;
+use crate::intern::Symbol;
 use crate::span::Span;
 
 /// Index of a basic block within a [`Cfg`].
@@ -16,8 +17,8 @@ pub type BlockId = usize;
 pub enum CfgInst {
     /// Local declaration, possibly initialized.
     Decl {
-        /// Variable name.
-        name: String,
+        /// Variable name (interned; cloning is a reference-count bump).
+        name: Symbol,
         /// Declared type.
         ty: Type,
         /// Optional initializer.
@@ -55,8 +56,8 @@ impl CfgInst {
     /// Indirect stores (`*p = …`, `a[i] = …`) do not kill.
     pub fn defined_var(&self) -> Option<&str> {
         match self {
-            CfgInst::Decl { name, .. } => Some(name),
-            CfgInst::Assign { target: LValue::Var(name), .. } => Some(name),
+            CfgInst::Decl { name, .. } => Some(name.as_str()),
+            CfgInst::Assign { target: LValue::Var(name), .. } => Some(name.as_str()),
             _ => None,
         }
     }
@@ -276,7 +277,7 @@ impl Builder {
             StmtKind::Decl { name, ty, init } => {
                 self.push(
                     current,
-                    CfgInst::Decl { name: clone_name(name), ty: ty.clone(), init: init.clone() },
+                    CfgInst::Decl { name: name.clone(), ty: ty.clone(), init: init.clone() },
                     s.span,
                 );
                 current
@@ -402,10 +403,6 @@ impl Builder {
             self.blocks[id].preds.retain(|&p| reachable[p]);
         }
     }
-}
-
-fn clone_name(name: &str) -> String {
-    name.to_string()
 }
 
 /// Rewrites `x += e` as `x = x + e` so downstream analyses see plain stores.

@@ -9,6 +9,7 @@
 //! tools, including dynamic and static analysis").
 
 use crate::ast::{BinOp, Expr, ExprKind, Function, LValue, Program, StmtKind, Type, UnOp};
+use crate::intern::Symbol;
 use crate::span::Span;
 use crate::taint::TaintConfig;
 use std::collections::HashMap;
@@ -180,7 +181,7 @@ impl DynamicReport {
 /// # }
 /// ```
 pub fn run_program(program: &Program, config: &InterpConfig) -> DynamicReport {
-    let called: std::collections::HashSet<String> =
+    let called: std::collections::HashSet<Symbol> =
         program.functions.iter().flat_map(|f| f.callees()).collect();
     let mut report = DynamicReport::default();
     for f in &program.functions {
@@ -198,9 +199,9 @@ pub fn run_program(program: &Program, config: &InterpConfig) -> DynamicReport {
             })
             .collect();
         let crashed = interp.call_function(f, args).is_err();
-        report.entries_run.push(f.name.clone());
+        report.entries_run.push(f.name.to_string());
         if crashed {
-            report.crashed.push(f.name.clone());
+            report.crashed.push(f.name.to_string());
         }
         report.events.extend(interp.events);
     }
@@ -279,8 +280,8 @@ impl<'a> Interp<'a> {
             return Ok(Value::int(0));
         }
         self.depth += 1;
-        self.current_fn.push(func.name.clone());
-        let mut env: HashMap<String, Value> = HashMap::new();
+        self.current_fn.push(func.name.to_string());
+        let mut env: HashMap<Symbol, Value> = HashMap::new();
         for (p, v) in func.params.iter().zip(args) {
             env.insert(p.name.clone(), v);
         }
@@ -296,7 +297,7 @@ impl<'a> Interp<'a> {
     fn exec_block(
         &mut self,
         stmts: &[crate::ast::Stmt],
-        env: &mut HashMap<String, Value>,
+        env: &mut HashMap<Symbol, Value>,
     ) -> Result<Flow, Fault> {
         for s in stmts {
             match self.exec_stmt(s, env)? {
@@ -310,7 +311,7 @@ impl<'a> Interp<'a> {
     fn exec_stmt(
         &mut self,
         s: &crate::ast::Stmt,
-        env: &mut HashMap<String, Value>,
+        env: &mut HashMap<Symbol, Value>,
     ) -> Result<Flow, Fault> {
         self.tick()?;
         match &s.kind {
@@ -397,7 +398,7 @@ impl<'a> Interp<'a> {
     fn read_lvalue(
         &mut self,
         target: &LValue,
-        env: &mut HashMap<String, Value>,
+        env: &mut HashMap<Symbol, Value>,
         span: Span,
     ) -> Result<Value, Fault> {
         match target {
@@ -418,7 +419,7 @@ impl<'a> Interp<'a> {
         &mut self,
         target: &LValue,
         value: Value,
-        env: &mut HashMap<String, Value>,
+        env: &mut HashMap<Symbol, Value>,
         span: Span,
     ) -> Result<(), Fault> {
         match target {
@@ -564,7 +565,7 @@ impl<'a> Interp<'a> {
         Value { kind: ValueKind::Int(value), tainted }
     }
 
-    fn eval(&mut self, e: &Expr, env: &mut HashMap<String, Value>) -> Result<Value, Fault> {
+    fn eval(&mut self, e: &Expr, env: &mut HashMap<Symbol, Value>) -> Result<Value, Fault> {
         self.tick()?;
         match &e.kind {
             ExprKind::Int(v) => Ok(Value::int(*v)),

@@ -2,22 +2,40 @@
 //!
 //! Produces a token stream plus the comment trivia the corpus generator and
 //! multimodal feature extractors rely on.
+//!
+//! The scanner itself is zero-copy: [`lex_ref`] emits tokens whose
+//! identifier and string payloads are `Cow` slices borrowing the source
+//! buffer (strings only allocate when an escape sequence forces a rewrite),
+//! and keywords are classified on the raw slice before any allocation.
+//! [`lex`] is the owned convenience wrapper for callers that keep tokens
+//! past the source's lifetime.
 
 use crate::error::{ParseError, ParseResult};
 use crate::span::Span;
-use crate::token::{Comment, Token, TokenKind};
+use crate::token::{Comment, CommentRef, Token, TokenKind, TokenKindRef, TokenRef};
+use std::borrow::Cow;
 
-/// Output of [`lex`]: the token stream (terminated by [`TokenKind::Eof`]) and
-/// all comments encountered, in source order.
+/// Output of [`lex`]/[`lex_ref`]: the token stream (terminated by
+/// [`TokenKind::Eof`]) and all comments encountered, in source order.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LexOutput {
+pub struct LexOutput<S = String> {
     /// Tokens, ending with a single `Eof` token.
-    pub tokens: Vec<Token>,
+    pub tokens: Vec<Token<S>>,
     /// Comment trivia in source order.
-    pub comments: Vec<Comment>,
+    pub comments: Vec<Comment<S>>,
 }
 
-/// Tokenizes `source`.
+impl<S: Into<String>> LexOutput<S> {
+    /// Converts to the owned form, copying borrowed payloads.
+    pub fn into_owned(self) -> LexOutput<String> {
+        LexOutput {
+            tokens: self.tokens.into_iter().map(Token::into_owned).collect(),
+            comments: self.comments.into_iter().map(Comment::into_owned).collect(),
+        }
+    }
+}
+
+/// Tokenizes `source` into owned tokens.
 ///
 /// # Errors
 ///
@@ -36,6 +54,17 @@ pub struct LexOutput {
 /// # }
 /// ```
 pub fn lex(source: &str) -> ParseResult<LexOutput> {
+    Ok(lex_ref(source)?.into_owned())
+}
+
+/// Tokenizes `source` without copying: identifier and string payloads borrow
+/// the source buffer (strings fall back to an owned buffer only when escape
+/// sequences rewrite the text). This is the hot-path entry the parser uses.
+///
+/// # Errors
+///
+/// Same failure modes as [`lex`].
+pub fn lex_ref(source: &str) -> ParseResult<LexOutput<Cow<'_, str>>> {
     Lexer::new(source).run()
 }
 
@@ -45,8 +74,8 @@ struct Lexer<'a> {
     pos: usize,
     line: u32,
     col: u32,
-    tokens: Vec<Token>,
-    comments: Vec<Comment>,
+    tokens: Vec<TokenRef<'a>>,
+    comments: Vec<CommentRef<'a>>,
 }
 
 impl<'a> Lexer<'a> {
@@ -90,7 +119,7 @@ impl<'a> Lexer<'a> {
         Span::new(start.0, self.pos, start.1, start.2)
     }
 
-    fn run(mut self) -> ParseResult<LexOutput> {
+    fn run(mut self) -> ParseResult<LexOutput<Cow<'a, str>>> {
         while let Some(b) = self.peek() {
             match b {
                 b' ' | b'\t' | b'\r' | b'\n' => {
@@ -110,33 +139,66 @@ impl<'a> Lexer<'a> {
         Ok(LexOutput { tokens: self.tokens, comments: self.comments })
     }
 
+    /// Trims the comment payload in `text_start..self.pos` and returns the
+    /// borrowed text together with a span of exactly the trimmed bytes, so
+    /// reported comment locations match the text they carry.
+    /// `text_at` is the `(pos, line, col)` cursor at `text_start`.
+    fn trimmed_comment(
+        &self,
+        text_start: usize,
+        text_at: (usize, u32, u32),
+    ) -> (Cow<'a, str>, Span) {
+        let raw = &self.src[text_start..self.pos];
+        let text = raw.trim();
+        let lead = raw.len() - raw.trim_start().len();
+        let trim_start = text_start + lead;
+        let trim_end = trim_start + text.len();
+        // Re-derive line/col at the trimmed start by walking the leading
+        // whitespace (block comments may skip newlines here).
+        let (mut line, mut col) = (text_at.1, text_at.2);
+        for &b in &self.bytes[text_start..trim_start] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (Cow::Borrowed(text), Span::new(trim_start, trim_end, line, col))
+    }
+
     fn line_comment(&mut self) {
         let start = self.here();
         self.bump();
         self.bump();
-        let text_start = self.pos;
+        let text_at = self.here();
         while let Some(b) = self.peek() {
             if b == b'\n' {
                 break;
             }
             self.bump();
         }
-        let text = self.src[text_start..self.pos].trim().to_string();
-        self.comments.push(Comment { text, span: self.span_from(start), block: false });
+        let (text, text_span) = self.trimmed_comment(text_at.0, text_at);
+        self.comments.push(Comment { text, span: self.span_from(start), text_span, block: false });
     }
 
     fn block_comment(&mut self) -> ParseResult<()> {
         let start = self.here();
         self.bump();
         self.bump();
-        let text_start = self.pos;
+        let text_at = self.here();
         loop {
             match self.peek() {
                 Some(b'*') if self.peek2() == Some(b'/') => {
-                    let text = self.src[text_start..self.pos].trim().to_string();
+                    let (text, text_span) = self.trimmed_comment(text_at.0, text_at);
                     self.bump();
                     self.bump();
-                    self.comments.push(Comment { text, span: self.span_from(start), block: true });
+                    self.comments.push(Comment {
+                        text,
+                        span: self.span_from(start),
+                        text_span,
+                        block: true,
+                    });
                     return Ok(());
                 }
                 Some(_) => {
@@ -174,22 +236,36 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = &self.src[start.0..self.pos];
-        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        // Keyword lookup happens on the borrowed slice; identifiers stay
+        // borrowed too — no allocation on this path.
+        let kind = TokenKind::keyword(text).unwrap_or(TokenKind::Ident(Cow::Borrowed(text)));
         self.push(kind, start);
     }
 
     fn string(&mut self) -> ParseResult<()> {
         let start = self.here();
         self.bump(); // opening quote
-        let mut value = String::new();
+        let body_start = self.pos;
+        // Fast path: scan for the closing quote; only escape sequences force
+        // an owned buffer (the payload must hold the *resolved* text).
+        let mut owned: Option<String> = None;
         loop {
+            let at = self.pos;
             match self.bump() {
-                Some(b'"') => break,
+                Some(b'"') => {
+                    let value = match owned {
+                        Some(s) => Cow::Owned(s),
+                        None => Cow::Borrowed(&self.src[body_start..at]),
+                    };
+                    self.push(TokenKind::Str(value), start);
+                    return Ok(());
+                }
                 Some(b'\\') => {
+                    let buf = owned.get_or_insert_with(|| self.src[body_start..at].to_string());
                     let esc = self.bump().ok_or_else(|| {
                         ParseError::new("unterminated string literal", self.span_from(start))
                     })?;
-                    value.push(unescape(esc, self.span_from(start))?);
+                    buf.push(unescape(esc, self.span_from(start))?);
                 }
                 Some(b'\n') | None => {
                     return Err(ParseError::new(
@@ -197,11 +273,13 @@ impl<'a> Lexer<'a> {
                         self.span_from(start),
                     ))
                 }
-                Some(b) => value.push(b as char),
+                Some(b) => {
+                    if let Some(buf) = owned.as_mut() {
+                        buf.push(b as char);
+                    }
+                }
             }
         }
-        self.push(TokenKind::Str(value), start);
-        Ok(())
     }
 
     fn char_lit(&mut self) -> ParseResult<()> {
@@ -230,7 +308,7 @@ impl<'a> Lexer<'a> {
     fn operator(&mut self) -> ParseResult<()> {
         let start = self.here();
         let b = self.bump().expect("operator called at end of input");
-        let two = |l: &mut Lexer<'a>, next: u8, yes: TokenKind, no: TokenKind| {
+        let two = |l: &mut Lexer<'a>, next: u8, yes: TokenKindRef<'a>, no: TokenKindRef<'a>| {
             if l.peek() == Some(next) {
                 l.bump();
                 yes
@@ -298,7 +376,7 @@ impl<'a> Lexer<'a> {
         Ok(())
     }
 
-    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+    fn push(&mut self, kind: TokenKindRef<'a>, start: (usize, u32, u32)) {
         let span = self.span_from(start);
         self.tokens.push(Token::new(kind, span));
     }
@@ -377,6 +455,71 @@ mod tests {
         assert!(!out.comments[0].block);
         assert_eq!(out.comments[1].text, "middle");
         assert!(out.comments[1].block);
+    }
+
+    #[test]
+    fn comment_text_span_slices_back_to_text() {
+        let src = "//   padded   \nint x; /*\n  multi\n  line\n*/ int y; //\n/**/";
+        let out = lex(src).unwrap();
+        assert_eq!(out.comments.len(), 4);
+        for c in &out.comments {
+            assert_eq!(
+                &src[c.text_span.start..c.text_span.end],
+                c.text,
+                "text_span must slice back to exactly the trimmed text"
+            );
+            // The payload sits inside the delimited comment.
+            assert!(c.text_span.start >= c.span.start && c.text_span.end <= c.span.end);
+        }
+        // Trimmed boundaries, not the raw post-delimiter position.
+        assert_eq!(out.comments[0].text, "padded");
+        assert_eq!(out.comments[0].text_span.start, 5);
+        assert_eq!(out.comments[0].text_span.col, 6);
+        // Multi-line block comment: line/col track the trimmed start.
+        assert_eq!(out.comments[1].text, "multi\n  line");
+        assert_eq!(out.comments[1].text_span.line, 3);
+        assert_eq!(out.comments[1].text_span.col, 3);
+        // Empty comments yield empty spans.
+        assert_eq!(out.comments[2].text, "");
+        assert_eq!(out.comments[2].text_span.start, out.comments[2].text_span.end);
+        assert_eq!(out.comments[3].text, "");
+    }
+
+    #[test]
+    fn token_spans_slice_back_to_token_text() {
+        let src = "int buf_len = 42;\nif (buf_len >= 10) { s = \"ok\"; c = 'x'; }";
+        let out = lex_ref(src).unwrap();
+        for t in &out.tokens {
+            let sliced = &src[t.span.start..t.span.end];
+            match &t.kind {
+                TokenKind::Ident(s) => assert_eq!(sliced, s.as_ref()),
+                TokenKind::Int(v) => assert_eq!(sliced, v.to_string()),
+                TokenKind::Str(s) => assert_eq!(sliced, format!("{:?}", s.as_ref())),
+                TokenKind::Char(c) => assert_eq!(sliced, format!("'{c}'")),
+                TokenKind::Eof => assert_eq!(sliced, ""),
+                other => assert_eq!(sliced, other.describe().trim_matches('`')),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_idents_and_plain_strings_borrow() {
+        let out = lex_ref("int abc = 1; s = \"plain\"; t = \"esc\\n\";").unwrap();
+        let mut borrowed_idents = 0;
+        for t in &out.tokens {
+            match &t.kind {
+                TokenKind::Ident(Cow::Borrowed(_)) => borrowed_idents += 1,
+                TokenKind::Ident(Cow::Owned(_)) => panic!("identifier allocated"),
+                TokenKind::Str(s) if s.as_ref() == "plain" => {
+                    assert!(matches!(s, Cow::Borrowed(_)), "escape-free string allocated")
+                }
+                TokenKind::Str(s) if s.as_ref() == "esc\n" => {
+                    assert!(matches!(s, Cow::Owned(_)))
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(borrowed_idents, 3);
     }
 
     #[test]

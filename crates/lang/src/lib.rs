@@ -38,6 +38,7 @@ pub mod cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod error;
+pub mod intern;
 pub mod interp;
 pub mod lexer;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub mod token;
 pub use ast::{Expr, Function, Program, Stmt, Type};
 pub use cache::{AnalysisCache, CacheFaultHook, CacheOp, CacheStats};
 pub use error::{ParseError, ParseResult};
+pub use intern::{Interner, Symbol};
 pub use parser::parse;
 pub use printer::print_program;
 pub use span::Span;

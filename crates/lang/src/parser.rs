@@ -2,9 +2,11 @@
 
 use crate::ast::*;
 use crate::error::{ParseError, ParseResult};
-use crate::lexer::{lex, LexOutput};
+use crate::intern::{Interner, Symbol};
+use crate::lexer::{lex_ref, LexOutput};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
+use std::borrow::Cow;
 
 /// Parses a full translation unit from source text.
 ///
@@ -28,7 +30,7 @@ use crate::token::{Token, TokenKind};
 /// # }
 /// ```
 pub fn parse(source: &str) -> ParseResult<Program> {
-    let out = lex(source)?;
+    let out = lex_ref(source)?;
     Parser::new(out).program()
 }
 
@@ -38,7 +40,7 @@ pub fn parse(source: &str) -> ParseResult<Program> {
 ///
 /// Returns an error if the input is not exactly one expression.
 pub fn parse_expr(source: &str) -> ParseResult<Expr> {
-    let out = lex(source)?;
+    let out = lex_ref(source)?;
     let mut p = Parser::new(out);
     let e = p.expr()?;
     p.expect(TokenKind::Eof)?;
@@ -51,22 +53,21 @@ pub fn parse_expr(source: &str) -> ParseResult<Expr> {
 /// overflow the stack instead of returning a [`ParseError`].
 const MAX_NESTING_DEPTH: usize = 200;
 
-struct Parser {
-    tokens: Vec<Token>,
-    comments: Vec<(usize, String)>, // (end offset, text) of line comments
+struct Parser<'a> {
+    tokens: Vec<Token<Cow<'a, str>>>,
+    comments: Vec<(usize, Cow<'a, str>)>, // (end offset, text) of line comments
     pos: usize,
     depth: usize,
+    /// Deduplicates identifier names: every occurrence of the same name in
+    /// one parse shares a single allocation.
+    interner: Interner,
 }
 
-impl Parser {
-    fn new(out: LexOutput) -> Self {
-        let comments = out
-            .comments
-            .iter()
-            .filter(|c| !c.block)
-            .map(|c| (c.span.end, c.text.clone()))
-            .collect();
-        Parser { tokens: out.tokens, comments, pos: 0, depth: 0 }
+impl<'a> Parser<'a> {
+    fn new(out: LexOutput<Cow<'a, str>>) -> Self {
+        let comments =
+            out.comments.into_iter().filter(|c| !c.block).map(|c| (c.span.end, c.text)).collect();
+        Parser { tokens: out.tokens, comments, pos: 0, depth: 0, interner: Interner::new() }
     }
 
     fn descend(&mut self) -> ParseResult<()> {
@@ -84,19 +85,19 @@ impl Parser {
         self.depth -= 1;
     }
 
-    fn peek(&self) -> &Token {
+    fn peek(&self) -> &Token<Cow<'a, str>> {
         &self.tokens[self.pos.min(self.tokens.len() - 1)]
     }
 
-    fn peek_kind(&self) -> &TokenKind {
+    fn peek_kind(&self) -> &TokenKind<Cow<'a, str>> {
         &self.peek().kind
     }
 
-    fn peek2_kind(&self) -> &TokenKind {
+    fn peek2_kind(&self) -> &TokenKind<Cow<'a, str>> {
         &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
     }
 
-    fn bump(&mut self) -> Token {
+    fn bump(&mut self) -> Token<Cow<'a, str>> {
         let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
@@ -104,11 +105,11 @@ impl Parser {
         t
     }
 
-    fn at(&self, kind: &TokenKind) -> bool {
+    fn at(&self, kind: &TokenKind<Cow<'a, str>>) -> bool {
         self.peek_kind() == kind
     }
 
-    fn eat(&mut self, kind: TokenKind) -> bool {
+    fn eat(&mut self, kind: TokenKind<Cow<'a, str>>) -> bool {
         if self.at(&kind) {
             self.bump();
             true
@@ -117,7 +118,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, kind: TokenKind) -> ParseResult<Token> {
+    fn expect(&mut self, kind: TokenKind<Cow<'a, str>>) -> ParseResult<Token<Cow<'a, str>>> {
         if self.at(&kind) {
             Ok(self.bump())
         } else {
@@ -129,17 +130,18 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> ParseResult<(String, Span)> {
-        let t = self.peek().clone();
-        match t.kind {
-            TokenKind::Ident(name) => {
-                self.bump();
-                Ok((name, t.span))
+    fn expect_ident(&mut self) -> ParseResult<(Symbol, Span)> {
+        let span = self.peek().span;
+        if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            match self.bump().kind {
+                TokenKind::Ident(name) => Ok((self.interner.intern(&name), span)),
+                _ => unreachable!("peeked an identifier"),
             }
-            other => Err(ParseError::new(
-                format!("expected identifier, found {}", other.describe()),
-                t.span,
-            )),
+        } else {
+            Err(ParseError::new(
+                format!("expected identifier, found {}", self.peek_kind().describe()),
+                span,
+            ))
         }
     }
 
@@ -155,7 +157,7 @@ impl Parser {
                 .comments
                 .iter()
                 .filter(|(end, _)| *end > prev_end && *end <= start)
-                .map(|(_, text)| text.clone())
+                .map(|(_, text)| text.clone().into_owned())
                 .collect();
             prev_end = func.span.end;
             prog.functions.push(func);
@@ -491,8 +493,9 @@ impl Parser {
         match t.kind {
             TokenKind::Int(v) => Ok(Expr::new(ExprKind::Int(v), t.span)),
             TokenKind::Char(c) => Ok(Expr::new(ExprKind::Char(c), t.span)),
-            TokenKind::Str(s) => Ok(Expr::new(ExprKind::Str(s), t.span)),
+            TokenKind::Str(s) => Ok(Expr::new(ExprKind::Str(s.into_owned()), t.span)),
             TokenKind::Ident(name) => {
+                let name = self.interner.intern(&name);
                 if self.at(&TokenKind::LParen) {
                     self.bump();
                     let mut args = Vec::new();

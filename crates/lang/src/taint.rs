@@ -10,11 +10,28 @@
 //! This engine backs the rule-based detectors in `vulnman-analysis` (the
 //! "traditional static analysis tools" of the paper's Figure 1) and the
 //! expert-feature extractor in `vulnman-ml` (Gap Observation 5).
+//!
+//! ## Performance shape
+//!
+//! Per-function data-flow state is a dense `Vec<Origins>` indexed by a
+//! per-function *slot map* (variable name → index) built once up front, so
+//! joins are elementwise ORs over a flat vector and transfer functions never
+//! hash or clone variable names. An absent map key in the old representation
+//! meant "no origins" (`0`), which is exactly what an untouched slot holds,
+//! so the dense form computes identical results. Findings are only
+//! materialized on the final pass; fixpoint rounds compute summaries alone.
 
 use crate::ast::{Expr, ExprKind, Function, LValue, Program};
 use crate::cfg::{Cfg, CfgInst};
+use crate::intern::FnvBuildHasher;
 use crate::span::Span;
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Function-summary table keyed by function name.
+pub type SummaryMap = HashMap<String, FnSummary, FnvBuildHasher>;
+
+/// Per-function variable slot map (name → dense index).
+type SlotMap<'p> = HashMap<&'p str, usize, FnvBuildHasher>;
 
 /// Maximum number of parameters tracked relationally per function.
 const MAX_PARAMS: usize = 62;
@@ -188,9 +205,54 @@ pub struct TaintFinding {
 #[derive(Debug, Clone, Default)]
 pub struct TaintAnalysis {
     /// Per-function summaries.
-    pub summaries: HashMap<String, FnSummary>,
+    pub summaries: SummaryMap,
     /// All source-to-sink findings.
     pub findings: Vec<TaintFinding>,
+}
+
+/// Per-function analysis unit: the CFG plus the dense variable slot map.
+struct FnUnit<'p> {
+    func: &'p Function,
+    cfg: Cfg,
+    slots: SlotMap<'p>,
+}
+
+impl<'p> FnUnit<'p> {
+    fn build(func: &'p Function) -> Self {
+        let cfg = Cfg::build(func);
+        let mut slots: SlotMap<'p> = SlotMap::default();
+        for p in &func.params {
+            let next = slots.len();
+            slots.entry(p.name.as_str()).or_insert(next);
+        }
+        // Every name the transfer functions can read or write: declarations,
+        // direct/indirect assignment bases, and variable reads. The CFG only
+        // re-arranges AST statements (it never invents variables), so walking
+        // the AST covers everything the block replay will look up.
+        func.walk_stmts(&mut |s| {
+            use crate::ast::StmtKind;
+            match &s.kind {
+                StmtKind::Decl { name, .. } => {
+                    let next = slots.len();
+                    slots.entry(name.as_str()).or_insert(next);
+                }
+                StmtKind::Assign { target, .. } => {
+                    if let Some(base) = target.base_var() {
+                        let next = slots.len();
+                        slots.entry(base).or_insert(next);
+                    }
+                }
+                _ => {}
+            }
+        });
+        func.walk_exprs(&mut |e| {
+            if let ExprKind::Var(name) = &e.kind {
+                let next = slots.len();
+                slots.entry(name.as_str()).or_insert(next);
+            }
+        });
+        FnUnit { func, cfg, slots }
+    }
 }
 
 impl TaintAnalysis {
@@ -217,35 +279,54 @@ impl TaintAnalysis {
     /// # }
     /// ```
     pub fn run(program: &Program, config: &TaintConfig) -> TaintAnalysis {
-        let mut summaries: HashMap<String, FnSummary> =
-            program.functions.iter().map(|f| (f.name.clone(), FnSummary::default())).collect();
-        let cfgs: Vec<(usize, Cfg)> =
-            program.functions.iter().enumerate().map(|(i, f)| (i, Cfg::build(f))).collect();
+        let mut summaries: SummaryMap =
+            program.functions.iter().map(|f| (f.name.to_string(), FnSummary::default())).collect();
+        let units: Vec<FnUnit<'_>> = program.functions.iter().map(FnUnit::build).collect();
+        let (order, cyclic) = bottom_up_order(&units);
 
-        // Fixpoint over summaries.
-        let max_rounds = program.functions.len().max(1) + 2;
-        for _ in 0..max_rounds {
-            let mut changed = false;
-            for (idx, cfg) in &cfgs {
-                let func = &program.functions[*idx];
-                let (summary, _) = analyze_function(func, cfg, config, &summaries);
-                let slot = summaries.get_mut(&func.name).expect("summary slot");
-                if *slot != summary {
-                    *slot = summary;
-                    changed = true;
+        let mut findings = Vec::new();
+        if !cyclic {
+            // Acyclic call graph (the overwhelmingly common case): in
+            // callee-first order every summary a function consults is already
+            // final, so one Gauss-Seidel sweep computes the exact fixpoint —
+            // summaries *and* findings come out of a single analyze per
+            // function instead of per-round re-analyses plus a replay pass.
+            // A function's own summary is never consulted while analyzing it
+            // (only callees are looked up), so inline findings match the
+            // converge-then-replay result bit for bit.
+            for &i in &order {
+                let unit = &units[i];
+                let (summary, mut fnd) = analyze_function(unit, config, &summaries, true);
+                *summaries.get_mut(unit.func.name.as_str()).expect("summary slot") = summary;
+                findings.append(&mut fnd);
+            }
+        } else {
+            // Recursive programs: iterate to the least fixpoint. The transfer
+            // is monotone in the summary table (bigger summaries only add
+            // origin bits and derived-sink entries), so the fixpoint is
+            // unique and iteration order only affects how fast we get there —
+            // callee-first is fastest.
+            let max_rounds = program.functions.len().max(1) + 2;
+            for _ in 0..max_rounds {
+                let mut changed = false;
+                for &i in &order {
+                    let unit = &units[i];
+                    let (summary, _) = analyze_function(unit, config, &summaries, false);
+                    let slot = summaries.get_mut(unit.func.name.as_str()).expect("summary slot");
+                    if *slot != summary {
+                        *slot = summary;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
                 }
             }
-            if !changed {
-                break;
+            // Final pass: collect findings with stable summaries.
+            for unit in &units {
+                let (_, mut fnd) = analyze_function(unit, config, &summaries, true);
+                findings.append(&mut fnd);
             }
-        }
-
-        // Final pass: collect findings with stable summaries.
-        let mut findings = Vec::new();
-        for (idx, cfg) in &cfgs {
-            let func = &program.functions[*idx];
-            let (_, mut fnd) = analyze_function(func, cfg, config, &summaries);
-            findings.append(&mut fnd);
         }
         findings.sort_by_key(|f| (f.span.start, f.call.clone()));
         findings.dedup();
@@ -257,11 +338,11 @@ impl TaintAnalysis {
     /// calls conservatively propagate argument taint). This is the ablation
     /// baseline for measuring what the interprocedural machinery buys.
     pub fn run_intraprocedural(program: &Program, config: &TaintConfig) -> TaintAnalysis {
-        let summaries: HashMap<String, FnSummary> = HashMap::new();
+        let summaries = SummaryMap::default();
         let mut findings = Vec::new();
         for func in &program.functions {
-            let cfg = Cfg::build(func);
-            let (_, mut fnd) = analyze_function(func, &cfg, config, &summaries);
+            let unit = FnUnit::build(func);
+            let (_, mut fnd) = analyze_function(&unit, config, &summaries, true);
             findings.append(&mut fnd);
         }
         findings.sort_by_key(|f| (f.span.start, f.call.clone()));
@@ -280,169 +361,328 @@ impl TaintAnalysis {
     }
 }
 
-/// Analyzes a single function; returns its summary and local findings.
-fn analyze_function(
-    func: &Function,
-    cfg: &Cfg,
-    config: &TaintConfig,
-    summaries: &HashMap<String, FnSummary>,
-) -> (FnSummary, Vec<TaintFinding>) {
-    let param_bits: HashMap<&str, Origins> = func
-        .params
-        .iter()
-        .take(MAX_PARAMS)
-        .enumerate()
-        .map(|(i, p)| (p.name.as_str(), 1u64 << i))
-        .collect();
+/// Computes a callee-first (post-order) traversal of the program's call
+/// graph and whether any call cycle (recursion) exists. The order is
+/// deterministic: roots are tried in program order and callee edges in
+/// first-occurrence order.
+fn bottom_up_order(units: &[FnUnit<'_>]) -> (Vec<usize>, bool) {
+    let n = units.len();
+    let mut index: HashMap<&str, usize, FnvBuildHasher> = HashMap::default();
+    for (i, u) in units.iter().enumerate() {
+        index.entry(u.func.name.as_str()).or_insert(i);
+    }
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, u) in units.iter().enumerate() {
+        u.func.walk_exprs(&mut |e| {
+            if let ExprKind::Call(name, _) = &e.kind {
+                if let Some(&j) = index.get(name.as_str()) {
+                    if !callees[i].contains(&j) {
+                        callees[i].push(j);
+                    }
+                }
+            }
+        });
+    }
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut order = Vec::with_capacity(n);
+    let mut cyclic = false;
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if state[root] != 0 {
+            continue;
+        }
+        state[root] = 1;
+        stack.push((root, 0));
+        while let Some(frame) = stack.last_mut() {
+            let node = frame.0;
+            if frame.1 < callees[node].len() {
+                let next = callees[node][frame.1];
+                frame.1 += 1;
+                match state[next] {
+                    0 => {
+                        state[next] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => cyclic = true, // back edge: direct or mutual recursion
+                    _ => {}
+                }
+            } else {
+                state[node] = 2;
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+    (order, cyclic)
+}
 
-    let n = cfg.blocks.len();
-    let mut at_entry: Vec<HashMap<String, Origins>> = vec![HashMap::new(); n];
+/// Analyzes a single function; returns its summary and (when
+/// `collect_findings` is set) local findings. Fixpoint rounds pass `false`
+/// so no finding records are allocated until summaries have converged.
+fn analyze_function(
+    unit: &FnUnit<'_>,
+    config: &TaintConfig,
+    summaries: &SummaryMap,
+    collect_findings: bool,
+) -> (FnSummary, Vec<TaintFinding>) {
+    let FnUnit { func, cfg, slots } = unit;
+    let nslots = slots.len();
+
     // Parameters carry their own origin bit at function entry.
-    for (name, bit) in &param_bits {
-        at_entry[cfg.entry].insert((*name).to_string(), *bit);
+    let mut entry_env = vec![0u64; nslots];
+    for (i, p) in func.params.iter().take(MAX_PARAMS).enumerate() {
+        if let Some(&s) = slots.get(p.name.as_str()) {
+            entry_env[s] = 1u64 << i;
+        }
     }
 
+    let n = cfg.blocks.len();
     let order = cfg.reverse_post_order();
-    let mut at_exit: Vec<HashMap<String, Origins>> = vec![HashMap::new(); n];
+    // In reverse post-order every forward edge points rightward, so when the
+    // CFG has no back edge (loop-free function — the common case) all
+    // predecessor exits are final by the time a block is visited: one sweep
+    // computes the exact solution. (The entry block never merges predecessor
+    // state — parameters are its fixed entry facts — so a stray edge back
+    // into it cannot carry information and does not spoil exactness.)
+    let mut pos = vec![0usize; n];
+    for (i, &b) in order.iter().enumerate() {
+        pos[b] = i;
+    }
+    let acyclic =
+        (0..n).all(|b| b == cfg.entry || cfg.blocks[b].preds.iter().all(|&p| pos[p] < pos[b]));
+
+    let mut findings = Vec::new();
+    let mut param_to_sink: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut internal_flow = false;
     let mut ret_origins: Origins = 0;
-    for _ in 0..(n * 2 + 4) {
-        let mut changed = false;
+
+    if acyclic {
+        // Single exact pass: the sink checks run on the same per-instruction
+        // environments the dataflow sweep computes, so there is no separate
+        // fixpoint or replay. Findings are order-normalized by the caller's
+        // sort, and the summary pieces (`ret_origins`, `param_to_sink`,
+        // `internal_flow`) are all accumulative, so visiting blocks in
+        // reverse post-order instead of index order changes nothing.
+        let mut at_exit: Vec<Vec<Origins>> = vec![Vec::new(); n];
+        let mut reached = vec![false; n];
         for &b in &order {
-            let mut env: HashMap<String, Origins> = if b == cfg.entry {
-                at_entry[cfg.entry].clone()
+            reached[b] = true;
+            let mut env: Vec<Origins> = if b == cfg.entry {
+                entry_env.clone()
             } else {
-                let mut merged: HashMap<String, Origins> = HashMap::new();
+                let mut merged = vec![0u64; nslots];
                 for &p in &cfg.blocks[b].preds {
-                    for (k, v) in &at_exit[p] {
-                        *merged.entry(k.clone()).or_insert(0) |= v;
+                    for (m, v) in merged.iter_mut().zip(&at_exit[p]) {
+                        *m |= v;
                     }
                 }
                 merged
             };
-            if b != cfg.entry && env != at_entry[b] {
-                at_entry[b] = env.clone();
-                changed = true;
-            }
             for si in &cfg.blocks[b].insts {
-                match &si.inst {
-                    CfgInst::Decl { name, init, .. } => {
-                        let t =
-                            init.as_ref().map_or(0, |e| expr_origins(e, &env, config, summaries));
-                        env.insert(name.clone(), t);
-                    }
-                    CfgInst::Assign { target, value } => {
-                        let t = expr_origins(value, &env, config, summaries);
-                        match target {
-                            LValue::Var(name) => {
-                                env.insert(name.clone(), t);
-                            }
-                            LValue::Deref(e) | LValue::Index(e, _) => {
-                                // Indirect store taints the base object (weak
-                                // update: union with existing taint).
-                                if let ExprKind::Var(base) = &e.kind {
-                                    *env.entry(base.clone()).or_insert(0) |= t;
-                                }
-                            }
-                        }
-                    }
-                    CfgInst::Return(e) => {
-                        if let Some(e) = e {
-                            ret_origins |= expr_origins(e, &env, config, summaries);
-                        }
-                    }
-                    CfgInst::Expr(_) | CfgInst::Branch(_) => {}
-                }
+                check_inst_calls(
+                    func,
+                    &si.inst,
+                    &env,
+                    slots,
+                    config,
+                    summaries,
+                    collect_findings.then_some(&mut findings),
+                    &mut param_to_sink,
+                    &mut internal_flow,
+                );
+                apply_transfer(
+                    &si.inst,
+                    &mut env,
+                    slots,
+                    config,
+                    summaries,
+                    Some(&mut ret_origins),
+                );
             }
-            if env != at_exit[b] {
-                at_exit[b] = env;
-                changed = true;
+            at_exit[b] = env;
+        }
+        // Blocks unreachable from the entry never execute, but they have
+        // always been scanned from an all-clean state (a directly source-fed
+        // sink there is still a finding); returns in dead code never reach a
+        // caller, so they do not feed `ret_origins`.
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if reached[b] {
+                continue;
+            }
+            let mut env = vec![0u64; nslots];
+            for si in &block.insts {
+                check_inst_calls(
+                    func,
+                    &si.inst,
+                    &env,
+                    slots,
+                    config,
+                    summaries,
+                    collect_findings.then_some(&mut findings),
+                    &mut param_to_sink,
+                    &mut internal_flow,
+                );
+                apply_transfer(&si.inst, &mut env, slots, config, summaries, None);
             }
         }
-        if !changed {
-            break;
-        }
-    }
-
-    // Collect sink hits and derived-sink parameters with the converged state.
-    let mut findings = Vec::new();
-    let mut param_to_sink: BTreeMap<usize, Vec<String>> = BTreeMap::new();
-    let mut internal_flow = false;
-    for (b, block) in cfg.blocks.iter().enumerate() {
-        // Replay the block from its entry state to get per-instruction envs.
-        let mut env =
-            if b == cfg.entry { at_entry[cfg.entry].clone() } else { at_entry[b].clone() };
-        for si in &block.insts {
-            // Check every call appearing in this instruction.
-            let exprs: Vec<&Expr> = si.inst.expr().into_iter().collect();
-            for root in exprs {
-                root.walk(&mut |e| {
-                    if let ExprKind::Call(name, args) = &e.kind {
-                        check_call(
-                            func,
-                            name,
-                            args,
-                            e.span,
-                            &env,
-                            config,
-                            summaries,
-                            &mut findings,
-                            &mut param_to_sink,
-                            &mut internal_flow,
-                        );
+    } else {
+        // Loops: iterate block states to a fixpoint, then replay each block
+        // from its converged entry state to run the sink checks.
+        let mut at_entry: Vec<Vec<Origins>> = vec![vec![0; nslots]; n];
+        at_entry[cfg.entry] = entry_env;
+        let mut at_exit: Vec<Vec<Origins>> = vec![vec![0; nslots]; n];
+        for _ in 0..(n * 2 + 4) {
+            let mut changed = false;
+            for &b in &order {
+                let mut env: Vec<Origins> = if b == cfg.entry {
+                    at_entry[cfg.entry].clone()
+                } else {
+                    let mut merged = vec![0u64; nslots];
+                    for &p in &cfg.blocks[b].preds {
+                        for (m, v) in merged.iter_mut().zip(&at_exit[p]) {
+                            *m |= v;
+                        }
                     }
-                });
-            }
-            // Indirect-target expressions can also contain calls.
-            if let CfgInst::Assign { target, .. } = &si.inst {
-                let tgt_exprs: Vec<&Expr> = match target {
-                    LValue::Var(_) => Vec::new(),
-                    LValue::Deref(e) => vec![e],
-                    LValue::Index(b2, i2) => vec![b2, i2],
+                    merged
                 };
-                for root in tgt_exprs {
-                    root.walk(&mut |e| {
-                        if let ExprKind::Call(name, args) = &e.kind {
-                            check_call(
-                                func,
-                                name,
-                                args,
-                                e.span,
-                                &env,
-                                config,
-                                summaries,
-                                &mut findings,
-                                &mut param_to_sink,
-                                &mut internal_flow,
-                            );
-                        }
-                    });
+                if b != cfg.entry && env != at_entry[b] {
+                    at_entry[b].copy_from_slice(&env);
+                    changed = true;
+                }
+                for si in &cfg.blocks[b].insts {
+                    apply_transfer(
+                        &si.inst,
+                        &mut env,
+                        slots,
+                        config,
+                        summaries,
+                        Some(&mut ret_origins),
+                    );
+                }
+                if env != at_exit[b] {
+                    at_exit[b] = env;
+                    changed = true;
                 }
             }
-            // Apply the transfer for subsequent instructions in the block.
-            match &si.inst {
-                CfgInst::Decl { name, init, .. } => {
-                    let t = init.as_ref().map_or(0, |e| expr_origins(e, &env, config, summaries));
-                    env.insert(name.clone(), t);
-                }
-                CfgInst::Assign { target, value } => {
-                    let t = expr_origins(value, &env, config, summaries);
-                    match target {
-                        LValue::Var(name) => {
-                            env.insert(name.clone(), t);
-                        }
-                        LValue::Deref(e) | LValue::Index(e, _) => {
-                            if let ExprKind::Var(base) = &e.kind {
-                                *env.entry(base.clone()).or_insert(0) |= t;
-                            }
-                        }
-                    }
-                }
-                _ => {}
+            if !changed {
+                break;
+            }
+        }
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut env = at_entry[b].clone();
+            for si in &block.insts {
+                check_inst_calls(
+                    func,
+                    &si.inst,
+                    &env,
+                    slots,
+                    config,
+                    summaries,
+                    collect_findings.then_some(&mut findings),
+                    &mut param_to_sink,
+                    &mut internal_flow,
+                );
+                apply_transfer(&si.inst, &mut env, slots, config, summaries, None);
             }
         }
     }
 
     (FnSummary { ret_origins, param_to_sink, internal_flow }, findings)
+}
+
+/// Runs [`check_call`] on every call expression appearing in `inst`
+/// (including calls nested in indirect assignment targets), under the
+/// environment holding *before* the instruction executes.
+#[allow(clippy::too_many_arguments)]
+fn check_inst_calls(
+    func: &Function,
+    inst: &CfgInst,
+    env: &[Origins],
+    slots: &SlotMap<'_>,
+    config: &TaintConfig,
+    summaries: &SummaryMap,
+    mut findings: Option<&mut Vec<TaintFinding>>,
+    param_to_sink: &mut BTreeMap<usize, Vec<String>>,
+    internal_flow: &mut bool,
+) {
+    let mut check = |e: &Expr| {
+        if let ExprKind::Call(name, args) = &e.kind {
+            check_call(
+                func,
+                name.as_str(),
+                args,
+                e.span,
+                env,
+                slots,
+                config,
+                summaries,
+                findings.as_deref_mut(),
+                param_to_sink,
+                internal_flow,
+            );
+        }
+    };
+    if let Some(root) = inst.expr() {
+        root.walk(&mut check);
+    }
+    // Indirect-target expressions can also contain calls.
+    if let CfgInst::Assign { target, .. } = inst {
+        match target {
+            LValue::Var(_) => {}
+            LValue::Deref(e) => e.walk(&mut check),
+            LValue::Index(b2, i2) => {
+                b2.walk(&mut check);
+                i2.walk(&mut check);
+            }
+        }
+    }
+}
+
+/// Applies one instruction's dataflow transfer to `env`. Return-value
+/// origins are accumulated into `ret_origins` when provided (the replay
+/// passes skip it — dead and already-summarized returns must not feed the
+/// summary twice).
+fn apply_transfer(
+    inst: &CfgInst,
+    env: &mut [Origins],
+    slots: &SlotMap<'_>,
+    config: &TaintConfig,
+    summaries: &SummaryMap,
+    ret_origins: Option<&mut Origins>,
+) {
+    match inst {
+        CfgInst::Decl { name, init, .. } => {
+            let t = init.as_ref().map_or(0, |e| expr_origins(e, env, slots, config, summaries));
+            if let Some(&s) = slots.get(name.as_str()) {
+                env[s] = t;
+            }
+        }
+        CfgInst::Assign { target, value } => {
+            let t = expr_origins(value, env, slots, config, summaries);
+            match target {
+                LValue::Var(name) => {
+                    if let Some(&s) = slots.get(name.as_str()) {
+                        env[s] = t;
+                    }
+                }
+                LValue::Deref(e) | LValue::Index(e, _) => {
+                    // Indirect store taints the base object (weak update:
+                    // union with existing taint).
+                    if let ExprKind::Var(base) = &e.kind {
+                        if let Some(&s) = slots.get(base.as_str()) {
+                            env[s] |= t;
+                        }
+                    }
+                }
+            }
+        }
+        CfgInst::Return(e) => {
+            if let (Some(r), Some(e)) = (ret_origins, e) {
+                *r |= expr_origins(e, env, slots, config, summaries);
+            }
+        }
+        CfgInst::Expr(_) | CfgInst::Branch(_) => {}
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -451,83 +691,90 @@ fn check_call(
     name: &str,
     args: &[Expr],
     span: Span,
-    env: &HashMap<String, Origins>,
+    env: &[Origins],
+    slots: &SlotMap<'_>,
     config: &TaintConfig,
-    summaries: &HashMap<String, FnSummary>,
-    findings: &mut Vec<TaintFinding>,
+    summaries: &SummaryMap,
+    mut findings: Option<&mut Vec<TaintFinding>>,
     param_to_sink: &mut BTreeMap<usize, Vec<String>>,
     internal_flow: &mut bool,
 ) {
     // Positions that are dangerous for this callee: direct sinks from config,
-    // derived sinks from summaries.
-    let mut dangerous: Vec<(usize, String, bool)> = Vec::new(); // (arg pos, kind, via wrapper)
+    // derived sinks from summaries. Kinds stay borrowed until a finding or a
+    // new derived-sink entry actually needs an owned copy.
+    let mut dangerous: Vec<(usize, &str, bool)> = Vec::new(); // (arg pos, kind, via wrapper)
     if let Some(positions) = config.sink_positions(name) {
-        let kind = config.sink_kind(name).to_string();
+        let kind = config.sink_kind(name);
         if positions.is_empty() {
             for i in 0..args.len() {
-                dangerous.push((i, kind.clone(), false));
+                dangerous.push((i, kind, false));
             }
         } else {
             for &p in positions {
-                dangerous.push((p, kind.clone(), false));
+                dangerous.push((p, kind, false));
             }
         }
     }
     if let Some(s) = summaries.get(name) {
         for (p, kinds) in &s.param_to_sink {
             for k in kinds {
-                dangerous.push((*p, k.clone(), true));
+                dangerous.push((*p, k.as_str(), true));
             }
         }
     }
     for (pos, kind, via_wrapper) in dangerous {
         let Some(arg) = args.get(pos) else { continue };
-        let t = expr_origins(arg, env, config, summaries);
+        let t = expr_origins(arg, env, slots, config, summaries);
         if t & SOURCE_BIT != 0 {
-            findings.push(TaintFinding {
-                function: func.name.clone(),
-                call: name.to_string(),
-                sink_kind: kind.clone(),
-                span,
-                interprocedural: via_wrapper,
-            });
+            if let Some(findings) = findings.as_deref_mut() {
+                findings.push(TaintFinding {
+                    function: func.name.to_string(),
+                    call: name.to_string(),
+                    sink_kind: kind.to_string(),
+                    span,
+                    interprocedural: via_wrapper,
+                });
+            }
             *internal_flow = true;
         }
         // Record parameter-origin flows for the derived-sink summary.
         for (i, _) in func.params.iter().take(MAX_PARAMS).enumerate() {
             if t & (1u64 << i) != 0 {
                 let kinds = param_to_sink.entry(i).or_default();
-                if !kinds.contains(&kind) {
-                    kinds.push(kind.clone());
+                if !kinds.iter().any(|k| k == kind) {
+                    kinds.push(kind.to_string());
                 }
             }
         }
     }
 }
 
-/// Computes the origin mask of an expression under `env`.
+/// Computes the origin mask of an expression under the dense `env`.
 fn expr_origins(
     e: &Expr,
-    env: &HashMap<String, Origins>,
+    env: &[Origins],
+    slots: &SlotMap<'_>,
     config: &TaintConfig,
-    summaries: &HashMap<String, FnSummary>,
+    summaries: &SummaryMap,
 ) -> Origins {
     match &e.kind {
         ExprKind::Int(_) | ExprKind::Char(_) | ExprKind::Str(_) => 0,
-        ExprKind::Var(name) => env.get(name).copied().unwrap_or(0),
-        ExprKind::Unary(_, inner) => expr_origins(inner, env, config, summaries),
+        ExprKind::Var(name) => slots.get(name.as_str()).map_or(0, |&s| env[s]),
+        ExprKind::Unary(_, inner) => expr_origins(inner, env, slots, config, summaries),
         ExprKind::Binary(_, l, r) => {
-            expr_origins(l, env, config, summaries) | expr_origins(r, env, config, summaries)
+            expr_origins(l, env, slots, config, summaries)
+                | expr_origins(r, env, slots, config, summaries)
         }
         ExprKind::Index(b, i) => {
-            expr_origins(b, env, config, summaries) | expr_origins(i, env, config, summaries)
+            expr_origins(b, env, slots, config, summaries)
+                | expr_origins(i, env, slots, config, summaries)
         }
         ExprKind::Call(name, args) => {
-            if config.is_sanitizer(name) {
+            if config.is_sanitizer(name.as_str()) {
                 return 0;
             }
             let mut t = 0;
-            if config.is_source(name) {
+            if config.is_source(name.as_str()) {
                 t |= SOURCE_BIT;
             }
             match summaries.get(name.as_str()) {
@@ -540,7 +787,7 @@ fn expr_origins(
                     }
                     for (i, arg) in args.iter().enumerate().take(MAX_PARAMS) {
                         if s.ret_origins & (1u64 << i) != 0 {
-                            t |= expr_origins(arg, env, config, summaries);
+                            t |= expr_origins(arg, env, slots, config, summaries);
                         }
                     }
                 }
@@ -548,7 +795,7 @@ fn expr_origins(
                     // Unknown library function: conservatively propagate
                     // argument taint through the return value.
                     for arg in args {
-                        t |= expr_origins(arg, env, config, summaries);
+                        t |= expr_origins(arg, env, slots, config, summaries);
                     }
                 }
             }

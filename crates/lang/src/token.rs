@@ -1,23 +1,29 @@
 //! Token definitions for the mini-C dialect.
+//!
+//! Token kinds are generic over their string storage `S`. The zero-copy
+//! lexer emits `TokenKind<Cow<'a, str>>` whose identifier/string payloads
+//! borrow the source text directly; [`TokenKind<String>`] (the default) is
+//! the owned form kept for call sites that outlive the source buffer.
 
 use crate::span::Span;
+use std::borrow::Cow;
 use std::fmt;
 
-/// The kind of a lexical token.
+/// The kind of a lexical token, generic over string storage.
 ///
 /// Keyword and punctuation variants are self-describing; see
 /// [`TokenKind::describe`] for their surface syntax.
 #[allow(missing_docs)]
 #[derive(Debug, Clone, PartialEq)]
-pub enum TokenKind {
+pub enum TokenKind<S = String> {
     /// Identifier such as `buf` or `copy_bytes`.
-    Ident(String),
+    Ident(S),
     /// Integer literal, e.g. `42`.
     Int(i64),
     /// Character literal, e.g. `'a'`.
     Char(char),
     /// String literal with escapes already resolved.
-    Str(String),
+    Str(S),
 
     // Keywords.
     KwInt,
@@ -69,9 +75,12 @@ pub enum TokenKind {
     Eof,
 }
 
-impl TokenKind {
+impl<S> TokenKind<S> {
     /// Returns the keyword kind for `word`, if it is a reserved word.
-    pub fn keyword(word: &str) -> Option<TokenKind> {
+    ///
+    /// Works on a borrowed slice, so the lexer can classify keywords
+    /// without allocating.
+    pub fn keyword(word: &str) -> Option<TokenKind<S>> {
         Some(match word {
             "int" => TokenKind::KwInt,
             "char" => TokenKind::KwChar,
@@ -141,13 +150,68 @@ impl TokenKind {
     }
 }
 
-impl fmt::Display for TokenKind {
+impl<S: Into<String>> TokenKind<S> {
+    /// Converts to the owned form, copying borrowed payloads.
+    pub fn into_owned(self) -> TokenKind<String> {
+        match self {
+            TokenKind::Ident(s) => TokenKind::Ident(s.into()),
+            TokenKind::Str(s) => TokenKind::Str(s.into()),
+            TokenKind::Int(v) => TokenKind::Int(v),
+            TokenKind::Char(c) => TokenKind::Char(c),
+            TokenKind::KwInt => TokenKind::KwInt,
+            TokenKind::KwChar => TokenKind::KwChar,
+            TokenKind::KwVoid => TokenKind::KwVoid,
+            TokenKind::KwIf => TokenKind::KwIf,
+            TokenKind::KwElse => TokenKind::KwElse,
+            TokenKind::KwWhile => TokenKind::KwWhile,
+            TokenKind::KwFor => TokenKind::KwFor,
+            TokenKind::KwReturn => TokenKind::KwReturn,
+            TokenKind::KwBreak => TokenKind::KwBreak,
+            TokenKind::KwContinue => TokenKind::KwContinue,
+            TokenKind::LParen => TokenKind::LParen,
+            TokenKind::RParen => TokenKind::RParen,
+            TokenKind::LBrace => TokenKind::LBrace,
+            TokenKind::RBrace => TokenKind::RBrace,
+            TokenKind::LBracket => TokenKind::LBracket,
+            TokenKind::RBracket => TokenKind::RBracket,
+            TokenKind::Comma => TokenKind::Comma,
+            TokenKind::Semi => TokenKind::Semi,
+            TokenKind::Plus => TokenKind::Plus,
+            TokenKind::Minus => TokenKind::Minus,
+            TokenKind::Star => TokenKind::Star,
+            TokenKind::Slash => TokenKind::Slash,
+            TokenKind::Percent => TokenKind::Percent,
+            TokenKind::Amp => TokenKind::Amp,
+            TokenKind::Pipe => TokenKind::Pipe,
+            TokenKind::Caret => TokenKind::Caret,
+            TokenKind::Shl => TokenKind::Shl,
+            TokenKind::Shr => TokenKind::Shr,
+            TokenKind::AmpAmp => TokenKind::AmpAmp,
+            TokenKind::PipePipe => TokenKind::PipePipe,
+            TokenKind::Bang => TokenKind::Bang,
+            TokenKind::Assign => TokenKind::Assign,
+            TokenKind::Eq => TokenKind::Eq,
+            TokenKind::Ne => TokenKind::Ne,
+            TokenKind::Lt => TokenKind::Lt,
+            TokenKind::Le => TokenKind::Le,
+            TokenKind::Gt => TokenKind::Gt,
+            TokenKind::Ge => TokenKind::Ge,
+            TokenKind::PlusAssign => TokenKind::PlusAssign,
+            TokenKind::MinusAssign => TokenKind::MinusAssign,
+            TokenKind::PlusPlus => TokenKind::PlusPlus,
+            TokenKind::MinusMinus => TokenKind::MinusMinus,
+            TokenKind::Eof => TokenKind::Eof,
+        }
+    }
+}
+
+impl<S: AsRef<str>> fmt::Display for TokenKind<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Ident(s) => write!(f, "{}", s.as_ref()),
             TokenKind::Int(v) => write!(f, "{v}"),
             TokenKind::Char(c) => write!(f, "'{c}'"),
-            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Str(s) => write!(f, "{:?}", s.as_ref()),
             other => write!(f, "{}", other.describe().trim_matches('`')),
         }
     }
@@ -155,25 +219,34 @@ impl fmt::Display for TokenKind {
 
 /// A lexical token: a [`TokenKind`] plus its source [`Span`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct Token {
+pub struct Token<S = String> {
     /// What kind of token this is.
-    pub kind: TokenKind,
+    pub kind: TokenKind<S>,
     /// Where in the source it came from.
     pub span: Span,
 }
 
-impl Token {
+impl<S> Token<S> {
     /// Creates a token from its parts.
-    pub fn new(kind: TokenKind, span: Span) -> Self {
+    pub fn new(kind: TokenKind<S>, span: Span) -> Self {
         Token { kind, span }
     }
+}
 
+impl<S: AsRef<str>> Token<S> {
     /// Returns the identifier text if this token is an identifier.
     pub fn as_ident(&self) -> Option<&str> {
         match &self.kind {
-            TokenKind::Ident(s) => Some(s),
+            TokenKind::Ident(s) => Some(s.as_ref()),
             _ => None,
         }
+    }
+}
+
+impl<S: Into<String>> Token<S> {
+    /// Converts to the owned form, copying borrowed payloads.
+    pub fn into_owned(self) -> Token<String> {
+        Token { kind: self.kind.into_owned(), span: self.span }
     }
 }
 
@@ -183,14 +256,37 @@ impl Token {
 /// generator and the multimodal feature extractors consume them, so the lexer
 /// preserves them on the side.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Comment {
+pub struct Comment<S = String> {
     /// Comment text without the `//` or `/* */` delimiters, trimmed.
-    pub text: String,
+    pub text: S,
     /// Location of the whole comment, delimiters included.
     pub span: Span,
+    /// Location of exactly [`text`](Self::text): the trimmed payload, so
+    /// `&source[text_span.start..text_span.end] == text`. Empty (and
+    /// positioned at the end of the leading whitespace) for blank comments.
+    pub text_span: Span,
     /// Whether this was a block (`/* */`) comment.
     pub block: bool,
 }
+
+impl<S: Into<String>> Comment<S> {
+    /// Converts to the owned form, copying borrowed payloads.
+    pub fn into_owned(self) -> Comment<String> {
+        Comment {
+            text: self.text.into(),
+            span: self.span,
+            text_span: self.text_span,
+            block: self.block,
+        }
+    }
+}
+
+/// Borrowed token kind: payloads are `Cow` slices of the source buffer.
+pub type TokenKindRef<'a> = TokenKind<Cow<'a, str>>;
+/// Borrowed token over the source buffer.
+pub type TokenRef<'a> = Token<Cow<'a, str>>;
+/// Borrowed comment over the source buffer.
+pub type CommentRef<'a> = Comment<Cow<'a, str>>;
 
 #[cfg(test)]
 mod tests {
@@ -198,22 +294,29 @@ mod tests {
 
     #[test]
     fn keywords_resolve() {
-        assert_eq!(TokenKind::keyword("int"), Some(TokenKind::KwInt));
-        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
-        assert_eq!(TokenKind::keyword("banana"), None);
+        assert_eq!(TokenKind::<String>::keyword("int"), Some(TokenKind::KwInt));
+        assert_eq!(TokenKind::<String>::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::<String>::keyword("banana"), None);
     }
 
     #[test]
     fn ident_accessor() {
-        let t = Token::new(TokenKind::Ident("x".into()), Span::dummy());
+        let t = Token::new(TokenKind::Ident("x".to_string()), Span::dummy());
         assert_eq!(t.as_ident(), Some("x"));
-        let t = Token::new(TokenKind::Semi, Span::dummy());
+        let t = Token::<String>::new(TokenKind::Semi, Span::dummy());
         assert_eq!(t.as_ident(), None);
     }
 
     #[test]
     fn describe_is_stable() {
-        assert_eq!(TokenKind::Semi.describe(), "`;`");
-        assert_eq!(TokenKind::Ident("a".into()).describe(), "identifier");
+        assert_eq!(TokenKind::<String>::Semi.describe(), "`;`");
+        assert_eq!(TokenKind::Ident("a".to_string()).describe(), "identifier");
+    }
+
+    #[test]
+    fn borrowed_tokens_convert_to_owned() {
+        let b: TokenRef<'_> = Token::new(TokenKind::Ident(Cow::Borrowed("buf")), Span::dummy());
+        let o = b.into_owned();
+        assert_eq!(o.kind, TokenKind::Ident("buf".to_string()));
     }
 }

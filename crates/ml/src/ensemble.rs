@@ -75,7 +75,10 @@ impl StackedEnsemble {
         let fold_a: Dataset = shuffled.iter().take(half).cloned().collect();
         let fold_b: Dataset = shuffled.iter().skip(half).cloned().collect();
 
-        // Out-of-fold meta features.
+        // Out-of-fold meta features: one batched scoring pass per base over
+        // the held-out fold (the old per-sample loop re-dispatched every
+        // base — and re-extracted its features — for every sample),
+        // transposed into per-sample meta rows. Scores are bit-identical.
         let mut meta_x: Vec<Vec<f64>> = Vec::with_capacity(shuffled.len());
         let mut meta_y: Vec<bool> = Vec::with_capacity(shuffled.len());
         for (train_fold, pred_fold) in [(&fold_a, &fold_b), (&fold_b, &fold_a)] {
@@ -83,8 +86,9 @@ impl StackedEnsemble {
             for b in &mut bases {
                 b.train(train_fold);
             }
-            for s in pred_fold.iter() {
-                meta_x.push(bases.iter().map(|b| b.predict_proba(s)).collect());
+            let cols: Vec<Vec<f64>> = bases.iter().map(|b| b.scores(pred_fold)).collect();
+            for (i, s) in pred_fold.iter().enumerate() {
+                meta_x.push(cols.iter().map(|c| c[i]).collect());
                 meta_y.push(s.observed_label);
             }
         }
@@ -115,9 +119,26 @@ impl StackedEnsemble {
         self.predict_proba(sample) >= 0.5
     }
 
-    /// Evaluates against ground truth.
+    /// Scores over a whole dataset: each base scores the set in one batched
+    /// pass and the meta-learner scores the transposed matrix in one pass —
+    /// the per-sample path scored every base per sample, re-extracting
+    /// features each time. Bit-identical to mapping
+    /// [`StackedEnsemble::predict_proba`] over the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`StackedEnsemble::train`].
+    pub fn scores(&self, data: &Dataset) -> Vec<f64> {
+        assert!(self.trained, "train the ensemble first");
+        let cols: Vec<Vec<f64>> = self.bases.iter().map(|b| b.scores(data)).collect();
+        let meta_x: Vec<Vec<f64>> =
+            (0..data.len()).map(|i| cols.iter().map(|c| c[i]).collect()).collect();
+        self.meta.predict_proba_batch(&meta_x)
+    }
+
+    /// Evaluates against ground truth via one batched scoring pass.
     pub fn evaluate(&self, data: &Dataset) -> Metrics {
-        let pred: Vec<bool> = data.iter().map(|s| self.predict(s)).collect();
+        let pred: Vec<bool> = self.scores(data).iter().map(|&p| p >= 0.5).collect();
         let truth: Vec<bool> = data.iter().map(|s| s.label).collect();
         Metrics::from_predictions(&pred, &truth)
     }
@@ -175,6 +196,20 @@ mod tests {
             stacked > vote_f1 - 0.03,
             "learned weighting ({stacked:.3}) should match or beat voting ({vote_f1:.3})"
         );
+    }
+
+    #[test]
+    fn batched_ensemble_scores_bit_identical_to_per_sample() {
+        let ds = DatasetBuilder::new(31).vulnerable_count(60).vulnerable_fraction(0.5).build();
+        let split = stratified_split(&ds, 0.3, 7);
+        let mut stack = StackedEnsemble::new(model_zoo);
+        stack.train(&split.train);
+        let batched = stack.scores(&split.test);
+        let single: Vec<f64> = split.test.iter().map(|s| stack.predict_proba(s)).collect();
+        assert_eq!(batched.len(), single.len());
+        for (i, (a, b)) in batched.iter().zip(&single).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}: batch {a} vs single {b}");
+        }
     }
 
     #[test]

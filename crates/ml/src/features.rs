@@ -161,7 +161,8 @@ impl FeatureExtractor for NormalizedTokenFeatures {
         let Ok(program) = vulnman_lang::parse(&sample.source) else { return v };
         // Library calls are kept (they are the semantic anchors); everything
         // declared locally is erased.
-        let mut declared: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut declared: std::collections::HashSet<vulnman_lang::Symbol> =
+            std::collections::HashSet::new();
         for f in &program.functions {
             declared.insert(f.name.clone());
             for p in &f.params {
@@ -178,7 +179,7 @@ impl FeatureExtractor for NormalizedTokenFeatures {
             .iter()
             .filter(|t| t.kind != TokenKind::Eof)
             .map(|t| match &t.kind {
-                TokenKind::Ident(name) if declared.contains(name) => "<id>".to_string(),
+                TokenKind::Ident(name) if declared.contains(name.as_str()) => "<id>".to_string(),
                 other => token_text(other),
             })
             .collect();

@@ -86,6 +86,27 @@ impl Classifier for Knn {
         pos as f64 / k as f64
     }
 
+    fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        if self.train_x.is_empty() {
+            return vec![0.5; xs.len()];
+        }
+        // The similarity scratch is allocated once and refilled per row;
+        // the sort and vote run the exact ops of `predict_proba`.
+        let mut sims: Vec<(f64, bool)> = Vec::with_capacity(self.train_x.len());
+        xs.iter()
+            .map(|x| {
+                sims.clear();
+                sims.extend(
+                    self.train_x.iter().zip(&self.train_y).map(|(t, &l)| (Self::cosine(t, x), l)),
+                );
+                sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+                let k = self.k.min(sims.len());
+                let pos = sims[..k].iter().filter(|(_, l)| *l).count();
+                pos as f64 / k as f64
+            })
+            .collect()
+    }
+
     fn supports_incremental(&self) -> bool {
         true
     }

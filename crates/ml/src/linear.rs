@@ -93,6 +93,17 @@ impl Classifier for LogisticRegression {
         sigmoid(z)
     }
 
+    fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        // One pass over the matrix; each row's dot product runs the exact
+        // ops of `predict_proba`, so the scores are bit-identical.
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let z = self.bias + x.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>();
+            out.push(sigmoid(z));
+        }
+        out
+    }
+
     fn supports_incremental(&self) -> bool {
         true
     }

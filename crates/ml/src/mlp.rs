@@ -67,8 +67,7 @@ impl Mlp {
     }
 
     #[allow(clippy::needless_range_loop)] // j indexes three parallel arrays
-    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
-        let mut h = vec![0.0; self.hidden];
+    fn forward_into(&self, x: &[f64], h: &mut [f64]) -> f64 {
         for j in 0..self.hidden {
             let mut z = self.b1[j];
             let row = &self.w1[j * self.dim..(j + 1) * self.dim];
@@ -78,7 +77,13 @@ impl Mlp {
             h[j] = z.tanh();
         }
         let z2 = self.b2 + h.iter().zip(&self.w2).map(|(a, w)| a * w).sum::<f64>();
-        (h, sigmoid(z2))
+        sigmoid(z2)
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let mut h = vec![0.0; self.hidden];
+        let p = self.forward_into(x, &mut h);
+        (h, p)
     }
 
     #[allow(clippy::needless_range_loop)] // j indexes parallel weight arrays
@@ -128,6 +133,13 @@ impl Classifier for Mlp {
 
     fn predict_proba(&self, x: &[f64]) -> f64 {
         self.forward(x).1
+    }
+
+    fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        // Hidden activations land in one scratch buffer reused across rows;
+        // the per-row op order matches `predict_proba` exactly.
+        let mut h = vec![0.0; self.hidden];
+        xs.iter().map(|x| self.forward_into(x, &mut h)).collect()
     }
 
     fn supports_incremental(&self) -> bool {

@@ -17,6 +17,15 @@ pub trait Classifier: Send + Sync {
     /// Probability that `x` is positive (vulnerable), in `[0, 1]`.
     fn predict_proba(&self, x: &[f64]) -> f64;
 
+    /// Scores every row of `xs`, in order: one matrix pass instead of one
+    /// dispatch per row. Must be bit-identical to calling
+    /// [`Classifier::predict_proba`] on each row — the batch path may share
+    /// per-batch setup (scratch buffers, hoisted constants) but never
+    /// reorder per-row floating-point operations. The default maps per row.
+    fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba(x)).collect()
+    }
+
     /// Hard decision at the 0.5 threshold.
     fn predict(&self, x: &[f64]) -> bool {
         self.predict_proba(x) >= 0.5

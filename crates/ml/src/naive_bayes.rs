@@ -101,6 +101,27 @@ impl Classifier for GaussianNb {
         let en = (ln - m).exp();
         ep / (ep + en)
     }
+
+    fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        if !self.trained {
+            return vec![0.5; xs.len()];
+        }
+        // The class priors leave the loop (same inputs, same bits); the
+        // per-row likelihoods and softmax run the exact ops of
+        // `predict_proba`.
+        let prior_p = self.prior_pos.ln();
+        let prior_n = (1.0 - self.prior_pos).ln();
+        xs.iter()
+            .map(|x| {
+                let lp = prior_p + Self::log_likelihood(x, &self.mean_pos, &self.var_pos);
+                let ln = prior_n + Self::log_likelihood(x, &self.mean_neg, &self.var_neg);
+                let m = lp.max(ln);
+                let ep = (lp - m).exp();
+                let en = (ln - m).exp();
+                ep / (ep + en)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

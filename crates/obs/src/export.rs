@@ -28,6 +28,32 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) of the observed values,
+    /// linearly interpolated inside the fixed bucket that contains the
+    /// target rank. Observations in the overflow bucket report the largest
+    /// bound. Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let below = seen as f64;
+            seen += n;
+            if (seen as f64) >= rank {
+                let hi = BUCKET_BOUNDS.get(i).copied().unwrap_or(BUCKET_BOUNDS[19]) as f64;
+                let lo = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] as f64 };
+                let frac = ((rank - below) / n as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        BUCKET_BOUNDS[19] as f64
+    }
 }
 
 /// A frozen, serializable view of every instrument in a [`Registry`].

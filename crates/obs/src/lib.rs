@@ -35,4 +35,4 @@ mod span;
 pub use export::{HistogramSnapshot, Snapshot};
 pub use histogram::{Histogram, BUCKET_BOUNDS};
 pub use registry::{Counter, Gauge, Registry};
-pub use span::Span;
+pub use span::{PreparedSpan, Span};

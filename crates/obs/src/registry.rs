@@ -165,6 +165,13 @@ impl Registry {
         Span::start(self, name)
     }
 
+    /// Resolves a reusable span template: the histogram lookup and name
+    /// allocation happen here, once, so starting the span in a hot loop is
+    /// nearly free. Records exactly like [`Registry::span`] with `name`.
+    pub fn prepared_span(&self, name: &str) -> crate::span::PreparedSpan {
+        crate::span::PreparedSpan::resolve(self, name)
+    }
+
     /// Starts a child span `parent.name` under an existing span's name.
     pub fn child_span(&self, parent: &Span, name: &str) -> Span {
         match parent.name() {

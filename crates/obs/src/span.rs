@@ -15,10 +15,59 @@ use std::time::Instant;
 /// start/stop balance invariant holds even across early returns and
 /// panics. Spans from a noop registry never read the clock.
 pub struct Span {
-    name: Option<String>,
+    name: Option<Arc<str>>,
     hist: Histogram,
     inner: Option<Arc<crate::registry::Inner>>,
     started_at: Option<Instant>,
+}
+
+/// A pre-resolved span template for hot loops.
+///
+/// [`Registry::span`] pays for a name allocation and a registry lookup on
+/// every call; a `PreparedSpan` resolves the histogram once at setup time,
+/// so each [`PreparedSpan::start`] only bumps the span counter and reads the
+/// clock. Recording semantics are identical to `Registry::span` with the
+/// same name.
+#[derive(Clone)]
+pub struct PreparedSpan {
+    name: Option<Arc<str>>,
+    hist: Histogram,
+    inner: Option<Arc<crate::registry::Inner>>,
+}
+
+impl std::fmt::Debug for PreparedSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedSpan").field("name", &self.name).finish()
+    }
+}
+
+impl PreparedSpan {
+    pub(crate) fn resolve(registry: &Registry, name: &str) -> PreparedSpan {
+        match registry.inner() {
+            None => PreparedSpan { name: None, hist: Histogram::default(), inner: None },
+            Some(inner) => PreparedSpan {
+                name: Some(Arc::from(name)),
+                hist: registry.histogram(&format!("span.{name}")),
+                inner: Some(Arc::clone(inner)),
+            },
+        }
+    }
+
+    /// Starts a span recording into the pre-resolved histogram.
+    pub fn start(&self) -> Span {
+        match &self.inner {
+            None => Span { name: None, hist: Histogram::default(), inner: None, started_at: None },
+            Some(inner) => {
+                inner.spans_started.fetch_add(1, Ordering::Relaxed);
+                Span {
+                    name: self.name.clone(),
+                    hist: self.hist.clone(),
+                    inner: Some(Arc::clone(inner)),
+                    started_at: Some(Instant::now()),
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Span {
@@ -34,7 +83,7 @@ impl Span {
             Some(inner) => {
                 inner.spans_started.fetch_add(1, Ordering::Relaxed);
                 Span {
-                    name: Some(name.to_string()),
+                    name: Some(Arc::from(name)),
                     hist: registry.histogram(&format!("span.{name}")),
                     inner: Some(Arc::clone(inner)),
                     started_at: Some(Instant::now()),

@@ -310,7 +310,7 @@ impl SampleGenerator {
 fn first_fn_name(source: &str) -> String {
     vulnman_lang::parse(source)
         .ok()
-        .and_then(|p| p.functions.first().map(|f| f.name.clone()))
+        .and_then(|p| p.functions.first().map(|f| f.name.to_string()))
         .unwrap_or_else(|| "unknown".to_string())
 }
 

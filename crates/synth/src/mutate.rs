@@ -92,8 +92,8 @@ fn rename_function_locals(func: &mut Function, salt: u32) {
     let mut map = std::collections::HashMap::new();
     for (i, p) in func.params.iter_mut().enumerate() {
         let fresh = format!("p{salt}_{i}");
-        map.insert(p.name.clone(), fresh.clone());
-        p.name = fresh;
+        map.insert(p.name.to_string(), fresh.clone());
+        p.name = fresh.into();
     }
     // Collect declared locals first (pre-pass) so uses before the walk order
     // still rename consistently.
@@ -115,8 +115,8 @@ fn collect_decls(
             StmtKind::Decl { name, .. } => {
                 *counter += 1;
                 let fresh = format!("v{salt}_{counter}");
-                map.insert(name.clone(), fresh.clone());
-                *name = fresh;
+                map.insert(name.to_string(), fresh.clone());
+                *name = fresh.into();
             }
             StmtKind::If { then_branch, else_branch, .. } => {
                 collect_decls(then_branch, map, salt, counter);
@@ -220,9 +220,9 @@ fn rename_expr(e: &mut Expr, map: &std::collections::HashMap<String, String>) {
     }
 }
 
-fn rename_name(name: &mut String, map: &std::collections::HashMap<String, String>) {
+fn rename_name(name: &mut vulnman_lang::Symbol, map: &std::collections::HashMap<String, String>) {
     if let Some(fresh) = map.get(name.as_str()) {
-        *name = fresh.clone();
+        *name = fresh.as_str().into();
     }
 }
 
@@ -232,7 +232,7 @@ fn prepend_inert_decl<R: Rng>(func: &mut Function, rng: &mut R) {
     func.body.insert(
         0,
         Stmt::new(
-            StmtKind::Decl { name: v, ty: Type::Int, init: Some(Expr::int(value)) },
+            StmtKind::Decl { name: v.into(), ty: Type::Int, init: Some(Expr::int(value)) },
             vulnman_lang::Span::dummy(),
         ),
     );
