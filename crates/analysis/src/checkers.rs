@@ -30,6 +30,9 @@ use vulnman_lang::absint::{
 };
 use vulnman_lang::ast::{BinOp, Expr, ExprKind, Function, LValue, Program, UnOp};
 use vulnman_lang::cfg::{Cfg, CfgInst};
+use vulnman_lang::incremental::{
+    analyze_program_incremental_in, IncrementalContext, IncrementalTrace,
+};
 use vulnman_obs::Registry;
 use vulnman_synth::cwe::Cwe;
 
@@ -50,6 +53,21 @@ pub struct SemanticScan {
     pub nullness_micros: u64,
     /// Wall time of the definite-initialization pass, in microseconds.
     pub init_micros: u64,
+}
+
+/// The result of an incremental semantic scan: findings and statistics
+/// byte-identical to [`SemanticEngine::analyze`], plus the per-function
+/// recompute trace (no wall-clock fields — incremental results must stay
+/// comparable across runs and cache states).
+#[derive(Debug, Clone)]
+pub struct IncrementalSemanticScan {
+    /// Findings, sorted by `(span.start, cwe)`; each carries evidence.
+    pub findings: Vec<Finding>,
+    /// Accumulated fixpoint statistics across all three domain passes
+    /// (cached components contribute their recorded statistics).
+    pub stats: SolverStats,
+    /// Which functions any domain pass re-solved vs. reused.
+    pub trace: IncrementalTrace,
 }
 
 /// Runs the three abstract domains over a program and reports semantic
@@ -200,6 +218,117 @@ impl SemanticEngine {
                 self.scan(&program)
             });
         Ok((*findings).clone())
+    }
+
+    /// [`SemanticEngine::analyze`] through the per-stage incremental
+    /// tables of `cache`: CFGs, summaries, and findings of functions whose
+    /// inputs are unchanged since a previous call are reused instead of
+    /// re-solved (see [`vulnman_lang::incremental`]). Findings and solver
+    /// statistics are byte-identical to the batch path; the returned trace
+    /// says which functions were actually re-analyzed.
+    pub fn analyze_incremental(
+        &self,
+        program: &Program,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> IncrementalSemanticScan {
+        // The call graph and function fingerprints are pass-independent;
+        // build them once and share across all three domain passes.
+        self.analyze_incremental_in(&IncrementalContext::new(program), program, cache)
+    }
+
+    fn analyze_incremental_in(
+        &self,
+        ctx: &IncrementalContext,
+        program: &Program,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> IncrementalSemanticScan {
+        let base = self.fingerprint();
+        let mut findings = Vec::new();
+        let mut stats = SolverStats { converged: true, ..SolverStats::default() };
+        let mut trace = IncrementalTrace::default();
+
+        let run = analyze_program_incremental_in::<IntervalDomain, _, _, Vec<Finding>>(
+            ctx,
+            program,
+            cache,
+            self.config,
+            base ^ 0x01,
+            |summaries| IntervalDomain::with_summaries(summaries.clone()),
+            |func, cfg, domain, analysis| {
+                let mut out = Vec::new();
+                check_intervals(func, cfg, domain, analysis, &mut out);
+                out
+            },
+        );
+        stats.absorb(&run.analysis.stats);
+        trace.merge(&run.trace);
+        findings.extend(run.payloads.into_iter().flat_map(|(_, f)| f));
+
+        let run = analyze_program_incremental_in::<NullnessDomain, _, _, Vec<Finding>>(
+            ctx,
+            program,
+            cache,
+            self.config,
+            base ^ 0x02,
+            |summaries| NullnessDomain::with_summaries(summaries.clone()),
+            |func, cfg, domain, analysis| {
+                let mut out = Vec::new();
+                check_nullness(func, cfg, domain, analysis, &mut out);
+                out
+            },
+        );
+        stats.absorb(&run.analysis.stats);
+        trace.merge(&run.trace);
+        findings.extend(run.payloads.into_iter().flat_map(|(_, f)| f));
+
+        let run = analyze_program_incremental_in::<InitDomain, _, _, Vec<Finding>>(
+            ctx,
+            program,
+            cache,
+            self.config,
+            base ^ 0x03,
+            |_| InitDomain,
+            |func, cfg, domain, analysis| {
+                let mut out = Vec::new();
+                check_init(func, cfg, domain, analysis, &mut out);
+                out
+            },
+        );
+        stats.absorb(&run.analysis.stats);
+        trace.merge(&run.trace);
+        findings.extend(run.payloads.into_iter().flat_map(|(_, f)| f));
+
+        findings.sort_by_key(|f| (f.span.start, f.cwe.id()));
+        IncrementalSemanticScan { findings, stats, trace }
+    }
+
+    /// Parses (through the [`Stage::Lex`](vulnman_lang::Stage) and
+    /// [`Stage::Parse`](vulnman_lang::Stage) tables) and scans `source`
+    /// incrementally. Results are identical to
+    /// [`SemanticEngine::scan_source`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if `source` is not valid mini-C (cached, so
+    /// malformed resubmissions fail at the lex/parse stage without
+    /// re-running anything downstream).
+    pub fn scan_source_incremental(
+        &self,
+        source: &str,
+        cache: &vulnman_lang::AnalysisCache,
+    ) -> Result<IncrementalSemanticScan, vulnman_lang::ParseError> {
+        let key = vulnman_lang::AnalysisCache::content_key(source);
+        let lexed = cache.stage(vulnman_lang::Stage::Lex, key, || {
+            vulnman_lang::lexer::lex(source).map(|out| out.tokens.len())
+        });
+        if let Err(e) = &*lexed {
+            return Err(e.clone());
+        }
+        let program = cache.parse_stage(key, source)?;
+        // The source is in hand, so fingerprint functions from their raw
+        // source slices — far cheaper than rendering each AST.
+        let ctx = IncrementalContext::with_source(&program, source);
+        Ok(self.analyze_incremental_in(&ctx, &program, cache))
     }
 
     /// Scans and reports solver telemetry through the pre-registered

@@ -38,7 +38,8 @@ pub mod severity;
 
 pub use autofix::AutoFixer;
 pub use checkers::{
-    register_absint_instruments, AbsintBaseline, BaselineEntry, SemanticEngine, SemanticScan,
+    register_absint_instruments, AbsintBaseline, BaselineEntry, IncrementalSemanticScan,
+    SemanticEngine, SemanticScan,
 };
 pub use detectors::{RuleEngine, StaticDetector};
 pub use dynamic::DynamicSanitizer;

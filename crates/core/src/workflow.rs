@@ -141,6 +141,10 @@ pub struct DegradationSummary {
     pub ml_failures: u64,
     /// Samples that lost at least one detector assessment.
     pub degraded_samples: usize,
+    /// Requests shed by the serving layer's admission control (always zero
+    /// for batch runs; `vulnman serve` records load-shedding here so the
+    /// degradation ledger covers overload as well as injected faults).
+    pub shed: u64,
     /// Detectors quarantined for the remainder of the run after exhausting
     /// their retry budget, by name, sorted.
     pub quarantined: Vec<String>,

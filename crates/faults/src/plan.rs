@@ -72,17 +72,21 @@ pub enum Site {
     MlPredict,
     /// One semantic (abstract-interpretation) checker invocation.
     CheckerCall,
+    /// One request handled by the `vulnman serve` analysis service (keyed
+    /// by request id, so degradation is identical across worker counts).
+    ServeRequest,
 }
 
 impl Site {
     /// Every site.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 7] = [
         Site::DetectorCall,
         Site::CacheGet,
         Site::CachePut,
         Site::ShardWorker,
         Site::MlPredict,
         Site::CheckerCall,
+        Site::ServeRequest,
     ];
 
     /// Stable lowercase name (used for metric keys).
@@ -94,6 +98,7 @@ impl Site {
             Site::ShardWorker => "shard_worker",
             Site::MlPredict => "ml_predict",
             Site::CheckerCall => "checker_call",
+            Site::ServeRequest => "serve_request",
         }
     }
 
@@ -106,6 +111,7 @@ impl Site {
             Site::ShardWorker => 0x04,
             Site::MlPredict => 0x05,
             Site::CheckerCall => 0x06,
+            Site::ServeRequest => 0x07,
         }
     }
 }

@@ -378,8 +378,9 @@ where
 
 /// Joins the abstract value of every reachable `return e;` in the function.
 /// Functions that never return a value (or only fall off the end) summarise
-/// to top.
-fn return_summary<D: Domain>(
+/// to top. Shared with the incremental driver (`crate::incremental`), which
+/// must compute summaries exactly like the batch drivers.
+pub(crate) fn return_summary<D: Domain>(
     domain: &D,
     cfg: &Cfg,
     analysis: &DomainAnalysis<D::Value>,

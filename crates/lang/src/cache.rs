@@ -54,6 +54,65 @@ impl CacheStats {
 /// Key of one memoized downstream analysis.
 type AnalysisKey = (u64, &'static str, u64);
 
+/// One stage of the incremental per-function pipeline
+/// (lex → parse → CFG → absint summary → detector findings).
+///
+/// Each stage gets its own key space and its own hit/miss counters
+/// (`incr.<stage>.hits` / `incr.<stage>.misses`), so the incremental driver
+/// can prove per-stage minimality: an unchanged input hash must hit, a
+/// changed one must miss, and hits + misses must equal lookups. Lex and
+/// parse results are keyed per sample (whole-unit content key); CFG results
+/// per function; summaries and findings per call-graph component (see
+/// `crate::incremental`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Token-level validation of one source unit.
+    Lex,
+    /// Parsing one source unit into a [`Program`].
+    Parse,
+    /// Control-flow-graph construction for one function.
+    Cfg,
+    /// Interprocedural abstract-interpretation summaries for one
+    /// call-graph component.
+    Summary,
+    /// Semantic-checker findings for one call-graph component.
+    Findings,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Lex, Stage::Parse, Stage::Cfg, Stage::Summary, Stage::Findings];
+
+    /// Stable lowercase name (used for metric keys).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Cfg => "cfg",
+            Stage::Summary => "summary",
+            Stage::Findings => "findings",
+        }
+    }
+
+    /// Index into the per-stage counter arrays.
+    fn idx(self) -> usize {
+        match self {
+            Stage::Lex => 0,
+            Stage::Parse => 1,
+            Stage::Cfg => 2,
+            Stage::Summary => 3,
+            Stage::Findings => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A cache operation a fault hook can veto.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOp {
@@ -73,6 +132,16 @@ pub enum CacheOp {
 /// be a pure function of its arguments for runs to stay reproducible.
 pub type CacheFaultHook = Arc<dyn Fn(CacheOp, u64) -> bool + Send + Sync>;
 
+/// How many stage-table entries one cached unit is budgeted relative to its
+/// single parse entry (see [`AnalysisCache::with_entry_limit`]): each pass
+/// over a unit deposits a CFG artifact per function and a summary plus a
+/// findings artifact per call-graph component, so the stage table fills an
+/// order of magnitude faster than the parse table while holding artifacts
+/// an order of magnitude smaller. Scaling its bound by this factor keeps
+/// both tables flushing at comparable *memory* pressure rather than
+/// comparable entry counts.
+pub const STAGE_TABLE_FANOUT: usize = 16;
+
 /// A thread-safe, content-addressed cache of parse and analysis results.
 ///
 /// Accounting (hits, misses, evictions, resident source bytes) is reported
@@ -82,12 +151,16 @@ pub type CacheFaultHook = Arc<dyn Fn(CacheOp, u64) -> bool + Send + Sync>;
 /// cache with its own private registry.
 pub struct AnalysisCache {
     enabled: bool,
+    entry_limit: Option<usize>,
     parses: Mutex<HashMap<u64, Result<Arc<Program>, ParseError>>>,
     analyses: Mutex<HashMap<AnalysisKey, Arc<dyn Any + Send + Sync>>>,
+    stages: Mutex<HashMap<(Stage, u64), Arc<dyn Any + Send + Sync>>>,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
     bytes: Gauge,
+    stage_hits: [Counter; 5],
+    stage_misses: [Counter; 5],
     fault_hook: Option<CacheFaultHook>,
 }
 
@@ -120,16 +193,70 @@ impl AnalysisCache {
     /// `cache.evictions` counters and the `cache.bytes` gauge of resident
     /// cached source bytes).
     pub fn with_metrics(metrics: &Registry) -> Self {
+        // Per-stage counters are pre-registered (`incr.<stage>.hits` /
+        // `incr.<stage>.misses`) so exported snapshots carry the full
+        // incremental schema even for stages that never fire.
+        let stage_hits = Stage::ALL.map(|s| metrics.counter(&format!("incr.{}.hits", s.as_str())));
+        let stage_misses =
+            Stage::ALL.map(|s| metrics.counter(&format!("incr.{}.misses", s.as_str())));
         AnalysisCache {
             enabled: true,
+            entry_limit: None,
             parses: Mutex::new(HashMap::new()),
             analyses: Mutex::new(HashMap::new()),
+            stages: Mutex::new(HashMap::new()),
             hits: metrics.counter("cache.hits"),
             misses: metrics.counter("cache.misses"),
             evictions: metrics.counter("cache.evictions"),
             bytes: metrics.gauge("cache.bytes"),
+            stage_hits,
+            stage_misses,
             fault_hook: None,
         }
+    }
+
+    /// Bounds the cache to roughly `limit` *units*: the parse and analysis
+    /// tables are capped at `limit` entries each, the per-function stage
+    /// table at `limit ×` [`STAGE_TABLE_FANOUT`] (one unit contributes a
+    /// single parse entry but an entry per function CFG and per
+    /// pass × component summary/findings, and those artifacts are small —
+    /// the parsed ASTs are what dominate resident memory). When an insert
+    /// would push a table past its bound, the whole table is flushed first
+    /// — *epoch eviction*. Dropping a generation at once is O(1) amortized,
+    /// needs no per-entry recency bookkeeping on the hot lookup path, and
+    /// re-fills with exactly the live working set within one request per
+    /// unit. Long-running services need the bound: an unbounded table
+    /// retains every historical version of every resubmitted unit, and the
+    /// resulting heap growth taxes every allocation the analysis makes.
+    /// Flushed entries are recorded on the `cache.evictions` counter.
+    /// Eviction never changes results — only whether a computation is
+    /// repeated.
+    pub fn with_entry_limit(mut self, limit: usize) -> Self {
+        self.entry_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Flushes `table` if inserting one more entry would exceed `bound`
+    /// (no-op when the cache is unbounded).
+    fn make_room<K, V>(
+        &self,
+        table: &mut HashMap<K, V>,
+        bound: Option<usize>,
+        holds_sources: bool,
+    ) {
+        let Some(bound) = bound else { return };
+        if table.len() >= bound {
+            self.evictions.add(table.len() as u64);
+            table.clear();
+            if holds_sources {
+                self.bytes.set(0);
+            }
+        }
+    }
+
+    /// The stage table's entry bound relative to the configured unit limit.
+    fn stage_bound(&self) -> Option<usize> {
+        self.entry_limit.map(|l| l.saturating_mul(STAGE_TABLE_FANOUT))
     }
 
     /// Installs a fault hook consulted before every storage access (see
@@ -177,14 +304,21 @@ impl AnalysisCache {
     pub fn clear(&self) {
         let mut parses = self.parses.lock().unwrap_or_else(|e| e.into_inner());
         let mut analyses = self.analyses.lock().unwrap_or_else(|e| e.into_inner());
-        self.evictions.add((parses.len() + analyses.len()) as u64);
+        let mut stages = self.stages.lock().unwrap_or_else(|e| e.into_inner());
+        self.evictions.add((parses.len() + analyses.len() + stages.len()) as u64);
         parses.clear();
         analyses.clear();
+        stages.clear();
         drop(parses);
         drop(analyses);
+        drop(stages);
         self.bytes.set(0);
         self.hits.reset();
         self.misses.reset();
+        for s in Stage::ALL {
+            self.stage_hits[s.idx()].reset();
+            self.stage_misses[s.idx()].reset();
+        }
     }
 
     /// The content address of `source`: a 64-bit hash of the normalized
@@ -263,8 +397,10 @@ impl AnalysisCache {
         if self.faulted(CacheOp::Put, key) {
             return result;
         }
-        let prev =
-            self.parses.lock().unwrap_or_else(|e| e.into_inner()).insert(key, result.clone());
+        let mut parses = self.parses.lock().unwrap_or_else(|e| e.into_inner());
+        self.make_room(&mut parses, self.entry_limit, true);
+        let prev = parses.insert(key, result.clone());
+        drop(parses);
         if prev.is_none() {
             self.bytes.add(source.len() as i64);
         }
@@ -329,11 +465,108 @@ impl AnalysisCache {
         if self.faulted(CacheOp::Put, key.0) {
             return value;
         }
-        self.analyses
+        let mut analyses = self.analyses.lock().unwrap_or_else(|e| e.into_inner());
+        self.make_room(&mut analyses, self.entry_limit, false);
+        analyses.insert(key, Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        value
+    }
+
+    /// Current hit/miss counters of one incremental stage (reads the
+    /// `incr.<stage>.*` counters of the attached registry — like
+    /// [`stats`](Self::stats), there is no second set of bookkeeping).
+    pub fn stage_stats(&self, stage: Stage) -> CacheStats {
+        CacheStats {
+            hits: self.stage_hits[stage.idx()].get(),
+            misses: self.stage_misses[stage.idx()].get(),
+        }
+    }
+
+    /// Looks up one stage entry without computing on a miss. Every call
+    /// counts exactly one hit or one miss on the stage's counters, so
+    /// `hits + misses == lookups` holds per stage. A vetoed get (see
+    /// [`CacheFaultHook`]) or a type mismatch is served as a miss.
+    pub fn stage_get<T>(&self, stage: Stage, key: u64) -> Option<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        if !self.enabled || self.faulted(CacheOp::Get, key) {
+            self.stage_misses[stage.idx()].inc();
+            return None;
+        }
+        let cached = self
+            .stages
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(key, Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+            .get(&(stage, key))
+            .map(Arc::clone);
+        match cached.and_then(|c| Arc::downcast::<T>(c).ok()) {
+            Some(typed) => {
+                self.stage_hits[stage.idx()].inc();
+                Some(typed)
+            }
+            None => {
+                self.stage_misses[stage.idx()].inc();
+                None
+            }
+        }
+    }
+
+    /// Stores one stage entry. Counts nothing (only lookups are counted);
+    /// a vetoed put is dropped, a disabled cache stores nothing.
+    pub fn stage_put<T>(&self, stage: Stage, key: u64, value: Arc<T>)
+    where
+        T: Send + Sync + 'static,
+    {
+        if !self.enabled || self.faulted(CacheOp::Put, key) {
+            return;
+        }
+        let mut stages = self.stages.lock().unwrap_or_else(|e| e.into_inner());
+        self.make_room(&mut stages, self.stage_bound(), false);
+        stages.insert((stage, key), value as Arc<dyn Any + Send + Sync>);
+    }
+
+    /// Memoizes one stage computation: [`stage_get`](Self::stage_get), and
+    /// on a miss `compute` runs and the result is
+    /// [`stage_put`](Self::stage_put) back.
+    pub fn stage<T, F>(&self, stage: Stage, key: u64, compute: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if let Some(cached) = self.stage_get::<T>(stage, key) {
+            return cached;
+        }
+        let value = Arc::new(compute());
+        self.stage_put(stage, key, Arc::clone(&value));
         value
+    }
+
+    /// [`parse_keyed`](Self::parse_keyed) accounted on the incremental
+    /// [`Stage::Parse`] counters instead of the whole-cache `cache.*`
+    /// counters. Storage is shared with `parse_keyed`: a unit parsed by the
+    /// batch workflow is a warm hit for the serving path and vice versa.
+    pub fn parse_stage(&self, key: u64, source: &str) -> Result<Arc<Program>, ParseError> {
+        if !self.enabled || self.faulted(CacheOp::Get, key) {
+            self.stage_misses[Stage::Parse.idx()].inc();
+            return crate::parser::parse(source).map(Arc::new);
+        }
+        if let Some(cached) = self.parses.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.stage_hits[Stage::Parse.idx()].inc();
+            return cached.clone();
+        }
+        self.stage_misses[Stage::Parse.idx()].inc();
+        let result = crate::parser::parse(source).map(Arc::new);
+        if self.faulted(CacheOp::Put, key) {
+            return result;
+        }
+        let mut parses = self.parses.lock().unwrap_or_else(|e| e.into_inner());
+        self.make_room(&mut parses, self.entry_limit, true);
+        let prev = parses.insert(key, result.clone());
+        drop(parses);
+        if prev.is_none() {
+            self.bytes.add(source.len() as i64);
+        }
+        result
     }
 }
 
@@ -458,6 +691,49 @@ mod tests {
         let b = cache.parse(SRC).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "storage works regardless of recording");
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn entry_limit_flushes_a_full_table_but_keeps_the_newest_entry() {
+        let metrics = Registry::new();
+        // With a unit limit of 1 the stage table is bounded at the fanout.
+        let bound = STAGE_TABLE_FANOUT as u64;
+        let cache = AnalysisCache::with_metrics(&metrics).with_entry_limit(1);
+        for key in 0..bound {
+            cache.stage(Stage::Summary, key, || key);
+        }
+        // Table is at the bound; the next insert flushes the generation
+        // first, so the new entry survives and is immediately reusable.
+        cache.stage(Stage::Summary, bound, || bound);
+        assert_eq!(metrics.counter("cache.evictions").get(), bound);
+        assert!(cache.stage_get::<u64>(Stage::Summary, bound).is_some(), "newest entry survives");
+        assert!(cache.stage_get::<u64>(Stage::Summary, 0).is_none(), "old generation flushed");
+        // Accounting still holds: every lookup was one hit or one miss.
+        let stats = cache.stage_stats(Stage::Summary);
+        assert_eq!(stats.hits + stats.misses, bound + 3);
+    }
+
+    #[test]
+    fn entry_limit_bounds_each_table_independently() {
+        let metrics = Registry::new();
+        let cache = AnalysisCache::with_metrics(&metrics).with_entry_limit(2);
+        let sources = ["int a() { return 1; }", "int b() { return 2; }", "int c() { return 3; }"];
+        for src in sources {
+            cache.parse(src).unwrap();
+        }
+        // Third parse flushed the first generation (2 entries) and the
+        // resident-bytes gauge tracks only the surviving source.
+        assert_eq!(metrics.counter("cache.evictions").get(), 2);
+        assert_eq!(metrics.gauge("cache.bytes").get(), sources[2].len() as i64);
+        // The stages table is untouched by parse-table evictions.
+        cache.stage(Stage::Cfg, 7, || 7u64);
+        assert!(cache.stage_get::<u64>(Stage::Cfg, 7).is_some());
+        // Unbounded caches never evict.
+        let free = AnalysisCache::new();
+        for key in 0..64u64 {
+            free.stage(Stage::Findings, key, || key);
+        }
+        assert!(free.stage_get::<u64>(Stage::Findings, 0).is_some());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod error;
+pub mod incremental;
 pub mod intern;
 pub mod interp;
 pub mod lexer;
@@ -49,8 +50,12 @@ pub mod taint;
 pub mod token;
 
 pub use ast::{Expr, Function, Program, Stmt, Type};
-pub use cache::{AnalysisCache, CacheFaultHook, CacheOp, CacheStats};
+pub use cache::{AnalysisCache, CacheFaultHook, CacheOp, CacheStats, Stage, STAGE_TABLE_FANOUT};
 pub use error::{ParseError, ParseResult};
+pub use incremental::{
+    analyze_program_incremental, analyze_program_incremental_in, fingerprint_function,
+    IncrementalContext, IncrementalRun, IncrementalTrace,
+};
 pub use intern::{Interner, Symbol};
 pub use parser::parse;
 pub use printer::print_program;

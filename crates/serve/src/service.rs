@@ -1,0 +1,278 @@
+//! The request executor shared by every worker thread: rule engine,
+//! incremental semantic engine, and differential oracle over one shared
+//! per-stage [`AnalysisCache`], plus the deterministic fault walk at
+//! [`Site::ServeRequest`].
+//!
+//! Responses are intentionally free of timing, trace, or cache-state data:
+//! two servers given the same request must produce byte-identical response
+//! bodies regardless of worker count, request interleaving, or cache
+//! warmth. That is what lets the stress suite compare concurrent runs
+//! against single-threaded goldens.
+
+use crate::protocol::{Request, Response};
+use std::sync::Mutex;
+use vulnman_analysis::{DifferentialOracle, OracleConfig, RuleEngine, SemanticEngine};
+use vulnman_core::DegradationSummary;
+use vulnman_faults::{site_key, FaultConfig, FaultKind, FaultPlan, Site};
+use vulnman_lang::AnalysisCache;
+use vulnman_obs::Registry;
+use vulnman_synth::{Cwe, Sample, Tier};
+
+/// FNV-1a, for hashing the request kind into the fault key.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Unit bound on the service's [`AnalysisCache`] (parse/analysis tables
+/// hold this many entries; the per-function stage table scales by the
+/// cache's fanout factor). A long-running
+/// server sees an unbounded stream of distinct unit versions; retaining
+/// every historical parse and stage artifact grows the heap without limit,
+/// and past a few hundred megabytes that growth measurably taxes every
+/// allocation the analysis makes. Epoch eviction at this bound keeps the
+/// working set resident (one flush forces at most one cold analysis per
+/// live unit) while holding memory — and allocator pressure — flat. The
+/// flush volume is visible on the `cache.evictions` counter. Eviction never
+/// changes a response, only whether a computation is repeated.
+pub const SERVE_CACHE_ENTRY_LIMIT: usize = 512;
+
+/// Shared, thread-safe request executor.
+pub struct ServiceCore {
+    rules: RuleEngine,
+    semantics: SemanticEngine,
+    oracle: DifferentialOracle,
+    cache: AnalysisCache,
+    plan: FaultPlan,
+    max_retries: u32,
+}
+
+impl ServiceCore {
+    /// Builds the executor: full rule suite, semantic engine, and oracle
+    /// over one metrics-wired cache (bounded to
+    /// [`SERVE_CACHE_ENTRY_LIMIT`] units), plus the fault plan
+    /// from `fault`.
+    pub fn new(metrics: &Registry, fault: &FaultConfig) -> Self {
+        ServiceCore {
+            rules: RuleEngine::default_suite(),
+            semantics: SemanticEngine::new(),
+            oracle: DifferentialOracle::with_metrics(OracleConfig::default(), metrics),
+            cache: AnalysisCache::with_metrics(metrics).with_entry_limit(SERVE_CACHE_ENTRY_LIMIT),
+            plan: FaultPlan::new(fault),
+            max_retries: fault.max_retries,
+        }
+    }
+
+    /// The shared per-stage cache (exposed so tests can inspect stage
+    /// counters after a request mix).
+    pub fn cache(&self) -> &AnalysisCache {
+        &self.cache
+    }
+
+    /// Whether the fault plan degrades request `id` of `kind` — a pure
+    /// function of the request coordinates, so the answer is identical for
+    /// any worker count (used by tests to precompute expected statuses).
+    pub fn degrades(&self, id: u64, kind: &str) -> bool {
+        self.plan.exhausts(Site::ServeRequest, site_key(id, fnv(kind.as_bytes())), self.max_retries)
+    }
+
+    /// Handles one admitted request: fault walk first, then the operation.
+    /// All degradation accounting lands in `ledger`.
+    pub fn handle(&self, req: &Request, ledger: &Mutex<DegradationSummary>) -> Response {
+        if self.fault_walk(req, ledger) {
+            return Response::degraded(req.id);
+        }
+        match req.kind.as_str() {
+            "analyze" => self.analyze(req),
+            "lint" => self.lint(req),
+            "oracle" => self.oracle(req),
+            other => Response::error(req.id, format!("unknown kind {other:?}")),
+        }
+    }
+
+    /// Walks the retry loop of the fault plan at [`Site::ServeRequest`],
+    /// keyed by `(request id, kind)`. Returns `true` when the request must
+    /// degrade (crash, or every attempt faulted). Mirrors
+    /// [`FaultPlan::exhausts`] so [`ServiceCore::degrades`] predicts the
+    /// outcome exactly.
+    fn fault_walk(&self, req: &Request, ledger: &Mutex<DegradationSummary>) -> bool {
+        if self.plan.rate() <= 0.0 {
+            return false;
+        }
+        let key = site_key(req.id, fnv(req.kind.as_bytes()));
+        let mut led = ledger.lock().unwrap_or_else(|e| e.into_inner());
+        for attempt in 0..=self.max_retries {
+            match self.plan.decide(Site::ServeRequest, key, attempt) {
+                None => {
+                    if attempt > 0 {
+                        led.recovered += 1;
+                    }
+                    return false;
+                }
+                Some(kind) => {
+                    match kind {
+                        FaultKind::Transient => led.transient += 1,
+                        FaultKind::Timeout => led.timeout += 1,
+                        FaultKind::Corrupt => led.corrupt += 1,
+                        FaultKind::Crash => led.crash += 1,
+                    }
+                    if kind == FaultKind::Crash {
+                        led.assessments_lost += 1;
+                        return true;
+                    }
+                    if attempt < self.max_retries {
+                        led.retries += 1;
+                    }
+                }
+            }
+        }
+        led.exhausted += 1;
+        led.assessments_lost += 1;
+        true
+    }
+
+    /// Rule-based findings followed by semantic findings, each produced
+    /// through the shared cache (rules through the whole-sample table,
+    /// semantics through the per-stage incremental driver).
+    fn analyze(&self, req: &Request) -> Response {
+        let key = AnalysisCache::content_key(&req.source);
+        let mut findings = match self.rules.scan_source_cached_keyed(key, &req.source, &self.cache)
+        {
+            Ok(f) => f,
+            Err(e) => return Response::error(req.id, format!("parse error: {e}")),
+        };
+        match self.semantics.scan_source_incremental(&req.source, &self.cache) {
+            Ok(scan) => findings.extend(scan.findings),
+            Err(e) => return Response::error(req.id, format!("parse error: {e}")),
+        }
+        Response::ok_findings(req.id, findings)
+    }
+
+    /// Semantic (absint) findings only, through the incremental driver.
+    fn lint(&self, req: &Request) -> Response {
+        match self.semantics.scan_source_incremental(&req.source, &self.cache) {
+            Ok(scan) => Response::ok_findings(req.id, scan.findings),
+            Err(e) => Response::error(req.id, format!("parse error: {e}")),
+        }
+    }
+
+    /// Differential-oracle classification of the submitted sample.
+    fn oracle(&self, req: &Request) -> Response {
+        let cwe = match &req.cwe {
+            None => None,
+            Some(name) => match serde_json::from_str::<Cwe>(&format!("{name:?}")) {
+                Ok(c) => Some(c),
+                Err(_) => return Response::error(req.id, format!("unknown cwe {name:?}")),
+            },
+        };
+        let label = req.label.unwrap_or(false);
+        let sample = Sample {
+            id: req.id,
+            source: req.source.clone(),
+            label,
+            observed_label: label,
+            cwe,
+            target_fn: String::new(),
+            team: "serve".into(),
+            project: "serve".into(),
+            tier: Tier::Curated,
+            duplicate_of: None,
+            artifacts: Default::default(),
+        };
+        Response::ok_disagreements(req.id, self.oracle.classify_sample(&sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(rate: f64) -> ServiceCore {
+        ServiceCore::new(&Registry::new(), &FaultConfig::with_rate(7, rate))
+    }
+
+    fn req(id: u64, kind: &str, source: &str) -> Request {
+        Request { id, kind: kind.into(), source: source.into(), label: None, cwe: None }
+    }
+
+    const VULN: &str = r#"void f() { char* id = http_param("id"); exec_query(id); }"#;
+
+    #[test]
+    fn analyze_merges_rule_and_semantic_findings() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let resp = core.handle(&req(1, "analyze", VULN), &ledger);
+        assert_eq!(resp.status, "ok");
+        assert!(!resp.findings.as_ref().unwrap().is_empty());
+        // Deterministic across cache states: a warm repeat is identical.
+        let again = core.handle(&req(1, "analyze", VULN), &ledger);
+        assert_eq!(resp, again);
+    }
+
+    #[test]
+    fn lint_reports_semantic_findings_only() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let clean = core.handle(&req(2, "lint", VULN), &ledger);
+        assert_eq!(clean.status, "ok");
+        let div = core.handle(&req(3, "lint", "int f() { int z = 0; return 10 / z; }"), &ledger);
+        assert!(!div.findings.as_ref().unwrap().is_empty(), "divide-by-zero is semantic");
+    }
+
+    #[test]
+    fn parse_errors_are_structured_not_panics() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let resp = core.handle(&req(4, "analyze", "int f( {"), &ledger);
+        assert_eq!(resp.status, "error");
+        assert!(resp.error.unwrap().contains("parse error"));
+    }
+
+    #[test]
+    fn oracle_classifies_and_rejects_unknown_cwe() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let mut r = req(5, "oracle", VULN);
+        r.label = Some(true);
+        r.cwe = Some("SqlInjection".into());
+        let resp = core.handle(&r, &ledger);
+        assert_eq!(resp.status, "ok");
+        assert!(resp.disagreements.is_some());
+        r.cwe = Some("NotACwe".into());
+        let resp = core.handle(&r, &ledger);
+        assert_eq!(resp.status, "error");
+    }
+
+    #[test]
+    fn fault_walk_matches_degrades_prediction_and_fills_ledger() {
+        let core = core(0.35);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let mut degraded = 0;
+        for id in 0..200 {
+            let resp = core.handle(&req(id, "lint", "void f() {\n}\n"), &ledger);
+            let expect = core.degrades(id, "lint");
+            assert_eq!(resp.status == "degraded", expect, "request {id}");
+            if expect {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "a 35% plan should degrade something in 200 requests");
+        let led = ledger.lock().unwrap();
+        assert_eq!(led.assessments_lost, degraded);
+        assert!(led.transient + led.timeout + led.corrupt + led.crash > 0);
+    }
+
+    #[test]
+    fn zero_rate_never_touches_the_ledger() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        for id in 0..50 {
+            assert_eq!(core.handle(&req(id, "lint", "void f() {\n}\n"), &ledger).status, "ok");
+        }
+        assert_eq!(*ledger.lock().unwrap(), DegradationSummary::default());
+    }
+}

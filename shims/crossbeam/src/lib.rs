@@ -15,6 +15,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`]: the channel is at capacity
+    /// or the receiver is gone. The message is handed back either way.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is full; the caller can shed or retry.
+        Full(T),
+        /// The receiving side has disconnected.
+        Disconnected(T),
+    }
+
     /// Sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
 
@@ -29,6 +39,16 @@ pub mod channel {
         /// receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send: enqueues if the buffer has room, otherwise
+        /// returns the message immediately — the load-shedding primitive
+        /// for bounded admission queues.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 

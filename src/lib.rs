@@ -52,6 +52,7 @@ pub use vulnman_faults as faults;
 pub use vulnman_lang as lang;
 pub use vulnman_ml as ml;
 pub use vulnman_obs as obs;
+pub use vulnman_serve as serve;
 pub use vulnman_synth as synth;
 
 /// Convenient re-exports of the most commonly used types.

@@ -17,6 +17,9 @@
 //!                [--shrink-golden DIR] [--max-shrunk N]
 //!                                                            differential disagreement triage
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
+//! vulnman serve [--addr H:P] [--workers N] [--queue N] [--max-request-bytes N]
+//!               [--fault-rate F] [--fault-seed N] [--max-retries N]
+//!                                                            run the concurrent analysis service
 //! ```
 
 use std::process::ExitCode;
@@ -42,6 +45,7 @@ fn main() -> ExitCode {
         "workflow" => cmd_workflow(rest),
         "oracle" => cmd_oracle(rest),
         "sft" => cmd_sft(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -57,7 +61,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|sft|help> [options]
+const USAGE: &str =
+    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|sft|serve|help> [options]
   scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
   lint <file>...                                 run only the semantic (abstract-
                                                  interpretation) checkers; print evidence
@@ -79,7 +84,15 @@ const USAGE: &str = "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|sft|
            [--shrink-golden DIR]    shrink disagreements into a golden reproducer corpus
            [--max-shrunk N]         cap golden reproducers written (default 12)
            [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
-  sft [--seed N] [--count N]";
+  sft [--seed N] [--count N]
+  serve [--addr H:P]         listen address (default 127.0.0.1:7433; port 0 = ephemeral)
+           [--workers N]            worker threads executing requests (default 4)
+           [--queue N]              admission bound; excess requests are shed (default 64)
+           [--max-request-bytes N]  per-line/body byte cap (default 1 MiB)
+           [--fault-rate F] [--fault-seed N] [--max-retries N]
+                                    inject seeded faults per request (chaos mode)
+        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle,\"source\",...}
+        or a single HTTP POST with the same JSON body";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -558,6 +571,40 @@ fn write_metrics(args: &[String], snapshot: &vulnman::obs::Snapshot) -> Result<(
         print!("{}", snapshot.render_summary());
     }
     Ok(())
+}
+
+/// `vulnman serve` — the concurrent analysis service. Binds, prints the
+/// resolved address, and runs until killed.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use vulnman::serve::{spawn, ServeConfig, MAX_REQUEST_BYTES};
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7433");
+    let workers: usize = parse_num(args, "--workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let queue: usize = parse_num(args, "--queue", 64)?;
+    let max_request_bytes: usize = parse_num(args, "--max-request-bytes", MAX_REQUEST_BYTES)?;
+    let fault_rate: f64 = parse_num(args, "--fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err("--fault-rate must be between 0 and 1".into());
+    }
+    let fault = FaultConfig {
+        seed: parse_num(args, "--fault-seed", 0)?,
+        rate: fault_rate,
+        max_retries: parse_num(args, "--max-retries", 3)?,
+        ..Default::default()
+    };
+    let metrics = Registry::new();
+    let config = ServeConfig { workers, queue, max_request_bytes, fault };
+    let server = spawn(addr, config, &metrics).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "vulnman serve listening on {} ({workers} worker(s), queue bound {queue})",
+        server.addr()
+    );
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_sft(args: &[String]) -> Result<(), String> {

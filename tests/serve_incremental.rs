@@ -1,0 +1,368 @@
+//! Equivalence suite for the per-stage incremental engine behind
+//! `vulnman serve`: over 200 synthetic samples and four per-function
+//! mutation kinds, incremental recompute through a warm cache is
+//! byte-identical to a cold full analysis, and the per-stage counters plus
+//! the recompute trace prove that untouched functions were not re-analyzed.
+//!
+//! Every mutation is span-safe by construction (it targets the last
+//! function or the end of the file, and renames preserve length), so the
+//! only fingerprints that change are those of functions whose *content*
+//! changed — which is exactly what the reuse assertions quantify.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use vulnman::analysis::SemanticEngine;
+use vulnman::lang::ast::Program;
+use vulnman::lang::{fingerprint_function, parse, AnalysisCache, Stage};
+use vulnman::prelude::*;
+use vulnman::synth::sample::Sample;
+
+// ---------------------------------------------------------------------------
+// Corpus and mutations
+// ---------------------------------------------------------------------------
+
+fn corpus_of_200() -> Vec<Sample> {
+    let ds = DatasetBuilder::new(20240808).vulnerable_count(50).vulnerable_fraction(0.25).build();
+    let samples = ds.samples().to_vec();
+    assert!(samples.len() >= 200, "corpus too small: {}", samples.len());
+    samples.into_iter().take(200).collect()
+}
+
+/// Word-boundary identifier replacement (never touches substrings of
+/// longer identifiers).
+fn replace_ident(source: &str, old: &str, new: &str) -> String {
+    let bytes = source.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if source[i..].starts_with(old)
+            && (i == 0 || !is_word(bytes[i - 1]))
+            && (i + old.len() >= bytes.len() || !is_word(bytes[i + old.len()]))
+        {
+            out.push_str(new);
+            i += old.len();
+        } else {
+            let ch = source[i..].chars().next().unwrap();
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+/// A same-length fresh name for `name` (alpha-renaming must not shift any
+/// byte offsets, or unrelated functions' span-bearing fingerprints change).
+fn fresh_name(name: &str, taken: &BTreeSet<String>) -> Option<String> {
+    for pos in (0..name.len()).rev() {
+        for c in b'a'..=b'z' {
+            let mut cand = name.as_bytes().to_vec();
+            if cand[pos] == c {
+                continue;
+            }
+            cand[pos] = c;
+            let cand = String::from_utf8(cand).unwrap();
+            if !taken.contains(&cand) {
+                return Some(cand);
+            }
+        }
+    }
+    None
+}
+
+/// The four per-function mutation kinds of the suite, derived from the
+/// parsed base program. Each returns valid mini-C.
+fn mutations(source: &str, base: &Program) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    let names: BTreeSet<String> = base.functions.iter().map(|f| f.name.to_string()).collect();
+    let last = base.functions.last().expect("non-empty program");
+
+    // 1. Alpha-rename the last function (same length, all call sites).
+    if let Some(new_name) = fresh_name(last.name.as_ref(), &names) {
+        out.push(("alpha-rename", replace_ident(source, last.name.as_ref(), &new_name)));
+    }
+
+    // 2. Edit the last function's body (insert a statement before its
+    //    closing brace — the file's final `}`).
+    if let Some(close) = source.rfind('}') {
+        let mut edited = String::with_capacity(source.len() + 24);
+        edited.push_str(&source[..close]);
+        edited.push_str("int sv_edit = 1; ");
+        edited.push_str(&source[close..]);
+        out.push(("edit-body", edited));
+    }
+
+    // 3. Add a function at end-of-file.
+    let mut added = source.to_string();
+    if !added.ends_with('\n') {
+        added.push('\n');
+    }
+    added.push_str("int sv_added(int x) { return x + 1; }\n");
+    out.push(("add-function", added));
+
+    // 4. Remove the last function.
+    if base.functions.len() > 1 {
+        let span = &last.span;
+        let mut removed = String::with_capacity(source.len());
+        removed.push_str(&source[..span.start]);
+        removed.push_str(source[span.end..].trim_start());
+        out.push(("remove-function", removed));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reuse accounting
+// ---------------------------------------------------------------------------
+
+fn fingerprints(program: &Program) -> BTreeMap<String, u64> {
+    program.functions.iter().map(|f| (f.name.to_string(), fingerprint_function(f))).collect()
+}
+
+/// The set of functions the incremental driver is *allowed* to re-solve
+/// for `base -> mutated`: functions whose fingerprint changed (or that
+/// appeared/disappeared), plus their transitive callers in the mutated
+/// program. Everything else must be served from cache.
+fn allowed_solved(base: &Program, mutated: &Program) -> BTreeSet<String> {
+    let bf = fingerprints(base);
+    let mf = fingerprints(mutated);
+    let mut dirty: BTreeSet<String> = mf
+        .iter()
+        .filter(|(name, fp)| bf.get(*name) != Some(fp))
+        .map(|(name, _)| name.clone())
+        .collect();
+    // Removed functions are dirt too: their callers' summary keys change.
+    dirty.extend(bf.keys().filter(|n| !mf.contains_key(*n)).cloned());
+
+    let mut callers: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in &mutated.functions {
+        for callee in f.callees() {
+            callers.entry(callee.to_string()).or_default().push(f.name.to_string());
+        }
+    }
+    let mut allowed = dirty.clone();
+    let mut queue: Vec<String> = dirty.into_iter().collect();
+    while let Some(name) = queue.pop() {
+        for caller in callers.get(&name).into_iter().flatten() {
+            if allowed.insert(caller.clone()) {
+                queue.push(caller.clone());
+            }
+        }
+    }
+    allowed.retain(|n| mf.contains_key(n));
+    allowed
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: incremental == cold full, byte for byte
+// ---------------------------------------------------------------------------
+
+#[test]
+fn incremental_recompute_is_byte_identical_across_200_samples_and_mutations() {
+    let samples = corpus_of_200();
+    let engine = SemanticEngine::new();
+    let mut mutated_runs = 0usize;
+    let mut total_reused = 0usize;
+    let mut add_solved = 0usize;
+    let mut add_reused = 0usize;
+
+    for sample in &samples {
+        let base = parse(&sample.source).expect("corpus sample parses");
+        let cache = AnalysisCache::new();
+        // Warm the per-stage cache with the base analysis (and pin the
+        // warm-up itself against a cold full run).
+        let warm = engine.scan_source_incremental(&sample.source, &cache).unwrap();
+        let cold = engine.analyze(&base);
+        assert_eq!(
+            serde_json::to_string(&warm.findings).unwrap(),
+            serde_json::to_string(&cold.findings).unwrap(),
+            "sample {}: cold incremental != full",
+            sample.id
+        );
+
+        for (kind, mutated_source) in mutations(&sample.source, &base) {
+            let mutated = parse(&mutated_source)
+                .unwrap_or_else(|e| panic!("sample {} {kind}: mutated source: {e}", sample.id));
+            let incr = engine.scan_source_incremental(&mutated_source, &cache).unwrap();
+            let full = engine.analyze(&mutated);
+            // Byte identity against a cold, cache-free, full analysis.
+            assert_eq!(
+                serde_json::to_string(&incr.findings).unwrap(),
+                serde_json::to_string(&full.findings).unwrap(),
+                "sample {} {kind}: incremental != full",
+                sample.id
+            );
+            // Reuse soundness: only dirtied functions (and their transitive
+            // callers) may have been re-solved.
+            let allowed = allowed_solved(&base, &mutated);
+            for solved in &incr.trace.solved {
+                assert!(
+                    allowed.contains(solved),
+                    "sample {} {kind}: `{solved}` was re-solved but neither changed nor \
+                     (transitively) calls a changed function; allowed = {allowed:?}",
+                    sample.id
+                );
+            }
+            mutated_runs += 1;
+            total_reused += incr.trace.reused.len();
+            if kind == "add-function" {
+                add_solved += incr.trace.solved.len();
+                add_reused += incr.trace.reused.len();
+            }
+        }
+    }
+
+    assert!(mutated_runs >= 600, "expected >= 3 mutations per sample: {mutated_runs}");
+    assert!(total_reused > 0, "the warm cache must serve something");
+    // Adding a function dirties nothing else: every pre-existing function
+    // must be reused, so reuse strictly dominates on that mutation kind.
+    assert!(
+        add_reused > add_solved,
+        "add-function should mostly reuse: {add_reused} reused vs {add_solved} solved"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Stage counters: untouched functions are not re-analyzed
+// ---------------------------------------------------------------------------
+
+const MULTI: &str = "int leaf() { return 2; }\n\
+    int side(int x) { return x * 3; }\n\
+    int mid() { return leaf() + 1; }\n\
+    int top_fn() { return mid() * 2; }\n";
+
+#[test]
+fn stage_counters_prove_untouched_functions_are_not_reanalyzed() {
+    let engine = SemanticEngine::new();
+    let cache = AnalysisCache::new();
+    engine.scan_source_incremental(MULTI, &cache).unwrap();
+    let summary_before = cache.stage_stats(Stage::Summary);
+    let cfg_before = cache.stage_stats(Stage::Cfg);
+
+    // Append one function at EOF: no other fingerprint can change.
+    let mutated = format!("{MULTI}int sv_added(int x) {{ return x + 1; }}\n");
+    let incr = engine.scan_source_incremental(&mutated, &cache).unwrap();
+
+    assert_eq!(incr.trace.solved, vec!["sv_added".to_string()], "only the new function solves");
+    let reused: BTreeSet<&str> = incr.trace.reused.iter().map(String::as_str).collect();
+    for name in ["leaf", "side", "mid", "top_fn"] {
+        assert!(reused.contains(name), "`{name}` must be served from cache");
+    }
+
+    // Three domain passes, one new single-function SCC each: exactly three
+    // summary recomputes; the four untouched SCCs hit in all three passes.
+    let summary_after = cache.stage_stats(Stage::Summary);
+    assert_eq!(summary_after.misses - summary_before.misses, 3);
+    assert_eq!(summary_after.hits - summary_before.hits, 12);
+    // The CFG is domain-independent: built once for the new function,
+    // never rebuilt for cached ones.
+    let cfg_after = cache.stage_stats(Stage::Cfg);
+    assert_eq!(cfg_after.misses - cfg_before.misses, 1);
+}
+
+#[test]
+fn resubmitting_identical_source_recomputes_nothing() {
+    let engine = SemanticEngine::new();
+    let cache = AnalysisCache::new();
+    let first = engine.scan_source_incremental(MULTI, &cache).unwrap();
+    assert_eq!(first.trace.reused, Vec::<String>::new());
+    let misses_before = cache.stage_stats(Stage::Summary).misses;
+    let second = engine.scan_source_incremental(MULTI, &cache).unwrap();
+    assert_eq!(second.trace.solved, Vec::<String>::new());
+    assert_eq!(cache.stage_stats(Stage::Summary).misses, misses_before);
+    assert_eq!(
+        serde_json::to_string(&first.findings).unwrap(),
+        serde_json::to_string(&second.findings).unwrap()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage cache properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Invalidation soundness: a changed input hash always re-runs the
+    /// stage. Minimality: an unchanged hash never does. Accounting:
+    /// hits + misses == lookups, per stage, for any operation sequence.
+    #[test]
+    fn stage_cache_invalidation_minimality_and_accounting(
+        seed in any::<u64>(),
+        ops in 1usize..120,
+        keyspace in 1u64..12,
+    ) {
+        let cache = AnalysisCache::new();
+        let stage = Stage::ALL[(seed % Stage::ALL.len() as u64) as usize];
+        let computes = AtomicUsize::new(0);
+        let mut state = seed;
+        let mut lookups = 0u64;
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..ops {
+            // splitmix64 step
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            let key = (z ^ (z >> 31)) % keyspace;
+            let before = computes.load(Ordering::SeqCst);
+            let value = cache.stage(stage, key, || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                key.wrapping_mul(3)
+            });
+            lookups += 1;
+            let ran = computes.load(Ordering::SeqCst) - before;
+            if seen.insert(key) {
+                // Invalidation soundness: a never-seen input hash must run.
+                prop_assert_eq!(ran, 1, "fresh key {} must compute", key);
+            } else {
+                // Minimality: an unchanged input hash must be served from
+                // cache without recomputing.
+                prop_assert_eq!(ran, 0, "repeat key {} must hit", key);
+            }
+            prop_assert_eq!(*value, key.wrapping_mul(3));
+        }
+        let stats = cache.stage_stats(stage);
+        prop_assert_eq!(stats.hits + stats.misses, lookups, "hits+misses == lookups");
+        prop_assert_eq!(stats.misses, seen.len() as u64, "one miss per distinct key");
+        // Stages are isolated: no other stage's counters moved.
+        for other in Stage::ALL {
+            if other != stage {
+                let s = cache.stage_stats(other);
+                prop_assert_eq!(s.hits + s.misses, 0);
+            }
+        }
+    }
+
+    /// A disabled cache misses every lookup (and re-runs every compute),
+    /// and the accounting identity still holds.
+    #[test]
+    fn disabled_stage_cache_always_recomputes(seed in any::<u64>(), ops in 1usize..40) {
+        let cache = AnalysisCache::disabled();
+        let computes = AtomicUsize::new(0);
+        for i in 0..ops {
+            let _ = cache.stage(Stage::Findings, seed % 5, || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                i
+            });
+        }
+        prop_assert_eq!(computes.load(Ordering::SeqCst), ops);
+        let stats = cache.stage_stats(Stage::Findings);
+        prop_assert_eq!(stats.hits, 0);
+        prop_assert_eq!(stats.misses, ops as u64);
+    }
+}
+
+/// Typed access: a stage entry stored at one type is served as a miss (and
+/// recomputed) when fetched at another, never a panic or a wrong value.
+#[test]
+fn stage_cache_type_mismatch_is_a_miss() {
+    let cache = AnalysisCache::new();
+    cache.stage_put(Stage::Summary, 7, Arc::new(42u64));
+    assert_eq!(cache.stage_get::<u64>(Stage::Summary, 7).as_deref(), Some(&42));
+    assert_eq!(cache.stage_get::<String>(Stage::Summary, 7), None);
+    let stats = cache.stage_stats(Stage::Summary);
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
