@@ -43,6 +43,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use vulnman_lang::ast::{Expr, ExprKind, LValue, Program, Stmt, StmtKind};
+use vulnman_lang::clone::{CloneConfig, CloneIndex};
 use vulnman_lang::printer::print_program;
 use vulnman_lang::taint::{TaintAnalysis, TaintConfig};
 use vulnman_lang::AnalysisCache;
@@ -71,6 +72,12 @@ pub enum View {
     /// ([`SemanticEngine`](crate::checkers::SemanticEngine)). A must-style
     /// prover: silence is expected over-approximation, never a defect.
     Absint,
+    /// The clone-class cross-check: verified near-duplicate samples
+    /// (MinHash/LSH candidates confirmed by exact Jaccard — see
+    /// [`vulnman_lang::clone`]) whose per-view verdicts disagree. Not a
+    /// per-source verdict — a corpus-level view over clone classes,
+    /// populated by [`DifferentialOracle::run_with_clones`].
+    CloneClass,
 }
 
 impl View {
@@ -82,6 +89,7 @@ impl View {
             View::TaintEngine => "taint-engine",
             View::RecordedLabel => "recorded-label",
             View::Absint => "absint",
+            View::CloneClass => "clones",
         }
     }
 }
@@ -131,11 +139,19 @@ pub enum DisagreementKind {
     /// [`DisagreementKind::AnalyzerDefect`] so the precision regression can
     /// be baselined on its own.
     SemanticFalsePositive,
+    /// A view reports a class on some members of a verified clone class
+    /// but not on others. Near-identical code with divergent verdicts is
+    /// the paper's duplication pathology viewed from the analyzer side:
+    /// either the corpus carries a vulnerable/fixed near-duplicate pair
+    /// (a data-quality fact worth surfacing) or an analysis is unstable
+    /// under renaming/layout — both warrant triage, neither is counted
+    /// against the analyzer-defect baseline.
+    CloneInconsistency,
 }
 
 impl DisagreementKind {
     /// Every kind, in report order.
-    pub const ALL: [DisagreementKind; 7] = [
+    pub const ALL: [DisagreementKind; 8] = [
         DisagreementKind::StaticFalsePositive,
         DisagreementKind::StaticBlindSpot,
         DisagreementKind::DynamicBlindSpot,
@@ -143,6 +159,7 @@ impl DisagreementKind {
         DisagreementKind::AnalyzerDefect,
         DisagreementKind::SemanticBlindSpot,
         DisagreementKind::SemanticFalsePositive,
+        DisagreementKind::CloneInconsistency,
     ];
 
     /// Stable kebab-case label used in reports, metrics, and manifests.
@@ -155,6 +172,7 @@ impl DisagreementKind {
             DisagreementKind::AnalyzerDefect => "analyzer-defect",
             DisagreementKind::SemanticBlindSpot => "semantic-blind-spot",
             DisagreementKind::SemanticFalsePositive => "semantic-false-positive",
+            DisagreementKind::CloneInconsistency => "clone-inconsistency",
         }
     }
 }
@@ -209,6 +227,8 @@ pub struct TaxonomyCounts {
     pub semantic_blind_spot: usize,
     /// [`DisagreementKind::SemanticFalsePositive`] count.
     pub semantic_false_positive: usize,
+    /// [`DisagreementKind::CloneInconsistency`] count.
+    pub clone_inconsistency: usize,
 }
 
 impl TaxonomyCounts {
@@ -222,6 +242,7 @@ impl TaxonomyCounts {
             DisagreementKind::AnalyzerDefect => self.analyzer_defect += 1,
             DisagreementKind::SemanticBlindSpot => self.semantic_blind_spot += 1,
             DisagreementKind::SemanticFalsePositive => self.semantic_false_positive += 1,
+            DisagreementKind::CloneInconsistency => self.clone_inconsistency += 1,
         }
     }
 
@@ -235,6 +256,7 @@ impl TaxonomyCounts {
             DisagreementKind::AnalyzerDefect => self.analyzer_defect,
             DisagreementKind::SemanticBlindSpot => self.semantic_blind_spot,
             DisagreementKind::SemanticFalsePositive => self.semantic_false_positive,
+            DisagreementKind::CloneInconsistency => self.clone_inconsistency,
         }
     }
 
@@ -354,6 +376,7 @@ fn register_oracle_instruments(metrics: &Registry) {
     metrics.histogram("oracle.shrink_steps");
     metrics.histogram("oracle.shrink_attempts");
     metrics.histogram("span.oracle.run");
+    metrics.histogram("span.oracle.clone_view");
 }
 
 /// Internal per-source verdicts of every view.
@@ -383,6 +406,20 @@ impl Verdicts {
             View::TaintEngine => self.taint.contains(&cwe),
             View::RecordedLabel => false,
             View::Absint => self.absints.contains(&cwe),
+            // Not a per-source verdict: clone consistency is a corpus-level
+            // property over classes, never evidence on one source.
+            View::CloneClass => false,
+        }
+    }
+
+    /// The verdict set of one evidence view, for cross-member comparison.
+    fn view_set(&self, view: View) -> Option<&BTreeSet<Cwe>> {
+        match view {
+            View::StaticRules => Some(&self.statics),
+            View::Dynamic => Some(&self.dynamics),
+            View::TaintEngine => Some(&self.taint),
+            View::Absint => Some(&self.absints),
+            View::RecordedLabel | View::CloneClass => None,
         }
     }
 }
@@ -750,6 +787,95 @@ impl DifferentialOracle {
         OracleReport { samples: samples.len(), agreed, taxonomy, disagreements }
     }
 
+    /// [`DifferentialOracle::run`] plus the sixth, corpus-level `clones`
+    /// view: verified near-duplicate clone classes whose members get
+    /// *different* verdicts from the same evidence view. A view that flags a
+    /// CWE on one member of a clone class but stays silent on an
+    /// alpha-renamed near-clone is sensitive to surface spelling rather than
+    /// structure — a robustness defect no per-sample cross-check can see.
+    ///
+    /// Clone inconsistencies are appended after the per-sample
+    /// disagreements; `agreed` keeps its per-sample meaning (class-level
+    /// observations don't demote a sample from "all views agreed").
+    /// Deterministic: classes in submission order, views and CWEs in fixed
+    /// order.
+    pub fn run_with_clones(&self, samples: &[Sample]) -> OracleReport {
+        let mut report = self.run(samples);
+        let clones = self.clone_view(samples);
+        self.metrics.counter("oracle.disagreements").add(clones.len() as u64);
+        self.metrics.counter("oracle.kind.clone_inconsistency").add(clones.len() as u64);
+        for d in clones {
+            report.taxonomy.record(d.kind);
+            report.disagreements.push(d);
+        }
+        report
+    }
+
+    /// The clone-class cross-check behind
+    /// [`DifferentialOracle::run_with_clones`]: one [`Disagreement`] per
+    /// `(class, view, CWE)` where members of a verified clone class split
+    /// positive/negative.
+    fn clone_view(&self, samples: &[Sample]) -> Vec<Disagreement> {
+        let span = self.metrics.span("oracle.clone_view");
+        let sources: Vec<(u64, &str)> =
+            samples.iter().enumerate().map(|(i, s)| (i as u64, s.source.as_str())).collect();
+        let index = CloneIndex::build(&sources, CloneConfig::default());
+        let mut out = Vec::new();
+        for class in index.classes() {
+            if class.len() < 2 {
+                continue;
+            }
+            let members: Vec<&Sample> =
+                class.iter().map(|&e| &samples[index.entries()[e as usize].id as usize]).collect();
+            // Parse failures have no view verdicts to compare; they are
+            // already surfaced per-sample as analyzer defects.
+            let verdicts: Vec<(&Sample, Verdicts)> = members
+                .iter()
+                .map(|s| (*s, self.verdicts(&s.source, &self.cache)))
+                .filter(|(_, v)| v.parse_error.is_none())
+                .collect();
+            if verdicts.len() < 2 {
+                continue;
+            }
+            for view in [View::StaticRules, View::Dynamic, View::TaintEngine, View::Absint] {
+                let union: BTreeSet<Cwe> = verdicts
+                    .iter()
+                    .flat_map(|(_, v)| v.view_set(view).into_iter().flatten().copied())
+                    .collect();
+                for cwe in union {
+                    let (mut hits, mut misses) = (Vec::new(), Vec::new());
+                    for (s, v) in &verdicts {
+                        if v.view_set(view).is_some_and(|set| set.contains(&cwe)) {
+                            hits.push(s.id);
+                        } else {
+                            misses.push(s.id);
+                        }
+                    }
+                    if hits.is_empty() || misses.is_empty() {
+                        continue;
+                    }
+                    out.push(Disagreement {
+                        sample_id: verdicts[0].0.id,
+                        cwe: Some(cwe),
+                        view: View::CloneClass,
+                        kind: DisagreementKind::CloneInconsistency,
+                        detail: format!(
+                            "{} reports {:?} on clone-class members {:?} but not on \
+                             near-clones {:?}; verdicts within a verified clone class \
+                             should agree",
+                            view.label(),
+                            cwe,
+                            hits,
+                            misses
+                        ),
+                    });
+                }
+            }
+        }
+        drop(span);
+        out
+    }
+
     // -----------------------------------------------------------------------
     // Shrinker
     // -----------------------------------------------------------------------
@@ -784,7 +910,13 @@ impl DifferentialOracle {
         mislabeled: bool,
     ) -> Option<ShrinkOutcome> {
         let cwe = d.cwe?;
-        if d.kind == DisagreementKind::LabelNoiseArtifact || d.view == View::RecordedLabel {
+        if d.kind == DisagreementKind::LabelNoiseArtifact
+            || d.kind == DisagreementKind::CloneInconsistency
+            || d.view == View::RecordedLabel
+            || d.view == View::CloneClass
+        {
+            // Label-noise artifacts and clone inconsistencies are corpus-level
+            // observations; no single source encodes the evidence.
             return None;
         }
         // Candidates are one-shot sources; memoizing them would only grow
@@ -1302,12 +1434,107 @@ mod tests {
             "oracle.kind.analyzer_defect",
             "oracle.kind.semantic_blind_spot",
             "oracle.kind.semantic_false_positive",
+            "oracle.kind.clone_inconsistency",
             "oracle.shrunk",
             "oracle.shrink_steps",
             "oracle.shrink_attempts",
         ] {
             assert!(json.contains(key), "{key} must be pre-registered");
         }
+    }
+
+    fn clone_sample(id: u64, source: &str, cwe: Option<Cwe>) -> Sample {
+        Sample {
+            id,
+            source: source.into(),
+            label: cwe.is_some(),
+            observed_label: cwe.is_some(),
+            cwe,
+            target_fn: String::new(),
+            team: "test".into(),
+            project: "test".into(),
+            tier: vulnman_synth::tier::Tier::Curated,
+            duplicate_of: None,
+            artifacts: Default::default(),
+        }
+    }
+
+    #[test]
+    fn clones_view_flags_spelling_sensitive_verdicts() {
+        // Structurally identical near-clones where only the *callee name*
+        // differs: the token shingles normalize identifiers, so the pair is
+        // a verified clone class, but every name-keyed view flags the
+        // `exec_query` member and stays silent on the `run_query` one —
+        // exactly the spelling sensitivity the clones view exists to catch.
+        let flagged = r#"void f() { char* id = http_param("id"); exec_query(id); }"#;
+        let silent = r#"void f() { char* id = http_param("id"); run_query(id); }"#;
+        let samples =
+            [clone_sample(1, flagged, Some(Cwe::SqlInjection)), clone_sample(2, silent, None)];
+        let oracle = DifferentialOracle::new();
+        let report = oracle.run_with_clones(&samples);
+        let clones: Vec<_> = report
+            .disagreements
+            .iter()
+            .filter(|d| d.kind == DisagreementKind::CloneInconsistency)
+            .collect();
+        assert!(!clones.is_empty(), "{report:?}");
+        assert_eq!(report.taxonomy.clone_inconsistency, clones.len());
+        assert_eq!(report.taxonomy.total(), report.disagreements.len());
+        for d in &clones {
+            assert_eq!(d.view, View::CloneClass);
+            assert_eq!(d.cwe, Some(Cwe::SqlInjection));
+            assert!(d.detail.contains("[1]") && d.detail.contains("[2]"), "{}", d.detail);
+        }
+        // The plain run never produces the corpus-level kind.
+        assert_eq!(oracle.run(&samples).taxonomy.clone_inconsistency, 0);
+    }
+
+    #[test]
+    fn clones_view_is_silent_when_clone_members_agree() {
+        // Exact duplicates: every view gives both members the same verdicts,
+        // so the clone class yields no inconsistency and `run_with_clones`
+        // degenerates to `run`.
+        let samples = [
+            clone_sample(1, SQLI, Some(Cwe::SqlInjection)),
+            clone_sample(2, SQLI, Some(Cwe::SqlInjection)),
+        ];
+        let oracle = DifferentialOracle::new();
+        let with = oracle.run_with_clones(&samples);
+        assert_eq!(with.taxonomy.clone_inconsistency, 0, "{with:?}");
+        assert_eq!(with, oracle.run(&samples));
+    }
+
+    #[test]
+    fn clones_report_is_deterministic_and_round_trips() {
+        let flagged = r#"void f() { char* id = http_param("id"); exec_query(id); }"#;
+        let silent = r#"void f() { char* id = http_param("id"); run_query(id); }"#;
+        let samples = [
+            clone_sample(1, flagged, Some(Cwe::SqlInjection)),
+            clone_sample(2, silent, None),
+            clone_sample(3, CLEAN, None),
+        ];
+        let a = DifferentialOracle::new().run_with_clones(&samples);
+        let b = DifferentialOracle::with_config(OracleConfig { jobs: 4, cache: false })
+            .run_with_clones(&samples);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        let back: OracleReport = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn clone_inconsistencies_refuse_to_shrink() {
+        let flagged = r#"void f() { char* id = http_param("id"); exec_query(id); }"#;
+        let silent = r#"void f() { char* id = http_param("id"); run_query(id); }"#;
+        let samples =
+            [clone_sample(1, flagged, Some(Cwe::SqlInjection)), clone_sample(2, silent, None)];
+        let oracle = DifferentialOracle::new();
+        let report = oracle.run_with_clones(&samples);
+        let d = report
+            .disagreements
+            .iter()
+            .find(|d| d.kind == DisagreementKind::CloneInconsistency)
+            .expect("clone inconsistency present");
+        assert!(oracle.shrink(flagged, d, Some(Cwe::SqlInjection), false).is_none());
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e21_clone_leakage` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e21_clone_leakage::run(vulnman_bench::quick_from_args());
+}

@@ -20,6 +20,7 @@ pub mod e17_static_vs_dynamic;
 pub mod e18_feedback_loop;
 pub mod e19_ablations;
 pub mod e20_project_scale;
+pub mod e21_clone_leakage;
 
 /// Runs every experiment in index order.
 pub fn run_all(quick: bool) {
@@ -43,4 +44,5 @@ pub fn run_all(quick: bool) {
     e18_feedback_loop::run(quick);
     e19_ablations::run(quick);
     e20_project_scale::run(quick);
+    e21_clone_leakage::run(quick);
 }

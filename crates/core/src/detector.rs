@@ -110,6 +110,18 @@ pub trait Detector: Send + Sync {
         self.try_assess_cached(sample, cache)
     }
 
+    /// Whether this detector's assessment is invariant under the clone
+    /// equivalence the workflow's dedup stage proves: identical token
+    /// streams modulo one injective identifier renaming (comments and
+    /// whitespace already erased by lexing). Only invariant detectors may
+    /// have their results propagated from a clone representative to the
+    /// other class members; everything else (e.g. ML models reading raw
+    /// token text and source length) runs directly on every member. The
+    /// conservative default is `false`.
+    fn clone_invariant(&self) -> bool {
+        false
+    }
+
     /// Receives the engine's fault injector at construction. Detectors
     /// whose backends consult a fault plan (ML prediction) forward it; the
     /// default ignores it.
@@ -175,6 +187,13 @@ impl Detector for RuleBasedDetector {
         content_key: u64,
     ) -> Result<Assessment, AssessError> {
         Ok(self.assess_cached_keyed(sample, cache, content_key))
+    }
+
+    /// Rule findings are derived from the lexed/parsed program, where
+    /// identifier spelling only flows into messages — which the dedup
+    /// stage remaps alongside the rename.
+    fn clone_invariant(&self) -> bool {
+        true
     }
 }
 
@@ -309,6 +328,13 @@ impl Detector for SemanticDetector {
 
     fn attach_metrics(&mut self, metrics: &Registry) {
         self.metrics = metrics.clone();
+    }
+
+    /// The abstract-interpretation checkers work over the parsed AST;
+    /// identifier spelling only reaches evidence text, which the dedup
+    /// stage remaps alongside the rename.
+    fn clone_invariant(&self) -> bool {
+        true
     }
 }
 
@@ -565,6 +591,27 @@ impl DetectorRegistry {
     /// individually through these).
     pub(crate) fn applicable_indices(&self, sample: &Sample) -> Vec<usize> {
         self.applicable(sample).map(|(i, _)| i).collect()
+    }
+
+    /// Whether the detector at `idx` declares its assessment invariant
+    /// under the dedup stage's clone equivalence (see
+    /// [`Detector::clone_invariant`]).
+    pub(crate) fn clone_invariant_at(&self, idx: usize) -> bool {
+        self.detectors[idx].clone_invariant()
+    }
+
+    /// Runs the detector at `idx` through the cache on the infallible
+    /// path, counted and timed — the per-detector unit of
+    /// [`DetectorRegistry::assess_all_cached_keyed`], used by the dedup
+    /// stage to assess clone representatives detector by detector.
+    pub(crate) fn assess_cached_keyed_at(
+        &self,
+        idx: usize,
+        sample: &Sample,
+        cache: &vulnman_lang::AnalysisCache,
+        content_key: u64,
+    ) -> Assessment {
+        self.observed(idx, || self.detectors[idx].assess_cached_keyed(sample, cache, content_key))
     }
 
     /// Runs the detector at `idx` through the cache, counted and timed,

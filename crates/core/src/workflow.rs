@@ -16,9 +16,11 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vulnman_analysis::autofix::AutoFixer;
 use vulnman_analysis::detectors::RuleEngine;
-use vulnman_analysis::finding::Finding;
+use vulnman_analysis::finding::{Evidence, EvidenceFact, Finding};
 use vulnman_analysis::reachability::{CallGraph, Surface};
 use vulnman_faults::{site_key, FaultConfig, FaultInjector, FaultKind, Site};
+use vulnman_lang::clone::{CloneConfig, CloneIndex, TokenAlignment};
+use vulnman_lang::lexer::lex_ref;
 use vulnman_lang::{AnalysisCache, CacheOp, CacheStats};
 use vulnman_ml::eval::Metrics;
 use vulnman_obs::{PreparedSpan, Registry, Snapshot};
@@ -48,6 +50,22 @@ pub struct WorkflowConfig {
     /// findings, surface classification) in a content-addressed cache.
     /// Caching never changes results, only repeated work.
     pub cache: bool,
+    /// Whether the engine deduplicates near-clones before analysis: a
+    /// MinHash/LSH pass groups verified near-duplicates into clone
+    /// classes, one representative per class is analyzed, and
+    /// clone-invariant detector findings are propagated to the other
+    /// members with spans, identifiers and messages remapped through a
+    /// proven token alignment. Members whose alignment fails (or whose
+    /// [`vulnman_faults::Site::CloneIndex`] coordinate is faulted) fall
+    /// back to direct analysis, so dedup changes work, never results.
+    pub dedup: bool,
+    /// Optional per-table entry bound for the analysis cache (see
+    /// [`AnalysisCache::with_entry_limit`]): long-running embedders cap
+    /// resident memory and rely on epoch eviction. Dedup propagation
+    /// recomputes a representative's assessment through the cache on a
+    /// miss, so eviction — like every cache setting — changes cost, never
+    /// a byte of the report. `None` (the default) is unbounded.
+    pub cache_entries: Option<usize>,
 }
 
 impl Default for WorkflowConfig {
@@ -60,6 +78,8 @@ impl Default for WorkflowConfig {
             seed: 0,
             jobs: 1,
             cache: true,
+            dedup: false,
+            cache_entries: None,
         }
     }
 }
@@ -310,7 +330,7 @@ struct FaultRun {
 /// so the exported metrics schema does not depend on which processing path
 /// (sequential, sharded, pipelined, capacity-limited) a run happens to
 /// take. Stage spans land in `span.<name>` histograms.
-const ENGINE_SPANS: [&str; 11] = [
+const ENGINE_SPANS: [&str; 12] = [
     "stage.assess",
     "stage.assess.detect",
     "stage.assess.surface",
@@ -322,6 +342,23 @@ const ENGINE_SPANS: [&str; 11] = [
     "capacity.assess",
     "capacity.allocate",
     "capacity.resolve",
+    "clone.index",
+];
+
+/// Clone-dedup counters, pre-registered like the spans so the metrics
+/// schema is identical whether or not a run deduplicates (and whether any
+/// clones exist): multi-member classes found, non-representative members,
+/// members whose findings were propagated, members dropped out of their
+/// class by a [`Site::CloneIndex`] fault, members rejected at plan time
+/// (no token alignment), and members that bailed to direct analysis at
+/// assessment time (a finding failed to remap).
+const CLONE_COUNTERS: [&str; 6] = [
+    "clone.classes",
+    "clone.duplicates",
+    "clone.propagated",
+    "clone.faulted",
+    "clone.align_rejected",
+    "clone.align_fallback",
 ];
 
 /// Output of the assessment + threat-model stages for one sample.
@@ -329,6 +366,31 @@ struct Assessed {
     flagged: bool,
     surface: Surface,
     findings: Vec<Finding>,
+}
+
+/// Per-sample decision of the clone-dedup pass.
+enum DedupDecision {
+    /// Analyze the sample directly (representatives, singletons, members
+    /// without a token alignment, faulted membership decisions).
+    Direct,
+    /// Reuse the clone representative's assessment, remapped through the
+    /// token alignment. The representative sample and its content key are
+    /// resolved once at plan time and shared by every member of the class.
+    Propagate { rep: Arc<Sample>, rep_key: u64, alignment: Arc<TokenAlignment> },
+}
+
+/// The batch's clone-dedup plan: one decision per submission index,
+/// computed before any analysis starts. The plan is a pure function of
+/// the sample sources, the clone config, and the fault plan — never of
+/// worker count or call order — so every processing path agrees on it.
+struct DedupPlan {
+    decisions: Vec<DedupDecision>,
+}
+
+impl DedupPlan {
+    fn decision(plan: Option<&DedupPlan>, idx: usize) -> &DedupDecision {
+        plan.map(|p| &p.decisions[idx]).unwrap_or(&DedupDecision::Direct)
+    }
 }
 
 /// The complete, order-independent result of processing one sample: the
@@ -379,6 +441,9 @@ impl WorkflowEngine {
         for span in ENGINE_SPANS {
             metrics.histogram(&format!("span.{span}"));
         }
+        for counter in CLONE_COUNTERS {
+            metrics.counter(counter);
+        }
         metrics.counter("workflow.samples");
         metrics.histogram("shard.queue_depth");
         metrics.histogram("shard.latency_micros");
@@ -386,7 +451,11 @@ impl WorkflowEngine {
         vulnman_analysis::checkers::register_absint_instruments(&metrics);
         registry.attach_metrics(metrics.clone());
         let cache = if config.cache {
-            AnalysisCache::with_metrics(&metrics)
+            let cache = AnalysisCache::with_metrics(&metrics);
+            match config.cache_entries {
+                Some(limit) => cache.with_entry_limit(limit),
+                None => cache,
+            }
         } else {
             AnalysisCache::disabled_with_metrics(&metrics)
         };
@@ -492,6 +561,7 @@ impl WorkflowEngine {
     /// so the report is byte-identical for every `jobs` value.
     pub fn process(&self, samples: &[Sample]) -> WorkflowReport {
         let run = self.fault_run(samples.len());
+        let dedup = self.dedup_plan(samples, run.as_ref());
         let scratch = self.scratch_cache();
         let cache = scratch.as_ref().unwrap_or(&self.cache);
         let jobs = self.config.jobs.max(1);
@@ -501,11 +571,11 @@ impl WorkflowEngine {
                 samples
                     .iter()
                     .enumerate()
-                    .map(|(i, s)| self.assess_one(i, s, run.as_ref(), cache))
+                    .map(|(i, s)| self.assess_one(i, s, run.as_ref(), cache, dedup.as_ref()))
                     .collect(),
             )
         } else {
-            self.process_sharded_inner(samples, jobs, run.as_ref(), cache)
+            self.process_sharded_inner(samples, jobs, run.as_ref(), cache, dedup.as_ref())
         };
         self.finish_report(report, run.as_ref(), samples.len())
     }
@@ -533,9 +603,10 @@ impl WorkflowEngine {
     /// order) before the fold, so output equals the sequential path's.
     pub fn process_sharded(&self, samples: &[Sample], jobs: usize) -> WorkflowReport {
         let run = self.fault_run(samples.len());
+        let dedup = self.dedup_plan(samples, run.as_ref());
         let scratch = self.scratch_cache();
         let cache = scratch.as_ref().unwrap_or(&self.cache);
-        let report = self.process_sharded_inner(samples, jobs, run.as_ref(), cache);
+        let report = self.process_sharded_inner(samples, jobs, run.as_ref(), cache, dedup.as_ref());
         self.finish_report(report, run.as_ref(), samples.len())
     }
 
@@ -545,6 +616,7 @@ impl WorkflowEngine {
         jobs: usize,
         run: Option<&FaultRun>,
         cache: &AnalysisCache,
+        dedup: Option<&DedupPlan>,
     ) -> WorkflowReport {
         let jobs = jobs.clamp(1, samples.len().max(1));
         let chunk = samples.len().div_ceil(jobs).max(1);
@@ -586,7 +658,7 @@ impl WorkflowEngine {
                             .iter()
                             .take(take)
                             .enumerate()
-                            .map(|(i, s)| self.assess_one(base + i, s, run, cache))
+                            .map(|(i, s)| self.assess_one(base + i, s, run, cache, dedup))
                             .collect();
                         if let Some(t0) = t0 {
                             latency.observe_duration(t0.elapsed());
@@ -612,7 +684,7 @@ impl WorkflowEngine {
                                     .iter()
                                     .enumerate()
                                     .skip(done)
-                                    .map(|(i, s)| self.assess_one(base + i, s, run, cache)),
+                                    .map(|(i, s)| self.assess_one(base + i, s, run, cache, dedup)),
                             );
                         }
                     }
@@ -624,13 +696,98 @@ impl WorkflowEngine {
                             shard
                                 .iter()
                                 .enumerate()
-                                .map(|(i, s)| self.assess_one(base + i, s, run, cache)),
+                                .map(|(i, s)| self.assess_one(base + i, s, run, cache, dedup)),
                         );
                     }
                 }
             }
         });
         Self::reduce(work)
+    }
+
+    /// Precomputes the batch's clone-dedup plan when
+    /// [`WorkflowConfig::dedup`] is on: shingle and index every sample
+    /// (sharded across [`WorkflowConfig::jobs`], byte-deterministic at any
+    /// job count), group verified near-duplicates into classes, and mark
+    /// every non-representative member for propagation when a token
+    /// alignment against its representative exists. The representative of
+    /// a class is its lowest submission index. A member whose
+    /// [`Site::CloneIndex`] coordinate is faulted drops out of its class
+    /// and is analyzed directly — like a faulted cache get, the cost is
+    /// recomputation, never a changed result.
+    fn dedup_plan(&self, samples: &[Sample], run: Option<&FaultRun>) -> Option<DedupPlan> {
+        if !self.config.dedup || samples.len() < 2 {
+            return None;
+        }
+        let span = self.metrics.span("clone.index");
+        let clone_config = CloneConfig { jobs: self.config.jobs.max(1), ..CloneConfig::default() };
+        let sources: Vec<(u64, &str)> =
+            samples.iter().enumerate().map(|(i, s)| (i as u64, s.source.as_str())).collect();
+        let index = CloneIndex::build(&sources, clone_config);
+        let mut decisions: Vec<DedupDecision> =
+            (0..samples.len()).map(|_| DedupDecision::Direct).collect();
+        let (mut classes, mut duplicates, mut faulted, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+        for class in index.classes() {
+            if class.len() < 2 {
+                continue;
+            }
+            classes += 1;
+            // Entries are inserted in submission order, so the class's first
+            // entry (classes are sorted) is the lowest submission index.
+            let rep_idx = index.entries()[class[0] as usize].id as usize;
+            // A clone class can hold several alignment cohorts: template
+            // cousins verify as clones (normalized shingles) yet differ in
+            // literals or token counts, so one fixed representative would
+            // strand every variant of the other cousins. Members that align
+            // with no earlier anchor become anchors themselves (analyzed
+            // directly); later members propagate from the earliest anchor
+            // they align with. Purely positional, hence deterministic.
+            // Lex each class source once; the anchor scan reuses token
+            // streams across alignment attempts instead of re-lexing per
+            // (anchor, member) pair.
+            let anchor = |idx: usize| {
+                let sample = Arc::new(samples[idx].clone());
+                let key = AnalysisCache::content_key(&sample.source);
+                let tokens = lex_ref(&samples[idx].source).ok();
+                (sample, key, tokens)
+            };
+            let mut anchors = vec![anchor(rep_idx)];
+            for &member in &class[1..] {
+                let member_idx = index.entries()[member as usize].id as usize;
+                duplicates += 1;
+                if let Some(run) = run {
+                    let key = site_key(member_idx as u64, rep_idx as u64);
+                    if run.injector.attempt(Site::CloneIndex, key, 0).is_some() {
+                        faulted += 1;
+                        continue;
+                    }
+                }
+                let member_tokens = lex_ref(&samples[member_idx].source).ok();
+                let aligned = anchors.iter().find_map(|(rep, rep_key, rep_tokens)| {
+                    let (rt, mt) = (rep_tokens.as_ref()?, member_tokens.as_ref()?);
+                    TokenAlignment::align_tokens(rt, mt).map(|a| (Arc::clone(rep), *rep_key, a))
+                });
+                match aligned {
+                    Some((rep, rep_key, alignment)) => {
+                        decisions[member_idx] = DedupDecision::Propagate {
+                            rep,
+                            rep_key,
+                            alignment: Arc::new(alignment),
+                        };
+                    }
+                    None => {
+                        rejected += 1;
+                        anchors.push(anchor(member_idx));
+                    }
+                }
+            }
+        }
+        self.metrics.counter("clone.classes").add(classes);
+        self.metrics.counter("clone.duplicates").add(duplicates);
+        self.metrics.counter("clone.faulted").add(faulted);
+        self.metrics.counter("clone.align_rejected").add(rejected);
+        span.stop();
+        Some(DedupPlan { decisions })
     }
 
     /// Precomputes the batch's fault context. Quarantine points derive from
@@ -683,6 +840,7 @@ impl WorkflowEngine {
     /// budget this matches [`WorkflowEngine::process`] exactly.
     pub fn process_with_capacity(&self, samples: &[Sample], budget_minutes: f64) -> WorkflowReport {
         let run = self.fault_run(samples.len());
+        let dedup = self.dedup_plan(samples, run.as_ref());
         let scratch = self.scratch_cache();
         let cache = scratch.as_ref().unwrap_or(&self.cache);
         self.metrics.counter("workflow.samples").add(samples.len() as u64);
@@ -693,7 +851,7 @@ impl WorkflowEngine {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let (a, deg) = self.assess_stage(s, i, run.as_ref(), cache);
+                let (a, deg) = self.assess_stage(s, i, run.as_ref(), cache, dedup.as_ref());
                 report.degradation.absorb(&deg);
                 (i, a)
             })
@@ -767,6 +925,8 @@ impl WorkflowEngine {
     pub fn process_pipelined(&self, samples: &[Sample]) -> WorkflowReport {
         let run = self.fault_run(samples.len());
         let run_ref = run.as_ref();
+        let dedup = self.dedup_plan(samples, run_ref);
+        let dedup_ref = dedup.as_ref();
         let scratch = self.scratch_cache();
         let cache = scratch.as_ref().unwrap_or(&self.cache);
         let (tx_in, rx_assess) = channel::bounded::<(usize, Sample)>(64);
@@ -784,7 +944,8 @@ impl WorkflowEngine {
             scope.spawn(move || {
                 let _span = metrics1.span("pipeline.assess");
                 for (idx, sample) in rx_assess {
-                    let (assessed, deg) = self.assess_stage(&sample, idx, run_ref, cache);
+                    let (assessed, deg) =
+                        self.assess_stage(&sample, idx, run_ref, cache, dedup_ref);
                     if tx_assess.send((sample, assessed, deg)).is_err() {
                         return;
                     }
@@ -871,7 +1032,7 @@ impl WorkflowEngine {
                 report.cases.iter().map(|c| c.sample_id).collect();
             for (i, s) in samples.iter().enumerate() {
                 if !present.contains(&s.id) {
-                    Self::fold_case(&mut report, self.assess_one(i, s, run_ref, cache));
+                    Self::fold_case(&mut report, self.assess_one(i, s, run_ref, cache, dedup_ref));
                 }
             }
         }
@@ -892,7 +1053,21 @@ impl WorkflowEngine {
         idx: usize,
         run: Option<&FaultRun>,
         cache: &AnalysisCache,
+        dedup: Option<&DedupPlan>,
     ) -> (Assessed, CaseDegradation) {
+        if let DedupDecision::Propagate { rep, rep_key, alignment } =
+            DedupPlan::decision(dedup, idx)
+        {
+            match self.assess_propagated(sample, rep, *rep_key, alignment, idx, run, cache) {
+                Some(out) => {
+                    self.metrics.counter("clone.propagated").inc();
+                    return out;
+                }
+                // A finding failed to remap (endpoint off a token
+                // boundary): analyze this member directly instead.
+                None => self.metrics.counter("clone.align_fallback").inc(),
+            }
+        }
         let span = self.stage_spans.assess.start();
         // One content hash per sample: every cache-aware consumer below
         // (detectors, surface classification) reuses this key instead of
@@ -940,53 +1115,163 @@ impl WorkflowEngine {
     ) -> (bool, Vec<Assessment>, CaseDegradation) {
         let mut deg = CaseDegradation::default();
         let mut assessments = Vec::new();
-        let inj = run.injector.as_ref();
         for d in self.registry.applicable_indices(sample) {
-            if (idx as u64) > run.quarantine_at[d] {
-                // Quarantined earlier in the run: never called again.
-                deg.lost += 1;
-                continue;
-            }
-            let key = site_key(d as u64, idx as u64);
-            let mut produced = false;
-            let mut attempts_made = 0u32;
-            for attempt in 0..=inj.max_retries() {
-                attempts_made = attempt + 1;
-                match inj.attempt(Site::DetectorCall, key, attempt) {
-                    None => {
-                        if attempt > 0 {
-                            inj.note_recovered(Site::DetectorCall, attempt);
-                            deg.recovered += 1;
-                        }
-                        match self.registry.try_assess_cached_at(d, sample, cache, content_key) {
-                            Ok(a) => assessments.push(a),
-                            Err(_) => {
-                                // The detector ran but its backend failed
-                                // (ML predict fault, keyed by sample id).
-                                deg.ml_failures += 1;
-                                deg.lost += 1;
-                            }
-                        }
-                        produced = true;
-                        break;
-                    }
-                    Some(kind) => {
-                        deg.record(kind);
-                        if !kind.is_retryable() {
-                            break;
-                        }
-                    }
-                }
-            }
-            deg.retries += u64::from(attempts_made.saturating_sub(1));
-            if !produced {
-                inj.note_exhausted(Site::DetectorCall);
-                deg.exhausted += 1;
-                deg.lost += 1;
-            }
+            self.assess_detector_resilient(
+                d,
+                sample,
+                idx,
+                run,
+                content_key,
+                cache,
+                &mut assessments,
+                &mut deg,
+            );
         }
         let (flagged, assessments) = self.registry.combine(assessments);
         (flagged, assessments, deg)
+    }
+
+    /// One detector's fault-aware assessment: the bounded retry loop of
+    /// [`WorkflowEngine::assess_resilient`], factored per detector so the
+    /// dedup propagation path can drive non-clone-invariant detectors
+    /// through exactly the same degradation machinery.
+    #[allow(clippy::too_many_arguments)]
+    fn assess_detector_resilient(
+        &self,
+        d: usize,
+        sample: &Sample,
+        idx: usize,
+        run: &FaultRun,
+        content_key: u64,
+        cache: &AnalysisCache,
+        assessments: &mut Vec<Assessment>,
+        deg: &mut CaseDegradation,
+    ) {
+        let inj = run.injector.as_ref();
+        if (idx as u64) > run.quarantine_at[d] {
+            // Quarantined earlier in the run: never called again.
+            deg.lost += 1;
+            return;
+        }
+        let key = site_key(d as u64, idx as u64);
+        let mut produced = false;
+        let mut attempts_made = 0u32;
+        for attempt in 0..=inj.max_retries() {
+            attempts_made = attempt + 1;
+            match inj.attempt(Site::DetectorCall, key, attempt) {
+                None => {
+                    if attempt > 0 {
+                        inj.note_recovered(Site::DetectorCall, attempt);
+                        deg.recovered += 1;
+                    }
+                    match self.registry.try_assess_cached_at(d, sample, cache, content_key) {
+                        Ok(a) => assessments.push(a),
+                        Err(_) => {
+                            // The detector ran but its backend failed
+                            // (ML predict fault, keyed by sample id).
+                            deg.ml_failures += 1;
+                            deg.lost += 1;
+                        }
+                    }
+                    produced = true;
+                    break;
+                }
+                Some(kind) => {
+                    deg.record(kind);
+                    if !kind.is_retryable() {
+                        break;
+                    }
+                }
+            }
+        }
+        deg.retries += u64::from(attempts_made.saturating_sub(1));
+        if !produced {
+            inj.note_exhausted(Site::DetectorCall);
+            deg.exhausted += 1;
+            deg.lost += 1;
+        }
+    }
+
+    /// Assessment + threat-model stages for a clone-class member, reusing
+    /// the representative's work: clone-invariant detectors assess the
+    /// representative (warm in the shared content-addressed cache after
+    /// its own direct pass — no phase ordering required) and their
+    /// findings are remapped onto the member through the token alignment
+    /// (spans via the token-boundary maps, identifiers in function names,
+    /// messages, and evidence via the proven rename). Detectors that are
+    /// not clone-invariant (ML reads raw token text and source length)
+    /// run directly on the member, under the same fault machinery as the
+    /// direct path. The surface classification propagates from the
+    /// representative: it is derived from the call graph, which the clone
+    /// equivalence preserves up to identifier renaming.
+    ///
+    /// Returns `None` when any finding fails to remap — before any
+    /// member-side detector work happens — so the caller can fall back to
+    /// the direct path from a clean slate. At fault rate zero the result
+    /// is byte-identical to direct analysis of the member.
+    #[allow(clippy::too_many_arguments)]
+    fn assess_propagated(
+        &self,
+        sample: &Sample,
+        rep: &Sample,
+        rep_key: u64,
+        alignment: &TokenAlignment,
+        idx: usize,
+        run: Option<&FaultRun>,
+        cache: &AnalysisCache,
+    ) -> Option<(Assessed, CaseDegradation)> {
+        let applicable = self.registry.applicable_indices(sample);
+        // Remap pass first: assess the representative with every
+        // applicable clone-invariant detector and remap the findings. A
+        // failed remap bails out here, before any member-side work.
+        let mut slots: Vec<Option<Assessment>> = Vec::with_capacity(applicable.len());
+        for &d in &applicable {
+            if self.registry.clone_invariant_at(d) {
+                let a = self.registry.assess_cached_keyed_at(d, rep, cache, rep_key);
+                slots.push(Some(remap_assessment(a, alignment)?));
+            } else {
+                slots.push(None);
+            }
+        }
+        let span = self.stage_spans.assess.start();
+        let detect = self.stage_spans.detect.start();
+        let mut deg = CaseDegradation::default();
+        let mut assessments = Vec::with_capacity(applicable.len());
+        let member_key = AnalysisCache::content_key(&sample.source);
+        for (slot, &d) in slots.into_iter().zip(&applicable) {
+            match slot {
+                Some(a) => assessments.push(a),
+                None => match run {
+                    None => assessments
+                        .push(self.registry.assess_cached_keyed_at(d, sample, cache, member_key)),
+                    Some(run) => self.assess_detector_resilient(
+                        d,
+                        sample,
+                        idx,
+                        run,
+                        member_key,
+                        cache,
+                        &mut assessments,
+                        &mut deg,
+                    ),
+                },
+            }
+        }
+        let (flagged, assessments) = self.registry.combine(assessments);
+        detect.stop();
+        let surface_span = self.stage_spans.surface.start();
+        let surface = self.classify_surface(rep, rep_key, cache);
+        surface_span.stop();
+        let mut findings: Vec<Finding> = assessments.into_iter().flat_map(|a| a.findings).collect();
+        findings.sort_by(|a, b| {
+            a.detector
+                .cmp(&b.detector)
+                .then(a.span.cmp(&b.span))
+                .then(a.cwe.id().cmp(&b.cwe.id()))
+                .then(a.message.cmp(&b.message))
+        });
+        span.stop();
+        Some((Assessed { flagged, surface, findings }, deg))
     }
 
     /// Threat-model stage: surface of the sample's unit (most exposed
@@ -1021,11 +1306,12 @@ impl WorkflowEngine {
         sample: &Sample,
         run: Option<&FaultRun>,
         cache: &AnalysisCache,
+        dedup: Option<&DedupPlan>,
     ) -> CaseWork {
         // Stage 1: automated detection (Figure 1, "Vulnerability Detection")
         // + threat modeling / reachability analysis.
         let (Assessed { flagged, surface, findings }, degradation) =
-            self.assess_stage(sample, idx, run, cache);
+            self.assess_stage(sample, idx, run, cache, dedup);
         // Stage 2: manual security review for exposed surfaces.
         let review_span = self.stage_spans.review.start();
         let (reviewed, catch, review_minutes) =
@@ -1109,6 +1395,46 @@ fn manual_review(
     // Deterministic pseudo-random analyst outcome per sample.
     let catch = sample.label && hash_unit(sample.id ^ config.seed) < config.analyst_skill;
     (true, catch, minutes)
+}
+
+/// Remaps an assessment produced on a clone representative onto a member
+/// through the token alignment. `None` when any finding's span endpoint
+/// misses a token boundary — the caller falls back to direct analysis.
+fn remap_assessment(a: Assessment, alignment: &TokenAlignment) -> Option<Assessment> {
+    let mut findings = Vec::with_capacity(a.findings.len());
+    for f in a.findings {
+        findings.push(remap_finding(f, alignment)?);
+    }
+    Some(Assessment { findings, ..a })
+}
+
+/// Remaps one finding: the span through the token-boundary maps, the
+/// function name through the rename, and the message/evidence text
+/// word-by-word (detector messages backtick-quote identifiers, and the
+/// alignment proof requires literals to be equal, so word-level renaming
+/// is exact).
+fn remap_finding(f: Finding, alignment: &TokenAlignment) -> Option<Finding> {
+    let span = alignment.map_span(f.span)?;
+    Some(Finding {
+        cwe: f.cwe,
+        function: alignment.map_name(&f.function).to_string(),
+        span,
+        detector: f.detector,
+        message: alignment.rewrite(&f.message),
+        confidence: f.confidence,
+        evidence: f.evidence.map(|e| Evidence {
+            domain: e.domain,
+            facts: e
+                .facts
+                .into_iter()
+                .map(|fact| EvidenceFact {
+                    var: alignment.map_name(&fact.var).to_string(),
+                    value: alignment.rewrite(&fact.value),
+                })
+                .collect(),
+            claim: alignment.rewrite(&e.claim),
+        }),
+    })
 }
 
 /// Repair stage: auto-fix → AI suggestion → expert.
@@ -1350,6 +1676,75 @@ mod tests {
             .collect();
         samples.extend(copies);
         samples
+    }
+
+    fn dedup_engine(jobs: usize, dedup: bool) -> WorkflowEngine {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        registry.register(Box::new(crate::detector::SemanticDetector::standard()));
+        WorkflowEngine::new(registry, WorkflowConfig { jobs, dedup, ..Default::default() })
+    }
+
+    #[test]
+    fn dedup_reports_are_byte_identical_to_direct_analysis() {
+        let samples = big_corpus();
+        let baseline = serde_json::to_string(&dedup_engine(1, false).process(&samples)).unwrap();
+        for jobs in [1, 4] {
+            let engine = dedup_engine(jobs, true);
+            let report = engine.process(&samples);
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                baseline,
+                "dedup-on must not change the report (jobs={jobs})"
+            );
+            assert!(
+                engine.metrics().counter("clone.propagated").get() > 0,
+                "the duplicate-heavy corpus must actually exercise propagation"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_propagates_alpha_renamed_members_with_remapped_findings() {
+        let mut samples = corpus();
+        let next = samples.iter().map(|s| s.id).max().unwrap_or(0) + 1;
+        let variants: Vec<Sample> = samples
+            .iter()
+            .take(10)
+            .enumerate()
+            .filter_map(|(i, s)| {
+                vulnman_synth::mutate::alpha_rename(&s.source, 40 + i as u32).map(|src| {
+                    let mut v = s.clone();
+                    v.id = next + i as u64;
+                    v.source = src;
+                    v
+                })
+            })
+            .collect();
+        assert!(!variants.is_empty());
+        samples.extend(variants);
+        let direct = serde_json::to_string(&dedup_engine(1, false).process(&samples)).unwrap();
+        let engine = dedup_engine(1, true);
+        let deduped = engine.process(&samples);
+        assert_eq!(serde_json::to_string(&deduped).unwrap(), direct);
+        assert!(engine.metrics().counter("clone.classes").get() > 0);
+        assert!(engine.metrics().counter("clone.propagated").get() > 0);
+    }
+
+    #[test]
+    fn zero_rate_fault_engine_with_dedup_is_byte_identical() {
+        let samples = big_corpus();
+        let baseline = serde_json::to_string(&dedup_engine(1, false).process(&samples)).unwrap();
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        registry.register(Box::new(crate::detector::SemanticDetector::standard()));
+        let config = WorkflowConfig { dedup: true, ..Default::default() };
+        let engine = WorkflowEngine::with_fault_config(
+            registry,
+            config,
+            FaultConfig { rate: 0.0, ..Default::default() },
+        );
+        assert_eq!(serde_json::to_string(&engine.process(&samples)).unwrap(), baseline);
     }
 
     #[test]

@@ -75,11 +75,17 @@ pub enum Site {
     /// One request handled by the `vulnman serve` analysis service (keyed
     /// by request id, so degradation is identical across worker counts).
     ServeRequest,
+    /// One clone-index membership decision in the workflow engine's
+    /// dedup-before-analyze pass (keyed by sample index). A faulted
+    /// decision drops the sample out of its clone class, so the engine
+    /// analyzes it directly — like a faulted cache get, the cost is
+    /// recomputation, never a changed result.
+    CloneIndex,
 }
 
 impl Site {
     /// Every site.
-    pub const ALL: [Site; 7] = [
+    pub const ALL: [Site; 8] = [
         Site::DetectorCall,
         Site::CacheGet,
         Site::CachePut,
@@ -87,6 +93,7 @@ impl Site {
         Site::MlPredict,
         Site::CheckerCall,
         Site::ServeRequest,
+        Site::CloneIndex,
     ];
 
     /// Stable lowercase name (used for metric keys).
@@ -99,6 +106,7 @@ impl Site {
             Site::MlPredict => "ml_predict",
             Site::CheckerCall => "checker_call",
             Site::ServeRequest => "serve_request",
+            Site::CloneIndex => "clone_index",
         }
     }
 
@@ -112,6 +120,7 @@ impl Site {
             Site::MlPredict => 0x05,
             Site::CheckerCall => 0x06,
             Site::ServeRequest => 0x07,
+            Site::CloneIndex => 0x08,
         }
     }
 }

@@ -36,6 +36,7 @@ pub mod absint;
 pub mod ast;
 pub mod cache;
 pub mod cfg;
+pub mod clone;
 pub mod dataflow;
 pub mod error;
 pub mod incremental;
@@ -51,6 +52,7 @@ pub mod token;
 
 pub use ast::{Expr, Function, Program, Stmt, Type};
 pub use cache::{AnalysisCache, CacheFaultHook, CacheOp, CacheStats, Stage, STAGE_TABLE_FANOUT};
+pub use clone::{CloneConfig, CloneIndex, MinHasher, TokenAlignment, UnionFind};
 pub use error::{ParseError, ParseResult};
 pub use incremental::{
     analyze_program_incremental, analyze_program_incremental_in, fingerprint_function,

@@ -1,7 +1,9 @@
-//! Dataset splitting: stratified, k-fold, and group (cross-project) splits.
+//! Dataset splitting: stratified, k-fold, group (cross-project), and
+//! clone-aware splits.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use vulnman_lang::clone::{CloneConfig, CloneIndex};
 use vulnman_synth::dataset::Dataset;
 
 /// A train/test split of a dataset.
@@ -63,6 +65,102 @@ pub fn stratified_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> Spl
 pub fn split_by_project(dataset: &Dataset, test_projects: &[String]) -> Split {
     let (test, train) = dataset.partition(|s| test_projects.contains(&s.project));
     Split { train, test }
+}
+
+/// Groups a dataset into verified near-duplicate clone classes (MinHash/LSH
+/// candidates confirmed by exact Jaccard — see [`vulnman_lang::clone`]).
+/// Every sample appears in exactly one class, singletons included; samples
+/// whose source fails to lex are their own singletons. Classes and their
+/// members are in dataset order, so the grouping is deterministic.
+pub fn clone_classes(dataset: &Dataset, config: &CloneConfig) -> Vec<Vec<usize>> {
+    let sources: Vec<(u64, &str)> =
+        dataset.iter().enumerate().map(|(i, s)| (i as u64, s.source.as_str())).collect();
+    let index = CloneIndex::build(&sources, *config);
+    let mut classes: Vec<Vec<usize>> = index
+        .classes()
+        .into_iter()
+        .map(|class| class.iter().map(|&e| index.entries()[e as usize].id as usize).collect())
+        .collect();
+    // Samples the index skipped (lex failures) become singletons.
+    let indexed: std::collections::HashSet<usize> = classes.iter().flatten().copied().collect();
+    for i in 0..dataset.len() {
+        if !indexed.contains(&i) {
+            classes.push(vec![i]);
+        }
+    }
+    classes.sort_by_key(|c| c[0]);
+    classes
+}
+
+/// Clone-aware train/test split: verified near-duplicate clone classes are
+/// assigned to one side *whole*, so no test sample has a near-clone in
+/// training — the leakage pathway by which duplication inflates reported
+/// accuracy (the paper's "synthetic or duplicated dataset" pathology, at a
+/// scale exact-hash dedup cannot reach). Classes are shuffled
+/// deterministically by `seed` and assigned to the test side until it holds
+/// at least `test_fraction` of the samples.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1`.
+pub fn clone_aware_split(
+    dataset: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+    config: &CloneConfig,
+) -> Split {
+    assert!(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0, 1)");
+    let mut classes = clone_classes(dataset, config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..classes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        classes.swap(i, j);
+    }
+    let target = (dataset.len() as f64 * test_fraction).round() as usize;
+    let samples = dataset.samples();
+    let mut train = Dataset::new();
+    let mut test = Dataset::new();
+    let mut in_test = 0usize;
+    for class in classes {
+        let side_test = in_test < target;
+        for idx in class {
+            if side_test {
+                test.push(samples[idx].clone());
+                in_test += 1;
+            } else {
+                train.push(samples[idx].clone());
+            }
+        }
+    }
+    Split { train, test }
+}
+
+/// Clone-leakage score of a split: the fraction of test samples with at
+/// least one verified near-clone on the training side. `0.0` for a
+/// clone-aware split by construction; grows with the duplication rate for
+/// splits that ignore clone structure. Clone classes are computed over the
+/// union of both sides, so the score is independent of how the split was
+/// produced.
+pub fn leakage_score(split: &Split, config: &CloneConfig) -> f64 {
+    if split.test.is_empty() {
+        return 0.0;
+    }
+    let mut combined = Dataset::new();
+    combined.extend_from(split.train.clone());
+    combined.extend_from(split.test.clone());
+    let n_train = split.train.len();
+    let mut leaked = std::collections::HashSet::new();
+    for class in clone_classes(&combined, config) {
+        let has_train = class.iter().any(|&i| i < n_train);
+        if has_train {
+            for &i in &class {
+                if i >= n_train {
+                    leaked.insert(i);
+                }
+            }
+        }
+    }
+    leaked.len() as f64 / split.test.len() as f64
 }
 
 /// Deterministic k-fold assignment; returns `(train, test)` for `fold`.
@@ -141,6 +239,88 @@ mod tests {
             assert_eq!(s.train.len() + s.test.len(), d.len());
         }
         assert_eq!(seen.len(), d.len());
+    }
+
+    fn duplicated_ds(factor: usize) -> Dataset {
+        DatasetBuilder::new(91)
+            .vulnerable_count(30)
+            .vulnerable_fraction(0.4)
+            .duplication_factor(factor)
+            .build()
+    }
+
+    #[test]
+    fn clone_classes_partition_the_dataset() {
+        let d = duplicated_ds(3);
+        let classes = clone_classes(&d, &CloneConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            for &i in class {
+                assert!(seen.insert(i), "sample {i} in two classes");
+            }
+        }
+        assert_eq!(seen.len(), d.len());
+        assert!(
+            classes.iter().any(|c| c.len() > 1),
+            "duplicated dataset must produce multi-member classes"
+        );
+    }
+
+    #[test]
+    fn clone_aware_split_has_zero_cross_split_pairs() {
+        let d = duplicated_ds(3);
+        let config = CloneConfig::default();
+        let s = clone_aware_split(&d, 0.3, 7, &config);
+        assert_eq!(s.train.len() + s.test.len(), d.len());
+        assert!(!s.test.is_empty() && !s.train.is_empty());
+        assert_eq!(leakage_score(&s, &config), 0.0, "clone classes stay on one side");
+    }
+
+    #[test]
+    fn leakage_is_monotone_in_duplication_rate() {
+        let config = CloneConfig::default();
+        let scores: Vec<f64> = [1, 2, 4]
+            .into_iter()
+            .map(|factor| {
+                let d = duplicated_ds(factor);
+                leakage_score(&stratified_split(&d, 0.3, 5), &config)
+            })
+            .collect();
+        assert!(
+            scores.windows(2).all(|w| w[0] <= w[1]),
+            "leakage must grow with duplication: {scores:?}"
+        );
+        assert!(scores[2] > scores[0] + 0.1, "duplication must move the score: {scores:?}");
+    }
+
+    #[test]
+    fn clone_leakage_inflates_reported_accuracy() {
+        // The paper's duplication pathology, reproduced end-to-end: the
+        // same model family evaluated on a clone-oblivious split reports
+        // higher accuracy than on a clone-aware split of the same data,
+        // because test near-clones of training samples are easy marks.
+        let d = duplicated_ds(4);
+        let config = CloneConfig::default();
+        let leaky = stratified_split(&d, 0.3, 5);
+        let clean = clone_aware_split(&d, 0.3, 5, &config);
+        assert!(leakage_score(&leaky, &config) > 0.2);
+        // The clone/similarity family (normalized-token k-NN) is the
+        // memorization-prone archetype: a test sample whose near-clone
+        // sits in training gets its label copied outright.
+        let accuracy = |split: &Split| {
+            let mut model = crate::pipeline::model_zoo(11)
+                .into_iter()
+                .find(|m| m.name() == "clone-knn")
+                .expect("zoo has the clone-knn model");
+            model.train(&split.train);
+            model.evaluate(&split.test).accuracy()
+        };
+        let inflated = accuracy(&leaky);
+        let honest = accuracy(&clean);
+        assert!(
+            inflated > honest,
+            "leaky split must report inflated accuracy: leaky {inflated:.3} vs clean {honest:.3}"
+        );
     }
 
     #[test]

@@ -21,12 +21,15 @@ pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// * `"lint"` — semantic checkers only.
 /// * `"oracle"` — differential-oracle classification of `source` against
 ///   the optional recorded `label`/`cwe`; returns disagreements.
+/// * `"clones"` — registers `source` in the server's shared MinHash/LSH
+///   clone index and returns the ids of previously registered sources that
+///   are verified near-clones of it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Client-chosen id echoed in the response (and used as the fault-plan
     /// key, so injected degradation is deterministic per request).
     pub id: u64,
-    /// Operation: `analyze`, `lint`, or `oracle`.
+    /// Operation: `analyze`, `lint`, `oracle`, or `clones`.
     pub kind: String,
     /// Mini-C translation unit to analyze.
     pub source: String,
@@ -49,6 +52,8 @@ pub struct Response {
     pub findings: Option<Vec<Finding>>,
     /// Oracle disagreements (oracle).
     pub disagreements: Option<Vec<Disagreement>>,
+    /// Ids of previously registered verified near-clones (clones).
+    pub clones: Option<Vec<u64>>,
 }
 
 impl Response {
@@ -60,6 +65,7 @@ impl Response {
             error: None,
             findings: Some(findings),
             disagreements: None,
+            clones: None,
         }
     }
 
@@ -71,6 +77,19 @@ impl Response {
             error: None,
             findings: None,
             disagreements: Some(disagreements),
+            clones: None,
+        }
+    }
+
+    /// Successful clones response.
+    pub fn ok_clones(id: u64, clones: Vec<u64>) -> Self {
+        Response {
+            id,
+            status: "ok".into(),
+            error: None,
+            findings: None,
+            disagreements: None,
+            clones: Some(clones),
         }
     }
 
@@ -82,6 +101,7 @@ impl Response {
             error: Some(message),
             findings: None,
             disagreements: None,
+            clones: None,
         }
     }
 
@@ -93,6 +113,7 @@ impl Response {
             error: Some("server overloaded: request shed by admission control".into()),
             findings: None,
             disagreements: None,
+            clones: None,
         }
     }
 
@@ -105,6 +126,7 @@ impl Response {
             error: Some("request degraded: fault budget exhausted".into()),
             findings: None,
             disagreements: None,
+            clones: None,
         }
     }
 
@@ -128,7 +150,7 @@ pub enum RequestError {
     BadUtf8,
     /// The line was not a valid JSON request object.
     BadJson(String),
-    /// The request's `kind` is not `analyze`, `lint`, or `oracle`.
+    /// The request's `kind` is not `analyze`, `lint`, `oracle`, or `clones`.
     UnknownKind(String),
 }
 
@@ -152,7 +174,7 @@ impl RequestError {
             RequestError::BadUtf8 => "request rejected: line is not valid UTF-8".into(),
             RequestError::BadJson(detail) => format!("request rejected: invalid JSON: {detail}"),
             RequestError::UnknownKind(kind) => format!(
-                "request rejected: unknown kind {kind:?} (expected analyze, lint, or oracle)"
+                "request rejected: unknown kind {kind:?} (expected analyze, lint, oracle, or clones)"
             ),
         }
     }
@@ -242,7 +264,7 @@ pub fn parse_request(line: &[u8]) -> Result<Request, RequestError> {
     let req: Request =
         serde_json::from_str(text.trim()).map_err(|e| RequestError::BadJson(e.to_string()))?;
     match req.kind.as_str() {
-        "analyze" | "lint" | "oracle" => Ok(req),
+        "analyze" | "lint" | "oracle" | "clones" => Ok(req),
         other => Err(RequestError::UnknownKind(other.to_string())),
     }
 }

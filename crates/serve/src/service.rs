@@ -14,6 +14,7 @@ use std::sync::Mutex;
 use vulnman_analysis::{DifferentialOracle, OracleConfig, RuleEngine, SemanticEngine};
 use vulnman_core::DegradationSummary;
 use vulnman_faults::{site_key, FaultConfig, FaultKind, FaultPlan, Site};
+use vulnman_lang::clone::{CloneConfig, CloneIndex};
 use vulnman_lang::AnalysisCache;
 use vulnman_obs::Registry;
 use vulnman_synth::{Cwe, Sample, Tier};
@@ -47,6 +48,7 @@ pub struct ServiceCore {
     semantics: SemanticEngine,
     oracle: DifferentialOracle,
     cache: AnalysisCache,
+    clone_index: Mutex<CloneIndex>,
     plan: FaultPlan,
     max_retries: u32,
 }
@@ -62,6 +64,9 @@ impl ServiceCore {
             semantics: SemanticEngine::new(),
             oracle: DifferentialOracle::with_metrics(OracleConfig::default(), metrics),
             cache: AnalysisCache::with_metrics(metrics).with_entry_limit(SERVE_CACHE_ENTRY_LIMIT),
+            clone_index: Mutex::new(
+                CloneIndex::new(CloneConfig::default()).with_entry_limit(SERVE_CACHE_ENTRY_LIMIT),
+            ),
             plan: FaultPlan::new(fault),
             max_retries: fault.max_retries,
         }
@@ -90,6 +95,7 @@ impl ServiceCore {
             "analyze" => self.analyze(req),
             "lint" => self.lint(req),
             "oracle" => self.oracle(req),
+            "clones" => self.clones(req),
             other => Response::error(req.id, format!("unknown kind {other:?}")),
         }
     }
@@ -185,6 +191,28 @@ impl ServiceCore {
         };
         Response::ok_disagreements(req.id, self.oracle.classify_sample(&sample))
     }
+
+    /// Registers `source` in the shared clone index and returns the ids of
+    /// previously registered sources that are verified near-clones.
+    ///
+    /// Query-before-insert: the response covers everything registered before
+    /// this request, so for a fixed registration order it is deterministic.
+    /// Like the analysis cache, the index is bounded (epoch eviction at
+    /// [`SERVE_CACHE_ENTRY_LIMIT`] entries), so a long-lived server holds
+    /// memory flat; a flush only forgets *old* registrations, it never
+    /// corrupts a response.
+    fn clones(&self, req: &Request) -> Response {
+        let mut index = self.clone_index.lock().unwrap_or_else(|e| e.into_inner());
+        let mut matches = match index.query(&req.source) {
+            Ok(ids) => ids,
+            Err(e) => return Response::error(req.id, format!("parse error: {e}")),
+        };
+        matches.sort_unstable();
+        if index.insert(req.id, &req.source).is_err() {
+            unreachable!("query already lexed the source");
+        }
+        Response::ok_clones(req.id, matches)
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +273,36 @@ mod tests {
         r.cwe = Some("NotACwe".into());
         let resp = core.handle(&r, &ledger);
         assert_eq!(resp.status, "error");
+    }
+
+    #[test]
+    fn clones_requests_build_a_cross_request_clone_index() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        // First registration has no earlier near-clones.
+        let first = core.handle(&req(10, "clones", VULN), &ledger);
+        assert_eq!(first.status, "ok");
+        assert_eq!(first.clones, Some(vec![]));
+        // An alpha-renamed near-clone matches the earlier registration.
+        let renamed = r#"void f() { char* uid = http_param("id"); exec_query(uid); }"#;
+        let second = core.handle(&req(11, "clones", renamed), &ledger);
+        assert_eq!(second.clones, Some(vec![10]));
+        // An unrelated source matches nothing.
+        let other =
+            core.handle(&req(12, "clones", "int add(int a, int b) { return a + b; }"), &ledger);
+        assert_eq!(other.clones, Some(vec![]));
+        // A third clone sees both earlier members, in id order.
+        let third = core.handle(&req(13, "clones", VULN), &ledger);
+        assert_eq!(third.clones, Some(vec![10, 11]));
+    }
+
+    #[test]
+    fn clones_request_rejects_unlexable_source() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let resp = core.handle(&req(14, "clones", "int x = \x01;"), &ledger);
+        assert_eq!(resp.status, "error");
+        assert!(resp.error.unwrap().contains("parse error"));
     }
 
     #[test]

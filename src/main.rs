@@ -9,13 +9,16 @@
 //! vulnman gen [--seed N] [--count N] [--fraction F] [--out <dir>]
 //!                                                            generate a labeled corpus
 //! vulnman workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
-//!                  [--fault-seed N] [--fault-rate F] [--max-retries N]
-//!                  [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
+//!                  [--dedup] [--fault-seed N] [--fault-rate F] [--max-retries N]
+//!                  [--report-out FILE] [--metrics-out FILE] [--metrics-prom FILE]
+//!                  [--metrics-summary]
 //!                                                            run the Figure-1 pipeline
 //! vulnman oracle [--seed N] [--count N] [--fraction F] [--noise F] [--jobs N]
-//!                [--report-out FILE] [--baseline FILE] [--write-baseline FILE]
+//!                [--clones] [--report-out FILE] [--baseline FILE] [--write-baseline FILE]
 //!                [--shrink-golden DIR] [--max-shrunk N]
 //!                                                            differential disagreement triage
+//! vulnman clones <file>... [--threshold F] [--shingle-k N] [--jobs N]
+//!                                                            group files into near-clone classes
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
 //! vulnman serve [--addr H:P] [--workers N] [--queue N] [--max-request-bytes N]
 //!               [--fault-rate F] [--fault-seed N] [--max-retries N]
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "workflow" => cmd_workflow(rest),
         "oracle" => cmd_oracle(rest),
+        "clones" => cmd_clones(rest),
         "sft" => cmd_sft(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
@@ -62,7 +66,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|sft|serve|help> [options]
+    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|clones|sft|serve|help> [options]
   scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
   lint <file>...                                 run only the semantic (abstract-
                                                  interpretation) checkers; print evidence
@@ -71,19 +75,26 @@ const USAGE: &str =
   exec <file>                                    run under the sanitizer interpreter
   gen [--seed N] [--count N] [--fraction F] [--out DIR]
   workflow [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+           [--dedup]                analyze one representative per near-clone
+                                    class and propagate findings to members
            [--fault-rate F]         inject seeded faults at this rate (chaos mode)
            [--fault-seed N]         fault-plan seed (default 0; independent of --seed)
            [--max-retries N]        retry budget per faulted call (default 3)
+           [--report-out FILE]      write the full workflow report as JSON
            [--metrics-out FILE]     dump the metrics snapshot as JSON
            [--metrics-prom FILE]    dump Prometheus text exposition
            [--metrics-summary]      print the per-stage timing table
   oracle [--seed N] [--count N] [--fraction F] [--noise F] [--jobs N] [--no-cache]
+           [--clones]               add the corpus-level clone-consistency view
            [--report-out FILE]      write the full disagreement report as JSON
            [--baseline FILE]        fail if analyzer-defect count exceeds this baseline
            [--write-baseline FILE]  record the current analyzer-defect count
            [--shrink-golden DIR]    shrink disagreements into a golden reproducer corpus
            [--max-shrunk N]         cap golden reproducers written (default 12)
            [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
+  clones <file>... [--threshold F] [--shingle-k N] [--jobs N]
+                                                 group mini-C files into verified
+                                                 near-clone classes (MinHash/LSH)
   sft [--seed N] [--count N]
   serve [--addr H:P]         listen address (default 127.0.0.1:7433; port 0 = ephemeral)
            [--workers N]            worker threads executing requests (default 4)
@@ -91,7 +102,7 @@ const USAGE: &str =
            [--max-request-bytes N]  per-line/body byte cap (default 1 MiB)
            [--fault-rate F] [--fault-seed N] [--max-retries N]
                                     inject seeded faults per request (chaos mode)
-        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle,\"source\",...}
+        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle|clones,\"source\",...}
         or a single HTTP POST with the same JSON body";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -352,12 +363,18 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
         DatasetBuilder::new(seed).vulnerable_count(count).vulnerable_fraction(fraction).build();
     let mut registry = DetectorRegistry::new();
     registry.register(Box::new(RuleBasedDetector::standard()));
-    let config =
-        WorkflowConfig { jobs, cache: !flag_present(args, "--no-cache"), ..Default::default() };
+    let dedup = flag_present(args, "--dedup");
+    let config = WorkflowConfig {
+        jobs,
+        cache: !flag_present(args, "--no-cache"),
+        dedup,
+        ..Default::default()
+    };
     let fault_rate: f64 = parse_num(args, "--fault-rate", 0.0)?;
     if !(0.0..=1.0).contains(&fault_rate) {
         return Err("--fault-rate must be between 0 and 1".into());
     }
+    let metrics = Registry::new();
     let engine = if fault_rate > 0.0 {
         let fault_config = FaultConfig {
             seed: parse_num(args, "--fault-seed", 0)?,
@@ -365,9 +382,9 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
             max_retries: parse_num(args, "--max-retries", 3)?,
             ..Default::default()
         };
-        WorkflowEngine::with_fault_config(registry, config, fault_config)
+        WorkflowEngine::with_fault_metrics(registry, config, fault_config, metrics.clone())
     } else {
-        WorkflowEngine::new(registry, config)
+        WorkflowEngine::with_metrics(registry, config, metrics.clone())
     };
     let report = engine.process(ds.samples());
     let m = report.detection_metrics();
@@ -399,6 +416,21 @@ fn cmd_workflow(args: &[String]) -> Result<(), String> {
         stats.misses,
         stats.hit_rate() * 100.0
     );
+    if dedup {
+        println!(
+            "clone dedup: {} multi-member class(es), {} duplicate(s), \
+             {} assessment(s) propagated from representatives",
+            metrics.counter("clone.classes").get(),
+            metrics.counter("clone.duplicates").get(),
+            metrics.counter("clone.propagated").get()
+        );
+    }
+    if let Some(path) = flag_value(args, "--report-out") {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("report written to {path}");
+    }
     if let Some(fc) = engine.fault_config() {
         let deg = &report.degradation;
         let injected = deg.transient + deg.timeout + deg.corrupt + deg.crash;
@@ -451,8 +483,19 @@ fn cmd_oracle(args: &[String]) -> Result<(), String> {
     let metrics = Registry::new();
     let config = OracleConfig { jobs, cache: !flag_present(args, "--no-cache") };
     let oracle = DifferentialOracle::with_metrics(config, &metrics);
-    let report = oracle.run(ds.samples());
+    let report = if flag_present(args, "--clones") {
+        oracle.run_with_clones(ds.samples())
+    } else {
+        oracle.run(ds.samples())
+    };
     print!("{}", report.summary_table());
+    if flag_present(args, "--clones") {
+        println!(
+            "  clone consistency: {} inconsistenc{} across verified clone classes",
+            report.taxonomy.clone_inconsistency,
+            if report.taxonomy.clone_inconsistency == 1 { "y" } else { "ies" }
+        );
+    }
     // Label-noise provenance cross-check: every noise-corrupted sample must
     // surface as a label-noise artifact (the dataset knows which labels it
     // flipped; the oracle must rediscover all of them from the outside).
@@ -605,6 +648,93 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// `vulnman clones` — groups mini-C files into verified near-clone classes
+/// using the MinHash/LSH index (token shingles with normalized identifiers,
+/// banded LSH candidates, exact-Jaccard verification). Singleton files are
+/// listed once at the end; exit status is success either way, since clone
+/// structure is information, not a defect.
+fn cmd_clones(args: &[String]) -> Result<(), String> {
+    use vulnman::lang::clone::{CloneConfig, CloneIndex};
+
+    // Positional file arguments, skipping each value-taking flag's value so
+    // `clones a.c b.c --threshold 0.7` does not treat `0.7` as a path.
+    let value_flags = ["--threshold", "--shingle-k", "--jobs"];
+    let mut files: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if value_flags.contains(&a.as_str()) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("missing <file> argument\n{USAGE}"));
+    }
+    let threshold: f64 = parse_num(args, "--threshold", CloneConfig::default().threshold)?;
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err("--threshold must be between 0 and 1".into());
+    }
+    let shingle_k: usize = parse_num(args, "--shingle-k", CloneConfig::default().shingle_k)?;
+    if shingle_k == 0 {
+        return Err("--shingle-k must be at least 1".into());
+    }
+    let jobs: usize = parse_num(args, "--jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let config = CloneConfig { threshold, shingle_k, jobs, ..Default::default() };
+
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        sources.push(source);
+    }
+    let entries: Vec<(u64, &str)> =
+        sources.iter().enumerate().map(|(i, s)| (i as u64, s.as_str())).collect();
+    let index = CloneIndex::build(&entries, config);
+    // Files the index skipped failed to lex; report them explicitly rather
+    // than silently listing them as singletons.
+    let indexed: std::collections::HashSet<u64> = index.entries().iter().map(|e| e.id).collect();
+    let mut classes: Vec<Vec<usize>> = index
+        .classes()
+        .into_iter()
+        .map(|c| c.iter().map(|&e| index.entries()[e as usize].id as usize).collect())
+        .collect();
+    classes.sort_by_key(|c| c[0]);
+
+    let multi: Vec<&Vec<usize>> = classes.iter().filter(|c| c.len() > 1).collect();
+    let duplicates: usize = multi.iter().map(|c| c.len() - 1).sum();
+    println!(
+        "{} file(s): {} clone class(es), {} near-duplicate(s) (threshold {:.2})",
+        files.len(),
+        multi.len(),
+        duplicates,
+        threshold
+    );
+    for (n, class) in multi.iter().enumerate() {
+        println!("class {}:", n + 1);
+        for &i in class.iter() {
+            println!("  {}", files[i]);
+        }
+    }
+    let singletons: Vec<&&String> =
+        classes.iter().filter(|c| c.len() == 1).map(|c| &files[c[0]]).collect();
+    if !singletons.is_empty() {
+        println!("unique:");
+        for path in singletons {
+            println!("  {path}");
+        }
+    }
+    for (i, path) in files.iter().enumerate() {
+        if !indexed.contains(&(i as u64)) {
+            println!("skipped (does not lex): {path}");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_sft(args: &[String]) -> Result<(), String> {

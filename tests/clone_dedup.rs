@@ -1,0 +1,115 @@
+//! Clone-aware dedup under memory pressure: epoch eviction in the
+//! analysis cache and entry bounds on the clone index change *cost*,
+//! never a byte of any report.
+//!
+//! Dedup propagation reads the representative's assessment through the
+//! content-addressed cache (`rep_key`). When the cache is entry-bounded,
+//! epoch eviction can flush that entry between the plan and the member's
+//! propagation — the engine must transparently recompute from the pinned
+//! representative sample, not resurrect stale state or fall over. The
+//! long-run test drives many batches through one bounded engine, the way
+//! the serve loop does, and checks both byte-stability and that the
+//! bound actually held (evictions fired; tables never exceeded it).
+
+use vulnman::lang::clone::{CloneConfig, CloneIndex};
+use vulnman::prelude::*;
+use vulnman::synth::mutate::alpha_rename;
+
+/// A corpus where most samples are alpha-renamed near-clones — the shape
+/// dedup exists for, and the worst case for cache pressure (every variant
+/// has a distinct content key).
+fn duplicate_heavy(seed: u64, base_n: usize, variants: u32) -> Dataset {
+    let base = DatasetBuilder::new(seed).vulnerable_count(base_n).vulnerable_fraction(0.4).build();
+    let mut ds = Dataset::new();
+    let mut next_id = base.samples().iter().map(|s| s.id).max().unwrap_or(0) + 1;
+    for s in base.samples() {
+        ds.push(s.clone());
+        for salt in 1..=variants {
+            if let Some(renamed) = alpha_rename(&s.source, salt) {
+                let mut dup = s.clone();
+                dup.id = next_id;
+                dup.source = renamed;
+                dup.duplicate_of = Some(s.id);
+                next_id += 1;
+                ds.push(dup);
+            }
+        }
+    }
+    ds
+}
+
+fn engine(dedup: bool, cache_entries: Option<usize>, metrics: &Registry) -> WorkflowEngine {
+    let mut registry = DetectorRegistry::new();
+    registry.register(Box::new(RuleBasedDetector::standard()));
+    registry.register(Box::new(SemanticDetector::standard()));
+    let config = WorkflowConfig { dedup, cache_entries, ..Default::default() };
+    WorkflowEngine::with_metrics(registry, config, metrics.clone())
+}
+
+#[test]
+fn dedup_report_survives_epoch_eviction() {
+    let ds = duplicate_heavy(0xE71C, 5, 2);
+    let json = |dedup: bool, cache_entries: Option<usize>| {
+        let metrics = Registry::new();
+        let report = engine(dedup, cache_entries, &metrics).process(ds.samples());
+        (serde_json::to_string(&report).expect("report serializes"), metrics)
+    };
+    let (baseline, _) = json(false, None);
+    let (unbounded, unbounded_metrics) = json(true, None);
+    // An entry limit of 1 flushes a table on effectively every insert —
+    // the representative's cached assessment is gone by the time any
+    // member propagates from it.
+    let (starved, starved_metrics) = json(true, Some(1));
+    assert_eq!(baseline, unbounded, "dedup changed the report");
+    assert_eq!(baseline, starved, "epoch eviction changed the dedup report");
+    // The scenario was real: members propagated, and the starved cache
+    // actually evicted while the unbounded one never did.
+    assert!(unbounded_metrics.counter("clone.propagated").get() > 0);
+    assert!(starved_metrics.counter("clone.propagated").get() > 0);
+    assert_eq!(unbounded_metrics.counter("cache.evictions").get(), 0);
+    assert!(starved_metrics.counter("cache.evictions").get() > 0);
+}
+
+#[test]
+fn bounded_engine_is_byte_stable_over_many_batches() {
+    let ds = duplicate_heavy(0x10F6, 4, 2);
+    let metrics = Registry::new();
+    // Small but non-degenerate bound: enough room to get real hits inside
+    // a batch, small enough that 20 batches force many epoch flushes.
+    let engine = engine(true, Some(8), &metrics);
+    let first = serde_json::to_string(&engine.process(ds.samples())).expect("serializes");
+    for batch in 1..20 {
+        let again = serde_json::to_string(&engine.process(ds.samples())).expect("serializes");
+        assert_eq!(first, again, "bounded engine drifted at batch {batch}");
+    }
+    assert!(metrics.counter("cache.evictions").get() > 0, "the bound never engaged");
+    assert!(metrics.counter("clone.propagated").get() > 0, "dedup never engaged");
+}
+
+#[test]
+fn clone_index_long_run_stays_bounded() {
+    let base = duplicate_heavy(0xB0B, 3, 1);
+    let mut index = CloneIndex::new(CloneConfig::default()).with_entry_limit(32);
+    let mut inserted = 0u64;
+    for round in 0..40u32 {
+        for s in base.samples() {
+            // Distinct salts per round: every insert is novel content, so
+            // an unbounded index would grow without bound.
+            let src = alpha_rename(&s.source, 100 + round).unwrap_or_else(|| s.source.clone());
+            let matches = index.query(&src).expect("generated source lexes");
+            // Query sees only currently-resident entries.
+            assert!(matches.len() <= index.len());
+            index.insert(inserted, &src).expect("generated source lexes");
+            inserted += 1;
+            assert!(index.len() <= 32, "entry limit exceeded: {} entries", index.len());
+        }
+    }
+    assert!(index.evictions() > 0, "the entry bound never engaged");
+    // The index still functions after heavy eviction churn: a fresh
+    // duplicate of a resident entry is found.
+    let survivor = index.entries().last().expect("index is non-empty").id;
+    let sample = &base.samples()[survivor as usize % base.len()];
+    let salt = 100 + (survivor / base.len() as u64) as u32;
+    let survivor_src = alpha_rename(&sample.source, salt).unwrap_or_else(|| sample.source.clone());
+    assert!(index.query(&survivor_src).expect("lexes").contains(&survivor));
+}

@@ -18,6 +18,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vulnman::analysis::detectors::RuleEngine;
+use vulnman::lang::clone::{CloneConfig, CloneIndex};
 use vulnman::prelude::*;
 use vulnman::synth::generator::SampleGenerator;
 use vulnman::synth::mutate::{alpha_rename, insert_comments, insert_dead_statements};
@@ -88,6 +89,106 @@ fn dead_statement_insertion_preserves_verdicts() {
         let mut rng = StdRng::seed_from_u64(8800 + i);
         insert_dead_statements(src, &mut rng).expect("transform parses")
     });
+}
+
+/// The clone index must see through exactly the disguises the metamorphic
+/// transforms apply: an alpha-renamed, comment-padded, or dead-statement-
+/// padded copy lands in the same clone class as its original. Shingles
+/// normalize identifiers and comments never reach the token stream, so
+/// the first two transforms leave the shingle set bit-identical and must
+/// survive the default configuration. Dead-statement insertion is a real
+/// Type-3 edit whose relative weight grows as the unit shrinks — on the
+/// deliberately tiny generated units one inert declaration costs up to
+/// ~45% of the shingle set — so that transform is checked under the
+/// small-unit calibration (lower verify threshold, steeper-recall LSH
+/// bands) that DESIGN.md derives for near-miss clones.
+#[test]
+fn semantics_preserving_transforms_stay_in_the_clone_class() {
+    type Transform = Box<dyn Fn(&str, u64) -> String>;
+    let small_unit = CloneConfig { threshold: 0.45, bands: 32, rows: 2, ..CloneConfig::default() };
+    let transforms: [(&str, CloneConfig, Transform); 3] = [
+        (
+            "alpha-rename",
+            CloneConfig::default(),
+            Box::new(|src: &str, i: u64| alpha_rename(src, 41 + i as u32).unwrap()),
+        ),
+        (
+            "comment-insertion",
+            CloneConfig::default(),
+            Box::new(|src: &str, i: u64| {
+                let mut rng = StdRng::seed_from_u64(5100 + i);
+                insert_comments(src, &mut rng)
+            }),
+        ),
+        (
+            "dead-statement-insertion",
+            small_unit,
+            Box::new(|src: &str, i: u64| {
+                let mut rng = StdRng::seed_from_u64(5200 + i);
+                insert_dead_statements(src, &mut rng).unwrap()
+            }),
+        ),
+    ];
+    for (name, config, transform) in &transforms {
+        for cwe in [Cwe::SqlInjection, Cwe::UseAfterFree, Cwe::OutOfBoundsWrite, Cwe::PathTraversal]
+        {
+            let originals: Vec<String> = family_samples(cwe).into_iter().take(12).collect();
+            // Interleave original / mutated: entries 2i and 2i+1.
+            let corpus: Vec<String> = originals
+                .iter()
+                .enumerate()
+                .flat_map(|(i, src)| [src.clone(), transform(src, i as u64)])
+                .collect();
+            let entries: Vec<(u64, &str)> =
+                corpus.iter().enumerate().map(|(i, s)| (i as u64, s.as_str())).collect();
+            let index = CloneIndex::build(&entries, *config);
+            let classes = index.classes();
+            for i in 0..originals.len() as u32 {
+                let (orig, mutated) = (2 * i, 2 * i + 1);
+                assert!(
+                    classes.iter().any(|c| c.contains(&orig) && c.contains(&mutated)),
+                    "{name} pushed {cwe} sample {i} out of its clone class:\n{}",
+                    corpus[mutated as usize]
+                );
+            }
+        }
+    }
+}
+
+/// Clone-aware dedup is an optimization, not a semantic change: a
+/// duplicate-heavy corpus (alpha-renamed copies, the clones exact hashing
+/// cannot fold) must produce a byte-identical report with dedup on or off,
+/// sequentially or sharded.
+#[test]
+fn dedup_report_byte_identical_across_jobs() {
+    let base = DatasetBuilder::new(0x5EED).vulnerable_count(6).vulnerable_fraction(0.4).build();
+    let mut ds = Dataset::new();
+    let mut next_id = base.samples().iter().map(|s| s.id).max().unwrap_or(0) + 1;
+    for s in base.samples() {
+        ds.push(s.clone());
+        for salt in 1..=2u32 {
+            if let Some(renamed) = alpha_rename(&s.source, salt) {
+                let mut dup = s.clone();
+                dup.id = next_id;
+                dup.source = renamed;
+                dup.duplicate_of = Some(s.id);
+                next_id += 1;
+                ds.push(dup);
+            }
+        }
+    }
+    let run = |jobs: usize, dedup: bool| {
+        let mut registry = DetectorRegistry::new();
+        registry.register(Box::new(RuleBasedDetector::standard()));
+        registry.register(Box::new(SemanticDetector::standard()));
+        let config = WorkflowConfig { jobs, dedup, ..Default::default() };
+        let report = WorkflowEngine::new(registry, config).process(ds.samples());
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    let baseline = run(1, false);
+    for jobs in [1usize, 4] {
+        assert_eq!(baseline, run(jobs, true), "dedup changed report bytes at jobs={jobs}");
+    }
 }
 
 #[test]

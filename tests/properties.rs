@@ -3,6 +3,9 @@
 
 use proptest::prelude::*;
 use vulnman::core::anonymize::{identifier_leakage, Anonymizer, Strength};
+use vulnman::lang::clone::{
+    estimated_jaccard, exact_jaccard, CloneConfig, CloneIndex, MinHasher, UnionFind,
+};
 use vulnman::lang::interp::{run_program, InterpConfig};
 use vulnman::ml::eval::{roc_auc, Metrics};
 use vulnman::prelude::*;
@@ -236,6 +239,120 @@ proptest! {
             scan.stats.widenings,
             budget
         );
+    }
+
+    /// MinHash positional agreement is an unbiased Jaccard estimator with
+    /// standard error `sqrt(J(1-J)/width)`: at width 256 the estimate must
+    /// land within 0.2 (> 6 sigma) of the exact similarity for any pair of
+    /// sets with arbitrary size and overlap.
+    #[test]
+    fn minhash_estimate_tracks_exact_jaccard(
+        seed in any::<u64>(),
+        shared in 0usize..200,
+        a_extra in 0usize..200,
+        b_extra in 0usize..200,
+    ) {
+        // Controlled overlap: `shared` common elements, then disjoint
+        // tails. Element values are arbitrary (the hasher mixes them).
+        let salt = seed | 1;
+        let elem = |i: usize| (i as u64).wrapping_mul(salt);
+        let a: Vec<u64> = (0..shared + a_extra).map(elem).collect();
+        let b: Vec<u64> =
+            (0..shared).chain(shared + a_extra..shared + a_extra + b_extra).map(elem).collect();
+        let (mut a, mut b) = (a, b);
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        let exact = exact_jaccard(&a, &b);
+        let hasher = MinHasher::new(seed, 256);
+        let est = estimated_jaccard(&hasher.signature(&a), &hasher.signature(&b));
+        prop_assert!((0.0..=1.0).contains(&est));
+        prop_assert!(
+            (est - exact).abs() <= 0.2,
+            "estimate {est} strayed from exact {exact} (shared={shared}, extras={a_extra}/{b_extra})"
+        );
+    }
+
+    /// MinHash signatures are a pure function of `(seed, width, set)`:
+    /// rebuilding the hasher changes nothing, input order changes nothing,
+    /// and a different seed yields a different hash family.
+    #[test]
+    fn minhash_signature_deterministic_and_order_invariant(
+        seed in any::<u64>(),
+        elems in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let sig = MinHasher::new(seed, 64).signature(&elems);
+        prop_assert_eq!(&sig, &MinHasher::new(seed, 64).signature(&elems));
+        let mut reversed = elems.clone();
+        reversed.reverse();
+        prop_assert_eq!(&sig, &MinHasher::new(seed, 64).signature(&reversed));
+        // A distinct seed derives a distinct family; 64 independent
+        // min-collisions at once is astronomically unlikely.
+        prop_assert_ne!(&sig, &MinHasher::new(seed ^ 0xDEAD_BEEF, 64).signature(&elems));
+    }
+
+    /// Union-find invariants under arbitrary union sequences: `find` is
+    /// idempotent, unioned elements land in one class, and `classes()` is
+    /// a partition — every element in exactly one sorted class.
+    #[test]
+    fn union_find_partitions_under_arbitrary_unions(
+        n in 1usize..60,
+        unions in prop::collection::vec((any::<u16>(), any::<u16>()), 0..80),
+    ) {
+        let mut uf = UnionFind::new(n);
+        let pairs: Vec<(usize, usize)> =
+            unions.iter().map(|&(a, b)| (a as usize % n, b as usize % n)).collect();
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+            prop_assert!(uf.same(a, b));
+        }
+        for x in 0..n {
+            let root = uf.find(x);
+            prop_assert_eq!(root, uf.find(root), "find must be idempotent");
+        }
+        // Unions persist: recheck the full history after all merges.
+        for &(a, b) in &pairs {
+            prop_assert!(uf.same(a, b));
+        }
+        let classes = uf.classes();
+        let mut seen = vec![false; n];
+        for class in &classes {
+            prop_assert!(!class.is_empty());
+            prop_assert!(class.windows(2).all(|w| w[0] < w[1]), "classes are sorted");
+            for &m in class {
+                prop_assert!(!seen[m], "element {} appears in two classes", m);
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every element belongs to a class");
+    }
+
+    /// The clone index is byte-deterministic at any worker count: entries,
+    /// signatures, and classes agree between sequential and sharded builds
+    /// on arbitrary generated corpora.
+    #[test]
+    fn clone_index_identical_across_jobs(seed in any::<u64>(), dup in 1usize..4) {
+        let ds = DatasetBuilder::new(seed)
+            .vulnerable_count(4)
+            .vulnerable_fraction(0.5)
+            .duplication_factor(dup)
+            .build();
+        let sources: Vec<(u64, &str)> =
+            ds.samples().iter().map(|s| (s.id, s.source.as_str())).collect();
+        let a = CloneIndex::build(&sources, CloneConfig { jobs: 1, ..CloneConfig::default() });
+        let b = CloneIndex::build(&sources, CloneConfig { jobs: 4, ..CloneConfig::default() });
+        prop_assert_eq!(a.len(), b.len());
+        for (ea, eb) in a.entries().iter().zip(b.entries()) {
+            prop_assert_eq!(ea.id, eb.id);
+            prop_assert_eq!(&ea.shingles, &eb.shingles);
+            prop_assert_eq!(&ea.signature, &eb.signature);
+        }
+        prop_assert_eq!(a.classes(), b.classes());
+        // Exact duplicates always verify into one class.
+        if dup > 1 {
+            prop_assert!(a.classes().iter().any(|c| c.len() >= dup));
+        }
     }
 
     /// Reports from a workflow with the semantic detector registered are
