@@ -28,6 +28,7 @@
 
 pub mod autofix;
 pub mod checkers;
+pub mod corpusgraph;
 pub mod detectors;
 pub mod dynamic;
 pub mod finding;
@@ -41,6 +42,7 @@ pub use checkers::{
     register_absint_instruments, AbsintBaseline, BaselineEntry, IncrementalSemanticScan,
     SemanticEngine, SemanticScan,
 };
+pub use corpusgraph::{register_graph_instruments, CorpusGraph, CorpusGraphReport, UnitRef};
 pub use detectors::{RuleEngine, StaticDetector};
 pub use dynamic::DynamicSanitizer;
 pub use finding::{Confidence, Finding};

@@ -6,7 +6,7 @@
 //! from which input sources a function's call subtree touches.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use vulnman_lang::Program;
 
 /// How much attacker interaction is needed to reach a code path.
@@ -27,12 +27,19 @@ const ZERO_CLICK_SOURCES: [&str; 4] = ["http_param", "recv", "get_request_field"
 const ONE_CLICK_SOURCES: [&str; 3] = ["read_input", "getenv", "read_file"];
 
 /// Static call graph over a program's functions.
+///
+/// Adjacency is stored in ordered maps/sets so that every traversal —
+/// `reachable_from`, `external_calls_in_subtree`, and anything serialized
+/// from them — iterates in a fixed order regardless of insertion order or
+/// hasher seed. This module was the last `HashMap` holdout from the PR 1
+/// determinism audit; the corpus graph built on top of it inherits the
+/// ordering guarantee.
 #[derive(Debug, Clone, Default)]
 pub struct CallGraph {
     /// Adjacency: caller -> set of callees (only in-program functions).
-    edges: HashMap<String, HashSet<String>>,
+    edges: BTreeMap<String, BTreeSet<String>>,
     /// All external (library) callees per function.
-    externals: HashMap<String, HashSet<String>>,
+    externals: BTreeMap<String, BTreeSet<String>>,
     functions: Vec<String>,
 }
 
@@ -74,16 +81,20 @@ impl CallGraph {
         self.edges.get(caller).is_some_and(|s| s.contains(callee))
     }
 
-    /// Functions never called by another in-program function (entry points).
+    /// Functions never called by another in-program function (entry points),
+    /// in sorted order.
     pub fn roots(&self) -> Vec<String> {
-        let called: HashSet<&String> = self.edges.values().flatten().collect();
-        self.functions.iter().filter(|f| !called.contains(f)).cloned().collect()
+        let called: BTreeSet<&String> = self.edges.values().flatten().collect();
+        let mut roots: Vec<String> =
+            self.functions.iter().filter(|f| !called.contains(f)).cloned().collect();
+        roots.sort();
+        roots
     }
 
     /// All in-program functions transitively reachable from `start`
-    /// (including `start`).
-    pub fn reachable_from(&self, start: &str) -> HashSet<String> {
-        let mut seen = HashSet::new();
+    /// (including `start`), in sorted order.
+    pub fn reachable_from(&self, start: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
         let mut queue = VecDeque::new();
         if self.edges.contains_key(start) {
             seen.insert(start.to_string());
@@ -102,9 +113,9 @@ impl CallGraph {
     }
 
     /// External (library) functions called anywhere in `start`'s call
-    /// subtree.
-    pub fn external_calls_in_subtree(&self, start: &str) -> HashSet<String> {
-        let mut out = HashSet::new();
+    /// subtree, in sorted order.
+    pub fn external_calls_in_subtree(&self, start: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
         for f in self.reachable_from(start) {
             if let Some(ext) = self.externals.get(&f) {
                 out.extend(ext.iter().cloned());
@@ -117,13 +128,7 @@ impl CallGraph {
     /// source its call subtree touches.
     pub fn surface(&self, function: &str) -> Surface {
         let ext = self.external_calls_in_subtree(function);
-        if ZERO_CLICK_SOURCES.iter().any(|s| ext.contains(*s)) {
-            Surface::ZeroClick
-        } else if ONE_CLICK_SOURCES.iter().any(|s| ext.contains(*s)) {
-            Surface::OneClick
-        } else {
-            Surface::Local
-        }
+        ext.iter().filter_map(|s| Surface::of_source(s)).min().unwrap_or(Surface::Local)
     }
 
     /// Surface classification for every function, keyed in name order so
@@ -134,6 +139,19 @@ impl CallGraph {
 }
 
 impl Surface {
+    /// Classifies a single external (library) call name as an input source,
+    /// or `None` if it is not one. Shared with the corpus graph so per-sample
+    /// and cross-sample surface classification agree.
+    pub fn of_source(name: &str) -> Option<Surface> {
+        if ZERO_CLICK_SOURCES.contains(&name) {
+            Some(Surface::ZeroClick)
+        } else if ONE_CLICK_SOURCES.contains(&name) {
+            Some(Surface::OneClick)
+        } else {
+            None
+        }
+    }
+
     /// Severity multiplier applied during prioritization.
     pub fn severity_multiplier(&self) -> f64 {
         match self {
@@ -161,9 +179,22 @@ mod tests {
     #[test]
     fn roots_are_uncalled_functions() {
         let g = graph("void a() { b(); }\nvoid b() { }\nvoid main_loop() { a(); }");
-        let mut roots = g.roots();
-        roots.sort();
-        assert_eq!(roots, vec!["main_loop"]);
+        assert_eq!(g.roots(), vec!["main_loop"]);
+    }
+
+    #[test]
+    fn roots_come_back_sorted_regardless_of_definition_order() {
+        let g = graph("void zeta() { }\nvoid alpha() { }\nvoid mid() { }");
+        assert_eq!(g.roots(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn traversals_iterate_in_sorted_order() {
+        let g = graph("void z() { b(); a(); }\nvoid b() { z_lib(); }\nvoid a() { a_lib(); }");
+        let reach: Vec<String> = g.reachable_from("z").into_iter().collect();
+        assert_eq!(reach, vec!["a", "b", "z"]);
+        let ext: Vec<String> = g.external_calls_in_subtree("z").into_iter().collect();
+        assert_eq!(ext, vec!["a_lib", "z_lib"]);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e22_graph_triage` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e22_graph_triage::run(vulnman_bench::quick_from_args());
+}

@@ -21,6 +21,7 @@ pub mod e18_feedback_loop;
 pub mod e19_ablations;
 pub mod e20_project_scale;
 pub mod e21_clone_leakage;
+pub mod e22_graph_triage;
 
 /// Runs every experiment in index order.
 pub fn run_all(quick: bool) {
@@ -45,4 +46,5 @@ pub fn run_all(quick: bool) {
     e19_ablations::run(quick);
     e20_project_scale::run(quick);
     e21_clone_leakage::run(quick);
+    e22_graph_triage::run(quick);
 }

@@ -50,15 +50,44 @@ pub struct TriageItem {
     pub arrived_day: f64,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 struct Ranked(TriageItem);
+
+impl Ranked {
+    /// A stable identity key over every field that distinguishes one finding
+    /// from another, used as the last-resort tie-break so `BinaryHeap` pop
+    /// order never depends on insertion order or heap internals.
+    fn stable_key(&self) -> impl Ord + '_ {
+        let f = &self.0.finding;
+        (
+            f.finding.cwe,
+            f.finding.function.as_str(),
+            f.finding.span,
+            f.finding.detector.as_str(),
+            f.finding.message.as_str(),
+            f.finding.confidence,
+            f.surface,
+        )
+    }
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 
 impl Eq for Ranked {}
 
 impl Ord for Ranked {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Blocking before Tracked before Accepted; then priority desc;
-        // then earliest arrival (FIFO among equals).
+        // then earliest arrival (FIFO among equals); then a stable finding
+        // key. Floats compare with `total_cmp` — `push` already clamps NaN,
+        // but the ordering must be total regardless of what the heap holds,
+        // or pop order degrades to heap-shape-dependent (the bug this
+        // replaces: `partial_cmp(..).unwrap_or(Equal)` let a NaN-priority
+        // item rank as equal to everything, including Blocking items).
         let class = |p: PolicySeverity| match p {
             PolicySeverity::Blocking => 0u8,
             PolicySeverity::Tracked => 1,
@@ -66,20 +95,10 @@ impl Ord for Ranked {
         };
         class(other.0.policy)
             .cmp(&class(self.0.policy))
-            .then(
-                self.0
-                    .finding
-                    .priority
-                    .partial_cmp(&other.0.finding.priority)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
-            .then(
-                other
-                    .0
-                    .arrived_day
-                    .partial_cmp(&self.0.arrived_day)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .then_with(|| self.0.finding.priority.total_cmp(&other.0.finding.priority))
+            .then_with(|| other.0.arrived_day.total_cmp(&self.0.arrived_day))
+            .then_with(|| self.0.finding.severity.total_cmp(&other.0.finding.severity))
+            .then_with(|| other.stable_key().cmp(&self.stable_key()))
     }
 }
 
@@ -118,9 +137,36 @@ impl TriageQueue {
         TriageQueue { heap: BinaryHeap::new(), sla }
     }
 
-    /// Enqueues a finding.
-    pub fn push(&mut self, finding: ScoredFinding, policy: PolicySeverity, arrived_day: f64) {
+    /// Enqueues a finding. NaN scores are clamped to 0.0 on entry (a NaN
+    /// priority must never outrank a real one, and the severity pipeline
+    /// never produces NaN for well-formed findings), and a NaN arrival day
+    /// is treated as day 0.
+    pub fn push(&mut self, mut finding: ScoredFinding, policy: PolicySeverity, arrived_day: f64) {
+        if finding.priority.is_nan() {
+            finding.priority = 0.0;
+        }
+        if finding.severity.is_nan() {
+            finding.severity = 0.0;
+        }
+        let arrived_day = if arrived_day.is_nan() { 0.0 } else { arrived_day };
         self.heap.push(Ranked(TriageItem { finding, policy, arrived_day }));
+    }
+
+    /// Enqueues a finding weighted by its blast radius from the corpus
+    /// graph: `blast` in `[0, 1]` scales priority by `1 + blast`, so a
+    /// finding whose defining function touches most of the corpus outranks
+    /// an equal-severity finding confined to a leaf. Out-of-range or NaN
+    /// blast values are clamped.
+    pub fn push_with_blast(
+        &mut self,
+        mut finding: ScoredFinding,
+        policy: PolicySeverity,
+        arrived_day: f64,
+        blast: f64,
+    ) {
+        let blast = if blast.is_nan() { 0.0 } else { blast.clamp(0.0, 1.0) };
+        finding.priority *= 1.0 + blast;
+        self.push(finding, policy, arrived_day);
     }
 
     /// Items waiting.
@@ -219,6 +265,71 @@ mod tests {
         q.push(a.clone(), PolicySeverity::Blocking, 1.0);
         q.push(a, PolicySeverity::Blocking, 0.0);
         assert_eq!(q.serve(2.0).unwrap().item.arrived_day, 0.0);
+    }
+
+    #[test]
+    fn nan_priority_never_outranks_blocking() {
+        let mut q = TriageQueue::new();
+        let mut poisoned = scored(Cwe::CommandInjection, Surface::ZeroClick);
+        poisoned.priority = f64::NAN;
+        q.push(poisoned, PolicySeverity::Tracked, 0.0);
+        q.push(scored(Cwe::NullDereference, Surface::Local), PolicySeverity::Blocking, 0.0);
+        q.push(scored(Cwe::RaceCondition, Surface::Local), PolicySeverity::Tracked, 0.0);
+        assert_eq!(q.serve(0.0).unwrap().item.policy, PolicySeverity::Blocking);
+        // NaN was clamped to 0.0 at push, so the real-priority Tracked item
+        // is served before the poisoned one.
+        let second = q.serve(0.0).unwrap();
+        assert_eq!(second.item.finding.finding.cwe, Cwe::RaceCondition);
+        let last = q.serve(0.0).unwrap();
+        assert_eq!(last.item.finding.priority, 0.0, "NaN clamped at push");
+    }
+
+    #[test]
+    fn serve_order_is_insertion_invariant() {
+        // Equal (policy, priority, arrived_day): the stable finding key must
+        // decide, whatever order the items were pushed in.
+        let mut a = scored(Cwe::SqlInjection, Surface::ZeroClick);
+        a.finding.function = "alpha".into();
+        let mut b = a.clone();
+        b.finding.function = "beta".into();
+        let mut c = a.clone();
+        c.finding.function = "gamma".into();
+        let perms: [[&ScoredFinding; 3]; 6] =
+            [[&a, &b, &c], [&a, &c, &b], [&b, &a, &c], [&b, &c, &a], [&c, &a, &b], [&c, &b, &a]];
+        let mut orders = Vec::new();
+        for perm in perms {
+            let mut q = TriageQueue::new();
+            for f in perm {
+                q.push((*f).clone(), PolicySeverity::Blocking, 0.0);
+            }
+            let mut order = Vec::new();
+            while let Some(s) = q.serve(0.0) {
+                order.push(s.item.finding.finding.function.clone());
+            }
+            orders.push(order);
+        }
+        for o in &orders[1..] {
+            assert_eq!(o, &orders[0], "serve order must not depend on push order");
+        }
+    }
+
+    #[test]
+    fn blast_weight_reorders_equal_severity_findings() {
+        let mut q = TriageQueue::new();
+        let mut leaf = scored(Cwe::SqlInjection, Surface::ZeroClick);
+        leaf.finding.function = "leaf".into();
+        let mut hub = scored(Cwe::SqlInjection, Surface::ZeroClick);
+        hub.finding.function = "hub".into();
+        q.push_with_blast(leaf, PolicySeverity::Tracked, 0.0, 0.05);
+        q.push_with_blast(hub, PolicySeverity::Tracked, 0.0, 0.9);
+        assert_eq!(q.serve(0.0).unwrap().item.finding.finding.function, "hub");
+        // Blast never overrides the policy class.
+        let mut q = TriageQueue::new();
+        let mut hub = scored(Cwe::SqlInjection, Surface::ZeroClick);
+        hub.finding.function = "hub".into();
+        q.push_with_blast(hub, PolicySeverity::Tracked, 0.0, 1.0);
+        q.push(scored(Cwe::NullDereference, Surface::Local), PolicySeverity::Blocking, 0.0);
+        assert_eq!(q.serve(0.0).unwrap().item.policy, PolicySeverity::Blocking);
     }
 
     #[test]

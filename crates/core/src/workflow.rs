@@ -449,6 +449,7 @@ impl WorkflowEngine {
         metrics.histogram("shard.latency_micros");
         register_fault_instruments(&metrics);
         vulnman_analysis::checkers::register_absint_instruments(&metrics);
+        vulnman_analysis::corpusgraph::register_graph_instruments(&metrics);
         registry.attach_metrics(metrics.clone());
         let cache = if config.cache {
             let cache = AnalysisCache::with_metrics(&metrics);

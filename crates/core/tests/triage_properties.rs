@@ -1,0 +1,132 @@
+//! Property tests for the triage queue's ordering contract: serve order is
+//! a pure function of the *set* of pushed items — never of push order, heap
+//! shape, or NaN scores. These pin the `Ranked::Ord` fix (total-order
+//! comparison + stable finding-key tie-break + NaN clamping at `push`).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vulnman_analysis::finding::{Confidence, Finding};
+use vulnman_analysis::reachability::Surface;
+use vulnman_analysis::severity::ScoredFinding;
+use vulnman_core::customize::PolicySeverity;
+use vulnman_core::triage::{ServedItem, TriageQueue};
+use vulnman_synth::cwe::Cwe;
+
+/// Decodes one random code into a triage item. Small domains on purpose so
+/// collisions on (policy, priority, arrived_day) — the tie-break territory —
+/// are common.
+fn decode(code: u64) -> (ScoredFinding, PolicySeverity, f64) {
+    let policy = match code % 3 {
+        0 => PolicySeverity::Blocking,
+        1 => PolicySeverity::Tracked,
+        _ => PolicySeverity::Accepted,
+    };
+    let priority = match (code >> 2) % 5 {
+        // One in five items carries a NaN priority: the queue must clamp it
+        // at push, never let it float upward.
+        0 => f64::NAN,
+        k => k as f64 * 2.5,
+    };
+    let arrived_day = ((code >> 5) % 4) as f64;
+    let cwe = if (code >> 7).is_multiple_of(2) { Cwe::SqlInjection } else { Cwe::OutOfBoundsWrite };
+    let function = format!("fn_{}", (code >> 9) % 6);
+    let finding = Finding {
+        cwe,
+        function,
+        span: vulnman_lang::Span::new(((code >> 12) % 3) as usize, 40, 1, 1),
+        detector: "prop".into(),
+        message: String::new(),
+        confidence: Confidence::High,
+        evidence: None,
+    };
+    let severity = ((code >> 14) % 3) as f64 + 1.0;
+    (
+        ScoredFinding { finding, surface: Surface::ZeroClick, severity, priority },
+        policy,
+        arrived_day,
+    )
+}
+
+fn drain(q: &mut TriageQueue) -> Vec<ServedItem> {
+    let mut out = Vec::new();
+    while let Some(s) = q.serve(0.0) {
+        out.push(s);
+    }
+    out
+}
+
+/// Fingerprint of a serve trace that covers every observable field.
+fn trace(served: &[ServedItem]) -> Vec<String> {
+    served
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?}|{}|{}|{}|{}",
+                s.item.policy,
+                s.item.finding.priority,
+                s.item.arrived_day,
+                s.item.finding.finding.function,
+                s.item.finding.finding.span.start,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pushing the same multiset of items in any order serves the same
+    /// sequence (shuffle-invariance).
+    #[test]
+    fn serve_order_is_shuffle_invariant(
+        codes in proptest::collection::vec(any::<u64>(), 0..40),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let items: Vec<_> = codes.iter().map(|&c| decode(c)).collect();
+
+        let mut baseline = TriageQueue::new();
+        for (f, p, d) in &items {
+            baseline.push(f.clone(), *p, *d);
+        }
+
+        let mut shuffled = items.clone();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let mut other = TriageQueue::new();
+        for (f, p, d) in &shuffled {
+            other.push(f.clone(), *p, *d);
+        }
+
+        prop_assert_eq!(trace(&drain(&mut baseline)), trace(&drain(&mut other)));
+    }
+
+    /// A NaN-priority item can never be served before a Blocking item, and
+    /// NaN is clamped to 0.0 so it also never outranks any real priority in
+    /// its own class.
+    #[test]
+    fn nan_items_sink(codes in proptest::collection::vec(any::<u64>(), 1..40)) {
+        let items: Vec<_> = codes.iter().map(|&c| decode(c)).collect();
+        let has_blocking = items.iter().any(|(_, p, _)| *p == PolicySeverity::Blocking);
+        let mut q = TriageQueue::new();
+        for (f, p, d) in &items {
+            q.push(f.clone(), *p, *d);
+        }
+        let served = drain(&mut q);
+        if has_blocking {
+            prop_assert_eq!(served[0].item.policy, PolicySeverity::Blocking);
+        }
+        for s in &served {
+            prop_assert!(!s.item.finding.priority.is_nan(), "NaN must be clamped at push");
+        }
+        // Within each policy class, priorities are non-increasing.
+        for pair in served.windows(2) {
+            if pair[0].item.policy == pair[1].item.policy {
+                prop_assert!(pair[0].item.finding.priority >= pair[1].item.finding.priority);
+            }
+        }
+    }
+}

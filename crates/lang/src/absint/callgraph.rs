@@ -45,6 +45,33 @@ impl CallGraph {
         CallGraph { names, index, callees, callers }
     }
 
+    /// Builds a call graph directly from adjacency lists over arbitrary node
+    /// names. The corpus graph (`vulnman-analysis`) uses this to reuse the
+    /// SCC condensation and bottom-up machinery over unit-qualified function
+    /// nodes that no single [`Program`] contains. Duplicate and
+    /// out-of-range callee indices are dropped; first occurrence wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges.len() != names.len()`.
+    pub fn from_edges(names: Vec<String>, edges: &[Vec<usize>]) -> CallGraph {
+        assert_eq!(names.len(), edges.len(), "one adjacency list per node");
+        let index: BTreeMap<String, usize> =
+            names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (i, adj) in edges.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for &j in adj {
+                if j < names.len() && seen.insert(j) {
+                    callees[i].push(j);
+                    callers[j].push(i);
+                }
+            }
+        }
+        CallGraph { names, index, callees, callers }
+    }
+
     /// Number of defined functions.
     pub fn len(&self) -> usize {
         self.names.len()

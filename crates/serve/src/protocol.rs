@@ -24,12 +24,15 @@ pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// * `"clones"` — registers `source` in the server's shared MinHash/LSH
 ///   clone index and returns the ids of previously registered sources that
 ///   are verified near-clones of it.
+/// * `"graph"` — registers `source` as a corpus-graph unit and returns
+///   graph statistics over everything registered so far (cross-unit edges,
+///   this unit's functions, the corpus-wide blast-radius leaders).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Client-chosen id echoed in the response (and used as the fault-plan
     /// key, so injected degradation is deterministic per request).
     pub id: u64,
-    /// Operation: `analyze`, `lint`, `oracle`, or `clones`.
+    /// Operation: `analyze`, `lint`, `oracle`, `clones`, or `graph`.
     pub kind: String,
     /// Mini-C translation unit to analyze.
     pub source: String,
@@ -37,6 +40,31 @@ pub struct Request {
     pub label: Option<bool>,
     /// Recorded CWE class name (oracle requests), e.g. `"SqlInjection"`.
     pub cwe: Option<String>,
+}
+
+/// One blast-radius ranking entry in a graph response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlastEntry {
+    /// Unit-qualified function name (`u<id>::<fn>`).
+    pub function: String,
+    /// Blast-radius score in `[0, 1]`.
+    pub blast: f64,
+}
+
+/// Corpus-graph statistics returned by a `graph` request: the state of the
+/// server's shared graph after this unit is folded in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Function nodes in the corpus graph.
+    pub nodes: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Edges crossing unit boundaries.
+    pub cross_unit_edges: usize,
+    /// Functions defined by the submitted unit, in definition order.
+    pub unit_functions: Vec<String>,
+    /// Corpus-wide blast-radius leaders (descending, capped).
+    pub top_blast: Vec<BlastEntry>,
 }
 
 /// One response line, echoed with the request id.
@@ -54,6 +82,8 @@ pub struct Response {
     pub disagreements: Option<Vec<Disagreement>>,
     /// Ids of previously registered verified near-clones (clones).
     pub clones: Option<Vec<u64>>,
+    /// Corpus-graph statistics (graph).
+    pub graph: Option<GraphStats>,
 }
 
 impl Response {
@@ -66,6 +96,7 @@ impl Response {
             findings: Some(findings),
             disagreements: None,
             clones: None,
+            graph: None,
         }
     }
 
@@ -78,6 +109,7 @@ impl Response {
             findings: None,
             disagreements: Some(disagreements),
             clones: None,
+            graph: None,
         }
     }
 
@@ -90,6 +122,20 @@ impl Response {
             findings: None,
             disagreements: None,
             clones: Some(clones),
+            graph: None,
+        }
+    }
+
+    /// Successful graph response.
+    pub fn ok_graph(id: u64, graph: GraphStats) -> Self {
+        Response {
+            id,
+            status: "ok".into(),
+            error: None,
+            findings: None,
+            disagreements: None,
+            clones: None,
+            graph: Some(graph),
         }
     }
 
@@ -102,6 +148,7 @@ impl Response {
             findings: None,
             disagreements: None,
             clones: None,
+            graph: None,
         }
     }
 
@@ -114,6 +161,7 @@ impl Response {
             findings: None,
             disagreements: None,
             clones: None,
+            graph: None,
         }
     }
 
@@ -127,6 +175,7 @@ impl Response {
             findings: None,
             disagreements: None,
             clones: None,
+            graph: None,
         }
     }
 
@@ -174,7 +223,7 @@ impl RequestError {
             RequestError::BadUtf8 => "request rejected: line is not valid UTF-8".into(),
             RequestError::BadJson(detail) => format!("request rejected: invalid JSON: {detail}"),
             RequestError::UnknownKind(kind) => format!(
-                "request rejected: unknown kind {kind:?} (expected analyze, lint, oracle, or clones)"
+                "request rejected: unknown kind {kind:?} (expected analyze, lint, oracle, clones, or graph)"
             ),
         }
     }
@@ -264,7 +313,7 @@ pub fn parse_request(line: &[u8]) -> Result<Request, RequestError> {
     let req: Request =
         serde_json::from_str(text.trim()).map_err(|e| RequestError::BadJson(e.to_string()))?;
     match req.kind.as_str() {
-        "analyze" | "lint" | "oracle" | "clones" => Ok(req),
+        "analyze" | "lint" | "oracle" | "clones" | "graph" => Ok(req),
         other => Err(RequestError::UnknownKind(other.to_string())),
     }
 }
@@ -432,6 +481,25 @@ mod tests {
         };
         let line = serde_json::to_string(&req).unwrap();
         assert_eq!(parse_request(line.as_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn graph_request_is_accepted_and_stats_round_trip() {
+        let line = br#"{"id": 3, "kind": "graph", "source": "void f() {\n}\n", "label": null, "cwe": null}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.kind, "graph");
+
+        let stats = GraphStats {
+            nodes: 4,
+            edges: 3,
+            cross_unit_edges: 1,
+            unit_functions: vec!["f".into()],
+            top_blast: vec![BlastEntry { function: "u000001::f".into(), blast: 0.5 }],
+        };
+        let encoded = Response::ok_graph(3, stats.clone()).encode();
+        let back: Response = serde_json::from_str(encoded.trim()).unwrap();
+        assert_eq!(back.status, "ok");
+        assert_eq!(back.graph, Some(stats));
     }
 
     #[test]

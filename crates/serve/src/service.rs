@@ -9,9 +9,13 @@
 //! warmth. That is what lets the stress suite compare concurrent runs
 //! against single-threaded goldens.
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{BlastEntry, GraphStats, Request, Response};
+use std::collections::VecDeque;
 use std::sync::Mutex;
-use vulnman_analysis::{DifferentialOracle, OracleConfig, RuleEngine, SemanticEngine};
+use vulnman_analysis::corpusgraph::register_graph_instruments;
+use vulnman_analysis::{
+    CorpusGraph, DifferentialOracle, OracleConfig, RuleEngine, SemanticEngine, UnitRef,
+};
 use vulnman_core::DegradationSummary;
 use vulnman_faults::{site_key, FaultConfig, FaultKind, FaultPlan, Site};
 use vulnman_lang::clone::{CloneConfig, CloneIndex};
@@ -42,6 +46,9 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// changes a response, only whether a computation is repeated.
 pub const SERVE_CACHE_ENTRY_LIMIT: usize = 512;
 
+/// Blast-radius leaders included in a `graph` response.
+const GRAPH_TOP_BLAST: usize = 5;
+
 /// Shared, thread-safe request executor.
 pub struct ServiceCore {
     rules: RuleEngine,
@@ -49,6 +56,8 @@ pub struct ServiceCore {
     oracle: DifferentialOracle,
     cache: AnalysisCache,
     clone_index: Mutex<CloneIndex>,
+    graph_units: Mutex<VecDeque<(u64, String)>>,
+    metrics: Registry,
     plan: FaultPlan,
     max_retries: u32,
 }
@@ -59,6 +68,7 @@ impl ServiceCore {
     /// [`SERVE_CACHE_ENTRY_LIMIT`] units), plus the fault plan
     /// from `fault`.
     pub fn new(metrics: &Registry, fault: &FaultConfig) -> Self {
+        register_graph_instruments(metrics);
         ServiceCore {
             rules: RuleEngine::default_suite(),
             semantics: SemanticEngine::new(),
@@ -67,6 +77,8 @@ impl ServiceCore {
             clone_index: Mutex::new(
                 CloneIndex::new(CloneConfig::default()).with_entry_limit(SERVE_CACHE_ENTRY_LIMIT),
             ),
+            graph_units: Mutex::new(VecDeque::new()),
+            metrics: metrics.clone(),
             plan: FaultPlan::new(fault),
             max_retries: fault.max_retries,
         }
@@ -96,6 +108,7 @@ impl ServiceCore {
             "lint" => self.lint(req),
             "oracle" => self.oracle(req),
             "clones" => self.clones(req),
+            "graph" => self.graph(req),
             other => Response::error(req.id, format!("unknown kind {other:?}")),
         }
     }
@@ -213,6 +226,55 @@ impl ServiceCore {
         }
         Response::ok_clones(req.id, matches)
     }
+
+    /// Folds `source` into the server's shared corpus graph (all serve
+    /// units form one linkage domain, so calls resolve across requests) and
+    /// returns the graph's post-fold statistics: size counters, the
+    /// submitted unit's functions, and the corpus-wide blast-radius
+    /// leaders.
+    ///
+    /// Like the clone index, the unit store is bounded (FIFO eviction at
+    /// [`SERVE_CACHE_ENTRY_LIMIT`] units) so a long-lived server holds
+    /// memory flat. The store lock is held across the rebuild, so for a
+    /// fixed registration order the response is deterministic regardless of
+    /// worker count; a unit that fails to parse is rejected without being
+    /// registered.
+    fn graph(&self, req: &Request) -> Response {
+        let mut store = self.graph_units.lock().unwrap_or_else(|e| e.into_inner());
+        let mut units: Vec<UnitRef<'_>> = store
+            .iter()
+            .map(|(id, source)| UnitRef { id: *id, project: "serve", source })
+            .collect();
+        units.push(UnitRef { id: req.id, project: "serve", source: &req.source });
+        let graph = match CorpusGraph::build_with(&units, &self.cache, 1, &self.metrics) {
+            Ok(g) => g,
+            Err(e) => return Response::error(req.id, format!("parse error: {e}")),
+        };
+        store.push_back((req.id, req.source.clone()));
+        if store.len() > SERVE_CACHE_ENTRY_LIMIT {
+            store.pop_front();
+        }
+        drop(store);
+
+        let unit_functions =
+            graph.nodes().iter().filter(|n| n.unit == req.id).map(|n| n.name.clone()).collect();
+        let top_blast = graph
+            .blast_ranked()
+            .into_iter()
+            .take(GRAPH_TOP_BLAST)
+            .map(|(function, blast)| BlastEntry { function, blast })
+            .collect();
+        Response::ok_graph(
+            req.id,
+            GraphStats {
+                nodes: graph.nodes().len(),
+                edges: graph.edge_count(),
+                cross_unit_edges: graph.cross_unit_edge_count(),
+                unit_functions,
+                top_blast,
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +365,41 @@ mod tests {
         let resp = core.handle(&req(14, "clones", "int x = \x01;"), &ledger);
         assert_eq!(resp.status, "error");
         assert!(resp.error.unwrap().contains("parse error"));
+    }
+
+    #[test]
+    fn graph_requests_link_units_across_requests() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        // First unit defines a helper; nothing to link against yet.
+        let first = core.handle(&req(20, "graph", "void helper() {\n}\n"), &ledger);
+        assert_eq!(first.status, "ok");
+        let stats = first.graph.unwrap();
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.cross_unit_edges, 0);
+        assert_eq!(stats.unit_functions, vec!["helper".to_string()]);
+        // Second unit calls into the first: the shared graph gains a
+        // cross-unit edge, and the helper leads the blast ranking.
+        let second = core.handle(&req(21, "graph", "void entry() {\n    helper();\n}\n"), &ledger);
+        let stats = second.graph.unwrap();
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.edges, 1);
+        assert_eq!(stats.cross_unit_edges, 1);
+        assert_eq!(stats.unit_functions, vec!["entry".to_string()]);
+        assert!(!stats.top_blast.is_empty());
+        assert!(stats.top_blast[0].blast > 0.0);
+    }
+
+    #[test]
+    fn graph_request_rejects_unparseable_source_without_registering_it() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let bad = core.handle(&req(30, "graph", "void broken( {"), &ledger);
+        assert_eq!(bad.status, "error");
+        assert!(bad.error.unwrap().contains("parse error"));
+        // The rejected unit left no trace in the shared graph.
+        let ok = core.handle(&req(31, "graph", "void f() {\n}\n"), &ledger);
+        assert_eq!(ok.graph.unwrap().nodes, 1);
     }
 
     #[test]

@@ -244,6 +244,7 @@ pub struct DatasetBuilder {
     label_noise: f64,
     duplication_factor: usize,
     risky_benign_fraction: f64,
+    cross_file_links: bool,
 }
 
 impl DatasetBuilder {
@@ -262,6 +263,7 @@ impl DatasetBuilder {
             label_noise: 0.0,
             duplication_factor: 1,
             risky_benign_fraction: 0.35,
+            cross_file_links: false,
         }
     }
 
@@ -340,6 +342,18 @@ impl DatasetBuilder {
         self
     }
 
+    /// Treats samples sharing a project as translation units of one program
+    /// and wires them together: with the team's `cross_file_call_prob`, a
+    /// sample gains a bridge function calling the target function of another
+    /// sample in its project, and consecutive bridges chain (each also calls
+    /// the previously emitted one), so call depth grows with project size.
+    /// The resulting cross-file call edges are what the corpus graph
+    /// (`vulnman_analysis::corpusgraph`) links on.
+    pub fn cross_file_links(mut self, on: bool) -> Self {
+        self.cross_file_links = on;
+        self
+    }
+
     /// Generates the dataset.
     pub fn build(self) -> Dataset {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3779b97f4a7c15);
@@ -400,6 +414,53 @@ impl DatasetBuilder {
             s.id = i as u64 + 1;
         }
 
+        // Cross-file wiring: samples sharing a project act as translation
+        // units of one program. A bridge function in one sample calls the
+        // target function defined in a sibling sample — an edge no per-unit
+        // analysis can see, but the corpus graph links.
+        if self.cross_file_links {
+            let styles: std::collections::BTreeMap<&str, f64> =
+                self.teams.iter().map(|t| (t.team.as_str(), t.cross_file_call_prob)).collect();
+            let mut by_project: std::collections::BTreeMap<String, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (i, s) in samples.iter().enumerate() {
+                by_project.entry(s.project.clone()).or_default().push(i);
+            }
+            for members in by_project.values() {
+                if members.len() < 2 {
+                    continue;
+                }
+                // Bridges chain: each bridge calls a sibling's target *and*
+                // the previously emitted bridge, so a project's call depth
+                // grows with its size — the layered-helper shape that gives
+                // early targets a real transitive caller set (blast radius)
+                // instead of a flat one-hop star.
+                let mut prev_bridge: Option<String> = None;
+                for (pos, &i) in members.iter().enumerate() {
+                    let prob = styles.get(samples[i].team.as_str()).copied().unwrap_or(0.0);
+                    if prob <= 0.0 || !rng.gen_bool(prob) {
+                        continue;
+                    }
+                    let mut pick = members[rng.gen_range(0..members.len())];
+                    if pick == i {
+                        pick = members[(pos + 1) % members.len()];
+                    }
+                    let callee = samples[pick].target_fn.clone();
+                    if callee.is_empty() {
+                        continue;
+                    }
+                    let caller_id = samples[i].id;
+                    let bridge = format!("bridge_{callee}_s{caller_id}");
+                    let chain =
+                        prev_bridge.take().map(|p| format!("    {p}();\n")).unwrap_or_default();
+                    samples[i]
+                        .source
+                        .push_str(&format!("\nvoid {bridge}() {{\n    {callee}();\n{chain}}}\n"));
+                    prev_bridge = Some(bridge);
+                }
+            }
+        }
+
         // Synthetic duplication.
         if self.duplication_factor > 1 {
             let originals = samples.clone();
@@ -453,6 +514,46 @@ mod tests {
         assert_eq!(ds.vulnerable_count(), 30);
         assert_eq!(ds.len(), 120);
         assert!((ds.vulnerable_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_file_links_wire_projects_and_stay_parseable() {
+        let build = || {
+            DatasetBuilder::new(77)
+                .vulnerable_count(20)
+                .vulnerable_fraction(0.5)
+                .projects_per_team(3)
+                .cross_file_links(true)
+                .build()
+        };
+        let ds = build();
+        let bridged: Vec<&Sample> =
+            ds.iter().filter(|s| s.source.contains("\nvoid bridge_")).collect();
+        assert!(!bridged.is_empty(), "some samples gain cross-file bridges");
+        for s in ds.iter() {
+            vulnman_lang::parse(&s.source).unwrap_or_else(|e| panic!("sample {}: {e}", s.id));
+        }
+        // Every bridge calls a function defined in a *sibling* sample of the
+        // same project, not locally.
+        for s in &bridged {
+            let name = s
+                .source
+                .rsplit("void bridge_")
+                .next()
+                .and_then(|rest| rest.split('(').next())
+                .expect("bridge name parses");
+            let callee = &name[..name.rfind("_s").expect("bridge suffix")];
+            let defines_callee = |other: &&Sample| other.target_fn == callee;
+            assert!(
+                ds.iter()
+                    .filter(|o| o.project == s.project && o.id != s.id)
+                    .any(|o| defines_callee(&o)),
+                "bridge target `{callee}` defined by a sibling"
+            );
+        }
+        // Deterministic for a fixed seed.
+        let again = build();
+        assert_eq!(ds.samples, again.samples);
     }
 
     #[test]

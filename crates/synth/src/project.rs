@@ -95,6 +95,33 @@ pub fn generate_project(
         units.push(ProjectUnit { name: format!("src/unit_{i}.c"), source: unit.build() });
     }
 
+    // Benign cross-unit wiring: with the team's `cross_file_call_prob`, a
+    // unit gains a bridge function calling into a sibling unit, so the
+    // corpus graph sees cross-file edges even in clean projects.
+    if n_units > 1 {
+        let unit_fns: Vec<Vec<String>> = units
+            .iter()
+            .map(|u| {
+                let prog = vulnman_lang::parse(&u.source).expect("generated unit parses");
+                prog.functions.iter().map(|f| f.name.to_string()).collect()
+            })
+            .collect();
+        #[allow(clippy::needless_range_loop)] // i names the bridge while units[i] is mutated
+        for i in 0..n_units {
+            if !rng.gen_bool(style.cross_file_call_prob) {
+                continue;
+            }
+            let mut j = rng.gen_range(0..n_units);
+            if j == i {
+                j = (j + 1) % n_units;
+            }
+            let callee = &unit_fns[j][rng.gen_range(0..unit_fns[j].len())];
+            units[i]
+                .source
+                .push_str(&format!("\nvoid bridge_{callee}_u{i}() {{\n    {callee}();\n}}\n"));
+        }
+    }
+
     let (vulnerable, cross_unit, cwe) = match flaw {
         ProjectFlaw::Clean => (false, false, None),
         ProjectFlaw::IntraUnit(cwe) => {

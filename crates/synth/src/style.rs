@@ -126,6 +126,9 @@ pub struct StyleProfile {
     /// Probability that sources/sinks are wrapped in team helper functions
     /// (increases interprocedural distance).
     pub helper_wrap_prob: f64,
+    /// Probability that a project unit gains a bridge function calling into
+    /// a sibling unit (cross-file call edges; drives the corpus graph).
+    pub cross_file_call_prob: f64,
 }
 
 impl StyleProfile {
@@ -139,6 +142,7 @@ impl StyleProfile {
             comment_density: 0.4,
             sanitizer_alias_prefix: None,
             helper_wrap_prob: 0.15,
+            cross_file_call_prob: 0.35,
         }
     }
 
@@ -153,6 +157,7 @@ impl StyleProfile {
                 comment_density: 0.6,
                 sanitizer_alias_prefix: None,
                 helper_wrap_prob: 0.3,
+                cross_file_call_prob: 0.4,
             },
             StyleProfile {
                 team: "media-infra".into(),
@@ -161,6 +166,7 @@ impl StyleProfile {
                 comment_density: 0.2,
                 sanitizer_alias_prefix: Some("mi".into()),
                 helper_wrap_prob: 0.5,
+                cross_file_call_prob: 0.5,
             },
             StyleProfile {
                 team: "kernel".into(),
@@ -169,6 +175,7 @@ impl StyleProfile {
                 comment_density: 0.1,
                 sanitizer_alias_prefix: Some("k".into()),
                 helper_wrap_prob: 0.7,
+                cross_file_call_prob: 0.6,
             },
         ]
     }

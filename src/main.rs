@@ -19,6 +19,9 @@
 //!                                                            differential disagreement triage
 //! vulnman clones <file>... [--threshold F] [--shingle-k N] [--jobs N]
 //!                                                            group files into near-clone classes
+//! vulnman graph [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+//!               [--top N] [--report-out FILE] [--metrics-out FILE]
+//!                                                            corpus call graph + blast-radius triage
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
 //! vulnman serve [--addr H:P] [--workers N] [--queue N] [--max-request-bytes N]
 //!               [--fault-rate F] [--fault-seed N] [--max-retries N]
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
         "workflow" => cmd_workflow(rest),
         "oracle" => cmd_oracle(rest),
         "clones" => cmd_clones(rest),
+        "graph" => cmd_graph(rest),
         "sft" => cmd_sft(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
@@ -66,7 +70,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|clones|sft|serve|help> [options]
+    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|clones|graph|sft|serve|help> [options]
   scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
   lint <file>...                                 run only the semantic (abstract-
                                                  interpretation) checkers; print evidence
@@ -95,6 +99,13 @@ const USAGE: &str =
   clones <file>... [--threshold F] [--shingle-k N] [--jobs N]
                                                  group mini-C files into verified
                                                  near-clone classes (MinHash/LSH)
+  graph [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
+           [--top N]                blast-radius leaders to print (default 10)
+           [--report-out FILE]      write the full corpus-graph report as JSON
+           [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
+                                                 build the cross-sample call graph over a
+                                                 generated multi-file corpus and rank
+                                                 functions by blast radius
   sft [--seed N] [--count N]
   serve [--addr H:P]         listen address (default 127.0.0.1:7433; port 0 = ephemeral)
            [--workers N]            worker threads executing requests (default 4)
@@ -102,7 +113,7 @@ const USAGE: &str =
            [--max-request-bytes N]  per-line/body byte cap (default 1 MiB)
            [--fault-rate F] [--fault-seed N] [--max-retries N]
                                     inject seeded faults per request (chaos mode)
-        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle|clones,\"source\",...}
+        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle|clones|graph,\"source\",...}
         or a single HTTP POST with the same JSON body";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -734,6 +745,77 @@ fn cmd_clones(args: &[String]) -> Result<(), String> {
             println!("skipped (does not lex): {path}");
         }
     }
+    Ok(())
+}
+
+/// `vulnman graph` — builds the whole-corpus call graph over a generated
+/// multi-file corpus (cross-file bridge calls enabled, so sibling units of
+/// a project genuinely call into each other), then prints the graph's shape
+/// and the blast-radius triage leaders. Output is byte-identical at any
+/// `--jobs` and with the cache on or off.
+fn cmd_graph(args: &[String]) -> Result<(), String> {
+    use vulnman::analysis::corpusgraph::register_graph_instruments;
+    use vulnman::analysis::CorpusGraph;
+    use vulnman::lang::AnalysisCache;
+
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let count: usize = parse_num(args, "--count", 30)?;
+    let fraction: f64 = parse_num(args, "--fraction", 0.25)?;
+    let jobs: usize = parse_num(args, "--jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let top: usize = parse_num(args, "--top", 10)?;
+
+    let ds = DatasetBuilder::new(seed)
+        .vulnerable_count(count)
+        .vulnerable_fraction(fraction)
+        .cross_file_links(true)
+        .build();
+    let metrics = Registry::new();
+    register_graph_instruments(&metrics);
+    let cache = if flag_present(args, "--no-cache") {
+        AnalysisCache::disabled()
+    } else {
+        AnalysisCache::with_metrics(&metrics)
+    };
+    let graph = CorpusGraph::from_samples(ds.samples(), &cache, jobs, &metrics)
+        .map_err(|e| format!("corpus parse error: {e}"))?;
+    let report = graph.report();
+
+    println!(
+        "corpus graph over {} unit(s): {} function(s), {} call edge(s) \
+         ({} cross-unit), {} external sink/source(s)",
+        ds.len(),
+        report.nodes,
+        report.edges,
+        report.cross_unit_edges,
+        report.externals
+    );
+    println!(
+        "structure: {} strongly connected component(s), {} communit{}",
+        report.sccs,
+        report.communities,
+        if report.communities == 1 { "y" } else { "ies" }
+    );
+    let ranked = graph.blast_ranked();
+    if !ranked.is_empty() {
+        println!("blast-radius leaders:");
+        for (name, blast) in ranked.iter().take(top) {
+            let f = &report.functions[name];
+            println!(
+                "  [{blast:>5.3}] {name}  ({:?}, {} downstream, {} upstream, community {})",
+                f.surface, f.downstream, f.upstream, f.community
+            );
+        }
+    }
+    if let Some(path) = flag_value(args, "--report-out") {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+    write_metrics(args, &metrics.snapshot())?;
     Ok(())
 }
 
