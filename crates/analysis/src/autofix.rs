@@ -83,7 +83,10 @@ impl AutoFixer {
             | Cwe::IntegerOverflow
             | Cwe::RaceCondition
             | Cwe::UninitializedUse
-            | Cwe::DivideByZero => false,
+            | Cwe::DivideByZero
+            | Cwe::DoubleFree
+            | Cwe::IntegerTruncation
+            | Cwe::Toctou => false,
         };
         changed.then_some(program)
     }

@@ -45,8 +45,16 @@ impl RuleEngine {
 
     /// The standard industry suite: one specialized tool per CWE family.
     pub fn default_suite() -> Self {
+        let mut e = RuleEngine::syntactic_suite();
+        e.detectors.insert(0, Box::new(TaintDetector::default_config()));
+        e
+    }
+
+    /// The purely syntactic detectors — [`RuleEngine::default_suite`] minus
+    /// the taint dataflow pass. The audit matrix reports this family
+    /// separately from taint so each column isolates one technique.
+    pub fn syntactic_suite() -> Self {
         let mut e = RuleEngine::new();
-        e.register(Box::new(TaintDetector::default_config()));
         e.register(Box::new(BoundsDetector));
         e.register(Box::new(UseAfterFreeDetector));
         e.register(Box::new(OverflowDetector));

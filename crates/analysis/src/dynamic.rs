@@ -143,11 +143,20 @@ impl StaticDetector for DynamicSanitizer {
 /// Beyond the logic classes, the semantic classes are invisible at runtime
 /// by construction of the language: an uninitialized declaration reads as
 /// `0` and division by zero evaluates to `0`, so neither faults — only the
-/// abstract-interpretation checkers see them.
+/// abstract-interpretation checkers see them. The same holds for the scale-out
+/// classes: a double release of an opaque handle, a narrowing store, and a
+/// stale check-to-use window are all silent in a single-threaded, fault-free
+/// interpretation, so the ownership/width/trace-interleaving checkers own them.
 pub fn dynamically_detectable(cwe: Cwe) -> bool {
     !matches!(
         cwe,
-        Cwe::HardcodedCredentials | Cwe::RaceCondition | Cwe::UninitializedUse | Cwe::DivideByZero
+        Cwe::HardcodedCredentials
+            | Cwe::RaceCondition
+            | Cwe::UninitializedUse
+            | Cwe::DivideByZero
+            | Cwe::DoubleFree
+            | Cwe::IntegerTruncation
+            | Cwe::Toctou
     )
 }
 
@@ -197,6 +206,9 @@ mod tests {
             Cwe::RaceCondition,
             Cwe::UninitializedUse,
             Cwe::DivideByZero,
+            Cwe::DoubleFree,
+            Cwe::IntegerTruncation,
+            Cwe::Toctou,
         ] {
             let mut rng = StdRng::seed_from_u64(5);
             let mut ctx = EmitCtx::new(&style, Tier::Simple, &mut rng);

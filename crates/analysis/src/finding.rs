@@ -77,6 +77,46 @@ impl Finding {
     pub fn line(&self) -> u32 {
         self.span.line
     }
+
+    /// Identity of the underlying defect, independent of which detector
+    /// family reported it: class, containing function, and exact source
+    /// span. A rule detector and a semantic checker converging on the same
+    /// construct collide here; distinct defects of one class never do.
+    pub fn dedupe_key(&self) -> (u32, &str, usize, usize) {
+        (self.cwe.id(), &self.function, self.span.start, self.span.end)
+    }
+}
+
+/// Collapses detector-family double-reports: findings sharing a
+/// [`Finding::dedupe_key`] are merged down to the single best report. The
+/// evidence-bearing (semantic) finding wins over an evidence-free rule
+/// match; among equals, higher confidence wins, then first-reported. The
+/// survivor keeps the position of the key's first occurrence, so output
+/// order is a pure function of the input — byte-identical across worker
+/// counts and cache states.
+pub fn dedupe_findings(findings: Vec<Finding>) -> Vec<Finding> {
+    let mut first_slot: std::collections::BTreeMap<(u32, String, usize, usize), usize> =
+        std::collections::BTreeMap::new();
+    let mut slots: Vec<Option<Finding>> = Vec::with_capacity(findings.len());
+    for f in findings {
+        let (id, func, start, end) = f.dedupe_key();
+        let key = (id, func.to_string(), start, end);
+        match first_slot.get(&key) {
+            None => {
+                first_slot.insert(key, slots.len());
+                slots.push(Some(f));
+            }
+            Some(&i) => {
+                let held = slots[i].as_ref().expect("slot holds the current best");
+                let wins = (f.evidence.is_some(), f.confidence)
+                    > (held.evidence.is_some(), held.confidence);
+                if wins {
+                    slots[i] = Some(f);
+                }
+            }
+        }
+    }
+    slots.into_iter().flatten().collect()
 }
 
 impl fmt::Display for Finding {
@@ -97,6 +137,45 @@ mod tests {
     fn confidence_orders() {
         assert!(Confidence::Low < Confidence::Medium);
         assert!(Confidence::Medium < Confidence::High);
+    }
+
+    fn finding(detector: &str, confidence: Confidence, evidence: Option<Evidence>) -> Finding {
+        Finding {
+            cwe: Cwe::UseAfterFree,
+            function: "handle".into(),
+            span: Span::new(10, 24, 3, 5),
+            detector: detector.into(),
+            message: "use after free".into(),
+            confidence,
+            evidence,
+        }
+    }
+
+    #[test]
+    fn dedupe_keeps_the_evidence_bearing_report() {
+        let rule = finding("lifetime-order", Confidence::High, None);
+        let semantic = finding(
+            "absint-ownership",
+            Confidence::High,
+            Some(Evidence { domain: "ownership".into(), facts: vec![], claim: "freed".into() }),
+        );
+        // Same defect from two families: the proof survives, either order.
+        let out = dedupe_findings(vec![rule.clone(), semantic.clone()]);
+        assert_eq!(out, vec![semantic.clone()]);
+        let out = dedupe_findings(vec![semantic.clone(), rule.clone()]);
+        assert_eq!(out, vec![semantic.clone()]);
+        // Distinct spans are distinct defects.
+        let mut elsewhere = rule.clone();
+        elsewhere.span = Span::new(40, 52, 7, 1);
+        let out = dedupe_findings(vec![rule.clone(), elsewhere.clone()]);
+        assert_eq!(out, vec![rule.clone(), elsewhere]);
+        // Among evidence-free reports, higher confidence wins; position is
+        // the first occurrence's.
+        let low = finding("heuristic", Confidence::Low, None);
+        let mut other = low.clone();
+        other.span = Span::new(1, 2, 1, 1);
+        let out = dedupe_findings(vec![other.clone(), low, rule.clone()]);
+        assert_eq!(out, vec![other, rule]);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod autofix;
 pub mod checkers;
 pub mod corpusgraph;
@@ -37,6 +38,7 @@ pub mod oracle;
 pub mod reachability;
 pub mod severity;
 
+pub use audit::{register_audit_instruments, AuditConfig, AuditEngine, AuditReport, MlVerdict};
 pub use autofix::AutoFixer;
 pub use checkers::{
     register_absint_instruments, AbsintBaseline, BaselineEntry, IncrementalSemanticScan,
@@ -45,7 +47,7 @@ pub use checkers::{
 pub use corpusgraph::{register_graph_instruments, CorpusGraph, CorpusGraphReport, UnitRef};
 pub use detectors::{RuleEngine, StaticDetector};
 pub use dynamic::DynamicSanitizer;
-pub use finding::{Confidence, Finding};
+pub use finding::{dedupe_findings, Confidence, Finding};
 pub use oracle::{
     DifferentialOracle, Disagreement, DisagreementKind, OracleConfig, OracleReport, View,
 };

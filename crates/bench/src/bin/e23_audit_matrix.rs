@@ -1,0 +1,5 @@
+//! Binary wrapper for experiment `e23_audit_matrix` (pass `--quick` for a CI-sized run).
+
+fn main() {
+    let _ = vulnman_bench::experiments::e23_audit_matrix::run(vulnman_bench::quick_from_args());
+}

@@ -22,6 +22,7 @@ pub mod e19_ablations;
 pub mod e20_project_scale;
 pub mod e21_clone_leakage;
 pub mod e22_graph_triage;
+pub mod e23_audit_matrix;
 
 /// Runs every experiment in index order.
 pub fn run_all(quick: bool) {
@@ -47,4 +48,5 @@ pub fn run_all(quick: bool) {
     e20_project_scale::run(quick);
     e21_clone_leakage::run(quick);
     e22_graph_triage::run(quick);
+    e23_audit_matrix::run(quick);
 }

@@ -376,6 +376,47 @@ impl vulnman_ml::features::ToolSuite for RuleEngineToolSuite {
     }
 }
 
+/// A trained [`DetectionModel`] as the audit matrix's `ml` column (see
+/// [`vulnman_analysis::audit`]).
+struct TrainedModelVerdict {
+    model: DetectionModel,
+}
+
+impl vulnman_analysis::audit::MlVerdict for TrainedModelVerdict {
+    fn name(&self) -> String {
+        self.model.name().to_string()
+    }
+
+    fn flags(&self, sample: &Sample) -> bool {
+        self.model.predict(sample)
+    }
+}
+
+/// Builds the audit matrix's `ml` scorer: the tool-augmented model trained
+/// on a seeded, class-balanced vulnerable/fixed corpus. Deterministic for a
+/// given seed, so the committed audit baseline stays byte-stable. The
+/// training stream is salted away from the audit's evaluation stream — the
+/// column measures generalization to fresh instantiations, not replay.
+pub fn audit_ml_verdict(seed: u64) -> Box<dyn vulnman_analysis::audit::MlVerdict> {
+    use vulnman_synth::dataset::Dataset;
+    use vulnman_synth::generator::SampleGenerator;
+    use vulnman_synth::style::StyleProfile;
+    use vulnman_synth::tier::Tier;
+    let mut corpus = Dataset::new();
+    for cwe in Cwe::ALL {
+        let class_seed = (seed ^ 0x7A1B) ^ ((cwe.id() as u64) << 5);
+        let mut generator = SampleGenerator::new(class_seed, StyleProfile::mainstream());
+        for _ in 0..6 {
+            let (vuln, fixed) = generator.vulnerable_pair(cwe, Tier::Curated, "audit-train");
+            corpus.push(vuln);
+            corpus.push(fixed);
+        }
+    }
+    let mut model = tool_augmented_model(seed);
+    model.train(&corpus);
+    Box::new(TrainedModelVerdict { model })
+}
+
 /// A ready-made tool-augmented detection model: code tokens + the rule
 /// suite's verdicts feeding one classifier.
 pub fn tool_augmented_model(seed: u64) -> vulnman_ml::pipeline::DetectionModel {

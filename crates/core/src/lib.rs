@@ -59,6 +59,7 @@ pub mod workflow;
 
 pub use costmodel::{price_deployment, CostParams, CostReport};
 pub use detector::{
-    AssessError, Assessment, CombinePolicy, Detector, DetectorRegistry, SemanticDetector,
+    audit_ml_verdict, AssessError, Assessment, CombinePolicy, Detector, DetectorRegistry,
+    SemanticDetector,
 };
 pub use workflow::{DegradationSummary, WorkflowConfig, WorkflowEngine, WorkflowReport};

@@ -450,6 +450,7 @@ impl WorkflowEngine {
         register_fault_instruments(&metrics);
         vulnman_analysis::checkers::register_absint_instruments(&metrics);
         vulnman_analysis::corpusgraph::register_graph_instruments(&metrics);
+        vulnman_analysis::audit::register_audit_instruments(&metrics);
         registry.attach_metrics(metrics.clone());
         let cache = if config.cache {
             let cache = AnalysisCache::with_metrics(&metrics);

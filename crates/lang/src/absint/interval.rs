@@ -83,21 +83,21 @@ impl Interval {
         self.is_bottom() || (self.hi >= i64::MIN as i128 && self.lo <= i64::MAX as i128)
     }
 
-    fn add(&self, other: &Interval) -> Interval {
+    pub(crate) fn add(&self, other: &Interval) -> Interval {
         if self.is_bottom() || other.is_bottom() {
             return Interval::BOTTOM;
         }
         Interval::range(badd(self.lo, other.lo), badd(self.hi, other.hi))
     }
 
-    fn sub(&self, other: &Interval) -> Interval {
+    pub(crate) fn sub(&self, other: &Interval) -> Interval {
         if self.is_bottom() || other.is_bottom() {
             return Interval::BOTTOM;
         }
         Interval::range(badd(self.lo, bneg(other.hi)), badd(self.hi, bneg(other.lo)))
     }
 
-    fn mul(&self, other: &Interval) -> Interval {
+    pub(crate) fn mul(&self, other: &Interval) -> Interval {
         if self.is_bottom() || other.is_bottom() {
             return Interval::BOTTOM;
         }
@@ -113,7 +113,7 @@ impl Interval {
         )
     }
 
-    fn div(&self, other: &Interval) -> Interval {
+    pub(crate) fn div(&self, other: &Interval) -> Interval {
         if self.is_bottom() || other.is_bottom() {
             return Interval::BOTTOM;
         }
@@ -131,7 +131,7 @@ impl Interval {
         }
     }
 
-    fn rem(&self, other: &Interval) -> Interval {
+    pub(crate) fn rem(&self, other: &Interval) -> Interval {
         if self.is_bottom() || other.is_bottom() {
             return Interval::BOTTOM;
         }
@@ -149,14 +149,14 @@ impl Interval {
         }
     }
 
-    fn neg(&self) -> Interval {
+    pub(crate) fn neg(&self) -> Interval {
         if self.is_bottom() {
             return Interval::BOTTOM;
         }
         Interval::range(bneg(self.hi), bneg(self.lo))
     }
 
-    fn as_finite_point(&self) -> Option<i64> {
+    pub(crate) fn as_finite_point(&self) -> Option<i64> {
         if self.lo == self.hi && self.lo != NINF && self.lo != PINF {
             i64::try_from(self.lo).ok()
         } else {
@@ -211,7 +211,7 @@ impl fmt::Display for Interval {
     }
 }
 
-fn badd(a: i128, b: i128) -> i128 {
+pub(crate) fn badd(a: i128, b: i128) -> i128 {
     if a == NINF || b == NINF {
         NINF
     } else if a == PINF || b == PINF {
@@ -221,7 +221,7 @@ fn badd(a: i128, b: i128) -> i128 {
     }
 }
 
-fn bneg(a: i128) -> i128 {
+pub(crate) fn bneg(a: i128) -> i128 {
     if a == NINF {
         PINF
     } else if a == PINF {

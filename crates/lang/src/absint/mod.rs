@@ -9,6 +9,12 @@
 //!   division-by-zero reasoning);
 //! * [`nullness`] — literal-null provenance tracking for pointers;
 //! * [`init`] — definite-initialization;
+//! * [`ownership`] — heap-handle allocation state (use-after-free and
+//!   double-free as must-facts);
+//! * [`width`] — value ranges with storage-type-boundary widening (integer
+//!   truncation proofs, sharper overflow bounds);
+//! * [`provenance`] — attacker-control tracking with per-sink-kind
+//!   sanitizer masks (kind-mismatched sanitization proofs);
 //! * [`solver`] — the reverse-post-order worklist fixpoint engine with a
 //!   configurable widening threshold;
 //! * [`callgraph`] — program call graph plus the bottom-up driver that
@@ -16,9 +22,12 @@
 //!   return value per function) so facts flow across function boundaries.
 //!
 //! Termination argument: every shipped domain is either of finite height
-//! (nullness, init: chains of length ≤ 4) or equipped with a widening
-//! operator that jumps unstable bounds to ±∞ (intervals), so each variable's
-//! abstract value can only climb a finite chain. The solver joins for the
+//! (nullness, init, ownership: chains of length ≤ 4; provenance: rank chains
+//! of length ≤ 4 with masks that only lose bits) or equipped with a widening
+//! operator that jumps unstable bounds along a finite ladder — straight to
+//! ±∞ for intervals, through the storage-type boundaries ±2⁷…±2⁶³ for the
+//! width domain — so each variable's abstract value can only climb a finite
+//! chain. The solver joins for the
 //! first [`solver::SolverConfig::widening_threshold`] visits of a block and
 //! widens afterwards, which bounds the number of times any block can be
 //! re-enqueued; a hard `max_iterations` backstop turns a (theoretically
@@ -42,11 +51,17 @@ pub mod domain;
 pub mod init;
 pub mod interval;
 pub mod nullness;
+pub mod ownership;
+pub mod provenance;
 pub mod solver;
+pub mod width;
 
 pub use callgraph::{analyze_program, analyze_program_parallel, CallGraph, ProgramAnalysis};
 pub use domain::{AbstractValue, Domain, Env};
 pub use init::{Init, InitDomain};
 pub use interval::{Interval, IntervalDomain};
 pub use nullness::{Nullness, NullnessDomain};
+pub use ownership::{Ownership, OwnershipDomain};
+pub use provenance::{Provenance, ProvenanceDomain};
 pub use solver::{DomainAnalysis, Solver, SolverConfig, SolverStats};
+pub use width::{Width, WidthDomain};

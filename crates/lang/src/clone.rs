@@ -666,9 +666,14 @@ impl TokenAlignment {
                 }
             } else {
                 // Covers non-word bytes and digit-led runs (numbers can't
-                // start an identifier).
+                // start an identifier). Multi-byte UTF-8 sequences advance
+                // whole, so the slice below stays on char boundaries —
+                // detector prose is allowed punctuation like `—`.
                 let start = i;
                 i += 1;
+                while i < bytes.len() && (bytes[i] & 0xC0) == 0x80 {
+                    i += 1;
+                }
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -825,6 +830,12 @@ mod tests {
         assert_eq!(
             al.rewrite("tainted `user_id` reaches `exec_query(user_id)`"),
             "tainted `uid` reaches `exec_query(uid)`"
+        );
+        // Non-ASCII prose around an identifier must survive untouched —
+        // detector messages use punctuation like the em-dash.
+        assert_eq!(
+            al.rewrite("`user_id` is external — the sink’s mask never covered «command» 9×"),
+            "`uid` is external — the sink’s mask never covered «command» 9×"
         );
     }
 

@@ -478,9 +478,10 @@ mod vulnman_analysis_shim {
 pub use vulnman_analysis_shim::ToolSuite;
 
 impl ToolAugmentedFeatures {
-    /// Number of output dimensions: one slot per catalog CWE plus a total
-    /// (14 classes + 1 since the semantic classes CWE-457/369 landed).
-    pub const DIM: usize = 15;
+    /// Number of output dimensions: one slot per catalog CWE plus a total.
+    /// Derived from the catalog so a new class widens the vector instead of
+    /// indexing past it (the pre-derivation constant lagged the catalog).
+    pub const DIM: usize = vulnman_synth::cwe::Cwe::ALL.len() + 1;
 
     /// Wraps a tool suite (e.g. the rule engine from `vulnman-analysis`,
     /// adapted through [`ToolSuite`]).

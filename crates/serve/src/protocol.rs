@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::io::BufRead;
-use vulnman_analysis::{Disagreement, Finding};
+use vulnman_analysis::{AuditReport, Disagreement, Finding};
 
 /// Default cap on one JSONL request line (bytes, newline excluded).
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
@@ -27,14 +27,20 @@ pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// * `"graph"` — registers `source` as a corpus-graph unit and returns
 ///   graph statistics over everything registered so far (cross-unit edges,
 ///   this unit's functions, the corpus-wide blast-radius leaders).
+/// * `"audit"` — the detector coverage × precision matrix over the seeded
+///   audit corpus (`source` is ignored). The matrix is computed once per
+///   server and cached, so every audit response is byte-identical.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Client-chosen id echoed in the response (and used as the fault-plan
     /// key, so injected degradation is deterministic per request).
     pub id: u64,
-    /// Operation: `analyze`, `lint`, `oracle`, `clones`, or `graph`.
+    /// Operation: `analyze`, `lint`, `oracle`, `clones`, `graph`, or
+    /// `audit`.
     pub kind: String,
-    /// Mini-C translation unit to analyze.
+    /// Mini-C translation unit to analyze. May be omitted on the wire for
+    /// kinds that ignore it (`audit`); defaults to empty.
+    #[serde(default)]
     pub source: String,
     /// Recorded vulnerability label (oracle requests; defaults to `false`).
     pub label: Option<bool>,
@@ -84,6 +90,8 @@ pub struct Response {
     pub clones: Option<Vec<u64>>,
     /// Corpus-graph statistics (graph).
     pub graph: Option<GraphStats>,
+    /// Detector coverage × precision matrix (audit).
+    pub audit: Option<AuditReport>,
 }
 
 impl Response {
@@ -97,6 +105,7 @@ impl Response {
             disagreements: None,
             clones: None,
             graph: None,
+            audit: None,
         }
     }
 
@@ -110,6 +119,7 @@ impl Response {
             disagreements: Some(disagreements),
             clones: None,
             graph: None,
+            audit: None,
         }
     }
 
@@ -123,6 +133,7 @@ impl Response {
             disagreements: None,
             clones: Some(clones),
             graph: None,
+            audit: None,
         }
     }
 
@@ -136,6 +147,21 @@ impl Response {
             disagreements: None,
             clones: None,
             graph: Some(graph),
+            audit: None,
+        }
+    }
+
+    /// Successful audit response.
+    pub fn ok_audit(id: u64, audit: AuditReport) -> Self {
+        Response {
+            id,
+            status: "ok".into(),
+            error: None,
+            findings: None,
+            disagreements: None,
+            clones: None,
+            graph: None,
+            audit: Some(audit),
         }
     }
 
@@ -149,6 +175,7 @@ impl Response {
             disagreements: None,
             clones: None,
             graph: None,
+            audit: None,
         }
     }
 
@@ -162,6 +189,7 @@ impl Response {
             disagreements: None,
             clones: None,
             graph: None,
+            audit: None,
         }
     }
 
@@ -176,6 +204,7 @@ impl Response {
             disagreements: None,
             clones: None,
             graph: None,
+            audit: None,
         }
     }
 
@@ -199,7 +228,7 @@ pub enum RequestError {
     BadUtf8,
     /// The line was not a valid JSON request object.
     BadJson(String),
-    /// The request's `kind` is not `analyze`, `lint`, `oracle`, or `clones`.
+    /// The request's `kind` is not one of the supported operations.
     UnknownKind(String),
 }
 
@@ -223,7 +252,7 @@ impl RequestError {
             RequestError::BadUtf8 => "request rejected: line is not valid UTF-8".into(),
             RequestError::BadJson(detail) => format!("request rejected: invalid JSON: {detail}"),
             RequestError::UnknownKind(kind) => format!(
-                "request rejected: unknown kind {kind:?} (expected analyze, lint, oracle, clones, or graph)"
+                "request rejected: unknown kind {kind:?} (expected analyze, lint, oracle, clones, graph, or audit)"
             ),
         }
     }
@@ -313,7 +342,7 @@ pub fn parse_request(line: &[u8]) -> Result<Request, RequestError> {
     let req: Request =
         serde_json::from_str(text.trim()).map_err(|e| RequestError::BadJson(e.to_string()))?;
     match req.kind.as_str() {
-        "analyze" | "lint" | "oracle" | "clones" | "graph" => Ok(req),
+        "analyze" | "lint" | "oracle" | "clones" | "graph" | "audit" => Ok(req),
         other => Err(RequestError::UnknownKind(other.to_string())),
     }
 }
@@ -500,6 +529,26 @@ mod tests {
         let back: Response = serde_json::from_str(encoded.trim()).unwrap();
         assert_eq!(back.status, "ok");
         assert_eq!(back.graph, Some(stats));
+    }
+
+    #[test]
+    fn audit_request_is_accepted_and_report_round_trips() {
+        // `source` may be omitted entirely for kinds that ignore it.
+        let line = br#"{"id": 4, "kind": "audit"}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.kind, "audit");
+        assert_eq!(req.source, "");
+
+        let report = vulnman_analysis::AuditEngine::new(vulnman_analysis::AuditConfig {
+            seed: 5,
+            samples_per_class: 2,
+            jobs: 1,
+        })
+        .run();
+        let encoded = Response::ok_audit(4, report.clone()).encode();
+        let back: Response = serde_json::from_str(encoded.trim()).unwrap();
+        assert_eq!(back.status, "ok");
+        assert_eq!(back.audit, Some(report));
     }
 
     #[test]

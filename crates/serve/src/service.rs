@@ -11,10 +11,11 @@
 
 use crate::protocol::{BlastEntry, GraphStats, Request, Response};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use vulnman_analysis::corpusgraph::register_graph_instruments;
 use vulnman_analysis::{
-    CorpusGraph, DifferentialOracle, OracleConfig, RuleEngine, SemanticEngine, UnitRef,
+    register_audit_instruments, AuditConfig, AuditEngine, AuditReport, CorpusGraph,
+    DifferentialOracle, OracleConfig, RuleEngine, SemanticEngine, UnitRef,
 };
 use vulnman_core::DegradationSummary;
 use vulnman_faults::{site_key, FaultConfig, FaultKind, FaultPlan, Site};
@@ -49,6 +50,11 @@ pub const SERVE_CACHE_ENTRY_LIMIT: usize = 512;
 /// Blast-radius leaders included in a `graph` response.
 const GRAPH_TOP_BLAST: usize = 5;
 
+/// Scan fan-out for the server's audit matrix. The matrix is
+/// byte-identical at any jobs count (verified by the audit engine's own
+/// tests), so this only trades latency on the first `audit` request.
+const AUDIT_JOBS: usize = 4;
+
 /// Shared, thread-safe request executor.
 pub struct ServiceCore {
     rules: RuleEngine,
@@ -57,6 +63,7 @@ pub struct ServiceCore {
     cache: AnalysisCache,
     clone_index: Mutex<CloneIndex>,
     graph_units: Mutex<VecDeque<(u64, String)>>,
+    audit_report: OnceLock<AuditReport>,
     metrics: Registry,
     plan: FaultPlan,
     max_retries: u32,
@@ -69,6 +76,7 @@ impl ServiceCore {
     /// from `fault`.
     pub fn new(metrics: &Registry, fault: &FaultConfig) -> Self {
         register_graph_instruments(metrics);
+        register_audit_instruments(metrics);
         ServiceCore {
             rules: RuleEngine::default_suite(),
             semantics: SemanticEngine::new(),
@@ -78,6 +86,7 @@ impl ServiceCore {
                 CloneIndex::new(CloneConfig::default()).with_entry_limit(SERVE_CACHE_ENTRY_LIMIT),
             ),
             graph_units: Mutex::new(VecDeque::new()),
+            audit_report: OnceLock::new(),
             metrics: metrics.clone(),
             plan: FaultPlan::new(fault),
             max_retries: fault.max_retries,
@@ -109,6 +118,7 @@ impl ServiceCore {
             "oracle" => self.oracle(req),
             "clones" => self.clones(req),
             "graph" => self.graph(req),
+            "audit" => self.audit(req),
             other => Response::error(req.id, format!("unknown kind {other:?}")),
         }
     }
@@ -156,7 +166,10 @@ impl ServiceCore {
 
     /// Rule-based findings followed by semantic findings, each produced
     /// through the shared cache (rules through the whole-sample table,
-    /// semantics through the per-stage incremental driver).
+    /// semantics through the per-stage incremental driver). Family
+    /// double-reports — a rule match and a semantic proof of the same
+    /// defect at the same span — collapse to the evidence-bearing finding
+    /// via [`vulnman_analysis::dedupe_findings`].
     fn analyze(&self, req: &Request) -> Response {
         let key = AnalysisCache::content_key(&req.source);
         let mut findings = match self.rules.scan_source_cached_keyed(key, &req.source, &self.cache)
@@ -168,7 +181,7 @@ impl ServiceCore {
             Ok(scan) => findings.extend(scan.findings),
             Err(e) => return Response::error(req.id, format!("parse error: {e}")),
         }
-        Response::ok_findings(req.id, findings)
+        Response::ok_findings(req.id, vulnman_analysis::dedupe_findings(findings))
     }
 
     /// Semantic (absint) findings only, through the incremental driver.
@@ -274,6 +287,24 @@ impl ServiceCore {
                 top_blast,
             },
         )
+    }
+
+    /// The detector coverage × precision matrix over the default audit
+    /// corpus, with the tool-augmented ML model as the fifth column.
+    ///
+    /// The report is a pure function of [`AuditConfig::default`], so it is
+    /// computed once (first request pays corpus generation, scanning, and
+    /// ML training) and served from the cache afterwards — every audit
+    /// response body is byte-identical regardless of worker count or
+    /// request order.
+    fn audit(&self, req: &Request) -> Response {
+        let report = self.audit_report.get_or_init(|| {
+            let config = AuditConfig { jobs: AUDIT_JOBS, ..AuditConfig::default() };
+            AuditEngine::new(config)
+                .with_ml(vulnman_core::audit_ml_verdict(config.seed))
+                .run_with_metrics(&self.metrics)
+        });
+        Response::ok_audit(req.id, report.clone())
     }
 }
 
@@ -400,6 +431,21 @@ mod tests {
         // The rejected unit left no trace in the shared graph.
         let ok = core.handle(&req(31, "graph", "void f() {\n}\n"), &ledger);
         assert_eq!(ok.graph.unwrap().nodes, 1);
+    }
+
+    #[test]
+    fn audit_requests_serve_one_cached_byte_identical_matrix() {
+        let core = core(0.0);
+        let ledger = Mutex::new(DegradationSummary::default());
+        let first = core.handle(&req(40, "audit", ""), &ledger);
+        assert_eq!(first.status, "ok");
+        let report = first.audit.as_ref().unwrap();
+        assert!(report.ml_model.is_some(), "serve wires the ML column");
+        assert!(report.blind_classes().is_empty(), "no class is invisible to every family");
+        // The matrix is computed once; repeats are byte-identical apart
+        // from the echoed id.
+        let second = core.handle(&req(40, "audit", "ignored"), &ledger);
+        assert_eq!(first.encode(), second.encode());
     }
 
     #[test]

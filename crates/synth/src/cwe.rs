@@ -1,10 +1,13 @@
 //! CWE catalog: the vulnerability classes the platform manages.
 //!
-//! Covers twelve classes spanning the paper's discussion: memory safety
-//! (the classic "specialized research" targets), injection families, and
-//! the logic/configuration classes that dominate *internal* industry
-//! backlogs but rank lower in the public CWE Top-25 — the mismatch behind
-//! Gap Observation 1.
+//! Covers seventeen classes spanning the paper's discussion: memory safety
+//! (the classic "specialized research" targets), injection families, the
+//! logic/configuration classes that dominate *internal* industry backlogs
+//! but rank lower in the public CWE Top-25 — the mismatch behind Gap
+//! Observation 1 — and the semantic-only classes (CWE-457, 369, 415, 197,
+//! 367) that only the abstract-interpretation checkers can prove. Growth is
+//! append-only: [`Cwe::CLASSIC`] pins the original twelve so seeded corpora
+//! never reshuffle.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -44,11 +47,23 @@ pub enum Cwe {
     /// analysis — the zero divisor is the result of constant flow, not a
     /// literal `/ 0` in the source.
     DivideByZero,
+    /// CWE-415: Double Free. Only findable with semantic (ownership
+    /// lattice) analysis — the second release reaches the deallocator
+    /// through ordinary control flow, not a recognizable syntactic shape.
+    DoubleFree,
+    /// CWE-197: Numeric Truncation. Only findable with semantic (bit-width
+    /// interval) analysis — the narrowing store is lossy exactly when the
+    /// value range provably exceeds the destination width.
+    IntegerTruncation,
+    /// CWE-367: Time-of-check Time-of-use. Only findable with semantic
+    /// (trace-interleaving) analysis — the stale check/use pair is a CFG
+    /// path property, not a `if (check(x)) use(x)` syntax match.
+    Toctou,
 }
 
 impl Cwe {
     /// All supported classes, in catalog order.
-    pub const ALL: [Cwe; 14] = [
+    pub const ALL: [Cwe; 17] = [
         Cwe::OutOfBoundsWrite,
         Cwe::OutOfBoundsRead,
         Cwe::SqlInjection,
@@ -63,6 +78,9 @@ impl Cwe {
         Cwe::FormatString,
         Cwe::UninitializedUse,
         Cwe::DivideByZero,
+        Cwe::DoubleFree,
+        Cwe::IntegerTruncation,
+        Cwe::Toctou,
     ];
 
     /// The original twelve-class catalog, exactly as it stood before the
@@ -101,6 +119,9 @@ impl Cwe {
             Cwe::FormatString => 134,
             Cwe::UninitializedUse => 457,
             Cwe::DivideByZero => 369,
+            Cwe::DoubleFree => 415,
+            Cwe::IntegerTruncation => 197,
+            Cwe::Toctou => 367,
         }
     }
 
@@ -121,6 +142,9 @@ impl Cwe {
             Cwe::FormatString => "format string",
             Cwe::UninitializedUse => "uninitialized use",
             Cwe::DivideByZero => "divide by zero",
+            Cwe::DoubleFree => "double free",
+            Cwe::IntegerTruncation => "integer truncation",
+            Cwe::Toctou => "time-of-check time-of-use",
         }
     }
 
@@ -141,6 +165,9 @@ impl Cwe {
             Cwe::FormatString => 8.1,
             Cwe::UninitializedUse => 5.9,
             Cwe::DivideByZero => 5.3,
+            Cwe::DoubleFree => 8.4,
+            Cwe::IntegerTruncation => 5.6,
+            Cwe::Toctou => 6.3,
         }
     }
 
@@ -162,6 +189,9 @@ impl Cwe {
             Cwe::FormatString => 0.45,
             Cwe::UninitializedUse => 0.25,
             Cwe::DivideByZero => 0.10,
+            Cwe::DoubleFree => 0.35,
+            Cwe::IntegerTruncation => 0.15,
+            Cwe::Toctou => 0.12,
         }
     }
 
@@ -175,6 +205,8 @@ impl Cwe {
                 | Cwe::HardcodedCredentials
                 | Cwe::UninitializedUse
                 | Cwe::DivideByZero
+                | Cwe::IntegerTruncation
+                | Cwe::Toctou
         )
     }
 
@@ -198,7 +230,14 @@ impl Cwe {
     /// is not expected to catch them, the `vulnman_analysis` semantic
     /// checkers are.
     pub fn requires_semantic_analysis(&self) -> bool {
-        matches!(self, Cwe::UninitializedUse | Cwe::DivideByZero)
+        matches!(
+            self,
+            Cwe::UninitializedUse
+                | Cwe::DivideByZero
+                | Cwe::DoubleFree
+                | Cwe::IntegerTruncation
+                | Cwe::Toctou
+        )
     }
 }
 
@@ -347,14 +386,17 @@ mod tests {
     fn ids_match_catalog() {
         assert_eq!(Cwe::SqlInjection.id(), 89);
         assert_eq!(Cwe::OutOfBoundsWrite.id(), 787);
-        assert_eq!(Cwe::ALL.len(), 14);
+        assert_eq!(Cwe::ALL.len(), 17);
         // All ids distinct.
         let mut ids: Vec<u32> = Cwe::ALL.iter().map(|c| c.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 17);
         assert_eq!(Cwe::UninitializedUse.id(), 457);
         assert_eq!(Cwe::DivideByZero.id(), 369);
+        assert_eq!(Cwe::DoubleFree.id(), 415);
+        assert_eq!(Cwe::IntegerTruncation.id(), 197);
+        assert_eq!(Cwe::Toctou.id(), 367);
         // CLASSIC is a strict prefix of ALL: catalog growth is append-only.
         assert_eq!(&Cwe::ALL[..12], &Cwe::CLASSIC[..]);
     }
@@ -415,7 +457,7 @@ mod tests {
     fn uniform_covers_all() {
         let d = CweDistribution::uniform();
         for c in Cwe::ALL {
-            assert!((d.probability(c) - 1.0 / 14.0).abs() < 1e-9);
+            assert!((d.probability(c) - 1.0 / 17.0).abs() < 1e-9);
         }
     }
 
@@ -427,12 +469,24 @@ mod tests {
         }
         assert_eq!(d.probability(Cwe::UninitializedUse), 0.0);
         assert_eq!(d.probability(Cwe::DivideByZero), 0.0);
+        assert_eq!(d.probability(Cwe::DoubleFree), 0.0);
+        assert_eq!(d.probability(Cwe::IntegerTruncation), 0.0);
+        assert_eq!(d.probability(Cwe::Toctou), 0.0);
     }
 
     #[test]
     fn semantic_classes_are_flagged() {
         let semantic: Vec<Cwe> =
             Cwe::ALL.into_iter().filter(|c| c.requires_semantic_analysis()).collect();
-        assert_eq!(semantic, vec![Cwe::UninitializedUse, Cwe::DivideByZero]);
+        assert_eq!(
+            semantic,
+            vec![
+                Cwe::UninitializedUse,
+                Cwe::DivideByZero,
+                Cwe::DoubleFree,
+                Cwe::IntegerTruncation,
+                Cwe::Toctou,
+            ]
+        );
     }
 }

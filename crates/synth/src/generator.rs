@@ -251,6 +251,9 @@ impl SampleGenerator {
             Cwe::RaceCondition => "open atomically instead of check-then-open",
             Cwe::UninitializedUse => "initialize status before conditional path",
             Cwe::DivideByZero => "guard divisor against zero stride",
+            Cwe::DoubleFree => "return after error-path release",
+            Cwe::IntegerTruncation => "clamp value before narrowing store",
+            Cwe::Toctou => "drop stale existence check for atomic open",
         };
         // A good fraction of patched states carry mundane messages — the
         // security fix landed earlier or was folded into a refactor.

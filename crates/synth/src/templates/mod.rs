@@ -59,6 +59,9 @@ pub fn generate<R: Rng>(cwe: Cwe, ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
         Cwe::RaceCondition => logic::race_condition(ctx),
         Cwe::UninitializedUse => semantic::uninitialized_use(ctx),
         Cwe::DivideByZero => semantic::divide_by_zero(ctx),
+        Cwe::DoubleFree => semantic::double_release(ctx),
+        Cwe::IntegerTruncation => semantic::narrowing_store(ctx),
+        Cwe::Toctou => semantic::stale_check_use(ctx),
     }
 }
 
@@ -212,7 +215,7 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
-        fn any_seed_any_cwe_parses(seed in any::<u64>(), cwe_idx in 0usize..14, tier_idx in 0usize..3, style_idx in 0usize..4) {
+        fn any_seed_any_cwe_parses(seed in any::<u64>(), cwe_idx in 0usize..Cwe::ALL.len(), tier_idx in 0usize..3, style_idx in 0usize..4) {
             let styles = all_styles();
             let style = &styles[style_idx];
             let tier = Tier::ALL[tier_idx];

@@ -161,10 +161,207 @@ pub fn divide_by_zero<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
     TemplatePair { cwe: Cwe::DivideByZero, vulnerable, fixed, target_fn }
 }
 
-/// Generates the semantic-gap variant of `cwe`. For the two classes that
-/// exist *only* in semantic form (457, 369) this is what
-/// [`super::generate`] dispatches to; for 787/125/476 it produces the
-/// rule-blind twin of the classic template, used by the precision corpus.
+/// CWE-416 (semantic twin): a handle released through `release_block` and
+/// used afterwards. The rule-based lifetime detector hard-codes `free_mem`,
+/// so only the ownership domain sees the release. Half the seeds release
+/// conditionally, exercising the `MaybeFreed` join (reported at medium
+/// confidence). The fix moves the release after the last use.
+pub fn stale_handle_use<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let buf = ctx.var("block");
+    let n = [64usize, 128, 256][ctx.rng.gen_range(0..3)];
+    let target_fn = ctx.func("flush");
+    let allocs = ["alloc_buffer", "make_scratch", "reserve_block"];
+    let alloc = allocs[ctx.rng.gen_range(0..allocs.len())];
+    let conditional = ctx.rng.gen_bool(0.5);
+
+    let prologue = format!("    char* {buf} = {alloc}({n});\n    fill_data({buf}, {n});\n");
+    let (sig, core_vuln, core_fixed) = if conditional {
+        let flag = ctx.var("early");
+        let release = format!("    if ({flag} > 0) {{\n        release_block({buf});\n    }}\n");
+        (
+            format!("void {target_fn}(int {flag})"),
+            format!("{prologue}{release}    send_data({buf}, {n});\n"),
+            format!("{prologue}    send_data({buf}, {n});\n    release_block({buf});\n"),
+        )
+    } else {
+        let tail = format!("    log_event(\"released\");\n    send_data({buf}, {n});\n");
+        (
+            format!("void {target_fn}()"),
+            format!("{prologue}    release_block({buf});\n{tail}"),
+            format!("{prologue}{tail}    release_block({buf});\n"),
+        )
+    };
+
+    let scaffold = Scaffold::sample(ctx, "the staged transfer block");
+    let (vulnerable, fixed) = scaffold.assemble(&[], &[], &sig, &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::UseAfterFree, vulnerable, fixed, target_fn }
+}
+
+/// CWE-415: the same handle released twice — unconditionally, or once more
+/// on an error path whose cleanup forgets it already released. Uses
+/// `release_block` so the rule suite (which only knows `free_mem`) stays
+/// blind; the ownership domain proves the second release sees a `Freed`
+/// (or `MaybeFreed`) handle. The fix exits after the error-path release, or
+/// drops the duplicate.
+pub fn double_release<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let buf = ctx.var("chunk");
+    let n = [32usize, 64, 128][ctx.rng.gen_range(0..3)];
+    let target_fn = ctx.func("teardown");
+    let allocs = ["alloc_buffer", "make_scratch", "reserve_block"];
+    let alloc = allocs[ctx.rng.gen_range(0..allocs.len())];
+    let error_path = ctx.rng.gen_bool(0.5);
+
+    let prologue = format!("    char* {buf} = {alloc}({n});\n    fill_data({buf}, {n});\n");
+    let (core_vuln, core_fixed) = if error_path {
+        let rc = ctx.var("rc");
+        let probe = format!("    int {rc} = verify_block({buf}, {n});\n");
+        (
+            format!(
+                "{prologue}{probe}    if ({rc} < 0) {{\n        release_block({buf});\n        log_event(\"bad block\");\n    }}\n    release_block({buf});\n"
+            ),
+            format!(
+                "{prologue}{probe}    if ({rc} < 0) {{\n        release_block({buf});\n        return;\n    }}\n    release_block({buf});\n"
+            ),
+        )
+    } else {
+        (
+            format!(
+                "{prologue}    release_block({buf});\n    log_event(\"closed\");\n    release_block({buf});\n"
+            ),
+            format!("{prologue}    release_block({buf});\n    log_event(\"closed\");\n"),
+        )
+    };
+
+    let scaffold = Scaffold::sample(ctx, "the pooled chunk teardown");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::DoubleFree, vulnerable, fixed, target_fn }
+}
+
+/// CWE-197: constant arithmetic whose range provably exceeds `char` stored
+/// into a `char` slot — a truncation on every path, which the width domain
+/// proves. The fix clamps first, which width branch refinement proves safe.
+pub fn narrowing_store<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let base = ctx.var("base");
+    let scaled = ctx.var("scaled");
+    let flag = ctx.var("code");
+    let target_fn = ctx.func("encode");
+    let b = ctx.rng.gen_range(20..=60);
+    let k = ctx.rng.gen_range(7..=9);
+    let assign_form = ctx.rng.gen_bool(0.5);
+
+    let prologue = format!("    int {base} = {b};\n    int {scaled} = {base} * {k};\n");
+    let store = if assign_form {
+        format!("    char {flag} = 0;\n    {flag} = {scaled};\n")
+    } else {
+        format!("    char {flag} = {scaled};\n")
+    };
+    let tail = format!("    record_metric(\"code\", {flag});\n");
+    let clamp = format!("    if ({scaled} > 127) {{\n        {scaled} = 127;\n    }}\n");
+
+    let core_vuln = format!("{prologue}{store}{tail}");
+    let core_fixed = format!("{prologue}{clamp}{store}{tail}");
+
+    let scaffold = Scaffold::sample(ctx, "the packed status code");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::IntegerTruncation, vulnerable, fixed, target_fn }
+}
+
+/// CWE-367: the existence check's *result* is parked in a flag, so the
+/// syntactic race rule (which wants `file_exists` inside the `if` condition)
+/// never fires — but every interleaving still has a window between the
+/// check and the open, which the trace-interleaving checker enumerates over
+/// the CFG. The fix opens atomically and tests the descriptor.
+pub fn stale_check_use<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let path = ctx.var("path");
+    let ok = ctx.var("present");
+    let fd = ctx.var("fd");
+    let target_fn = ctx.func("load");
+    let use_fn = ["open_file", "fopen_path"][ctx.rng.gen_range(0..2)];
+    let early_return = ctx.rng.gen_bool(0.5);
+
+    let core_vuln = if early_return {
+        format!(
+            "    int {ok} = file_exists({path});\n    if ({ok} <= 0) {{\n        log_event(\"missing\");\n        return;\n    }}\n    int {fd} = {use_fn}({path});\n    read_all({fd});\n    close_file({fd});\n"
+        )
+    } else {
+        format!(
+            "    int {ok} = file_exists({path});\n    log_event(\"checked\");\n    if ({ok} > 0) {{\n        int {fd} = {use_fn}({path});\n        read_all({fd});\n        close_file({fd});\n    }}\n"
+        )
+    };
+    let core_fixed = format!(
+        "    int {fd} = open_file_atomic({path});\n    if ({fd} >= 0) {{\n        read_all({fd});\n        close_file({fd});\n    }}\n"
+    );
+
+    let scaffold = Scaffold::sample(ctx, "the spooled state file");
+    let (vulnerable, fixed) = scaffold.assemble(
+        &[],
+        &[],
+        &format!("void {target_fn}(char* {path})"),
+        &core_vuln,
+        &core_fixed,
+    );
+    TemplatePair { cwe: Cwe::Toctou, vulnerable, fixed, target_fn }
+}
+
+/// Source calls shared by the kind-blind sanitizer families.
+const KIND_BLIND_SOURCES: [&str; 3] =
+    ["read_input()", "getenv(\"APP_CMD\")", "http_param(\"cmd\")"];
+
+/// CWE-78 (semantic twin): attacker data scrubbed with a *wrong-kind*
+/// sanitizer (SQL/HTML/path escaping) before a shell sink. The taint rules
+/// treat every sanitizer as kind-blind and drop the taint, so only the
+/// provenance domain — which tracks *which* kinds a value is safe for —
+/// proves the command injection. The fix swaps in the shell escaper.
+pub fn kind_blind_shell<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let raw = ctx.var("req");
+    let clean = ctx.var("scrubbed");
+    let target_fn = ctx.func("dispatch");
+    let source = KIND_BLIND_SOURCES[ctx.rng.gen_range(0..KIND_BLIND_SOURCES.len())];
+    let sink = ["system", "exec_shell", "popen"][ctx.rng.gen_range(0..3)];
+    let wrong = ["escape_sql", "escape_html", "sanitize_path"][ctx.rng.gen_range(0..3)];
+
+    let body = |sanitizer: &str| {
+        format!(
+            "    char* {raw} = {source};\n    char* {clean} = {sanitizer}({raw});\n    {sink}({clean});\n    log_event(\"dispatched\");\n"
+        )
+    };
+    let core_vuln = body(wrong);
+    let core_fixed = body("escape_shell");
+
+    let scaffold = Scaffold::sample(ctx, "the relayed maintenance command");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::CommandInjection, vulnerable, fixed, target_fn }
+}
+
+/// CWE-134 (semantic twin): attacker data scrubbed with a wrong-kind
+/// sanitizer lands in the format position of `printf_fmt`. Kind-blind taint
+/// rules see "sanitized" and stay quiet; the provenance domain proves the
+/// mask never covered `format`. The fix pins a literal `"%s"` format.
+pub fn kind_blind_format<R: Rng>(ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
+    let raw = ctx.var("text");
+    let safe = ctx.var("escaped");
+    let target_fn = ctx.func("banner");
+    let source = KIND_BLIND_SOURCES[ctx.rng.gen_range(0..KIND_BLIND_SOURCES.len())];
+    let wrong = ["escape_html", "escape_sql", "sanitize_path"][ctx.rng.gen_range(0..3)];
+
+    let prologue = format!("    char* {raw} = {source};\n    char* {safe} = {wrong}({raw});\n");
+    let core_vuln = format!("{prologue}    printf_fmt({safe});\n");
+    let core_fixed = format!("{prologue}    printf_fmt(\"%s\", {safe});\n");
+
+    let scaffold = Scaffold::sample(ctx, "the greeting banner");
+    let (vulnerable, fixed) =
+        scaffold.assemble(&[], &[], &format!("void {target_fn}()"), &core_vuln, &core_fixed);
+    TemplatePair { cwe: Cwe::FormatString, vulnerable, fixed, target_fn }
+}
+
+/// Generates the semantic-gap variant of `cwe`. For the classes that exist
+/// *only* in semantic form (457, 369, 415, 197, 367) this is what
+/// [`super::generate`] dispatches to; for 787/125/476/416/78/134 it
+/// produces the rule-blind twin of the classic template, used by the
+/// precision corpus.
 pub fn semantic_gap_pair<R: Rng>(cwe: Cwe, ctx: &mut EmitCtx<'_, R>) -> TemplatePair {
     match cwe {
         Cwe::OutOfBoundsWrite => constant_index_oob(ctx, true),
@@ -172,17 +369,29 @@ pub fn semantic_gap_pair<R: Rng>(cwe: Cwe, ctx: &mut EmitCtx<'_, R>) -> Template
         Cwe::NullDereference => literal_null_flow(ctx),
         Cwe::UninitializedUse => uninitialized_use(ctx),
         Cwe::DivideByZero => divide_by_zero(ctx),
+        Cwe::UseAfterFree => stale_handle_use(ctx),
+        Cwe::DoubleFree => double_release(ctx),
+        Cwe::IntegerTruncation => narrowing_store(ctx),
+        Cwe::Toctou => stale_check_use(ctx),
+        Cwe::CommandInjection => kind_blind_shell(ctx),
+        Cwe::FormatString => kind_blind_format(ctx),
         other => panic!("{other} has no semantic-gap template"),
     }
 }
 
 /// The CWE classes with a semantic-gap template.
-pub const GAP_CLASSES: [Cwe; 5] = [
+pub const GAP_CLASSES: [Cwe; 11] = [
     Cwe::OutOfBoundsWrite,
     Cwe::OutOfBoundsRead,
     Cwe::NullDereference,
     Cwe::UninitializedUse,
     Cwe::DivideByZero,
+    Cwe::UseAfterFree,
+    Cwe::DoubleFree,
+    Cwe::IntegerTruncation,
+    Cwe::Toctou,
+    Cwe::CommandInjection,
+    Cwe::FormatString,
 ];
 
 #[cfg(test)]
@@ -259,6 +468,59 @@ mod tests {
                 .unwrap();
             assert!(!decl_vuln.contains('='), "vulnerable decl must be bare: {decl_vuln}");
             assert_ne!(pair.vulnerable, pair.fixed);
+        }
+    }
+
+    #[test]
+    fn lifetime_gap_templates_avoid_the_rule_suite_vocabulary() {
+        for seed in 0..10 {
+            let uaf = pair_for(seed, stale_handle_use);
+            assert!(uaf.vulnerable.contains("release_block"));
+            assert!(!uaf.vulnerable.contains("free_mem"), "free_mem would wake the rule suite");
+            let df = pair_for(seed, double_release);
+            assert!(
+                df.vulnerable.matches("release_block(").count() >= 2,
+                "double release required:\n{}",
+                df.vulnerable
+            );
+            assert!(!df.vulnerable.contains("free_mem"));
+        }
+    }
+
+    #[test]
+    fn narrowing_store_truncates_provably_and_fix_clamps() {
+        for seed in 0..10 {
+            let pair = pair_for(seed, narrowing_store);
+            assert!(pair.vulnerable.contains("char "), "narrowing char store required");
+            assert!(pair.fixed.contains("> 127"), "clamp missing:\n{}", pair.fixed);
+            assert!(!pair.vulnerable.contains("> 127"));
+        }
+    }
+
+    #[test]
+    fn stale_check_parks_the_flag_outside_the_condition() {
+        for seed in 0..10 {
+            let pair = pair_for(seed, stale_check_use);
+            assert!(pair.vulnerable.contains("= file_exists("));
+            assert!(
+                !pair.vulnerable.contains("if (file_exists"),
+                "an in-condition check would wake the syntactic race rule"
+            );
+            assert!(pair.fixed.contains("open_file_atomic"));
+            assert!(!pair.fixed.contains("file_exists"));
+        }
+    }
+
+    #[test]
+    fn kind_blind_sanitizers_mismatch_their_sink() {
+        for seed in 0..10 {
+            let sh = pair_for(seed, kind_blind_shell);
+            assert!(!sh.vulnerable.contains("escape_shell"), "wrong-kind sanitizer required");
+            assert!(sh.fixed.contains("escape_shell("));
+            let fm = pair_for(seed, kind_blind_format);
+            assert!(fm.vulnerable.contains("printf_fmt("));
+            assert!(!fm.vulnerable.contains("\"%s\""));
+            assert!(fm.fixed.contains("\"%s\""));
         }
     }
 

@@ -95,6 +95,15 @@ pub fn field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
     T::from_value(v.get(key)).map_err(|e| DeError(format!("field `{key}`: {e}")))
 }
 
+/// Helper used by derived code for `#[serde(default)]` fields: a missing or
+/// `null` key reads as `Default::default()` instead of an error.
+pub fn field_or_default<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v.get(key) {
+        Value::Null => Ok(T::default()),
+        val => T::from_value(val).map_err(|e| DeError(format!("field `{key}`: {e}"))),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------

@@ -17,8 +17,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the derive target.
 enum Item {
-    /// Struct name + named field idents, in declaration order.
-    Struct(String, Vec<String>),
+    /// Struct name + named fields (`(ident, has_serde_default)`), in
+    /// declaration order.
+    Struct(String, Vec<(String, bool)>),
     /// Enum name + variants (`(name, has_payload)`).
     Enum(String, Vec<(String, bool)>),
 }
@@ -46,6 +47,34 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
             _ => return i,
         }
     }
+}
+
+/// Whether the leading attributes of a field chunk include
+/// `#[serde(default)]`. Other `serde(...)` options are not supported and
+/// are ignored here (the derive treats them as absent).
+fn has_serde_default(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(attr)) = chunk.get(i + 1) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let has_default = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"));
+                    if has_default {
+                        return true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    false
 }
 
 /// Splits a token slice on top-level commas, tracking `<...>` depth so
@@ -111,7 +140,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
             for chunk in split_top_level_commas(&body_tokens) {
                 let j = skip_attrs_and_vis(&chunk, 0);
                 match chunk.get(j) {
-                    Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                    Some(TokenTree::Ident(id)) => {
+                        fields.push((id.to_string(), has_serde_default(&chunk)));
+                    }
                     None => continue,
                     other => return Err(format!("`{name}`: unexpected field token {other:?}")),
                 }
@@ -154,8 +185,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     }
 }
 
-/// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+/// Derives `serde::Serialize`. The `serde` helper attribute is accepted so
+/// fields can carry `#[serde(default)]` (which only affects deserialization).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
@@ -165,7 +197,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct(name, fields) => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
                     )
@@ -209,8 +241,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().unwrap()
 }
 
-/// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+/// Derives `serde::Deserialize`. Fields marked `#[serde(default)]` fall
+/// back to `Default::default()` when the key is missing or `null`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
@@ -218,8 +251,16 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     };
     let code = match item {
         Item::Struct(name, fields) => {
-            let inits: String =
-                fields.iter().map(|f| format!("{f}: ::serde::field(v, {f:?})?,")).collect();
+            let inits: String = fields
+                .iter()
+                .map(|(f, has_default)| {
+                    if *has_default {
+                        format!("{f}: ::serde::field_or_default(v, {f:?})?,")
+                    } else {
+                        format!("{f}: ::serde::field(v, {f:?})?,")
+                    }
+                })
+                .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{
                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{

@@ -22,6 +22,9 @@
 //! vulnman graph [--seed N] [--count N] [--fraction F] [--jobs N] [--no-cache]
 //!               [--top N] [--report-out FILE] [--metrics-out FILE]
 //!                                                            corpus call graph + blast-radius triage
+//! vulnman audit [--check] [--baseline FILE] [--write-baseline] [--seed N]
+//!               [--samples N] [--jobs N] [--no-ml] [--out FILE] [--report-out FILE]
+//!                                                            detector coverage × precision matrix
 //! vulnman sft [--seed N] [--count N]                         print an SFT dataset (JSONL)
 //! vulnman serve [--addr H:P] [--workers N] [--queue N] [--max-request-bytes N]
 //!               [--fault-rate F] [--fault-seed N] [--max-retries N]
@@ -52,6 +55,7 @@ fn main() -> ExitCode {
         "oracle" => cmd_oracle(rest),
         "clones" => cmd_clones(rest),
         "graph" => cmd_graph(rest),
+        "audit" => cmd_audit(rest),
         "sft" => cmd_sft(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
@@ -70,7 +74,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|clones|graph|sft|serve|help> [options]
+    "usage: vulnman <scan|lint|fix|exec|gen|workflow|oracle|clones|graph|audit|sft|serve|help> [options]
   scan <file> [--dynamic] [--sanitizer <name>]   scan a mini-C unit
   lint <file>...                                 run only the semantic (abstract-
                                                  interpretation) checkers; print evidence
@@ -106,6 +110,17 @@ const USAGE: &str =
                                                  build the cross-sample call graph over a
                                                  generated multi-file corpus and rank
                                                  functions by blast radius
+  audit [--check]            fail when the matrix regresses against the baseline
+           [--baseline FILE]        committed baseline (default tests/audit_baseline.json)
+           [--write-baseline]       record the current matrix as the baseline
+           [--seed N] [--samples N] [--jobs N]
+                                    audit corpus parameters (byte-identical at any --jobs)
+           [--no-ml]                drop the trained-model column (faster; static only)
+           [--out FILE]             write the matrix as JSON
+           [--report-out FILE]      write the matrix as markdown (the CI artifact)
+           [--metrics-out FILE] [--metrics-prom FILE] [--metrics-summary]
+                                                 CWE × detector-family coverage/precision
+                                                 matrix over a seeded per-class corpus
   sft [--seed N] [--count N]
   serve [--addr H:P]         listen address (default 127.0.0.1:7433; port 0 = ephemeral)
            [--workers N]            worker threads executing requests (default 4)
@@ -113,7 +128,7 @@ const USAGE: &str =
            [--max-request-bytes N]  per-line/body byte cap (default 1 MiB)
            [--fault-rate F] [--fault-seed N] [--max-retries N]
                                     inject seeded faults per request (chaos mode)
-        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle|clones|graph,\"source\",...}
+        clients send JSONL requests {\"id\",\"kind\":analyze|lint|oracle|clones|graph|audit,\"source\",...}
         or a single HTTP POST with the same JSON body";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -816,6 +831,79 @@ fn cmd_graph(args: &[String]) -> Result<(), String> {
         eprintln!("report written to {path}");
     }
     write_metrics(args, &metrics.snapshot())?;
+    Ok(())
+}
+
+/// `vulnman audit` — computes the CWE × detector-family coverage/precision
+/// matrix over a seeded per-class corpus and (with `--check`) gates it
+/// against the committed baseline, so a detector silently losing a class —
+/// or starting to flood false positives — fails CI instead of shipping.
+/// The matrix is byte-identical at any `--jobs`.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    use vulnman::analysis::{register_audit_instruments, AuditConfig, AuditEngine, AuditReport};
+
+    let defaults = AuditConfig::default();
+    let seed: u64 = parse_num(args, "--seed", defaults.seed)?;
+    let samples: usize = parse_num(args, "--samples", defaults.samples_per_class)?;
+    if samples == 0 {
+        return Err("--samples must be at least 1".into());
+    }
+    let jobs: usize = parse_num(args, "--jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let config = AuditConfig { seed, samples_per_class: samples, jobs };
+    let metrics = Registry::new();
+    register_audit_instruments(&metrics);
+    let mut engine = AuditEngine::new(config);
+    if !flag_present(args, "--no-ml") {
+        engine = engine.with_ml(vulnman::core::audit_ml_verdict(seed));
+    }
+    let report = engine.run_with_metrics(&metrics);
+
+    print!("{}", report.to_markdown());
+    if let Some(path) = flag_value(args, "--out") {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize matrix: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("matrix written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--report-out") {
+        std::fs::write(path, report.to_markdown()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("markdown report written to {path}");
+    }
+    write_metrics(args, &metrics.snapshot())?;
+
+    let baseline_path = flag_value(args, "--baseline").unwrap_or("tests/audit_baseline.json");
+    if flag_present(args, "--write-baseline") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serialize baseline: {e}"))?;
+        std::fs::write(baseline_path, json + "\n")
+            .map_err(|e| format!("write {baseline_path}: {e}"))?;
+        eprintln!("baseline written to {baseline_path}");
+    }
+    if flag_present(args, "--check") {
+        let json = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+        let baseline: AuditReport =
+            serde_json::from_str(&json).map_err(|e| format!("parse {baseline_path}: {e}"))?;
+        let violations = report.check_against(&baseline);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("audit violation: {v}");
+            }
+            return Err(format!(
+                "{} audit violation(s) against {baseline_path} — fix the detector or \
+                 consciously regenerate the baseline with --write-baseline",
+                violations.len()
+            ));
+        }
+        println!(
+            "baseline check: {} of {} cells covered, no regressions against {baseline_path}",
+            report.covered_count(),
+            report.cell_count()
+        );
+    }
     Ok(())
 }
 

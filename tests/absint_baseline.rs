@@ -1,9 +1,11 @@
 //! Semantic-checker detection baseline: per-CWE true/false positives on a
-//! fixed 300-sample corpus, gated against `tests/absint_baseline.json`.
+//! fixed corpus, gated against `tests/absint_baseline.json`.
 //!
-//! The corpus is 150 semantic-gap template pairs (5 classes × 30 seeds,
-//! styles and tiers rotated) — each pair contributes its vulnerable sample
-//! and its fixed twin. The committed baseline records, per class, how many
+//! The corpus is one semantic-gap template pair per (class, seed) — every
+//! class in `GAP_CLASSES` × 30 seeds, styles and tiers rotated — so it
+//! grows automatically when a new gap class lands. Each pair contributes
+//! its vulnerable sample and its fixed twin. The committed baseline
+//! records, per class, how many
 //! vulnerable samples the semantic suite catches and how many fixed twins
 //! it still flags. The gate fails on any true-positive decrease or
 //! false-positive increase; a conscious improvement regenerates the file:
@@ -46,7 +48,11 @@ fn corpus() -> Vec<(Cwe, String, String)> {
             out.push((cwe, pair.vulnerable, pair.fixed));
         }
     }
-    assert_eq!(out.len() * 2, 300, "the corpus is fixed at 300 samples");
+    assert_eq!(
+        out.len() as u64 * 2,
+        GAP_CLASSES.len() as u64 * SEEDS_PER_CLASS * 2,
+        "every gap class contributes exactly {SEEDS_PER_CLASS} pairs"
+    );
     out
 }
 

@@ -1,0 +1,121 @@
+//! Detector-catalog audit gate: the CWE × detector-family coverage and
+//! precision matrix, gated against `tests/audit_baseline.json`.
+//!
+//! This is the machine-checked version of the paper's industry/academia
+//! coverage comparison: each detector family (rules, taint, semantic,
+//! dynamic, ML) is audited per class on a seeded vulnerable/fixed corpus,
+//! and any cell that loses coverage — or starts flagging fixed twins — is
+//! a CI failure, not a silent catalog gap. A conscious improvement
+//! regenerates the file:
+//!
+//! ```text
+//! AUDIT_WRITE_BASELINE=1 cargo test --test audit_gate
+//! ```
+//!
+//! The baseline is the one `vulnman audit --check` gates against, so the
+//! CLI and this test agree on parameters by construction: both use
+//! [`AuditConfig::default`] with the trained-model column wired.
+
+use std::path::PathBuf;
+use vulnman::analysis::{AuditConfig, AuditEngine, AuditReport};
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/audit_baseline.json")
+}
+
+/// The exact run the CLI default performs: default parameters, ML column
+/// trained from the salted per-class stream.
+fn measure(jobs: usize) -> AuditReport {
+    let config = AuditConfig { jobs, ..AuditConfig::default() };
+    AuditEngine::new(config).with_ml(vulnman::core::audit_ml_verdict(config.seed)).run()
+}
+
+#[test]
+fn audit_matrix_meets_the_committed_baseline() {
+    let current = measure(1);
+
+    if std::env::var("AUDIT_WRITE_BASELINE").is_ok() {
+        let json = serde_json::to_string_pretty(&current).expect("serialize baseline");
+        std::fs::write(baseline_path(), json + "\n").expect("write baseline");
+        eprintln!("baseline regenerated at {}", baseline_path().display());
+        return;
+    }
+
+    let json = std::fs::read_to_string(baseline_path())
+        .expect("tests/audit_baseline.json is committed; regenerate with AUDIT_WRITE_BASELINE=1");
+    let committed: AuditReport = serde_json::from_str(&json).expect("baseline parses");
+
+    let violations = current.check_against(&committed);
+    assert!(
+        violations.is_empty(),
+        "audit violations against the committed baseline:\n  {}",
+        violations.join("\n  ")
+    );
+    assert!(
+        current.blind_classes().is_empty(),
+        "every catalog class must be covered by at least one family, blind: {:?}",
+        current.blind_classes()
+    );
+}
+
+/// The gate actually fires: seeding a regression into the measured matrix
+/// — a covered cell going dark, a family growing false positives — must
+/// produce violations. Without this negative test a broken `check_against`
+/// (or a baseline of all-uncovered cells) would pass CI forever.
+#[test]
+fn seeded_regressions_trip_the_gate() {
+    let json = std::fs::read_to_string(baseline_path()).expect("baseline is committed");
+    let baseline: AuditReport = serde_json::from_str(&json).expect("baseline parses");
+
+    // A covered cell loses its coverage.
+    let mut regressed = baseline.clone();
+    let (cwe, family) = regressed
+        .classes
+        .iter()
+        .flat_map(|c| c.cells.iter().map(move |(f, cell)| (c.cwe, f.clone(), cell.covered)))
+        .find(|(_, _, covered)| *covered)
+        .map(|(cwe, f, _)| (cwe, f))
+        .expect("the committed matrix covers at least one cell");
+    let row = regressed.classes.iter_mut().find(|c| c.cwe == cwe).unwrap();
+    let cell = row.cells.get_mut(&family).unwrap();
+    cell.detected = 0;
+    cell.covered = false;
+    let violations = regressed.check_against(&baseline);
+    assert!(
+        violations.iter().any(|v| v.contains("coverage regression")),
+        "a darkened cell must be a coverage regression, got: {violations:?}"
+    );
+
+    // The semantic family grows a false positive: both the precision gate
+    // and the semantic zero-FP bar must fire.
+    let mut imprecise = baseline.clone();
+    let row = imprecise.classes.iter_mut().find(|c| c.cells.contains_key("semantic")).unwrap();
+    let cell = row.cells.get_mut("semantic").unwrap();
+    cell.false_positives += 1;
+    cell.covered = false;
+    let violations = imprecise.check_against(&baseline);
+    assert!(violations.iter().any(|v| v.contains("precision regression")), "{violations:?}");
+    assert!(violations.iter().any(|v| v.contains("zero false positives")), "{violations:?}");
+
+    // Parameter drift is rejected outright rather than compared cell-wise.
+    let mut drifted = baseline.clone();
+    drifted.seed ^= 1;
+    let violations = drifted.check_against(&baseline);
+    assert!(violations.iter().any(|v| v.contains("parameter drift")), "{violations:?}");
+}
+
+/// The matrix — the whole serialized report — is byte-identical at any
+/// `--jobs`, the acceptance bar for fanning the scans out in CI.
+#[test]
+fn audit_report_is_byte_identical_across_jobs() {
+    let config = AuditConfig { samples_per_class: 4, ..AuditConfig::default() };
+    let run = |jobs: usize| {
+        let c = AuditConfig { jobs, ..config };
+        let report = AuditEngine::new(c).with_ml(vulnman::core::audit_ml_verdict(c.seed)).run();
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    let golden = run(1);
+    for jobs in [2, 5, 8] {
+        assert_eq!(golden, run(jobs), "audit matrix diverged at jobs={jobs}");
+    }
+}

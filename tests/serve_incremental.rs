@@ -251,11 +251,12 @@ fn stage_counters_prove_untouched_functions_are_not_reanalyzed() {
         assert!(reused.contains(name), "`{name}` must be served from cache");
     }
 
-    // Three domain passes, one new single-function SCC each: exactly three
-    // summary recomputes; the four untouched SCCs hit in all three passes.
+    // Six domain passes (interval, nullness, init, ownership, width,
+    // provenance), one new single-function SCC each: exactly six summary
+    // recomputes; the four untouched SCCs hit in all six passes.
     let summary_after = cache.stage_stats(Stage::Summary);
-    assert_eq!(summary_after.misses - summary_before.misses, 3);
-    assert_eq!(summary_after.hits - summary_before.hits, 12);
+    assert_eq!(summary_after.misses - summary_before.misses, 6);
+    assert_eq!(summary_after.hits - summary_before.hits, 24);
     // The CFG is domain-independent: built once for the new function,
     // never rebuilt for cached ones.
     let cfg_after = cache.stage_stats(Stage::Cfg);
